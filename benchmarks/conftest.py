@@ -1,0 +1,53 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figures and
+prints the same rows/series the paper reports (run pytest with ``-s`` to
+see them).  Raster artifacts (the Figure 4/5 renders) are written to
+``benchmarks/artifacts/``.
+"""
+
+import os
+
+import pytest
+
+from repro.net.client import HttpClient
+from repro.sim.clock import Clock
+from repro.sites.classifieds.app import ClassifiedsApplication
+from repro.sites.forum.app import ForumApplication
+
+FORUM_HOST = "www.sawmillcreek.org"
+PROXY_HOST = "m.sawmillcreek.org"
+CLASSIFIEDS_HOST = "portland.craigslist.org"
+
+ARTIFACT_DIR = os.path.join(os.path.dirname(__file__), "artifacts")
+
+
+@pytest.fixture(scope="session")
+def artifact_dir():
+    os.makedirs(ARTIFACT_DIR, exist_ok=True)
+    return ARTIFACT_DIR
+
+
+@pytest.fixture(scope="session")
+def forum_app():
+    return ForumApplication()
+
+
+@pytest.fixture(scope="session")
+def classifieds_app():
+    return ClassifiedsApplication()
+
+
+@pytest.fixture()
+def clock():
+    return Clock()
+
+
+@pytest.fixture()
+def origins(forum_app, classifieds_app):
+    return {FORUM_HOST: forum_app, CLASSIFIEDS_HOST: classifieds_app}
+
+
+@pytest.fixture()
+def client(origins, clock):
+    return HttpClient(origins, clock=clock)

@@ -1,0 +1,114 @@
+"""Ablation — dependency copying vs repeat-all-head-content.
+
+§3.3: "The approach taken in other systems is to repeat head content on
+all subpages.  Unfortunately, this approach misses cases, where
+Javascript and other functionality are located in the body of pages.
+m.Site allows scripts and other content to be pulled from any portion of
+the page."
+
+This ablation quantifies both halves: bytes shipped per subpage under
+each policy, and the correctness gap (body-hosted dependencies the
+repeat-head policy misses).
+"""
+
+import pytest
+
+from repro.core.subpages import (
+    SubpageDefinition,
+    SubpagePlan,
+    build_subpage_document,
+    detach_for_subpage,
+)
+from repro.dom.selectors import select
+from repro.html.parser import parse_html
+from repro.html.serializer import serialize
+
+from conftest import FORUM_HOST
+
+
+@pytest.fixture()
+def master(forum_app):
+    from repro.net.client import HttpClient
+
+    client = HttpClient({FORUM_HOST: forum_app})
+    return parse_html(client.get(f"http://{FORUM_HOST}/index.php").text_body)
+
+
+def page_url_for(subpage_id):
+    return "proxy.php" if subpage_id is None else f"proxy.php?page={subpage_id}"
+
+
+def build_with_policy(master, policy: str) -> str:
+    """Build the login subpage under a dependency policy."""
+    login = master.get_element_by_id("loginform")
+    if policy == "selective":
+        # m.Site: only what the subpage needs — the stylesheet.
+        deps = select(master, 'link[rel="stylesheet"]')
+    elif policy == "repeat-head":
+        # Prior work: clone everything in <head>.
+        deps = list(master.head.child_elements())
+    else:
+        raise ValueError(policy)
+    definition = SubpageDefinition(
+        "login", "Log in", elements=[login], mode="copy", dependencies=deps
+    )
+    plan = SubpagePlan()
+    plan.define(definition)
+    document = build_subpage_document(
+        definition, plan, page_url_for, detach_for_subpage(definition)
+    )
+    return serialize(document)
+
+
+def test_ablation_regenerates(master):
+    selective = build_with_policy(master, "selective")
+    repeat_head = build_with_policy(master, "repeat-head")
+    print(f"\n\nAblation: bytes per subpage by dependency policy")
+    print(f"  selective copy (m.Site):   {len(selective):,} bytes")
+    print(f"  repeat-all-head (prior):   {len(repeat_head):,} bytes")
+    print(f"  overhead of repeat-head:   "
+          f"{len(repeat_head) / len(selective):.1f}x")
+    assert len(selective) < len(repeat_head) / 2
+
+
+def test_repeat_head_misses_body_scripts(master):
+    """The paper's correctness argument: the inline menu script lives in
+    the body, so repeat-head cannot provide it — m.Site can."""
+    body_scripts = [
+        el
+        for el in master.body.descendant_elements()
+        if el.tag == "script" and "vbmenu_register" in el.text_content
+    ]
+    assert body_scripts, "the test page hosts a script in its body"
+    repeat_head = build_with_policy(master, "repeat-head")
+    assert "vbmenu_register" not in repeat_head
+
+    # The m.Site policy can pull that body script in explicitly.
+    login = master.get_element_by_id("loginform")
+    definition = SubpageDefinition(
+        "login", "Log in", elements=[login], mode="copy",
+        dependencies=body_scripts,
+    )
+    plan = SubpagePlan()
+    plan.define(definition)
+    document = build_subpage_document(
+        definition, plan, page_url_for, detach_for_subpage(definition)
+    )
+    assert "vbmenu_register" in serialize(document)
+
+
+def test_selective_policy_scales_with_subpage_count(master):
+    """Five subpages: selective total stays far below repeat-head total."""
+    selective_total = 0
+    repeat_total = 0
+    for __ in range(5):
+        selective_total += len(build_with_policy(master, "selective"))
+        repeat_total += len(build_with_policy(master, "repeat-head"))
+    print(f"\n5 subpages: selective {selective_total:,} bytes vs "
+          f"repeat-head {repeat_total:,} bytes")
+    assert selective_total * 2 < repeat_total
+
+
+def test_bench_subpage_build(benchmark, master):
+    result = benchmark(lambda: build_with_policy(master, "selective"))
+    assert "loginform" in result

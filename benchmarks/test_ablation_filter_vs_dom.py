@@ -1,0 +1,85 @@
+"""Ablation — filter-phase-only adaptation vs a full DOM parse.
+
+§3.2: "The page could be completely adapted after just a few simple
+filters, avoiding a DOM parse altogether."  This ablation measures the
+real cost difference on the 54 KB entry page: regex filters vs parse +
+selector + serialize.
+"""
+
+import time
+
+import pytest
+
+from repro.core import filters
+from repro.dom.selectors import select
+from repro.html.parser import parse_html
+from repro.html.serializer import serialize
+
+from conftest import FORUM_HOST
+
+
+@pytest.fixture(scope="module")
+def page_source(forum_app):
+    from repro.net.client import HttpClient
+
+    client = HttpClient({FORUM_HOST: forum_app})
+    return client.get(f"http://{FORUM_HOST}/index.php").text_body
+
+
+def adapt_with_filters(source: str) -> str:
+    source = filters.set_doctype(source)
+    source = filters.set_title(source, "Mobile")
+    source = filters.strip_scripts(source)
+    source, __ = filters.rewrite_image_sources(
+        source, lambda src: f"proxy.php?img={src}"
+    )
+    return source
+
+
+def adapt_with_dom(source: str) -> str:
+    document = parse_html(source)
+    for script in list(document.get_elements_by_tag("script")):
+        script.detach()
+    for img in select(document, "img"):
+        img.set("src", f"proxy.php?img={img.get('src')}")
+    title = document.head.find(lambda el: el.tag == "title")
+    if title is not None:
+        title.set_text("Mobile")
+    return serialize(document)
+
+
+def _measure(fn, source, repeats=20):
+    start = time.perf_counter()
+    for __ in range(repeats):
+        fn(source)
+    return (time.perf_counter() - start) / repeats
+
+
+def test_ablation_regenerates(page_source):
+    filter_time = _measure(adapt_with_filters, page_source)
+    dom_time = _measure(adapt_with_dom, page_source)
+    print(f"\n\nAblation: adaptation cost on the {len(page_source):,}-byte "
+          f"entry page")
+    print(f"  filter-phase only: {filter_time * 1000:7.2f} ms")
+    print(f"  full DOM parse:    {dom_time * 1000:7.2f} ms")
+    print(f"  ratio:             {dom_time / filter_time:7.1f}x")
+    assert filter_time < dom_time
+
+
+def test_both_paths_produce_equivalent_adaptations(page_source):
+    via_filters = adapt_with_filters(page_source)
+    via_dom = adapt_with_dom(page_source)
+    for output in (via_filters, via_dom):
+        assert "<script" not in output.lower()
+        assert "proxy.php?img=" in output
+        assert "<title>Mobile</title>" in output
+
+
+def test_bench_filter_path(benchmark, page_source):
+    result = benchmark(lambda: adapt_with_filters(page_source))
+    assert "proxy.php" in result
+
+
+def test_bench_dom_path(benchmark, page_source):
+    result = benchmark(lambda: adapt_with_dom(page_source))
+    assert "proxy.php" in result

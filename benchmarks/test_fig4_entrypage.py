@@ -1,0 +1,90 @@
+"""Figure 4 — the test site's main page rendered at full resolution,
+with the BlackBerry Tour's 480x325 viewing window marked in the top-left
+("the upper left box drawn in Figure 4").
+
+The regenerated artifact is written to benchmarks/artifacts/fig4.png.
+"""
+
+import pytest
+
+from repro.browser.webkit import ServerBrowser
+from repro.net.cookies import CookieJar
+from repro.render.box import Rect
+from repro.render.image import encode_png
+
+from conftest import FORUM_HOST
+
+
+@pytest.fixture(scope="module")
+def page_load(forum_app, classifieds_app):
+    from repro.net.client import HttpClient
+
+    client = HttpClient({FORUM_HOST: forum_app})
+    with ServerBrowser(client, jar=CookieJar(), viewport_width=1024) as browser:
+        return browser.load(f"http://{FORUM_HOST}/index.php")
+
+
+def test_fig4_regenerates(page_load, artifact_dir):
+    snapshot = page_load.snapshot
+    # Draw the BlackBerry viewing window onto a copy of the render.
+    from repro.render.raster import Canvas
+
+    canvas = Canvas(snapshot.image.width, snapshot.image.height)
+    canvas.pixels[:, :] = snapshot.image.pixels
+    canvas.stroke_rect(Rect(0, 0, 480, 325), (255, 0, 0), width=3)
+    from repro.render.image import RasterImage
+
+    encoded = encode_png(RasterImage(canvas.pixels))
+    path = f"{artifact_dir}/fig4.png"
+    with open(path, "wb") as handle:
+        handle.write(encoded.data)
+    print(f"\n\nFigure 4 artifact: {path}")
+    print(f"  full-resolution render: {snapshot.image.width} x "
+          f"{snapshot.page_height} px, PNG {encoded.size_bytes:,} bytes")
+    print(f"  BlackBerry viewing window: 480 x 325 px "
+          f"({480 * 325 / (snapshot.image.width * snapshot.page_height):.1%} "
+          f"of the page)")
+    assert snapshot.image.width == 1024
+    assert snapshot.page_height > 3_000  # a long, desktop-sized page
+
+
+def test_fig4_page_inventory(page_load):
+    """The layout the paper describes top-to-bottom is all present and
+    in the paper's order."""
+    document = page_load.document
+    snapshot = page_load.snapshot
+    order = []
+    for element_id in (
+        "logobar", "navlinks", "loginform", "announce", "forumbits",
+        "wol", "stats", "birthdays", "calendar", "footerlinks",
+    ):
+        element = document.get_element_by_id(element_id)
+        assert element is not None, element_id
+        rect = snapshot.geometry_of(element)
+        assert rect is not None, element_id
+        order.append((rect.y, element_id))
+    assert order == sorted(order), "sections out of vertical order"
+
+
+def test_fig4_viewport_requires_scrolling(page_load):
+    """§4.2: the BlackBerry window 'requires considerable scrolling to
+    read, both vertically and horizontally'."""
+    snapshot = page_load.snapshot
+    horizontal = snapshot.image.width / 480
+    vertical = snapshot.page_height / 325
+    print(f"\nscrolling needed: {horizontal:.1f} screens wide, "
+          f"{vertical:.1f} screens tall")
+    assert horizontal > 2
+    assert vertical > 10
+
+
+def test_bench_full_page_render(benchmark, forum_app):
+    from repro.net.client import HttpClient
+
+    def render():
+        client = HttpClient({FORUM_HOST: forum_app})
+        with ServerBrowser(client, jar=CookieJar()) as browser:
+            return browser.load(f"http://{FORUM_HOST}/index.php")
+
+    result = benchmark.pedantic(render, iterations=1, rounds=2)
+    assert result.snapshot.page_height > 1000

@@ -1,0 +1,117 @@
+"""Figure 6 — "Adding AJAX calls to enhance Craig's List for the iPad"
+(§4.5): the category page becomes a two-pane browsing UI whose listing
+clicks are AJAX calls satisfied by the proxy.
+
+Regenerates the adapted page and measures the interaction savings the
+case study motivates.
+"""
+
+import re
+
+import pytest
+
+from repro.core.ajax import TwoPaneProxy
+from repro.core.cache import PrerenderCache
+from repro.devices.profiles import IPAD_1
+from repro.devices.timing import PageStats, estimate_load_time
+from repro.net.client import HttpClient
+
+from conftest import CLASSIFIEDS_HOST
+
+
+@pytest.fixture(scope="module")
+def two_pane(classifieds_app):
+    origins = {CLASSIFIEDS_HOST: classifieds_app}
+    return TwoPaneProxy(
+        origin_host=CLASSIFIEDS_HOST,
+        category_path="/tls/",
+        make_client=lambda: HttpClient(origins),
+        cache=PrerenderCache(),
+        title="tools - adapted for iPad",
+    )
+
+
+@pytest.fixture(scope="module")
+def entry(two_pane):
+    return two_pane.build_entry_page()
+
+
+def test_fig6_regenerates(entry, artifact_dir):
+    path = f"{artifact_dir}/fig6_two_pane.html"
+    with open(path, "w") as handle:
+        handle.write(entry)
+    print(f"\n\nFigure 6 artifact: {path}")
+    item_count = entry.count('class="msite-item"')
+    print(f"  entry page: {len(entry):,} bytes, "
+          f"{item_count} listings in the left pane")
+    assert 'id="msite-left"' in entry
+    assert 'id="msite-right"' in entry
+    assert entry.count('class="msite-item"') == 100
+
+
+def test_fig6_clicks_are_ajax_calls(entry):
+    actions = re.findall(r"proxy\.php\?action=\d+&p=[^']+", entry)
+    assert len(actions) == 100
+    assert "msitePane(" in entry
+
+
+def test_fig6_proxy_satisfies_requests(two_pane, entry, classifieds_app):
+    listing = classifieds_app.listings.category("tls")[0]
+    fragment = two_pane.handle_action(listing.path)
+    assert listing.title in fragment
+    assert "<html" not in fragment
+
+
+def test_fig6_session_bytes_savings(two_pane, entry, classifieds_app):
+    """Browsing 10 ads: original full-page navigation vs the adaptation."""
+    origins = {CLASSIFIEDS_HOST: classifieds_app}
+    client = HttpClient(origins)
+    category_bytes = len(client.get(f"http://{CLASSIFIEDS_HOST}/tls/").body)
+    listings = classifieds_app.listings.category("tls")[:10]
+    ad_bytes = sum(
+        len(client.get(f"http://{CLASSIFIEDS_HOST}{l.path}").body)
+        for l in listings
+    )
+    original = ad_bytes + 10 * category_bytes  # back-button reloads
+    fragments = sum(
+        len(two_pane.handle_action(l.path).encode("utf-8")) for l in listings
+    )
+    adapted = len(entry.encode("utf-8")) + fragments
+    print(f"\n10-ad session: original {original:,} bytes → adapted "
+          f"{adapted:,} bytes ({original / adapted:.1f}x less)")
+    assert original / adapted > 4
+
+
+def test_fig6_per_click_latency_on_ipad(entry):
+    full = estimate_load_time(
+        IPAD_1, PageStats(html_bytes=20_000, resource_count=1,
+                          element_count=220)
+    ).total_s
+    fragment = estimate_load_time(
+        IPAD_1, PageStats(html_bytes=700, resource_count=1, element_count=6)
+    ).total_s
+    print(f"\nper-click: full reload {full * 1000:.0f} ms vs AJAX fragment "
+          f"{fragment * 1000:.0f} ms")
+    assert fragment < full / 1.5
+
+
+def test_fig6_cache_amortizes_popular_ads(two_pane, classifieds_app):
+    # An ad no earlier test in this module has touched.
+    listing = classifieds_app.listings.category("tls")[50]
+    before = two_pane.origin_fetches
+    two_pane.handle_action(listing.path)
+    two_pane.handle_action(listing.path)
+    assert two_pane.origin_fetches == before + 1
+
+
+def test_bench_ajax_action(benchmark, two_pane, classifieds_app):
+    listings = classifieds_app.listings.category("tls")
+    counter = {"i": 0}
+
+    def click():
+        listing = listings[counter["i"] % len(listings)]
+        counter["i"] += 1
+        return two_pane.handle_action(listing.path)
+
+    result = benchmark(click)
+    assert result

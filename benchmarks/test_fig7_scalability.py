@@ -1,0 +1,68 @@
+"""Figure 7 — satisfied requests per one-minute window vs. the percentage
+of requests requiring a full browser instance.
+
+Paper protocol (§4.6): dual-core commodity hardware, no browser pool,
+three runs per data point, one-minute windows, U[0,1] request marking.
+Anchors: 224 requests at 100%, 29,038 at 0% — two orders of magnitude.
+"""
+
+import pytest
+
+from repro.bench.reporting import format_series
+from repro.bench.scalability import (
+    ScalabilityConfig,
+    run_browser_percentage_sweep,
+    run_scalability_experiment,
+)
+
+PAPER_ANCHORS = {1.0: 224, 0.0: 29_038}
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    # The paper's protocol: 3 runs per point over one-minute windows.
+    return run_browser_percentage_sweep(runs=3)
+
+
+def test_fig7_regenerates(sweep):
+    print("\n\nFigure 7: throughput vs % of requests requiring a browser")
+    print(
+        format_series(
+            "requests satisfied per minute (mean of 3 one-minute windows)",
+            [
+                (f"{r.browser_fraction:.0%}", r.mean_requests_per_minute)
+                for r in sweep
+            ],
+        )
+    )
+    by_fraction = {r.browser_fraction: r for r in sweep}
+    for fraction, expected in PAPER_ANCHORS.items():
+        measured = by_fraction[fraction].mean_requests_per_minute
+        assert measured == pytest.approx(expected, rel=0.05), fraction
+
+
+def test_fig7_two_orders_of_magnitude(sweep):
+    by_fraction = {r.browser_fraction: r for r in sweep}
+    ratio = (
+        by_fraction[0.0].mean_requests_per_minute
+        / by_fraction[1.0].mean_requests_per_minute
+    )
+    print(f"\nimprovement at 0% vs 100%: {ratio:,.0f}x (paper: ~130x)")
+    assert ratio > 100
+
+
+def test_fig7_monotone_curve(sweep):
+    throughputs = [r.mean_requests_per_minute for r in sweep]
+    assert throughputs == sorted(throughputs)  # sweep runs 100% → 0%
+
+
+def test_bench_one_measurement_window(benchmark):
+    """Cost of simulating one one-minute measurement window."""
+
+    def run():
+        return run_scalability_experiment(
+            ScalabilityConfig(browser_fraction=0.25, runs=1)
+        )
+
+    result = benchmark(run)
+    assert result.mean_requests_per_minute > 0

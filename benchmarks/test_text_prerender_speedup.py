@@ -1,0 +1,51 @@
+"""§3.3 in-text claim — "In the index page of our test site, this
+technique [pre-rendering] can reduce wall-clock load time by a factor
+of 5."
+
+Compares the BlackBerry Tour loading the full entry page against loading
+the adapted snapshot entry, using the same device/network model as
+Table 1.
+"""
+
+import pytest
+
+from repro.bench.wallclock import entry_page_stats, snapshot_page_stats
+from repro.devices.profiles import BLACKBERRY_TOUR, IPHONE_4
+from repro.devices.timing import estimate_load_time
+
+
+@pytest.fixture(scope="module")
+def full_stats(forum_app):
+    return entry_page_stats(forum_app)
+
+
+def test_factor_of_five_on_blackberry(full_stats):
+    full = estimate_load_time(BLACKBERRY_TOUR, full_stats).total_s
+    snap = estimate_load_time(
+        BLACKBERRY_TOUR, snapshot_page_stats(), page_height=1_504
+    ).total_s
+    factor = full / snap
+    print(f"\n\nBlackBerry Tour: full page {full:.1f} s → snapshot "
+          f"{snap:.1f} s ({factor:.1f}x, paper claims ~5x)")
+    assert 4.0 <= factor <= 6.5
+
+
+def test_speedup_holds_on_iphone_3g(full_stats):
+    full = estimate_load_time(IPHONE_4, full_stats).total_s
+    snap = estimate_load_time(
+        IPHONE_4, snapshot_page_stats(), page_height=1_504
+    ).total_s
+    factor = full / snap
+    print(f"iPhone 4 (3G): full {full:.1f} s → snapshot {snap:.1f} s "
+          f"({factor:.1f}x)")
+    assert factor > 3
+
+
+def test_savings_split_between_network_and_cpu(full_stats):
+    """The snapshot shrinks both bytes moved and client rendering work."""
+    full = estimate_load_time(BLACKBERRY_TOUR, full_stats)
+    snap = estimate_load_time(
+        BLACKBERRY_TOUR, snapshot_page_stats(), page_height=1_504
+    )
+    assert snap.network_s < full.network_s / 2
+    assert snap.cpu_s < full.cpu_s / 3

@@ -1,0 +1,135 @@
+"""Hierarchical page splitting (§3.3 "Sub-subpages") plus the rest of the
+attribute arsenal.
+
+Splits the forum listing into a subpage, then splits each category into
+its own sub-subpage beneath it — "a hierarchical navigation reminiscent
+of [Xiao et al.]".  Also demonstrates:
+
+* automatic mobile detection redirecting phones to the proxy (§3.2),
+* a searchable pre-rendered subpage (§3.3 "Search"),
+* alternative output engines (plain-text statistics for the most
+  constrained devices).
+
+Run:  python examples/hierarchical_navigation.py
+"""
+
+from repro.core.codegen import load_generated_proxy
+from repro.core.detect import KNOWN_USER_AGENTS, MobileRedirector
+from repro.core.pipeline import ProxyServices
+from repro.core.spec import AdaptationSpec, ObjectSelector
+from repro.net.client import HttpClient
+from repro.net.cookies import CookieJar
+from repro.net.messages import Request
+from repro.sites.forum.app import ForumApplication
+
+
+def build_spec() -> AdaptationSpec:
+    spec = AdaptationSpec(
+        site="SawmillCreek",
+        origin_host="www.sawmillcreek.org",
+        mobile_title="Sawmill Creek (mobile)",
+    )
+    spec.add("prerender")
+    spec.add("cacheable", ttl_s=3600)
+
+    # Level 1: the whole forum listing.
+    spec.add(
+        "subpage", ObjectSelector.css("#forumbits"),
+        subpage_id="forums", title="All forums",
+    )
+    # Level 2: one sub-subpage per category.  The generator assigns
+    # forums 1-8 to category 1, 9-16 to category 2, and so on; each
+    # sub-subpage copies that category's rows (the master listing keeps
+    # them too, hence mode="copy").
+    for category_id in range(1, 5):
+        first = (category_id - 1) * 8 + 1
+        row_selector = ", ".join(
+            f"#forumrow{forum_id}"
+            for forum_id in range(first, first + 8)
+        )
+        spec.add(
+            "subpage",
+            ObjectSelector.css(f"#cat{category_id}, {row_selector}"),
+            subpage_id=f"cat{category_id}",
+            title=f"Category {category_id}",
+            parent="forums",
+            mode="copy",
+        )
+    # A searchable pre-rendered who's-online board.
+    spec.add(
+        "subpage", ObjectSelector.css("#wol"),
+        subpage_id="online", title="Who's online", prerender=True,
+    )
+    spec.add(
+        "searchable", ObjectSelector.css("#wol"),
+        subpage_id="online", label="Find a member",
+    )
+    # Plain-text statistics for the lowest-end devices.
+    spec.add(
+        "subpage", ObjectSelector.css("#stats"),
+        subpage_id="stats", title="Statistics", engine="text",
+    )
+    return spec
+
+
+def main() -> None:
+    forum = ForumApplication()
+    origins = {"www.sawmillcreek.org": forum}
+    services = ProxyServices(origins=origins)
+
+    from repro.core.codegen import generate_proxy_source
+
+    proxy = load_generated_proxy(
+        generate_proxy_source(build_spec())
+    ).create_proxy(services)
+
+    # Wrap the origin in the mobile detector: phones get bounced to the
+    # proxy automatically.
+    detected = MobileRedirector(
+        forum, proxy_url="http://m.sawmillcreek.org/proxy.php"
+    )
+    front_door = HttpClient({"www.sawmillcreek.org": detected})
+    print("--- mobile detection at the origin ---")
+    for device in ("blackberry-tour", "iphone-4", "desktop"):
+        response = front_door.send(
+            Request.get(
+                "http://www.sawmillcreek.org/index.php",
+                user_agent=KNOWN_USER_AGENTS[device],
+            )
+        )
+        verdict = (
+            f"redirected to {response.headers.get('Location')}"
+            if response.is_redirect
+            else "served the full site"
+        )
+        print(f"  {device:16s} -> {verdict}")
+
+    mobile = HttpClient({"m.sawmillcreek.org": proxy}, jar=CookieJar())
+    entry = mobile.get("http://m.sawmillcreek.org/proxy.php")
+    print(f"\nentry page: {len(entry.body)} bytes, "
+          f"{entry.text_body.count('<area')} map regions")
+
+    forums = mobile.get("http://m.sawmillcreek.org/proxy.php?page=forums")
+    print("\n--- level 1: all forums ---")
+    print(f"bytes: {len(forums.body)}")
+    child_links = forums.text_body.count("proxy.php?page=cat")
+    print(f"child-category menu entries: {child_links}")
+
+    cat1 = mobile.get("http://m.sawmillcreek.org/proxy.php?page=cat1")
+    print("\n--- level 2: first category ---")
+    print(f"bytes: {len(cat1.body)}, back link to parent: "
+          f"{'proxy.php?page=forums' in cat1.text_body}")
+
+    online = mobile.get("http://m.sawmillcreek.org/proxy.php?page=online")
+    print("\n--- searchable pre-rendered subpage ---")
+    print(f"bytes: {len(online.body)}, has word index: "
+          f"{'msiteWords' in online.text_body}")
+
+    stats = mobile.get("http://m.sawmillcreek.org/proxy.php?page=stats")
+    print("\n--- plain-text subpage ---")
+    print(f"content-type: {stats.content_type}")
+    print("  " + stats.text_body.split("\n")[-1][:70])
+
+
+if __name__ == "__main__":
+    main()

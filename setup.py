@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+The offline environment has setuptools but no ``wheel`` package, so PEP 660
+editable installs (which build a wheel) fail.  Keeping a ``setup.py`` lets
+``pip install -e .`` fall back to the legacy develop path.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,45 @@
+"""m.Site reproduction: efficient content adaptation for mobile devices.
+
+This package reproduces the system described in *m.Site: Efficient Content
+Adaptation for Mobile Devices* (Koehl & Wang, Middleware 2012): a
+proxy-based content-adaptation framework in which a site administrator
+assigns *attributes* to page objects and a code generator emits a
+lightweight multi-session proxy that adapts pages for mobile clients,
+calling on a heavyweight server-side browser only when a graphical render
+is required.
+
+The top-level namespace re-exports the pieces a downstream user needs to
+mobilize a site end to end:
+
+* :class:`repro.admin.tool.AdminTool` — the visual-tool analog used to
+  select page objects and assign attributes.
+* :class:`repro.core.spec.AdaptationSpec` — the serializable adaptation
+  description the tool produces.
+* :class:`repro.core.proxy.MSiteProxy` — the generated proxy runtime.
+* :mod:`repro.sites` — the synthetic origin sites used by the paper's
+  evaluation (a vBulletin-style forum and a Craigslist-style classifieds
+  site).
+* :mod:`repro.devices` — mobile-device timing profiles used to reproduce
+  the paper's wall-clock comparisons.
+"""
+
+from repro.errors import (
+    MSiteError,
+    AdaptationError,
+    FetchError,
+    IdentificationError,
+    RenderError,
+    SessionError,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "MSiteError",
+    "AdaptationError",
+    "FetchError",
+    "IdentificationError",
+    "RenderError",
+    "SessionError",
+    "__version__",
+]

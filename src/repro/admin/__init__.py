@@ -1,0 +1,6 @@
+"""Administrator tools: the visual selection tool analog and dock."""
+
+from repro.admin.tool import AdminTool, Selection
+from repro.admin.dock import NonVisualDock
+
+__all__ = ["AdminTool", "Selection", "NonVisualDock"]

@@ -1,0 +1,128 @@
+"""The non-visual object dock.
+
+"A separate dock exists for non-visual objects, such as CSS, Javascript
+functions, head-section content, doctype tags, and cookies" (§3.1).  The
+dock enumerates those objects for one loaded page so the administrator can
+assign attributes to things that never paint a pixel.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.spec import ObjectSelector
+from repro.dom.document import Document
+
+
+@dataclass(frozen=True)
+class DockItem:
+    """One non-visual object the dock lists."""
+
+    kind: str  # 'doctype' | 'title' | 'css' | 'script' | 'meta' | 'cookie'
+    label: str
+    selector: ObjectSelector
+
+
+class NonVisualDock:
+    """Enumerates the non-visual objects of a page."""
+
+    def __init__(self, document: Document) -> None:
+        self.document = document
+
+    def items(self) -> list[DockItem]:
+        items: list[DockItem] = []
+        if self.document.doctype is not None:
+            items.append(
+                DockItem(
+                    kind="doctype",
+                    label=f"<!DOCTYPE {self.document.doctype.name}>",
+                    selector=ObjectSelector.dock("doctype"),
+                )
+            )
+        title = self.document.title
+        if title:
+            items.append(
+                DockItem(
+                    kind="title",
+                    label=f"title: {title[:60]}",
+                    selector=ObjectSelector.dock("title"),
+                )
+            )
+        for index, element in enumerate(self.document.all_elements()):
+            if element.tag == "script":
+                src = element.get("src")
+                label = (
+                    f"script src={src}"
+                    if src
+                    else f"inline script ({len(element.text_content)} chars)"
+                )
+                selector = (
+                    ObjectSelector.css(f'script[src="{src}"]')
+                    if src
+                    else ObjectSelector.xpath(
+                        f"//script[{self._script_ordinal(element)}]"
+                    )
+                )
+                items.append(DockItem("script", label, selector))
+            elif element.tag == "style":
+                items.append(
+                    DockItem(
+                        kind="css",
+                        label=(
+                            f"inline style block "
+                            f"({len(element.text_content)} chars)"
+                        ),
+                        selector=ObjectSelector.css("style"),
+                    )
+                )
+            elif (
+                element.tag == "link"
+                and (element.get("rel") or "").lower() == "stylesheet"
+            ):
+                href = element.get("href") or ""
+                items.append(
+                    DockItem(
+                        kind="css",
+                        label=f"stylesheet {href}",
+                        selector=ObjectSelector.css(
+                            f'link[href="{href}"]'
+                        ),
+                    )
+                )
+            elif element.tag == "meta":
+                name = element.get("name") or element.get("http-equiv") or ""
+                if name:
+                    items.append(
+                        DockItem(
+                            kind="meta",
+                            label=f"meta {name}",
+                            selector=ObjectSelector.css(
+                                f'meta[name="{name}"]'
+                                if element.get("name")
+                                else f'meta[http-equiv="{name}"]'
+                            ),
+                        )
+                    )
+        items.append(
+            DockItem(
+                kind="cookie",
+                label="session cookies",
+                selector=ObjectSelector.dock("cookies"),
+            )
+        )
+        return items
+
+    def _script_ordinal(self, element) -> int:
+        scripts = [
+            el for el in self.document.all_elements() if el.tag == "script"
+        ]
+        for index, script in enumerate(scripts, start=1):
+            if script is element:
+                return index
+        return 1
+
+    def scripts(self) -> list[DockItem]:
+        return [item for item in self.items() if item.kind == "script"]
+
+    def stylesheets(self) -> list[DockItem]:
+        return [item for item in self.items() if item.kind == "css"]

@@ -1,0 +1,211 @@
+"""The visual admin tool analog.
+
+The paper's tool gives the administrator "a live view of the site.  Once a
+page is loaded, the administrator is able to highlight page objects using
+a point and click approach" (§3.1).  Headless here, the tool loads the
+page through the proxy-side browser, lays it out at the admin's viewport,
+and supports both click-at-(x, y) selection (hit testing against real
+layout geometry) and direct selector queries.  Assigning attributes
+accumulates an :class:`AdaptationSpec`; ``generate_proxy_source`` emits
+the proxy shell.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core.codegen import generate_proxy_source
+from repro.core.spec import AdaptationSpec, AttributeBinding, ObjectSelector
+from repro.dom.document import Document
+from repro.dom.element import Element
+from repro.dom.selectors import select
+from repro.errors import IdentificationError
+from repro.net.client import HttpClient
+from repro.net.url import URL
+from repro.render.box import Rect
+from repro.render.snapshot import PageSnapshot, render_snapshot
+
+
+@dataclass
+class Selection:
+    """One highlighted page object with its derived selector."""
+
+    element: Element
+    selector: ObjectSelector
+    geometry: Optional[Rect] = None
+
+    @property
+    def description(self) -> str:
+        return (
+            f"<{self.element.tag}> via {self.selector.kind}:"
+            f"{self.selector.expression}"
+        )
+
+
+class AdminTool:
+    """Loads one originating page and builds an adaptation for it."""
+
+    def __init__(
+        self,
+        client: HttpClient,
+        url: str,
+        site_name: str = "",
+        viewport_width: int = 1024,
+    ) -> None:
+        self.url = URL.parse(url)
+        self.site_name = site_name or self.url.host
+        self.viewport_width = viewport_width
+        response = client.get(self.url)
+        if not response.ok:
+            raise IdentificationError(
+                f"admin tool could not load {url}: {response.status}"
+            )
+        from repro.html.parser import parse_html
+
+        self.document: Document = parse_html(response.text_body)
+        # Fetch external CSS so the live view lays out like production.
+        external_css: dict[str, str] = {}
+        for element in self.document.all_elements():
+            if (
+                element.tag == "link"
+                and (element.get("rel") or "").lower() == "stylesheet"
+            ):
+                href = element.get("href")
+                if href:
+                    css_response = client.get(self.url.join(href))
+                    if css_response.ok:
+                        external_css[href] = css_response.text_body
+        self.snapshot: PageSnapshot = render_snapshot(
+            self.document,
+            viewport_width=viewport_width,
+            external_css=external_css,
+        )
+        self.spec = AdaptationSpec(
+            site=self.site_name,
+            origin_host=self.url.host,
+            page_path=self.url.request_target,
+            viewport_width=viewport_width,
+        )
+        self.selections: list[Selection] = []
+
+    # ------------------------------------------------------------------
+    # selection
+
+    def select_at(self, x: float, y: float) -> Selection:
+        """Point-and-click selection via layout hit testing."""
+        element = self.snapshot.hit_test(x, y)
+        if element is None:
+            raise IdentificationError(f"nothing at ({x}, {y})")
+        selection = Selection(
+            element=element,
+            selector=self.derive_selector(element),
+            geometry=self.snapshot.geometry_of(element),
+        )
+        self.selections.append(selection)
+        return selection
+
+    def select_css(self, expression: str) -> Selection:
+        """Direct selector entry (the advanced work flow)."""
+        matches = select(self.document, expression)
+        if not matches:
+            raise IdentificationError(
+                f"selector {expression!r} matched nothing on the live view"
+            )
+        selection = Selection(
+            element=matches[0],
+            selector=ObjectSelector.css(expression),
+            geometry=self.snapshot.geometry_of(matches[0]),
+        )
+        self.selections.append(selection)
+        return selection
+
+    def derive_selector(self, element: Element) -> ObjectSelector:
+        """Derive a robust selector for a clicked element.
+
+        Preference order mirrors what keeps working as content changes:
+        a unique id, the nearest ancestor id plus a short path, a unique
+        class, then a positional path from the body.
+        """
+        if element.id and self._unique(f"#{element.id}"):
+            return ObjectSelector.css(f"#{element.id}")
+        # Nearest ancestor with an id.
+        path: list[Element] = [element]
+        node = element.parent
+        while isinstance(node, Element):
+            if node.id and self._unique(f"#{node.id}"):
+                suffix = " > ".join(
+                    self._step(step) for step in reversed(path)
+                )
+                expression = f"#{node.id} > {suffix}"
+                if self._unique(expression):
+                    return ObjectSelector.css(expression)
+                break
+            path.append(node)
+            node = node.parent
+        for class_name in element.classes:
+            expression = f"{element.tag}.{class_name}"
+            if self._unique(expression):
+                return ObjectSelector.css(expression)
+        # Positional fallback from the body.
+        steps: list[str] = []
+        node = element
+        while isinstance(node, Element) and node.tag != "body":
+            steps.append(self._step(node))
+            node = node.parent  # type: ignore[assignment]
+        steps.append("body")
+        return ObjectSelector.css(" > ".join(reversed(steps)))
+
+    def _step(self, element: Element) -> str:
+        parent = element.parent
+        if isinstance(parent, Element):
+            same_tag = [
+                child
+                for child in parent.child_elements()
+                if child.tag == element.tag
+            ]
+            if len(same_tag) > 1:
+                position = (
+                    [
+                        index
+                        for index, child in enumerate(
+                            parent.child_elements(), start=1
+                        )
+                        if child is element
+                    ]
+                    or [1]
+                )[0]
+                return f"{element.tag}:nth-child({position})"
+        return element.tag
+
+    def _unique(self, expression: str) -> bool:
+        try:
+            return len(select(self.document, expression)) == 1
+        except Exception:
+            return False
+
+    # ------------------------------------------------------------------
+    # attribute assignment
+
+    def assign(
+        self,
+        target: Optional[Selection],
+        attribute: str,
+        **params,
+    ) -> AttributeBinding:
+        """Apply an attribute from the menu to a selection (or the page)."""
+        selector = target.selector if target is not None else None
+        return self.spec.add(attribute, selector=selector, **params)
+
+    def assign_page(self, attribute: str, **params) -> AttributeBinding:
+        """Whole-page attributes (prerender, cacheable, http_auth, ...)."""
+        return self.spec.add(attribute, selector=None, **params)
+
+    # ------------------------------------------------------------------
+    # output
+
+    def generate_proxy_source(self, proxy_base: str = "proxy.php") -> str:
+        return generate_proxy_source(self.spec, proxy_base=proxy_base)
+
+    def export_spec(self) -> str:
+        return self.spec.to_json()

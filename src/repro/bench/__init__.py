@@ -1,0 +1,29 @@
+"""Benchmark harness helpers: workloads, experiments, report formatting."""
+
+from repro.bench.scalability import (
+    ScalabilityConfig,
+    ScalabilityResult,
+    run_scalability_experiment,
+    run_browser_percentage_sweep,
+)
+from repro.bench.wallclock import table1_rows, Table1Row
+from repro.bench.reporting import format_table, format_series
+from repro.bench.workload import (
+    WorkloadConfig,
+    WorkloadReport,
+    run_workload,
+)
+
+__all__ = [
+    "WorkloadConfig",
+    "WorkloadReport",
+    "run_workload",
+    "ScalabilityConfig",
+    "ScalabilityResult",
+    "run_scalability_experiment",
+    "run_browser_percentage_sweep",
+    "table1_rows",
+    "Table1Row",
+    "format_table",
+    "format_series",
+]

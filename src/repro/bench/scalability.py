@@ -1,0 +1,159 @@
+"""The Figure 7 scalability experiment.
+
+Protocol, from §4.6 of the paper:
+
+* simulate repeated client requests for a remote site,
+* vary the percentage of requests that require instantiation of a full
+  browser instance,
+* commodity dual-core hardware, no thread pool of browser instances,
+* three runs per data point, each over a one-minute measurement window,
+* "A U[0,1] random number is assigned to each request; if the number
+  exceeds the percentage being tested, the request is marked as not
+  requiring a browser instance."
+
+Result anchors: 224 satisfied requests/minute at 100% browser renders,
+29,038 at 0% — "two orders of magnitude".
+
+The experiment runs on the discrete-event simulator: a closed population
+of clients issues requests back-to-back; each request occupies one of two
+cores for its service time (browser launch+render, or the lightweight
+proxy path); completions inside the measurement window are counted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.browser.costs import BrowserCostModel, DEFAULT_COST_MODEL
+from repro.browser.pool import BrowserPool
+from repro.sim.metrics import Tally, WindowedCounter
+from repro.sim.process import Acquire, Delay, Release, Simulation
+from repro.sim.resources import Resource
+from repro.sim.rng import DeterministicRandom
+
+
+@dataclass
+class ScalabilityConfig:
+    """One experiment configuration."""
+
+    browser_fraction: float  # 0.0 .. 1.0 of requests needing a browser
+    cores: int = 2
+    window_s: float = 60.0
+    runs: int = 3
+    client_count: int = 64  # closed-loop clients issuing back-to-back
+    costs: BrowserCostModel = field(default_factory=lambda: DEFAULT_COST_MODEL)
+    seed: int = 0xF16_7
+    use_pool: bool = False  # the paper's configuration is pool-free
+    pool_size: int = 4
+
+
+@dataclass
+class ScalabilityResult:
+    """Aggregated over the configured runs."""
+
+    browser_fraction: float
+    mean_requests_per_minute: float
+    min_requests_per_minute: float
+    max_requests_per_minute: float
+    browser_requests: int
+    lightweight_requests: int
+    pool_hit_rate: float = 0.0
+
+
+def run_scalability_experiment(config: ScalabilityConfig) -> ScalabilityResult:
+    """Run ``config.runs`` one-minute windows and aggregate throughput."""
+    if not 0.0 <= config.browser_fraction <= 1.0:
+        raise ValueError("browser_fraction must be within [0, 1]")
+    tally = Tally("throughput")
+    browser_total = 0
+    lightweight_total = 0
+    pool_hits = 0.0
+    for run_index in range(config.runs):
+        rng = DeterministicRandom(
+            config.seed ^ (run_index * 0x9E3779B9) ^ id_hash(config)
+        )
+        outcome = _run_window(config, rng)
+        tally.observe(outcome["satisfied"])
+        browser_total += outcome["browser"]
+        lightweight_total += outcome["lightweight"]
+        pool_hits += outcome["pool_hit_rate"]
+    return ScalabilityResult(
+        browser_fraction=config.browser_fraction,
+        mean_requests_per_minute=tally.mean * (60.0 / config.window_s),
+        min_requests_per_minute=tally.minimum * (60.0 / config.window_s),
+        max_requests_per_minute=tally.maximum * (60.0 / config.window_s),
+        browser_requests=browser_total,
+        lightweight_requests=lightweight_total,
+        pool_hit_rate=pool_hits / config.runs,
+    )
+
+
+def id_hash(config: ScalabilityConfig) -> int:
+    """Stable per-configuration stream id (fraction enters the seed)."""
+    return int(config.browser_fraction * 10_000) * 2_654_435_761 & 0xFFFFFFFF
+
+
+def _run_window(config: ScalabilityConfig, rng: DeterministicRandom) -> dict:
+    sim = Simulation()
+    cores = Resource(config.cores, name="cpu-cores")
+    window = WindowedCounter(start=0.0, duration=config.window_s)
+    counts = {"browser": 0, "lightweight": 0}
+    pool = (
+        BrowserPool(max_instances=config.pool_size, costs=config.costs)
+        if config.use_pool
+        else None
+    )
+
+    def client(client_id: int):
+        while sim.now < config.window_s:
+            # The paper's marking rule: U[0,1] > percentage means NO
+            # browser needed, i.e. <= percentage means browser render.
+            draw = rng.uniform()
+            needs_browser = draw <= config.browser_fraction
+            yield Acquire(cores)
+            # Browser instances are claimed at dispatch time, once the
+            # request actually starts executing on a core.
+            if needs_browser:
+                if pool is not None:
+                    service = pool.acquire(f"user{client_id}")
+                else:
+                    service = config.costs.browser_request_s
+            else:
+                service = config.costs.lightweight_request_s
+            yield Delay(service)
+            if pool is not None and needs_browser:
+                pool.release(f"user{client_id}")
+            yield Release(cores)
+            if window.record(sim.now):
+                counts["browser" if needs_browser else "lightweight"] += 1
+
+    for client_id in range(config.client_count):
+        sim.spawn(client(client_id), name=f"client-{client_id}")
+    sim.run(until=config.window_s)
+    return {
+        "satisfied": window.count,
+        "browser": counts["browser"],
+        "lightweight": counts["lightweight"],
+        "pool_hit_rate": pool.hit_rate if pool is not None else 0.0,
+    }
+
+
+def run_browser_percentage_sweep(
+    percentages: list[float] | None = None,
+    use_pool: bool = False,
+    costs: BrowserCostModel | None = None,
+    runs: int = 3,
+) -> list[ScalabilityResult]:
+    """The Figure 7 sweep over browser-render percentages."""
+    if percentages is None:
+        percentages = [1.0, 0.75, 0.50, 0.25, 0.10, 0.05, 0.01, 0.0]
+    results = []
+    for fraction in percentages:
+        config = ScalabilityConfig(
+            browser_fraction=fraction,
+            use_pool=use_pool,
+            runs=runs,
+            costs=costs or DEFAULT_COST_MODEL,
+        )
+        results.append(run_scalability_experiment(config))
+    return results

@@ -1,0 +1,132 @@
+"""The Table 1 wall-clock comparison.
+
+Builds the forum entry page, censuses its resources exactly as a client
+browser would fetch them, and evaluates the device timing model for every
+row the paper reports:
+
+    BlackBerry Tour browser page load      20 sec.
+    Snapshot page generation                2 sec.
+    Cached snapshot page to Blackberry      5 sec.
+    iPhone 4 via 3G                        20 sec.
+    iPhone 4 via WiFi                     4.5 sec.
+    Desktop browser page load             1.5 sec.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.browser.costs import DEFAULT_COST_MODEL
+from repro.devices.profiles import (
+    BLACKBERRY_TOUR,
+    DESKTOP,
+    IPHONE_4,
+    IPOD_TOUCH_3G,
+    LINKS,
+)
+from repro.devices.timing import PageStats, census_document, estimate_load_time
+from repro.html.parser import parse_html
+from repro.net.client import HttpClient
+from repro.sites.forum import assets
+from repro.sites.forum.app import ForumApplication
+
+
+@dataclass
+class Table1Row:
+    label: str
+    paper_seconds: float
+    measured_seconds: float
+
+    @property
+    def deviation(self) -> float:
+        return (self.measured_seconds - self.paper_seconds) / self.paper_seconds
+
+
+def entry_page_stats(forum: ForumApplication | None = None) -> PageStats:
+    """Resource census of the forum entry page (the paper's test page)."""
+    application = forum or ForumApplication()
+    client = HttpClient({"www.sawmillcreek.org": application})
+    response = client.get("http://www.sawmillcreek.org/index.php")
+    document = parse_html(response.text_body)
+    return census_document(
+        document,
+        html_bytes=len(response.body),
+        css_bytes=len(assets.stylesheet_css().encode("utf-8")),
+        script_bytes=sum(size for __, size in assets.SCRIPT_MANIFEST),
+        image_bytes=sum(size for __, size in assets.IMAGE_MANIFEST),
+    )
+
+
+def snapshot_page_stats(snapshot_bytes: int = 43_902) -> PageStats:
+    """Census of the adapted entry page: tiny HTML + one low-fi JPEG."""
+    return PageStats(
+        html_bytes=1_500,
+        image_bytes=snapshot_bytes,
+        resource_count=2,
+        element_count=12,
+        image_count=1,
+        image_pixels=287 * 1_504,  # the scaled snapshot's decode area
+    )
+
+
+def table1_rows(
+    stats: PageStats | None = None,
+    snapshot_bytes: int = 43_902,
+) -> list[Table1Row]:
+    """Reproduce every Table 1 row with the device model."""
+    stats = stats or entry_page_stats()
+    snap_stats = snapshot_page_stats(snapshot_bytes)
+    snapshot_generation = DEFAULT_COST_MODEL.snapshot_pipeline_s(
+        subresources=max(0, stats.resource_count - 1), subpages=5
+    )
+    return [
+        Table1Row(
+            "BlackBerry Tour browser page load",
+            20.0,
+            estimate_load_time(BLACKBERRY_TOUR, stats).total_s,
+        ),
+        Table1Row("Snapshot page generation", 2.0, snapshot_generation),
+        Table1Row(
+            "Cached snapshot page to Blackberry",
+            5.0,
+            estimate_load_time(
+                BLACKBERRY_TOUR, snap_stats, page_height=1_504
+            ).total_s,
+        ),
+        Table1Row(
+            "iPhone 4 via 3G",
+            20.0,
+            estimate_load_time(IPHONE_4, stats).total_s,
+        ),
+        Table1Row(
+            "iPhone 4 via WiFi",
+            4.5,
+            estimate_load_time(
+                IPHONE_4.with_link(LINKS["wifi"]), stats
+            ).total_s,
+        ),
+        Table1Row(
+            "Desktop browser page load",
+            1.5,
+            estimate_load_time(DESKTOP, stats).total_s,
+        ),
+    ]
+
+
+def in_text_rows(stats: PageStats | None = None) -> list[Table1Row]:
+    """The §4.2 in-text iPod Touch measurements (4.5 s WiFi, 9 s 3G)."""
+    stats = stats or entry_page_stats()
+    return [
+        Table1Row(
+            "iPod Touch 3G via WiFi",
+            4.5,
+            estimate_load_time(IPOD_TOUCH_3G, stats).total_s,
+        ),
+        Table1Row(
+            "iPod Touch 3G via cellular (HSPA)",
+            9.0,
+            estimate_load_time(
+                IPOD_TOUCH_3G.with_link(LINKS["hspa"]), stats
+            ).total_s,
+        ),
+    ]

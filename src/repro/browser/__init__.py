@@ -1,0 +1,28 @@
+"""Server-side browser: the embedded-WebKit analog.
+
+The proxy calls on this heavyweight engine "only when needed as a
+graphical rendering engine, or for browser-specific functionality" (§1).
+The package provides:
+
+* :class:`repro.browser.webkit.ServerBrowser` — full page loading
+  (subresource fetching, cascade, layout, paint) with an explicit
+  instance lifecycle and cost accounting,
+* :mod:`repro.browser.costs` — the calibrated service-time model behind
+  the Figure 7 scalability experiment,
+* :mod:`repro.browser.pool` — an optional instance pool, implemented for
+  the ablation even though the paper declines pooling for cookie-security
+  reasons (§4.6),
+* :mod:`repro.browser.scripting` — server-side script execution hooks.
+"""
+
+from repro.browser.webkit import ServerBrowser, PageLoadResult
+from repro.browser.costs import BrowserCostModel, DEFAULT_COST_MODEL
+from repro.browser.pool import BrowserPool
+
+__all__ = [
+    "ServerBrowser",
+    "PageLoadResult",
+    "BrowserCostModel",
+    "DEFAULT_COST_MODEL",
+    "BrowserPool",
+]

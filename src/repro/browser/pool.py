@@ -1,0 +1,69 @@
+"""Browser instance pooling — implemented for the ablation.
+
+The paper explicitly declines pooling: "Using a browser pool can
+potentially violate security assumptions if shared by multiple clients"
+(§4.6), because a pooled instance may leak one user's cookies/session
+state to the next.  We implement the pool anyway so the ablation bench can
+quantify what the security decision costs: a pooled instance skips the
+launch portion of the service time but must be *scrubbed* between users,
+and the scrub is where the security risk lives.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.browser.costs import BrowserCostModel, DEFAULT_COST_MODEL
+
+
+@dataclass
+class PoolStats:
+    """Counters for pool behaviour."""
+
+    hits: int = 0  # reused an idle instance
+    misses: int = 0  # had to launch a new one
+    scrubs: int = 0  # state scrubs between distinct users
+    leaks_risked: int = 0  # reuses across different users (the hazard)
+
+
+@dataclass
+class BrowserPool:
+    """A bounded pool of reusable browser instances.
+
+    This is a cost/accounting model (the Figure 7 experiment runs on
+    service times, not real processes): ``acquire`` returns the core
+    seconds the request's browser work costs given pool state.
+    """
+
+    max_instances: int = 4
+    scrub_cost_s: float = 0.040
+    costs: BrowserCostModel = field(default_factory=lambda: DEFAULT_COST_MODEL)
+    stats: PoolStats = field(default_factory=PoolStats)
+    _idle: list[str] = field(default_factory=list)  # last user per instance
+    _live_count: int = 0
+
+    def acquire(self, user_id: str) -> float:
+        """Core seconds of browser work for this request; updates stats."""
+        if self._idle:
+            last_user = self._idle.pop()
+            self.stats.hits += 1
+            cost = self.costs.browser_render_s
+            if last_user != user_id:
+                self.stats.scrubs += 1
+                self.stats.leaks_risked += 1
+                cost += self.scrub_cost_s
+            return cost
+        self.stats.misses += 1
+        if self._live_count < self.max_instances:
+            self._live_count += 1
+        return self.costs.browser_request_s
+
+    def release(self, user_id: str) -> None:
+        """Return the instance to the idle set, remembering its user."""
+        if len(self._idle) < self._live_count:
+            self._idle.append(user_id)
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.stats.hits + self.stats.misses
+        return self.stats.hits / total if total else 0.0

@@ -1,0 +1,137 @@
+"""Server-side script execution.
+
+Two mechanisms reproduce the paper's "Javascript insertion / removal"
+attribute (§3.3), where one script manipulates the DOM *on the server*
+before rendering:
+
+1. Registered Python callables — the general hook.
+2. A small interpreter for jQuery-style statements
+   (``$('selector').method(arg, ...)`` chains) so adaptation scripts can
+   be written in the same surface syntax the paper's examples use
+   (``$("#picframe").load('site.php?do=showpic&id=1')``).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Callable
+
+from repro.dom.document import Document
+from repro.dom.query import Query
+from repro.errors import AdaptationError
+
+_STATEMENT_RE = re.compile(
+    r"""\$\(\s*(?P<q>['"])(?P<selector>.+?)(?P=q)\s*\)(?P<chain>(?:\s*\.\s*
+        [a-zA-Z_][a-zA-Z0-9_]*\s*\([^()]*\))+)\s*;?""",
+    re.VERBOSE | re.DOTALL,
+)
+_CALL_RE = re.compile(
+    r"\.\s*(?P<method>[a-zA-Z_][a-zA-Z0-9_]*)\s*\((?P<args>[^()]*)\)"
+)
+_ARG_RE = re.compile(r"""\s*(?:'([^']*)'|"([^"]*)"|([^,]+))\s*(?:,|$)""")
+
+# jQuery surface name → Query method name.
+_METHOD_MAP = {
+    "attr": "attr",
+    "removeAttr": "remove_attr",
+    "addClass": "add_class",
+    "removeClass": "remove_class",
+    "toggleClass": "toggle_class",
+    "css": "css",
+    "text": "text",
+    "html": "html",
+    "val": "val",
+    "append": "append",
+    "prepend": "prepend",
+    "before": "before",
+    "after": "after",
+    "remove": "remove",
+    "empty": "empty",
+    "replaceWith": "replace_with",
+    "wrap": "wrap",
+    "hide": None,  # special-cased
+    "show": None,
+    "find": "find",
+    "first": "first",
+    "last": "last",
+    "parent": "parent",
+    "children": "children",
+}
+
+
+class ScriptRuntime:
+    """Executes server-side page scripts against a document."""
+
+    def __init__(self) -> None:
+        self._handlers: dict[str, Callable[[Document], None]] = {}
+
+    # -- python hooks -------------------------------------------------------
+
+    def register(self, name: str, handler: Callable[[Document], None]) -> None:
+        """Register a named Python script (referenced by <script src=name>)."""
+        self._handlers[name] = handler
+
+    def run_document_scripts(self, document: Document) -> int:
+        """Run registered handlers whose name matches a script src.
+
+        Inline script bodies marked with ``type="server/jquery"`` are
+        executed by the mini interpreter.  Returns scripts executed.
+        """
+        executed = 0
+        for element in list(document.all_elements()):
+            if element.tag != "script":
+                continue
+            src = element.get("src")
+            if src and src in self._handlers:
+                self._handlers[src](document)
+                executed += 1
+            elif (element.get("type") or "") == "server/jquery":
+                self.execute_jquery(document, element.text_content)
+                executed += 1
+        return executed
+
+    # -- the jQuery-statement interpreter ------------------------------------
+
+    def execute_jquery(self, document: Document, source: str) -> int:
+        """Run every ``$('sel').method(...)`` statement in ``source``.
+
+        Returns the number of statements executed.  Unknown methods raise
+        :class:`AdaptationError` — a bad adaptation script should fail
+        loudly at generation time, not silently in production.
+        """
+        executed = 0
+        for match in _STATEMENT_RE.finditer(source):
+            selector = match.group("selector")
+            query = Query(selector, root=document)
+            for call in _CALL_RE.finditer(match.group("chain")):
+                query = self._apply(query, call.group("method"), call.group("args"))
+            executed += 1
+        return executed
+
+    def _apply(self, query: Query, method: str, raw_args: str) -> Query:
+        if method not in _METHOD_MAP:
+            raise AdaptationError(f"jQuery interpreter: unknown method .{method}()")
+        args = _parse_args(raw_args)
+        if method == "hide":
+            return query.css("display", "none")
+        if method == "show":
+            return query.css("display", "block")
+        target = _METHOD_MAP[method]
+        result = getattr(query, target)(*args)
+        return result if isinstance(result, Query) else query
+
+
+def _parse_args(raw: str) -> list[str]:
+    raw = raw.strip()
+    if not raw:
+        return []
+    args = []
+    for match in _ARG_RE.finditer(raw):
+        single, double, bare = match.groups()
+        if single is not None:
+            args.append(single)
+        elif double is not None:
+            args.append(double)
+        elif bare is not None and bare.strip():
+            args.append(bare.strip())
+    return args

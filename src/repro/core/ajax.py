@@ -1,0 +1,296 @@
+"""AJAX rewriting and proxy-side AJAX actions.
+
+§4.4: "rewrite the link that gets sent to the device, and embed an
+additional function for the proxy to satisfy the request."  An original
+handler like::
+
+    $("#picframe").load('site.php?do=showpic&id=1')
+
+is rewritten to a static proxy call ``proxy.php?action=1&p=1``; the proxy
+registers action 1 as a function that fetches the origin resource (with
+the user's cookie jar), adapts the result, and returns it as the AJAX
+response.  "The proxy's action is no more than a function, and the
+parameter p is its parameter representing the id in the original call."
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.dom.document import Document
+from repro.net.messages import Request, Response
+
+# Matches the original site's ajax-invoking URLs: path?do=<action>&id=<p>
+_ORIGIN_AJAX_RE = re.compile(
+    r"(?P<path>[\w./]+\.php)\?do=(?P<do>\w+)&(?:amp;)?id=(?P<id>\w+)"
+)
+
+
+@dataclass
+class AjaxAction:
+    """One registered proxy action."""
+
+    action_id: int
+    name: str
+    origin_template: str  # e.g. '/ajax.php?do=showpic&id={p}'
+    transform: Optional[Callable[[str], str]] = None
+    cacheable: bool = False
+    cache_ttl_s: float = 300.0
+
+    def origin_target(self, parameter: str) -> str:
+        return self.origin_template.replace("{p}", parameter)
+
+
+class AjaxActionTable:
+    """The proxy's action registry, built during code generation."""
+
+    def __init__(self) -> None:
+        self._actions: dict[int, AjaxAction] = {}
+        self._by_name: dict[str, AjaxAction] = {}
+        self._next_id = 1
+
+    def register(
+        self,
+        name: str,
+        origin_template: str,
+        transform: Optional[Callable[[str], str]] = None,
+        cacheable: bool = False,
+        cache_ttl_s: float = 300.0,
+    ) -> AjaxAction:
+        existing = self._by_name.get(name)
+        if existing is not None:
+            return existing
+        action = AjaxAction(
+            action_id=self._next_id,
+            name=name,
+            origin_template=origin_template,
+            transform=transform,
+            cacheable=cacheable,
+            cache_ttl_s=cache_ttl_s,
+        )
+        self._actions[action.action_id] = action
+        self._by_name[name] = action
+        self._next_id += 1
+        return action
+
+    def get(self, action_id: int) -> Optional[AjaxAction]:
+        return self._actions.get(action_id)
+
+    def by_name(self, name: str) -> Optional[AjaxAction]:
+        return self._by_name.get(name)
+
+    def __len__(self) -> int:
+        return len(self._actions)
+
+    def __iter__(self):
+        return iter(self._actions.values())
+
+
+def rewrite_ajax_calls(
+    document: Document,
+    table: AjaxActionTable,
+    proxy_base: str = "proxy.php",
+) -> int:
+    """Rewrite origin AJAX URLs in href/onclick attributes to proxy calls.
+
+    Each distinct ``do=`` action becomes one registered proxy action; the
+    original ``id`` becomes the opaque parameter ``p``.  Returns the number
+    of rewritten attributes.
+    """
+    rewritten = 0
+    for element in document.all_elements():
+        for attr_name in ("href", "onclick"):
+            value = element.get(attr_name)
+            if not value:
+                continue
+            new_value, count = _rewrite_string(value, table, proxy_base)
+            if count:
+                element.set(attr_name, new_value)
+                rewritten += count
+    return rewritten
+
+
+def _rewrite_string(
+    value: str, table: AjaxActionTable, proxy_base: str
+) -> tuple[str, int]:
+    count = 0
+
+    def replace(match: re.Match) -> str:
+        nonlocal count
+        path = match.group("path").lstrip("/")
+        action = table.register(
+            name=match.group("do"),
+            origin_template=(
+                f"/{path}?do={match.group('do')}&id={{p}}"
+            ),
+        )
+        count += 1
+        return f"{proxy_base}?action={action.action_id}&p={match.group('id')}"
+
+    return _ORIGIN_AJAX_RE.sub(replace, value), count
+
+
+# ---------------------------------------------------------------------------
+# the two-pane shell (Figure 6)
+
+TWO_PANE_CSS = """
+#msite-left { width: 38%; float: left; overflow-y: auto; height: 95%; }
+#msite-right { margin-left: 40%; padding: 8px; }
+.msite-item { padding: 4px 2px; border-bottom: 1px solid #ddd; }
+""".strip()
+
+TWO_PANE_JS = """
+function msitePane(url) {
+  var pane = document.getElementById('msite-right');
+  var request = new XMLHttpRequest();
+  request.open('GET', url, true);
+  request.onreadystatechange = function () {
+    if (request.readyState === 4 && request.status === 200) {
+      pane.innerHTML = request.responseText;
+    }
+  };
+  request.send(null);
+  return false;
+}
+""".strip()
+
+
+class TwoPaneProxy:
+    """A generated proxy for the Craigslist-style two-pane adaptation.
+
+    §4.5: the category page becomes a left pane of listing links; clicking
+    one dispatches an AJAX call to the proxy, which "checks the cache for
+    the downloaded page, and if it does not exist, fetches the page from
+    CraigsList, performs the content adaptation, and outputs it to the
+    iPad as an AJAX response."
+    """
+
+    def __init__(
+        self,
+        origin_host: str,
+        category_path: str,
+        make_client,
+        cache=None,
+        item_selector: str = "#toc .pl",
+        content_selector: str = "#posting, .postingbody, #titlebar",
+        title: str = "adapted listings",
+    ) -> None:
+        self.origin_host = origin_host
+        self.category_path = category_path
+        self.make_client = make_client
+        self.cache = cache
+        self.item_selector = item_selector
+        self.content_selector = content_selector
+        self.title = title
+        self.table = AjaxActionTable()
+        self.action = self.table.register(
+            name="showlisting",
+            origin_template="{p}",  # parameter is the listing path itself
+            transform=self._extract_listing,
+            cacheable=cache is not None,
+        )
+        self.origin_fetches = 0
+        self.cache_hits = 0
+
+    # -- page generation ------------------------------------------------
+
+    def build_entry_page(self) -> str:
+        """Fetch the category page and emit the two-pane shell."""
+        from repro.dom.selectors import select
+        from repro.html.parser import parse_html
+
+        client = self.make_client()
+        response = client.get(f"http://{self.origin_host}{self.category_path}")
+        document = parse_html(response.text_body)
+        items = []
+        for row in select(document, self.item_selector):
+            link = row.find(lambda el: el.tag == "a")
+            if link is None or not link.get("href"):
+                continue
+            date = row.find(lambda el: el.has_class("itemdate"))
+            price = row.find(lambda el: el.has_class("price"))
+            meta = " ".join(
+                part.text_content for part in (date, price) if part is not None
+            )
+            items.append(
+                TwoPaneItem(
+                    label=link.text_content,
+                    action_url=(
+                        f"proxy.php?action={self.action.action_id}"
+                        f"&p={link.get('href')}"
+                    ),
+                    meta=meta,
+                )
+            )
+        return build_two_pane_page(self.title, items)
+
+    # -- the AJAX action ---------------------------------------------------
+
+    def handle_action(self, parameter: str) -> str:
+        """Satisfy one rewritten AJAX request."""
+        cache_key = f"twopane:{parameter}"
+        if self.cache is not None:
+            entry = self.cache.get(cache_key)
+            if entry is not None:
+                self.cache_hits += 1
+                return entry.data.decode("utf-8")
+        client = self.make_client()
+        response = client.get(f"http://{self.origin_host}{parameter}")
+        self.origin_fetches += 1
+        adapted = self._extract_listing(response.text_body)
+        if self.cache is not None:
+            self.cache.put(
+                cache_key, adapted, content_type="text/html; charset=utf-8"
+            )
+        return adapted
+
+    def _extract_listing(self, html: str) -> str:
+        """Content adaptation: keep only the listing body and title bar."""
+        from repro.dom.selectors import select
+        from repro.html.parser import parse_html
+        from repro.html.serializer import serialize
+
+        document = parse_html(html)
+        fragments = [
+            serialize(element)
+            for element in select(document, self.content_selector)
+        ]
+        if not fragments:
+            return "<p>(listing unavailable)</p>"
+        return "".join(fragments)
+
+
+@dataclass
+class TwoPaneItem:
+    """One entry in the left (list) pane."""
+
+    label: str
+    action_url: str
+    meta: str = ""
+
+
+def build_two_pane_page(
+    title: str,
+    items: list[TwoPaneItem],
+    placeholder: str = "Select a listing on the left.",
+) -> str:
+    """The adapted two-pane browsing page the iPad case study produces."""
+    rows = "".join(
+        f'<div class="msite-item">'
+        f'<a href="#" onclick="return msitePane(\'{item.action_url}\');">'
+        f"{item.label}</a>"
+        f'<span class="itemdate"> {item.meta}</span></div>'
+        for item in items
+    )
+    return f"""<!DOCTYPE html>
+<html><head><title>{title}</title>
+<meta name="viewport" content="width=device-width, initial-scale=1" />
+<style type="text/css">{TWO_PANE_CSS}</style>
+<script type="text/javascript">{TWO_PANE_JS}</script>
+</head>
+<body>
+<div id="msite-left">{rows}</div>
+<div id="msite-right">{placeholder}</div>
+</body></html>"""

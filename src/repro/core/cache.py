@@ -1,0 +1,112 @@
+"""The shared pre-render cache.
+
+"Certain areas of a site may be defined as cachable across sessions,
+amortizing the initial pre-rendering cost across many users. ... a cached
+snapshot of the main page of a site can be set to expire after an hour."
+(§3.3)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+@dataclass
+class CacheEntry:
+    key: str
+    data: bytes
+    content_type: str
+    stored_at: float
+    ttl_s: float
+    hits: int = 0
+
+    def fresh(self, now: float) -> bool:
+        return now - self.stored_at < self.ttl_s
+
+    @property
+    def size(self) -> int:
+        return len(self.data)
+
+
+@dataclass
+class CacheStats:
+    hits: int = 0
+    misses: int = 0
+    expirations: int = 0
+    stores: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class PrerenderCache:
+    """TTL cache for rendered snapshots and adapted fragments."""
+
+    def __init__(self, clock=None, max_bytes: int = 64 * 1024 * 1024) -> None:
+        self.clock = clock
+        self.max_bytes = max_bytes
+        self._entries: dict[str, CacheEntry] = {}
+        self.stats = CacheStats()
+
+    @property
+    def _now(self) -> float:
+        return self.clock.now if self.clock is not None else 0.0
+
+    def get(self, key: str) -> Optional[CacheEntry]:
+        entry = self._entries.get(key)
+        if entry is None:
+            self.stats.misses += 1
+            return None
+        if not entry.fresh(self._now):
+            del self._entries[key]
+            self.stats.expirations += 1
+            self.stats.misses += 1
+            return None
+        entry.hits += 1
+        self.stats.hits += 1
+        return entry
+
+    def put(
+        self,
+        key: str,
+        data: bytes | str,
+        content_type: str = "application/octet-stream",
+        ttl_s: float = 3600.0,
+    ) -> CacheEntry:
+        if isinstance(data, str):
+            data = data.encode("utf-8")
+        entry = CacheEntry(
+            key=key,
+            data=data,
+            content_type=content_type,
+            stored_at=self._now,
+            ttl_s=ttl_s,
+        )
+        self._entries[key] = entry
+        self.stats.stores += 1
+        self._evict_if_needed()
+        return entry
+
+    def invalidate(self, key: str) -> bool:
+        return self._entries.pop(key, None) is not None
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(entry.size for entry in self._entries.values())
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def _evict_if_needed(self) -> None:
+        """Oldest-first eviction when over the byte budget."""
+        while self.total_bytes > self.max_bytes and self._entries:
+            oldest_key = min(
+                self._entries, key=lambda key: self._entries[key].stored_at
+            )
+            del self._entries[oldest_key]

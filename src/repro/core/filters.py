@@ -1,0 +1,111 @@
+"""Source-level filter phase.
+
+"This can include extremely simple filters such as changing the doctype
+and title, or blanketly removing css and script tags.  Slightly more
+complex filters would include rewriting all images to reference a
+low-fidelity image cache or different server.  The page could be
+completely adapted after just a few simple filters, avoiding a DOM parse
+altogether" (§3.2).
+
+Filters are pure functions ``str -> str`` over the raw page source; the
+pipeline runs them before (and sometimes instead of) the DOM parse.
+"""
+
+from __future__ import annotations
+
+import re
+
+_DOCTYPE_RE = re.compile(r"<!DOCTYPE[^>]*>", re.IGNORECASE)
+_TITLE_RE = re.compile(
+    r"(<title[^>]*>)(.*?)(</title>)", re.IGNORECASE | re.DOTALL
+)
+_SCRIPT_RE = re.compile(
+    r"<script\b[^>]*>.*?</script\s*>|<script\b[^>]*/\s*>",
+    re.IGNORECASE | re.DOTALL,
+)
+_STYLE_RE = re.compile(
+    r"<style\b[^>]*>.*?</style\s*>", re.IGNORECASE | re.DOTALL
+)
+_CSS_LINK_RE = re.compile(
+    r"<link\b[^>]*rel\s*=\s*[\"']?stylesheet[\"']?[^>]*>", re.IGNORECASE
+)
+_IMG_SRC_RE = re.compile(
+    r"(<img\b[^>]*\bsrc\s*=\s*[\"'])([^\"']+)([\"'])", re.IGNORECASE
+)
+_EVENT_ATTR_RE = re.compile(
+    r"\s+on[a-z]+\s*=\s*(\"[^\"]*\"|'[^']*')", re.IGNORECASE
+)
+
+
+def set_doctype(source: str, doctype: str = "html") -> str:
+    """Replace (or insert) the document type declaration."""
+    declaration = f"<!DOCTYPE {doctype}>"
+    if _DOCTYPE_RE.search(source):
+        return _DOCTYPE_RE.sub(declaration, source, count=1)
+    return declaration + "\n" + source
+
+
+def set_title(source: str, title: str) -> str:
+    """Replace the page title (insert one if the head lacks it)."""
+    if _TITLE_RE.search(source):
+        return _TITLE_RE.sub(
+            lambda m: m.group(1) + title + m.group(3), source, count=1
+        )
+    return re.sub(
+        r"(<head[^>]*>)",
+        lambda m: m.group(1) + f"<title>{title}</title>",
+        source,
+        count=1,
+        flags=re.IGNORECASE,
+    )
+
+
+def strip_scripts(source: str, strip_event_handlers: bool = True) -> str:
+    """Remove script elements (and optionally inline event handlers)."""
+    source = _SCRIPT_RE.sub("", source)
+    if strip_event_handlers:
+        source = _EVENT_ATTR_RE.sub("", source)
+    return source
+
+
+def strip_css(source: str) -> str:
+    """Remove style blocks and stylesheet links."""
+    return _CSS_LINK_RE.sub("", _STYLE_RE.sub("", source))
+
+
+def rewrite_image_sources(
+    source: str, rewriter
+) -> tuple[str, int]:
+    """Rewrite every ``<img src>`` through ``rewriter(src) -> new_src``.
+
+    Returns (new_source, how_many_rewritten).
+    """
+    count = 0
+
+    def replace(match: re.Match) -> str:
+        nonlocal count
+        new_src = rewriter(match.group(2))
+        if new_src != match.group(2):
+            count += 1
+        return match.group(1) + new_src + match.group(3)
+
+    return _IMG_SRC_RE.sub(replace, source), count
+
+
+def source_replace(
+    source: str, pattern: str, replacement: str, count: int = 0
+) -> tuple[str, int]:
+    """Regex replacement over the page source; returns (source, hits)."""
+    compiled = re.compile(pattern, re.IGNORECASE | re.DOTALL)
+    return compiled.subn(replacement, source, count=count)
+
+
+def census(source: str) -> dict[str, int]:
+    """Quick source-level census (used by heuristics and diagnostics)."""
+    return {
+        "bytes": len(source.encode("utf-8")),
+        "scripts": len(_SCRIPT_RE.findall(source)),
+        "style_blocks": len(_STYLE_RE.findall(source)),
+        "css_links": len(_CSS_LINK_RE.findall(source)),
+        "images": len(_IMG_SRC_RE.findall(source)),
+    }

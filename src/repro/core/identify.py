@@ -1,0 +1,104 @@
+"""Object identification: resolve selectors against a page.
+
+"The m.Site framework supports multiple object identification techniques,
+including source-level rules and heuristics.  As in other systems, a
+DOM-based approach is supported using XPath.  Similarly, objects can be
+identified using new CSS 3 selector support" (§3.2).
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.dom.document import Document
+from repro.dom.element import Element
+from repro.dom.selectors import select
+from repro.dom.xpath import xpath
+from repro.core.spec import ObjectSelector
+from repro.errors import IdentificationError
+
+
+def identify(document: Document, selector: ObjectSelector) -> list[Element]:
+    """All elements the selector matches, in document order."""
+    if selector.kind == "css":
+        return select(document, selector.expression)
+    if selector.kind == "xpath":
+        return xpath(document, selector.expression)
+    if selector.kind == "regex":
+        return _identify_by_source_pattern(document, selector.expression)
+    if selector.kind == "dock":
+        return _identify_dock(document, selector.expression)
+    raise IdentificationError(f"unknown selector kind {selector.kind!r}")
+
+
+def identify_one(document: Document, selector: ObjectSelector) -> Element:
+    """Exactly the first match; raises when nothing matches."""
+    matches = identify(document, selector)
+    if not matches:
+        raise IdentificationError(
+            f"selector {selector.kind}:{selector.expression!r} "
+            f"matched nothing"
+        )
+    return matches[0]
+
+
+def _identify_by_source_pattern(
+    document: Document, pattern: str
+) -> list[Element]:
+    """Match elements whose serialized form matches a regex.
+
+    Source-rule identification for pages without stable ids/classes; used
+    sparingly because it serializes candidate subtrees.
+    """
+    from repro.html.serializer import serialize
+
+    try:
+        compiled = re.compile(pattern, re.IGNORECASE | re.DOTALL)
+    except re.error as exc:
+        raise IdentificationError(f"bad source pattern {pattern!r}: {exc}")
+    matches = []
+    for element in document.all_elements():
+        if compiled.search(serialize(element)):
+            matches.append(element)
+    # Prefer the innermost matches: drop any element that has a matching
+    # descendant (the outer match is just containment).
+    inner: list[Element] = []
+    match_ids = {id(el) for el in matches}
+    for element in matches:
+        if not any(
+            id(desc) in match_ids for desc in element.descendant_elements()
+        ):
+            inner.append(element)
+    return inner
+
+
+def _identify_dock(document: Document, item: str) -> list[Element]:
+    """Resolve non-visual dock selections to concrete elements."""
+    item = item.lower()
+    if item == "title":
+        head = document.head
+        if head is None:
+            return []
+        title = head.find(lambda el: el.tag == "title")
+        return [title] if title is not None else []
+    if item == "head":
+        head = document.head
+        return [head] if head is not None else []
+    if item in ("scripts", "javascript"):
+        return [
+            el for el in document.all_elements() if el.tag == "script"
+        ]
+    if item in ("css", "stylesheets"):
+        return [
+            el
+            for el in document.all_elements()
+            if el.tag == "style"
+            or (
+                el.tag == "link"
+                and (el.get("rel") or "").lower() == "stylesheet"
+            )
+        ]
+    if item in ("doctype", "cookies"):
+        # Handled at the filter/session layer, not as elements.
+        return []
+    raise IdentificationError(f"unknown dock item {item!r}")

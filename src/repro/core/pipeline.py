@@ -1,0 +1,775 @@
+"""The adaptation pipeline: fetch → filter → DOM → attributes → emit.
+
+One run of the pipeline turns an originating page into the mobile bundle
+for one session: a cached (or freshly rendered) snapshot entry page with
+an image-map menu, the generated subpages (HTML or pre-rendered images),
+AJAX fragments, and any partial-prerender artifacts — all written into the
+proxy's file store under the user's session directory (§3.2, Figure 3).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.browser.costs import BrowserCostModel, DEFAULT_COST_MODEL
+from repro.core.ajax import AjaxActionTable
+from repro.core.attributes import ATTRIBUTE_REGISTRY
+from repro.core.cache import PrerenderCache
+from repro.core.prerender import (
+    PartialPrerender,
+    partial_css_prerender,
+    produce_snapshot,
+)
+from repro.core.search import (
+    build_word_index_from_document,
+    search_script,
+    search_trigger_html,
+)
+from repro.core.sessions import MobileSession
+from repro.core.spec import AdaptationSpec
+from repro.core.storage import VirtualFileSystem
+from repro.core.subpages import (
+    AJAX_LOADER_JS,
+    SubpageDefinition,
+    SubpagePlan,
+    ajax_container_html,
+    build_subpage_document,
+    detach_for_subpage,
+    fragment_html,
+)
+from repro.dom.document import Document
+from repro.errors import AdaptationError, FetchError
+from repro.html.parser import parse_html
+from repro.html.serializer import serialize
+from repro.net.client import HttpClient
+from repro.net.messages import Request
+from repro.net.url import URL
+from repro.render.box import Rect
+from repro.render.imagemap import MapRegion, build_image_map
+
+
+class AuthenticationRequired(FetchError):
+    """The origin demanded HTTP auth and the session has no credentials."""
+
+
+@dataclass
+class ProxyServices:
+    """Shared infrastructure one proxy deployment owns."""
+
+    origins: dict[str, Any]
+    storage: VirtualFileSystem = field(default_factory=VirtualFileSystem)
+    cache: PrerenderCache = field(default_factory=PrerenderCache)
+    clock: Any = None
+    costs: BrowserCostModel = field(default_factory=lambda: DEFAULT_COST_MODEL)
+
+    def __post_init__(self) -> None:
+        # A default-constructed cache must share the deployment's clock,
+        # or TTLs would never expire in simulated time.
+        if self.cache.clock is None and self.clock is not None:
+            self.cache.clock = self.clock
+
+    def make_client(self, jar) -> HttpClient:
+        return HttpClient(origins=self.origins, jar=jar, clock=self.clock)
+
+    def make_browser(self, jar, viewport_width: int):
+        from repro.browser.webkit import ServerBrowser
+
+        client = self.make_client(jar)
+        return ServerBrowser(
+            client, jar=jar, viewport_width=viewport_width, costs=self.costs
+        )
+
+    @property
+    def now(self) -> float:
+        return self.clock.now if self.clock is not None else 0.0
+
+
+class PipelineContext:
+    """Mutable state threaded through the attribute appliers."""
+
+    def __init__(
+        self,
+        spec: AdaptationSpec,
+        source: str,
+        proxy_base: str = "proxy.php",
+    ) -> None:
+        self.spec = spec
+        self.source = source
+        self.document: Optional[Document] = None
+        self.plan = SubpagePlan()
+        self.ajax_table = AjaxActionTable()
+        self.fidelity: dict[str, Any] = {}
+        self.partial_prerender_targets: list = []
+        self.media_thumbnails: dict[str, bytes] = {}
+        self.notes: list[str] = []
+        self.proxy_base = proxy_base
+        # page-level flags
+        self.prerender_page = False
+        self.prerender_params: dict[str, Any] = {}
+        self.cache_snapshot = False
+        self.cache_ttl_s = spec.snapshot_ttl_s
+        self.http_auth_enabled = False
+        self.http_auth_realm = "restricted"
+        self.form_login: Optional[dict[str, Any]] = None
+
+    def note(self, message: str) -> None:
+        self.notes.append(message)
+
+    def page_url_for(self, subpage_id: Optional[str]) -> str:
+        if subpage_id is None:
+            return self.proxy_base
+        return f"{self.proxy_base}?page={subpage_id}"
+
+
+@dataclass
+class SubpageArtifact:
+    """One emitted subpage."""
+
+    subpage_id: str
+    title: str
+    path: str
+    content_type: str
+    bytes_written: int
+    prerendered: bool
+    ajax: bool
+
+
+@dataclass
+class AdaptedPage:
+    """The result of one pipeline run."""
+
+    entry_path: str
+    entry_html: str
+    subpages: list[SubpageArtifact]
+    snapshot_bytes: int = 0
+    snapshot_from_cache: bool = False
+    used_browser: bool = False
+    browser_core_seconds: float = 0.0
+    lightweight_core_seconds: float = 0.0
+    origin_bytes: int = 0
+    notes: list[str] = field(default_factory=list)
+    ajax_table: Optional[AjaxActionTable] = None
+
+    @property
+    def total_core_seconds(self) -> float:
+        return self.browser_core_seconds + self.lightweight_core_seconds
+
+
+class AdaptationPipeline:
+    """Runs one spec against one session."""
+
+    def __init__(
+        self,
+        spec: AdaptationSpec,
+        services: ProxyServices,
+        session: MobileSession,
+        proxy_base: str = "proxy.php",
+        namespace: str = "",
+    ) -> None:
+        spec.validate()
+        self.spec = spec
+        self.services = services
+        self.session = session
+        self.proxy_base = proxy_base
+        # Multi-page deployments give each page proxy its own namespace
+        # inside the shared session directory so generated files never
+        # collide across pages.
+        suffix = f"/{namespace.strip('/')}" if namespace.strip("/") else ""
+        self.page_dir = f"{session.directory}{suffix}"
+        self.image_dir = f"{self.page_dir}/images"
+
+    # ------------------------------------------------------------------
+
+    def run(self, force_refresh: bool = False) -> AdaptedPage:
+        source, origin_bytes = self._fetch_origin()
+        ctx = PipelineContext(self.spec, source, self.proxy_base)
+        self._apply_phase(ctx, "filter")
+        ctx.document = parse_html(ctx.source)
+        self._apply_phase(ctx, "dom")
+        self._apply_phase(ctx, "page")
+
+        result = AdaptedPage(
+            entry_path=f"{self.page_dir}/index.html",
+            entry_html="",
+            subpages=[],
+            origin_bytes=origin_bytes,
+            ajax_table=ctx.ajax_table,
+        )
+        result.lightweight_core_seconds += (
+            self.services.costs.lightweight_request_s
+        )
+
+        snapshot_bundle = None
+        if ctx.prerender_page:
+            snapshot_bundle = self._obtain_snapshot(ctx, result, force_refresh)
+
+        self._emit_partial_prerenders(ctx, result)
+        self._emit_media_thumbnails(ctx, result)
+        taken_by_id = self._emit_subpages(ctx, result)
+        self._emit_entry(ctx, result, snapshot_bundle, taken_by_id)
+        result.notes = ctx.notes
+        self.session.pages_served += 1
+        return result
+
+    # ------------------------------------------------------------------
+    # fetching
+
+    def _origin_url(self) -> URL:
+        return URL.parse(
+            f"http://{self.spec.origin_host}{self.spec.page_path}"
+        )
+
+    def _fetch_origin(self) -> tuple[str, int]:
+        client = self.services.make_client(self.session.jar)
+        url = self._origin_url()
+        request = Request.get(url)
+        credentials = self.session.http_credentials.get(self.spec.origin_host)
+        if credentials is not None:
+            request.with_basic_auth(*credentials)
+        response = client.request(request)
+        if response.status == 401:
+            raise AuthenticationRequired(
+                f"origin {self.spec.origin_host} requires HTTP authentication"
+            )
+        if not response.ok:
+            raise FetchError(
+                f"origin returned {response.status} for {url}"
+            )
+        return response.text_body, len(response.body)
+
+    # ------------------------------------------------------------------
+    # attribute phases
+
+    def _apply_phase(self, ctx: PipelineContext, phase: str) -> None:
+        for binding in self.spec.bindings:
+            definition = ATTRIBUTE_REGISTRY[binding.attribute]
+            if definition.phase != phase:
+                continue
+            try:
+                definition.applier(ctx, binding)
+            except AdaptationError:
+                raise
+            except Exception as exc:
+                raise AdaptationError(
+                    f"attribute {binding.attribute!r} failed: {exc}"
+                ) from exc
+
+    # ------------------------------------------------------------------
+    # snapshot (the heavyweight path + cache)
+
+    def _snapshot_cache_key(self, ctx: PipelineContext) -> str:
+        spec = self.spec
+        return (
+            f"snapshot:{spec.site}:{spec.page_path}:w{spec.viewport_width}"
+            f":s{spec.snapshot_scale}:q{spec.snapshot_quality}"
+        )
+
+    def _obtain_snapshot(
+        self, ctx: PipelineContext, result: AdaptedPage, force_refresh: bool
+    ) -> dict:
+        key = self._snapshot_cache_key(ctx)
+        if ctx.cache_snapshot and not force_refresh:
+            entry = self.services.cache.get(key)
+            if entry is not None:
+                bundle = json.loads(entry.data.decode("utf-8"))
+                image_entry = self.services.cache.get(key + ":image")
+                if image_entry is not None:
+                    bundle["image_bytes"] = image_entry.data
+                    result.snapshot_from_cache = True
+                    result.snapshot_bytes = len(image_entry.data)
+                    return bundle
+        bundle = self._render_snapshot(ctx, result)
+        if ctx.cache_snapshot:
+            manifest = {
+                key_: value
+                for key_, value in bundle.items()
+                if key_ != "image_bytes"
+            }
+            self.services.cache.put(
+                key,
+                json.dumps(manifest),
+                content_type="application/json",
+                ttl_s=ctx.cache_ttl_s,
+            )
+            self.services.cache.put(
+                key + ":image",
+                bundle["image_bytes"],
+                content_type="image/jpeg",
+                ttl_s=ctx.cache_ttl_s,
+            )
+        return bundle
+
+    def _render_snapshot(
+        self, ctx: PipelineContext, result: AdaptedPage
+    ) -> dict:
+        """The full browser path: launch, load subresources, paint."""
+        from repro.render.snapshot import collect_stylesheets, render_snapshot
+
+        browser = self.services.make_browser(
+            self.session.jar, self.spec.viewport_width
+        )
+        with browser:
+            external_css = browser._fetch_stylesheets(
+                ctx.document, self._origin_url()
+            )[0]
+            snapshot = render_snapshot(
+                ctx.document,
+                viewport_width=self.spec.viewport_width,
+                external_css=external_css,
+            )
+        result.used_browser = True
+        result.browser_core_seconds += self.services.costs.browser_request_s
+
+        scale = float(
+            ctx.prerender_params.get("scale", self.spec.snapshot_scale)
+        )
+        quality = int(
+            ctx.prerender_params.get("quality", self.spec.snapshot_quality)
+        )
+        artifact = produce_snapshot(snapshot, scale=scale, quality=quality)
+        regions = {}
+        for definition in ctx.plan.top_level():
+            rect = None
+            for element in definition.elements:
+                geometry = snapshot.geometry_of(element)
+                if geometry is not None:
+                    rect = geometry if rect is None else _union(rect, geometry)
+            if rect is not None:
+                regions[definition.subpage_id] = [
+                    rect.x, rect.y, rect.width, rect.height,
+                ]
+        result.snapshot_bytes = artifact.encoded.size_bytes
+        return {
+            "scale": scale,
+            "width": artifact.scaled_width,
+            "height": artifact.scaled_height,
+            "page_height": snapshot.page_height,
+            "regions": regions,
+            "image_bytes": artifact.encoded.data,
+        }
+
+    # ------------------------------------------------------------------
+    # emission
+
+    def _emit_partial_prerenders(
+        self, ctx: PipelineContext, result: AdaptedPage
+    ) -> None:
+        for binding, element in ctx.partial_prerender_targets:
+            artifact: PartialPrerender = partial_css_prerender(
+                ctx.document,
+                element,
+                viewport_width=self.spec.viewport_width,
+                quality=int(binding.param("quality", 55)),
+            )
+            result.used_browser = True
+            result.browser_core_seconds += (
+                self.services.costs.browser_request_s
+            )
+            name = binding.param("name", f"partial{id(element) & 0xFFFF}")
+            base = f"{self.image_dir}/{name}"
+            self.services.storage.write(
+                f"{base}.jpg",
+                artifact.background.data,
+                content_type="image/jpeg",
+                now=self.services.now,
+            )
+            self.services.storage.write(
+                f"{base}.json",
+                json.dumps(artifact.text_runs),
+                content_type="application/json",
+                now=self.services.now,
+            )
+            ctx.note(
+                f"partial_css_prerender: {name} background "
+                f"{len(artifact.background.data)} bytes, "
+                f"{len(artifact.text_runs)} client text runs"
+            )
+
+    def _emit_media_thumbnails(
+        self, ctx: PipelineContext, result: AdaptedPage
+    ) -> None:
+        for name, data in ctx.media_thumbnails.items():
+            self.services.storage.write(
+                f"{self.image_dir}/{name}",
+                data,
+                content_type="image/jpeg",
+                now=self.services.now,
+            )
+        if ctx.media_thumbnails:
+            total = sum(len(d) for d in ctx.media_thumbnails.values())
+            ctx.note(
+                f"media thumbnails: {len(ctx.media_thumbnails)} images, "
+                f"{total} bytes"
+            )
+
+    def _emit_subpages(
+        self, ctx: PipelineContext, result: AdaptedPage
+    ) -> dict[str, list]:
+        taken_by_id: dict[str, list] = {}
+        for subpage_id in ctx.plan.order:
+            definition = ctx.plan.subpages[subpage_id]
+            taken = detach_for_subpage(definition)
+            taken_by_id[subpage_id] = taken
+        for subpage_id in ctx.plan.order:
+            definition = ctx.plan.subpages[subpage_id]
+            taken = taken_by_id[subpage_id]
+            if definition.prerender:
+                artifact = self._emit_prerendered_subpage(
+                    ctx, result, definition, taken
+                )
+            elif definition.ajax:
+                artifact = self._emit_ajax_fragment(ctx, definition, taken)
+            elif definition.engine != "html":
+                artifact = self._emit_engine_subpage(ctx, definition, taken)
+            else:
+                artifact = self._emit_html_subpage(ctx, definition, taken)
+            result.subpages.append(artifact)
+        return taken_by_id
+
+    def _emit_engine_subpage(
+        self,
+        ctx: PipelineContext,
+        definition: SubpageDefinition,
+        taken: list,
+    ) -> SubpageArtifact:
+        """Subpages rendered through an alternative output engine (§1:
+        'HTML, static images, PDF, plain text ... at any point in the
+        rendering process')."""
+        from repro.render.engines import EngineRegistry
+
+        document = build_subpage_document(
+            definition, ctx.plan, ctx.page_url_for, taken
+        )
+        output = EngineRegistry().get(definition.engine).render(document)
+        extensions = {"text": "txt", "pdf": "pdf"}
+        extension = extensions.get(definition.engine, definition.engine)
+        path = f"{self.page_dir}/{definition.subpage_id}.{extension}"
+        self.services.storage.write(
+            path, output.data, content_type=output.content_type,
+            now=self.services.now,
+        )
+        return SubpageArtifact(
+            subpage_id=definition.subpage_id,
+            title=definition.title,
+            path=path,
+            content_type=output.content_type,
+            bytes_written=len(output.data),
+            prerendered=False,
+            ajax=False,
+        )
+
+    def _emit_html_subpage(
+        self,
+        ctx: PipelineContext,
+        definition: SubpageDefinition,
+        taken: list,
+    ) -> SubpageArtifact:
+        document = build_subpage_document(
+            definition, ctx.plan, ctx.page_url_for, taken
+        )
+        if definition.searchable:
+            index = build_word_index_from_document(document)
+            script = document.body
+            if script is not None:
+                from repro.dom.element import Element
+                from repro.dom.node import Text
+
+                block = Element("script", {"type": "text/javascript"})
+                block.append(Text(search_script(index)))
+                script.append(block)
+                from repro.html.parser import parse_fragment
+
+                for node in parse_fragment(
+                    search_trigger_html(definition.search_trigger_label)
+                ):
+                    script.prepend(node)
+        html = serialize(document)
+        path = f"{self.page_dir}/{definition.file_name}"
+        self.services.storage.write(
+            path, html, content_type="text/html; charset=utf-8",
+            now=self.services.now,
+        )
+        return SubpageArtifact(
+            subpage_id=definition.subpage_id,
+            title=definition.title,
+            path=path,
+            content_type="text/html",
+            bytes_written=len(html.encode("utf-8")),
+            prerendered=False,
+            ajax=False,
+        )
+
+    def _emit_prerendered_subpage(
+        self,
+        ctx: PipelineContext,
+        result: AdaptedPage,
+        definition: SubpageDefinition,
+        taken: list,
+    ) -> SubpageArtifact:
+        """Subpage + prerender: a page of simple pre-rendered images."""
+        from repro.core.search import build_word_index, shift_index
+        from repro.render.image import RasterImage, encode_jpeg
+        from repro.render.snapshot import render_snapshot
+
+        quality = int(ctx.fidelity.get("quality", 55))
+        cache_key = (
+            f"objrender:{self.spec.site}:{self.spec.page_path}"
+            f":{definition.subpage_id}:q{quality}"
+            f":w{self.spec.viewport_width}"
+        )
+        cached = None
+        if definition.cacheable:
+            # §3.3 object caching: "Once a cacheable object is rendered,
+            # it is placed into a pre-render cache on the server and can
+            # be used by the attribute system as needed."
+            manifest_entry = self.services.cache.get(cache_key)
+            image_entry = self.services.cache.get(cache_key + ":image")
+            if manifest_entry is not None and image_entry is not None:
+                cached = json.loads(manifest_entry.data.decode("utf-8"))
+                cached["image_bytes"] = image_entry.data
+
+        if cached is not None:
+            image_bytes = cached["image_bytes"]
+            image_width = cached["width"]
+            image_height = cached["height"]
+            search_block = cached["search_block"]
+        else:
+            document = build_subpage_document(
+                definition, ctx.plan, ctx.page_url_for, taken
+            )
+            container = document.get_element_by_id(
+                f"msite-subpage-{definition.subpage_id}"
+            )
+            snapshot = render_snapshot(
+                document, viewport_width=self.spec.viewport_width
+            )
+            rect = snapshot.geometry_of(container)
+            if rect is None or rect.width < 1 or rect.height < 1:
+                encoded = encode_jpeg(
+                    RasterImage.blank(1, 1), quality=quality
+                )
+                rect = None
+            else:
+                x, y, width, height = rect.rounded()
+                width = max(
+                    1, min(width, snapshot.image.width - max(0, x))
+                )
+                height = max(
+                    1, min(height, snapshot.image.height - max(0, y))
+                )
+                encoded = encode_jpeg(
+                    snapshot.image.cropped(
+                        max(0, x), max(0, y), width, height
+                    ),
+                    quality=quality,
+                )
+            result.used_browser = True
+            result.browser_core_seconds += (
+                self.services.costs.browser_request_s
+            )
+            search_block = ""
+            if definition.searchable and rect is not None:
+                # §3.3: "the search attribute effectively allows
+                # pre-rendered images to be searched" — index words at
+                # their rendered locations, translated into the cropped
+                # image's coordinates.
+                box = snapshot.layout_root.find_box_for(container)
+                if box is not None:
+                    index = shift_index(
+                        build_word_index(box),
+                        dx=-int(rect.x),
+                        dy=-int(rect.y),
+                    )
+                    search_block = (
+                        f'<script type="text/javascript">'
+                        f"{search_script(index)}</script>"
+                        f"{search_trigger_html(definition.search_trigger_label)}"
+                    )
+            image_bytes = encoded.data
+            image_width = encoded.width
+            image_height = encoded.height
+            if definition.cacheable:
+                self.services.cache.put(
+                    cache_key,
+                    json.dumps(
+                        {
+                            "width": image_width,
+                            "height": image_height,
+                            "search_block": search_block,
+                        }
+                    ),
+                    content_type="application/json",
+                    ttl_s=definition.cache_ttl_s,
+                )
+                self.services.cache.put(
+                    cache_key + ":image",
+                    image_bytes,
+                    content_type="image/jpeg",
+                    ttl_s=definition.cache_ttl_s,
+                )
+        image_path = (
+            f"{self.image_dir}/{definition.subpage_id}.jpg"
+        )
+        self.services.storage.write(
+            image_path, image_bytes, content_type="image/jpeg",
+            now=self.services.now,
+        )
+        html = (
+            f"<!DOCTYPE html><html><head><title>{definition.title}</title>"
+            f"</head><body>"
+            f'<div class="smallfont">'
+            f'<a href="{ctx.page_url_for(definition.parent)}">← Back</a> '
+            f"{search_block}"
+            f"</div>"
+            f'<img src="{self.proxy_base}?file='
+            f"{definition.subpage_id}.jpg\" "
+            f'width="{image_width}" height="{image_height}" '
+            f'alt="{definition.title}" />'
+            f"</body></html>"
+        )
+        path = f"{self.page_dir}/{definition.file_name}"
+        self.services.storage.write(
+            path, html, content_type="text/html; charset=utf-8",
+            now=self.services.now,
+        )
+        return SubpageArtifact(
+            subpage_id=definition.subpage_id,
+            title=definition.title,
+            path=path,
+            content_type="text/html",
+            bytes_written=len(html.encode("utf-8")) + len(image_bytes),
+            prerendered=True,
+            ajax=False,
+        )
+
+    def _emit_ajax_fragment(
+        self,
+        ctx: PipelineContext,
+        definition: SubpageDefinition,
+        taken: list,
+    ) -> SubpageArtifact:
+        fragment = fragment_html(definition, taken)
+        path = f"{self.page_dir}/{definition.subpage_id}.fragment.html"
+        self.services.storage.write(
+            path, fragment, content_type="text/html; charset=utf-8",
+            now=self.services.now,
+        )
+        return SubpageArtifact(
+            subpage_id=definition.subpage_id,
+            title=definition.title,
+            path=path,
+            content_type="text/html",
+            bytes_written=len(fragment.encode("utf-8")),
+            prerendered=False,
+            ajax=True,
+        )
+
+    def _emit_entry(
+        self,
+        ctx: PipelineContext,
+        result: AdaptedPage,
+        snapshot_bundle: Optional[dict],
+        taken_by_id: dict[str, list],
+    ) -> None:
+        title = self.spec.mobile_title or self.spec.site
+        if snapshot_bundle is not None:
+            entry_html = self._entry_from_snapshot(
+                ctx, snapshot_bundle, title
+            )
+            image_path = f"{self.page_dir}/snapshot.jpg"
+            self.services.storage.write(
+                image_path,
+                snapshot_bundle["image_bytes"],
+                content_type="image/jpeg",
+                now=self.services.now,
+            )
+        else:
+            # No prerender: the residual document (post-splitting) plus a
+            # simple subpage menu is the entry page.
+            menu_items = "".join(
+                f'<li><a href="{ctx.page_url_for(d.subpage_id)}">'
+                f"{d.title}</a></li>"
+                for d in ctx.plan.top_level()
+                if not d.ajax
+            )
+            menu = (
+                f'<ul id="msite-menu">{menu_items}</ul>' if menu_items else ""
+            )
+            body_html = (
+                serialize(ctx.document)
+                if ctx.document is not None
+                else ctx.source
+            )
+            entry_html = body_html.replace(
+                "<body>", f"<body>{menu}", 1
+            ) if "<body>" in body_html else menu + body_html
+        entry_html = self._inject_ajax_support(ctx, entry_html)
+        self.services.storage.write(
+            result.entry_path,
+            entry_html,
+            content_type="text/html; charset=utf-8",
+            now=self.services.now,
+        )
+        result.entry_html = entry_html
+
+    def _entry_from_snapshot(
+        self, ctx: PipelineContext, bundle: dict, title: str
+    ) -> str:
+        regions = []
+        for definition in ctx.plan.top_level():
+            raw = bundle["regions"].get(definition.subpage_id)
+            if raw is None:
+                continue
+            rect = Rect(*raw)
+            if definition.ajax:
+                href = (
+                    f"#\" onclick=\"return msiteLoad("
+                    f"'{ctx.page_url_for(definition.subpage_id)}', "
+                    f"'msite-ajax-{definition.subpage_id}');"
+                )
+            else:
+                href = ctx.page_url_for(definition.subpage_id)
+            regions.append(
+                MapRegion(rect=rect, href=href, alt=definition.title)
+            )
+        image_map = build_image_map(
+            regions,
+            snapshot_src=f"{self.proxy_base}?file=snapshot.jpg",
+            scale=bundle["scale"],
+            width=bundle["width"],
+            height=bundle["height"],
+        )
+        return (
+            f"<!DOCTYPE html><html><head><title>{title}</title>"
+            f'<meta name="viewport" content="width=device-width, '
+            f'initial-scale=1" /></head><body>'
+            f"{image_map}"
+            f"</body></html>"
+        )
+
+    def _inject_ajax_support(
+        self, ctx: PipelineContext, entry_html: str
+    ) -> str:
+        ajax_defs = [d for d in ctx.plan.top_level() if d.ajax]
+        if not ajax_defs:
+            return entry_html
+        containers = "".join(
+            ajax_container_html(d.subpage_id) for d in ajax_defs
+        )
+        script = (
+            f'<script type="text/javascript">{AJAX_LOADER_JS}</script>'
+        )
+        injection = containers + script + "</body>"
+        if "</body>" in entry_html:
+            return entry_html.replace("</body>", injection, 1)
+        return entry_html + containers + script
+
+
+def _union(a: Rect, b: Rect) -> Rect:
+    x1 = min(a.x, b.x)
+    y1 = min(a.y, b.y)
+    x2 = max(a.right, b.right)
+    y2 = max(a.bottom, b.bottom)
+    return Rect(x1, y1, x2 - x1, y2 - y1)

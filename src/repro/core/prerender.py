@@ -1,0 +1,207 @@
+"""Pre-rendering: snapshots, partial CSS pre-render, fidelity control.
+
+§3.3: "A page, subpage, object, or object group can be marked to be
+completely rendered on the server side into a single graphic, saving much
+computational effort on the mobile device. ... In the index page of our
+test site, this technique can reduce wall-clock load time by a factor
+of 5."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.dom.document import Document
+from repro.dom.element import Element
+from repro.dom.node import Text
+from repro.render.box import Rect
+from repro.render.image import EncodedImage, RasterImage, encode_jpeg, encode_png
+from repro.render.snapshot import PageSnapshot, render_snapshot
+
+
+@dataclass
+class SnapshotArtifact:
+    """A finished snapshot: scaled low-fidelity image plus geometry."""
+
+    encoded: EncodedImage
+    scale: float
+    original_width: int
+    original_height: int
+    snapshot: PageSnapshot
+
+    @property
+    def scaled_width(self) -> int:
+        return self.encoded.width
+
+    @property
+    def scaled_height(self) -> int:
+        return self.encoded.height
+
+    def region_for(self, element: Element) -> Optional[Rect]:
+        """Original-document geometry of an element (unscaled)."""
+        return self.snapshot.geometry_of(element)
+
+
+def produce_snapshot(
+    snapshot: PageSnapshot,
+    scale: float = 0.28,
+    quality: int = 25,
+) -> SnapshotArtifact:
+    """Scale a rendered page down and encode at mobile fidelity.
+
+    "The image itself is also scaled down to prevent the user from having
+    to zoom in before clicking" (§4.3); fidelity is lowered so the
+    overview page ships in 25-50 KB instead of ~600 KB (§3.3).
+    """
+    image = snapshot.image if scale == 1.0 else snapshot.image.scaled(scale)
+    encoded = encode_jpeg(image, quality=quality)
+    return SnapshotArtifact(
+        encoded=encoded,
+        scale=scale,
+        original_width=snapshot.viewport_width,
+        original_height=snapshot.page_height,
+        snapshot=snapshot,
+    )
+
+
+def prerender_object(
+    document: Document,
+    element: Element,
+    viewport_width: int = 1024,
+    quality: int = 55,
+) -> EncodedImage:
+    """Render a single object (subtree) to an image.
+
+    Used when a subpage combines the subpage and prerender attributes: "If
+    the subpage is combined with the pre-rendering attribute, it will be
+    made up of simple pre-rendered images" (§3.3).
+    """
+    snapshot = render_snapshot(document, viewport_width=viewport_width)
+    rect = snapshot.geometry_of(element)
+    if rect is None or rect.width < 1 or rect.height < 1:
+        # The object did not lay out (display:none etc.): 1x1 blank.
+        return encode_jpeg(RasterImage.blank(1, 1), quality=quality)
+    x, y, width, height = rect.rounded()
+    width = max(1, min(width, snapshot.image.width - max(0, x)))
+    height = max(1, min(height, snapshot.image.height - max(0, y)))
+    cropped = snapshot.image.cropped(max(0, x), max(0, y), width, height)
+    return encode_jpeg(cropped, quality=quality)
+
+
+# ---------------------------------------------------------------------------
+# partial CSS pre-render (§3.3)
+
+
+@dataclass
+class PartialPrerender:
+    """Background image + text placement data for client-side text draw."""
+
+    background: EncodedImage
+    text_runs: list[dict]  # {text, x, y, size} for the client script
+
+
+def partial_css_prerender(
+    document: Document,
+    element: Element,
+    viewport_width: int = 1024,
+    quality: int = 55,
+) -> PartialPrerender:
+    """Pre-render an object's *decoration* but leave text to the client.
+
+    "take a portion of CSS code, replace the text with stretched one-pixel
+    placeholders (to allow the layout engine to properly size the object),
+    and take a snapshot of the rendered object. ... the rendered object can
+    then be used as a background in a static subpage, while the device only
+    needs to draw text in the proper location." (§3.3)
+    """
+    # Lay out the pristine document to capture where text goes.
+    snapshot = render_snapshot(document, viewport_width=viewport_width)
+    rect = snapshot.geometry_of(element)
+    box = snapshot.layout_root.find_box_for(element)
+    text_runs = []
+    if box is not None and rect is not None:
+        for inner in box.iter_boxes():
+            for run in inner.text_runs:
+                text_runs.append(
+                    {
+                        "text": run.text,
+                        "x": int(run.rect.x - rect.x),
+                        "y": int(run.rect.y - rect.y),
+                        "size": int(run.font_size),
+                    }
+                )
+
+    # Blank the text out of a working copy, then snapshot the decoration.
+    working = document.clone()
+    target = _matching_clone(document, working, element)
+    if target is not None:
+        _replace_text_with_placeholders(target)
+    blanked = render_snapshot(working, viewport_width=viewport_width)
+    brect = blanked.geometry_of(target) if target is not None else None
+    if brect is None or brect.width < 1 or brect.height < 1:
+        background = encode_jpeg(RasterImage.blank(1, 1), quality=quality)
+    else:
+        x, y, width, height = brect.rounded()
+        width = max(1, min(width, blanked.image.width - max(0, x)))
+        height = max(1, min(height, blanked.image.height - max(0, y)))
+        background = encode_jpeg(
+            blanked.image.cropped(max(0, x), max(0, y), width, height),
+            quality=quality,
+        )
+    return PartialPrerender(background=background, text_runs=text_runs)
+
+
+def _matching_clone(
+    original_root: Document, cloned_root: Document, element: Element
+) -> Optional[Element]:
+    """Find the clone of ``element`` by walking identical tree paths."""
+    path: list[int] = []
+    node = element
+    while node.parent is not None:
+        path.append(node.index_in_parent)
+        node = node.parent  # type: ignore[assignment]
+    current = cloned_root
+    for index in reversed(path):
+        children = current.children
+        if index >= len(children):
+            return None
+        current = children[index]  # type: ignore[assignment]
+    return current if isinstance(current, Element) else None
+
+
+def _replace_text_with_placeholders(element: Element) -> None:
+    """Swap text for 1px-tall stretched placeholders, preserving extent."""
+    from repro.render import fonts
+
+    for node in list(element.descendants()):
+        if isinstance(node, Text) and node.data.strip():
+            width = int(fonts.text_width(node.data.strip(), 16.0))
+            placeholder = Element(
+                "img",
+                {
+                    "src": "placeholder.gif",
+                    "width": str(max(1, width)),
+                    "height": "1",
+                    "alt": "",
+                },
+            )
+            node.replace_with(placeholder)
+
+
+PARTIAL_RENDER_CLIENT_JS = """
+function msiteDrawText(containerId, runs) {
+  var container = document.getElementById(containerId);
+  if (!container) { return; }
+  for (var i = 0; i < runs.length; i++) {
+    var run = runs[i];
+    var span = document.createElement('span');
+    span.style.position = 'absolute';
+    span.style.left = run.x + 'px';
+    span.style.top = run.y + 'px';
+    span.style.fontSize = run.size + 'px';
+    span.appendChild(document.createTextNode(run.text));
+    container.appendChild(span);
+  }
+}
+""".strip()

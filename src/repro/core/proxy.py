@@ -1,0 +1,427 @@
+"""The m.Site proxy runtime: a multi-session, stateful content-adaptation
+proxy.
+
+This is the Python analog of the generated PHP proxy: it "handles user
+session authentication, cookie jars, and high-level session
+administration, ... downloading of the originating page on demand, http
+authentication on behalf of the client, and any error handling should the
+page be unavailable" (§3.2).  One URL (``proxy.php``) serves every role
+through query parameters, exactly like the generated shell the paper
+describes:
+
+* ``proxy.php`` — the mobile entry point (snapshot + image-map menu),
+* ``proxy.php?page=<id>`` — a generated subpage (``&fragment=1`` returns
+  the raw fragment for asynchronous loads),
+* ``proxy.php?file=<name>`` — session-local artifacts (snapshot image,
+  pre-rendered subpage images),
+* ``proxy.php?img=<url>&q=<quality>`` — the shared low-fidelity image
+  cache behind the rewrite-images filter,
+* ``proxy.php?action=<n>&p=<x>`` — rewritten AJAX calls (§4.4),
+* ``proxy.php?logout=1`` — clears the user's proxy-held cookies,
+* ``proxy.php?auth=1`` — the lightweight HTTP-authentication page.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core.ajax import AjaxActionTable
+from repro.core.pipeline import (
+    AdaptationPipeline,
+    AdaptedPage,
+    AuthenticationRequired,
+    ProxyServices,
+)
+from repro.core.sessions import SESSION_COOKIE, MobileSession, SessionManager
+from repro.core.spec import AdaptationSpec
+from repro.errors import AdaptationError, FetchError, SessionError
+from repro.net.messages import Request, Response
+from repro.net.server import Application
+from repro.net.url import unquote
+
+
+@dataclass
+class ProxyCounters:
+    """Load accounting for the scalability analysis."""
+
+    requests: int = 0
+    entry_pages: int = 0
+    subpages: int = 0
+    ajax_actions: int = 0
+    browser_renders: int = 0
+    lightweight_requests: int = 0
+    errors: int = 0
+    browser_core_seconds: float = 0.0
+    lightweight_core_seconds: float = 0.0
+
+
+class MSiteProxy(Application):
+    """The generated proxy for one adapted page."""
+
+    def __init__(
+        self,
+        spec: AdaptationSpec,
+        services: ProxyServices,
+        proxy_base: str = "proxy.php",
+        namespace: str = "",
+    ) -> None:
+        spec.validate()
+        self.spec = spec
+        self.services = services
+        self.proxy_base = proxy_base
+        self.namespace = namespace.strip("/")
+        self.sessions = SessionManager(services.storage, clock=services.clock)
+        self.ajax_table = AjaxActionTable()
+        self.counters = ProxyCounters()
+        self._adapted: dict[str, AdaptedPage] = {}
+
+    def _page_dir(self, session: MobileSession) -> str:
+        if self.namespace:
+            return f"{session.directory}/{self.namespace}"
+        return session.directory
+
+    def _image_dir(self, session: MobileSession) -> str:
+        return f"{self._page_dir(session)}/images"
+
+    # ------------------------------------------------------------------
+
+    def handle(self, request: Request) -> Response:
+        self.counters.requests += 1
+        params = request.params
+        try:
+            session, is_new = self._resolve_session(request)
+            if params.get("logout"):
+                return self._finish(self._handle_logout(session), session, is_new)
+            if params.get("auth"):
+                return self._finish(
+                    self._handle_auth(session, request), session, is_new
+                )
+            if params.get("action"):
+                return self._finish(
+                    self._handle_action(session, request), session, is_new
+                )
+            if params.get("img"):
+                return self._finish(
+                    self._handle_image_cache(session, request), session, is_new
+                )
+            if params.get("file"):
+                return self._finish(
+                    self._handle_file(session, params["file"]), session, is_new
+                )
+            if params.get("page"):
+                return self._finish(
+                    self._handle_subpage(
+                        session,
+                        params["page"],
+                        fragment=bool(params.get("fragment")),
+                    ),
+                    session,
+                    is_new,
+                )
+            return self._finish(
+                self._handle_entry(
+                    session, force=bool(params.get("refresh"))
+                ),
+                session,
+                is_new,
+            )
+        except AuthenticationRequired:
+            return Response.redirect(f"{self.proxy_base}?auth=1")
+        except FetchError as exc:
+            self.counters.errors += 1
+            return Response.text(
+                f"m.Site proxy: originating page unavailable ({exc})",
+                status=502,
+            )
+        except AdaptationError as exc:
+            # The originating page no longer matches the spec (content
+            # drift, malformed markup): fail this request, not the proxy.
+            self.counters.errors += 1
+            return Response.text(
+                f"m.Site proxy: adaptation failed ({exc}); "
+                f"the administrator should refresh the spec",
+                status=502,
+            )
+
+    # ------------------------------------------------------------------
+    # sessions
+
+    def _resolve_session(
+        self, request: Request
+    ) -> tuple[MobileSession, bool]:
+        cookie = request.cookies.get(SESSION_COOKIE)
+        if cookie:
+            try:
+                return self.sessions.get(cookie), False
+            except SessionError:
+                pass
+        return self.sessions.create(), True
+
+    def _finish(
+        self, response: Response, session: MobileSession, is_new: bool
+    ) -> Response:
+        if is_new:
+            response.set_cookie(
+                SESSION_COOKIE, session.session_id, http_only=True
+            )
+        return response
+
+    # ------------------------------------------------------------------
+    # entry page and subpages
+
+    def _ensure_adapted(
+        self, session: MobileSession, force: bool = False
+    ) -> AdaptedPage:
+        adapted = self._adapted.get(session.session_id)
+        if adapted is not None and not force:
+            return adapted
+        pipeline = AdaptationPipeline(
+            self.spec, self.services, session,
+            proxy_base=self.proxy_base, namespace=self.namespace,
+        )
+        adapted = pipeline.run(force_refresh=force)
+        # Merge discovered AJAX actions into the proxy-wide table so the
+        # rewritten links on every session's pages resolve.
+        for action in adapted.ajax_table or []:
+            self.ajax_table.register(
+                action.name,
+                action.origin_template,
+                transform=action.transform,
+                cacheable=action.cacheable,
+                cache_ttl_s=action.cache_ttl_s,
+            )
+        self._adapted[session.session_id] = adapted
+        self._account(adapted)
+        return adapted
+
+    def _account(self, adapted: AdaptedPage) -> None:
+        if adapted.used_browser:
+            self.counters.browser_renders += 1
+        else:
+            self.counters.lightweight_requests += 1
+        self.counters.browser_core_seconds += adapted.browser_core_seconds
+        self.counters.lightweight_core_seconds += (
+            adapted.lightweight_core_seconds
+        )
+
+    def _handle_entry(
+        self, session: MobileSession, force: bool = False
+    ) -> Response:
+        adapted = self._ensure_adapted(session, force=force)
+        self.counters.entry_pages += 1
+        stored = self.services.storage.read(adapted.entry_path)
+        return Response.binary(stored.data, "text/html; charset=utf-8")
+
+    def _handle_subpage(
+        self, session: MobileSession, subpage_id: str, fragment: bool
+    ) -> Response:
+        self._ensure_adapted(session)
+        self.counters.subpages += 1
+        self.counters.lightweight_requests += 1
+        self.counters.lightweight_core_seconds += (
+            self.services.costs.lightweight_request_s
+        )
+        if fragment:
+            candidates = [f"{subpage_id}.fragment.html"]
+        else:
+            # Subpages may have been emitted by any output engine; AJAX
+            # subpages only exist as fragments.
+            candidates = [
+                f"{subpage_id}.html",
+                f"{subpage_id}.txt",
+                f"{subpage_id}.pdf",
+                f"{subpage_id}.fragment.html",
+            ]
+        for name in candidates:
+            path = f"{self._page_dir(session)}/{name}"
+            if self.services.storage.exists(path):
+                stored = self.services.storage.read(path)
+                return Response.binary(stored.data, stored.content_type)
+        return Response.not_found(f"no subpage {subpage_id!r}")
+
+    def _handle_file(self, session: MobileSession, name: str) -> Response:
+        self._ensure_adapted(session)
+        self.counters.lightweight_requests += 1
+        self.counters.lightweight_core_seconds += (
+            self.services.costs.lightweight_request_s
+        )
+        if "/" in name or ".." in name:
+            return Response.text("bad file name", status=400)
+        for directory in (self._page_dir(session), self._image_dir(session)):
+            path = f"{directory}/{name}"
+            if self.services.storage.exists(path):
+                stored = self.services.storage.read(path)
+                return Response.binary(stored.data, stored.content_type)
+        return Response.not_found(f"no file {name!r}")
+
+    # ------------------------------------------------------------------
+    # the shared low-fidelity image cache
+
+    def _handle_image_cache(
+        self, session: MobileSession, request: Request
+    ) -> Response:
+        source = unquote(request.params.get("img", ""))
+        quality = request.params.get("q", "40")
+        self.counters.lightweight_requests += 1
+        self.counters.lightweight_core_seconds += (
+            self.services.costs.lightweight_request_s
+        )
+        key = f"lowfi:{source}:q{quality}"
+        entry = self.services.cache.get(key)
+        if entry is not None:
+            return Response.binary(entry.data, entry.content_type)
+        client = self.services.make_client(session.jar)
+        origin_url = (
+            f"http://{self.spec.origin_host}{source}"
+            if source.startswith("/")
+            else f"http://{self.spec.origin_host}/{source}"
+        )
+        try:
+            origin_response = client.get(origin_url)
+        except FetchError:
+            return Response.not_found("image origin unreachable")
+        if not origin_response.ok:
+            return Response.not_found("origin image missing")
+        # Fidelity model: a reduced-quality image ships a fraction of the
+        # original bytes (re-encoding real GIF/JPEG payloads is the
+        # post-processor's job; the proxy cares about cacheable size).
+        try:
+            fraction = max(5, min(100, int(quality))) / 100.0
+        except ValueError:
+            fraction = 0.4
+        reduced = origin_response.body[
+            : max(64, int(len(origin_response.body) * fraction))
+        ]
+        self.services.cache.put(
+            key, reduced, content_type="image/jpeg", ttl_s=3600.0
+        )
+        return Response.binary(reduced, "image/jpeg")
+
+    # ------------------------------------------------------------------
+    # AJAX actions (§4.4)
+
+    def _handle_action(
+        self, session: MobileSession, request: Request
+    ) -> Response:
+        self.counters.ajax_actions += 1
+        self.counters.lightweight_requests += 1
+        self.counters.lightweight_core_seconds += (
+            self.services.costs.lightweight_request_s
+        )
+        self._ensure_adapted(session)
+        try:
+            action_id = int(request.params.get("action", ""))
+        except ValueError:
+            return Response.text("bad action id", status=400)
+        action = self.ajax_table.get(action_id)
+        if action is None:
+            return Response.not_found(f"no action {action_id}")
+        parameter = request.params.get("p", "")
+        cache_key = f"action:{action.action_id}:{parameter}"
+        if action.cacheable:
+            entry = self.services.cache.get(cache_key)
+            if entry is not None:
+                return Response.binary(entry.data, entry.content_type)
+        client = self.services.make_client(session.jar)
+        target = f"http://{self.spec.origin_host}" + action.origin_target(
+            parameter
+        )
+        origin_response = client.get(target)
+        if not origin_response.ok:
+            return Response.text(
+                f"origin ajax call failed ({origin_response.status})",
+                status=502,
+            )
+        body = origin_response.text_body
+        if action.transform is not None:
+            body = action.transform(body)
+        if action.cacheable:
+            self.services.cache.put(
+                cache_key,
+                body,
+                content_type="text/html; charset=utf-8",
+                ttl_s=action.cache_ttl_s,
+            )
+        return Response.html(body)
+
+    # ------------------------------------------------------------------
+    # session administration
+
+    def _handle_logout(self, session: MobileSession) -> Response:
+        cleared = len(session.jar)
+        session.jar.clear()
+        session.http_credentials.clear()
+        self._adapted.pop(session.session_id, None)
+        return Response.html(
+            f"<html><body>Logged out ({cleared} cookies cleared). "
+            f'<a href="{self.proxy_base}">Return</a>.</body></html>'
+        )
+
+    def _handle_auth(
+        self, session: MobileSession, request: Request
+    ) -> Response:
+        """The lightweight authentication page (§3.3).
+
+        Covers both interposition modes: HTTP Basic credentials stored
+        per session, and origin *form* login performed by the proxy on
+        the user's behalf (the resulting cookies live in the session's
+        jar, exactly like the paper's vBulletin deployment).
+        """
+        if request.method == "POST":
+            form = request.form
+            username = form.get("username", "")
+            password = form.get("password", "")
+            login_binding = next(
+                iter(self.spec.bindings_for("form_login")), None
+            )
+            if login_binding is not None:
+                self._perform_form_login(
+                    session, login_binding, username, password
+                )
+            else:
+                session.http_credentials[self.spec.origin_host] = (
+                    username,
+                    password,
+                )
+            self._adapted.pop(session.session_id, None)
+            return Response.redirect(self.proxy_base)
+        return Response.html(
+            f"""<html><head><title>Authentication required</title></head>
+<body><form method="post" action="{self.proxy_base}?auth=1">
+<p>The site requires authentication:</p>
+<p>Username <input type="text" name="username" /></p>
+<p>Password <input type="password" name="password" /></p>
+<p><input type="submit" value="Authenticate" /></p>
+</form></body></html>"""
+        )
+
+    def _perform_form_login(
+        self,
+        session: MobileSession,
+        binding,
+        username: str,
+        password: str,
+    ) -> bool:
+        """Post the origin's login form with the user's credentials; the
+        origin's session cookies land in this user's jar."""
+        client = self.services.make_client(session.jar)
+        fields = {
+            binding.param("username_field", "username"): username,
+            binding.param("password_field", "password"): password,
+        }
+        fields.update(binding.param("extra_fields", {}) or {})
+        action = binding.param("action")
+        target = (
+            action
+            if action.startswith("http")
+            else f"http://{self.spec.origin_host}{action}"
+        )
+        try:
+            response = client.post(target, fields)
+        except FetchError:
+            return False
+        marker = binding.param("success_marker", "")
+        if marker and marker not in response.text_body:
+            return False
+        return response.ok

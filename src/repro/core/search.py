@@ -1,0 +1,154 @@
+"""The searchable attribute: word indexes over pre-rendered content.
+
+§3.3: "At rendering time, a sorted word index is built on the server from
+the textual content read from the web page.  The rendered location of each
+word is stored in a Javascript array along with the word list, and the
+ordered search index is then inserted into the subpage along with a
+Javascript binary search function. ... the search attribute effectively
+allows pre-rendered images to be searched."
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from dataclasses import dataclass, field
+
+from repro.dom.document import Document
+from repro.render.box import LayoutBox
+
+_WORD_RE = re.compile(r"[A-Za-z0-9']+")
+
+
+@dataclass
+class WordIndex:
+    """Sorted word list with rendered locations."""
+
+    words: list[str] = field(default_factory=list)  # sorted, unique
+    locations: list[list[tuple[int, int]]] = field(default_factory=list)
+
+    def lookup(self, word: str) -> list[tuple[int, int]]:
+        """Binary search, mirroring the emitted JavaScript exactly."""
+        word = word.lower()
+        low, high = 0, len(self.words) - 1
+        while low <= high:
+            mid = (low + high) // 2
+            if self.words[mid] == word:
+                return self.locations[mid]
+            if self.words[mid] < word:
+                low = mid + 1
+            else:
+                high = mid - 1
+        return []
+
+    @property
+    def word_count(self) -> int:
+        return len(self.words)
+
+
+def build_word_index(layout_root: LayoutBox, scale: float = 1.0) -> WordIndex:
+    """Index every rendered word with its (scaled) page coordinates."""
+    positions: dict[str, list[tuple[int, int]]] = {}
+    for box in layout_root.iter_boxes():
+        for run in box.text_runs:
+            cursor_x = run.rect.x
+            # Approximate per-word x by distributing the run width.
+            words = run.text.split()
+            if not words:
+                continue
+            total_chars = sum(len(word) for word in words) + len(words) - 1
+            per_char = run.rect.width / max(1, total_chars)
+            for word in words:
+                key = _normalize(word)
+                if key:
+                    positions.setdefault(key, []).append(
+                        (
+                            int(cursor_x * scale),
+                            int(run.rect.y * scale),
+                        )
+                    )
+                cursor_x += (len(word) + 1) * per_char
+    sorted_words = sorted(positions)
+    return WordIndex(
+        words=sorted_words,
+        locations=[positions[word] for word in sorted_words],
+    )
+
+
+def build_word_index_from_document(document: Document) -> WordIndex:
+    """Index a document without geometry (positions default to row order).
+
+    Used when the subpage ships as HTML rather than a pre-rendered image:
+    the client can still jump to the nth occurrence.
+    """
+    positions: dict[str, list[tuple[int, int]]] = {}
+    body = document.body
+    if body is None:
+        return WordIndex()
+    for order, match in enumerate(_WORD_RE.finditer(body.text_content)):
+        key = _normalize(match.group(0))
+        if key:
+            positions.setdefault(key, []).append((0, order))
+    sorted_words = sorted(positions)
+    return WordIndex(
+        words=sorted_words,
+        locations=[positions[word] for word in sorted_words],
+    )
+
+
+def shift_index(index: WordIndex, dx: int, dy: int) -> WordIndex:
+    """Translate every location (e.g. page → cropped-object coordinates)."""
+    return WordIndex(
+        words=list(index.words),
+        locations=[
+            [(max(0, x + dx), max(0, y + dy)) for x, y in spots]
+            for spots in index.locations
+        ],
+    )
+
+
+def _normalize(word: str) -> str:
+    cleaned = word.strip("'").lower()
+    return cleaned if len(cleaned) >= 2 else ""
+
+
+SEARCH_JS_TEMPLATE = """
+var msiteWords = %(words)s;
+var msiteLocations = %(locations)s;
+function msiteSearch(term) {
+  term = term.toLowerCase();
+  var low = 0, high = msiteWords.length - 1;
+  while (low <= high) {
+    var mid = (low + high) >> 1;
+    if (msiteWords[mid] === term) { return msiteLocations[mid]; }
+    if (msiteWords[mid] < term) { low = mid + 1; } else { high = mid - 1; }
+  }
+  return [];
+}
+function msiteSearchPrompt() {
+  var term = window.prompt('Search this page for:');
+  if (!term) { return false; }
+  var hits = msiteSearch(term);
+  if (hits.length === 0) { window.alert('No matches.'); return false; }
+  window.scrollTo(hits[0][0], hits[0][1]);
+  return false;
+}
+""".strip()
+
+
+def search_script(index: WordIndex) -> str:
+    """The inline script block carrying the index and binary search."""
+    return SEARCH_JS_TEMPLATE % {
+        "words": json.dumps(index.words),
+        "locations": json.dumps(index.locations),
+    }
+
+
+def search_trigger_html(label: str = "Search this page") -> str:
+    """The administrator-defined element that invokes the search (§3.3:
+    'the site administrator must define an HTML element (button or link)
+    to make the initial Javascript call')."""
+    return (
+        f'<a href="#" id="msite-search-trigger" '
+        f'onclick="return msiteSearchPrompt();">{label}</a>'
+    )

@@ -1,0 +1,108 @@
+"""Multi-user session management for the proxy.
+
+"Upon starting a mobile session for the first time, the mobile browser is
+issued a session cookie for maintaining state on the server" (§3.2).  Each
+session owns a cookie jar for the originating site, optional stored HTTP
+credentials, and a protected subdirectory in the proxy's file store.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.errors import SessionError
+from repro.net.cookies import CookieJar
+from repro.sim.rng import DeterministicRandom
+
+SESSION_COOKIE = "msite_session"
+
+
+@dataclass
+class MobileSession:
+    """One mobile user's proxy-side state."""
+
+    session_id: str
+    created_at: float
+    jar: CookieJar = field(default_factory=CookieJar)
+    http_credentials: dict[str, tuple[str, str]] = field(default_factory=dict)
+    last_seen: float = 0.0
+    pages_served: int = 0
+
+    @property
+    def directory(self) -> str:
+        return f"/sessions/{self.session_id}"
+
+    @property
+    def image_directory(self) -> str:
+        return f"{self.directory}/images"
+
+
+class SessionManager:
+    """Issues, resolves, and expires mobile sessions."""
+
+    def __init__(
+        self,
+        storage,
+        clock=None,
+        ttl_s: float = 4 * 3600.0,
+        seed: int = 0x5E55,
+    ) -> None:
+        self.storage = storage
+        self.clock = clock
+        self.ttl_s = ttl_s
+        self._rng = DeterministicRandom(seed)
+        self._sessions: dict[str, MobileSession] = {}
+
+    @property
+    def _now(self) -> float:
+        return self.clock.now if self.clock is not None else 0.0
+
+    def __len__(self) -> int:
+        return len(self._sessions)
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def create(self) -> MobileSession:
+        session_id = f"ms{self._rng.next_u64():016x}"
+        session = MobileSession(session_id=session_id, created_at=self._now)
+        session.last_seen = self._now
+        self._sessions[session_id] = session
+        self.storage.mkdir(session.directory)
+        self.storage.mkdir(session.image_directory)
+        return session
+
+    def get(self, session_id: str) -> MobileSession:
+        session = self._sessions.get(session_id)
+        if session is None:
+            raise SessionError(f"unknown session {session_id!r}")
+        if self._now - session.last_seen > self.ttl_s:
+            self.destroy(session_id)
+            raise SessionError(f"session {session_id!r} expired")
+        session.last_seen = self._now
+        return session
+
+    def get_or_create(self, session_id: Optional[str]) -> MobileSession:
+        """Resolve a cookie value to a session, creating one as needed."""
+        if session_id:
+            try:
+                return self.get(session_id)
+            except SessionError:
+                pass
+        return self.create()
+
+    def destroy(self, session_id: str) -> None:
+        session = self._sessions.pop(session_id, None)
+        if session is not None:
+            self.storage.delete_tree(session.directory)
+
+    def expire_idle(self) -> int:
+        """Expire sessions idle past the TTL; returns how many died."""
+        doomed = [
+            sid
+            for sid, session in self._sessions.items()
+            if self._now - session.last_seen > self.ttl_s
+        ]
+        for session_id in doomed:
+            self.destroy(session_id)
+        return len(doomed)

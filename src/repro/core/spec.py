@@ -1,0 +1,194 @@
+"""The adaptation spec: what the visual tool produces.
+
+The admin selects page objects and "assigns one or more attributes to page
+objects from a rich collection of pre-defined page modifications" (§1).
+A spec is the serializable record of those selections — the input to the
+code generator and the proxy pipeline.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field, asdict
+from typing import Any, Optional
+
+from repro.errors import CodegenError
+
+SELECTOR_KINDS = ("css", "xpath", "regex", "dock")
+
+
+@dataclass(frozen=True)
+class ObjectSelector:
+    """Identifies page objects: CSS3, XPath, source regex, or the
+    non-visual dock (doctype, title, head, cookies)."""
+
+    kind: str
+    expression: str
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if self.kind not in SELECTOR_KINDS:
+            raise CodegenError(
+                f"selector kind must be one of {SELECTOR_KINDS}, "
+                f"got {self.kind!r}"
+            )
+        if not self.expression:
+            raise CodegenError("selector expression cannot be empty")
+
+    @classmethod
+    def css(cls, expression: str, description: str = "") -> "ObjectSelector":
+        return cls("css", expression, description)
+
+    @classmethod
+    def xpath(cls, expression: str, description: str = "") -> "ObjectSelector":
+        return cls("xpath", expression, description)
+
+    @classmethod
+    def regex(cls, expression: str, description: str = "") -> "ObjectSelector":
+        return cls("regex", expression, description)
+
+    @classmethod
+    def dock(cls, item: str) -> "ObjectSelector":
+        """Non-visual dock objects: 'doctype', 'title', 'head', 'cookies'."""
+        return cls("dock", item)
+
+
+@dataclass
+class AttributeBinding:
+    """One attribute applied to one selection (or to the whole page)."""
+
+    attribute: str
+    selector: Optional[ObjectSelector] = None
+    params: dict[str, Any] = field(default_factory=dict)
+
+    def param(self, name: str, default: Any = None) -> Any:
+        return self.params.get(name, default)
+
+
+@dataclass
+class AdaptationSpec:
+    """A complete adaptation for one originating page."""
+
+    site: str
+    origin_host: str
+    page_path: str = "/index.php"
+    bindings: list[AttributeBinding] = field(default_factory=list)
+    viewport_width: int = 1024
+    snapshot_scale: float = 0.28
+    snapshot_quality: int = 25
+    snapshot_ttl_s: float = 3600.0
+    mobile_title: str = ""
+
+    # -- construction ---------------------------------------------------------
+
+    def add(
+        self,
+        attribute: str,
+        selector: Optional[ObjectSelector] = None,
+        **params: Any,
+    ) -> AttributeBinding:
+        """Append a binding; returns it for further tweaking."""
+        binding = AttributeBinding(
+            attribute=attribute, selector=selector, params=params
+        )
+        self.bindings.append(binding)
+        return binding
+
+    def bindings_for(self, attribute: str) -> list[AttributeBinding]:
+        return [b for b in self.bindings if b.attribute == attribute]
+
+    def validate(self) -> None:
+        """Raise :class:`CodegenError` on an inconsistent spec."""
+        from repro.core.attributes import ATTRIBUTE_REGISTRY
+
+        if not self.origin_host:
+            raise CodegenError("spec needs an origin host")
+        subpage_ids: set[str] = set()
+        for binding in self.bindings:
+            definition = ATTRIBUTE_REGISTRY.get(binding.attribute)
+            if definition is None:
+                raise CodegenError(
+                    f"unknown attribute {binding.attribute!r}"
+                )
+            if definition.needs_selector and binding.selector is None:
+                raise CodegenError(
+                    f"attribute {binding.attribute!r} requires a selector"
+                )
+            if binding.attribute in ("subpage", "ajax_subpage"):
+                subpage_id = binding.param("subpage_id")
+                if not subpage_id:
+                    raise CodegenError("subpage bindings need a subpage_id")
+                if subpage_id in subpage_ids:
+                    raise CodegenError(
+                        f"duplicate subpage_id {subpage_id!r}"
+                    )
+                subpage_ids.add(subpage_id)
+        for binding in self.bindings:
+            parent = binding.param("parent")
+            if binding.attribute == "subpage" and parent:
+                if parent not in subpage_ids:
+                    raise CodegenError(
+                        f"sub-subpage parent {parent!r} is not a subpage"
+                    )
+            if binding.attribute == "copy_dependency":
+                target = binding.param("into")
+                if target and target not in subpage_ids and target != "entry":
+                    raise CodegenError(
+                        f"copy_dependency target {target!r} is not a subpage"
+                    )
+
+    # -- serialization -----------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "site": self.site,
+            "origin_host": self.origin_host,
+            "page_path": self.page_path,
+            "viewport_width": self.viewport_width,
+            "snapshot_scale": self.snapshot_scale,
+            "snapshot_quality": self.snapshot_quality,
+            "snapshot_ttl_s": self.snapshot_ttl_s,
+            "mobile_title": self.mobile_title,
+            "bindings": [
+                {
+                    "attribute": binding.attribute,
+                    "selector": (
+                        asdict(binding.selector) if binding.selector else None
+                    ),
+                    "params": binding.params,
+                }
+                for binding in self.bindings
+            ],
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "AdaptationSpec":
+        spec = cls(
+            site=payload["site"],
+            origin_host=payload["origin_host"],
+            page_path=payload.get("page_path", "/index.php"),
+            viewport_width=payload.get("viewport_width", 1024),
+            snapshot_scale=payload.get("snapshot_scale", 0.28),
+            snapshot_quality=payload.get("snapshot_quality", 25),
+            snapshot_ttl_s=payload.get("snapshot_ttl_s", 3600.0),
+            mobile_title=payload.get("mobile_title", ""),
+        )
+        for raw in payload.get("bindings", []):
+            selector = None
+            if raw.get("selector"):
+                selector = ObjectSelector(**raw["selector"])
+            spec.bindings.append(
+                AttributeBinding(
+                    attribute=raw["attribute"],
+                    selector=selector,
+                    params=dict(raw.get("params", {})),
+                )
+            )
+        return spec
+
+    @classmethod
+    def from_json(cls, text: str) -> "AdaptationSpec":
+        return cls.from_dict(json.loads(text))

@@ -1,0 +1,197 @@
+"""Page splitting: subpages, sub-subpages, and dependency copying.
+
+§3.3: "Any object, object group, or page can be split and set to render in
+its own separate HTML file, thus creating a subpage. ... Subpages can also
+be further split into more subpages.  When a subpage is split, it allows
+for a hierarchical navigation."  Dependencies (CSS/Javascript living
+anywhere in the master document, not just the head) can be copied into any
+subpage — the paper's improvement over repeat-the-head-content systems.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.dom.document import Document, new_document
+from repro.dom.element import Element
+from repro.dom.node import Node, Text
+from repro.html.serializer import serialize
+
+
+@dataclass
+class SubpageDefinition:
+    """One planned subpage, accumulated during the DOM phase."""
+
+    subpage_id: str
+    title: str
+    elements: list[Element] = field(default_factory=list)
+    dependencies: list[Element] = field(default_factory=list)
+    mode: str = "move"  # 'move' or 'copy'
+    parent: Optional[str] = None  # subpage_id of the parent (sub-subpage)
+    prerender: bool = False
+    ajax: bool = False
+    engine: str = "html"  # output engine: html | text | pdf
+    cacheable: bool = False  # share the pre-rendered image across sessions
+    cache_ttl_s: float = 3600.0
+    searchable: bool = False
+    search_trigger_label: str = "Search this page"
+    extras_top: list[str] = field(default_factory=list)  # raw HTML snippets
+    extras_bottom: list[str] = field(default_factory=list)
+
+    @property
+    def file_name(self) -> str:
+        return f"{self.subpage_id}.html"
+
+
+@dataclass
+class SubpagePlan:
+    """All subpages for one adapted page, with hierarchy helpers."""
+
+    subpages: dict[str, SubpageDefinition] = field(default_factory=dict)
+    order: list[str] = field(default_factory=list)
+
+    def define(self, definition: SubpageDefinition) -> SubpageDefinition:
+        if definition.subpage_id in self.subpages:
+            raise ValueError(
+                f"duplicate subpage id {definition.subpage_id!r}"
+            )
+        self.subpages[definition.subpage_id] = definition
+        self.order.append(definition.subpage_id)
+        return definition
+
+    def get(self, subpage_id: str) -> Optional[SubpageDefinition]:
+        return self.subpages.get(subpage_id)
+
+    def children_of(self, subpage_id: str) -> list[SubpageDefinition]:
+        return [
+            self.subpages[sid]
+            for sid in self.order
+            if self.subpages[sid].parent == subpage_id
+        ]
+
+    def top_level(self) -> list[SubpageDefinition]:
+        return [
+            self.subpages[sid]
+            for sid in self.order
+            if self.subpages[sid].parent is None
+        ]
+
+    def __len__(self) -> int:
+        return len(self.subpages)
+
+
+def detach_for_subpage(definition: SubpageDefinition) -> list[Element]:
+    """Take the subpage's elements out of (or copy from) the master page.
+
+    Move keeps element identity (snapshot geometry captured earlier still
+    applies); copy leaves the master document untouched.
+    """
+    taken: list[Element] = []
+    for element in definition.elements:
+        if definition.mode == "copy":
+            taken.append(element.clone())
+        else:
+            element.detach()
+            taken.append(element)
+    return taken
+
+
+def build_subpage_document(
+    definition: SubpageDefinition,
+    plan: SubpagePlan,
+    page_url_for,
+    taken: Optional[list[Element]] = None,
+) -> Document:
+    """Assemble the standalone HTML document for one subpage.
+
+    ``page_url_for(subpage_id)`` maps ids to proxy URLs (the proxy knows
+    its own routing scheme; this module does not).
+    """
+    document = new_document(title=definition.title)
+    head = document.head
+    body = document.body
+    assert head is not None and body is not None
+
+    # Dependencies land under the head tag (§4.3: "satisfied by inserting
+    # the dependent scripts underneath the head tag in the subpage").
+    for dependency in definition.dependencies:
+        head.append(dependency.clone())
+
+    nav = Element("div", {"id": "msite-breadcrumb", "class": "smallfont"})
+    back_target = page_url_for(definition.parent) if definition.parent else (
+        page_url_for(None)
+    )
+    back = Element("a", {"href": back_target})
+    back.append(Text("← Back"))
+    nav.append(back)
+    body.append(nav)
+
+    for raw in definition.extras_top:
+        from repro.html.parser import parse_fragment
+
+        for node in parse_fragment(raw):
+            body.append(node)
+
+    container = Element("div", {"id": f"msite-subpage-{definition.subpage_id}"})
+    for element in taken if taken is not None else definition.elements:
+        container.append(element)
+    body.append(container)
+
+    children = plan.children_of(definition.subpage_id)
+    if children:
+        menu = Element("ul", {"id": "msite-childmenu"})
+        for child in children:
+            item = Element("li")
+            link = Element("a", {"href": page_url_for(child.subpage_id)})
+            link.append(Text(child.title))
+            item.append(link)
+            menu.append(item)
+        body.append(menu)
+
+    for raw in definition.extras_bottom:
+        from repro.html.parser import parse_fragment
+
+        for node in parse_fragment(raw):
+            body.append(node)
+
+    return document
+
+
+def serialize_subpage(document: Document) -> str:
+    return serialize(document)
+
+
+AJAX_LOADER_JS = """
+function msiteLoad(subpage, target) {
+  var container = document.getElementById(target);
+  if (!container) { return false; }
+  var request = new XMLHttpRequest();
+  request.open('GET', subpage + '&fragment=1', true);
+  request.onreadystatechange = function () {
+    if (request.readyState === 4 && request.status === 200) {
+      container.innerHTML = request.responseText;
+      container.style.display = 'block';
+    }
+  };
+  request.send(null);
+  return false;
+}
+""".strip()
+
+
+def ajax_container_html(subpage_id: str) -> str:
+    """The hidden div an AJAX subpage loads into (§4.3: 'The container is
+    hidden and empty by default')."""
+    return (
+        f'<div id="msite-ajax-{subpage_id}" '
+        f'style="display: none"></div>'
+    )
+
+
+def fragment_html(
+    definition: SubpageDefinition, taken: list[Element]
+) -> str:
+    """Serialized fragment for asynchronous loads (no html/head wrapper)."""
+    parts = [serialize(element) for element in taken]
+    return "".join(parts)

@@ -1,0 +1,24 @@
+"""CSS engine: parsing, specificity, cascade, and computed style.
+
+The server-side renderer needs real CSS handling to lay out pages the way
+the paper's embedded WebKit does: the snapshot geometry that drives
+image-map generation (§4.3) comes from laid-out boxes, which in turn come
+from cascaded styles.  The partial-CSS-prerender attribute also manipulates
+stylesheets directly.
+"""
+
+from repro.css.model import Declaration, Rule, Stylesheet
+from repro.css.parser import parse_stylesheet, parse_declarations
+from repro.css.specificity import specificity
+from repro.css.cascade import StyleResolver, ComputedStyle
+
+__all__ = [
+    "Declaration",
+    "Rule",
+    "Stylesheet",
+    "parse_stylesheet",
+    "parse_declarations",
+    "specificity",
+    "StyleResolver",
+    "ComputedStyle",
+]

@@ -1,0 +1,80 @@
+"""Object model for parsed stylesheets."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.dom.selectors import SelectorGroup
+
+
+@dataclass
+class Declaration:
+    """A single ``property: value`` pair."""
+
+    name: str
+    value: str
+    important: bool = False
+
+    def __str__(self) -> str:
+        bang = " !important" if self.important else ""
+        return f"{self.name}: {self.value}{bang}"
+
+
+@dataclass
+class Rule:
+    """A style rule: selector group plus declaration block."""
+
+    selector_text: str
+    selectors: Optional[SelectorGroup]  # None when the selector didn't parse
+    declarations: list[Declaration] = field(default_factory=list)
+    source_order: int = 0
+
+    def declaration(self, name: str) -> Optional[Declaration]:
+        """Last declaration of ``name`` in the block (CSS last-wins)."""
+        result = None
+        for decl in self.declarations:
+            if decl.name == name:
+                result = decl
+        return result
+
+    def __str__(self) -> str:
+        body = "; ".join(str(decl) for decl in self.declarations)
+        return f"{self.selector_text} {{ {body} }}"
+
+
+@dataclass
+class AtRule:
+    """An at-rule kept verbatim (``@media``, ``@import``, ``@font-face``)."""
+
+    name: str
+    prelude: str
+    body: str = ""
+
+
+@dataclass
+class Stylesheet:
+    """An ordered list of rules from one source (file or <style> block)."""
+
+    rules: list[Rule] = field(default_factory=list)
+    at_rules: list[AtRule] = field(default_factory=list)
+    href: Optional[str] = None
+
+    def __len__(self) -> int:
+        return len(self.rules)
+
+    def rules_for_property(self, name: str) -> list[Rule]:
+        return [rule for rule in self.rules if rule.declaration(name)]
+
+    def to_css(self) -> str:
+        """Serialize back to CSS source."""
+        parts = []
+        for at_rule in self.at_rules:
+            if at_rule.body:
+                parts.append(f"@{at_rule.name} {at_rule.prelude} {{{at_rule.body}}}")
+            else:
+                parts.append(f"@{at_rule.name} {at_rule.prelude};")
+        for rule in self.rules:
+            body = "; ".join(str(decl) for decl in rule.declarations)
+            parts.append(f"{rule.selector_text} {{ {body} }}")
+        return "\n".join(parts)

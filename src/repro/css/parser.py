@@ -1,0 +1,122 @@
+"""Tolerant CSS parser.
+
+Real sites ship CSS with vendor hacks and occasional syntax errors; per the
+CSS error-recovery rules, an unparseable selector drops the whole rule and
+an unparseable declaration drops only that declaration.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.css.model import AtRule, Declaration, Rule, Stylesheet
+from repro.dom.selectors import parse_selector
+from repro.errors import ParseError
+
+_COMMENT_RE = re.compile(r"/\*.*?\*/", re.DOTALL)
+
+
+def parse_stylesheet(source: str, href: str | None = None) -> Stylesheet:
+    """Parse CSS source into a :class:`Stylesheet`; never raises."""
+    source = _COMMENT_RE.sub(" ", source)
+    sheet = Stylesheet(href=href)
+    pos = 0
+    order = 0
+    length = len(source)
+    while pos < length:
+        while pos < length and source[pos] in " \t\r\n":
+            pos += 1
+        if pos >= length:
+            break
+        if source[pos] == "@":
+            pos = _parse_at_rule(source, pos, sheet)
+            continue
+        brace = source.find("{", pos)
+        if brace == -1:
+            break  # trailing garbage
+        selector_text = source[pos:brace].strip()
+        end = _find_block_end(source, brace)
+        body = source[brace + 1 : end]
+        try:
+            selectors = parse_selector(selector_text) if selector_text else None
+        except ParseError:
+            selectors = None
+        rule = Rule(
+            selector_text=selector_text,
+            selectors=selectors,
+            declarations=parse_declarations(body),
+            source_order=order,
+        )
+        order += 1
+        sheet.rules.append(rule)
+        pos = end + 1
+    return sheet
+
+
+def parse_declarations(body: str) -> list[Declaration]:
+    """Parse a declaration block body (text between braces)."""
+    declarations: list[Declaration] = []
+    for piece in _split_declarations(body):
+        if ":" not in piece:
+            continue
+        name, _, value = piece.partition(":")
+        name = name.strip().lower()
+        value = value.strip()
+        if not name or not value:
+            continue
+        important = False
+        lowered = value.lower()
+        if lowered.endswith("!important"):
+            important = True
+            value = value[: -len("!important")].rstrip().rstrip("!").rstrip()
+        declarations.append(Declaration(name, value, important))
+    return declarations
+
+
+def _split_declarations(body: str) -> list[str]:
+    """Split on ';' while respecting parentheses (url(), rgb())."""
+    pieces, depth, current = [], 0, []
+    for char in body:
+        if char == "(":
+            depth += 1
+        elif char == ")":
+            depth = max(0, depth - 1)
+        if char == ";" and depth == 0:
+            pieces.append("".join(current))
+            current = []
+        else:
+            current.append(char)
+    pieces.append("".join(current))
+    return [piece.strip() for piece in pieces if piece.strip()]
+
+
+def _find_block_end(source: str, brace: int) -> int:
+    """Index of the '}' closing the block opened at ``brace``."""
+    depth = 0
+    for index in range(brace, len(source)):
+        if source[index] == "{":
+            depth += 1
+        elif source[index] == "}":
+            depth -= 1
+            if depth == 0:
+                return index
+    return len(source)
+
+
+def _parse_at_rule(source: str, pos: int, sheet: Stylesheet) -> int:
+    """Consume one at-rule starting at ``pos``; returns the new position."""
+    semicolon = source.find(";", pos)
+    brace = source.find("{", pos)
+    name_match = re.match(r"@([-a-zA-Z]+)", source[pos:])
+    name = name_match.group(1).lower() if name_match else ""
+    if brace != -1 and (semicolon == -1 or brace < semicolon):
+        end = _find_block_end(source, brace)
+        prelude = source[pos + 1 + len(name) : brace].strip()
+        body = source[brace + 1 : end]
+        sheet.at_rules.append(AtRule(name=name, prelude=prelude, body=body))
+        return end + 1
+    if semicolon == -1:
+        return len(source)
+    prelude = source[pos + 1 + len(name) : semicolon].strip()
+    sheet.at_rules.append(AtRule(name=name, prelude=prelude))
+    return semicolon + 1

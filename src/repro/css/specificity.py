@@ -1,0 +1,36 @@
+"""Selector specificity per the CSS cascade rules."""
+
+from __future__ import annotations
+
+from repro.dom.selectors import ComplexSelector, CompoundSelector
+
+
+def specificity(selector: ComplexSelector) -> tuple[int, int, int]:
+    """(id-count, class/attr/pseudo-count, type-count) for one selector."""
+    ids = classes = types = 0
+    for compound in selector.compounds:
+        a, b, c = _compound_specificity(compound)
+        ids += a
+        classes += b
+        types += c
+    return ids, classes, types
+
+
+def _compound_specificity(compound: CompoundSelector) -> tuple[int, int, int]:
+    ids = 1 if compound.element_id is not None else 0
+    classes = (
+        len(compound.class_names)
+        + len(compound.attribute_tests)
+        + sum(1 for pseudo in compound.pseudo_tests if pseudo.name != "not")
+    )
+    types = 1 if compound.tag is not None else 0
+    # :not() adds its inner selector's specificity, not its own.
+    for pseudo in compound.pseudo_tests:
+        if pseudo.name == "not" and pseudo.inner is not None:
+            inner_ids, inner_classes, inner_types = _compound_specificity(
+                pseudo.inner
+            )
+            ids += inner_ids
+            classes += inner_classes
+            types += inner_types
+    return ids, classes, types

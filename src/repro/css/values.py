@@ -1,0 +1,128 @@
+"""CSS value parsing: lengths and colors.
+
+The layout and paint stages consume these parsed values.  Lengths resolve
+against a font size (for ``em``) or a containing dimension (for ``%``);
+colors resolve to RGB triples for the rasterizer.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Optional
+
+NAMED_COLORS: dict[str, tuple[int, int, int]] = {
+    "black": (0, 0, 0),
+    "white": (255, 255, 255),
+    "red": (255, 0, 0),
+    "green": (0, 128, 0),
+    "blue": (0, 0, 255),
+    "yellow": (255, 255, 0),
+    "orange": (255, 165, 0),
+    "purple": (128, 0, 128),
+    "gray": (128, 128, 128),
+    "grey": (128, 128, 128),
+    "silver": (192, 192, 192),
+    "maroon": (128, 0, 0),
+    "navy": (0, 0, 128),
+    "teal": (0, 128, 128),
+    "olive": (128, 128, 0),
+    "lime": (0, 255, 0),
+    "aqua": (0, 255, 255),
+    "cyan": (0, 255, 255),
+    "fuchsia": (255, 0, 255),
+    "magenta": (255, 0, 255),
+    "brown": (165, 42, 42),
+    "tan": (210, 180, 140),
+    "beige": (245, 245, 220),
+    "ivory": (255, 255, 240),
+    "wheat": (245, 222, 179),
+    "transparent": (255, 255, 255),
+}
+
+_HEX_RE = re.compile(r"^#([0-9a-fA-F]{3}|[0-9a-fA-F]{6})$")
+_RGB_RE = re.compile(
+    r"^rgba?\(\s*(\d+)\s*,\s*(\d+)\s*,\s*(\d+)\s*(?:,\s*[\d.]+\s*)?\)$"
+)
+_LENGTH_RE = re.compile(r"^(-?[\d.]+)(px|pt|em|ex|%|in|cm|mm)?$")
+
+_PX_PER_UNIT = {
+    "px": 1.0,
+    "pt": 96.0 / 72.0,
+    "in": 96.0,
+    "cm": 96.0 / 2.54,
+    "mm": 96.0 / 25.4,
+}
+
+
+def parse_color(value: str) -> Optional[tuple[int, int, int]]:
+    """Parse a CSS color to an RGB triple; ``None`` when unrecognized."""
+    value = value.strip().lower()
+    named = NAMED_COLORS.get(value)
+    if named is not None:
+        return named
+    match = _HEX_RE.match(value)
+    if match:
+        digits = match.group(1)
+        if len(digits) == 3:
+            digits = "".join(char * 2 for char in digits)
+        return (
+            int(digits[0:2], 16),
+            int(digits[2:4], 16),
+            int(digits[4:6], 16),
+        )
+    match = _RGB_RE.match(value)
+    if match:
+        return tuple(min(255, int(part)) for part in match.groups())  # type: ignore
+    return None
+
+
+def parse_length(
+    value: str,
+    font_size: float = 16.0,
+    percent_base: Optional[float] = None,
+) -> Optional[float]:
+    """Resolve a CSS length to pixels; ``None`` for keywords like ``auto``."""
+    value = value.strip().lower()
+    if value in ("auto", "inherit", "initial", "normal", ""):
+        return None
+    match = _LENGTH_RE.match(value)
+    if match is None:
+        return None
+    try:
+        number = float(match.group(1))
+    except ValueError:
+        return None
+    unit = match.group(2)
+    if unit is None or unit == "px":
+        return number
+    if unit in _PX_PER_UNIT:
+        return number * _PX_PER_UNIT[unit]
+    if unit == "em":
+        return number * font_size
+    if unit == "ex":
+        return number * font_size * 0.5
+    if unit == "%":
+        if percent_base is None:
+            return None
+        return number * percent_base / 100.0
+    return None
+
+
+def parse_font_size(value: str, parent_size: float = 16.0) -> float:
+    """Font sizes support keywords and relative units."""
+    keywords = {
+        "xx-small": 9.0,
+        "x-small": 10.0,
+        "small": 13.0,
+        "medium": 16.0,
+        "large": 18.0,
+        "x-large": 24.0,
+        "xx-large": 32.0,
+        "smaller": parent_size / 1.2,
+        "larger": parent_size * 1.2,
+    }
+    value = value.strip().lower()
+    if value in keywords:
+        return keywords[value]
+    resolved = parse_length(value, font_size=parent_size, percent_base=parent_size)
+    return resolved if resolved is not None else parent_size

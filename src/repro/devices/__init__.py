@@ -1,0 +1,38 @@
+"""Mobile-device simulation: profiles and page-load timing models.
+
+Reproduces the measurement side of the paper's Table 1: wall-clock time
+from initial request to browsable page across a BlackBerry Tour, iPhone 4,
+iPod Touch (3rd gen), and a desktop browser, over 3G / WiFi / LAN links.
+
+Hardware is simulated (no handsets available); the model composes network
+transfer (bytes, round trips, 3G radio wakeup) with on-device CPU work
+(parse, style, layout, paint, script execution) scaled by clock rate and
+browser-engine efficiency.  Constants are documented in
+:mod:`repro.devices.timing`.
+"""
+
+from repro.devices.profiles import (
+    DeviceProfile,
+    BLACKBERRY_TOUR,
+    BLACKBERRY_STORM,
+    IPHONE_4,
+    IPOD_TOUCH_3G,
+    IPAD_1,
+    DESKTOP,
+    DEVICE_PROFILES,
+)
+from repro.devices.timing import PageStats, LoadBreakdown, estimate_load_time
+
+__all__ = [
+    "DeviceProfile",
+    "BLACKBERRY_TOUR",
+    "BLACKBERRY_STORM",
+    "IPHONE_4",
+    "IPOD_TOUCH_3G",
+    "IPAD_1",
+    "DESKTOP",
+    "DEVICE_PROFILES",
+    "PageStats",
+    "LoadBreakdown",
+    "estimate_load_time",
+]

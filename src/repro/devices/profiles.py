@@ -1,0 +1,127 @@
+"""Device profiles for the paper's evaluation hardware.
+
+Clock rates are the published figures (BlackBerry Tour 528 MHz and iPod
+Touch 3G 600 MHz appear in §4.2 of the paper directly).  The
+``engine_efficiency`` factor captures how much useful rendering work a
+browser extracts per clock: the BlackBerry 4.x browser predates modern
+mobile WebKit and is substantially less efficient than Safari on the same
+clock, which is what makes the Tour's 20-second page load possible at all.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.net.network import (
+    LINK_3G,
+    LINK_HSPA,
+    LINK_LAN,
+    LINK_WIFI,
+    NetworkLink,
+)
+
+
+@dataclass(frozen=True)
+class DeviceProfile:
+    """A client device with its browser and default network link."""
+
+    name: str
+    cpu_mhz: float
+    engine_efficiency: float  # useful work per clock vs. mobile WebKit = 1.0
+    link: NetworkLink
+    screen_width: int
+    screen_height: int
+    layout_viewport: int  # width desktop pages are laid out at
+    supports_ajax: bool = True
+
+    @property
+    def effective_mhz(self) -> float:
+        return self.cpu_mhz * self.engine_efficiency
+
+    def with_link(self, link: NetworkLink) -> "DeviceProfile":
+        from dataclasses import replace
+
+        return replace(self, link=link)
+
+
+BLACKBERRY_TOUR = DeviceProfile(
+    name="blackberry-tour",
+    cpu_mhz=528.0,
+    engine_efficiency=0.58,  # BlackBerry 4.7 browser
+    link=LINK_3G,
+    screen_width=480,
+    screen_height=360,
+    layout_viewport=480,  # no virtual-viewport zoom: 480x325 browser area
+    supports_ajax=False,
+)
+
+BLACKBERRY_STORM = DeviceProfile(
+    name="blackberry-storm",
+    cpu_mhz=528.0,
+    engine_efficiency=0.66,
+    link=LINK_3G,
+    screen_width=480,
+    screen_height=360,
+    layout_viewport=480,
+    supports_ajax=False,
+)
+
+IPHONE_4 = DeviceProfile(
+    name="iphone-4",
+    cpu_mhz=800.0,  # A4 underclocked from 1 GHz
+    engine_efficiency=1.0,
+    link=LINK_3G,
+    screen_width=320,
+    screen_height=480,
+    layout_viewport=980,  # Mobile Safari virtual viewport
+)
+
+IPOD_TOUCH_3G = DeviceProfile(
+    name="ipod-touch-3g",
+    cpu_mhz=600.0,
+    engine_efficiency=1.35,  # same Safari, lighter OS background load
+    link=LINK_WIFI,
+    screen_width=320,
+    screen_height=480,
+    layout_viewport=980,
+)
+
+IPAD_1 = DeviceProfile(
+    name="ipad-1",
+    cpu_mhz=1000.0,
+    engine_efficiency=1.05,
+    link=LINK_WIFI,
+    screen_width=768,
+    screen_height=1024,
+    layout_viewport=980,
+)
+
+DESKTOP = DeviceProfile(
+    name="desktop",
+    cpu_mhz=2400.0,
+    engine_efficiency=1.0,
+    link=LINK_LAN,
+    screen_width=1280,
+    screen_height=1024,
+    layout_viewport=1024,
+)
+
+DEVICE_PROFILES = {
+    profile.name: profile
+    for profile in (
+        BLACKBERRY_TOUR,
+        BLACKBERRY_STORM,
+        IPHONE_4,
+        IPOD_TOUCH_3G,
+        IPAD_1,
+        DESKTOP,
+    )
+}
+
+# Link shorthands re-exported for sweep configuration.
+LINKS = {
+    "3g": LINK_3G,
+    "hspa": LINK_HSPA,
+    "wifi": LINK_WIFI,
+    "lan": LINK_LAN,
+}

@@ -1,0 +1,176 @@
+"""Page-load timing model.
+
+Wall-clock time from initial request to browsable page is composed of
+
+* network time — radio wakeup + RTT batches + bytes / bandwidth — from
+  the device's :class:`NetworkLink`, and
+* CPU time — parse + style + layout + paint + script execution — in
+  *megacycles of browser work* divided by the device's effective clock.
+
+The megacycle constants below are calibrated jointly against the paper's
+published anchors (desktop 1.5 s, iPhone 4 WiFi 4.5 s, BlackBerry Tour
+20 s over 3G for the 224 KB entry page) and are deliberately era-correct:
+2012 mobile JavaScript engines really did spend seconds on a vBulletin
+page's ~12 external scripts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.devices.profiles import DeviceProfile
+from repro.dom.document import Document
+
+# Megacycles of browser work per unit.
+CYCLES_PER_HTML_KB = 0.9
+CYCLES_PER_CSS_KB = 1.1
+CYCLES_PER_SCRIPT_KB = 26.0
+CYCLES_PER_ELEMENT = 0.35
+CYCLES_PER_KPIXEL_PAINT = 0.16
+CYCLES_PER_IMAGE_DECODE_KPIXEL = 0.30
+CYCLES_PER_REQUEST_OVERHEAD = 1.2  # connection + cache bookkeeping
+
+
+@dataclass(frozen=True)
+class PageStats:
+    """Resource census of a page, as a client browser sees it."""
+
+    html_bytes: int
+    css_bytes: int = 0
+    script_bytes: int = 0
+    image_bytes: int = 0
+    resource_count: int = 1  # total HTTP requests including the page
+    element_count: int = 0
+    image_count: int = 0
+    image_pixels: int = 0  # decoded pixels across all images
+
+    @property
+    def total_bytes(self) -> int:
+        return (
+            self.html_bytes
+            + self.css_bytes
+            + self.script_bytes
+            + self.image_bytes
+        )
+
+
+@dataclass(frozen=True)
+class LoadBreakdown:
+    """Where the wall-clock time of one page load went."""
+
+    network_s: float
+    parse_s: float
+    style_s: float
+    script_s: float
+    layout_paint_s: float
+    image_decode_s: float
+
+    @property
+    def cpu_s(self) -> float:
+        return (
+            self.parse_s
+            + self.style_s
+            + self.script_s
+            + self.layout_paint_s
+            + self.image_decode_s
+        )
+
+    @property
+    def total_s(self) -> float:
+        return self.network_s + self.cpu_s
+
+
+def estimate_load_time(
+    device: DeviceProfile,
+    stats: PageStats,
+    page_height: float | None = None,
+) -> LoadBreakdown:
+    """Wall-clock page-load breakdown for ``stats`` on ``device``.
+
+    ``page_height`` (CSS px at the device's layout viewport) sizes the
+    paint workload; when omitted, a density heuristic derives it from
+    content volume.
+    """
+    link = device.link
+    network_s = link.page_load_time(stats.total_bytes, stats.resource_count)
+
+    if page_height is None:
+        # ~55 bytes of HTML per vertical CSS pixel at 1024 wide, scaled
+        # to the device's layout viewport (narrower viewport → taller page).
+        page_height = (stats.html_bytes / 55.0) * (1024.0 / device.layout_viewport)
+    paint_kpixels = device.layout_viewport * max(0.0, page_height) / 1000.0
+
+    mcycles_parse = (stats.html_bytes / 1024.0) * CYCLES_PER_HTML_KB
+    mcycles_style = (stats.css_bytes / 1024.0) * CYCLES_PER_CSS_KB
+    mcycles_script = (stats.script_bytes / 1024.0) * CYCLES_PER_SCRIPT_KB
+    mcycles_layout_paint = (
+        stats.element_count * CYCLES_PER_ELEMENT
+        + paint_kpixels * CYCLES_PER_KPIXEL_PAINT
+        + stats.resource_count * CYCLES_PER_REQUEST_OVERHEAD
+    )
+    mcycles_images = (
+        stats.image_pixels / 1000.0
+    ) * CYCLES_PER_IMAGE_DECODE_KPIXEL
+
+    effective = device.effective_mhz
+    return LoadBreakdown(
+        network_s=network_s,
+        parse_s=mcycles_parse / effective,
+        style_s=mcycles_style / effective,
+        script_s=mcycles_script / effective,
+        layout_paint_s=mcycles_layout_paint / effective,
+        image_decode_s=mcycles_images / effective,
+    )
+
+
+def census_document(
+    document: Document,
+    html_bytes: int,
+    css_bytes: int = 0,
+    script_bytes: int = 0,
+    image_bytes: int = 0,
+    resource_count: int | None = None,
+    image_pixels: int | None = None,
+) -> PageStats:
+    """Build :class:`PageStats` from a parsed document plus byte counts."""
+    elements = document.all_elements()
+    unique_sources = {
+        el.get("src") for el in elements if el.tag == "img" and el.get("src")
+    }
+    image_count = len(unique_sources)
+    if resource_count is None:
+        # Repeated images (status icons) are fetched once and cached.
+        scripts = sum(
+            1 for el in elements if el.tag == "script" and el.get("src")
+        )
+        links = sum(
+            1
+            for el in elements
+            if el.tag == "link"
+            and (el.get("rel") or "").lower() == "stylesheet"
+        )
+        resource_count = 1 + scripts + links + image_count
+    if image_pixels is None:
+        # Assume modest decorative images when sizes are not declared.
+        image_pixels = image_count * 32 * 32
+        seen: set[str] = set()
+        for element in elements:
+            if element.tag == "img" and element.get("src") not in seen:
+                seen.add(element.get("src") or "")
+                try:
+                    width = int(element.get("width") or 0)
+                    height = int(element.get("height") or 0)
+                except ValueError:
+                    continue
+                if width and height:
+                    image_pixels += width * height
+    return PageStats(
+        html_bytes=html_bytes,
+        css_bytes=css_bytes,
+        script_bytes=script_bytes,
+        image_bytes=image_bytes,
+        resource_count=resource_count,
+        element_count=len(elements),
+        image_count=image_count,
+        image_pixels=image_pixels,
+    )

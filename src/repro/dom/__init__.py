@@ -1,0 +1,33 @@
+"""Document object model built from scratch for the reproduction.
+
+The m.Site proxy does most of its adaptation work on a parsed DOM tree
+(§3.2 of the paper), identified via XPath or CSS3 selectors and manipulated
+through a server-side jQuery port.  This package provides all three:
+
+* :mod:`repro.dom.node` / :mod:`repro.dom.element` / :mod:`repro.dom.document`
+  — the tree itself,
+* :mod:`repro.dom.xpath` — an XPath subset engine,
+* :mod:`repro.dom.selectors` — a CSS3 selector engine,
+* :mod:`repro.dom.query` — the jQuery-style manipulation API.
+"""
+
+from repro.dom.node import Node, Text, Comment, Doctype
+from repro.dom.element import Element
+from repro.dom.document import Document
+from repro.dom.selectors import select, matches, parse_selector
+from repro.dom.xpath import xpath
+from repro.dom.query import Query
+
+__all__ = [
+    "Node",
+    "Text",
+    "Comment",
+    "Doctype",
+    "Element",
+    "Document",
+    "select",
+    "matches",
+    "parse_selector",
+    "xpath",
+    "Query",
+]

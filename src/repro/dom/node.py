@@ -1,0 +1,206 @@
+"""Base node types for the DOM tree.
+
+The tree is intentionally simple: every node knows its parent and elements
+keep an ordered child list.  All mutation goes through methods that keep
+parent pointers consistent, because the adaptation pipeline moves objects
+between pages constantly (page splitting, dependency copying, relocation).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterator, Optional
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.dom.document import Document
+    from repro.dom.element import Element
+
+
+class Node:
+    """Common behaviour for every node in the tree."""
+
+    __slots__ = ("parent",)
+
+    def __init__(self) -> None:
+        self.parent: Optional[Node] = None
+
+    # -- identity ------------------------------------------------------
+
+    @property
+    def node_name(self) -> str:
+        raise NotImplementedError
+
+    # -- tree navigation -------------------------------------------------
+
+    @property
+    def children(self) -> list["Node"]:
+        """Child list; leaf nodes expose an immutable empty list."""
+        return []
+
+    @property
+    def owner_document(self) -> Optional["Document"]:
+        """The document at the root of this node's tree, if any."""
+        from repro.dom.document import Document
+
+        node: Optional[Node] = self
+        while node is not None:
+            if isinstance(node, Document):
+                return node
+            node = node.parent
+        return None
+
+    def ancestors(self) -> Iterator["Node"]:
+        """Parent, grandparent, ... up to and including the root."""
+        node = self.parent
+        while node is not None:
+            yield node
+            node = node.parent
+
+    def root(self) -> "Node":
+        """Topmost ancestor (self if detached)."""
+        node: Node = self
+        while node.parent is not None:
+            node = node.parent
+        return node
+
+    @property
+    def index_in_parent(self) -> int:
+        """Position among siblings; raises if detached."""
+        if self.parent is None:
+            raise ValueError("node has no parent")
+        return self.parent.children.index(self)
+
+    @property
+    def previous_sibling(self) -> Optional["Node"]:
+        if self.parent is None:
+            return None
+        index = self.index_in_parent
+        if index == 0:
+            return None
+        return self.parent.children[index - 1]
+
+    @property
+    def next_sibling(self) -> Optional["Node"]:
+        if self.parent is None:
+            return None
+        siblings = self.parent.children
+        index = self.index_in_parent
+        if index + 1 >= len(siblings):
+            return None
+        return siblings[index + 1]
+
+    # -- mutation ------------------------------------------------------
+
+    def detach(self) -> "Node":
+        """Remove this node from its parent (no-op when detached)."""
+        if self.parent is not None:
+            self.parent.children.remove(self)
+            self.parent = None
+        return self
+
+    def replace_with(self, replacement: "Node") -> "Node":
+        """Swap this node for ``replacement`` in the parent's child list."""
+        if self.parent is None:
+            raise ValueError("cannot replace a detached node")
+        parent = self.parent
+        index = self.index_in_parent
+        replacement.detach()
+        parent.children[index] = replacement
+        replacement.parent = parent
+        self.parent = None
+        return replacement
+
+    def insert_before(self, sibling: "Node") -> "Node":
+        """Insert ``sibling`` immediately before this node."""
+        if self.parent is None:
+            raise ValueError("cannot insert beside a detached node")
+        sibling.detach()
+        index = self.index_in_parent
+        self.parent.children.insert(index, sibling)
+        sibling.parent = self.parent
+        return sibling
+
+    def insert_after(self, sibling: "Node") -> "Node":
+        """Insert ``sibling`` immediately after this node."""
+        if self.parent is None:
+            raise ValueError("cannot insert beside a detached node")
+        sibling.detach()
+        index = self.index_in_parent
+        self.parent.children.insert(index + 1, sibling)
+        sibling.parent = self.parent
+        return sibling
+
+    # -- content -------------------------------------------------------
+
+    @property
+    def text_content(self) -> str:
+        """Concatenated text of all descendant text nodes."""
+        return ""
+
+    def clone(self) -> "Node":
+        """Deep copy, detached from any parent."""
+        raise NotImplementedError
+
+
+class Text(Node):
+    """A run of character data."""
+
+    __slots__ = ("data",)
+
+    def __init__(self, data: str) -> None:
+        super().__init__()
+        self.data = data
+
+    @property
+    def node_name(self) -> str:
+        return "#text"
+
+    @property
+    def text_content(self) -> str:
+        return self.data
+
+    def clone(self) -> "Text":
+        return Text(self.data)
+
+    def __repr__(self) -> str:
+        preview = self.data if len(self.data) <= 24 else self.data[:21] + "..."
+        return f"Text({preview!r})"
+
+
+class Comment(Node):
+    """An HTML comment; preserved because templates hide markers in them."""
+
+    __slots__ = ("data",)
+
+    def __init__(self, data: str) -> None:
+        super().__init__()
+        self.data = data
+
+    @property
+    def node_name(self) -> str:
+        return "#comment"
+
+    def clone(self) -> "Comment":
+        return Comment(self.data)
+
+    def __repr__(self) -> str:
+        return f"Comment({self.data!r})"
+
+
+class Doctype(Node):
+    """A document type declaration (the doctype-rewrite attribute targets it)."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str = "html") -> None:
+        super().__init__()
+        self.name = name
+
+    @property
+    def node_name(self) -> str:
+        return "#doctype"
+
+    def clone(self) -> "Doctype":
+        return Doctype(self.name)
+
+    def __repr__(self) -> str:
+        return f"Doctype({self.name!r})"

@@ -1,0 +1,373 @@
+"""Server-side jQuery analog.
+
+The paper integrates "a server-side port of the popular jQuery DOM
+manipulation library" (§3.2) and uses it both in the attribute system and
+in generated proxy code (the AJAX link rewriting of §4.4 is expressed as
+jQuery calls).  This module provides the fluent wrapper: a :class:`Query`
+holds an ordered set of elements and every mutator returns a query so calls
+chain.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Callable, Iterable, Iterator, Optional, Union
+
+from repro.dom.document import Document
+from repro.dom.element import Element
+from repro.dom.node import Node, Text
+from repro.dom.selectors import matches as _matches, select as _select
+
+Root = Union[Document, Element]
+
+
+class Query:
+    """An ordered, duplicate-free set of elements with chainable operations."""
+
+    def __init__(
+        self,
+        target: Union[str, Element, Document, Iterable[Element], None] = None,
+        root: Optional[Root] = None,
+    ) -> None:
+        self._root = root
+        elements: list[Element] = []
+        if target is None:
+            pass
+        elif isinstance(target, str):
+            if root is None:
+                raise ValueError("selector queries need a root document")
+            elements = _select(root, target)
+        elif isinstance(target, Document):
+            self._root = target
+            doc_el = target.document_element
+            elements = [doc_el] if doc_el is not None else []
+        elif isinstance(target, Element):
+            elements = [target]
+        else:
+            elements = list(target)
+        self._elements = _unique(elements)
+
+    # -- set plumbing ------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._elements)
+
+    def __iter__(self) -> Iterator[Element]:
+        return iter(self._elements)
+
+    def __getitem__(self, index: int) -> Element:
+        return self._elements[index]
+
+    def __bool__(self) -> bool:
+        return bool(self._elements)
+
+    @property
+    def elements(self) -> list[Element]:
+        """The matched elements as a plain list (copy)."""
+        return list(self._elements)
+
+    def _wrap(self, elements: Iterable[Element]) -> "Query":
+        query = Query(root=self._root)
+        query._elements = _unique(list(elements))
+        return query
+
+    # -- traversal ---------------------------------------------------------
+
+    def find(self, selector: str) -> "Query":
+        """Descendants of each element matching ``selector``."""
+        found: list[Element] = []
+        for element in self._elements:
+            for hit in _select(element, selector):
+                if hit is not element:
+                    found.append(hit)
+        return self._wrap(found)
+
+    def filter(
+        self, test: Union[str, Callable[[Element], bool]]
+    ) -> "Query":
+        if callable(test):
+            return self._wrap(el for el in self._elements if test(el))
+        return self._wrap(el for el in self._elements if _matches(el, test))
+
+    def not_(self, selector: str) -> "Query":
+        return self._wrap(
+            el for el in self._elements if not _matches(el, selector)
+        )
+
+    def eq(self, index: int) -> "Query":
+        try:
+            return self._wrap([self._elements[index]])
+        except IndexError:
+            return self._wrap([])
+
+    def first(self) -> "Query":
+        return self.eq(0)
+
+    def last(self) -> "Query":
+        return self.eq(-1)
+
+    def parent(self) -> "Query":
+        parents = [
+            el.parent for el in self._elements if isinstance(el.parent, Element)
+        ]
+        return self._wrap(parents)
+
+    def closest(self, selector: str) -> "Query":
+        found = []
+        for element in self._elements:
+            node: Optional[Node] = element
+            while isinstance(node, Element):
+                if _matches(node, selector):
+                    found.append(node)
+                    break
+                node = node.parent
+        return self._wrap(found)
+
+    def children(self, selector: Optional[str] = None) -> "Query":
+        found: list[Element] = []
+        for element in self._elements:
+            for child in element.child_elements():
+                if selector is None or _matches(child, selector):
+                    found.append(child)
+        return self._wrap(found)
+
+    def siblings(self) -> "Query":
+        found: list[Element] = []
+        for element in self._elements:
+            parent = element.parent
+            if not isinstance(parent, Element):
+                continue
+            for child in parent.child_elements():
+                if child is not element:
+                    found.append(child)
+        return self._wrap(found)
+
+    def each(self, fn: Callable[[int, Element], None]) -> "Query":
+        for index, element in enumerate(self._elements):
+            fn(index, element)
+        return self
+
+    def map(self, fn: Callable[[Element], object]) -> list:
+        return [fn(element) for element in self._elements]
+
+    def is_(self, selector: str) -> bool:
+        return any(_matches(el, selector) for el in self._elements)
+
+    # -- attributes ----------------------------------------------------------
+
+    def attr(
+        self, name: str, value: Optional[str] = None
+    ) -> Union[str, None, "Query"]:
+        """Get the first element's attribute, or set it on all elements."""
+        if value is None:
+            if not self._elements:
+                return None
+            return self._elements[0].get(name)
+        for element in self._elements:
+            element.set(name, value)
+        return self
+
+    def remove_attr(self, name: str) -> "Query":
+        for element in self._elements:
+            element.remove_attribute(name)
+        return self
+
+    def add_class(self, name: str) -> "Query":
+        for element in self._elements:
+            element.add_class(name)
+        return self
+
+    def remove_class(self, name: str) -> "Query":
+        for element in self._elements:
+            element.remove_class(name)
+        return self
+
+    def toggle_class(self, name: str) -> "Query":
+        for element in self._elements:
+            if element.has_class(name):
+                element.remove_class(name)
+            else:
+                element.add_class(name)
+        return self
+
+    def css(
+        self, prop: str, value: Optional[str] = None
+    ) -> Union[str, None, "Query"]:
+        """Read or write a declaration in the inline ``style`` attribute."""
+        if value is None:
+            if not self._elements:
+                return None
+            return _style_get(self._elements[0], prop)
+        for element in self._elements:
+            _style_set(element, prop, value)
+        return self
+
+    # -- content -------------------------------------------------------------
+
+    def text(self, value: Optional[str] = None) -> Union[str, "Query"]:
+        if value is None:
+            return "".join(el.text_content for el in self._elements)
+        for element in self._elements:
+            element.set_text(value)
+        return self
+
+    def html(self, markup: Optional[str] = None) -> Union[str, "Query"]:
+        from repro.html.parser import parse_fragment
+        from repro.html.serializer import inner_html
+
+        if markup is None:
+            if not self._elements:
+                return ""
+            return inner_html(self._elements[0])
+        for element in self._elements:
+            element.clear_children()
+            for node in parse_fragment(markup):
+                element.append(node)
+        return self
+
+    def val(self, value: Optional[str] = None) -> Union[str, None, "Query"]:
+        """Form-control value (the ``value`` attribute)."""
+        if value is None:
+            if not self._elements:
+                return None
+            return self._elements[0].get("value")
+        for element in self._elements:
+            element.set("value", value)
+        return self
+
+    # -- structure -------------------------------------------------------------
+
+    def append(self, content: Union[str, Node, "Query"]) -> "Query":
+        for element, nodes in self._content_per_target(content):
+            for node in nodes:
+                element.append(node)
+        return self
+
+    def prepend(self, content: Union[str, Node, "Query"]) -> "Query":
+        for element, nodes in self._content_per_target(content):
+            for node in reversed(nodes):
+                element.prepend(node)
+        return self
+
+    def before(self, content: Union[str, Node, "Query"]) -> "Query":
+        for element, nodes in self._content_per_target(content):
+            for node in nodes:
+                element.insert_before(node)
+        return self
+
+    def after(self, content: Union[str, Node, "Query"]) -> "Query":
+        for element, nodes in self._content_per_target(content):
+            for node in reversed(nodes):
+                element.insert_after(node)
+        return self
+
+    def remove(self) -> "Query":
+        for element in self._elements:
+            element.detach()
+        return self
+
+    def empty(self) -> "Query":
+        for element in self._elements:
+            element.clear_children()
+        return self
+
+    def replace_with(self, content: Union[str, Node, "Query"]) -> "Query":
+        for element, nodes in self._content_per_target(content):
+            if not nodes:
+                element.detach()
+                continue
+            element.replace_with(nodes[0])
+            anchor = nodes[0]
+            for node in nodes[1:]:
+                anchor.insert_after(node)
+                anchor = node
+        return self
+
+    def wrap(self, markup: str) -> "Query":
+        """Wrap each element in the (single-element) structure ``markup``."""
+        from repro.html.parser import parse_fragment
+
+        for element in self._elements:
+            wrappers = [
+                node for node in parse_fragment(markup) if isinstance(node, Element)
+            ]
+            if not wrappers:
+                raise ValueError(f"wrap() markup has no element: {markup!r}")
+            wrapper = wrappers[0]
+            # Descend to the innermost element of the wrapper.
+            inner = wrapper
+            while inner.child_elements():
+                inner = inner.child_elements()[0]
+            if element.parent is not None:
+                element.replace_with(wrapper)
+            inner.append(element)
+        return self
+
+    def clone(self) -> "Query":
+        return self._wrap([element.clone() for element in self._elements])
+
+    # -- internals ---------------------------------------------------------------
+
+    def _content_per_target(
+        self, content: Union[str, Node, "Query"]
+    ) -> Iterator[tuple[Element, list[Node]]]:
+        """Pair every target element with fresh content nodes.
+
+        jQuery semantics: the first target consumes the original nodes,
+        subsequent targets get deep clones.
+        """
+        from repro.html.parser import parse_fragment
+
+        if isinstance(content, str):
+            originals: list[Node] = parse_fragment(content)
+        elif isinstance(content, Node):
+            originals = [content]
+        else:
+            originals = list(content.elements)
+        for index, element in enumerate(self._elements):
+            if index == 0:
+                yield element, originals
+            else:
+                yield element, [node.clone() for node in originals]
+
+    def __repr__(self) -> str:
+        return f"Query({self._elements!r})"
+
+
+# ---------------------------------------------------------------------------
+# inline-style helpers
+
+_DECL_RE = re.compile(r"([-a-zA-Z]+)\s*:\s*([^;]+)")
+
+
+def _style_decls(element: Element) -> list[tuple[str, str]]:
+    style = element.get("style") or ""
+    return [
+        (name.strip().lower(), value.strip())
+        for name, value in _DECL_RE.findall(style)
+    ]
+
+
+def _style_get(element: Element, prop: str) -> Optional[str]:
+    prop = prop.lower()
+    for name, value in _style_decls(element):
+        if name == prop:
+            return value
+    return None
+
+
+def _style_set(element: Element, prop: str, value: str) -> None:
+    prop = prop.lower()
+    decls = [(name, val) for name, val in _style_decls(element) if name != prop]
+    decls.append((prop, value))
+    element.set("style", "; ".join(f"{name}: {val}" for name, val in decls))
+
+
+def _unique(elements: list[Element]) -> list[Element]:
+    seen: set[int] = set()
+    unique: list[Element] = []
+    for element in elements:
+        if id(element) not in seen:
+            seen.add(id(element))
+            unique.append(element)
+    return unique

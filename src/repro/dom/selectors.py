@@ -1,0 +1,403 @@
+"""CSS3 selector engine.
+
+Implements the selector subset the paper relies on ("objects can be
+identified using new CSS 3 selector support", §3.2): type, universal, id,
+class, attribute matchers (= ~= |= ^= $= *=), the structural pseudo-classes
+(:first-child, :last-child, :only-child, :nth-child, :first-of-type,
+:last-of-type, :empty, :root, :not), the jQuery ``:contains`` extension,
+and all four combinators (descendant, ``>``, ``+``, ``~``), with comma
+groups.
+
+Matching proceeds right-to-left, the standard strategy for engines that
+evaluate against candidate elements.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.dom.element import Element
+from repro.errors import ParseError
+
+_IDENT = r"[-_a-zA-Z][-_a-zA-Z0-9]*"
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<combinator>[>+~])
+  | (?P<comma>,)
+  | (?P<hash>\#(?P<hash_name>{ident}))
+  | (?P<class>\.(?P<class_name>{ident}))
+  | (?P<attr>\[\s*(?P<attr_name>{ident})
+        (?:\s*(?P<attr_op>[~|^$*]?=)\s*
+            (?P<attr_val>"[^"]*"|'[^']*'|[^\]\s]+))?\s*\])
+  | (?P<pseudo>:(?P<pseudo_name>[-a-zA-Z]+)(?:\((?P<pseudo_arg>[^)]*)\))?)
+  | (?P<type>{ident}|\*)
+    """.format(ident=_IDENT),
+    re.VERBOSE,
+)
+
+
+@dataclass
+class AttributeTest:
+    name: str
+    operator: Optional[str] = None  # '=', '~=', '|=', '^=', '$=', '*='
+    value: Optional[str] = None
+
+    def matches(self, element: Element) -> bool:
+        actual = element.get(self.name)
+        if actual is None:
+            return False
+        if self.operator is None:
+            return True
+        expected = self.value or ""
+        if self.operator == "=":
+            return actual == expected
+        if self.operator == "~=":
+            return expected in actual.split()
+        if self.operator == "|=":
+            return actual == expected or actual.startswith(expected + "-")
+        if self.operator == "^=":
+            return bool(expected) and actual.startswith(expected)
+        if self.operator == "$=":
+            return bool(expected) and actual.endswith(expected)
+        if self.operator == "*=":
+            return bool(expected) and expected in actual
+        raise ParseError(f"unknown attribute operator {self.operator!r}")
+
+
+@dataclass
+class PseudoTest:
+    name: str
+    argument: Optional[str] = None
+    # :not() holds a parsed simple selector
+    inner: Optional["CompoundSelector"] = None
+
+    def matches(self, element: Element) -> bool:
+        name = self.name
+        if name == "first-child":
+            return _element_index(element) == 0
+        if name == "last-child":
+            siblings = _element_siblings(element)
+            return bool(siblings) and siblings[-1] is element
+        if name == "only-child":
+            return len(_element_siblings(element)) == 1
+        if name == "nth-child":
+            return _match_nth(self.argument or "", _element_index(element) + 1)
+        if name == "nth-last-child":
+            position = (
+                len(_element_siblings(element)) - _element_index(element)
+            )
+            return _match_nth(self.argument or "", position)
+        if name == "nth-of-type":
+            return _match_nth(self.argument or "", _type_index(element) + 1)
+        if name == "nth-last-of-type":
+            same = [
+                el for el in _element_siblings(element)
+                if el.tag == element.tag
+            ]
+            position = len(same) - _type_index(element)
+            return _match_nth(self.argument or "", position)
+        if name == "first-of-type":
+            return _type_index(element) == 0
+        if name == "last-of-type":
+            same = [
+                el for el in _element_siblings(element) if el.tag == element.tag
+            ]
+            return bool(same) and same[-1] is element
+        if name == "empty":
+            return not element.children
+        if name == "root":
+            from repro.dom.document import Document
+
+            return isinstance(element.parent, Document)
+        if name == "not":
+            return self.inner is not None and not self.inner.matches(element)
+        if name == "contains":
+            return (self.argument or "") in element.text_content
+        if name == "link":
+            # Static rendering: every hyperlink is unvisited.
+            return element.tag == "a" and element.has_attribute("href")
+        if name in ("visited", "hover", "active", "focus", "checked"):
+            # Dynamic states never hold in a server-side snapshot.
+            return False
+        raise ParseError(f"unsupported pseudo-class :{name}")
+
+
+@dataclass
+class CompoundSelector:
+    """A sequence of simple selectors applying to one element."""
+
+    tag: Optional[str] = None  # None means universal
+    element_id: Optional[str] = None
+    class_names: list[str] = field(default_factory=list)
+    attribute_tests: list[AttributeTest] = field(default_factory=list)
+    pseudo_tests: list[PseudoTest] = field(default_factory=list)
+
+    def matches(self, element: Element) -> bool:
+        if self.tag is not None and element.tag != self.tag:
+            return False
+        if self.element_id is not None and element.id != self.element_id:
+            return False
+        for class_name in self.class_names:
+            if not element.has_class(class_name):
+                return False
+        for test in self.attribute_tests:
+            if not test.matches(element):
+                return False
+        for pseudo in self.pseudo_tests:
+            if not pseudo.matches(element):
+                return False
+        return True
+
+
+@dataclass
+class ComplexSelector:
+    """Compounds joined by combinators, stored left-to-right."""
+
+    compounds: list[CompoundSelector]
+    combinators: list[str]  # len == len(compounds) - 1; ' ', '>', '+', '~'
+
+    def matches(self, element: Element) -> bool:
+        return self._match_from(element, len(self.compounds) - 1)
+
+    def _match_from(self, element: Element, index: int) -> bool:
+        if not self.compounds[index].matches(element):
+            return False
+        if index == 0:
+            return True
+        combinator = self.combinators[index - 1]
+        if combinator == " ":
+            for ancestor in element.ancestors():
+                if isinstance(ancestor, Element) and self._match_from(
+                    ancestor, index - 1
+                ):
+                    return True
+            return False
+        if combinator == ">":
+            parent = element.parent
+            return isinstance(parent, Element) and self._match_from(
+                parent, index - 1
+            )
+        if combinator == "+":
+            sibling = _previous_element(element)
+            return sibling is not None and self._match_from(sibling, index - 1)
+        if combinator == "~":
+            sibling = _previous_element(element)
+            while sibling is not None:
+                if self._match_from(sibling, index - 1):
+                    return True
+                sibling = _previous_element(sibling)
+            return False
+        raise ParseError(f"unknown combinator {combinator!r}")
+
+
+@dataclass
+class SelectorGroup:
+    """Comma-separated alternatives."""
+
+    alternatives: list[ComplexSelector]
+
+    def matches(self, element: Element) -> bool:
+        return any(alt.matches(element) for alt in self.alternatives)
+
+
+# ---------------------------------------------------------------------------
+# parsing
+
+
+def parse_selector(source: str) -> SelectorGroup:
+    """Parse a selector group; raises :class:`ParseError` on bad syntax."""
+    source = source.strip()
+    if not source:
+        raise ParseError("empty selector")
+    alternatives: list[ComplexSelector] = []
+    compounds: list[CompoundSelector] = []
+    combinators: list[str] = []
+    current: Optional[CompoundSelector] = None
+    pending_combinator: Optional[str] = None
+    pos = 0
+    while pos < len(source):
+        match = _TOKEN_RE.match(source, pos)
+        if match is None:
+            raise ParseError(f"bad selector syntax at {source[pos:]!r}")
+        pos = match.end()
+        kind = match.lastgroup  # set by the last group matched
+        if match.group("ws"):
+            if current is not None:
+                pending_combinator = pending_combinator or " "
+            continue
+        if match.group("comma"):
+            if current is None:
+                raise ParseError("selector alternative is empty")
+            compounds.append(current)
+            alternatives.append(ComplexSelector(compounds, combinators))
+            compounds, combinators, current = [], [], None
+            pending_combinator = None
+            continue
+        if match.group("combinator"):
+            if current is None:
+                raise ParseError(
+                    f"combinator {match.group('combinator')!r} with no left side"
+                )
+            pending_combinator = match.group("combinator")
+            continue
+        # A simple-selector token: open a new compound if needed.
+        if current is None:
+            current = CompoundSelector()
+        elif pending_combinator is not None:
+            compounds.append(current)
+            combinators.append(pending_combinator)
+            current = CompoundSelector()
+            pending_combinator = None
+        _apply_token(current, match)
+    if current is None:
+        raise ParseError(f"selector ends unexpectedly: {source!r}")
+    if pending_combinator is not None and pending_combinator != " ":
+        raise ParseError(
+            f"selector ends with dangling combinator: {source!r}"
+        )
+    compounds.append(current)
+    alternatives.append(ComplexSelector(compounds, combinators))
+    return SelectorGroup(alternatives)
+
+
+def _apply_token(compound: CompoundSelector, match: re.Match) -> None:
+    if match.group("type"):
+        token = match.group("type")
+        if compound.tag is not None:
+            raise ParseError("duplicate type selector")
+        compound.tag = None if token == "*" else token.lower()
+    elif match.group("hash"):
+        compound.element_id = match.group("hash_name")
+    elif match.group("class"):
+        compound.class_names.append(match.group("class_name"))
+    elif match.group("attr"):
+        value = match.group("attr_val")
+        if value is not None and value[:1] in "\"'":
+            value = value[1:-1]
+        compound.attribute_tests.append(
+            AttributeTest(
+                name=match.group("attr_name").lower(),
+                operator=match.group("attr_op"),
+                value=value,
+            )
+        )
+    elif match.group("pseudo"):
+        name = match.group("pseudo_name").lower()
+        argument = match.group("pseudo_arg")
+        inner = None
+        if name == "not":
+            if not argument:
+                raise ParseError(":not() requires an argument")
+            inner_group = parse_selector(argument)
+            only = inner_group.alternatives[0]
+            if len(inner_group.alternatives) != 1 or len(only.compounds) != 1:
+                raise ParseError(":not() accepts a single compound selector")
+            inner = only.compounds[0]
+        if argument is not None and argument[:1] in "\"'":
+            argument = argument[1:-1]
+        compound.pseudo_tests.append(PseudoTest(name, argument, inner))
+
+
+# ---------------------------------------------------------------------------
+# evaluation helpers
+
+
+def _element_siblings(element: Element) -> list[Element]:
+    parent = element.parent
+    if parent is None:
+        return [element]
+    return [child for child in parent.children if isinstance(child, Element)]
+
+
+def _element_index(element: Element) -> int:
+    siblings = _element_siblings(element)
+    for index, sibling in enumerate(siblings):
+        if sibling is element:
+            return index
+    return 0
+
+
+def _type_index(element: Element) -> int:
+    same = [el for el in _element_siblings(element) if el.tag == element.tag]
+    for index, sibling in enumerate(same):
+        if sibling is element:
+            return index
+    return 0
+
+
+def _previous_element(element: Element) -> Optional[Element]:
+    node = element.previous_sibling
+    while node is not None:
+        if isinstance(node, Element):
+            return node
+        node = node.previous_sibling
+    return None
+
+
+_NTH_RE = re.compile(
+    r"^\s*(?:(?P<odd>odd)|(?P<even>even)"
+    r"|(?P<a>[+-]?\d*)n\s*(?:(?P<sign>[+-])\s*(?P<b>\d+))?"
+    r"|(?P<index>[+-]?\d+))\s*$"
+)
+
+
+def _match_nth(expression: str, position: int) -> bool:
+    """Evaluate an An+B expression against a 1-based position."""
+    match = _NTH_RE.match(expression)
+    if match is None:
+        raise ParseError(f"bad :nth-child() argument {expression!r}")
+    if match.group("odd"):
+        return position % 2 == 1
+    if match.group("even"):
+        return position % 2 == 0
+    if match.group("index"):
+        return position == int(match.group("index"))
+    a_text = match.group("a")
+    if a_text in ("", "+"):
+        a = 1
+    elif a_text == "-":
+        a = -1
+    else:
+        a = int(a_text)
+    b = int(match.group("b") or 0)
+    if match.group("sign") == "-":
+        b = -b
+    if a == 0:
+        return position == b
+    quotient, remainder = divmod(position - b, a)
+    return remainder == 0 and quotient >= 0
+
+
+# ---------------------------------------------------------------------------
+# public API
+
+
+def matches(element: Element, selector: str | SelectorGroup) -> bool:
+    """Does ``element`` match the selector?"""
+    group = (
+        selector if isinstance(selector, SelectorGroup) else parse_selector(selector)
+    )
+    return group.matches(element)
+
+
+def select(root, selector: str | SelectorGroup) -> list[Element]:
+    """All elements under ``root`` (document or element) matching the selector.
+
+    ``root`` itself is included as a candidate when it is an element.
+    Results are in document order with no duplicates.
+    """
+    from repro.dom.document import Document
+
+    group = (
+        selector if isinstance(selector, SelectorGroup) else parse_selector(selector)
+    )
+    if isinstance(root, Document):
+        candidates = root.all_elements()
+    elif isinstance(root, Element):
+        candidates = [root, *root.descendant_elements()]
+    else:
+        raise TypeError(f"cannot select within {root!r}")
+    return [element for element in candidates if group.matches(element)]

@@ -1,0 +1,232 @@
+"""XPath subset engine for object identification.
+
+The paper supports DOM-based object identification using XPath (§3.2), the
+same mechanism client-side customization tools rely on.  This engine covers
+the location-path subset those tools emit:
+
+* absolute (``/html/body/div``) and relative paths,
+* the descendant axis ``//``,
+* name tests, ``*``, ``.`` and ``..``,
+* positional predicates ``[3]`` (1-based, per step),
+* attribute predicates ``[@id='x']``, ``[@checked]``,
+* top-level unions ``a | b``.
+
+Evaluation returns elements in document order without duplicates.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.dom.document import Document
+from repro.dom.element import Element
+from repro.errors import ParseError
+
+_STEP_RE = re.compile(
+    r"^(?P<axis>\.\.|\.|\*|[a-zA-Z][-_a-zA-Z0-9]*)(?P<predicates>(\[[^\]]*\])*)$"
+)
+_PREDICATE_RE = re.compile(r"\[([^\]]*)\]")
+_ATTR_PRED_RE = re.compile(
+    r"^@(?P<name>[-_a-zA-Z][-_a-zA-Z0-9]*)"
+    r"(?:\s*=\s*(?P<value>\"[^\"]*\"|'[^']*'))?$"
+)
+
+
+@dataclass
+class _Step:
+    descendant: bool  # preceded by '//' rather than '/'
+    name: str  # tag name, '*', '.', '..'
+    predicates: list[str]
+
+
+def _parse_path(path: str) -> tuple[bool, list[_Step]]:
+    """Split one location path into (absolute, steps)."""
+    path = path.strip()
+    if not path:
+        raise ParseError("empty XPath expression")
+    absolute = path.startswith("/")
+    steps: list[_Step] = []
+    pos = 0
+    descendant = False
+    if absolute:
+        if path.startswith("//"):
+            descendant = True
+            pos = 2
+        else:
+            pos = 1
+    while pos < len(path):
+        next_sep = _find_separator(path, pos)
+        raw = path[pos:next_sep] if next_sep != -1 else path[pos:]
+        match = _STEP_RE.match(raw.strip())
+        if match is None:
+            raise ParseError(f"bad XPath step {raw!r}")
+        predicates = _PREDICATE_RE.findall(match.group("predicates") or "")
+        steps.append(
+            _Step(
+                descendant=descendant,
+                name=match.group("axis"),
+                predicates=[pred.strip() for pred in predicates],
+            )
+        )
+        if next_sep == -1:
+            break
+        if path.startswith("//", next_sep):
+            descendant = True
+            pos = next_sep + 2
+        else:
+            descendant = False
+            pos = next_sep + 1
+    if not steps:
+        raise ParseError(f"XPath has no steps: {path!r}")
+    return absolute, steps
+
+
+def _find_separator(path: str, start: int) -> int:
+    """Next '/' outside a predicate bracket, or -1."""
+    depth = 0
+    for index in range(start, len(path)):
+        char = path[index]
+        if char == "[":
+            depth += 1
+        elif char == "]":
+            depth -= 1
+        elif char == "/" and depth == 0:
+            return index
+    return -1
+
+
+def xpath(root, expression: str) -> list[Element]:
+    """Evaluate ``expression`` against a document or element root."""
+    paths = _split_union(expression)
+    if not paths:
+        raise ParseError(f"empty XPath expression {expression!r}")
+    results: list[Element] = []
+    seen: set[int] = set()
+    for path in paths:
+        for element in _evaluate_path(root, path):
+            if id(element) not in seen:
+                seen.add(id(element))
+                results.append(element)
+    return _document_order(root, results)
+
+
+def _split_union(expression: str) -> list[str]:
+    parts, depth, current = [], 0, []
+    for char in expression:
+        if char == "[":
+            depth += 1
+        elif char == "]":
+            depth -= 1
+        if char == "|" and depth == 0:
+            parts.append("".join(current))
+            current = []
+        else:
+            current.append(char)
+    parts.append("".join(current))
+    return [part for part in (p.strip() for p in parts) if part]
+
+
+def _evaluate_path(root, path: str) -> list[Element]:
+    absolute, steps = _parse_path(path)
+    if isinstance(root, Document):
+        current: list = [root]
+    elif isinstance(root, Element):
+        document = root.owner_document
+        if absolute and document is not None:
+            current = [document]
+        else:
+            current = [root]
+    else:
+        raise TypeError(f"cannot evaluate XPath against {root!r}")
+
+    for step in steps:
+        current = _apply_step(current, step)
+        if not current:
+            return []
+    return [node for node in current if isinstance(node, Element)]
+
+
+def _apply_step(context: list, step: _Step) -> list:
+    output: list = []
+    for node in context:
+        if step.name == ".":
+            candidates = [node]
+        elif step.name == "..":
+            candidates = [node.parent] if node.parent is not None else []
+        elif step.descendant:
+            candidates = _descendant_elements(node, step.name)
+        else:
+            candidates = _child_elements(node, step.name)
+        candidates = _filter_predicates(candidates, step.predicates)
+        output.extend(candidates)
+    # Deduplicate while preserving order ('//' from nested contexts overlaps).
+    seen: set[int] = set()
+    unique = []
+    for node in output:
+        if id(node) not in seen:
+            seen.add(id(node))
+            unique.append(node)
+    return unique
+
+
+def _child_elements(node, name: str) -> list[Element]:
+    children = [
+        child for child in getattr(node, "children", []) if isinstance(child, Element)
+    ]
+    if name == "*":
+        return children
+    return [child for child in children if child.tag == name]
+
+
+def _descendant_elements(node, name: str) -> list[Element]:
+    result: list[Element] = []
+    if isinstance(node, Element):
+        pool = [node, *node.descendant_elements()]
+    elif isinstance(node, Document):
+        pool = node.all_elements()
+    else:
+        return []
+    for element in pool:
+        if name == "*" or element.tag == name:
+            result.append(element)
+    return result
+
+
+def _filter_predicates(candidates: list[Element], predicates: list[str]) -> list:
+    current = candidates
+    for predicate in predicates:
+        if predicate.isdigit():
+            index = int(predicate)
+            current = [current[index - 1]] if 1 <= index <= len(current) else []
+            continue
+        match = _ATTR_PRED_RE.match(predicate)
+        if match is None:
+            raise ParseError(f"unsupported XPath predicate [{predicate}]")
+        name = match.group("name")
+        value = match.group("value")
+        if value is not None:
+            value = value[1:-1]
+            current = [el for el in current if el.get(name) == value]
+        else:
+            current = [el for el in current if el.has_attribute(name)]
+    return current
+
+
+def _document_order(root, elements: list[Element]) -> list[Element]:
+    """Sort results into document order using a single traversal."""
+    if len(elements) <= 1:
+        return elements
+    if isinstance(root, Document):
+        ordering = root.all_elements()
+    elif isinstance(root, Element):
+        top = root.owner_document
+        if top is not None:
+            ordering = top.all_elements()
+        else:
+            ordering = [root, *root.descendant_elements()]
+    else:
+        return elements
+    rank = {id(element): index for index, element in enumerate(ordering)}
+    return sorted(elements, key=lambda el: rank.get(id(el), len(rank)))

@@ -1,0 +1,38 @@
+"""Exception hierarchy shared across the m.Site reproduction.
+
+Every error raised by this package derives from :class:`MSiteError`, so
+callers embedding the proxy can catch one base class at the integration
+boundary.
+"""
+
+
+class MSiteError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class AdaptationError(MSiteError):
+    """An attribute or transform could not be applied to a page."""
+
+
+class IdentificationError(AdaptationError):
+    """An object selector failed to identify its target on the page."""
+
+
+class FetchError(MSiteError):
+    """The proxy could not download the originating page."""
+
+
+class RenderError(MSiteError):
+    """The server-side rendering engine failed to produce output."""
+
+
+class SessionError(MSiteError):
+    """A mobile session is missing, expired, or otherwise invalid."""
+
+
+class ParseError(MSiteError):
+    """Input (HTML, CSS, XPath, selector, URL) could not be parsed."""
+
+
+class CodegenError(MSiteError):
+    """The proxy code generator was given an inconsistent spec."""

@@ -1,0 +1,21 @@
+"""HTML engine: tokenizer, tree-building parser, serializer, Tidy analog.
+
+The proxy downloads real-world tag soup, so the parser must be tolerant:
+implied end tags, unclosed elements, raw-text elements, and attribute
+quoting variants are all handled.  :mod:`repro.html.tidy` plays the role of
+the HTML Tidy library the paper compiles in — normalizing arbitrary HTML
+into well-formed XHTML so strict XML tooling can consume it.
+"""
+
+from repro.html.parser import parse_html, parse_fragment
+from repro.html.serializer import serialize, serialize_xhtml, inner_html
+from repro.html.tidy import tidy_to_xhtml
+
+__all__ = [
+    "parse_html",
+    "parse_fragment",
+    "serialize",
+    "serialize_xhtml",
+    "inner_html",
+    "tidy_to_xhtml",
+]

@@ -1,0 +1,85 @@
+"""Serialize DOM trees back to HTML or XHTML source."""
+
+from __future__ import annotations
+
+from repro.dom.document import Document
+from repro.dom.element import Element
+from repro.dom.node import Comment, Doctype, Node, Text
+from repro.html.entities import encode_attribute, encode_text
+
+# Attributes that are boolean in HTML serialization.
+_BOOLEAN_ATTRIBUTES = frozenset(
+    {"checked", "selected", "disabled", "readonly", "multiple", "defer", "async"}
+)
+
+
+def serialize(node: Node, xhtml: bool = False) -> str:
+    """Render ``node`` (and its subtree) to markup.
+
+    With ``xhtml=True`` void elements self-close, boolean attributes are
+    expanded, and raw text is escaped — the output is well-formed XML.
+    """
+    parts: list[str] = []
+    _write(node, parts, xhtml)
+    return "".join(parts)
+
+
+def serialize_xhtml(node: Node) -> str:
+    """Shorthand for :func:`serialize` with ``xhtml=True``."""
+    return serialize(node, xhtml=True)
+
+
+def inner_html(element: Element, xhtml: bool = False) -> str:
+    """Markup of the element's children only."""
+    parts: list[str] = []
+    for child in element.children:
+        _write(child, parts, xhtml)
+    return "".join(parts)
+
+
+def _write(node: Node, parts: list[str], xhtml: bool) -> None:
+    if isinstance(node, Document):
+        for child in node.children:
+            _write(child, parts, xhtml)
+    elif isinstance(node, Doctype):
+        if xhtml:
+            parts.append(f"<!DOCTYPE {node.name}>")
+        else:
+            parts.append(f"<!DOCTYPE {node.name}>")
+    elif isinstance(node, Comment):
+        parts.append(f"<!--{node.data}-->")
+    elif isinstance(node, Text):
+        parent = node.parent
+        if (
+            not xhtml
+            and isinstance(parent, Element)
+            and parent.tag in ("script", "style")
+        ):
+            parts.append(node.data)
+        else:
+            parts.append(encode_text(node.data))
+    elif isinstance(node, Element):
+        _write_element(node, parts, xhtml)
+    else:  # pragma: no cover - defensive
+        raise TypeError(f"cannot serialize {node!r}")
+
+
+def _write_element(element: Element, parts: list[str], xhtml: bool) -> None:
+    parts.append(f"<{element.tag}")
+    for name, value in element.attributes.items():
+        if not xhtml and name in _BOOLEAN_ATTRIBUTES and value in ("", name):
+            parts.append(f" {name}")
+        else:
+            if xhtml and value == "" and name in _BOOLEAN_ATTRIBUTES:
+                value = name
+            parts.append(f' {name}="{encode_attribute(value)}"')
+    if element.is_void:
+        parts.append(" />" if xhtml else ">")
+        return
+    if xhtml and not element.children:
+        parts.append(" />")
+        return
+    parts.append(">")
+    for child in element.children:
+        _write(child, parts, xhtml)
+    parts.append(f"</{element.tag}>")

@@ -1,0 +1,201 @@
+"""Tolerant HTML tokenizer.
+
+Produces a flat stream of tokens (doctype, start tag, end tag, text,
+comment) from arbitrary markup.  Modeled on the HTML5 tokenizer states that
+matter for real templates: attribute quoting variants, self-closing tags,
+raw-text elements (``script``/``style``/``textarea``/``title``), comments,
+and bogus markup recovery.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Union
+
+from repro.dom.element import RAW_TEXT_ELEMENTS
+from repro.html.entities import decode_entities
+
+
+@dataclass
+class DoctypeToken:
+    name: str
+
+
+@dataclass
+class StartTagToken:
+    name: str
+    attributes: dict[str, str] = field(default_factory=dict)
+    self_closing: bool = False
+
+
+@dataclass
+class EndTagToken:
+    name: str
+
+
+@dataclass
+class TextToken:
+    data: str
+
+
+@dataclass
+class CommentToken:
+    data: str
+
+
+Token = Union[DoctypeToken, StartTagToken, EndTagToken, TextToken, CommentToken]
+
+_WHITESPACE = " \t\n\r\f"
+_ATTR_NAME_END = _WHITESPACE + "=/>"
+
+
+def tokenize(html: str) -> Iterator[Token]:
+    """Yield tokens from ``html``; never raises on malformed input."""
+    pos = 0
+    length = len(html)
+    while pos < length:
+        lt = html.find("<", pos)
+        if lt == -1:
+            yield TextToken(decode_entities(html[pos:]))
+            return
+        if lt > pos:
+            yield TextToken(decode_entities(html[pos:lt]))
+        if lt + 1 >= length:
+            # Trailing lone '<' becomes literal text.
+            yield TextToken("<")
+            return
+        next_char = html[lt + 1]
+        if next_char == "!":
+            pos = yield from _consume_markup_declaration(html, lt)
+        elif next_char == "/":
+            pos = yield from _consume_end_tag(html, lt)
+        elif next_char.isalpha():
+            token, pos = _consume_start_tag(html, lt)
+            yield token
+            if token.name in RAW_TEXT_ELEMENTS and not token.self_closing:
+                pos = yield from _consume_raw_text(html, pos, token.name)
+        elif next_char == "?":
+            # Processing instruction / bogus comment: skip to '>'.
+            gt = html.find(">", lt)
+            pos = length if gt == -1 else gt + 1
+        else:
+            yield TextToken("<")
+            pos = lt + 1
+
+
+def _consume_markup_declaration(html: str, start: int):
+    """Handle ``<!-- -->``, ``<!DOCTYPE ...>`` and bogus declarations."""
+    if html.startswith("<!--", start):
+        end = html.find("-->", start + 4)
+        if end == -1:
+            yield CommentToken(html[start + 4 :])
+            return len(html)
+        yield CommentToken(html[start + 4 : end])
+        return end + 3
+    gt = html.find(">", start)
+    if gt == -1:
+        return len(html)
+    body = html[start + 2 : gt]
+    if body.lower().startswith("doctype"):
+        name = body[7:].strip() or "html"
+        yield DoctypeToken(name)
+    # CDATA and other declarations are dropped, as browsers do in HTML.
+    return gt + 1
+
+
+def _consume_end_tag(html: str, start: int):
+    gt = html.find(">", start)
+    if gt == -1:
+        return len(html)
+    name = html[start + 2 : gt].strip().lower()
+    # Strip any stray attributes on the end tag.
+    name = name.split()[0] if name.split() else ""
+    if name:
+        yield EndTagToken(name)
+    return gt + 1
+
+
+def _consume_start_tag(html: str, start: int) -> tuple[StartTagToken, int]:
+    pos = start + 1
+    length = len(html)
+    name_start = pos
+    while pos < length and html[pos] not in _WHITESPACE + "/>":
+        pos += 1
+    name = html[name_start:pos].lower()
+    attributes: dict[str, str] = {}
+    self_closing = False
+    while pos < length:
+        while pos < length and html[pos] in _WHITESPACE:
+            pos += 1
+        if pos >= length:
+            break
+        char = html[pos]
+        if char == ">":
+            pos += 1
+            break
+        if char == "/":
+            if pos + 1 < length and html[pos + 1] == ">":
+                self_closing = True
+                pos += 2
+                break
+            pos += 1
+            continue
+        attr_start = pos
+        while pos < length and html[pos] not in _ATTR_NAME_END:
+            pos += 1
+        attr_name = html[attr_start:pos].lower()
+        while pos < length and html[pos] in _WHITESPACE:
+            pos += 1
+        value = ""
+        if pos < length and html[pos] == "=":
+            pos += 1
+            while pos < length and html[pos] in _WHITESPACE:
+                pos += 1
+            if pos < length and html[pos] in "\"'":
+                quote = html[pos]
+                pos += 1
+                value_start = pos
+                while pos < length and html[pos] != quote:
+                    pos += 1
+                value = html[value_start:pos]
+                pos += 1  # past the closing quote (or off the end)
+            else:
+                value_start = pos
+                while pos < length and html[pos] not in _WHITESPACE + ">":
+                    pos += 1
+                value = html[value_start:pos]
+        if attr_name and attr_name not in attributes:
+            attributes[attr_name] = decode_entities(value)
+    return StartTagToken(name, attributes, self_closing), pos
+
+
+# RCDATA elements decode character references in their text; true raw-text
+# elements (script/style) do not.
+_RCDATA_ELEMENTS = frozenset({"title", "textarea"})
+
+
+def _consume_raw_text(html: str, pos: int, tag: str):
+    """Collect everything up to the matching ``</tag>`` as literal text."""
+    decode = tag in _RCDATA_ELEMENTS
+    lower = html.lower()
+    needle = f"</{tag}"
+    search = pos
+    length = len(html)
+    while True:
+        idx = lower.find(needle, search)
+        if idx == -1:
+            if pos < length:
+                data = html[pos:]
+                yield TextToken(decode_entities(data) if decode else data)
+            return length
+        after = idx + len(needle)
+        # Must be followed by whitespace, '/', or '>' to count as a close tag.
+        if after < length and html[after] not in _WHITESPACE + "/>":
+            search = after
+            continue
+        if idx > pos:
+            data = html[pos:idx]
+            yield TextToken(decode_entities(data) if decode else data)
+        gt = html.find(">", after)
+        yield EndTagToken(tag)
+        return length if gt == -1 else gt + 1

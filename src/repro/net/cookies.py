@@ -1,0 +1,137 @@
+"""Cookies and per-user cookie jars.
+
+The proxy "manages cookie jars and multiple users" (§1) and "must be
+authenticated on behalf of the user to view content privy to that user"
+(§3.2).  Jars are keyed by m.Site session, store origin-site cookies, and
+honour domain/path scoping plus max-age expiry against simulated time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.net.url import URL
+
+
+@dataclass
+class Cookie:
+    """One cookie with its scoping attributes."""
+
+    name: str
+    value: str
+    domain: str = ""
+    path: str = "/"
+    expires_at: Optional[float] = None  # simulated-time deadline
+    secure: bool = False
+    http_only: bool = False
+
+    def matches(self, url: URL, now: float) -> bool:
+        """Should this cookie be sent on a request to ``url``?"""
+        if self.expires_at is not None and now >= self.expires_at:
+            return False
+        if self.domain and not _domain_match(url.host, self.domain):
+            return False
+        if not url.path.startswith(self.path):
+            return False
+        if self.secure and url.scheme != "https":
+            return False
+        return True
+
+    @property
+    def key(self) -> tuple[str, str, str]:
+        return (self.name, self.domain, self.path)
+
+
+def _domain_match(host: str, domain: str) -> bool:
+    domain = domain.lstrip(".")
+    return host == domain or host.endswith("." + domain)
+
+
+def parse_set_cookie(header: str, default_domain: str, now: float) -> Cookie:
+    """Parse a ``Set-Cookie`` header value."""
+    parts = [part.strip() for part in header.split(";")]
+    name, _, value = parts[0].partition("=")
+    cookie = Cookie(name=name.strip(), value=value.strip(), domain=default_domain)
+    for attribute in parts[1:]:
+        attr_name, _, attr_value = attribute.partition("=")
+        attr_name = attr_name.strip().lower()
+        attr_value = attr_value.strip()
+        if attr_name == "domain" and attr_value:
+            cookie.domain = attr_value.lstrip(".").lower()
+        elif attr_name == "path" and attr_value:
+            cookie.path = attr_value
+        elif attr_name == "max-age":
+            try:
+                cookie.expires_at = now + int(attr_value)
+            except ValueError:
+                pass
+        elif attr_name == "secure":
+            cookie.secure = True
+        elif attr_name == "httponly":
+            cookie.http_only = True
+    return cookie
+
+
+@dataclass
+class CookieJar:
+    """All cookies held on behalf of one m.Site user session."""
+
+    cookies: dict[tuple[str, str, str], Cookie] = field(default_factory=dict)
+
+    def set(self, cookie: Cookie) -> None:
+        self.cookies[cookie.key] = cookie
+
+    def store_response_cookies(
+        self, headers, url: URL, now: float
+    ) -> list[Cookie]:
+        """Ingest every ``Set-Cookie`` from a response; returns them."""
+        stored = []
+        for header in headers.get_all("Set-Cookie"):
+            cookie = parse_set_cookie(header, url.host, now)
+            self.set(cookie)
+            stored.append(cookie)
+        return stored
+
+    def cookie_header(self, url: URL, now: float) -> Optional[str]:
+        """Build the ``Cookie`` header for a request, or ``None``."""
+        sendable = [
+            cookie
+            for cookie in self.cookies.values()
+            if cookie.matches(url, now)
+        ]
+        if not sendable:
+            return None
+        # Longest path first, per RFC 6265 ordering.
+        sendable.sort(key=lambda cookie: (-len(cookie.path), cookie.name))
+        return "; ".join(f"{cookie.name}={cookie.value}" for cookie in sendable)
+
+    def get(self, name: str) -> Optional[Cookie]:
+        for cookie in self.cookies.values():
+            if cookie.name == name:
+                return cookie
+        return None
+
+    def delete(self, name: str) -> int:
+        """Remove every cookie called ``name``; the logout-button attribute
+        uses this to clear proxy-held credentials (§3.3)."""
+        doomed = [key for key, cookie in self.cookies.items() if cookie.name == name]
+        for key in doomed:
+            del self.cookies[key]
+        return len(doomed)
+
+    def clear(self) -> None:
+        self.cookies.clear()
+
+    def expire_stale(self, now: float) -> int:
+        doomed = [
+            key
+            for key, cookie in self.cookies.items()
+            if cookie.expires_at is not None and now >= cookie.expires_at
+        ]
+        for key in doomed:
+            del self.cookies[key]
+        return len(doomed)
+
+    def __len__(self) -> int:
+        return len(self.cookies)

@@ -1,0 +1,62 @@
+"""Case-insensitive HTTP header multimap."""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+
+class Headers:
+    """Ordered, case-insensitive header collection allowing repeats."""
+
+    def __init__(self, items: Optional[list[tuple[str, str]]] = None) -> None:
+        self._items: list[tuple[str, str]] = []
+        for name, value in items or []:
+            self.add(name, value)
+
+    def add(self, name: str, value: str) -> None:
+        """Append a header, preserving existing values of the same name."""
+        self._items.append((name.strip(), str(value).strip()))
+
+    def set(self, name: str, value: str) -> None:
+        """Replace all values of ``name`` with a single value."""
+        lowered = name.lower()
+        self._items = [
+            (key, val) for key, val in self._items if key.lower() != lowered
+        ]
+        self.add(name, value)
+
+    def get(self, name: str, default: Optional[str] = None) -> Optional[str]:
+        lowered = name.lower()
+        for key, value in self._items:
+            if key.lower() == lowered:
+                return value
+        return default
+
+    def get_all(self, name: str) -> list[str]:
+        lowered = name.lower()
+        return [value for key, value in self._items if key.lower() == lowered]
+
+    def remove(self, name: str) -> None:
+        lowered = name.lower()
+        self._items = [
+            (key, value) for key, value in self._items if key.lower() != lowered
+        ]
+
+    def __contains__(self, name: str) -> bool:
+        return self.get(name) is not None
+
+    def __iter__(self) -> Iterator[tuple[str, str]]:
+        return iter(self._items)
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def copy(self) -> "Headers":
+        return Headers(list(self._items))
+
+    def wire_size(self) -> int:
+        """Bytes these headers occupy on the wire (name: value CRLF)."""
+        return sum(len(name) + len(value) + 4 for name, value in self._items)
+
+    def __repr__(self) -> str:
+        return f"Headers({self._items!r})"

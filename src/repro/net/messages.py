@@ -1,0 +1,194 @@
+"""HTTP request and response messages."""
+
+from __future__ import annotations
+
+import base64
+from dataclasses import dataclass, field
+from typing import Optional, Union
+
+from repro.net.headers import Headers
+from repro.net.status import reason
+from repro.net.url import URL, parse_query
+
+
+@dataclass
+class Request:
+    """An HTTP request bound for an in-process origin application."""
+
+    method: str = "GET"
+    url: URL = field(default_factory=lambda: URL.parse("http://localhost/"))
+    headers: Headers = field(default_factory=Headers)
+    body: bytes = b""
+
+    @classmethod
+    def get(cls, url: Union[str, URL], **headers: str) -> "Request":
+        parsed = url if isinstance(url, URL) else URL.parse(url)
+        request = cls(method="GET", url=parsed)
+        for name, value in headers.items():
+            request.headers.set(name.replace("_", "-"), value)
+        return request
+
+    @classmethod
+    def post(
+        cls, url: Union[str, URL], form: Optional[dict[str, str]] = None
+    ) -> "Request":
+        from repro.net.url import encode_query
+
+        parsed = url if isinstance(url, URL) else URL.parse(url)
+        body = encode_query(form or {}).encode("ascii")
+        request = cls(method="POST", url=parsed, body=body)
+        request.headers.set("Content-Type", "application/x-www-form-urlencoded")
+        return request
+
+    # -- convenience --------------------------------------------------------
+
+    @property
+    def params(self) -> dict[str, str]:
+        """Query-string parameters (the proxy's ``$_GET`` analog)."""
+        return self.url.params
+
+    @property
+    def form(self) -> dict[str, str]:
+        """Posted form fields (the proxy's ``$_POST`` analog)."""
+        content_type = self.headers.get("Content-Type", "")
+        if "application/x-www-form-urlencoded" not in (content_type or ""):
+            return {}
+        return parse_query(self.body.decode("ascii", errors="replace"))
+
+    @property
+    def cookies(self) -> dict[str, str]:
+        header = self.headers.get("Cookie")
+        result: dict[str, str] = {}
+        if not header:
+            return result
+        for pair in header.split(";"):
+            name, _, value = pair.strip().partition("=")
+            if name:
+                result[name] = value
+        return result
+
+    def basic_auth(self) -> Optional[tuple[str, str]]:
+        """Decode ``Authorization: Basic`` credentials if present."""
+        header = self.headers.get("Authorization", "")
+        if not header or not header.lower().startswith("basic "):
+            return None
+        try:
+            decoded = base64.b64decode(header[6:].strip()).decode("utf-8")
+        except Exception:
+            return None
+        user, _, password = decoded.partition(":")
+        return user, password
+
+    def with_basic_auth(self, user: str, password: str) -> "Request":
+        token = base64.b64encode(f"{user}:{password}".encode("utf-8")).decode()
+        self.headers.set("Authorization", f"Basic {token}")
+        return self
+
+    def wire_size(self) -> int:
+        """Approximate bytes on the wire for the request."""
+        request_line = len(self.method) + len(self.url.request_target) + 12
+        return request_line + self.headers.wire_size() + 2 + len(self.body)
+
+    def __repr__(self) -> str:
+        return f"Request({self.method} {self.url})"
+
+
+@dataclass
+class Response:
+    """An HTTP response from an origin application or the proxy."""
+
+    status: int = 200
+    headers: Headers = field(default_factory=Headers)
+    body: bytes = b""
+
+    @classmethod
+    def html(cls, markup: str, status: int = 200) -> "Response":
+        response = cls(status=status, body=markup.encode("utf-8"))
+        response.headers.set("Content-Type", "text/html; charset=utf-8")
+        return response
+
+    @classmethod
+    def text(cls, content: str, status: int = 200) -> "Response":
+        response = cls(status=status, body=content.encode("utf-8"))
+        response.headers.set("Content-Type", "text/plain; charset=utf-8")
+        return response
+
+    @classmethod
+    def json(cls, payload, status: int = 200) -> "Response":
+        import json as json_module
+
+        response = cls(
+            status=status,
+            body=json_module.dumps(payload).encode("utf-8"),
+        )
+        response.headers.set("Content-Type", "application/json")
+        return response
+
+    @classmethod
+    def binary(
+        cls, data: bytes, content_type: str, status: int = 200
+    ) -> "Response":
+        response = cls(status=status, body=data)
+        response.headers.set("Content-Type", content_type)
+        return response
+
+    @classmethod
+    def redirect(cls, location: str, status: int = 302) -> "Response":
+        response = cls(status=status)
+        response.headers.set("Location", location)
+        return response
+
+    @classmethod
+    def not_found(cls, message: str = "not found") -> "Response":
+        return cls.text(message, status=404)
+
+    @classmethod
+    def unauthorized(cls, realm: str = "restricted") -> "Response":
+        response = cls.text("authentication required", status=401)
+        response.headers.set("WWW-Authenticate", f'Basic realm="{realm}"')
+        return response
+
+    # -- convenience ---------------------------------------------------------
+
+    @property
+    def ok(self) -> bool:
+        return 200 <= self.status < 300
+
+    @property
+    def is_redirect(self) -> bool:
+        return self.status in (301, 302, 303, 307) and "Location" in self.headers
+
+    @property
+    def reason(self) -> str:
+        return reason(self.status)
+
+    @property
+    def content_type(self) -> str:
+        return (self.headers.get("Content-Type") or "").split(";")[0].strip()
+
+    @property
+    def text_body(self) -> str:
+        return self.body.decode("utf-8", errors="replace")
+
+    def set_cookie(
+        self,
+        name: str,
+        value: str,
+        path: str = "/",
+        max_age: Optional[int] = None,
+        http_only: bool = False,
+    ) -> None:
+        parts = [f"{name}={value}", f"Path={path}"]
+        if max_age is not None:
+            parts.append(f"Max-Age={max_age}")
+        if http_only:
+            parts.append("HttpOnly")
+        self.headers.add("Set-Cookie", "; ".join(parts))
+
+    def wire_size(self) -> int:
+        """Approximate bytes on the wire for the response."""
+        status_line = 17
+        return status_line + self.headers.wire_size() + 2 + len(self.body)
+
+    def __repr__(self) -> str:
+        return f"Response({self.status} {self.reason}, {len(self.body)} bytes)"

@@ -1,0 +1,116 @@
+"""In-process origin servers.
+
+An :class:`Application` is anything that turns a :class:`Request` into a
+:class:`Response`.  :class:`Router` provides the path-pattern dispatch the
+synthetic sites and the generated proxy both build on.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Callable, Optional
+
+from repro.net.messages import Request, Response
+
+Handler = Callable[[Request], Response]
+
+
+class Application:
+    """Base class for origin applications; subclasses override handle()."""
+
+    def handle(self, request: Request) -> Response:
+        raise NotImplementedError
+
+    def __call__(self, request: Request) -> Response:
+        return self.handle(request)
+
+
+_PARAM_RE = re.compile(r"<([a-zA-Z_][a-zA-Z0-9_]*)>")
+
+
+def _compile_pattern(pattern: str) -> re.Pattern:
+    """Turn ``/forum/<forum_id>`` into a named-group regex."""
+    regex = _PARAM_RE.sub(r"(?P<\1>[^/]+)", re.escape(pattern).replace(r"\<", "<").replace(r"\>", ">"))
+    return re.compile(f"^{regex}$")
+
+
+class Route:
+    """One registered route."""
+
+    def __init__(self, pattern: str, handler: Handler, methods: tuple[str, ...]):
+        self.pattern = pattern
+        self.regex = _compile_pattern(pattern)
+        self.handler = handler
+        self.methods = tuple(method.upper() for method in methods)
+
+    def match(self, method: str, path: str) -> Optional[dict[str, str]]:
+        if method.upper() not in self.methods:
+            return None
+        match = self.regex.match(path)
+        if match is None:
+            return None
+        return match.groupdict()
+
+
+class Router(Application):
+    """Path-pattern request dispatcher.
+
+    Handlers receive the request plus any path parameters as keyword
+    arguments::
+
+        router = Router()
+
+        @router.route("/thread/<thread_id>")
+        def show_thread(request, thread_id):
+            ...
+    """
+
+    def __init__(self) -> None:
+        self._routes: list[Route] = []
+        self.not_found_handler: Handler = lambda request: Response.not_found(
+            f"no route for {request.url.path}"
+        )
+
+    def route(
+        self, pattern: str, methods: tuple[str, ...] = ("GET", "POST")
+    ) -> Callable[[Callable], Callable]:
+        def decorator(fn: Callable) -> Callable:
+            self.add_route(pattern, fn, methods)
+            return fn
+
+        return decorator
+
+    def add_route(
+        self,
+        pattern: str,
+        handler: Callable,
+        methods: tuple[str, ...] = ("GET", "POST"),
+    ) -> None:
+        self._routes.append(Route(pattern, handler, methods))
+
+    def handle(self, request: Request) -> Response:
+        for registered in self._routes:
+            params = registered.match(request.method, request.url.path)
+            if params is not None:
+                return registered.handler(request, **params)
+        return self.not_found_handler(request)
+
+
+def route(pattern: str, methods: tuple[str, ...] = ("GET", "POST")):
+    """Mark a method for registration by :func:`collect_routes`."""
+
+    def decorator(fn):
+        fn._route_pattern = pattern
+        fn._route_methods = methods
+        return fn
+
+    return decorator
+
+
+def collect_routes(instance, router: Router) -> None:
+    """Register every method of ``instance`` decorated with :func:`route`."""
+    for name in dir(instance):
+        member = getattr(instance, name)
+        pattern = getattr(member, "_route_pattern", None)
+        if pattern is not None:
+            router.add_route(pattern, member, member._route_methods)

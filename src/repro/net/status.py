@@ -1,0 +1,30 @@
+"""HTTP status codes used by the substrate."""
+
+STATUS_REASONS: dict[int, str] = {
+    200: "OK",
+    201: "Created",
+    204: "No Content",
+    301: "Moved Permanently",
+    302: "Found",
+    303: "See Other",
+    304: "Not Modified",
+    307: "Temporary Redirect",
+    400: "Bad Request",
+    401: "Unauthorized",
+    403: "Forbidden",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    410: "Gone",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    502: "Bad Gateway",
+    503: "Service Unavailable",
+    504: "Gateway Timeout",
+}
+
+REDIRECT_STATUSES = frozenset({301, 302, 303, 307})
+
+
+def reason(status: int) -> str:
+    """Reason phrase for a status code."""
+    return STATUS_REASONS.get(status, "Unknown")

@@ -1,0 +1,192 @@
+"""URL parsing, joining, and query-string handling."""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from repro.errors import ParseError
+
+_URL_RE = re.compile(
+    r"^(?:(?P<scheme>[a-zA-Z][a-zA-Z0-9+.-]*):)?"
+    r"(?://(?P<authority>[^/?#]*))?"
+    r"(?P<path>[^?#]*)"
+    r"(?:\?(?P<query>[^#]*))?"
+    r"(?:#(?P<fragment>.*))?$"
+)
+
+_SAFE = frozenset(
+    "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789-._~"
+)
+
+
+def quote(text: str, safe: str = "/") -> str:
+    """Percent-encode ``text``; ``safe`` characters pass through."""
+    out = []
+    allowed = _SAFE | set(safe)
+    for char in text:
+        if char in allowed:
+            out.append(char)
+        else:
+            out.extend(f"%{byte:02X}" for byte in char.encode("utf-8"))
+    return "".join(out)
+
+
+def unquote(text: str) -> str:
+    """Decode percent-encoding (and ``+`` as space, form style)."""
+    out = bytearray()
+    index = 0
+    while index < len(text):
+        char = text[index]
+        if char == "%" and index + 2 < len(text) + 1:
+            try:
+                out.append(int(text[index + 1 : index + 3], 16))
+                index += 3
+                continue
+            except ValueError:
+                pass
+        if char == "+":
+            out.append(0x20)
+        else:
+            out.extend(char.encode("utf-8"))
+        index += 1
+    return out.decode("utf-8", errors="replace")
+
+
+def parse_query(query: str) -> dict[str, str]:
+    """Parse a query string into an ordered name → value mapping.
+
+    Repeated names keep the last value, which matches how PHP's ``$_GET``
+    (the paper's proxy environment) resolves duplicates.
+    """
+    result: dict[str, str] = {}
+    if not query:
+        return result
+    for pair in query.split("&"):
+        if not pair:
+            continue
+        name, _, value = pair.partition("=")
+        result[unquote(name)] = unquote(value)
+    return result
+
+
+def encode_query(params: dict[str, str]) -> str:
+    return "&".join(
+        f"{quote(str(name), safe='')}={quote(str(value), safe='')}"
+        for name, value in params.items()
+    )
+
+
+@dataclass(frozen=True)
+class URL:
+    """An immutable parsed URL."""
+
+    scheme: str = "http"
+    host: str = ""
+    port: Optional[int] = None
+    path: str = "/"
+    query: str = ""
+    fragment: str = ""
+
+    @classmethod
+    def parse(cls, text: str) -> "URL":
+        match = _URL_RE.match(text.strip())
+        if match is None:  # pragma: no cover - regex matches everything
+            raise ParseError(f"unparseable URL {text!r}")
+        scheme = (match.group("scheme") or "").lower()
+        authority = match.group("authority")
+        host = ""
+        port: Optional[int] = None
+        if authority:
+            # Strip userinfo if present.
+            if "@" in authority:
+                authority = authority.rsplit("@", 1)[1]
+            if ":" in authority:
+                host, _, port_text = authority.partition(":")
+                try:
+                    port = int(port_text)
+                except ValueError:
+                    raise ParseError(f"bad port in URL {text!r}")
+            else:
+                host = authority
+        path = match.group("path") or ""
+        if authority is not None and not path:
+            path = "/"
+        return cls(
+            scheme=scheme or "http",
+            host=host.lower(),
+            port=port,
+            path=path,
+            query=match.group("query") or "",
+            fragment=match.group("fragment") or "",
+        )
+
+    # -- derived ------------------------------------------------------------
+
+    @property
+    def params(self) -> dict[str, str]:
+        return parse_query(self.query)
+
+    @property
+    def origin(self) -> str:
+        port = f":{self.port}" if self.port else ""
+        return f"{self.scheme}://{self.host}{port}"
+
+    @property
+    def request_target(self) -> str:
+        target = self.path or "/"
+        if self.query:
+            target += f"?{self.query}"
+        return target
+
+    def with_params(self, **params: str) -> "URL":
+        """A copy with query parameters merged in."""
+        merged = self.params
+        merged.update({name: str(value) for name, value in params.items()})
+        return replace(self, query=encode_query(merged))
+
+    def with_path(self, path: str) -> "URL":
+        return replace(self, path=path)
+
+    def join(self, reference: str) -> "URL":
+        """Resolve ``reference`` against this URL (RFC 3986 subset)."""
+        ref = URL.parse(reference)
+        if ref.host:
+            # Protocol-relative references inherit the base scheme.
+            if reference.lstrip().startswith("//"):
+                return replace(ref, scheme=self.scheme)
+            return ref
+        if not ref.path:
+            query = ref.query if ref.query else self.query
+            return replace(self, query=query, fragment=ref.fragment)
+        if ref.path.startswith("/"):
+            path = _normalize_path(ref.path)
+        else:
+            base_dir = self.path.rsplit("/", 1)[0]
+            path = _normalize_path(f"{base_dir}/{ref.path}")
+        return replace(
+            self, path=path, query=ref.query, fragment=ref.fragment
+        )
+
+    def __str__(self) -> str:
+        out = self.origin + self.path
+        if self.query:
+            out += f"?{self.query}"
+        if self.fragment:
+            out += f"#{self.fragment}"
+        return out
+
+
+def _normalize_path(path: str) -> str:
+    segments: list[str] = []
+    for segment in path.split("/"):
+        if segment == "..":
+            if segments and segments[-1]:
+                segments.pop()
+        elif segment != ".":
+            segments.append(segment)
+    normalized = "/".join(segments)
+    if not normalized.startswith("/"):
+        normalized = "/" + normalized
+    return normalized

@@ -1,0 +1,37 @@
+"""Server-side rendering engine (the WebKit analog's drawing half).
+
+The m.Site proxy uses an embedded browser "as one of several pre-rendering
+engines" (§1) to produce snapshots, and queries element coordinates from
+the DOM to build image maps (§4.3).  This package provides that pipeline
+from scratch:
+
+* :mod:`repro.render.fonts` — proportional font metrics + a bitmap font,
+* :mod:`repro.render.layout` — block/inline/table layout producing a box
+  tree with absolute geometry,
+* :mod:`repro.render.paint` — display-list construction,
+* :mod:`repro.render.raster` — numpy rasterizer,
+* :mod:`repro.render.image` — image model with PNG/JPEG encoders and the
+  fidelity post-processor,
+* :mod:`repro.render.snapshot` — page → image + geometry,
+* :mod:`repro.render.imagemap` — clickable overlay generation,
+* :mod:`repro.render.engines` — pluggable HTML/image/PDF/text outputs.
+"""
+
+from repro.render.box import Rect, Edges, LayoutBox
+from repro.render.layout import LayoutEngine
+from repro.render.image import RasterImage, encode_png, encode_jpeg
+from repro.render.snapshot import render_snapshot, PageSnapshot
+from repro.render.imagemap import build_image_map
+
+__all__ = [
+    "Rect",
+    "Edges",
+    "LayoutBox",
+    "LayoutEngine",
+    "RasterImage",
+    "encode_png",
+    "encode_jpeg",
+    "render_snapshot",
+    "PageSnapshot",
+    "build_image_map",
+]

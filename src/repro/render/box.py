@@ -1,0 +1,134 @@
+"""Geometry primitives for layout: rectangles, edge sets, layout boxes."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.dom.element import Element
+
+
+@dataclass(frozen=True)
+class Rect:
+    """An axis-aligned rectangle in page coordinates (CSS pixels)."""
+
+    x: float
+    y: float
+    width: float
+    height: float
+
+    @property
+    def right(self) -> float:
+        return self.x + self.width
+
+    @property
+    def bottom(self) -> float:
+        return self.y + self.height
+
+    @property
+    def area(self) -> float:
+        return self.width * self.height
+
+    def contains(self, px: float, py: float) -> bool:
+        return self.x <= px < self.right and self.y <= py < self.bottom
+
+    def intersects(self, other: "Rect") -> bool:
+        return not (
+            other.x >= self.right
+            or other.right <= self.x
+            or other.y >= self.bottom
+            or other.bottom <= self.y
+        )
+
+    def scaled(self, factor: float) -> "Rect":
+        return Rect(
+            self.x * factor,
+            self.y * factor,
+            self.width * factor,
+            self.height * factor,
+        )
+
+    def rounded(self) -> tuple[int, int, int, int]:
+        """(x, y, width, height) as integers for rasterization/image maps."""
+        return (
+            int(round(self.x)),
+            int(round(self.y)),
+            int(round(self.width)),
+            int(round(self.height)),
+        )
+
+
+@dataclass(frozen=True)
+class Edges:
+    """Per-side pixel amounts for margins, padding, or borders."""
+
+    top: float = 0.0
+    right: float = 0.0
+    bottom: float = 0.0
+    left: float = 0.0
+
+    @property
+    def horizontal(self) -> float:
+        return self.left + self.right
+
+    @property
+    def vertical(self) -> float:
+        return self.top + self.bottom
+
+
+@dataclass
+class TextRun:
+    """One laid-out line fragment of text."""
+
+    text: str
+    rect: Rect
+    font_size: float
+    bold: bool = False
+    color: tuple[int, int, int] = (0, 0, 0)
+    is_link: bool = False
+
+
+@dataclass
+class LayoutBox:
+    """A laid-out element: border-box geometry plus children.
+
+    ``rect`` is the border box (the coordinates the paper's image maps
+    need: "the coordinates and extents of the original document elements
+    must be queried from the DOM", §4.3).
+    """
+
+    element: Optional["Element"]
+    rect: Rect
+    box_type: str = "block"  # block | inline | table | row | cell | image | control
+    children: list["LayoutBox"] = field(default_factory=list)
+    text_runs: list[TextRun] = field(default_factory=list)
+    background: Optional[tuple[int, int, int]] = None
+    border_color: Optional[tuple[int, int, int]] = None
+    border_width: float = 0.0
+    gradient: bool = False  # background-image chrome painted as a gradient
+    texture_seed: int = 0  # photo placeholder texture (images)
+
+    def iter_boxes(self):
+        """This box and all descendants, pre-order."""
+        yield self
+        for child in self.children:
+            yield from child.iter_boxes()
+
+    def find_box_for(self, element: "Element") -> Optional["LayoutBox"]:
+        """The layout box belonging to ``element``, if laid out."""
+        for box in self.iter_boxes():
+            if box.element is element:
+                return box
+        return None
+
+    def hit_test(self, x: float, y: float) -> Optional["LayoutBox"]:
+        """Deepest box containing the point — powers click-to-select in
+        the admin tool."""
+        if not self.rect.contains(x, y):
+            return None
+        for child in reversed(self.children):
+            hit = child.hit_test(x, y)
+            if hit is not None:
+                return hit
+        return self

@@ -1,0 +1,203 @@
+"""Pluggable content-output engines.
+
+The paper's framework is "a pluggable content adaptation system that can
+be extended with multiple rendering engines to produce HTML, static
+images, PDF, plain text, or Flash content at any point in the rendering
+process" (§1).  Each engine turns a document (plus optional snapshot) into
+a byte payload with a MIME type; the registry lets deployments add more.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.dom.document import Document
+from repro.dom.element import Element
+from repro.dom.node import Text
+from repro.errors import RenderError
+from repro.html.serializer import serialize
+from repro.render.image import encode_jpeg, encode_png
+from repro.render.snapshot import render_snapshot
+
+
+@dataclass
+class RenderedOutput:
+    """One engine's product."""
+
+    content_type: str
+    data: bytes
+    engine: str
+
+
+class RenderingEngine:
+    """Base class: subclass and implement render()."""
+
+    name = "abstract"
+
+    def render(self, document: Document, **options) -> RenderedOutput:
+        raise NotImplementedError
+
+
+class HtmlEngine(RenderingEngine):
+    """Pass-through serialization (optionally XHTML)."""
+
+    name = "html"
+
+    def render(self, document: Document, **options) -> RenderedOutput:
+        xhtml = bool(options.get("xhtml", False))
+        markup = serialize(document, xhtml=xhtml)
+        content_type = (
+            "application/xhtml+xml" if xhtml else "text/html; charset=utf-8"
+        )
+        return RenderedOutput(content_type, markup.encode("utf-8"), self.name)
+
+
+class ImageEngine(RenderingEngine):
+    """Full graphical render to PNG or JPEG."""
+
+    name = "image"
+
+    def render(self, document: Document, **options) -> RenderedOutput:
+        viewport = int(options.get("viewport_width", 1024))
+        fmt = options.get("format", "png")
+        snapshot = options.get("snapshot") or render_snapshot(
+            document, viewport_width=viewport
+        )
+        if fmt == "png":
+            encoded = encode_png(snapshot.image)
+            return RenderedOutput("image/png", encoded.data, self.name)
+        if fmt == "jpeg":
+            quality = int(options.get("quality", 75))
+            encoded = encode_jpeg(snapshot.image, quality=quality)
+            return RenderedOutput("image/jpeg", encoded.data, self.name)
+        raise RenderError(f"image engine cannot produce format {fmt!r}")
+
+
+class TextEngine(RenderingEngine):
+    """Plain-text extraction with block-level line breaks."""
+
+    name = "text"
+
+    _BLOCKS = frozenset(
+        {"p", "div", "tr", "li", "h1", "h2", "h3", "h4", "h5", "h6",
+         "br", "table", "ul", "ol", "form", "hr"}
+    )
+
+    def render(self, document: Document, **options) -> RenderedOutput:
+        lines: list[str] = []
+        body = document.body
+        if body is not None:
+            self._walk(body, lines)
+        text = "\n".join(line for line in (l.strip() for l in lines) if line)
+        return RenderedOutput(
+            "text/plain; charset=utf-8", text.encode("utf-8"), self.name
+        )
+
+    def _walk(self, element: Element, lines: list[str]) -> None:
+        current: list[str] = []
+        for node in element.children:
+            if isinstance(node, Text):
+                collapsed = " ".join(node.data.split())
+                if collapsed:
+                    current.append(collapsed)
+            elif isinstance(node, Element):
+                if node.tag in ("script", "style", "head", "title"):
+                    continue
+                if node.tag in self._BLOCKS:
+                    if current:
+                        lines.append(" ".join(current))
+                        current = []
+                    self._walk(node, lines)
+                else:
+                    inner: list[str] = []
+                    self._walk_inline(node, inner)
+                    if inner:
+                        current.append(" ".join(inner))
+        if current:
+            lines.append(" ".join(current))
+
+    def _walk_inline(self, element: Element, out: list[str]) -> None:
+        for node in element.children:
+            if isinstance(node, Text):
+                collapsed = " ".join(node.data.split())
+                if collapsed:
+                    out.append(collapsed)
+            elif isinstance(node, Element):
+                if node.tag in ("script", "style"):
+                    continue
+                self._walk_inline(node, out)
+
+
+class PdfEngine(RenderingEngine):
+    """Minimal but valid single-page PDF with the page's text content."""
+
+    name = "pdf"
+
+    def render(self, document: Document, **options) -> RenderedOutput:
+        text_output = TextEngine().render(document)
+        lines = text_output.data.decode("utf-8").split("\n")
+        data = _build_pdf(document.title or "Untitled", lines[:120])
+        return RenderedOutput("application/pdf", data, self.name)
+
+
+def _pdf_escape(text: str) -> str:
+    return (
+        text.replace("\\", r"\\").replace("(", r"\(").replace(")", r"\)")
+    )
+
+
+def _build_pdf(title: str, lines: list[str]) -> bytes:
+    """Assemble a one-page PDF 1.4 file with Helvetica text."""
+    content_parts = ["BT /F1 10 Tf 36 756 Td 12 TL"]
+    for line in lines:
+        content_parts.append(f"({_pdf_escape(line[:110])}) Tj T*")
+    content_parts.append("ET")
+    content = "\n".join(content_parts).encode("latin-1", errors="replace")
+
+    objects: list[bytes] = [
+        b"<< /Type /Catalog /Pages 2 0 R >>",
+        b"<< /Type /Pages /Kids [3 0 R] /Count 1 >>",
+        b"<< /Type /Page /Parent 2 0 R /MediaBox [0 0 612 792] "
+        b"/Contents 4 0 R /Resources << /Font << /F1 5 0 R >> >> >>",
+        b"<< /Length " + str(len(content)).encode() + b" >>\nstream\n"
+        + content + b"\nendstream",
+        b"<< /Type /Font /Subtype /Type1 /BaseFont /Helvetica >>",
+    ]
+    out = bytearray(b"%PDF-1.4\n")
+    offsets = [0]
+    for index, body in enumerate(objects, start=1):
+        offsets.append(len(out))
+        out += f"{index} 0 obj\n".encode() + body + b"\nendobj\n"
+    xref_offset = len(out)
+    out += f"xref\n0 {len(objects) + 1}\n".encode()
+    out += b"0000000000 65535 f \n"
+    for offset in offsets[1:]:
+        out += f"{offset:010d} 00000 n \n".encode()
+    out += (
+        f"trailer\n<< /Size {len(objects) + 1} /Root 1 0 R >>\n"
+        f"startxref\n{xref_offset}\n%%EOF\n"
+    ).encode()
+    return bytes(out)
+
+
+class EngineRegistry:
+    """Named registry of rendering engines; extensible by deployments."""
+
+    def __init__(self) -> None:
+        self._engines: dict[str, RenderingEngine] = {}
+        for engine in (HtmlEngine(), ImageEngine(), TextEngine(), PdfEngine()):
+            self.register(engine)
+
+    def register(self, engine: RenderingEngine) -> None:
+        self._engines[engine.name] = engine
+
+    def get(self, name: str) -> RenderingEngine:
+        engine = self._engines.get(name)
+        if engine is None:
+            raise RenderError(f"no rendering engine named {name!r}")
+        return engine
+
+    @property
+    def names(self) -> list[str]:
+        return sorted(self._engines)

@@ -1,0 +1,61 @@
+"""Clickable image-map overlays for pre-rendered snapshots.
+
+§4.3: "All of the defined subpage attributes contribute to an image map
+overlay, which is automatically generated for the main page snapshot. ...
+The queried coordinates map to the original-size document, but since the
+snapshot is scaled down, the m.Site framework implicitly translates the
+coordinates as well."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.render.box import Rect
+
+
+@dataclass(frozen=True)
+class MapRegion:
+    """One clickable rectangle linking a snapshot area to a subpage."""
+
+    rect: Rect
+    href: str
+    alt: str = ""
+
+
+def build_image_map(
+    regions: list[MapRegion],
+    snapshot_src: str,
+    scale: float = 1.0,
+    map_name: str = "msite-menu",
+    width: int | None = None,
+    height: int | None = None,
+) -> str:
+    """HTML for a scaled snapshot image with clickable regions.
+
+    ``scale`` translates original-document coordinates into snapshot-image
+    coordinates (the implicit translation the paper describes).
+    """
+    if scale <= 0:
+        raise ValueError("scale must be positive")
+    areas = []
+    for region in regions:
+        scaled = region.rect.scaled(scale)
+        x, y, w, h = scaled.rounded()
+        coords = f"{x},{y},{x + w},{y + h}"
+        alt = region.alt.replace('"', "&quot;")
+        areas.append(
+            f'<area shape="rect" coords="{coords}" '
+            f'href="{region.href}" alt="{alt}" />'
+        )
+    size_attrs = ""
+    if width is not None:
+        size_attrs += f' width="{width}"'
+    if height is not None:
+        size_attrs += f' height="{height}"'
+    areas_html = "\n    ".join(areas)
+    return (
+        f'<map name="{map_name}">\n    {areas_html}\n</map>\n'
+        f'<img src="{snapshot_src}" usemap="#{map_name}"'
+        f'{size_attrs} alt="site snapshot" border="0" />'
+    )

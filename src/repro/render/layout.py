@@ -1,0 +1,722 @@
+"""Block / inline / table layout.
+
+Turns a styled DOM into a tree of :class:`LayoutBox` objects with absolute
+page geometry.  The model is the CSS 2.1 visual formatting subset that
+table-era sites (the paper's vBulletin test site is "a nearly unmodified
+default template", §4.2) actually exercise:
+
+* block formatting contexts stack children vertically,
+* inline formatting contexts flow text runs with greedy wrapping,
+* tables distribute their width across equal columns (with colspan),
+* replaced elements (images, form controls) have intrinsic sizes,
+* ``display: none`` subtrees are skipped entirely.
+
+Floats and absolute positioning are out of scope — the layouts the paper
+adapts are table-driven — but the geometry produced is complete enough to
+drive image maps, hit-testing, and snapshot painting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional
+
+from repro.css.cascade import ComputedStyle, StyleResolver
+from repro.css.values import parse_color, parse_font_size, parse_length
+from repro.dom.document import Document
+from repro.dom.element import Element
+from repro.dom.node import Node, Text
+from repro.render import fonts
+from repro.render.box import Edges, LayoutBox, Rect, TextRun
+
+_BLOCK_DISPLAYS = frozenset(
+    {"block", "table", "list-item", "table-row", "table-cell", "table-row-group"}
+)
+_SKIP_TAGS = frozenset({"head", "script", "style", "meta", "link", "title", "base"})
+
+# Intrinsic sizes for replaced/control elements (CSS px).
+_CONTROL_SIZES: dict[str, tuple[float, float]] = {
+    "select": (140.0, 22.0),
+    "textarea": (250.0, 70.0),
+    "button": (80.0, 24.0),
+}
+_DEFAULT_IMAGE_SIZE = (24.0, 24.0)
+
+
+@dataclass(frozen=True)
+class _TextStyle:
+    """Resolved inline text styling carried through the flow."""
+
+    font_size: float = 16.0
+    bold: bool = False
+    color: tuple[int, int, int] = (0, 0, 0)
+    is_link: bool = False
+
+
+class LayoutEngine:
+    """Lays out documents at a fixed viewport width."""
+
+    def __init__(
+        self,
+        resolver: Optional[StyleResolver] = None,
+        viewport_width: int = 1024,
+    ) -> None:
+        if viewport_width < 32:
+            raise ValueError("viewport too narrow to lay out")
+        self.resolver = resolver or StyleResolver()
+        self.viewport_width = viewport_width
+
+    # ------------------------------------------------------------------
+
+    def layout(self, document: Document) -> LayoutBox:
+        """Lay out the document body; returns the root layout box."""
+        body = document.body
+        if body is None:
+            return LayoutBox(None, Rect(0, 0, self.viewport_width, 0))
+        self.resolver.invalidate()
+        style = self.resolver.computed_style(body)
+        margin = _edges(style, "margin", 16.0, self.viewport_width)
+        # _layout_block subtracts the element's own margins from the
+        # available width; the caller only positions by them.
+        box = self._layout_block(
+            body, margin.left, margin.top, self.viewport_width, _TextStyle()
+        )
+        total = Rect(
+            0,
+            0,
+            self.viewport_width,
+            box.rect.bottom + margin.bottom,
+        )
+        root = LayoutBox(None, total, box_type="viewport")
+        root.background = (255, 255, 255)
+        root.children.append(box)
+        return root
+
+    # ------------------------------------------------------------------
+    # block layout
+
+    def _layout_block(
+        self,
+        element: Element,
+        x: float,
+        y: float,
+        available_width: float,
+        inherited: _TextStyle,
+    ) -> LayoutBox:
+        style = self.resolver.computed_style(element)
+        text_style = self._text_style(element, style, inherited)
+        margin = _edges(style, "margin", text_style.font_size, available_width)
+        padding = _edges(style, "padding", text_style.font_size, available_width)
+        border = _border_width(style, element)
+
+        width = self._resolve_width(element, style, text_style, available_width)
+        if width is None:
+            width = max(0.0, available_width - margin.horizontal)
+        content_width = max(
+            1.0, width - padding.horizontal - 2 * border
+        )
+
+        box = LayoutBox(element, Rect(x, y, width, 0.0))
+        box.background = _background(element, style)
+        box.gradient = _has_background_image(style)
+        box.border_width = border
+        if border:
+            box.border_color = (128, 128, 128)
+
+        if element.tag == "table" or style.display == "table":
+            content_height = self._layout_table(
+                element, box, x + border + padding.left,
+                y + border + padding.top, content_width, text_style,
+            )
+        else:
+            content_height = self._layout_children(
+                element, box, x + border + padding.left,
+                y + border + padding.top, content_width, text_style,
+            )
+
+        explicit = _explicit_height(element, style, text_style)
+        height = (
+            explicit
+            if explicit is not None
+            else content_height + padding.vertical + 2 * border
+        )
+        if element.tag == "hr" and explicit is None:
+            height = 2.0
+        box.rect = Rect(x, y, width, height)
+        return box
+
+    def _layout_children(
+        self,
+        element: Element,
+        box: LayoutBox,
+        x: float,
+        y: float,
+        width: float,
+        text_style: _TextStyle,
+    ) -> float:
+        """Lay out mixed children; returns content height."""
+        alignment = _alignment_of(element, self.resolver)
+        cursor_y = y
+        pending_inline: list[Node] = []
+        for child in element.children:
+            if self._is_block_child(child):
+                if pending_inline:
+                    cursor_y += self._flow_inline(
+                        pending_inline, box, x, cursor_y, width, text_style,
+                        alignment,
+                    )
+                    pending_inline = []
+                child_el = child  # type: ignore[assignment]
+                style = self.resolver.computed_style(child_el)
+                if not style.visible and style.display == "none":
+                    continue
+                margin = _edges(style, "margin", text_style.font_size, width)
+                child_box = self._layout_block(
+                    child_el, x + margin.left, cursor_y + margin.top,
+                    width, text_style,
+                )
+                box.children.append(child_box)
+                cursor_y = child_box.rect.bottom + margin.bottom
+            else:
+                if _is_renderable_inline(child):
+                    pending_inline.append(child)
+        if pending_inline:
+            cursor_y += self._flow_inline(
+                pending_inline, box, x, cursor_y, width, text_style,
+                alignment,
+            )
+        return cursor_y - y
+
+    def _is_block_child(self, node: Node) -> bool:
+        if not isinstance(node, Element):
+            return False
+        if node.tag in _SKIP_TAGS:
+            return False
+        display = self.resolver.computed_style(node).display
+        return display in _BLOCK_DISPLAYS
+
+    # ------------------------------------------------------------------
+    # inline layout
+
+    def _flow_inline(
+        self,
+        nodes: list[Node],
+        parent_box: LayoutBox,
+        x: float,
+        y: float,
+        width: float,
+        text_style: _TextStyle,
+        alignment: str = "left",
+    ) -> float:
+        flow = _InlineFlow(x, y, width)
+        for node in nodes:
+            self._flow_node(node, flow, text_style)
+        flow.finish_line()
+        if alignment in ("center", "right"):
+            flow.apply_alignment(alignment)
+        parent_box.text_runs.extend(flow.runs)
+        parent_box.children.extend(flow.atomic_boxes)
+        # Wrap each inline element's contributions in an inline layout box
+        # so image maps and hit tests can find links and spans.
+        for element, rects in flow.contributions:
+            if not rects:
+                continue
+            union = _union_rects(rects)
+            parent_box.children.append(
+                LayoutBox(element, union, box_type="inline")
+            )
+        return flow.total_height()
+
+    def _flow_node(
+        self, node: Node, flow: "_InlineFlow", text_style: _TextStyle
+    ) -> None:
+        if isinstance(node, Text):
+            data = _collapse_whitespace(node.data)
+            if data.strip():
+                flow.add_text(data.strip(), text_style, node.parent)
+            return
+        if not isinstance(node, Element):
+            return
+        if node.tag in _SKIP_TAGS:
+            return
+        style = self.resolver.computed_style(node)
+        if not style.visible:
+            return
+        if node.tag == "br":
+            flow.finish_line()
+            return
+        child_style = self._text_style(node, style, text_style)
+        if node.tag == "img":
+            width, height = _image_size(node, style, child_style)
+            flow.add_atomic(node, width, height, "image")
+            return
+        if node.tag == "input":
+            width, height = _input_size(node)
+            flow.add_atomic(node, width, height, "control")
+            return
+        if node.tag in _CONTROL_SIZES:
+            width, height = _CONTROL_SIZES[node.tag]
+            flow.add_atomic(node, width, height, "control")
+            return
+        flow.open_element(node)
+        for child in node.children:
+            if self._is_block_child(child):
+                # A block inside an inline context: lay it out as an
+                # atomic chunk (approximation of anonymous-box rules).
+                flow.finish_line()
+                child_box = self._layout_block(
+                    child, flow.x, flow.next_y(), flow.width, child_style
+                )
+                flow.add_block(child_box)
+            else:
+                self._flow_node(child, flow, child_style)
+        flow.close_element(node)
+
+    # ------------------------------------------------------------------
+    # tables
+
+    def _layout_table(
+        self,
+        table: Element,
+        box: LayoutBox,
+        x: float,
+        y: float,
+        width: float,
+        text_style: _TextStyle,
+    ) -> float:
+        rows = _table_rows(table)
+        if not rows:
+            return self._layout_children(table, box, x, y, width, text_style)
+        spacing = _int_attr(table, "cellspacing", 2)
+        padding = _int_attr(table, "cellpadding", 2)
+        column_count = max(
+            (sum(_colspan(cell) for cell in _row_cells(row)) for row in rows),
+            default=1,
+        )
+        column_count = max(1, column_count)
+        column_width = (width - spacing * (column_count + 1)) / column_count
+        cursor_y = y + spacing
+        for row in rows:
+            row_style = self.resolver.computed_style(row)
+            if not row_style.visible:
+                continue
+            row_box = LayoutBox(
+                row, Rect(x, cursor_y, width, 0.0), box_type="row"
+            )
+            row_box.background = _background(row, row_style)
+            cell_x = x + spacing
+            row_height = 0.0
+            for cell in _row_cells(row):
+                span = _colspan(cell)
+                cell_width = column_width * span + spacing * (span - 1)
+                cell_box = self._layout_cell(
+                    cell, cell_x, cursor_y, cell_width, padding, text_style
+                )
+                row_box.children.append(cell_box)
+                row_height = max(row_height, cell_box.rect.height)
+                cell_x += cell_width + spacing
+            # Stretch cells to the row height so backgrounds fill.
+            for cell_box in row_box.children:
+                cell_box.rect = replace(cell_box.rect, height=row_height)
+            row_box.rect = Rect(x, cursor_y, width, row_height)
+            box.children.append(row_box)
+            cursor_y += row_height + spacing
+        return cursor_y - y
+
+    def _layout_cell(
+        self,
+        cell: Element,
+        x: float,
+        y: float,
+        width: float,
+        padding: int,
+        text_style: _TextStyle,
+    ) -> LayoutBox:
+        style = self.resolver.computed_style(cell)
+        cell_style = self._text_style(cell, style, text_style)
+        box = LayoutBox(cell, Rect(x, y, width, 0.0), box_type="cell")
+        box.background = _background(cell, style)
+        content_width = max(1.0, width - 2 * padding)
+        content_height = self._layout_children(
+            cell, box, x + padding, y + padding, content_width, cell_style
+        )
+        box.rect = Rect(x, y, width, content_height + 2 * padding)
+        return box
+
+    # ------------------------------------------------------------------
+    # style resolution helpers
+
+    def _text_style(
+        self, element: Element, style: ComputedStyle, inherited: _TextStyle
+    ) -> _TextStyle:
+        font_size = inherited.font_size
+        raw_size = style.get("font-size")
+        if raw_size:
+            font_size = parse_font_size(raw_size, inherited.font_size)
+        bold = inherited.bold
+        weight = style.get("font-weight")
+        if weight:
+            if weight in ("bold", "bolder") or weight.isdigit() and int(weight) >= 600:
+                bold = True
+            elif weight in ("normal", "lighter"):
+                bold = False
+        color = inherited.color
+        raw_color = style.get("color")
+        if raw_color:
+            parsed = parse_color(raw_color)
+            if parsed is not None:
+                color = parsed
+        is_link = inherited.is_link or element.tag == "a"
+        return _TextStyle(font_size=font_size, bold=bold, color=color, is_link=is_link)
+
+    def _resolve_width(
+        self,
+        element: Element,
+        style: ComputedStyle,
+        text_style: _TextStyle,
+        available: float,
+    ) -> Optional[float]:
+        raw = style.get("width")
+        if raw:
+            resolved = parse_length(
+                raw, font_size=text_style.font_size, percent_base=available
+            )
+            if resolved is not None:
+                return min(resolved, available)
+        attr = element.get("width")
+        if attr:
+            resolved = _html_size_attr(attr, available)
+            if resolved is not None:
+                return min(resolved, available)
+        return None
+
+
+# ---------------------------------------------------------------------------
+# the inline flow
+
+
+class _InlineFlow:
+    """Greedy line-filling of text runs and atomic inline boxes."""
+
+    def __init__(self, x: float, y: float, width: float) -> None:
+        self.x = x
+        self.y = y
+        self.width = max(1.0, width)
+        self.cursor_x = x
+        self.cursor_y = y
+        self.current_line_height = 0.0
+        self.runs: list[TextRun] = []
+        self.atomic_boxes: list[LayoutBox] = []
+        self.contributions: list[tuple[Element, list[Rect]]] = []
+        self._open: list[list[Rect]] = []
+
+    # -- element tracking ------------------------------------------------
+
+    def open_element(self, element: Element) -> None:
+        rects: list[Rect] = []
+        self.contributions.append((element, rects))
+        self._open.append(rects)
+
+    def close_element(self, element: Element) -> None:
+        if self._open:
+            self._open.pop()
+
+    def _contribute(self, rect: Rect) -> None:
+        for rects in self._open:
+            rects.append(rect)
+
+    # -- placement ----------------------------------------------------------
+
+    def add_text(self, text: str, style: _TextStyle, element) -> None:
+        words = text.split()
+        space = fonts.char_width(" ", style.font_size, style.bold)
+        line_h = fonts.line_height(style.font_size)
+        run_words: list[str] = []
+        run_start = self.cursor_x
+        run_width = 0.0
+
+        def flush_run() -> None:
+            nonlocal run_words, run_start, run_width
+            if not run_words:
+                return
+            rect = Rect(run_start, self.cursor_y, run_width, line_h)
+            self.runs.append(
+                TextRun(
+                    text=" ".join(run_words),
+                    rect=rect,
+                    font_size=style.font_size,
+                    bold=style.bold,
+                    color=style.color,
+                    is_link=style.is_link,
+                )
+            )
+            self._contribute(rect)
+            run_words, run_width = [], 0.0
+            run_start = self.cursor_x
+
+        for word in words:
+            word_width = fonts.text_width(word, style.font_size, style.bold)
+            needed = word_width if self.cursor_x == self.x else word_width + space
+            if self.cursor_x + needed > self.x + self.width and self.cursor_x > self.x:
+                flush_run()
+                self.finish_line()
+                run_start = self.cursor_x
+                needed = word_width
+            advance = needed
+            if run_words:
+                run_width += space
+            run_words.append(word)
+            run_width += word_width
+            self.cursor_x += advance
+            self.current_line_height = max(self.current_line_height, line_h)
+        flush_run()
+
+    def add_atomic(
+        self, element: Element, width: float, height: float, box_type: str
+    ) -> None:
+        if (
+            self.cursor_x + width > self.x + self.width
+            and self.cursor_x > self.x
+        ):
+            self.finish_line()
+        rect = Rect(self.cursor_x, self.cursor_y, width, height)
+        box = LayoutBox(element, rect, box_type=box_type)
+        if box_type == "image":
+            import zlib as _zlib
+
+            box.background = (204, 204, 204)
+            box.border_width = 1.0
+            box.border_color = (150, 150, 150)
+            src = element.get("src") or element.tag
+            box.texture_seed = _zlib.crc32(src.encode("utf-8"))
+        else:
+            box.background = (240, 240, 240)
+            box.border_width = 1.0
+            box.border_color = (118, 118, 118)
+        self.atomic_boxes.append(box)
+        self._contribute(rect)
+        self.cursor_x += width
+        self.current_line_height = max(self.current_line_height, height)
+
+    def add_block(self, box: LayoutBox) -> None:
+        """A block box interrupting the inline flow."""
+        self.atomic_boxes.append(box)
+        self.cursor_y = box.rect.bottom
+        self.cursor_x = self.x
+        self.current_line_height = 0.0
+
+    def finish_line(self) -> None:
+        if self.cursor_x > self.x or self.current_line_height > 0:
+            self.cursor_y += self.current_line_height or fonts.line_height(16.0)
+        self.cursor_x = self.x
+        self.current_line_height = 0.0
+
+    def next_y(self) -> float:
+        return self.cursor_y
+
+    def total_height(self) -> float:
+        return self.cursor_y - self.y
+
+    def apply_alignment(self, alignment: str) -> None:
+        """Shift finished lines for ``text-align: center`` / ``right``.
+
+        Runs and atomic boxes sharing a baseline y form one line; each
+        line shifts by the leftover horizontal space (or half of it).
+        """
+        from collections import defaultdict
+        from dataclasses import replace as _replace
+
+        lines: dict[float, list] = defaultdict(list)
+        for run in self.runs:
+            lines[round(run.rect.y, 1)].append(run)
+        for box in self.atomic_boxes:
+            if box.box_type in ("image", "control"):
+                lines[round(box.rect.y, 1)].append(box)
+        shifts: dict[float, float] = {}
+        for line_y, items in lines.items():
+            right = max(item.rect.right for item in items)
+            slack = (self.x + self.width) - right
+            if slack <= 0:
+                continue
+            shift = slack / 2 if alignment == "center" else slack
+            shifts[line_y] = shift
+            for item in items:
+                item.rect = _replace(item.rect, x=item.rect.x + shift)
+        # Keep the inline-element bounding boxes (built from these
+        # contribution rects afterwards) in agreement with the shift.
+        for __, rects in self.contributions:
+            for index, rect in enumerate(rects):
+                shift = shifts.get(round(rect.y, 1))
+                if shift:
+                    rects[index] = _replace(rect, x=rect.x + shift)
+
+
+# ---------------------------------------------------------------------------
+# helpers
+
+
+def _alignment_of(element: Element, resolver: StyleResolver) -> str:
+    """text-align from CSS, falling back to the HTML align attribute."""
+    style_value = resolver.computed_style(element).get("text-align")
+    if style_value in ("center", "right", "left"):
+        return style_value
+    attr = (element.get("align") or "").lower()
+    if attr in ("center", "right", "left"):
+        return attr
+    return "left"
+
+
+def _collapse_whitespace(text: str) -> str:
+    return " ".join(text.split()) if text.strip() else ""
+
+
+def _is_renderable_inline(node: Node) -> bool:
+    if isinstance(node, Text):
+        return bool(node.data.strip())
+    return isinstance(node, Element)
+
+
+def _edges(
+    style: ComputedStyle, prefix: str, font_size: float, base: float
+) -> Edges:
+    values = {}
+    for side in ("top", "right", "bottom", "left"):
+        raw = style.get(f"{prefix}-{side}")
+        resolved = 0.0
+        if raw:
+            parsed = parse_length(raw, font_size=font_size, percent_base=base)
+            if parsed is not None:
+                resolved = max(0.0, parsed)
+        values[side] = resolved
+    return Edges(**values)
+
+
+def _border_width(style: ComputedStyle, element: Element) -> float:
+    raw = style.get("border-top-width") or style.get("border-width")
+    if raw:
+        parsed = parse_length(raw)
+        if parsed is not None:
+            return max(0.0, parsed)
+    attr = element.get("border")
+    if attr and attr.isdigit():
+        return float(attr)
+    return 0.0
+
+
+def _background(element: Element, style: ComputedStyle):
+    raw = style.get("background-color") or style.get("background")
+    if raw:
+        color = parse_color(raw.split()[0])
+        if color is not None:
+            return color
+    attr = element.get("bgcolor")
+    if attr:
+        return parse_color(attr)
+    return None
+
+
+def _has_background_image(style: ComputedStyle) -> bool:
+    raw = style.get("background") or style.get("background-image") or ""
+    return "url(" in raw
+
+
+def _explicit_height(element: Element, style: ComputedStyle, text_style):
+    raw = style.get("height")
+    if raw:
+        parsed = parse_length(raw, font_size=text_style.font_size)
+        if parsed is not None:
+            return parsed
+    attr = element.get("height")
+    if attr and attr.rstrip("px").isdigit():
+        return float(attr.rstrip("px"))
+    return None
+
+
+def _html_size_attr(value: str, base: float) -> Optional[float]:
+    value = value.strip()
+    if value.endswith("%"):
+        try:
+            return float(value[:-1]) * base / 100.0
+        except ValueError:
+            return None
+    try:
+        return float(value.rstrip("px"))
+    except ValueError:
+        return None
+
+
+def _image_size(element: Element, style: ComputedStyle, text_style) -> tuple[float, float]:
+    width = None
+    height = None
+    raw_w = style.get("width") or element.get("width")
+    raw_h = style.get("height") or element.get("height")
+    if raw_w:
+        width = _html_size_attr(raw_w, 1024) or parse_length(raw_w)
+    if raw_h:
+        height = _html_size_attr(raw_h, 768) or parse_length(raw_h)
+    if width is None and height is None:
+        return _DEFAULT_IMAGE_SIZE
+    if width is None:
+        width = height
+    if height is None:
+        height = width
+    return float(width), float(height)
+
+
+def _input_size(element: Element) -> tuple[float, float]:
+    kind = (element.get("type") or "text").lower()
+    if kind in ("submit", "button", "reset"):
+        label = element.get("value") or "Submit"
+        return max(60.0, fonts.text_width(label, 13.0) + 24.0), 24.0
+    if kind in ("checkbox", "radio"):
+        return 14.0, 14.0
+    if kind == "hidden":
+        return 0.0, 0.0
+    size = _int_attr(element, "size", 20)
+    return max(40.0, size * 7.5), 22.0
+
+
+def _int_attr(element: Element, name: str, default: int) -> int:
+    raw = element.get(name)
+    if raw is None:
+        return default
+    try:
+        return int(raw)
+    except ValueError:
+        return default
+
+
+def _table_rows(table: Element) -> list[Element]:
+    rows: list[Element] = []
+    for child in table.child_elements():
+        if child.tag == "tr":
+            rows.append(child)
+        elif child.tag in ("thead", "tbody", "tfoot"):
+            rows.extend(
+                grandchild
+                for grandchild in child.child_elements()
+                if grandchild.tag == "tr"
+            )
+    return rows
+
+
+def _row_cells(row: Element) -> list[Element]:
+    return [
+        child for child in row.child_elements() if child.tag in ("td", "th")
+    ]
+
+
+def _colspan(cell: Element) -> int:
+    raw = cell.get("colspan")
+    try:
+        return max(1, int(raw)) if raw else 1
+    except ValueError:
+        return 1
+
+
+def _union_rects(rects: list[Rect]) -> Rect:
+    x1 = min(rect.x for rect in rects)
+    y1 = min(rect.y for rect in rects)
+    x2 = max(rect.right for rect in rects)
+    y2 = max(rect.bottom for rect in rects)
+    return Rect(x1, y1, x2 - x1, y2 - y1)

@@ -1,0 +1,98 @@
+"""Display-list construction: turn a layout tree into paint commands."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+from repro.render.box import LayoutBox, Rect, TextRun
+
+
+@dataclass(frozen=True)
+class FillCommand:
+    rect: Rect
+    color: tuple[int, int, int]
+    gradient: bool = False
+
+
+@dataclass(frozen=True)
+class StrokeCommand:
+    rect: Rect
+    color: tuple[int, int, int]
+    width: int
+
+
+@dataclass(frozen=True)
+class TextCommand:
+    run: TextRun
+
+
+@dataclass(frozen=True)
+class PlaceholderCommand:
+    rect: Rect
+    texture_seed: int = 0
+
+
+PaintCommand = Union[FillCommand, StrokeCommand, TextCommand, PlaceholderCommand]
+
+
+def build_display_list(root: LayoutBox) -> list[PaintCommand]:
+    """Paint order: each box's background and border, then its text, then
+    children — a pre-order walk, which matches stacking of non-positioned
+    content."""
+    commands: list[PaintCommand] = []
+    _paint_box(root, commands)
+    return commands
+
+
+def _paint_box(box: LayoutBox, commands: list[PaintCommand]) -> None:
+    if box.rect.width <= 0 or box.rect.height <= 0:
+        pass  # zero-size boxes still paint children (e.g. collapsed rows)
+    else:
+        if box.background is not None:
+            commands.append(
+                FillCommand(box.rect, box.background, gradient=box.gradient)
+            )
+        if box.border_width > 0 and box.border_color is not None:
+            commands.append(
+                StrokeCommand(
+                    box.rect, box.border_color, max(1, int(box.border_width))
+                )
+            )
+        if box.box_type == "image":
+            commands.append(
+                PlaceholderCommand(box.rect, texture_seed=box.texture_seed)
+            )
+    for run in box.text_runs:
+        commands.append(TextCommand(run))
+    for child in box.children:
+        _paint_box(child, commands)
+
+
+def paint_onto(canvas, commands: list[PaintCommand]) -> None:
+    """Execute a display list against a :class:`Canvas`."""
+    from repro.render.raster import Canvas
+
+    assert isinstance(canvas, Canvas)
+    for command in commands:
+        if isinstance(command, FillCommand):
+            if command.gradient:
+                canvas.fill_gradient(command.rect, command.color)
+            else:
+                canvas.fill_rect(command.rect, command.color)
+        elif isinstance(command, StrokeCommand):
+            canvas.stroke_rect(command.rect, command.color, command.width)
+        elif isinstance(command, PlaceholderCommand):
+            canvas.draw_photo_placeholder(command.rect, command.texture_seed)
+        elif isinstance(command, TextCommand):
+            run = command.run
+            canvas.draw_text(
+                run.rect.x,
+                run.rect.y,
+                run.text,
+                run.font_size,
+                run.color,
+                run.bold,
+            )
+        else:  # pragma: no cover - defensive
+            raise TypeError(f"unknown paint command {command!r}")

@@ -1,0 +1,104 @@
+"""Page snapshots: full pipeline from document to raster image + geometry.
+
+This is the heavyweight render path the paper reserves for "when absolutely
+necessary" (§2): parse → cascade → layout → paint → rasterize.  The
+returned :class:`PageSnapshot` carries the element geometry that the
+subpage image maps are generated from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.css.cascade import StyleResolver
+from repro.css.parser import parse_stylesheet
+from repro.dom.document import Document
+from repro.dom.element import Element
+from repro.render.box import LayoutBox, Rect
+from repro.render.image import RasterImage
+from repro.render.layout import LayoutEngine
+from repro.render.paint import build_display_list, paint_onto
+from repro.render.raster import Canvas
+
+
+@dataclass
+class PageSnapshot:
+    """A rendered page: pixels plus the layout geometry behind them."""
+
+    image: RasterImage
+    layout_root: LayoutBox
+    viewport_width: int
+    page_height: int
+    stylesheet_count: int = 0
+    element_geometry: dict[int, Rect] = field(default_factory=dict)
+
+    def geometry_of(self, element: Element) -> Optional[Rect]:
+        """Border-box rect of ``element`` in page coordinates."""
+        return self.element_geometry.get(id(element))
+
+    def hit_test(self, x: float, y: float) -> Optional[Element]:
+        """Element at page coordinates — powers the admin tool's
+        point-and-click object selection.
+
+        Pre-order iteration visits parents before children, so the last
+        containing box is the deepest element under the point.
+        """
+        best: Optional[Element] = None
+        for box in self.layout_root.iter_boxes():
+            if box.element is not None and box.rect.contains(x, y):
+                best = box.element
+        return best
+
+
+def collect_stylesheets(
+    document: Document, external_css: Optional[dict[str, str]] = None
+):
+    """Stylesheets from <style> blocks plus fetched <link rel=stylesheet>.
+
+    ``external_css`` maps href → CSS text for stylesheets the proxy has
+    downloaded alongside the page.
+    """
+    sheets = []
+    external_css = external_css or {}
+    for element in document.all_elements():
+        if element.tag == "style":
+            sheets.append(parse_stylesheet(element.text_content))
+        elif (
+            element.tag == "link"
+            and (element.get("rel") or "").lower() == "stylesheet"
+        ):
+            href = element.get("href") or ""
+            css_text = external_css.get(href)
+            if css_text is not None:
+                sheets.append(parse_stylesheet(css_text, href=href))
+    return sheets
+
+
+def render_snapshot(
+    document: Document,
+    viewport_width: int = 1024,
+    external_css: Optional[dict[str, str]] = None,
+    max_height: int = 8192,
+) -> PageSnapshot:
+    """Render a full-page snapshot at the given viewport width."""
+    resolver = StyleResolver(collect_stylesheets(document, external_css))
+    engine = LayoutEngine(resolver, viewport_width)
+    root = engine.layout(document)
+    page_height = min(max_height, max(1, int(round(root.rect.height))))
+    canvas = Canvas(viewport_width, page_height)
+    paint_onto(canvas, build_display_list(root))
+    # Anti-alias once, matching what a real rasterizer's text looks like.
+    antialiased = RasterImage(canvas.pixels).smoothed()
+    geometry: dict[int, Rect] = {}
+    for box in root.iter_boxes():
+        if box.element is not None and id(box.element) not in geometry:
+            geometry[id(box.element)] = box.rect
+    return PageSnapshot(
+        image=antialiased,
+        layout_root=root,
+        viewport_width=viewport_width,
+        page_height=page_height,
+        stylesheet_count=len(resolver.stylesheets),
+        element_geometry=geometry,
+    )

@@ -1,0 +1,88 @@
+"""Measurement primitives for experiments.
+
+``WindowedCounter`` reproduces the paper's protocol of counting satisfied
+requests over a one-minute measurement window.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+
+class Counter:
+    """A monotonically increasing event counter."""
+
+    def __init__(self, name: str = "counter") -> None:
+        self.name = name
+        self.value = 0
+
+    def increment(self, by: int = 1) -> None:
+        if by < 0:
+            raise ValueError("counters only increase")
+        self.value += by
+
+
+@dataclass
+class Tally:
+    """Streaming mean / variance / extrema over observed samples."""
+
+    name: str = "tally"
+    count: int = 0
+    total: float = 0.0
+    total_sq: float = 0.0
+    minimum: float = field(default=math.inf)
+    maximum: float = field(default=-math.inf)
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        self.total_sq += value * value
+        self.minimum = min(self.minimum, value)
+        self.maximum = max(self.maximum, value)
+
+    @property
+    def mean(self) -> float:
+        if self.count == 0:
+            raise ValueError("no samples observed")
+        return self.total / self.count
+
+    @property
+    def variance(self) -> float:
+        """Population variance of the observed samples."""
+        if self.count == 0:
+            raise ValueError("no samples observed")
+        mean = self.mean
+        # Clamp tiny negative values caused by floating-point cancellation.
+        return max(0.0, self.total_sq / self.count - mean * mean)
+
+    @property
+    def stddev(self) -> float:
+        return math.sqrt(self.variance)
+
+
+class WindowedCounter:
+    """Counts events that fall inside a fixed measurement window.
+
+    The paper measures throughput as requests satisfied during a one-minute
+    window; events completing outside [start, end) are ignored.
+    """
+
+    def __init__(self, start: float, duration: float) -> None:
+        if duration <= 0:
+            raise ValueError("window duration must be positive")
+        self.start = start
+        self.end = start + duration
+        self.count = 0
+
+    def record(self, timestamp: float) -> bool:
+        """Count the event if it falls inside the window; report whether it did."""
+        if self.start <= timestamp < self.end:
+            self.count += 1
+            return True
+        return False
+
+    @property
+    def rate_per_minute(self) -> float:
+        """Counted events scaled to a per-minute rate."""
+        return self.count * 60.0 / (self.end - self.start)

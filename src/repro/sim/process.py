@@ -1,0 +1,163 @@
+"""Generator-based process model on top of the event queue.
+
+A *process* is a Python generator that yields simulation requests:
+
+* ``Delay(seconds)`` — suspend for a span of simulated time,
+* ``Acquire(resource)`` — wait for one unit of a :class:`Resource`,
+* ``Release(resource)`` — return a unit (never blocks),
+* another process handle — wait for that process to finish.
+
+This is the same modelling style as SimPy, rebuilt from scratch so the
+reproduction has no external dependencies and fully deterministic ordering.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Generator, Iterable
+
+from repro.sim.clock import Clock
+from repro.sim.events import EventQueue
+from repro.sim.resources import Resource
+
+
+@dataclass(frozen=True)
+class Delay:
+    """Suspend the yielding process for ``seconds`` of simulated time."""
+
+    seconds: float
+
+    def __post_init__(self) -> None:
+        if self.seconds < 0:
+            raise ValueError("delay cannot be negative")
+
+
+@dataclass(frozen=True)
+class Acquire:
+    """Wait until one unit of ``resource`` is available, then hold it."""
+
+    resource: Resource
+
+
+@dataclass(frozen=True)
+class Release:
+    """Return one held unit of ``resource``; resumes a waiter if any."""
+
+    resource: Resource
+
+
+class Process:
+    """Handle to a running simulation process."""
+
+    def __init__(self, name: str, generator: Generator[Any, Any, Any]) -> None:
+        self.name = name
+        self.generator = generator
+        self.finished = False
+        self.result: Any = None
+        self._waiters: list[Process] = []
+
+    def __repr__(self) -> str:
+        state = "finished" if self.finished else "running"
+        return f"Process({self.name!r}, {state})"
+
+
+class Simulation:
+    """Deterministic discrete-event simulation kernel."""
+
+    def __init__(self, start: float = 0.0) -> None:
+        self.clock = Clock(start)
+        self._queue = EventQueue()
+        self._live_processes = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self.clock.now
+
+    def spawn(
+        self, generator: Generator[Any, Any, Any], name: str = "process"
+    ) -> Process:
+        """Start a new process; it first runs at the current instant."""
+        process = Process(name, generator)
+        self._live_processes += 1
+        self._queue.push(self.now, lambda: self._step(process, None))
+        return process
+
+    def schedule(self, delay: float, action: Callable[[], None]) -> None:
+        """Run a bare callback after ``delay`` seconds of simulated time."""
+        if delay < 0:
+            raise ValueError("cannot schedule in the past")
+        self._queue.push(self.now + delay, action)
+
+    def run(self, until: float | None = None) -> float:
+        """Drain events, optionally stopping the clock at ``until`` seconds.
+
+        Returns the final simulated time.  With ``until`` set, events due
+        after the horizon stay queued and the clock stops exactly at the
+        horizon, matching a fixed measurement window.
+        """
+        while True:
+            next_time = self._queue.peek_time()
+            if next_time is None:
+                break
+            if until is not None and next_time > until:
+                self.clock.advance_to(until)
+                return self.now
+            event = self._queue.pop()
+            assert event is not None
+            self.clock.advance_to(event.time)
+            event.action()
+        if until is not None and self.now < until:
+            self.clock.advance_to(until)
+        return self.now
+
+    # ------------------------------------------------------------------
+    # process stepping
+
+    def _step(self, process: Process, send_value: Any) -> None:
+        """Advance one process until it blocks again or finishes."""
+        try:
+            request = process.generator.send(send_value)
+        except StopIteration as stop:
+            self._finish(process, stop.value)
+            return
+        self._dispatch(process, request)
+
+    def _dispatch(self, process: Process, request: Any) -> None:
+        if isinstance(request, Delay):
+            self._queue.push(
+                self.now + request.seconds, lambda: self._step(process, None)
+            )
+        elif isinstance(request, Acquire):
+            request.resource._enqueue(process, self)
+        elif isinstance(request, Release):
+            request.resource._release(self)
+            self._queue.push(self.now, lambda: self._step(process, None))
+        elif isinstance(request, Process):
+            if request.finished:
+                self._queue.push(
+                    self.now, lambda: self._step(process, request.result)
+                )
+            else:
+                request._waiters.append(process)
+        else:
+            raise TypeError(f"process {process.name!r} yielded {request!r}")
+
+    def _finish(self, process: Process, result: Any) -> None:
+        process.finished = True
+        process.result = result
+        self._live_processes -= 1
+        for waiter in process._waiters:
+            self._queue.push(self.now, lambda w=waiter: self._step(w, result))
+        process._waiters.clear()
+
+    # Resources call back into the kernel to resume blocked processes.
+    def _resume(self, process: Process) -> None:
+        self._queue.push(self.now, lambda: self._step(process, None))
+
+
+def run_all(sim: Simulation, generators: Iterable[Generator[Any, Any, Any]]) -> float:
+    """Convenience: spawn every generator and run the simulation to quiescence."""
+    for index, generator in enumerate(generators):
+        sim.spawn(generator, name=f"batch-{index}")
+    return sim.run()

@@ -1,0 +1,86 @@
+"""Countable resources with FIFO wait queues.
+
+Used to model the proxy host's CPU cores in the Figure 7 scalability
+experiment: a browser render and a lightweight proxy request both occupy a
+core for their service time; requests queue when both cores are busy.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.sim.process import Process, Simulation
+
+
+class ResourceBusy(RuntimeError):
+    """Raised by :meth:`Resource.try_acquire` when no unit is free."""
+
+
+class Resource:
+    """A pool of ``capacity`` identical units with a FIFO waiter queue."""
+
+    def __init__(self, capacity: int, name: str = "resource") -> None:
+        if capacity < 1:
+            raise ValueError("resource capacity must be at least 1")
+        self.capacity = capacity
+        self.name = name
+        self._in_use = 0
+        self._waiters: deque[Process] = deque()
+
+    @property
+    def in_use(self) -> int:
+        """Units currently held."""
+        return self._in_use
+
+    @property
+    def available(self) -> int:
+        """Units currently free."""
+        return self.capacity - self._in_use
+
+    @property
+    def queue_length(self) -> int:
+        """Processes blocked waiting for a unit."""
+        return len(self._waiters)
+
+    def try_acquire(self) -> None:
+        """Take a unit immediately or raise :class:`ResourceBusy`.
+
+        For callers outside the process model (e.g. synchronous tests).
+        """
+        if self._in_use >= self.capacity:
+            raise ResourceBusy(f"{self.name}: all {self.capacity} units busy")
+        self._in_use += 1
+
+    def release_direct(self) -> None:
+        """Return a unit taken via :meth:`try_acquire` (no waiter handoff)."""
+        if self._in_use <= 0:
+            raise RuntimeError(f"{self.name}: release without acquire")
+        self._in_use -= 1
+
+    # ------------------------------------------------------------------
+    # kernel-facing API (called by Simulation._dispatch)
+
+    def _enqueue(self, process: "Process", sim: "Simulation") -> None:
+        if self._in_use < self.capacity:
+            self._in_use += 1
+            sim._resume(process)
+        else:
+            self._waiters.append(process)
+
+    def _release(self, sim: "Simulation") -> None:
+        if self._in_use <= 0:
+            raise RuntimeError(f"{self.name}: release without acquire")
+        if self._waiters:
+            # Hand the unit straight to the first waiter: in_use stays flat.
+            waiter = self._waiters.popleft()
+            sim._resume(waiter)
+        else:
+            self._in_use -= 1
+
+    def __repr__(self) -> str:
+        return (
+            f"Resource({self.name!r}, in_use={self._in_use}/{self.capacity},"
+            f" queued={len(self._waiters)})"
+        )

@@ -1,0 +1,72 @@
+"""Deterministic random number generation for experiments.
+
+The paper marks each request with a U[0,1] draw to decide whether it needs
+a full browser instance.  We reproduce that with a seeded xorshift64*
+generator so runs are identical across platforms and Python versions
+(``random.Random`` is stable too, but owning the generator keeps the
+substrate dependency-free and makes the stream explicit in the design).
+"""
+
+from __future__ import annotations
+
+_MASK64 = (1 << 64) - 1
+
+
+class DeterministicRandom:
+    """Seeded xorshift64* generator with the small API experiments need."""
+
+    def __init__(self, seed: int = 0x9E3779B97F4A7C15) -> None:
+        # Zero is a fixed point of xorshift; nudge it away deterministically.
+        self._state = (seed & _MASK64) or 0x2545F4914F6CDD1D
+
+    def next_u64(self) -> int:
+        """Next raw 64-bit value."""
+        x = self._state
+        x ^= (x >> 12) & _MASK64
+        x = (x ^ (x << 25)) & _MASK64
+        x ^= (x >> 27) & _MASK64
+        self._state = x
+        return (x * 0x2545F4914F6CDD1D) & _MASK64
+
+    def uniform(self) -> float:
+        """U[0,1) double with 53 bits of precision."""
+        return (self.next_u64() >> 11) / float(1 << 53)
+
+    def uniform_range(self, low: float, high: float) -> float:
+        """U[low, high)."""
+        if high < low:
+            raise ValueError("uniform_range requires low <= high")
+        return low + (high - low) * self.uniform()
+
+    def randint(self, low: int, high: int) -> int:
+        """Integer uniform on [low, high] inclusive."""
+        if high < low:
+            raise ValueError("randint requires low <= high")
+        span = high - low + 1
+        return low + self.next_u64() % span
+
+    def choice(self, items: list):
+        """Uniform choice from a non-empty sequence."""
+        if not items:
+            raise IndexError("choice from empty sequence")
+        return items[self.randint(0, len(items) - 1)]
+
+    def shuffle(self, items: list) -> None:
+        """In-place Fisher-Yates shuffle."""
+        for i in range(len(items) - 1, 0, -1):
+            j = self.randint(0, i)
+            items[i], items[j] = items[j], items[i]
+
+    def exponential(self, mean: float) -> float:
+        """Exponential variate with the given mean (for interarrival times)."""
+        import math
+
+        if mean <= 0:
+            raise ValueError("exponential mean must be positive")
+        u = self.uniform()
+        # Guard the log(0) corner: uniform() can return exactly 0.0.
+        return -mean * math.log(1.0 - u)
+
+    def fork(self, stream: int) -> "DeterministicRandom":
+        """Derive an independent, reproducible substream."""
+        return DeterministicRandom(self.next_u64() ^ (stream * 0x9E3779B97F4A7C15))

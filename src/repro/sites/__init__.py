@@ -1,0 +1,14 @@
+"""Synthetic origin sites used by the evaluation.
+
+* :mod:`repro.sites.forum` — a vBulletin-style online community modeled on
+  the paper's test site (SawmillCreek.org: ~66,000 members, ~30 forums,
+  2.2 million hits/day), serving the entry page whose adaptation the
+  paper's Table 1 measures.
+* :mod:`repro.sites.classifieds` — a Craigslist-style listing site used by
+  the AJAX-adaptation case study (§4.5, Figure 6).
+"""
+
+from repro.sites.forum.app import ForumApplication
+from repro.sites.classifieds.app import ClassifiedsApplication
+
+__all__ = ["ForumApplication", "ClassifiedsApplication"]

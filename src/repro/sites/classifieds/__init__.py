@@ -1,0 +1,6 @@
+"""Craigslist-style classifieds site (the §4.5 AJAX case study subject)."""
+
+from repro.sites.classifieds.app import ClassifiedsApplication
+from repro.sites.classifieds.data import ListingGenerator
+
+__all__ = ["ClassifiedsApplication", "ListingGenerator"]

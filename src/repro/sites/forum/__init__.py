@@ -1,0 +1,6 @@
+"""The vBulletin-style forum application (SawmillCreek analog)."""
+
+from repro.sites.forum.app import ForumApplication
+from repro.sites.forum.data import CommunityGenerator, Community
+
+__all__ = ["ForumApplication", "CommunityGenerator", "Community"]

@@ -1,0 +1,170 @@
+"""Static assets for the forum: stylesheet, client scripts, images.
+
+The paper's entry page pulls "all images, external Javascripts (of which
+there are about 12), and CSS files" totalling 224,477 bytes (§4.2).  The
+asset sizes here are chosen so the synthetic page's full resource census
+lands on that figure; the byte-census benchmark asserts it.
+"""
+
+from __future__ import annotations
+
+import zlib
+
+from repro.sim.rng import DeterministicRandom
+
+# (name, byte size) for the ~12 external scripts a vBulletin 3.x page loads.
+SCRIPT_MANIFEST: list[tuple[str, int]] = [
+    ("yahoo-dom-event.js", 31_420),
+    ("connection-min.js", 12_860),
+    ("vbulletin_global.js", 11_212),
+    ("vbulletin_menu.js", 9_941),
+    ("vbulletin_md5.js", 8_105),
+    ("vbulletin_read_marker.js", 4_380),
+    ("vbulletin_post_loader.js", 4_966),
+    ("vbulletin_quick_reply.js", 5_514),
+    ("vbulletin_ajax_login.js", 3_820),
+    ("vbulletin_notices.js", 2_650),
+    ("sevenseas_ads.js", 3_107),
+    ("analytics_tracker.js", 2_904),
+]
+
+# (name, byte size) for entry-page images: logo, banner ad, forum status
+# icons, button sprites.
+IMAGE_MANIFEST: list[tuple[str, int]] = [
+    ("sawmill_logo.gif", 11_840),
+    ("leaderboard_banner.gif", 20_322),
+    ("forum_new.gif", 842),
+    ("forum_old.gif", 831),
+    ("forum_link.gif", 650),
+    ("statusicon_new.gif", 412),
+    ("statusicon_old.gif", 409),
+    ("collapse_tcat.gif", 180),
+    ("header_bg.gif", 1_240),
+    ("cat_bg.gif", 905),
+    ("button_login.gif", 760),
+    ("rss_icon.gif", 520),
+    ("calendar_icon.gif", 498),
+    ("birthday_cake.gif", 534),
+    ("whosonline.gif", 471),
+    ("stats_bg.gif", 388),
+    ("gradient_panel.gif", 1_105),
+    ("footer_bg.gif", 676),
+    ("mobile_logo.gif", 2_210),
+    ("poweredby.gif", 1_380),
+]
+
+STYLESHEET_NAME = "clientscript/vbulletin_stylesheet.css"
+
+
+def stylesheet_css() -> str:
+    """The site stylesheet (~24 KB), vBulletin 3.x class structure."""
+    rules = [
+        "body { background: #E4EAF2; color: #000000; font: 10pt verdana,"
+        " geneva, lucida, arial, helvetica, sans-serif; margin: 5px 10px;"
+        " padding: 0; }",
+        "a:link, body_alink { color: #22229C; }",
+        "a:visited, body_avisited { color: #22229C; }",
+        "a:hover, a:active { color: #FF4400; }",
+        ".page { background: #FFFFFF; color: #000000; }",
+        "td, th, p, li { font: 10pt verdana, geneva, lucida, arial,"
+        " helvetica, sans-serif; }",
+        ".tborder { background: #98B5E2; color: #000000; border: 1px solid"
+        " #0B198C; }",
+        ".tcat { background: #336699 url(images/cat_bg.gif) repeat-x"
+        " top left; color: #FFFFFF; font: bold 10pt verdana; }",
+        ".tcat a:link, .tcat a:visited { color: #FFFFFF; }",
+        ".thead { background: #5C7099 url(images/header_bg.gif) repeat-x;"
+        " color: #FFFFFF; font: bold 11px tahoma, verdana; }",
+        ".tfoot { background: #3E5C92; color: #E0E0F6; }",
+        ".alt1, .alt1active { background: #F5F5FF; color: #000000; }",
+        ".alt2, .alt2active { background: #E1E4F2; color: #000000; }",
+        ".wysiwyg { background: #F5F5FF; color: #000000; font: 10pt"
+        " verdana; }",
+        "textarea, .bginput { font: 10pt verdana, geneva, lucida, arial;"
+        " background: #FFFFFF; }",
+        ".button { font: 11px verdana; background: #E1E4F2; }",
+        "select { font: 11px verdana; background: #FFFFFF; }",
+        ".smallfont { font: 11px verdana, geneva, lucida, arial; }",
+        ".time { color: #666686; }",
+        ".navbar { font: 11px verdana; }",
+        ".highlight { color: #FF0000; font-weight: bold; }",
+        ".fjsel { background: #3E5C92; color: #E0E0F6; }",
+        ".fjdpth0 { background: #F7F7F7; color: #000000; }",
+        ".panel { background: #E9E9F9; color: #000000; padding: 10px;"
+        " border: 2px outset; }",
+        ".panelsurround { background: #D9D9EF; color: #000000; }",
+        ".legend { background: #E4EAF2; color: #000000; }",
+        ".vbmenu_control { background: #336699; color: #FFFFFF; font: bold"
+        " 11px tahoma; padding: 3px 6px; white-space: nowrap; }",
+        ".vbmenu_popup { background: #FFFFFF; color: #000000; border: 1px"
+        " solid #0B198C; }",
+        ".vbmenu_option { background: #F5F5FF; color: #000000; font: 11px"
+        " verdana; white-space: nowrap; cursor: pointer; }",
+        ".vbmenu_hilite { background: #98B5E2; color: #000000; }",
+        "#forumbits td { padding: 6px; }",
+        "#wol { padding: 6px; }",
+        "#stats td { padding: 4px 6px; }",
+        ".forumtitle { font-weight: bold; font-size: 12px; }",
+        ".forumdesc { font-size: 11px; color: #333355; }",
+        ".lastpost { font-size: 11px; }",
+        "#announce { background: #FFF6BF; border: 1px solid #E5C365;"
+        " padding: 8px; }",
+        "#logobar { background: #FFFFFF; }",
+        "#navlinks td { padding: 4px 10px; }",
+        "#loginbox td { padding: 3px; }",
+    ]
+    # Pad to the real stylesheet's volume with per-forum skin variants,
+    # the kind of generated bulk a themed vBulletin install accumulates.
+    rng = DeterministicRandom(0xCC5)
+    for index in range(170):
+        hue = rng.randint(0, 255)
+        rules.append(
+            f".skin{index} {{ background: #{hue:02X}{(hue * 3) % 256:02X}"
+            f"{(hue * 7) % 256:02X}; color: #000000; padding: "
+            f"{rng.randint(2, 9)}px; margin: {rng.randint(0, 5)}px; "
+            f"border: 1px solid #{(hue * 11) % 256:02X}2244; "
+            f"font-size: {rng.randint(9, 13)}px; }}"
+        )
+    return "\n".join(rules) + "\n"
+
+
+def script_body(name: str, size: int) -> str:
+    """Deterministic pseudo-JavaScript of roughly ``size`` bytes."""
+    rng = DeterministicRandom(zlib.crc32(name.encode("utf-8")))
+    lines = [f"// {name} (c) Jelsoft Enterprises / synthetic reproduction"]
+    body_bytes = len(lines[0])
+    index = 0
+    while body_bytes < size - 80:
+        index += 1
+        fn = (
+            f"function vb_{name.split('.')[0][:8]}_{index}(a, b) {{ "
+            f"var x = {rng.randint(1, 9999)}; "
+            f"if (a > x) {{ return fetch_object('el{index}'); }} "
+            f"return b ? x * {rng.randint(2, 17)} : do_an_ajax_thing(a); }}"
+        )
+        lines.append(fn)
+        body_bytes += len(fn) + 1
+    return "\n".join(lines) + "\n"
+
+
+def image_bytes(name: str, size: int) -> bytes:
+    """A deterministic pseudo-GIF blob of exactly ``size`` bytes."""
+    rng = DeterministicRandom(zlib.crc32(name.encode("utf-8")))
+    header = b"GIF89a"
+    payload = bytearray(header)
+    while len(payload) < size:
+        payload.append(rng.randint(0, 255))
+    return bytes(payload[:size])
+
+
+def script_path(name: str) -> str:
+    return f"clientscript/{name}"
+
+
+def total_asset_bytes() -> int:
+    """Bytes of all external assets referenced by the entry page."""
+    return (
+        sum(size for __, size in SCRIPT_MANIFEST)
+        + sum(size for __, size in IMAGE_MANIFEST)
+        + len(stylesheet_css().encode("utf-8"))
+    )

@@ -1,0 +1,104 @@
+"""Domain model for the synthetic online community."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class Member:
+    """A registered community member."""
+
+    member_id: int
+    username: str
+    joined_day: int  # days since site launch
+    post_count: int
+    birthday_month: int
+    birthday_day: int
+
+    @property
+    def profile_path(self) -> str:
+        return f"/members.php?u={self.member_id}"
+
+
+@dataclass
+class Thread:
+    """A discussion thread."""
+
+    thread_id: int
+    forum_id: int
+    title: str
+    author_id: int
+    author_name: str
+    reply_count: int
+    view_count: int
+    last_post_day: int
+    last_poster_name: str
+    sticky: bool = False
+
+    @property
+    def path(self) -> str:
+        return f"/showthread.php?t={self.thread_id}"
+
+
+@dataclass
+class Post:
+    """One post within a thread."""
+
+    post_id: int
+    thread_id: int
+    author_id: int
+    author_name: str
+    author_post_count: int
+    day: int
+    body: str
+
+
+@dataclass
+class Forum:
+    """A forum (board) within a category."""
+
+    forum_id: int
+    category_id: int
+    title: str
+    description: str
+    thread_count: int
+    post_count: int
+    last_thread_title: str
+    last_thread_id: int
+    last_poster_name: str
+    last_post_day: int
+    private: bool = False
+
+    @property
+    def path(self) -> str:
+        return f"/forumdisplay.php?f={self.forum_id}"
+
+
+@dataclass
+class Category:
+    """A grouping of forums on the entry page."""
+
+    category_id: int
+    title: str
+    forums: list[Forum] = field(default_factory=list)
+
+
+@dataclass(frozen=True)
+class SiteStatistics:
+    """The entry page's statistics box."""
+
+    member_count: int
+    thread_count: int
+    post_count: int
+    newest_member: str
+    online_count: int
+    online_record: int
+
+
+@dataclass(frozen=True)
+class CalendarEvent:
+    """A public calendar entry shown on the entry page."""
+
+    day: int
+    title: str

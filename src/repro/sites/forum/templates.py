@@ -1,0 +1,492 @@
+"""HTML templates for the forum pages.
+
+The entry page mirrors the structure the paper describes for the test
+site: "a logo and leader board banner advertisement, followed by a box of
+navigational links and a login form.  Below this is a transient box used
+for announcements, followed by a long list of about 30 forum descriptions
+... a display showing which members are logged in, with links to each
+online member's public profile.  Toward the bottom is a box of site
+statistics, a list of birthdays, public calendar entries, and finally some
+additional navigational links." (§4.2)
+
+Every adaptable region carries a stable id so the admin tool's selectors
+have the anchors real vBulletin templates provide.
+"""
+
+from __future__ import annotations
+
+from repro.sites.forum import assets
+from repro.sites.forum.data import TODAY, Community
+from repro.sites.forum.models import Forum, Post, Thread
+
+SITE_TITLE = "Sawmill Creek Woodworking Community"
+
+NAV_LINKS = [
+    ("/index.php", "Home"),
+    ("/register.php", "Register"),
+    ("/faq.php", "FAQ"),
+    ("/members.php", "Members List"),
+    ("/calendar.php", "Calendar"),
+    ("/search.php", "Search"),
+    ("/usercp.php", "User CP"),
+    ("/private.php", "Private Messages"),
+    ("/subscription.php", "Subscriptions"),
+    ("/showgroups.php", "Forum Leaders"),
+    ("/sendmessage.php", "Contact Us"),
+    ("/archive/index.php", "Archive"),
+]
+
+FOOTER_LINKS = [
+    ("/sendmessage.php", "Contact Us"),
+    ("/index.php", "Sawmill Creek"),
+    ("/archive/index.php", "Archive"),
+    ("/privacy.php", "Privacy Statement"),
+    ("#top", "Top"),
+]
+
+
+def _format_day(day: int) -> str:
+    """Render a synthetic day number as a vBulletin-style date string."""
+    delta = TODAY - day
+    if delta <= 0:
+        return "Today"
+    if delta == 1:
+        return "Yesterday"
+    month = (day // 28) % 12 + 1
+    dom = day % 28 + 1
+    year = 2004 + day // 336
+    return f"{month:02d}-{dom:02d}-{year}"
+
+
+def page_head(title: str, extra_head: str = "") -> str:
+    scripts = "\n".join(
+        f'<script type="text/javascript" '
+        f'src="/clientscript/{name}"></script>'
+        for name, __ in assets.SCRIPT_MANIFEST
+    )
+    return f"""<!DOCTYPE html>
+<html>
+<head>
+<meta http-equiv="Content-Type" content="text/html; charset=utf-8" />
+<meta name="generator" content="vBulletin 3.8.7" />
+<meta name="keywords" content="woodworking, forum, community, tools" />
+<meta name="description" content="{SITE_TITLE}" />
+<title>{title}</title>
+<link rel="stylesheet" type="text/css" href="/{assets.STYLESHEET_NAME}" />
+{scripts}
+<script type="text/javascript">
+<!--
+var SESSIONURL = "";
+var SECURITYTOKEN = "guest";
+var IMGDIR_MISC = "/images";
+var vb_disable_ajax = parseInt("0", 10);
+// -->
+</script>
+{extra_head}
+</head>
+"""
+
+
+def navbar() -> str:
+    cells = "".join(
+        f'<td class="vbmenu_control"><a href="{href}">{label}</a></td>'
+        for href, label in NAV_LINKS
+    )
+    return (
+        '<table id="navlinks" class="tborder" cellpadding="0" '
+        'cellspacing="0" border="0" width="100%">'
+        f"<tr>{cells}</tr></table>"
+    )
+
+
+def logo_bar() -> str:
+    return (
+        '<table id="logobar" width="100%" cellpadding="0" cellspacing="0">'
+        "<tr>"
+        '<td><a href="/index.php"><img src="/images/sawmill_logo.gif" '
+        'alt="Sawmill Creek" width="320" height="90" border="0" /></a></td>'
+        '<td align="right" id="banner">'
+        '<img src="/images/leaderboard_banner.gif" '
+        'alt="Advertisement" width="728" height="90" /></td>'
+        "</tr></table>"
+    )
+
+
+def login_box(error: str = "") -> str:
+    error_html = (
+        f'<tr><td colspan="3" class="highlight">{error}</td></tr>'
+        if error
+        else ""
+    )
+    return f"""<form id="loginform" action="/login.php" method="post"
+ onsubmit="md5hash(vb_login_password, vb_login_md5password)">
+<table id="loginbox" cellpadding="0" cellspacing="3" border="0">
+{error_html}
+<tr>
+<td class="smallfont"><label for="navbar_username">User Name</label></td>
+<td><input type="text" class="bginput" name="vb_login_username"
+ id="navbar_username" size="10" accesskey="u" /></td>
+<td class="smallfont" colspan="2"><label for="cb_cookieuser_navbar">
+<input type="checkbox" name="cookieuser" value="1"
+ id="cb_cookieuser_navbar" accesskey="c" />Remember Me?</label></td>
+</tr>
+<tr>
+<td class="smallfont"><label for="navbar_password">Password</label></td>
+<td><input type="password" class="bginput" name="vb_login_password"
+ id="navbar_password" size="10" /></td>
+<td><input type="submit" class="button" value="Log in"
+ title="Enter your username and password" accesskey="s" /></td>
+</tr>
+</table>
+<input type="hidden" name="do" value="login" />
+<input type="hidden" name="vb_login_md5password" value="" />
+</form>"""
+
+
+def announcement_box(text: str) -> str:
+    return (
+        f'<div id="announce" class="smallfont">'
+        f'<strong>Announcement:</strong> {text}</div>'
+    )
+
+
+def forum_listing(community: Community) -> str:
+    rows: list[str] = []
+    alt = True
+    for category in community.categories:
+        rows.append(
+            f'<tr><td class="tcat" colspan="5" id="cat{category.category_id}">'
+            f'<a href="/index.php#cat{category.category_id}">'
+            f"{category.title}</a>"
+            f'<img src="/images/collapse_tcat.gif" alt="" align="right" />'
+            f"</td></tr>"
+        )
+        for forum in category.forums:
+            alt = not alt
+            cls = "alt1" if alt else "alt2"
+            icon = "forum_new.gif" if forum.last_post_day >= TODAY - 1 else "forum_old.gif"
+            lock = " (private)" if forum.private else ""
+            moderators = ", ".join(
+                f'<a href="/members.php?u={forum.forum_id * 31 + index}">'
+                f"{name}</a>"
+                for index, name in enumerate(
+                    (forum.last_poster_name, "ShopSteward", "BenchBoss")[
+                        : 1 + forum.forum_id % 3
+                    ]
+                )
+            )
+            subforums = ""
+            if forum.forum_id % 4 == 0:
+                subforums = (
+                    '<div class="smallfont fjdpth0">Sub-Forums: '
+                    + ", ".join(
+                        f'<a href="/forumdisplay.php?f='
+                        f'{forum.forum_id * 10 + sub}">'
+                        f"{forum.title.split()[0]} Annex {sub}</a>"
+                        for sub in range(1, 4)
+                    )
+                    + "</div>"
+                )
+            viewing = (
+                f'<span class="smallfont time">'
+                f"({(forum.post_count % 37) + 2} Viewing)</span>"
+            )
+            rows.append(
+                f'<tr id="forumrow{forum.forum_id}">'
+                f'<td class="{cls}" width="30">'
+                f'<img src="/images/{icon}" alt="forum status" /></td>'
+                f'<td class="{cls}">'
+                f'<div class="forumtitle">'
+                f'<a href="{forum.path}">{forum.title}</a>{lock} '
+                f"{viewing}</div>"
+                f'<div class="forumdesc">{forum.description}</div>'
+                f'<div class="smallfont">Moderators: {moderators}</div>'
+                f"{subforums}</td>"
+                f'<td class="{cls} lastpost" width="220">'
+                f'<a href="/showthread.php?t={forum.last_thread_id}'
+                f'&amp;goto=newpost">{forum.last_thread_title}</a><br />'
+                f'by <a href="/members.php?find=lastposter&amp;f='
+                f'{forum.forum_id}">{forum.last_poster_name}</a> '
+                f'<span class="time">{_format_day(forum.last_post_day)}'
+                f'</span> <a href="/showthread.php?t='
+                f'{forum.last_thread_id}&amp;goto=newpost">'
+                f'<img src="/images/statusicon_new.gif" '
+                f'alt="Go to last post" /></a></td>'
+                f'<td class="{cls}" align="center" width="70">'
+                f"{forum.thread_count:,}</td>"
+                f'<td class="{cls}" align="center" width="70">'
+                f"{forum.post_count:,}</td>"
+                f"</tr>"
+            )
+    header = (
+        '<tr><td class="thead" colspan="2">Forum</td>'
+        '<td class="thead">Last Post</td>'
+        '<td class="thead">Threads</td><td class="thead">Posts</td></tr>'
+    )
+    return (
+        '<table id="forumbits" class="tborder" cellpadding="0" '
+        'cellspacing="1" border="0" width="100%">'
+        f"{header}{''.join(rows)}</table>"
+    )
+
+
+def whos_online(community: Community, shown: int = 230) -> str:
+    links = []
+    for member_id in community.online_member_ids[:shown]:
+        member = community.member(member_id)
+        links.append(
+            f'<a href="{member.profile_path}">{member.username}</a>'
+        )
+    stats = community.statistics
+    return (
+        '<table id="wol" class="tborder" cellpadding="6" cellspacing="1" '
+        'border="0" width="100%">'
+        '<tr><td class="thead">'
+        f'<img src="/images/whosonline.gif" alt="" /> '
+        f"Currently Active Users: {stats.online_count:,} "
+        f"(members and guests) &mdash; Most users ever online was "
+        f"{stats.online_record:,}.</td></tr>"
+        f'<tr><td class="alt1 smallfont">{", ".join(links)}, '
+        f"and {stats.online_count - len(links):,} more&hellip;</td></tr>"
+        "</table>"
+    )
+
+
+def statistics_box(community: Community) -> str:
+    stats = community.statistics
+    return (
+        '<table id="stats" class="tborder" cellpadding="6" cellspacing="1" '
+        'border="0" width="100%">'
+        '<tr><td class="thead" colspan="2">'
+        f'<img src="/images/stats_bg.gif" alt="" /> '
+        f"{SITE_TITLE} Statistics</td></tr>"
+        '<tr><td class="alt1 smallfont">'
+        f"Threads: {stats.thread_count:,}, Posts: {stats.post_count:,}, "
+        f"Members: {stats.member_count:,}</td>"
+        f'<td class="alt2 smallfont">Welcome to our newest member, '
+        f'<a href="/members.php?u={stats.member_count}">'
+        f"{stats.newest_member}</a></td></tr></table>"
+    )
+
+
+def birthdays_box(community: Community) -> str:
+    entries = ", ".join(
+        f'<a href="{member.profile_path}">{member.username}</a>'
+        for member in community.birthdays
+    )
+    return (
+        '<table id="birthdays" class="tborder" cellpadding="6" '
+        'cellspacing="1" border="0" width="100%">'
+        '<tr><td class="thead">'
+        '<img src="/images/birthday_cake.gif" alt="" /> '
+        "Today's Birthdays</td></tr>"
+        f'<tr><td class="alt1 smallfont">{entries}</td></tr></table>'
+    )
+
+
+def calendar_box(community: Community) -> str:
+    entries = "<br />".join(
+        f'<a href="/calendar.php?day={event.day}">'
+        f"{_format_day(event.day)}: {event.title}</a>"
+        for event in community.calendar_events
+    )
+    return (
+        '<table id="calendar" class="tborder" cellpadding="6" '
+        'cellspacing="1" border="0" width="100%">'
+        '<tr><td class="thead">'
+        '<img src="/images/calendar_icon.gif" alt="" /> '
+        "Upcoming Events</td></tr>"
+        f'<tr><td class="alt1 smallfont">{entries}</td></tr></table>'
+    )
+
+
+def footer() -> str:
+    links = " - ".join(
+        f'<a href="{href}">{label}</a>' for href, label in FOOTER_LINKS
+    )
+    return (
+        '<div id="footerlinks" class="tfoot smallfont" align="center">'
+        f"{links}<br />"
+        'Powered by vBulletin&reg; <img src="/images/poweredby.gif" '
+        'alt="vBulletin" /> &mdash; synthetic reproduction for the '
+        "m.Site evaluation.</div>"
+    )
+
+
+_INLINE_MENU_SCRIPT = """<script type="text/javascript">
+<!--
+var vbmenu_register_queue = [];
+function vbmenu_register(id) { vbmenu_register_queue.push(id); }
+%s
+// -->
+</script>"""
+
+
+def inline_menu_script(community: Community) -> str:
+    registrations = "\n".join(
+        f'vbmenu_register("forumrow{forum_id}"); '
+        f'fetch_object("forumrow{forum_id}").islastshown = '
+        f'{str(forum.last_post_day >= TODAY - 1).lower()}; '
+        f'forum_view_counts[{forum_id}] = {(forum.post_count % 37) + 2};'
+        for forum_id, forum in sorted(community.forums_by_id.items())
+    )
+    preamble = (
+        "var forum_view_counts = {};\n"
+        "function init_forum_menus() { for (var i = 0; i < "
+        "vbmenu_register_queue.length; i++) { "
+        "vBmenu.init(vbmenu_register_queue[i]); } }\n"
+    )
+    return _INLINE_MENU_SCRIPT % (preamble + registrations)
+
+
+def entry_page(community: Community, logged_in_user: str | None = None) -> str:
+    """The forum home page (Figure 4's subject)."""
+    welcome = (
+        f'<div id="welcome" class="panel smallfont">Welcome back, '
+        f"<strong>{logged_in_user}</strong>. "
+        f'<a href="/usercp.php">User CP</a> &middot; '
+        f'<a href="/logout.php">Log Out</a></div>'
+        if logged_in_user
+        else login_box()
+    )
+    body = f"""<body>
+{logo_bar()}
+{navbar()}
+{welcome}
+{announcement_box(community.announcement)}
+{forum_listing(community)}
+{whos_online(community)}
+{statistics_box(community)}
+{birthdays_box(community)}
+{calendar_box(community)}
+{footer()}
+{inline_menu_script(community)}
+</body>
+</html>"""
+    return page_head(SITE_TITLE) + body
+
+
+def forumdisplay_page(community: Community, forum: Forum) -> str:
+    """Thread listing for one forum."""
+    threads = community.threads_by_forum.get(forum.forum_id, [])
+    rows = []
+    for index, thread in enumerate(threads):
+        cls = "alt1" if index % 2 == 0 else "alt2"
+        sticky = "<strong>Sticky:</strong> " if thread.sticky else ""
+        rows.append(
+            f'<tr id="thread{thread.thread_id}">'
+            f'<td class="{cls}" width="20">'
+            f'<img src="/images/statusicon_new.gif" alt="" /></td>'
+            f'<td class="{cls}">{sticky}'
+            f'<a href="{thread.path}">{thread.title}</a>'
+            f'<div class="smallfont">{thread.author_name}</div></td>'
+            f'<td class="{cls} lastpost" width="160">'
+            f'{_format_day(thread.last_post_day)} '
+            f"by {thread.last_poster_name}</td>"
+            f'<td class="{cls}" align="center">{thread.reply_count}</td>'
+            f'<td class="{cls}" align="center">{thread.view_count:,}</td>'
+            f"</tr>"
+        )
+    body = f"""<body>
+{logo_bar()}
+{navbar()}
+<div class="navbar smallfont" id="breadcrumb">
+<a href="/index.php">{SITE_TITLE}</a> &gt; {forum.title}</div>
+<table id="threadbits" class="tborder" cellpadding="0" cellspacing="1"
+ border="0" width="100%">
+<tr><td class="thead" colspan="2">Thread / Thread Starter</td>
+<td class="thead">Last Post</td><td class="thead">Replies</td>
+<td class="thead">Views</td></tr>
+{''.join(rows)}
+</table>
+{footer()}
+</body>
+</html>"""
+    return page_head(f"{forum.title} - {SITE_TITLE}") + body
+
+
+def showthread_page(
+    community: Community, thread: Thread, posts: list[Post]
+) -> str:
+    """Post listing for one thread."""
+    blocks = []
+    for index, post in enumerate(posts):
+        cls = "alt1" if index % 2 == 0 else "alt2"
+        media = ""
+        if post.post_id % 5 == 0:
+            # Some members embed shop-tour videos in their posts.
+            media = (
+                f'<embed src="/videos/shoptour{post.post_id}.swf" '
+                f'width="480" height="360" '
+                f'type="application/x-shockwave-flash"></embed>'
+            )
+        blocks.append(
+            f'<table id="post{post.post_id}" class="tborder" '
+            f'cellpadding="6" cellspacing="1" border="0" width="100%">'
+            f'<tr><td class="thead">#{index + 1} &mdash; '
+            f"{_format_day(post.day)}</td></tr>"
+            f'<tr><td class="{cls}">'
+            f'<div class="smallfont"><strong>'
+            f'<a href="/members.php?u={post.author_id}">'
+            f"{post.author_name}</a></strong> "
+            f"({post.author_post_count:,} posts)</div>"
+            f'<hr /><div class="wysiwyg">{post.body}{media}</div>'
+            f'<div class="smallfont">'
+            f'<a href="/ajax.php?do=showpic&amp;id={post.post_id}" '
+            f'onclick="return vb_show_inline_pic({post.post_id});">'
+            f"Show attached picture</a></div>"
+            f"</td></tr></table>"
+        )
+    body = f"""<body>
+{logo_bar()}
+{navbar()}
+<div class="navbar smallfont" id="breadcrumb">
+<a href="/index.php">{SITE_TITLE}</a> &gt;
+<a href="/forumdisplay.php?f={thread.forum_id}">Forum</a> &gt;
+{thread.title}</div>
+<h1 class="forumtitle">{thread.title}</h1>
+{''.join(blocks)}
+{footer()}
+</body>
+</html>"""
+    return page_head(f"{thread.title} - {SITE_TITLE}") + body
+
+
+def login_result_page(success: bool, username: str) -> str:
+    if success:
+        message = (
+            f"Thank you for logging in, <strong>{username}</strong>. "
+            '<a href="/index.php">Return to the forum home</a>.'
+        )
+    else:
+        message = (
+            "You have entered an invalid username or password. "
+            '<a href="/index.php">Try again</a>.'
+        )
+    body = f"""<body>
+{logo_bar()}
+<div class="panel" id="loginresult">{message}</div>
+</body>
+</html>"""
+    return page_head(f"Log In - {SITE_TITLE}") + body
+
+
+def member_page(community: Community, member_id: int) -> str:
+    member = community.member(member_id)
+    body = f"""<body>
+{logo_bar()}
+{navbar()}
+<table id="profile" class="tborder" cellpadding="6" cellspacing="1"
+ border="0" width="100%">
+<tr><td class="thead" colspan="2">{member.username}</td></tr>
+<tr><td class="alt1">Join Date</td>
+<td class="alt2">{_format_day(member.joined_day)}</td></tr>
+<tr><td class="alt1">Total Posts</td>
+<td class="alt2">{member.post_count:,}</td></tr>
+<tr><td class="alt1">Birthday</td>
+<td class="alt2">{member.birthday_month}/{member.birthday_day}</td></tr>
+</table>
+{footer()}
+</body>
+</html>"""
+    return page_head(f"{member.username} - {SITE_TITLE}") + body

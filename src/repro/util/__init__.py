@@ -1,0 +1,6 @@
+"""Small shared utilities: deterministic text and identifier generation."""
+
+from repro.util.text import TextGenerator
+from repro.util.names import USERNAMES, FIRST_NAMES
+
+__all__ = ["TextGenerator", "USERNAMES", "FIRST_NAMES"]

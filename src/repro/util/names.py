@@ -1,0 +1,43 @@
+"""Name pools for the synthetic community generator."""
+
+FIRST_NAMES = [
+    "Aaron", "Alice", "Andy", "Beth", "Bill", "Bruce", "Carl", "Cathy",
+    "Chuck", "Dan", "Dave", "Dennis", "Diane", "Don", "Doug", "Ed",
+    "Ellen", "Frank", "Fred", "Gary", "George", "Glenn", "Hank", "Harold",
+    "Howard", "Jack", "James", "Jerry", "Jim", "Joe", "John", "Karen",
+    "Keith", "Ken", "Kevin", "Larry", "Lee", "Linda", "Lloyd", "Mark",
+    "Marty", "Matt", "Mike", "Nancy", "Neil", "Norm", "Paul", "Pete",
+    "Phil", "Ralph", "Randy", "Ray", "Rich", "Rick", "Rob", "Roger",
+    "Ron", "Roy", "Russ", "Sam", "Scott", "Stan", "Steve", "Ted",
+    "Terry", "Tom", "Tony", "Vern", "Walt", "Wayne",
+]
+
+LAST_NAMES = [
+    "Anderson", "Baker", "Barnes", "Bennett", "Brooks", "Brown", "Carter",
+    "Clark", "Collins", "Cook", "Cooper", "Davis", "Edwards", "Evans",
+    "Fisher", "Foster", "Garcia", "Gray", "Green", "Hall", "Harris",
+    "Hill", "Howard", "Hughes", "Jackson", "James", "Johnson", "Jones",
+    "Kelly", "King", "Lee", "Lewis", "Long", "Martin", "Miller",
+    "Mitchell", "Moore", "Morgan", "Morris", "Murphy", "Nelson", "Parker",
+    "Peterson", "Phillips", "Powell", "Price", "Reed", "Richardson",
+    "Roberts", "Robinson", "Rogers", "Ross", "Russell", "Sanders",
+    "Scott", "Smith", "Stewart", "Taylor", "Thomas", "Thompson",
+    "Turner", "Walker", "Ward", "Watson", "White", "Williams", "Wilson",
+    "Wood", "Wright", "Young",
+]
+
+# Handle fragments for forum usernames like "SawdustSteve" or "OakRidge42".
+HANDLE_PREFIXES = [
+    "Sawdust", "Oak", "Maple", "Walnut", "Cherry", "Pine", "Cedar",
+    "Birch", "Lathe", "Chisel", "Plane", "Router", "Dovetail", "Tenon",
+    "Mortise", "Grain", "Timber", "Lumber", "Shaving", "Spindle",
+    "Bandsaw", "Jointer", "Veneer", "Burl", "Knot", "Rasp", "Gouge",
+]
+
+HANDLE_SUFFIXES = [
+    "Worker", "Turner", "Smith", "Wright", "Maker", "Carver", "Shop",
+    "Ridge", "Creek", "Mill", "Bench", "Hands", "Craft", "Guy", "Gal",
+    "Pro", "Fan", "Nut", "Hound", "Whisperer",
+]
+
+USERNAMES = [prefix + suffix for prefix in HANDLE_PREFIXES for suffix in HANDLE_SUFFIXES]

@@ -1,0 +1,86 @@
+"""Deterministic filler-text generation with a woodworking lexicon.
+
+The synthetic forum needs realistic-looking thread titles, forum
+descriptions and post bodies whose byte volumes match the paper's test
+site.  All output is a pure function of the seed.
+"""
+
+from __future__ import annotations
+
+from repro.sim.rng import DeterministicRandom
+
+_NOUNS = [
+    "table", "bench", "dovetail", "jointer", "planer", "bandsaw", "lathe",
+    "chisel", "walnut", "cherry", "maple", "oak", "plywood", "veneer",
+    "finish", "glue", "clamp", "mortise", "tenon", "router", "blade",
+    "fence", "jig", "sander", "grain", "board", "panel", "drawer",
+    "cabinet", "shelf", "miter", "spline", "dado", "rabbet", "scraper",
+    "burnisher", "shellac", "lacquer", "stain", "sawdust", "workbench",
+    "vise", "mallet", "gouge", "spokeshave", "template", "pattern",
+]
+
+_VERBS = [
+    "cutting", "gluing", "sanding", "finishing", "turning", "carving",
+    "joining", "planing", "routing", "clamping", "measuring", "marking",
+    "sharpening", "fitting", "assembling", "staining", "sealing",
+    "ripping", "crosscutting", "resawing", "flattening", "squaring",
+]
+
+_ADJECTIVES = [
+    "quartersawn", "figured", "curly", "spalted", "rough", "smooth",
+    "straight", "warped", "cupped", "twisted", "kiln-dried", "air-dried",
+    "reclaimed", "antique", "custom", "heavy", "light", "simple",
+    "complex", "sturdy", "delicate", "affordable", "premium",
+]
+
+_CONNECTIVES = [
+    "with", "for", "on", "about", "using", "without", "versus", "from",
+    "before", "after", "during", "instead of",
+]
+
+_QUESTIONS = [
+    "Best way to", "Help with", "Question about", "Advice needed:",
+    "First attempt at", "Problems with", "Tips for", "Review:",
+    "Show and tell:", "How do you handle", "What happened to my",
+    "Is it worth", "Finally finished my",
+]
+
+
+class TextGenerator:
+    """Seeded generator for titles, sentences, and paragraphs."""
+
+    def __init__(self, seed: int = 0x57EE1) -> None:
+        self._rng = DeterministicRandom(seed)
+
+    def word(self) -> str:
+        return self._rng.choice(_NOUNS)
+
+    def title(self, max_words: int = 7) -> str:
+        rng = self._rng
+        parts = [rng.choice(_QUESTIONS)]
+        count = rng.randint(2, max_words)
+        for index in range(count):
+            pool = (_ADJECTIVES, _NOUNS, _VERBS, _CONNECTIVES)[
+                rng.randint(0, 3)
+            ]
+            parts.append(rng.choice(pool))
+        return " ".join(parts)
+
+    def sentence(self, min_words: int = 6, max_words: int = 18) -> str:
+        rng = self._rng
+        count = rng.randint(min_words, max_words)
+        words = []
+        for index in range(count):
+            pool = (_NOUNS, _VERBS, _ADJECTIVES, _CONNECTIVES)[
+                rng.randint(0, 3)
+            ]
+            words.append(rng.choice(pool))
+        text = " ".join(words)
+        return text[0].upper() + text[1:] + "."
+
+    def paragraph(self, sentences: int = 4) -> str:
+        return " ".join(self.sentence() for __ in range(sentences))
+
+    def description(self) -> str:
+        """A one-to-two sentence forum description."""
+        return self.sentence(8, 16) + " " + self.sentence(5, 12)

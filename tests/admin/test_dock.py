@@ -1,0 +1,81 @@
+"""The non-visual object dock."""
+
+import pytest
+
+from repro.admin.dock import NonVisualDock
+from repro.core.identify import identify
+from repro.html.parser import parse_html
+
+PAGE = """
+<!DOCTYPE html>
+<html><head>
+<title>Docked</title>
+<meta name="keywords" content="x">
+<meta http-equiv="Content-Type" content="text/html">
+<link rel="stylesheet" href="/style.css">
+<script src="/lib.js"></script>
+<style>.x{}</style>
+</head><body>
+<script>inline();</script>
+</body></html>
+"""
+
+
+@pytest.fixture()
+def dock():
+    return NonVisualDock(parse_html(PAGE))
+
+
+def test_lists_all_kinds(dock):
+    kinds = {item.kind for item in dock.items()}
+    assert kinds == {"doctype", "title", "meta", "css", "script", "cookie"}
+
+
+def test_doctype_item(dock):
+    item = [i for i in dock.items() if i.kind == "doctype"][0]
+    assert "DOCTYPE" in item.label
+    assert item.selector.kind == "dock"
+
+
+def test_title_item_shows_text(dock):
+    item = [i for i in dock.items() if i.kind == "title"][0]
+    assert "Docked" in item.label
+
+
+def test_script_items_and_selectors(dock):
+    scripts = dock.scripts()
+    assert len(scripts) == 2
+    external = [s for s in scripts if "src=" in s.label][0]
+    # The derived selector resolves back to the element.
+    document = dock.document
+    matches = identify(document, external.selector)
+    assert len(matches) == 1
+    assert matches[0].get("src") == "/lib.js"
+
+
+def test_inline_script_selector_resolves(dock):
+    inline = [s for s in dock.scripts() if "inline" in s.label][0]
+    matches = identify(dock.document, inline.selector)
+    assert len(matches) == 1
+    assert "inline();" in matches[0].text_content
+
+
+def test_stylesheets_listed(dock):
+    sheets = dock.stylesheets()
+    assert len(sheets) == 2  # link + style block
+    link = [s for s in sheets if "style.css" in s.label][0]
+    matches = identify(dock.document, link.selector)
+    assert matches[0].tag == "link"
+
+
+def test_meta_items(dock):
+    metas = [i for i in dock.items() if i.kind == "meta"]
+    labels = {m.label for m in metas}
+    assert "meta keywords" in labels
+    assert "meta Content-Type" in labels
+
+
+def test_cookie_item_always_present():
+    dock = NonVisualDock(parse_html("<p>bare</p>"))
+    kinds = [item.kind for item in dock.items()]
+    assert "cookie" in kinds

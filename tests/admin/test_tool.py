@@ -1,0 +1,106 @@
+"""The visual admin tool analog."""
+
+import pytest
+
+from repro.admin.tool import AdminTool
+from repro.errors import IdentificationError
+from repro.net.client import HttpClient
+from tests.conftest import FORUM_HOST
+
+
+@pytest.fixture()
+def tool(origins, clock):
+    return AdminTool(
+        HttpClient(origins, clock=clock),
+        f"http://{FORUM_HOST}/index.php",
+        site_name="SawmillCreek",
+    )
+
+
+def test_loads_live_page(tool):
+    assert tool.document.title.startswith("Sawmill Creek")
+    assert tool.snapshot.page_height > 1000
+    # External stylesheet was fetched for the live view.
+    assert tool.snapshot.stylesheet_count >= 1
+
+
+def test_load_failure_raises(origins, clock):
+    with pytest.raises(IdentificationError):
+        AdminTool(
+            HttpClient(origins, clock=clock),
+            f"http://{FORUM_HOST}/missing.php",
+        )
+
+
+def test_select_css(tool):
+    selection = tool.select_css("#loginform")
+    assert selection.element.tag == "form"
+    assert selection.geometry is not None
+    assert selection in tool.selections
+
+
+def test_select_css_no_match(tool):
+    with pytest.raises(IdentificationError):
+        tool.select_css("#ghost")
+
+
+def test_select_at_point(tool):
+    login = tool.select_css("#loginform")
+    rect = login.geometry
+    clicked = tool.select_at(rect.x + 5, rect.y + 5)
+    # The click lands on the form or something inside it.
+    element = clicked.element
+    assert element is login.element or login.element in list(
+        element.ancestors()
+    )
+
+
+def test_select_at_empty_space(tool):
+    with pytest.raises(IdentificationError):
+        tool.select_at(-50, -50)
+
+
+def test_derived_selector_prefers_id(tool):
+    login = tool.document.get_element_by_id("loginform")
+    selector = tool.derive_selector(login)
+    assert selector.expression == "#loginform"
+
+
+def test_derived_selector_unique(tool):
+    # Whatever the tool derives must identify exactly one element.
+    from repro.dom.selectors import select
+
+    for element in tool.document.get_elements_by_tag("td")[:10]:
+        selector = tool.derive_selector(element)
+        matches = select(tool.document, selector.expression)
+        assert len(matches) == 1
+        assert matches[0] is element
+
+
+def test_assign_builds_spec(tool):
+    login = tool.select_css("#loginform")
+    tool.assign(login, "subpage", subpage_id="login", title="Log in")
+    tool.assign_page("prerender")
+    assert len(tool.spec.bindings) == 2
+    assert tool.spec.bindings[0].selector.expression == "#loginform"
+    tool.spec.validate()
+
+
+def test_generate_proxy_source_end_to_end(tool):
+    login = tool.select_css("#loginform")
+    tool.assign(login, "subpage", subpage_id="login")
+    tool.assign_page("prerender")
+    source = tool.generate_proxy_source()
+    from repro.core.codegen import load_generated_proxy
+
+    module = load_generated_proxy(source)
+    assert module.create_spec().origin_host == FORUM_HOST
+
+
+def test_export_spec_json(tool):
+    tool.assign_page("prerender")
+    payload = tool.export_spec()
+    from repro.core.spec import AdaptationSpec
+
+    restored = AdaptationSpec.from_json(payload)
+    assert restored.bindings[0].attribute == "prerender"

@@ -1,0 +1,92 @@
+"""The Figure 7 experiment harness."""
+
+import pytest
+
+from repro.bench.scalability import (
+    ScalabilityConfig,
+    run_browser_percentage_sweep,
+    run_scalability_experiment,
+)
+
+
+def quick(fraction, **overrides):
+    defaults = dict(browser_fraction=fraction, runs=1, window_s=10.0)
+    defaults.update(overrides)
+    return ScalabilityConfig(**defaults)
+
+
+def test_all_browser_matches_paper_anchor():
+    result = run_scalability_experiment(quick(1.0, window_s=60.0))
+    assert result.mean_requests_per_minute == pytest.approx(224, rel=0.05)
+
+
+def test_no_browser_matches_paper_anchor():
+    result = run_scalability_experiment(quick(0.0, window_s=60.0))
+    assert result.mean_requests_per_minute == pytest.approx(29_038, rel=0.05)
+
+
+def test_two_orders_of_magnitude():
+    slow = run_scalability_experiment(quick(1.0))
+    fast = run_scalability_experiment(quick(0.0))
+    ratio = fast.mean_requests_per_minute / slow.mean_requests_per_minute
+    assert ratio > 100
+
+
+def test_throughput_monotonic_in_browser_fraction():
+    results = [
+        run_scalability_experiment(quick(f))
+        for f in (1.0, 0.5, 0.25, 0.1, 0.0)
+    ]
+    throughputs = [r.mean_requests_per_minute for r in results]
+    assert throughputs == sorted(throughputs)
+
+
+def test_request_mix_respects_fraction():
+    result = run_scalability_experiment(quick(0.5, window_s=30.0))
+    total = result.browser_requests + result.lightweight_requests
+    share = result.browser_requests / total
+    assert 0.4 < share < 0.6
+
+
+def test_deterministic_given_seed():
+    a = run_scalability_experiment(quick(0.25))
+    b = run_scalability_experiment(quick(0.25))
+    assert a.mean_requests_per_minute == b.mean_requests_per_minute
+
+
+def test_runs_aggregate_min_max():
+    result = run_scalability_experiment(quick(0.5, runs=3))
+    assert (
+        result.min_requests_per_minute
+        <= result.mean_requests_per_minute
+        <= result.max_requests_per_minute
+    )
+
+
+def test_fraction_bounds():
+    with pytest.raises(ValueError):
+        run_scalability_experiment(quick(1.5))
+
+
+def test_pool_improves_browser_heavy_load():
+    bare = run_scalability_experiment(quick(1.0))
+    pooled = run_scalability_experiment(quick(1.0, use_pool=True))
+    assert (
+        pooled.mean_requests_per_minute > bare.mean_requests_per_minute
+    )
+    assert pooled.pool_hit_rate > 0.5
+
+
+def test_pool_irrelevant_when_no_browsers():
+    bare = run_scalability_experiment(quick(0.0))
+    pooled = run_scalability_experiment(quick(0.0, use_pool=True))
+    assert pooled.mean_requests_per_minute == pytest.approx(
+        bare.mean_requests_per_minute, rel=0.02
+    )
+
+
+def test_sweep_covers_requested_points():
+    results = run_browser_percentage_sweep(
+        percentages=[1.0, 0.5, 0.0], runs=1
+    )
+    assert [r.browser_fraction for r in results] == [1.0, 0.5, 0.0]

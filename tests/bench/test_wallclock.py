@@ -1,0 +1,77 @@
+"""The Table 1 harness: shape assertions against the paper."""
+
+import pytest
+
+from repro.bench.wallclock import (
+    entry_page_stats,
+    in_text_rows,
+    snapshot_page_stats,
+    table1_rows,
+)
+
+
+@pytest.fixture(scope="module")
+def stats():
+    return entry_page_stats()
+
+
+@pytest.fixture(scope="module")
+def rows(stats):
+    return {row.label: row for row in table1_rows(stats)}
+
+
+def test_census_matches_paper(stats):
+    assert stats.total_bytes == 224_477
+
+
+def test_all_rows_present(rows):
+    assert len(rows) == 6
+
+
+def test_every_row_within_tolerance(rows):
+    """Absolute numbers within ±25% of the paper's measurements."""
+    for row in rows.values():
+        assert abs(row.deviation) < 0.25, (row.label, row.deviation)
+
+
+def test_ordering_matches_paper(rows):
+    """Who wins: desktop < WiFi phone < snapshot-to-BB < 3G loads."""
+    assert (
+        rows["Desktop browser page load"].measured_seconds
+        < rows["iPhone 4 via WiFi"].measured_seconds
+        < rows["Cached snapshot page to Blackberry"].measured_seconds
+        < rows["iPhone 4 via 3G"].measured_seconds
+    )
+    assert (
+        rows["iPhone 4 via 3G"].measured_seconds
+        < rows["BlackBerry Tour browser page load"].measured_seconds * 1.5
+    )
+
+
+def test_snapshot_generation_around_two_seconds(rows):
+    assert rows["Snapshot page generation"].measured_seconds == pytest.approx(
+        2.0, rel=0.15
+    )
+
+
+def test_prerender_speedup_factor_of_five(rows):
+    """§3.3: pre-rendering 'can reduce wall-clock load time by a factor
+    of 5' on the index page."""
+    full = rows["BlackBerry Tour browser page load"].measured_seconds
+    snap = rows["Cached snapshot page to Blackberry"].measured_seconds
+    assert 4.0 <= full / snap <= 6.5
+
+
+def test_in_text_ipod_rows(stats):
+    rows = {row.label: row for row in in_text_rows(stats)}
+    wifi = rows["iPod Touch 3G via WiFi"]
+    cell = rows["iPod Touch 3G via cellular (HSPA)"]
+    assert abs(wifi.deviation) < 0.2
+    assert abs(cell.deviation) < 0.2
+    assert cell.measured_seconds > wifi.measured_seconds * 1.8
+
+
+def test_snapshot_page_stats_shape():
+    stats = snapshot_page_stats(44_000)
+    assert stats.total_bytes < 50_000
+    assert stats.resource_count == 2

@@ -1,0 +1,38 @@
+"""The calibrated cost model behind Figure 7 and Table 1."""
+
+import pytest
+
+from repro.browser.costs import DEFAULT_COST_MODEL, BrowserCostModel
+
+
+def test_browser_request_matches_fig7_anchor():
+    """100% browser renders → 224 req/min on 2 cores → ~536 ms each."""
+    per_minute = 2 * 60.0 / DEFAULT_COST_MODEL.browser_request_s
+    assert per_minute == pytest.approx(224, rel=0.02)
+
+
+def test_lightweight_matches_fig7_anchor():
+    """0% browser renders → 29,038 req/min on 2 cores → ~4.13 ms each."""
+    per_minute = 2 * 60.0 / DEFAULT_COST_MODEL.lightweight_request_s
+    assert per_minute == pytest.approx(29_038, rel=0.02)
+
+
+def test_two_orders_of_magnitude_asymmetry():
+    ratio = (
+        DEFAULT_COST_MODEL.browser_request_s
+        / DEFAULT_COST_MODEL.lightweight_request_s
+    )
+    assert 100 <= ratio <= 200
+
+
+def test_snapshot_pipeline_near_two_seconds():
+    """Table 1: 'Snapshot page generation: 2 sec.'"""
+    assert DEFAULT_COST_MODEL.snapshot_pipeline_s(
+        subresources=24, subpages=5
+    ) == pytest.approx(2.0, rel=0.1)
+
+
+def test_memory_bounds_concurrent_browsers():
+    assert DEFAULT_COST_MODEL.max_concurrent_browsers >= 1
+    tight = BrowserCostModel(browser_memory_mb=1024, host_memory_mb=2048)
+    assert tight.max_concurrent_browsers == 2

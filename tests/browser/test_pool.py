@@ -1,0 +1,54 @@
+"""Browser pool cost model (the declined-for-security ablation)."""
+
+import pytest
+
+from repro.browser.costs import DEFAULT_COST_MODEL
+from repro.browser.pool import BrowserPool
+
+
+def test_first_acquire_is_a_miss_with_full_cost():
+    pool = BrowserPool()
+    cost = pool.acquire("u1")
+    assert cost == pytest.approx(DEFAULT_COST_MODEL.browser_request_s)
+    assert pool.stats.misses == 1
+
+
+def test_reuse_by_same_user_skips_launch_and_scrub():
+    pool = BrowserPool()
+    pool.acquire("u1")
+    pool.release("u1")
+    cost = pool.acquire("u1")
+    assert cost == pytest.approx(DEFAULT_COST_MODEL.browser_render_s)
+    assert pool.stats.hits == 1
+    assert pool.stats.scrubs == 0
+
+
+def test_reuse_by_other_user_costs_scrub_and_risks_leak():
+    pool = BrowserPool()
+    pool.acquire("u1")
+    pool.release("u1")
+    cost = pool.acquire("u2")
+    assert cost == pytest.approx(
+        DEFAULT_COST_MODEL.browser_render_s + pool.scrub_cost_s
+    )
+    assert pool.stats.scrubs == 1
+    assert pool.stats.leaks_risked == 1
+
+
+def test_hit_rate():
+    pool = BrowserPool()
+    pool.acquire("u1")
+    pool.release("u1")
+    pool.acquire("u1")
+    assert pool.hit_rate == pytest.approx(0.5)
+
+
+def test_hit_rate_empty_pool():
+    assert BrowserPool().hit_rate == 0.0
+
+
+def test_pool_size_bounds_live_instances():
+    pool = BrowserPool(max_instances=2)
+    for user in ("a", "b", "c", "d"):
+        pool.acquire(user)
+    assert pool._live_count == 2

@@ -1,0 +1,120 @@
+"""Server-side script execution: hooks and the jQuery interpreter."""
+
+import pytest
+
+from repro.browser.scripting import ScriptRuntime
+from repro.errors import AdaptationError
+from repro.html.parser import parse_html
+
+PAGE = """
+<html><body>
+<div id="target" class="keep">hello</div>
+<ul id="list"><li>a</li><li>b</li></ul>
+<p class="ad">buy stuff</p>
+<p class="ad">buy more</p>
+</body></html>
+"""
+
+
+@pytest.fixture()
+def page():
+    return parse_html(PAGE)
+
+
+@pytest.fixture()
+def runtime():
+    return ScriptRuntime()
+
+
+def test_remove_statement(page, runtime):
+    executed = runtime.execute_jquery(page, "$('.ad').remove();")
+    assert executed == 1
+    assert page.get_elements_by_class("ad") == []
+
+
+def test_attr_statement(page, runtime):
+    runtime.execute_jquery(page, "$('#target').attr('data-x', 'set');")
+    assert page.get_element_by_id("target").get("data-x") == "set"
+
+
+def test_chained_calls(page, runtime):
+    runtime.execute_jquery(
+        page, "$('#target').addClass('extra').removeClass('keep');"
+    )
+    target = page.get_element_by_id("target")
+    assert target.has_class("extra")
+    assert not target.has_class("keep")
+
+
+def test_multiple_statements(page, runtime):
+    executed = runtime.execute_jquery(
+        page,
+        """
+        $('#target').text('replaced');
+        $('.ad').hide();
+        """,
+    )
+    assert executed == 2
+    assert page.get_element_by_id("target").text_content == "replaced"
+    ads = page.get_elements_by_class("ad")
+    assert all("display: none" in (ad.get("style") or "") for ad in ads)
+
+
+def test_append_html(page, runtime):
+    runtime.execute_jquery(page, "$('#list').append('<li>c</li>');")
+    items = page.get_element_by_id("list").child_elements()
+    assert [i.text_content for i in items] == ["a", "b", "c"]
+
+
+def test_find_then_mutate(page, runtime):
+    runtime.execute_jquery(page, "$('#list').find('li').addClass('item');")
+    items = page.get_element_by_id("list").child_elements()
+    assert all(i.has_class("item") for i in items)
+
+
+def test_double_quoted_selector(page, runtime):
+    runtime.execute_jquery(page, '$("#target").css("color", "red");')
+    assert "color: red" in page.get_element_by_id("target").get("style")
+
+
+def test_unknown_method_raises(page, runtime):
+    with pytest.raises(AdaptationError):
+        runtime.execute_jquery(page, "$('#target').explode();")
+
+
+def test_registered_python_handler(page, runtime):
+    def handler(document):
+        document.get_element_by_id("target").set_text("from python")
+
+    runtime.register("adapt.js", handler)
+    # A page referencing the script by src triggers the handler.
+    document = parse_html(
+        '<html><head><script src="adapt.js"></script></head>'
+        '<body><div id="target">x</div></body></html>'
+    )
+    executed = runtime.run_document_scripts(document)
+    assert executed == 1
+    assert document.get_element_by_id("target").text_content == "from python"
+
+
+def test_inline_server_jquery_scripts_run(runtime):
+    document = parse_html(
+        "<html><body><p class='ad'>x</p>"
+        '<script type="server/jquery">$(".ad").remove();</script>'
+        "</body></html>"
+    )
+    executed = runtime.run_document_scripts(document)
+    assert executed == 1
+    assert document.get_elements_by_class("ad") == []
+
+
+def test_plain_scripts_not_executed(runtime):
+    document = parse_html(
+        "<html><body><script>normal_js();</script></body></html>"
+    )
+    assert runtime.run_document_scripts(document) == 0
+
+
+def test_no_args_method(page, runtime):
+    runtime.execute_jquery(page, "$('#list').empty();")
+    assert page.get_element_by_id("list").children == []

@@ -1,0 +1,95 @@
+"""The server-side browser: lifecycle, subresource fetching, isolation."""
+
+import pytest
+
+from repro.browser.webkit import ServerBrowser
+from repro.errors import RenderError
+from repro.net.client import HttpClient
+from repro.net.cookies import CookieJar
+from tests.conftest import FORUM_HOST
+
+
+@pytest.fixture()
+def browser(origins, clock):
+    client = HttpClient(origins, clock=clock)
+    return ServerBrowser(client, jar=CookieJar(), viewport_width=800)
+
+
+def test_must_launch_before_loading(browser):
+    with pytest.raises(RenderError):
+        browser.load(f"http://{FORUM_HOST}/index.php")
+
+
+def test_load_full_page(browser):
+    with browser:
+        result = browser.load(f"http://{FORUM_HOST}/index.php")
+    assert result.document.title.startswith("Sawmill Creek")
+    assert result.snapshot.page_height > 1000
+    assert result.resources_fetched > 20  # page + css + 12 js + images
+    assert result.total_bytes > 150_000
+    assert result.css_bytes > 10_000
+    assert result.script_bytes > 50_000
+    assert result.image_bytes > 20_000
+
+
+def test_core_seconds_reported(browser):
+    with browser:
+        result = browser.load(f"http://{FORUM_HOST}/index.php")
+    assert result.core_seconds == pytest.approx(0.536)
+
+
+def test_instance_accounting(origins, clock):
+    client = HttpClient(origins, clock=clock)
+    before = ServerBrowser.instances_alive()
+    browser = ServerBrowser(client)
+    assert ServerBrowser.instances_alive() == before
+    browser.launch()
+    assert ServerBrowser.instances_alive() == before + 1
+    browser.dispose()
+    assert ServerBrowser.instances_alive() == before
+
+
+def test_disposed_browser_cannot_relaunch(browser):
+    browser.launch()
+    browser.dispose()
+    with pytest.raises(RenderError):
+        browser.launch()
+
+
+def test_dispose_idempotent(browser):
+    browser.launch()
+    browser.dispose()
+    browser.dispose()  # no double-decrement
+    assert ServerBrowser.instances_alive() >= 0
+
+
+def test_load_failure_raises(browser):
+    with browser:
+        with pytest.raises(RenderError):
+            browser.load(f"http://{FORUM_HOST}/missing-page.php")
+
+
+def test_cookie_isolation_between_instances(origins, clock, forum_app):
+    # Browser A logs in; browser B must not see A's session.
+    client = HttpClient(origins, clock=clock)
+    jar_a = CookieJar()
+    with ServerBrowser(client, jar=jar_a) as browser_a:
+        browser_a.client.post(
+            f"http://{FORUM_HOST}/login.php",
+            {"vb_login_username": "woodfan", "vb_login_password": "hunter2"},
+        )
+        result_a = browser_a.load(f"http://{FORUM_HOST}/index.php")
+    assert "Welcome back" in result_a.document.body.text_content
+
+    with ServerBrowser(client, jar=CookieJar()) as browser_b:
+        result_b = browser_b.load(f"http://{FORUM_HOST}/index.php")
+    assert "Welcome back" not in result_b.document.body.text_content
+
+
+def test_image_map_geometry_available(browser):
+    with browser:
+        result = browser.load(f"http://{FORUM_HOST}/index.php")
+    login = result.document.get_element_by_id("loginform")
+    rect = result.snapshot.geometry_of(login)
+    assert rect is not None
+    assert rect.width > 100

@@ -1,0 +1,131 @@
+"""AJAX rewriting, the action table, and the two-pane proxy."""
+
+import pytest
+
+from repro.core.ajax import (
+    AjaxActionTable,
+    TwoPaneItem,
+    TwoPaneProxy,
+    build_two_pane_page,
+    rewrite_ajax_calls,
+)
+from repro.core.cache import PrerenderCache
+from repro.html.parser import parse_html
+from repro.net.client import HttpClient
+from tests.conftest import CLASSIFIEDS_HOST, FORUM_HOST
+
+
+def test_table_registers_sequential_ids():
+    table = AjaxActionTable()
+    a = table.register("showpic", "/site.php?do=showpic&id={p}")
+    b = table.register("showthread", "/site.php?do=showthread&id={p}")
+    assert (a.action_id, b.action_id) == (1, 2)
+    assert table.get(1) is a
+    assert table.by_name("showthread") is b
+    assert len(table) == 2
+
+
+def test_table_dedupes_by_name():
+    table = AjaxActionTable()
+    first = table.register("showpic", "/x?do=showpic&id={p}")
+    second = table.register("showpic", "/x?do=showpic&id={p}")
+    assert first is second
+    assert len(table) == 1
+
+
+def test_origin_target_substitutes_parameter():
+    table = AjaxActionTable()
+    action = table.register("showpic", "/site.php?do=showpic&id={p}")
+    assert action.origin_target("42") == "/site.php?do=showpic&id=42"
+
+
+def test_rewrite_href_and_onclick():
+    document = parse_html(
+        '<a href="site.php?do=showpic&amp;id=1">pic</a>'
+        '<a onclick="$(\'#frame\').load(\'site.php?do=showpic&amp;id=2\')">x</a>'
+    )
+    table = AjaxActionTable()
+    count = rewrite_ajax_calls(document, table)
+    assert count == 2
+    assert len(table) == 1  # same action, two call sites
+    links = document.get_elements_by_tag("a")
+    assert links[0].get("href") == "proxy.php?action=1&p=1"
+    assert "proxy.php?action=1&p=2" in links[1].get("onclick")
+
+
+def test_rewrite_distinct_actions():
+    document = parse_html(
+        '<a href="ajax.php?do=showpic&amp;id=1">a</a>'
+        '<a href="ajax.php?do=usersearch&amp;id=2">b</a>'
+    )
+    table = AjaxActionTable()
+    rewrite_ajax_calls(document, table)
+    assert len(table) == 2
+
+
+def test_rewrite_ignores_plain_links():
+    document = parse_html('<a href="/forumdisplay.php?f=2">forum</a>')
+    table = AjaxActionTable()
+    assert rewrite_ajax_calls(document, table) == 0
+    assert document.get_elements_by_tag("a")[0].get("href") == (
+        "/forumdisplay.php?f=2"
+    )
+
+
+def test_build_two_pane_page_structure():
+    html = build_two_pane_page(
+        "adapted",
+        [
+            TwoPaneItem("First ad", "proxy.php?action=1&p=/tls/1.html", "$10"),
+            TwoPaneItem("Second ad", "proxy.php?action=1&p=/tls/2.html"),
+        ],
+    )
+    assert html.count('class="msite-item"') == 2
+    assert 'id="msite-left"' in html
+    assert 'id="msite-right"' in html
+    assert "msitePane(" in html
+    assert "XMLHttpRequest" in html
+
+
+# -- TwoPaneProxy against the classifieds origin ----------------------------
+
+
+@pytest.fixture()
+def two_pane(classifieds_app):
+    origins = {CLASSIFIEDS_HOST: classifieds_app}
+    return TwoPaneProxy(
+        origin_host=CLASSIFIEDS_HOST,
+        category_path="/tls/",
+        make_client=lambda: HttpClient(origins),
+        cache=PrerenderCache(),
+    )
+
+
+def test_entry_page_lists_all_items(two_pane):
+    entry = two_pane.build_entry_page()
+    assert entry.count('class="msite-item"') == 100
+    assert "proxy.php?action=1&p=/tls/" in entry
+
+
+def test_action_fetches_and_adapts(two_pane, classifieds_app):
+    listing = classifieds_app.listings.category("tls")[0]
+    fragment = two_pane.handle_action(listing.path)
+    assert listing.title in fragment
+    assert 'id="posting"' in fragment
+    # Adaptation strips the page chrome.
+    assert "<html" not in fragment
+    assert "<style" not in fragment
+
+
+def test_action_caches(two_pane, classifieds_app):
+    listing = classifieds_app.listings.category("tls")[0]
+    two_pane.handle_action(listing.path)
+    assert two_pane.origin_fetches == 1
+    two_pane.handle_action(listing.path)
+    assert two_pane.origin_fetches == 1  # served from cache
+    assert two_pane.cache_hits == 1
+
+
+def test_action_unavailable_listing(two_pane):
+    fragment = two_pane.handle_action("/tls/999.html")
+    assert "unavailable" in fragment

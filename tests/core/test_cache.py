@@ -1,0 +1,102 @@
+"""The shared pre-render cache."""
+
+import pytest
+
+from repro.core.cache import PrerenderCache
+from repro.sim.clock import Clock
+
+
+@pytest.fixture()
+def clock():
+    return Clock()
+
+
+@pytest.fixture()
+def cache(clock):
+    return PrerenderCache(clock=clock)
+
+
+def test_miss_then_hit(cache):
+    assert cache.get("k") is None
+    cache.put("k", b"data")
+    entry = cache.get("k")
+    assert entry is not None
+    assert entry.data == b"data"
+    assert cache.stats.hits == 1
+    assert cache.stats.misses == 1
+
+
+def test_ttl_expiry(cache, clock):
+    cache.put("k", b"data", ttl_s=3600.0)
+    clock.advance(3599.0)
+    assert cache.get("k") is not None
+    clock.advance(2.0)
+    assert cache.get("k") is None
+    assert cache.stats.expirations == 1
+
+
+def test_snapshot_expires_after_an_hour_default(cache, clock):
+    """§3.3: 'a cached snapshot ... can be set to expire after an hour.'"""
+    cache.put("snap", b"jpeg", ttl_s=3600.0)
+    clock.advance(3601.0)
+    assert cache.get("snap") is None
+
+
+def test_hit_counts_per_entry(cache):
+    cache.put("k", b"x")
+    cache.get("k")
+    cache.get("k")
+    assert cache.get("k").hits == 3
+
+
+def test_string_payload(cache):
+    cache.put("k", "text", content_type="text/html")
+    assert cache.get("k").data == b"text"
+
+
+def test_invalidate(cache):
+    cache.put("k", b"x")
+    assert cache.invalidate("k")
+    assert cache.get("k") is None
+    assert not cache.invalidate("k")
+
+
+def test_clear(cache):
+    cache.put("a", b"1")
+    cache.put("b", b"2")
+    cache.clear()
+    assert len(cache) == 0
+
+
+def test_total_bytes(cache):
+    cache.put("a", b"12345")
+    cache.put("b", b"123")
+    assert cache.total_bytes == 8
+
+
+def test_eviction_oldest_first(clock):
+    cache = PrerenderCache(clock=clock, max_bytes=100)
+    cache.put("old", b"x" * 60)
+    clock.advance(1.0)
+    cache.put("new", b"y" * 60)
+    assert cache.get("old") is None
+    assert cache.get("new") is not None
+
+
+def test_hit_rate(cache):
+    cache.get("missing")
+    cache.put("k", b"x")
+    cache.get("k")
+    assert cache.stats.hit_rate == pytest.approx(0.5)
+
+
+def test_hit_rate_empty():
+    assert PrerenderCache().stats.hit_rate == 0.0
+
+
+def test_overwrite_refreshes_age(cache, clock):
+    cache.put("k", b"v1", ttl_s=10.0)
+    clock.advance(8.0)
+    cache.put("k", b"v2", ttl_s=10.0)
+    clock.advance(8.0)
+    assert cache.get("k").data == b"v2"

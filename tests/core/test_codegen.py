@@ -1,0 +1,91 @@
+"""Proxy code generation and loading."""
+
+import pytest
+
+from repro.core.codegen import generate_proxy_source, load_generated_proxy
+from repro.core.pipeline import ProxyServices
+from repro.core.spec import AdaptationSpec, ObjectSelector
+from repro.errors import CodegenError
+from tests.conftest import FORUM_HOST
+
+
+def make_spec():
+    spec = AdaptationSpec(site="SawmillCreek", origin_host=FORUM_HOST)
+    spec.add("prerender")
+    spec.add("cacheable", ttl_s=3600)
+    spec.add(
+        "subpage", ObjectSelector.css("#loginform"),
+        subpage_id="login", title="Log in",
+    )
+    spec.add(
+        "ajax_rewrite",
+        name="showpic",
+        origin_template="/ajax.php?do=showpic&id={p}",
+    )
+    return spec
+
+
+def test_generated_source_is_valid_python():
+    source = generate_proxy_source(make_spec())
+    compile(source, "<generated>", "exec")
+
+
+def test_generated_source_documents_bindings():
+    source = generate_proxy_source(make_spec())
+    assert "subpage" in source
+    assert "css:#loginform" in source
+    assert "Bindings applied (4)" in source
+    assert "SawmillCreek" in source
+
+
+def test_generated_source_embeds_spec_json():
+    source = generate_proxy_source(make_spec())
+    module = load_generated_proxy(source)
+    spec = module.create_spec()
+    assert spec.site == "SawmillCreek"
+    assert len(spec.bindings) == 4
+
+
+def test_invalid_spec_rejected_at_generation():
+    spec = AdaptationSpec(site="x", origin_host=FORUM_HOST)
+    spec.add("subpage", ObjectSelector.css("#a"))  # missing subpage_id
+    with pytest.raises(CodegenError):
+        generate_proxy_source(spec)
+
+
+def test_known_actions_predeclared():
+    source = generate_proxy_source(make_spec())
+    assert "showpic" in source
+    module = load_generated_proxy(source)
+    assert module.KNOWN_ACTIONS == [
+        ("showpic", "/ajax.php?do=showpic&id={p}")
+    ]
+
+
+def test_create_proxy_wires_actions(origins, clock):
+    module = load_generated_proxy(generate_proxy_source(make_spec()))
+    proxy = module.create_proxy(ProxyServices(origins=origins, clock=clock))
+    assert proxy.ajax_table.by_name("showpic") is not None
+    assert proxy.spec.origin_host == FORUM_HOST
+
+
+def test_custom_proxy_base():
+    source = generate_proxy_source(make_spec(), proxy_base="m.php")
+    module = load_generated_proxy(source)
+    assert module.PROXY_BASE == "m.php"
+
+
+def test_load_rejects_incomplete_module():
+    with pytest.raises(CodegenError):
+        load_generated_proxy("x = 1\n")
+
+
+def test_generated_module_describe():
+    module = load_generated_proxy(generate_proxy_source(make_spec()))
+    assert "SawmillCreek" in module.describe()
+
+
+def test_generation_is_deterministic():
+    assert generate_proxy_source(make_spec()) == generate_proxy_source(
+        make_spec()
+    )

@@ -1,0 +1,125 @@
+"""Mobile client detection and the redirect middleware."""
+
+import pytest
+
+from repro.core.detect import (
+    KNOWN_USER_AGENTS,
+    MobileRedirector,
+    OPT_OUT_COOKIE,
+    detect_request,
+    detect_user_agent,
+)
+from repro.net.client import HttpClient
+from repro.net.cookies import CookieJar
+from repro.net.messages import Request
+from tests.conftest import FORUM_HOST
+
+
+def test_paper_devices_detected():
+    for device in ("blackberry-tour", "iphone-4", "ipod-touch-3g"):
+        result = detect_user_agent(KNOWN_USER_AGENTS[device])
+        assert result.is_mobile, device
+        assert result.wants_proxy, device
+
+
+def test_ipad_is_tablet_keeps_full_site():
+    result = detect_user_agent(KNOWN_USER_AGENTS["ipad-1"])
+    assert result.is_mobile
+    assert result.is_tablet
+    assert not result.wants_proxy
+
+
+def test_desktop_not_detected():
+    result = detect_user_agent(KNOWN_USER_AGENTS["desktop"])
+    assert not result.is_mobile
+    assert not result.wants_proxy
+
+
+def test_empty_user_agent():
+    result = detect_user_agent("")
+    assert not result.is_mobile
+
+
+def test_matched_marker_reported():
+    result = detect_user_agent(KNOWN_USER_AGENTS["blackberry-tour"])
+    assert result.matched_marker == "blackberry"
+
+
+def test_detect_request_reads_header():
+    request = Request.get("http://h/")
+    request.headers.set("User-Agent", KNOWN_USER_AGENTS["iphone-4"])
+    assert detect_request(request).wants_proxy
+
+
+# -- the redirector middleware ------------------------------------------------
+
+
+@pytest.fixture()
+def redirected(forum_app):
+    wrapped = MobileRedirector(
+        forum_app, proxy_url="http://m.sawmillcreek.org/proxy.php"
+    )
+    return wrapped, HttpClient({FORUM_HOST: wrapped}, jar=CookieJar())
+
+
+def test_phone_redirected(redirected):
+    wrapper, client = redirected
+    response = client.send(
+        Request.get(
+            f"http://{FORUM_HOST}/index.php",
+            user_agent=KNOWN_USER_AGENTS["blackberry-tour"],
+        )
+    )
+    assert response.is_redirect
+    assert "proxy.php" in response.headers.get("Location")
+    assert wrapper.redirects_issued == 1
+
+
+def test_desktop_passes_through(redirected):
+    wrapper, client = redirected
+    response = client.get(
+        f"http://{FORUM_HOST}/index.php",
+        user_agent=KNOWN_USER_AGENTS["desktop"],
+    )
+    assert response.ok
+    assert "forumbits" in response.text_body
+
+
+def test_fullsite_opt_out_remembered(redirected):
+    wrapper, client = redirected
+    # Explicit opt-out gets the full site and a cookie.
+    response = client.get(
+        f"http://{FORUM_HOST}/index.php?fullsite=1",
+        user_agent=KNOWN_USER_AGENTS["iphone-4"],
+    )
+    assert response.ok
+    assert client.jar.get(OPT_OUT_COOKIE) is not None
+    # Subsequent mobile requests stay on the full site.
+    follow_up = client.send(
+        Request.get(
+            f"http://{FORUM_HOST}/index.php",
+            user_agent=KNOWN_USER_AGENTS["iphone-4"],
+            cookie=f"{OPT_OUT_COOKIE}=1",
+        )
+    )
+    assert follow_up.ok
+    assert wrapper.redirects_issued == 0
+
+
+def test_scoped_redirect_paths(forum_app):
+    """'Not all pages require a proxy to be mobile-friendly' (§3.2)."""
+    wrapper = MobileRedirector(
+        forum_app,
+        proxy_url="http://m/proxy.php",
+        redirect_paths={"/index.php"},
+    )
+    client = HttpClient({FORUM_HOST: wrapper})
+    ua = KNOWN_USER_AGENTS["iphone-4"]
+    entry = client.send(
+        Request.get(f"http://{FORUM_HOST}/index.php", user_agent=ua)
+    )
+    assert entry.is_redirect
+    calendar = client.get(
+        f"http://{FORUM_HOST}/calendar.php", user_agent=ua
+    )
+    assert calendar.ok

@@ -1,0 +1,109 @@
+"""Source-level filters (the pre-DOM phase)."""
+
+from repro.core import filters
+
+
+def test_set_doctype_replaces():
+    out = filters.set_doctype(
+        '<!DOCTYPE HTML PUBLIC "-//W3C//DTD HTML 4.01//EN"><html></html>',
+        "html",
+    )
+    assert out.startswith("<!DOCTYPE html>")
+    assert out.count("DOCTYPE") == 1
+
+
+def test_set_doctype_inserts_when_missing():
+    out = filters.set_doctype("<html></html>")
+    assert out.startswith("<!DOCTYPE html>")
+
+
+def test_set_title_replaces():
+    out = filters.set_title(
+        "<head><title>Old Title</title></head>", "New"
+    )
+    assert "<title>New</title>" in out
+    assert "Old Title" not in out
+
+
+def test_set_title_multiline():
+    out = filters.set_title("<title>line1\nline2</title>", "flat")
+    assert "<title>flat</title>" in out
+
+
+def test_set_title_inserts_into_head():
+    out = filters.set_title("<head><meta></head>", "Added")
+    assert "<title>Added</title>" in out
+
+
+def test_strip_scripts_blocks():
+    out = filters.strip_scripts(
+        '<script src="a.js"></script><p onclick="x()">keep</p>'
+        "<script>inline()</script>"
+    )
+    assert "script" not in out
+    assert "onclick" not in out
+    assert "keep" in out
+
+
+def test_strip_scripts_keep_handlers():
+    out = filters.strip_scripts(
+        '<p onclick="x()">keep</p>', strip_event_handlers=False
+    )
+    assert "onclick" in out
+
+
+def test_strip_scripts_self_closing():
+    out = filters.strip_scripts('<script src="a.js"/><p>x</p>')
+    assert "script" not in out
+
+
+def test_strip_css():
+    out = filters.strip_css(
+        '<style>a{}</style><link rel="stylesheet" href="s.css"><p>x</p>'
+        '<link rel="icon" href="i.ico">'
+    )
+    assert "<style>" not in out
+    assert "stylesheet" not in out
+    assert 'rel="icon"' in out  # non-stylesheet links survive
+
+
+def test_rewrite_image_sources():
+    out, count = filters.rewrite_image_sources(
+        '<img src="/a.gif"><img src="/b.gif">',
+        lambda src: f"proxy.php?img={src}",
+    )
+    assert count == 2
+    assert 'src="proxy.php?img=/a.gif"' in out
+
+
+def test_rewrite_images_counts_only_changes():
+    out, count = filters.rewrite_image_sources(
+        '<img src="/a.gif">', lambda src: src
+    )
+    assert count == 0
+
+
+def test_source_replace():
+    out, hits = filters.source_replace(
+        "<p>ad one</p><p>ad two</p>", r"<p>ad [a-z]+</p>", ""
+    )
+    assert hits == 2
+    assert out == ""
+
+
+def test_source_replace_count_limited():
+    out, hits = filters.source_replace("aaa", "a", "b", count=2)
+    assert out == "bba"
+    assert hits == 2
+
+
+def test_census():
+    report = filters.census(
+        '<script>a()</script><style>b{}</style>'
+        '<link rel="stylesheet" href="c.css"><img src="d.gif">'
+    )
+    assert report["scripts"] == 1
+    assert report["style_blocks"] == 1
+    assert report["css_links"] == 1
+    assert report["images"] == 1
+    assert report["bytes"] > 0

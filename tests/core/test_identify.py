@@ -1,0 +1,91 @@
+"""Object identification across selector kinds."""
+
+import pytest
+
+from repro.core.identify import identify, identify_one
+from repro.core.spec import ObjectSelector
+from repro.errors import IdentificationError
+from repro.html.parser import parse_html
+
+PAGE = """
+<html><head><title>T</title>
+<style>body { color: black }</style>
+<script src="a.js"></script>
+<link rel="stylesheet" href="s.css">
+</head><body>
+<div id="main"><form id="login"><input name="u"></form></div>
+<script>inline();</script>
+<table class="forumlist"><tr><td>Forum A</td></tr></table>
+</body></html>
+"""
+
+
+@pytest.fixture()
+def page():
+    return parse_html(PAGE)
+
+
+def test_css_identification(page):
+    result = identify(page, ObjectSelector.css("#login"))
+    assert len(result) == 1
+    assert result[0].tag == "form"
+
+
+def test_xpath_identification(page):
+    result = identify(page, ObjectSelector.xpath('//div[@id="main"]/form'))
+    assert [el.id for el in result] == ["login"]
+
+
+def test_regex_identification_innermost(page):
+    result = identify(page, ObjectSelector.regex(r"Forum\s+A"))
+    # Innermost element containing the pattern, not every ancestor.
+    assert [el.tag for el in result] == ["td"]
+
+
+def test_regex_bad_pattern(page):
+    with pytest.raises(IdentificationError):
+        identify(page, ObjectSelector.regex("(unclosed"))
+
+
+def test_dock_title(page):
+    result = identify(page, ObjectSelector.dock("title"))
+    assert result[0].tag == "title"
+
+
+def test_dock_head(page):
+    assert identify(page, ObjectSelector.dock("head"))[0].tag == "head"
+
+
+def test_dock_scripts(page):
+    result = identify(page, ObjectSelector.dock("scripts"))
+    assert len(result) == 2  # external + inline
+
+
+def test_dock_css(page):
+    result = identify(page, ObjectSelector.dock("css"))
+    tags = sorted(el.tag for el in result)
+    assert tags == ["link", "style"]
+
+
+def test_dock_cookies_yields_no_elements(page):
+    assert identify(page, ObjectSelector.dock("cookies")) == []
+
+
+def test_dock_unknown(page):
+    with pytest.raises(IdentificationError):
+        identify(page, ObjectSelector.dock("favicons"))
+
+
+def test_identify_one_success(page):
+    element = identify_one(page, ObjectSelector.css("form"))
+    assert element.id == "login"
+
+
+def test_identify_one_empty_raises(page):
+    with pytest.raises(IdentificationError):
+        identify_one(page, ObjectSelector.css("#ghost"))
+
+
+def test_identify_one_returns_first_of_many(page):
+    element = identify_one(page, ObjectSelector.css("script"))
+    assert element.get("src") == "a.js"

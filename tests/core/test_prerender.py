@@ -1,0 +1,97 @@
+"""Pre-rendering: snapshots, object renders, partial CSS pre-render."""
+
+import pytest
+
+from repro.core.prerender import (
+    partial_css_prerender,
+    prerender_object,
+    produce_snapshot,
+)
+from repro.html.parser import parse_html
+from repro.render.snapshot import render_snapshot
+
+PAGE = """
+<html><head><style>
+#hdr { background-color: #336699; padding: 10px; }
+</style></head><body>
+<div id="hdr"><h1>Site Title</h1><p>tagline text here</p></div>
+<div id="rest"><p>body content</p></div>
+</body></html>
+"""
+
+
+@pytest.fixture()
+def snapshot():
+    return render_snapshot(parse_html(PAGE), viewport_width=600)
+
+
+def test_produce_snapshot_scales(snapshot):
+    artifact = produce_snapshot(snapshot, scale=0.5, quality=40)
+    assert artifact.scaled_width == snapshot.image.width // 2
+    assert artifact.encoded.format == "jpeg"
+    assert artifact.original_width == 600
+
+
+def test_produce_snapshot_lowfi_smaller(snapshot):
+    high = produce_snapshot(snapshot, scale=1.0, quality=90)
+    low = produce_snapshot(snapshot, scale=0.4, quality=25)
+    assert low.encoded.size_bytes < high.encoded.size_bytes / 3
+
+
+def test_region_lookup(snapshot):
+    document = parse_html(PAGE)
+    fresh = render_snapshot(document, viewport_width=600)
+    artifact = produce_snapshot(fresh, scale=0.5, quality=40)
+    hdr = document.get_element_by_id("hdr")
+    region = artifact.region_for(hdr)
+    assert region is not None
+    assert region.width > 100
+
+
+def test_prerender_object_crops_to_geometry():
+    document = parse_html(PAGE)
+    hdr = document.get_element_by_id("hdr")
+    encoded = prerender_object(document, hdr, viewport_width=600)
+    snapshot = render_snapshot(document, viewport_width=600)
+    rect = snapshot.geometry_of(hdr)
+    assert abs(encoded.width - round(rect.width)) <= 1
+    assert abs(encoded.height - round(rect.height)) <= 1
+
+
+def test_prerender_hidden_object_blank():
+    document = parse_html(
+        '<div id="x" style="display: none">hidden</div>'
+    )
+    element = document.get_element_by_id("x")
+    encoded = prerender_object(document, element, viewport_width=400)
+    assert (encoded.width, encoded.height) == (1, 1)
+
+
+def test_partial_prerender_splits_text_from_decoration():
+    document = parse_html(PAGE)
+    hdr = document.get_element_by_id("hdr")
+    artifact = partial_css_prerender(document, hdr, viewport_width=600)
+    # The text runs are reported for client-side drawing.
+    texts = " ".join(run["text"] for run in artifact.text_runs)
+    assert "Site Title" in texts
+    assert "tagline" in texts
+    # Runs are positioned relative to the object's own origin.
+    assert all(run["x"] >= 0 and run["y"] >= -1 for run in artifact.text_runs)
+    assert artifact.background.size_bytes > 0
+
+
+def test_partial_prerender_background_lacks_text_pixels():
+    document = parse_html(PAGE)
+    hdr = document.get_element_by_id("hdr")
+    artifact = partial_css_prerender(document, hdr, viewport_width=600)
+    full = prerender_object(document, hdr, viewport_width=600, quality=55)
+    # Blanked background compresses tighter than the text-bearing render.
+    assert artifact.background.size_bytes < full.size_bytes
+
+
+def test_partial_prerender_leaves_original_document_untouched():
+    document = parse_html(PAGE)
+    hdr = document.get_element_by_id("hdr")
+    before = hdr.text_content
+    partial_css_prerender(document, hdr, viewport_width=600)
+    assert hdr.text_content == before

@@ -1,0 +1,100 @@
+"""The searchable attribute: word indexes and the emitted script."""
+
+import json
+
+from repro.core.search import (
+    WordIndex,
+    build_word_index,
+    build_word_index_from_document,
+    search_script,
+    search_trigger_html,
+)
+from repro.html.parser import parse_html
+from repro.render.snapshot import render_snapshot
+
+
+def rendered_index(html, scale=1.0):
+    snapshot = render_snapshot(parse_html(html), viewport_width=600)
+    return build_word_index(snapshot.layout_root, scale=scale), snapshot
+
+
+def test_index_is_sorted():
+    index, __ = rendered_index("<p>zebra apple mango apple</p>")
+    assert index.words == sorted(index.words)
+    assert "apple" in index.words
+    assert "zebra" in index.words
+
+
+def test_lookup_binary_search_hits():
+    index, __ = rendered_index("<p>alpha beta gamma</p>")
+    assert index.lookup("beta")
+    assert index.lookup("BETA")  # case-insensitive
+    assert index.lookup("delta") == []
+
+
+def test_multiple_occurrences_all_located():
+    index, __ = rendered_index("<p>word</p><p>word</p><p>word</p>")
+    assert len(index.lookup("word")) == 3
+
+
+def test_locations_have_increasing_y():
+    index, __ = rendered_index("<p>word</p><p>filler</p><p>word</p>")
+    locations = index.lookup("word")
+    assert locations[0][1] < locations[1][1]
+
+
+def test_scale_translates_coordinates():
+    full, __ = rendered_index("<p>target</p>")
+    scaled, __ = rendered_index("<p>target</p>", scale=0.5)
+    fx, fy = full.lookup("target")[0]
+    sx, sy = scaled.lookup("target")[0]
+    assert sx <= fx // 2 + 1
+    assert sy <= fy // 2 + 1
+
+
+def test_single_letter_words_skipped():
+    index, __ = rendered_index("<p>a I word</p>")
+    assert "a" not in index.words
+    assert "word" in index.words
+
+
+def test_document_index_without_geometry():
+    document = parse_html("<p>needle in the haystack needle</p>")
+    index = build_word_index_from_document(document)
+    assert len(index.lookup("needle")) == 2
+    assert index.lookup("needle")[0][1] < index.lookup("needle")[1][1]
+
+
+def test_empty_document_index():
+    document = parse_html("")
+    index = build_word_index_from_document(document)
+    assert index.word_count == 0
+    assert index.lookup("anything") == []
+
+
+def test_search_script_embeds_index():
+    index = WordIndex(words=["apple", "beta"], locations=[[(1, 2)], [(3, 4)]])
+    script = search_script(index)
+    assert "msiteSearch" in script
+    assert "msiteSearchPrompt" in script
+    assert json.dumps(index.words) in script
+    # The emitted binary search mirrors WordIndex.lookup.
+    assert "low = mid + 1" in script
+
+
+def test_trigger_html():
+    html = search_trigger_html("Find text")
+    assert "msiteSearchPrompt()" in html
+    assert "Find text" in html
+
+
+def test_python_lookup_matches_js_semantics():
+    # Exhaustive check of the shared binary search on a known list.
+    words = sorted(["ant", "bee", "cat", "dog", "emu", "fox"])
+    index = WordIndex(
+        words=words, locations=[[(i, i)] for i in range(len(words))]
+    )
+    for position, word in enumerate(words):
+        assert index.lookup(word) == [(position, position)]
+    for absent in ("aardvark", "zebra", "cow", ""):
+        assert index.lookup(absent) == []

@@ -1,0 +1,132 @@
+"""Adaptation specs: construction, validation, serialization."""
+
+import pytest
+
+from repro.core.spec import AdaptationSpec, AttributeBinding, ObjectSelector
+from repro.errors import CodegenError
+
+
+def make_spec():
+    return AdaptationSpec(site="Test", origin_host="h")
+
+
+def test_selector_kinds():
+    assert ObjectSelector.css("#x").kind == "css"
+    assert ObjectSelector.xpath("//p").kind == "xpath"
+    assert ObjectSelector.regex("<p>").kind == "regex"
+    assert ObjectSelector.dock("title").kind == "dock"
+
+
+def test_selector_rejects_bad_kind():
+    with pytest.raises(CodegenError):
+        ObjectSelector("magic", "x")
+
+
+def test_selector_rejects_empty_expression():
+    with pytest.raises(CodegenError):
+        ObjectSelector.css("")
+
+
+def test_add_binding():
+    spec = make_spec()
+    binding = spec.add("prerender", scale=0.3)
+    assert binding.attribute == "prerender"
+    assert binding.param("scale") == 0.3
+    assert binding.param("missing", "dflt") == "dflt"
+    assert spec.bindings_for("prerender") == [binding]
+
+
+def test_validate_accepts_good_spec():
+    spec = make_spec()
+    spec.add("prerender")
+    spec.add("subpage", ObjectSelector.css("#a"), subpage_id="a")
+    spec.add(
+        "subpage", ObjectSelector.css("#b"), subpage_id="b", parent="a"
+    )
+    spec.add("copy_dependency", ObjectSelector.css("script"), into="a")
+    spec.validate()
+
+
+def test_validate_rejects_unknown_attribute():
+    spec = make_spec()
+    spec.add("teleport")
+    with pytest.raises(CodegenError):
+        spec.validate()
+
+
+def test_validate_rejects_missing_selector():
+    spec = make_spec()
+    spec.add("subpage", subpage_id="x")  # subpage needs a selector
+    with pytest.raises(CodegenError):
+        spec.validate()
+
+
+def test_validate_rejects_missing_subpage_id():
+    spec = make_spec()
+    spec.add("subpage", ObjectSelector.css("#a"))
+    with pytest.raises(CodegenError):
+        spec.validate()
+
+
+def test_validate_rejects_duplicate_subpage_ids():
+    spec = make_spec()
+    spec.add("subpage", ObjectSelector.css("#a"), subpage_id="dup")
+    spec.add("subpage", ObjectSelector.css("#b"), subpage_id="dup")
+    with pytest.raises(CodegenError):
+        spec.validate()
+
+
+def test_validate_rejects_orphan_parent():
+    spec = make_spec()
+    spec.add(
+        "subpage", ObjectSelector.css("#a"), subpage_id="a", parent="ghost"
+    )
+    with pytest.raises(CodegenError):
+        spec.validate()
+
+
+def test_validate_rejects_dependency_into_unknown_subpage():
+    spec = make_spec()
+    spec.add("copy_dependency", ObjectSelector.css("script"), into="ghost")
+    with pytest.raises(CodegenError):
+        spec.validate()
+
+
+def test_validate_rejects_empty_host():
+    spec = AdaptationSpec(site="x", origin_host="")
+    with pytest.raises(CodegenError):
+        spec.validate()
+
+
+def test_json_roundtrip():
+    spec = AdaptationSpec(
+        site="SawmillCreek",
+        origin_host="www.sawmillcreek.org",
+        page_path="/index.php",
+        snapshot_scale=0.33,
+        mobile_title="SC mobile",
+    )
+    spec.add("prerender")
+    spec.add(
+        "subpage",
+        ObjectSelector.css("#loginform", "the login form"),
+        subpage_id="login",
+        title="Log in",
+    )
+    restored = AdaptationSpec.from_json(spec.to_json())
+    assert restored.site == spec.site
+    assert restored.snapshot_scale == 0.33
+    assert restored.mobile_title == "SC mobile"
+    assert len(restored.bindings) == 2
+    login = restored.bindings[1]
+    assert login.selector.expression == "#loginform"
+    assert login.selector.description == "the login form"
+    assert login.param("title") == "Log in"
+    restored.validate()
+
+
+def test_from_dict_defaults():
+    spec = AdaptationSpec.from_dict({"site": "s", "origin_host": "h"})
+    assert spec.page_path == "/index.php"
+    assert spec.snapshot_ttl_s == 3600.0
+    assert spec.bindings == []

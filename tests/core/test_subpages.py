@@ -1,0 +1,183 @@
+"""Page splitting and subpage document assembly."""
+
+import pytest
+
+from repro.core.subpages import (
+    SubpageDefinition,
+    SubpagePlan,
+    ajax_container_html,
+    build_subpage_document,
+    detach_for_subpage,
+    fragment_html,
+)
+from repro.html.parser import parse_html
+from repro.html.serializer import serialize
+
+
+def page_url_for(subpage_id):
+    if subpage_id is None:
+        return "proxy.php"
+    return f"proxy.php?page={subpage_id}"
+
+
+@pytest.fixture()
+def master():
+    return parse_html(
+        """
+        <html><head><script src="dep.js"></script></head><body>
+        <div id="a"><p>alpha</p></div>
+        <div id="b"><p>beta</p></div>
+        </body></html>
+        """
+    )
+
+
+def test_plan_rejects_duplicates():
+    plan = SubpagePlan()
+    plan.define(SubpageDefinition("x", "X"))
+    with pytest.raises(ValueError):
+        plan.define(SubpageDefinition("x", "X again"))
+
+
+def test_plan_hierarchy():
+    plan = SubpagePlan()
+    plan.define(SubpageDefinition("parent", "P"))
+    plan.define(SubpageDefinition("child1", "C1", parent="parent"))
+    plan.define(SubpageDefinition("child2", "C2", parent="parent"))
+    plan.define(SubpageDefinition("other", "O"))
+    assert [d.subpage_id for d in plan.top_level()] == ["parent", "other"]
+    assert [d.subpage_id for d in plan.children_of("parent")] == [
+        "child1", "child2",
+    ]
+    assert len(plan) == 4
+
+
+def test_detach_move_removes_from_master(master):
+    element = master.get_element_by_id("a")
+    definition = SubpageDefinition("a", "A", elements=[element], mode="move")
+    taken = detach_for_subpage(definition)
+    assert taken == [element]
+    assert master.get_element_by_id("a") is None  # gone from master
+    assert element.parent is None
+
+
+def test_detach_copy_keeps_master(master):
+    element = master.get_element_by_id("a")
+    definition = SubpageDefinition("a", "A", elements=[element], mode="copy")
+    taken = detach_for_subpage(definition)
+    assert taken[0] is not element
+    assert master.get_element_by_id("a") is element  # still there
+    assert taken[0].text_content == "alpha"
+
+
+def test_build_subpage_document_basics(master):
+    element = master.get_element_by_id("a")
+    definition = SubpageDefinition("a", "Alpha page", elements=[element])
+    plan = SubpagePlan()
+    plan.define(definition)
+    taken = detach_for_subpage(definition)
+    document = build_subpage_document(definition, plan, page_url_for, taken)
+    assert document.title == "Alpha page"
+    container = document.get_element_by_id("msite-subpage-a")
+    assert container is not None
+    assert "alpha" in container.text_content
+    # Back link to the entry page.
+    back = document.get_element_by_id("msite-breadcrumb")
+    assert back.get_elements_by_tag("a")[0].get("href") == "proxy.php"
+
+
+def test_dependencies_copied_under_head(master):
+    script = master.head.get_elements_by_tag("script")[0]
+    element = master.get_element_by_id("a")
+    definition = SubpageDefinition(
+        "a", "A", elements=[element], dependencies=[script]
+    )
+    plan = SubpagePlan()
+    plan.define(definition)
+    document = build_subpage_document(
+        definition, plan, page_url_for, detach_for_subpage(definition)
+    )
+    head_scripts = document.head.get_elements_by_tag("script")
+    assert [s.get("src") for s in head_scripts] == ["dep.js"]
+    # The master's script was cloned, not moved.
+    assert master.head.get_elements_by_tag("script") == [script]
+
+
+def test_child_menu_for_sub_subpages(master):
+    parent_el = master.get_element_by_id("a")
+    child_el = master.get_element_by_id("b")
+    plan = SubpagePlan()
+    parent = plan.define(
+        SubpageDefinition("parent", "P", elements=[parent_el])
+    )
+    plan.define(
+        SubpageDefinition("child", "C", elements=[child_el], parent="parent")
+    )
+    document = build_subpage_document(
+        parent, plan, page_url_for, detach_for_subpage(parent)
+    )
+    menu = document.get_element_by_id("msite-childmenu")
+    links = menu.get_elements_by_tag("a")
+    assert [a.get("href") for a in links] == ["proxy.php?page=child"]
+
+
+def test_sub_subpage_back_link_points_to_parent(master):
+    child_el = master.get_element_by_id("b")
+    plan = SubpagePlan()
+    plan.define(SubpageDefinition("parent", "P"))
+    child = plan.define(
+        SubpageDefinition("child", "C", elements=[child_el], parent="parent")
+    )
+    document = build_subpage_document(
+        child, plan, page_url_for, detach_for_subpage(child)
+    )
+    back = document.get_element_by_id("msite-breadcrumb")
+    assert back.get_elements_by_tag("a")[0].get("href") == (
+        "proxy.php?page=parent"
+    )
+
+
+def test_extras_injected(master):
+    element = master.get_element_by_id("a")
+    definition = SubpageDefinition(
+        "a", "A", elements=[element],
+        extras_top=['<div id="ad-top">ad</div>'],
+        extras_bottom=['<div id="jump">jump menu</div>'],
+    )
+    plan = SubpagePlan()
+    plan.define(definition)
+    document = build_subpage_document(
+        definition, plan, page_url_for, detach_for_subpage(definition)
+    )
+    body_ids = [el.id for el in document.body.descendant_elements() if el.id]
+    assert "ad-top" in body_ids
+    assert "jump" in body_ids
+    assert body_ids.index("ad-top") < body_ids.index("msite-subpage-a")
+
+
+def test_fragment_html_is_bare(master):
+    element = master.get_element_by_id("a")
+    definition = SubpageDefinition("a", "A", elements=[element])
+    fragment = fragment_html(definition, detach_for_subpage(definition))
+    assert fragment.startswith("<div")
+    assert "<html" not in fragment
+    assert "alpha" in fragment
+
+
+def test_ajax_container_hidden():
+    html = ajax_container_html("nav")
+    assert 'id="msite-ajax-nav"' in html
+    assert "display: none" in html
+
+
+def test_multiple_elements_in_one_subpage(master):
+    a = master.get_element_by_id("a")
+    b = master.get_element_by_id("b")
+    definition = SubpageDefinition("both", "Both", elements=[a, b])
+    plan = SubpagePlan()
+    plan.define(definition)
+    document = build_subpage_document(
+        definition, plan, page_url_for, detach_for_subpage(definition)
+    )
+    container = document.get_element_by_id("msite-subpage-both")
+    assert len(container.child_elements()) == 2

@@ -1,0 +1,116 @@
+"""CSS parsing with error recovery."""
+
+from repro.css.parser import parse_declarations, parse_stylesheet
+
+
+def test_single_rule():
+    sheet = parse_stylesheet("p { color: red; }")
+    assert len(sheet) == 1
+    rule = sheet.rules[0]
+    assert rule.selector_text == "p"
+    assert rule.declarations[0].name == "color"
+    assert rule.declarations[0].value == "red"
+
+
+def test_multiple_rules_in_order():
+    sheet = parse_stylesheet("a { x: 1 } b { x: 2 } c { x: 3 }")
+    assert [r.selector_text for r in sheet.rules] == ["a", "b", "c"]
+    assert [r.source_order for r in sheet.rules] == [0, 1, 2]
+
+
+def test_comments_stripped():
+    sheet = parse_stylesheet("/* hi */ p { /* mid */ color: blue; } /* bye */")
+    assert sheet.rules[0].declaration("color").value == "blue"
+
+
+def test_multiline_comment():
+    sheet = parse_stylesheet("p { color: red }\n/* a\nb\nc */\nq { color: blue }")
+    assert len(sheet) == 2
+
+
+def test_important_flag():
+    sheet = parse_stylesheet("p { color: red !important; size: 2 }")
+    color = sheet.rules[0].declaration("color")
+    assert color.important
+    assert color.value == "red"
+    assert not sheet.rules[0].declaration("size").important
+
+
+def test_bad_selector_keeps_rule_with_none_selectors():
+    sheet = parse_stylesheet("p::{}{ color: red } q { color: blue }")
+    # The malformed rule is kept (selectors=None → never matches),
+    # and the following rule still parses.
+    assert any(
+        r.selectors is not None and r.selector_text == "q"
+        for r in sheet.rules
+    )
+
+
+def test_bad_declaration_dropped_others_kept():
+    decls = parse_declarations("color: red; nonsense; margin: 4px")
+    names = [d.name for d in decls]
+    assert names == ["color", "margin"]
+
+
+def test_empty_value_dropped():
+    assert parse_declarations("color: ;") == []
+
+
+def test_semicolons_inside_parens_respected():
+    decls = parse_declarations(
+        "background: url(data:image/gif;base64,AAA); color: red"
+    )
+    assert len(decls) == 2
+    assert "base64,AAA" in decls[0].value
+
+
+def test_font_shorthand_value_preserved():
+    decls = parse_declarations(
+        "font: bold 10pt verdana, geneva, sans-serif"
+    )
+    assert decls[0].value == "bold 10pt verdana, geneva, sans-serif"
+
+
+def test_at_rule_with_body():
+    sheet = parse_stylesheet(
+        "@media screen { p { color: red } } q { color: blue }"
+    )
+    assert len(sheet.at_rules) == 1
+    assert sheet.at_rules[0].name == "media"
+    assert sheet.at_rules[0].prelude == "screen"
+    assert "color: red" in sheet.at_rules[0].body
+    assert len(sheet.rules) == 1
+
+
+def test_at_rule_without_body():
+    sheet = parse_stylesheet('@import "base.css"; p { color: red }')
+    assert sheet.at_rules[0].name == "import"
+    assert len(sheet.rules) == 1
+
+
+def test_last_declaration_wins_within_rule():
+    sheet = parse_stylesheet("p { color: red; color: blue }")
+    assert sheet.rules[0].declaration("color").value == "blue"
+
+
+def test_to_css_roundtrip():
+    source = "p { color: red } .x { margin: 4px }"
+    sheet = parse_stylesheet(source)
+    reparsed = parse_stylesheet(sheet.to_css())
+    assert len(reparsed) == 2
+    assert reparsed.rules[1].declaration("margin").value == "4px"
+
+
+def test_unclosed_block_tolerated():
+    sheet = parse_stylesheet("p { color: red")
+    assert sheet.rules[0].declaration("color").value == "red"
+
+
+def test_rules_for_property():
+    sheet = parse_stylesheet("p { color: red } q { margin: 1px } r { color: blue }")
+    assert len(sheet.rules_for_property("color")) == 2
+
+
+def test_empty_stylesheet():
+    assert len(parse_stylesheet("")) == 0
+    assert len(parse_stylesheet("   \n  ")) == 0

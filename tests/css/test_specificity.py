@@ -1,0 +1,53 @@
+"""Selector specificity ordering."""
+
+from repro.css.specificity import specificity
+from repro.dom.selectors import parse_selector
+
+
+def spec(text):
+    return specificity(parse_selector(text).alternatives[0])
+
+
+def test_type_selector():
+    assert spec("p") == (0, 0, 1)
+
+
+def test_class_selector():
+    assert spec(".x") == (0, 1, 0)
+
+
+def test_id_selector():
+    assert spec("#x") == (1, 0, 0)
+
+
+def test_universal_is_zero():
+    assert spec("*") == (0, 0, 0)
+
+
+def test_compound():
+    assert spec("div#main.box.wide") == (1, 2, 1)
+
+
+def test_attribute_counts_as_class():
+    assert spec("a[href]") == (0, 1, 1)
+
+
+def test_pseudo_class_counts_as_class():
+    assert spec("li:first-child") == (0, 1, 1)
+
+
+def test_descendant_chain_sums():
+    assert spec("#a .b span") == (1, 1, 1)
+
+
+def test_not_adds_inner_specificity_only():
+    assert spec("p:not(.x)") == (0, 1, 1)
+    assert spec("p:not(#x)") == (1, 0, 1)
+
+
+def test_ordering_id_beats_classes():
+    assert spec("#x") > spec(".a.b.c.d.e")
+
+
+def test_ordering_class_beats_types():
+    assert spec(".x") > spec("html body div p span")

@@ -1,0 +1,102 @@
+"""Color and length value parsing."""
+
+import pytest
+
+from repro.css.values import parse_color, parse_font_size, parse_length
+
+
+# -- colors -----------------------------------------------------------------
+
+
+def test_named_colors():
+    assert parse_color("red") == (255, 0, 0)
+    assert parse_color("WHITE") == (255, 255, 255)
+
+
+def test_hex_six():
+    assert parse_color("#336699") == (0x33, 0x66, 0x99)
+
+
+def test_hex_three():
+    assert parse_color("#fa0") == (0xFF, 0xAA, 0x00)
+
+
+def test_rgb_function():
+    assert parse_color("rgb(1, 2, 3)") == (1, 2, 3)
+    assert parse_color("rgba(10,20,30, 0.5)") == (10, 20, 30)
+
+
+def test_rgb_clamps_to_255():
+    assert parse_color("rgb(300, 0, 0)") == (255, 0, 0)
+
+
+def test_unknown_color_is_none():
+    assert parse_color("chartreuse-ish") is None
+    assert parse_color("#12") is None
+    assert parse_color("") is None
+
+
+# -- lengths ------------------------------------------------------------------
+
+
+def test_px():
+    assert parse_length("10px") == 10.0
+    assert parse_length("10") == 10.0
+
+
+def test_pt_converts():
+    assert parse_length("12pt") == pytest.approx(16.0)
+
+
+def test_physical_units():
+    assert parse_length("1in") == 96.0
+    assert parse_length("2.54cm") == pytest.approx(96.0)
+    assert parse_length("25.4mm") == pytest.approx(96.0)
+
+
+def test_em_uses_font_size():
+    assert parse_length("2em", font_size=10.0) == 20.0
+
+
+def test_ex_is_half_em():
+    assert parse_length("2ex", font_size=10.0) == 10.0
+
+
+def test_percent_needs_base():
+    assert parse_length("50%", percent_base=200.0) == 100.0
+    assert parse_length("50%") is None
+
+
+def test_keywords_return_none():
+    for keyword in ("auto", "inherit", "normal", ""):
+        assert parse_length(keyword) is None
+
+
+def test_negative_lengths_allowed():
+    assert parse_length("-4px") == -4.0
+
+
+def test_garbage_returns_none():
+    assert parse_length("banana") is None
+    assert parse_length("10banana") is None
+
+
+# -- font sizes -----------------------------------------------------------------
+
+
+def test_font_size_keywords():
+    assert parse_font_size("medium") == 16.0
+    assert parse_font_size("x-small") == 10.0
+
+
+def test_font_size_relative_keywords():
+    assert parse_font_size("larger", parent_size=10.0) == pytest.approx(12.0)
+    assert parse_font_size("smaller", parent_size=12.0) == pytest.approx(10.0)
+
+
+def test_font_size_percent_of_parent():
+    assert parse_font_size("150%", parent_size=10.0) == 15.0
+
+
+def test_font_size_fallback_to_parent():
+    assert parse_font_size("garbage", parent_size=13.0) == 13.0

@@ -1,0 +1,59 @@
+"""Device profile definitions."""
+
+from repro.devices.profiles import (
+    BLACKBERRY_TOUR,
+    DESKTOP,
+    DEVICE_PROFILES,
+    IPAD_1,
+    IPHONE_4,
+    IPOD_TOUCH_3G,
+    LINKS,
+)
+from repro.net.network import LINK_WIFI
+
+
+def test_registry_contains_all_paper_devices():
+    assert {
+        "blackberry-tour", "iphone-4", "ipod-touch-3g", "ipad-1", "desktop",
+    } <= set(DEVICE_PROFILES)
+
+
+def test_published_clock_rates():
+    # The paper states these two directly (§4.2).
+    assert BLACKBERRY_TOUR.cpu_mhz == 528.0
+    assert IPOD_TOUCH_3G.cpu_mhz == 600.0
+
+
+def test_blackberry_browser_area():
+    # "Fully zoomed in its native resolution, the BlackBerry Tour
+    # (480x325 browser area)" — profile uses the 480 width.
+    assert BLACKBERRY_TOUR.screen_width == 480
+    assert BLACKBERRY_TOUR.layout_viewport == 480
+
+
+def test_safari_devices_use_virtual_viewport():
+    assert IPHONE_4.layout_viewport == 980
+    assert IPOD_TOUCH_3G.layout_viewport == 980
+
+
+def test_blackberry_lacks_ajax():
+    # §4.4: "For non-AJAX capable devices, like the Blackberry's browser".
+    assert not BLACKBERRY_TOUR.supports_ajax
+    assert IPHONE_4.supports_ajax
+    assert IPAD_1.supports_ajax
+
+
+def test_effective_mhz():
+    assert BLACKBERRY_TOUR.effective_mhz < BLACKBERRY_TOUR.cpu_mhz
+    assert DESKTOP.effective_mhz >= 2400
+
+
+def test_with_link_swaps_network_only():
+    wifi_phone = IPHONE_4.with_link(LINK_WIFI)
+    assert wifi_phone.link is LINK_WIFI
+    assert wifi_phone.cpu_mhz == IPHONE_4.cpu_mhz
+    assert IPHONE_4.link.name == "3g"  # original untouched
+
+
+def test_links_shorthand():
+    assert set(LINKS) == {"3g", "hspa", "wifi", "lan"}

@@ -1,0 +1,106 @@
+"""Page-load timing model."""
+
+import pytest
+
+from repro.devices.profiles import (
+    BLACKBERRY_TOUR,
+    DESKTOP,
+    IPHONE_4,
+    LINKS,
+)
+from repro.devices.timing import (
+    PageStats,
+    census_document,
+    estimate_load_time,
+)
+from repro.html.parser import parse_html
+
+
+def simple_stats(**overrides):
+    defaults = dict(
+        html_bytes=50_000,
+        css_bytes=20_000,
+        script_bytes=80_000,
+        image_bytes=40_000,
+        resource_count=25,
+        element_count=800,
+        image_count=15,
+        image_pixels=150_000,
+    )
+    defaults.update(overrides)
+    return PageStats(**defaults)
+
+
+def test_total_bytes():
+    stats = simple_stats()
+    assert stats.total_bytes == 190_000
+
+
+def test_breakdown_sums_to_total():
+    breakdown = estimate_load_time(IPHONE_4, simple_stats())
+    assert breakdown.total_s == pytest.approx(
+        breakdown.network_s + breakdown.cpu_s
+    )
+    assert breakdown.cpu_s == pytest.approx(
+        breakdown.parse_s
+        + breakdown.style_s
+        + breakdown.script_s
+        + breakdown.layout_paint_s
+        + breakdown.image_decode_s
+    )
+
+
+def test_faster_cpu_less_cpu_time():
+    stats = simple_stats()
+    slow = estimate_load_time(BLACKBERRY_TOUR, stats)
+    fast = estimate_load_time(DESKTOP, stats)
+    assert fast.cpu_s < slow.cpu_s / 3
+
+
+def test_network_depends_on_link():
+    stats = simple_stats()
+    cell = estimate_load_time(IPHONE_4, stats)
+    wifi = estimate_load_time(IPHONE_4.with_link(LINKS["wifi"]), stats)
+    assert cell.network_s > wifi.network_s * 5
+    assert cell.cpu_s == pytest.approx(wifi.cpu_s)
+
+
+def test_more_script_more_time():
+    light = estimate_load_time(IPHONE_4, simple_stats(script_bytes=0))
+    heavy = estimate_load_time(IPHONE_4, simple_stats(script_bytes=200_000))
+    assert heavy.script_s > light.script_s
+    assert light.script_s == 0.0
+
+
+def test_explicit_page_height_drives_paint():
+    short = estimate_load_time(
+        IPHONE_4, simple_stats(), page_height=500
+    )
+    tall = estimate_load_time(
+        IPHONE_4, simple_stats(), page_height=8_000
+    )
+    assert tall.layout_paint_s > short.layout_paint_s
+
+
+def test_census_counts_unique_images():
+    document = parse_html(
+        '<img src="a.gif"><img src="a.gif"><img src="b.gif">'
+        '<script src="x.js"></script>'
+        '<link rel="stylesheet" href="s.css">'
+    )
+    stats = census_document(document, html_bytes=1000)
+    assert stats.image_count == 2
+    # 1 page + 1 script + 1 css + 2 unique images.
+    assert stats.resource_count == 5
+
+
+def test_census_image_pixels_from_declared_sizes():
+    document = parse_html('<img src="a.gif" width="100" height="50">')
+    stats = census_document(document, html_bytes=100)
+    assert stats.image_pixels >= 100 * 50
+
+
+def test_zero_byte_page_is_fast_but_not_free():
+    stats = PageStats(html_bytes=0, resource_count=1)
+    breakdown = estimate_load_time(DESKTOP, stats, page_height=0)
+    assert 0 < breakdown.total_s < 0.1

@@ -1,0 +1,54 @@
+"""Document-level accessors."""
+
+from repro.dom.document import Document, new_document
+from repro.dom.element import Element
+from repro.html.parser import parse_html
+
+
+def test_new_document_scaffold():
+    document = new_document("Title")
+    assert document.doctype.name == "html"
+    assert document.head is not None
+    assert document.body is not None
+    assert document.title == "Title"
+
+
+def test_document_element():
+    document = parse_html("<html><body>x</body></html>")
+    assert document.document_element.tag == "html"
+
+
+def test_title_empty_when_missing():
+    document = Document()
+    assert document.title == ""
+    document.append(Element("html"))
+    assert document.title == ""
+
+
+def test_get_element_by_id():
+    document = parse_html('<div id="outer"><span id="inner">x</span></div>')
+    assert document.get_element_by_id("inner").tag == "span"
+    assert document.get_element_by_id("nope") is None
+
+
+def test_get_elements_by_tag_includes_html():
+    document = parse_html("<body><p>a</p></body>")
+    assert [el.tag for el in document.get_elements_by_tag("html")] == ["html"]
+
+
+def test_all_elements_document_order():
+    document = parse_html("<body><div><p>a</p></div><span>b</span></body>")
+    tags = [el.tag for el in document.all_elements()]
+    assert tags == ["html", "head", "body", "div", "p", "span"]
+
+
+def test_all_elements_empty_document():
+    assert Document().all_elements() == []
+
+
+def test_clone_document():
+    document = parse_html('<!DOCTYPE html><html><body><p id="p">x</p></body></html>')
+    copy = document.clone()
+    assert copy.get_element_by_id("p").text_content == "x"
+    copy.get_element_by_id("p").set_text("y")
+    assert document.get_element_by_id("p").text_content == "x"

@@ -1,0 +1,129 @@
+"""Element attributes, classes, traversal, cloning."""
+
+from repro.dom.element import Element
+from repro.dom.node import Text
+from repro.html.parser import parse_html
+
+
+def test_tag_lowercased():
+    assert Element("DIV").tag == "div"
+
+
+def test_attribute_get_set_case_insensitive():
+    element = Element("a")
+    element.set("HREF", "/x")
+    assert element.get("href") == "/x"
+    assert element.has_attribute("Href")
+    element.remove_attribute("HREF")
+    assert element.get("href") is None
+
+
+def test_classes():
+    element = Element("div", {"class": "one two"})
+    assert element.classes == ["one", "two"]
+    assert element.has_class("one")
+    element.add_class("three")
+    assert element.classes == ["one", "two", "three"]
+    element.add_class("one")  # no duplicate
+    assert element.classes.count("one") == 1
+    element.remove_class("two")
+    assert element.classes == ["one", "three"]
+
+
+def test_remove_last_class_drops_attribute():
+    element = Element("div", {"class": "solo"})
+    element.remove_class("solo")
+    assert not element.has_attribute("class")
+
+
+def test_id_property():
+    assert Element("div", {"id": "x"}).id == "x"
+    assert Element("div").id is None
+
+
+def test_descendants_document_order():
+    document = parse_html(
+        "<div><p>1</p><section><span>2</span></section><b>3</b></div>"
+    )
+    div = document.get_elements_by_tag("div")[0]
+    tags = [n.tag for n in div.descendant_elements()]
+    assert tags == ["p", "section", "span", "b"]
+
+
+def test_find_first_match():
+    document = parse_html("<div><p id=a>x</p><p id=b>y</p></div>")
+    div = document.get_elements_by_tag("div")[0]
+    found = div.find(lambda el: el.tag == "p")
+    assert found.id == "a"
+
+
+def test_find_returns_none_when_absent():
+    assert Element("div").find(lambda el: True) is None
+
+
+def test_get_element_by_id_includes_self():
+    element = Element("div", {"id": "me"})
+    assert element.get_element_by_id("me") is element
+
+
+def test_get_elements_by_class():
+    document = parse_html(
+        '<div><p class="x">1</p><p class="x y">2</p><p>3</p></div>'
+    )
+    div = document.get_elements_by_tag("div")[0]
+    assert len(div.get_elements_by_class("x")) == 2
+
+
+def test_text_content_concatenates():
+    document = parse_html("<p>a<b>b</b>c</p>")
+    assert document.get_elements_by_tag("p")[0].text_content == "abc"
+
+
+def test_set_text_replaces_children():
+    element = Element("p", children=[Element("b"), Text("old")])
+    element.set_text("new")
+    assert element.text_content == "new"
+    assert len(element.children) == 1
+
+
+def test_append_text_merges():
+    element = Element("p")
+    element.append_text("a")
+    element.append_text("b")
+    assert len(element.children) == 1
+    assert element.text_content == "ab"
+
+
+def test_prepend_and_insert_child():
+    element = Element("ul")
+    b = element.append(Element("b"))
+    a = element.prepend(Element("a"))
+    c = element.insert_child(1, Element("c"))
+    assert [child.tag for child in element.children] == ["a", "c", "b"]
+
+
+def test_clear_children_detaches():
+    element = Element("div")
+    child = element.append(Element("p"))
+    element.clear_children()
+    assert child.parent is None
+    assert element.children == []
+
+
+def test_clone_is_deep_and_detached():
+    document = parse_html('<div id="d"><p class="x">text</p></div>')
+    original = document.get_elements_by_tag("div")[0]
+    copy = original.clone()
+    assert copy.parent is None
+    assert copy.id == "d"
+    assert copy.child_elements()[0].text_content == "text"
+    # Mutating the copy leaves the original alone.
+    copy.child_elements()[0].set_text("changed")
+    assert original.text_content == "text"
+
+
+def test_void_and_rawtext_flags():
+    assert Element("br").is_void
+    assert not Element("div").is_void
+    assert Element("script").is_raw_text
+    assert not Element("p").is_raw_text

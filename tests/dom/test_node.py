@@ -1,0 +1,125 @@
+"""Node tree mechanics: mutation keeps parent pointers consistent."""
+
+import pytest
+
+from repro.dom.document import Document
+from repro.dom.element import Element
+from repro.dom.node import Comment, Doctype, Text
+
+
+def make_tree():
+    root = Element("div")
+    a = Element("a")
+    b = Element("b")
+    c = Element("c")
+    for child in (a, b, c):
+        root.append(child)
+    return root, a, b, c
+
+
+def test_append_sets_parent():
+    root, a, b, c = make_tree()
+    assert a.parent is root
+    assert root.children == [a, b, c]
+
+
+def test_detach_removes_from_parent():
+    root, a, b, c = make_tree()
+    b.detach()
+    assert b.parent is None
+    assert root.children == [a, c]
+
+
+def test_detach_is_idempotent():
+    __, a, *_ = make_tree()
+    a.detach()
+    a.detach()
+    assert a.parent is None
+
+
+def test_append_moves_between_parents():
+    root, a, b, c = make_tree()
+    other = Element("other")
+    other.append(b)
+    assert b.parent is other
+    assert root.children == [a, c]
+
+
+def test_replace_with():
+    root, a, b, c = make_tree()
+    new = Element("new")
+    b.replace_with(new)
+    assert root.children == [a, new, c]
+    assert b.parent is None
+    assert new.parent is root
+
+
+def test_replace_detached_raises():
+    with pytest.raises(ValueError):
+        Element("x").replace_with(Element("y"))
+
+
+def test_insert_before_and_after():
+    root, a, b, c = make_tree()
+    before = Element("before")
+    after = Element("after")
+    b.insert_before(before)
+    b.insert_after(after)
+    assert [el.tag for el in root.children] == [
+        "a", "before", "b", "after", "c",
+    ]
+
+
+def test_insert_beside_detached_raises():
+    with pytest.raises(ValueError):
+        Element("x").insert_before(Element("y"))
+
+
+def test_siblings():
+    root, a, b, c = make_tree()
+    assert a.previous_sibling is None
+    assert a.next_sibling is b
+    assert c.next_sibling is None
+    assert c.previous_sibling is b
+
+
+def test_index_in_parent():
+    root, a, b, c = make_tree()
+    assert b.index_in_parent == 1
+    with pytest.raises(ValueError):
+        Element("detached").index_in_parent
+
+
+def test_ancestors():
+    root, a, *_ = make_tree()
+    grand = Element("grand")
+    grand.append(root)
+    assert list(a.ancestors()) == [root, grand]
+    assert a.root() is grand
+
+
+def test_owner_document():
+    document = Document()
+    html = Element("html")
+    document.append(html)
+    child = Element("p")
+    html.append(child)
+    assert child.owner_document is document
+    assert Element("loose").owner_document is None
+
+
+def test_text_clone():
+    text = Text("abc")
+    copy = text.clone()
+    assert copy.data == "abc"
+    assert copy is not text
+
+
+def test_comment_and_doctype_clone():
+    assert Comment("c").clone().data == "c"
+    assert Doctype("html").clone().name == "html"
+
+
+def test_leaf_children_empty():
+    assert Text("x").children == []
+    assert Comment("x").children == []

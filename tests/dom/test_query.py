@@ -1,0 +1,232 @@
+"""The jQuery-style Query API."""
+
+import pytest
+
+from repro.dom.query import Query
+from repro.html.parser import parse_html
+from repro.html.serializer import serialize
+
+PAGE = """
+<html><body>
+  <div id="wrap">
+    <p class="a">one</p>
+    <p class="b">two</p>
+    <p class="a b">three</p>
+  </div>
+  <ul id="list"><li>x</li><li>y</li></ul>
+  <a href="/old" id="link">go</a>
+</body></html>
+"""
+
+
+@pytest.fixture()
+def page():
+    return parse_html(PAGE)
+
+
+def test_construct_from_document_selects_root(page):
+    query = Query(page)
+    assert len(query) == 1
+    assert query[0].tag == "html"
+
+
+def test_selector_constructor_needs_root():
+    with pytest.raises(ValueError):
+        Query("p")
+
+
+def test_find(page):
+    assert len(Query(page).find("p")) == 3
+
+
+def test_find_excludes_self(page):
+    wrap = page.get_element_by_id("wrap")
+    assert all(el is not wrap for el in Query(wrap).find("div"))
+
+
+def test_filter_by_selector(page):
+    query = Query(page).find("p").filter(".a")
+    assert [el.text_content for el in query] == ["one", "three"]
+
+
+def test_filter_by_callable(page):
+    query = Query(page).find("p").filter(lambda el: "t" in el.text_content)
+    assert [el.text_content for el in query] == ["two", "three"]
+
+
+def test_not_(page):
+    query = Query(page).find("p").not_(".a")
+    assert [el.text_content for el in query] == ["two"]
+
+
+def test_eq_first_last(page):
+    paragraphs = Query(page).find("p")
+    assert paragraphs.eq(1)[0].text_content == "two"
+    assert paragraphs.first()[0].text_content == "one"
+    assert paragraphs.last()[0].text_content == "three"
+    assert len(paragraphs.eq(99)) == 0
+
+
+def test_parent_children_siblings(page):
+    first = Query(page).find("p.a").first()
+    assert first.parent()[0].id == "wrap"
+    wrap = Query(page).find("#wrap")
+    assert len(wrap.children()) == 3
+    assert len(wrap.children(".a")) == 2
+    middle = Query(page).find("p.b").first()
+    assert [el.text_content for el in middle.siblings()] == ["one", "three"]
+
+
+def test_closest(page):
+    item = Query(page).find("li").first()
+    assert item.closest("ul")[0].id == "list"
+    assert item.closest("body")[0].tag == "body"
+    assert len(item.closest("table")) == 0
+
+
+def test_attr_get_set(page):
+    link = Query(page).find("#link")
+    assert link.attr("href") == "/old"
+    link.attr("href", "/new")
+    assert page.get_element_by_id("link").get("href") == "/new"
+
+
+def test_attr_on_empty_returns_none(page):
+    assert Query(page).find("video").attr("src") is None
+
+
+def test_remove_attr(page):
+    Query(page).find("#link").remove_attr("href")
+    assert not page.get_element_by_id("link").has_attribute("href")
+
+
+def test_class_manipulation(page):
+    query = Query(page).find("p.b")
+    query.add_class("extra").remove_class("b")
+    element = query[0]
+    assert element.has_class("extra")
+    assert not element.has_class("b")
+    query.toggle_class("extra")
+    assert not element.has_class("extra")
+
+
+def test_css_read_write(page):
+    query = Query(page).find("#wrap")
+    query.css("display", "none")
+    assert query.css("display") == "none"
+    query.css("display", "block").css("color", "red")
+    style = page.get_element_by_id("wrap").get("style")
+    assert "display: block" in style
+    assert "color: red" in style
+
+
+def test_text_get_set(page):
+    assert Query(page).find("p.b:not(.a)").text() == "two"
+    # text() over a multi-element set concatenates, like jQuery.
+    assert Query(page).find("p.b").text() == "twothree"
+    Query(page).find("p.b:not(.a)").text("TWO")
+    assert "TWO" in serialize(page)
+
+
+def test_html_get_set(page):
+    wrap = Query(page).find("#wrap")
+    assert "<p" in wrap.html()
+    wrap.html("<span>replaced</span>")
+    assert page.get_element_by_id("wrap").child_elements()[0].tag == "span"
+
+
+def test_val(page):
+    document = parse_html('<input id="i" value="x">')
+    query = Query(document).find("#i")
+    assert query.val() == "x"
+    query.val("y")
+    assert query.val() == "y"
+
+
+def test_append_string(page):
+    Query(page).find("#list").append("<li>z</li>")
+    items = page.get_element_by_id("list").child_elements()
+    assert [i.text_content for i in items] == ["x", "y", "z"]
+
+
+def test_prepend(page):
+    Query(page).find("#list").prepend("<li>w</li>")
+    items = page.get_element_by_id("list").child_elements()
+    assert items[0].text_content == "w"
+
+
+def test_before_after(page):
+    target = Query(page).find("p.b:not(.a)")
+    target.before("<hr>").after("<br>")
+    wrap = page.get_element_by_id("wrap")
+    tags = [el.tag for el in wrap.child_elements()]
+    assert tags == ["p", "hr", "p", "br", "p"]
+
+
+def test_append_clones_for_multiple_targets(page):
+    Query(page).find("p").append("<em>!</em>")
+    assert len(page.get_elements_by_tag("em")) == 3
+
+
+def test_remove(page):
+    Query(page).find("p.a").remove()
+    remaining = [p.text_content for p in page.get_elements_by_tag("p")]
+    assert remaining == ["two"]
+
+
+def test_empty(page):
+    Query(page).find("#list").empty()
+    assert page.get_element_by_id("list").children == []
+
+
+def test_replace_with(page):
+    Query(page).find("#link").replace_with("<strong>bold</strong>")
+    assert page.get_element_by_id("link") is None
+    assert len(page.get_elements_by_tag("strong")) == 1
+
+
+def test_wrap(page):
+    Query(page).find("p.b").wrap('<div class="wrapper"></div>')
+    wrapper = page.get_elements_by_tag("div")
+    classes = [d.classes for d in wrapper]
+    assert ["wrapper"] in classes
+    wrapped = [d for d in wrapper if d.has_class("wrapper")][0]
+    assert wrapped.child_elements()[0].text_content == "two"
+
+
+def test_clone_detached(page):
+    clones = Query(page).find("p").clone()
+    assert all(el.parent is None for el in clones)
+    assert len(clones) == 3
+
+
+def test_each_and_map(page):
+    seen = []
+    Query(page).find("p").each(lambda i, el: seen.append((i, el.tag)))
+    assert seen == [(0, "p"), (1, "p"), (2, "p")]
+    lengths = Query(page).find("p").map(lambda el: len(el.text_content))
+    assert lengths == [3, 3, 5]
+
+
+def test_is_(page):
+    assert Query(page).find("p").is_(".b")
+    assert not Query(page).find("p").is_("table")
+
+
+def test_chaining_returns_query(page):
+    result = (
+        Query(page)
+        .find("p")
+        .filter(".a")
+        .add_class("marked")
+        .css("font-weight", "bold")
+    )
+    assert isinstance(result, Query)
+    assert len(result) == 2
+
+
+def test_bool_and_iteration(page):
+    assert Query(page).find("p")
+    assert not Query(page).find("video")
+    tags = {el.tag for el in Query(page).find("p")}
+    assert tags == {"p"}

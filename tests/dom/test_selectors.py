@@ -1,0 +1,232 @@
+"""CSS3 selector engine coverage."""
+
+import pytest
+
+from repro.dom.selectors import matches, parse_selector, select
+from repro.errors import ParseError
+from repro.html.parser import parse_html
+
+PAGE = """
+<html><body>
+  <div id="main" class="box wide" data-role="content">
+    <p class="intro">first</p>
+    <p>second</p>
+    <p class="intro outro">third</p>
+    <ul>
+      <li>one</li>
+      <li class="sel">two</li>
+      <li>three</li>
+      <li>four</li>
+    </ul>
+    <a href="https://example.com/page">ext</a>
+    <a href="/local" hreflang="en-US">local</a>
+    <a name="anchor">no href</a>
+    <span lang="en">english</span>
+    <span lang="en-GB">british</span>
+  </div>
+  <div class="box empty-div"></div>
+  <form id="f"><input type="text" name="user" />
+    <input type="password" name="pw" /></form>
+</body></html>
+"""
+
+
+@pytest.fixture(scope="module")
+def page():
+    return parse_html(PAGE)
+
+
+def texts(page, selector):
+    return [el.text_content for el in select(page, selector)]
+
+
+def test_type_selector(page):
+    assert len(select(page, "p")) == 3
+
+
+def test_universal_selector(page):
+    assert len(select(page, "*")) == len(page.all_elements())
+
+
+def test_id_selector(page):
+    result = select(page, "#main")
+    assert len(result) == 1
+    assert result[0].tag == "div"
+
+
+def test_class_selector(page):
+    assert texts(page, ".intro") == ["first", "third"]
+
+
+def test_multiple_classes(page):
+    assert texts(page, ".intro.outro") == ["third"]
+
+
+def test_tag_with_class(page):
+    assert texts(page, "p.intro") == ["first", "third"]
+
+
+def test_attribute_presence(page):
+    assert len(select(page, "a[href]")) == 2
+
+
+def test_attribute_equals(page):
+    assert len(select(page, 'input[type="password"]')) == 1
+
+
+def test_attribute_unquoted_value(page):
+    assert len(select(page, "input[type=text]")) == 1
+
+
+def test_attribute_prefix_suffix_substring(page):
+    assert len(select(page, 'a[href^="https"]')) == 1
+    assert len(select(page, 'a[href$="page"]')) == 1
+    assert len(select(page, 'a[href*="example"]')) == 1
+
+
+def test_attribute_word_match(page):
+    assert len(select(page, '[class~="wide"]')) == 1
+
+
+def test_attribute_dash_match(page):
+    assert len(select(page, '[lang|="en"]')) == 2
+    assert len(select(page, '[hreflang|="en"]')) == 1
+
+
+def test_descendant_combinator(page):
+    assert texts(page, "#main li") == ["one", "two", "three", "four"]
+
+
+def test_child_combinator(page):
+    assert texts(page, "#main > p") == ["first", "second", "third"]
+    assert texts(page, "body > p") == []
+
+
+def test_adjacent_sibling(page):
+    assert texts(page, ".sel + li") == ["three"]
+
+
+def test_general_sibling(page):
+    assert texts(page, ".sel ~ li") == ["three", "four"]
+
+
+def test_first_and_last_child(page):
+    assert texts(page, "li:first-child") == ["one"]
+    assert texts(page, "li:last-child") == ["four"]
+
+
+def test_nth_child_index(page):
+    assert texts(page, "li:nth-child(2)") == ["two"]
+
+
+def test_nth_child_odd_even(page):
+    assert texts(page, "li:nth-child(odd)") == ["one", "three"]
+    assert texts(page, "li:nth-child(even)") == ["two", "four"]
+
+
+def test_nth_child_an_plus_b(page):
+    assert texts(page, "li:nth-child(2n+1)") == ["one", "three"]
+    assert texts(page, "li:nth-child(3n)") == ["three"]
+
+
+def test_nth_child_negative_a(page):
+    assert texts(page, "li:nth-child(-n+2)") == ["one", "two"]
+
+
+def test_nth_last_child(page):
+    assert texts(page, "li:nth-last-child(1)") == ["four"]
+    assert texts(page, "li:nth-last-child(odd)") == ["two", "four"]
+
+
+def test_nth_of_type():
+    document = parse_html(
+        "<div><span>s1</span><p>p1</p><span>s2</span><p>p2</p></div>"
+    )
+    assert [el.text_content for el in select(document, "p:nth-of-type(2)")] == [
+        "p2"
+    ]
+    assert [
+        el.text_content for el in select(document, "span:nth-last-of-type(1)")
+    ] == ["s2"]
+
+
+def test_only_child(page):
+    document = parse_html("<div><p>solo</p></div>")
+    assert [el.text_content for el in select(document, "p:only-child")] == [
+        "solo"
+    ]
+
+
+def test_first_of_type(page):
+    assert texts(page, "p:first-of-type") == ["first"]
+    assert texts(page, "p:last-of-type") == ["third"]
+
+
+def test_empty_pseudo(page):
+    result = select(page, "div:empty")
+    assert [el.classes for el in result] == [["box", "empty-div"]]
+
+
+def test_not_pseudo(page):
+    assert texts(page, "p:not(.intro)") == ["second"]
+
+
+def test_contains_pseudo(page):
+    assert texts(page, "li:contains(thre)") == ["three"]
+
+
+def test_link_pseudo(page):
+    assert len(select(page, "a:link")) == 2  # only anchors with href
+
+
+def test_dynamic_pseudos_never_match(page):
+    assert select(page, "a:hover") == []
+    assert select(page, "a:visited") == []
+
+
+def test_comma_groups(page):
+    result = select(page, "p.intro, li.sel")
+    # Document order: both intro paragraphs precede the list item.
+    assert [el.text_content for el in result] == ["first", "third", "two"]
+
+
+def test_results_in_document_order_without_duplicates(page):
+    result = select(page, "p, .intro")
+    assert [el.text_content for el in result] == ["first", "second", "third"]
+
+
+def test_matches_single_element(page):
+    main = page.get_element_by_id("main")
+    assert matches(main, "div.box")
+    assert not matches(main, "span")
+
+
+def test_select_from_element_root(page):
+    main = page.get_element_by_id("main")
+    assert len(select(main, "p")) == 3
+    # Root itself is a candidate.
+    assert select(main, "#main") == [main]
+
+
+def test_complex_chain(page):
+    assert texts(page, "div#main > ul > li:nth-child(2)") == ["two"]
+
+
+def test_parse_errors():
+    for bad in ("", "  ", "p >", "> p", "p:nth-child(x)", "p::", "[=x]"):
+        with pytest.raises(ParseError):
+            selector = parse_selector(bad)
+            # nth errors surface at match time:
+            document = parse_html("<p>x</p>")
+            for el in document.all_elements():
+                selector.matches(el)
+
+
+def test_unsupported_pseudo_raises(page):
+    with pytest.raises(ParseError):
+        select(page, "p:target")
+
+
+def test_not_requires_simple_argument():
+    with pytest.raises(ParseError):
+        parse_selector(":not(a b)")

@@ -1,0 +1,124 @@
+"""XPath subset engine."""
+
+import pytest
+
+from repro.dom.xpath import xpath
+from repro.errors import ParseError
+from repro.html.parser import parse_html
+
+PAGE = """
+<html><body>
+  <div id="one">
+    <p>a</p><p>b</p>
+    <table><tr><td>x</td><td>y</td></tr></table>
+  </div>
+  <div id="two" class="extra">
+    <p>c</p>
+    <a href="/link" rel="nofollow">link</a>
+  </div>
+</body></html>
+"""
+
+
+@pytest.fixture(scope="module")
+def page():
+    return parse_html(PAGE)
+
+
+def test_absolute_path(page):
+    result = xpath(page, "/html/body/div")
+    assert [el.id for el in result] == ["one", "two"]
+
+
+def test_descendant_axis(page):
+    assert len(xpath(page, "//p")) == 3
+
+
+def test_descendant_after_step(page):
+    result = xpath(page, "/html/body//td")
+    assert [el.text_content for el in result] == ["x", "y"]
+
+
+def test_wildcard(page):
+    result = xpath(page, "/html/body/div/*")
+    tags = [el.tag for el in result]
+    assert tags == ["p", "p", "table", "p", "a"]
+
+
+def test_positional_predicate(page):
+    assert xpath(page, "/html/body/div[2]")[0].id == "two"
+    assert xpath(page, "//div/p[1]")[0].text_content == "a"
+
+
+def test_positional_out_of_range(page):
+    assert xpath(page, "/html/body/div[9]") == []
+
+
+def test_attribute_equality_predicate(page):
+    assert xpath(page, '//div[@id="two"]')[0].id == "two"
+    assert xpath(page, "//a[@rel='nofollow']")[0].text_content == "link"
+
+
+def test_attribute_presence_predicate(page):
+    assert len(xpath(page, "//div[@class]")) == 1
+
+
+def test_chained_predicates(page):
+    result = xpath(page, '//div[@id="one"]/p[2]')
+    assert [el.text_content for el in result] == ["b"]
+
+
+def test_relative_from_element(page):
+    div = page.get_element_by_id("one")
+    assert [el.text_content for el in xpath(div, "p")] == ["a", "b"]
+    assert [el.text_content for el in xpath(div, ".//td")] == ["x", "y"]
+
+
+def test_absolute_from_element_goes_to_root(page):
+    div = page.get_element_by_id("one")
+    assert xpath(div, "/html/body/div[2]")[0].id == "two"
+
+
+def test_parent_step(page):
+    paragraph = xpath(page, '//div[@id="one"]/p[1]')[0]
+    assert xpath(paragraph, "..")[0].id == "one"
+
+
+def test_self_step(page):
+    div = page.get_element_by_id("two")
+    assert xpath(div, ".")[0] is div
+
+
+def test_union(page):
+    result = xpath(page, "//td | //a")
+    assert [el.tag for el in result] == ["td", "td", "a"]
+
+
+def test_union_deduplicates(page):
+    result = xpath(page, "//p | //p")
+    assert len(result) == 3
+
+
+def test_results_in_document_order(page):
+    result = xpath(page, "//a | //p")
+    tags = [el.tag for el in result]
+    assert tags == ["p", "p", "p", "a"]
+
+
+def test_no_match_returns_empty(page):
+    assert xpath(page, "//video") == []
+
+
+def test_empty_expression_raises(page):
+    with pytest.raises(ParseError):
+        xpath(page, "")
+
+
+def test_bad_step_raises(page):
+    with pytest.raises(ParseError):
+        xpath(page, "//div[@@bad]")
+
+
+def test_unsupported_predicate_raises(page):
+    with pytest.raises(ParseError):
+        xpath(page, "//div[position()=1]")

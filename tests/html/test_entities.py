@@ -1,0 +1,76 @@
+"""Character-reference decoding and encoding."""
+
+from hypothesis import given, strategies as st
+
+from repro.html.entities import (
+    decode_entities,
+    encode_attribute,
+    encode_named,
+    encode_text,
+)
+
+
+def test_decodes_named_entities():
+    assert decode_entities("Fish &amp; Chips") == "Fish & Chips"
+    assert decode_entities("&lt;b&gt;") == "<b>"
+    assert decode_entities("&copy; 2012") == "© 2012"
+
+
+def test_decodes_decimal_references():
+    assert decode_entities("&#65;&#66;") == "AB"
+
+
+def test_decodes_hex_references():
+    assert decode_entities("&#x41;&#X42;") == "AB"
+
+
+def test_unknown_references_pass_through():
+    assert decode_entities("&bogus;") == "&bogus;"
+
+
+def test_unterminated_reference_passes_through():
+    assert decode_entities("AT&T rocks") == "AT&T rocks"
+
+
+def test_overlong_candidate_is_left_alone():
+    text = "&" + "a" * 40 + ";"
+    assert decode_entities(text) == text
+
+
+def test_out_of_range_codepoint_kept_literal():
+    assert decode_entities("&#1114112;") == "&#1114112;"
+    assert decode_entities("&#0;") == "&#0;"
+
+
+def test_text_without_ampersand_is_fast_path():
+    assert decode_entities("plain text") == "plain text"
+
+
+def test_encode_text_escapes_markup():
+    assert encode_text("a < b & c > d") == "a &lt; b &amp; c &gt; d"
+
+
+def test_encode_attribute_also_escapes_quotes():
+    assert encode_attribute('say "hi" & <go>') == (
+        "say &quot;hi&quot; &amp; &lt;go&gt;"
+    )
+
+
+def test_encode_named_uses_entity_names():
+    assert encode_named("©") == "&copy;"
+    assert "&amp;" in encode_named("&")
+
+
+def test_roundtrip_text_encoding():
+    original = "5 < 6 && \"quoted\" 'single' > 4"
+    assert decode_entities(encode_text(original)) == original
+
+
+@given(st.text())
+def test_encode_decode_roundtrip_property(text):
+    assert decode_entities(encode_text(text)) == text
+
+
+@given(st.text())
+def test_attribute_roundtrip_property(text):
+    assert decode_entities(encode_attribute(text)) == text

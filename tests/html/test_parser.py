@@ -1,0 +1,176 @@
+"""Tree construction, including soup recovery."""
+
+from repro.dom.element import Element
+from repro.dom.node import Comment, Text
+from repro.html.parser import parse_fragment, parse_html
+
+
+def test_builds_scaffold_for_bare_text():
+    document = parse_html("hello")
+    assert document.document_element is not None
+    assert document.head is not None
+    assert document.body is not None
+    assert document.body.text_content == "hello"
+
+
+def test_doctype_recorded():
+    document = parse_html("<!DOCTYPE html><html></html>")
+    assert document.doctype is not None
+    assert document.doctype.name == "html"
+
+
+def test_title_lands_in_head():
+    document = parse_html("<title>My Page</title><p>body</p>")
+    assert document.title == "My Page"
+    assert document.head.find(lambda el: el.tag == "title") is not None
+
+
+def test_head_elements_before_body():
+    document = parse_html(
+        "<meta charset=utf-8><link rel=stylesheet href=a.css><p>x</p>"
+    )
+    head_tags = [el.tag for el in document.head.child_elements()]
+    assert "meta" in head_tags
+    assert "link" in head_tags
+    body_tags = [el.tag for el in document.body.child_elements()]
+    assert body_tags == ["p"]
+
+
+def test_unclosed_paragraphs_imply_close():
+    document = parse_html("<p>one<p>two<p>three")
+    paragraphs = document.get_elements_by_tag("p")
+    assert [p.text_content for p in paragraphs] == ["one", "two", "three"]
+    # They are siblings, not nested.
+    assert all(p.parent is document.body for p in paragraphs)
+
+
+def test_unclosed_list_items():
+    document = parse_html("<ul><li>a<li>b<li>c</ul>")
+    items = document.get_elements_by_tag("li")
+    assert [i.text_content for i in items] == ["a", "b", "c"]
+    assert all(i.parent.tag == "ul" for i in items)
+
+
+def test_table_cell_soup():
+    document = parse_html("<table><tr><td>1<td>2<tr><td>3</table>")
+    rows = document.get_elements_by_tag("tr")
+    assert len(rows) == 2
+    assert [c.text_content for c in rows[0].child_elements()] == ["1", "2"]
+    assert [c.text_content for c in rows[1].child_elements()] == ["3"]
+
+
+def test_nested_tables_not_flattened():
+    document = parse_html(
+        "<table><tr><td><table><tr><td>inner</td></tr></table></td></tr></table>"
+    )
+    tables = document.get_elements_by_tag("table")
+    assert len(tables) == 2
+    inner = tables[1]
+    assert inner.text_content == "inner"
+    assert any(
+        ancestor.tag == "td" for ancestor in inner.ancestors()
+        if isinstance(ancestor, Element)
+    )
+
+
+def test_option_soup():
+    document = parse_html(
+        "<select><option>a<option>b<option selected>c</select>"
+    )
+    options = document.get_elements_by_tag("option")
+    assert [o.text_content for o in options] == ["a", "b", "c"]
+
+
+def test_stray_end_tags_ignored():
+    document = parse_html("<div>x</span></b></div>")
+    assert document.body.text_content == "x"
+
+
+def test_void_elements_take_no_children():
+    document = parse_html("<p>a<br>b<img src=x.png>c</p>")
+    paragraph = document.get_elements_by_tag("p")[0]
+    assert paragraph.text_content == "abc"
+    br = document.get_elements_by_tag("br")[0]
+    assert br.children == []
+
+
+def test_comments_preserved_in_position():
+    document = parse_html("<div><!-- marker --><p>x</p></div>")
+    div = document.get_elements_by_tag("div")[0]
+    assert isinstance(div.children[0], Comment)
+    assert div.children[0].data == " marker "
+
+
+def test_comment_before_html_attaches_to_document():
+    document = parse_html("<!-- header --><html><body></body></html>")
+    assert any(
+        isinstance(child, Comment) for child in document.children
+    )
+
+
+def test_body_attributes_merged():
+    document = parse_html('<body bgcolor="#fff" onload="init()"><p>x</p>')
+    assert document.body.get("bgcolor") == "#fff"
+
+
+def test_html_attributes_merged():
+    document = parse_html('<html lang="en"><body></body></html>')
+    assert document.document_element.get("lang") == "en"
+
+
+def test_text_merging_in_append_text():
+    document = parse_html("<p>a&amp;b</p>")
+    paragraph = document.get_elements_by_tag("p")[0]
+    text_children = [c for c in paragraph.children if isinstance(c, Text)]
+    assert len(text_children) == 1
+    assert text_children[0].data == "a&b"
+
+
+def test_whitespace_before_body_dropped():
+    document = parse_html("  \n  <p>x</p>")
+    assert document.body.text_content == "x"
+
+
+def test_script_in_body_stays_in_body():
+    document = parse_html("<body><div></div><script>x()</script></body>")
+    scripts = document.body.get_elements_by_tag("script")
+    assert len(scripts) == 1
+    assert scripts[0].text_content == "x()"
+
+
+def test_deeply_nested_divs():
+    html = "<div>" * 60 + "deep" + "</div>" * 60
+    document = parse_html(html)
+    assert "deep" in document.body.text_content
+    assert len(document.get_elements_by_tag("div")) == 60
+
+
+# ---------------------------------------------------------------------------
+# fragments
+
+
+def test_fragment_simple():
+    nodes = parse_fragment("<li>a</li><li>b</li>")
+    assert [n.tag for n in nodes] == ["li", "li"]
+    assert all(n.parent is None for n in nodes)
+
+
+def test_fragment_with_text():
+    nodes = parse_fragment("hello <b>world</b>")
+    assert isinstance(nodes[0], Text)
+    assert nodes[1].tag == "b"
+
+
+def test_fragment_nested():
+    nodes = parse_fragment("<div><span>x</span></div>")
+    assert len(nodes) == 1
+    assert nodes[0].child_elements()[0].tag == "span"
+
+
+def test_fragment_drops_doctype():
+    nodes = parse_fragment("<!DOCTYPE html><p>x</p>")
+    assert [n.tag for n in nodes if isinstance(n, Element)] == ["p"]
+
+
+def test_fragment_empty():
+    assert parse_fragment("") == []

@@ -1,0 +1,98 @@
+"""Property-based tests: parse/serialize stability on generated trees."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.dom.element import Element, VOID_ELEMENTS
+from repro.dom.node import Text
+from repro.html.parser import parse_html
+from repro.html.serializer import serialize
+
+# Tags free of implied-close interactions (nesting <p> inside <p>
+# legitimately restructures, so it would break the structure property).
+_TAGS = ["div", "span", "b", "i", "em", "section", "article"]
+_ATTR_NAMES = ["id", "class", "title", "data-x", "href"]
+
+_text = st.text(
+    alphabet=st.characters(
+        whitelist_categories=("Lu", "Ll", "Nd", "Zs"), max_codepoint=0x2FF
+    ),
+    min_size=1,
+    max_size=12,
+)
+
+_attr_value = st.text(
+    alphabet=st.characters(blacklist_characters="\x00", max_codepoint=0x2FF),
+    max_size=10,
+)
+
+
+def _element_strategy(depth: int):
+    attrs = st.dictionaries(
+        st.sampled_from(_ATTR_NAMES), _attr_value, max_size=2
+    )
+    if depth <= 0:
+        children = st.lists(_text.map(Text), max_size=2)
+    else:
+        children = st.lists(
+            st.one_of(
+                _text.map(Text),
+                st.deferred(lambda: _element_strategy(depth - 1)),
+            ),
+            max_size=3,
+        )
+    return st.builds(
+        lambda tag, attributes, kids: Element(tag, attributes, kids),
+        st.sampled_from(_TAGS),
+        attrs,
+        children,
+    )
+
+
+def _page(element: Element) -> str:
+    return (
+        "<!DOCTYPE html><html><head><title>t</title></head><body>"
+        + serialize(element)
+        + "</body></html>"
+    )
+
+
+@settings(max_examples=60, deadline=None)
+@given(_element_strategy(3))
+def test_serialize_parse_fixpoint(element):
+    """serialize(parse(serialize(tree))) == serialize(parse once).
+
+    One parse normalizes whitespace handling; after that the
+    parse/serialize pair must be a fixpoint.
+    """
+    first = serialize(parse_html(_page(element)))
+    second = serialize(parse_html(first))
+    assert first == second
+
+
+@settings(max_examples=60, deadline=None)
+@given(_element_strategy(2))
+def test_parse_preserves_element_structure(element):
+    document = parse_html(_page(element))
+    body = document.body
+    parsed_root = body.child_elements()[0]
+    assert parsed_root.tag == element.tag
+    assert parsed_root.attributes == element.attributes
+    assert len(parsed_root.child_elements()) == len(
+        [c for c in element.children if isinstance(c, Element)]
+    )
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.text(max_size=300))
+def test_parser_never_crashes_on_arbitrary_text(text):
+    document = parse_html(text)
+    assert document.body is not None
+    serialize(document)  # must not crash either
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.text(alphabet="<>&\"'abc =/!-", max_size=120))
+def test_parser_never_crashes_on_markup_shrapnel(text):
+    document = parse_html(text)
+    serialize(document)
+    serialize(document, xhtml=True)

@@ -1,0 +1,87 @@
+"""HTML and XHTML serialization."""
+
+from repro.dom.document import new_document
+from repro.dom.element import Element
+from repro.dom.node import Text
+from repro.html.parser import parse_html
+from repro.html.serializer import inner_html, serialize, serialize_xhtml
+
+
+def test_roundtrip_simple_page():
+    html = '<!DOCTYPE html><html><head><title>T</title></head><body><p id="a">x</p></body></html>'
+    assert serialize(parse_html(html)) == html
+
+
+def test_text_escaped():
+    element = Element("p")
+    element.append(Text("a < b & c"))
+    assert serialize(element) == "<p>a &lt; b &amp; c</p>"
+
+
+def test_attribute_escaped():
+    element = Element("a", {"title": 'say "hi" & bye'})
+    assert 'title="say &quot;hi&quot; &amp; bye"' in serialize(element)
+
+
+def test_script_content_not_escaped_in_html():
+    document = parse_html("<script>if(a<b){}</script>")
+    assert "if(a<b){}" in serialize(document)
+
+
+def test_script_content_escaped_in_xhtml():
+    document = parse_html("<script>if(a<b){}</script>")
+    assert "if(a&lt;b){}" in serialize_xhtml(document)
+
+
+def test_void_elements_html():
+    document = parse_html("<p><br><img src=x.png></p>")
+    out = serialize(document)
+    assert "<br>" in out
+    assert '<img src="x.png">' in out
+    assert "</br>" not in out
+    assert "</img>" not in out
+
+
+def test_void_elements_xhtml_self_close():
+    document = parse_html("<p><br><img src=x.png></p>")
+    out = serialize_xhtml(document)
+    assert "<br />" in out
+    assert '<img src="x.png" />' in out
+
+
+def test_boolean_attributes_html():
+    document = parse_html("<input type=checkbox checked>")
+    assert "checked" in serialize(document)
+    # XHTML expands booleans.
+    assert 'checked="checked"' in serialize_xhtml(document)
+
+
+def test_empty_element_self_closes_in_xhtml():
+    element = Element("div")
+    assert serialize_xhtml(element) == "<div />"
+    assert serialize(element) == "<div></div>"
+
+
+def test_inner_html_excludes_self():
+    document = parse_html("<div><p>a</p><p>b</p></div>")
+    div = document.get_elements_by_tag("div")[0]
+    assert inner_html(div) == "<p>a</p><p>b</p>"
+
+
+def test_xhtml_output_is_wellformed_xml():
+    import xml.dom.minidom
+
+    soup = (
+        "<html><body><p>one<p>two<ul><li>a<li>b</ul>"
+        "<table><tr><td>1<td>2</table><br><img src=i.gif>"
+        "<script>a<b&&c>d</script></body></html>"
+    )
+    out = serialize_xhtml(parse_html(soup))
+    xml.dom.minidom.parseString(out)  # raises on malformed output
+
+
+def test_new_document_roundtrip():
+    document = new_document("Hello")
+    out = serialize(document)
+    assert "<!DOCTYPE html>" in out
+    assert "<title>Hello</title>" in out

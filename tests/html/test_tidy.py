@@ -1,0 +1,51 @@
+"""The HTML Tidy analog: soup in, strict XHTML out."""
+
+import xml.dom.minidom
+
+from repro.html.tidy import tidy_document, tidy_to_xhtml
+
+
+def test_output_parses_as_strict_xml():
+    soup = "<p>one<p>two<table><tr><td>x<td>y</table><img src=a.gif>"
+    xhtml, __ = tidy_to_xhtml(soup)
+    xml.dom.minidom.parseString(xhtml)
+
+
+def test_missing_doctype_reported_and_added():
+    xhtml, report = tidy_to_xhtml("<p>x</p>")
+    assert report.added_doctype
+    assert xhtml.startswith("<!DOCTYPE")
+
+
+def test_existing_doctype_kept():
+    xhtml, report = tidy_to_xhtml("<!DOCTYPE html><html><body></body></html>")
+    assert not report.added_doctype
+
+
+def test_scaffold_report():
+    __, report = tidy_to_xhtml("just text")
+    assert report.added_html_scaffold
+    assert any("scaffold" in note for note in report.notes)
+
+
+def test_counts_unclosed_elements():
+    __, report = tidy_to_xhtml("<div><p>a<p>b<p>c</div>")
+    assert report.repaired_elements >= 3  # three unclosed <p>
+
+
+def test_wellformed_input_needs_no_repairs():
+    html = "<!DOCTYPE html><html><head><title>t</title></head><body><p>x</p></body></html>"
+    __, report = tidy_to_xhtml(html)
+    assert report.repaired_elements == 0
+
+
+def test_tidy_document_returns_tree_with_doctype():
+    document = tidy_document("<p>x</p>")
+    assert document.doctype is not None
+    assert document.body.text_content == "x"
+
+
+def test_attribute_quoting_normalized():
+    xhtml, __ = tidy_to_xhtml("<a href=/page title=plain>x</a>")
+    assert 'href="/page"' in xhtml
+    assert 'title="plain"' in xhtml

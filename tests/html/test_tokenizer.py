@@ -1,0 +1,144 @@
+"""Tokenizer behaviour on well-formed and soup inputs."""
+
+from repro.html.tokenizer import (
+    CommentToken,
+    DoctypeToken,
+    EndTagToken,
+    StartTagToken,
+    TextToken,
+    tokenize,
+)
+
+
+def toks(html):
+    return list(tokenize(html))
+
+
+def test_simple_element():
+    tokens = toks("<p>hello</p>")
+    assert isinstance(tokens[0], StartTagToken)
+    assert tokens[0].name == "p"
+    assert isinstance(tokens[1], TextToken)
+    assert tokens[1].data == "hello"
+    assert isinstance(tokens[2], EndTagToken)
+
+
+def test_tag_names_lowercased():
+    tokens = toks("<DIV CLASS=x></DIV>")
+    assert tokens[0].name == "div"
+    assert tokens[0].attributes == {"class": "x"}
+    assert tokens[1].name == "div"
+
+
+def test_doctype():
+    tokens = toks("<!DOCTYPE html><p>x</p>")
+    assert isinstance(tokens[0], DoctypeToken)
+    assert tokens[0].name == "html"
+
+
+def test_comment():
+    tokens = toks("<!-- hidden marker -->")
+    assert tokens == [CommentToken(" hidden marker ")]
+
+
+def test_unterminated_comment_consumes_rest():
+    tokens = toks("<!-- oops <p>x</p>")
+    assert isinstance(tokens[0], CommentToken)
+    assert len(tokens) == 1
+
+
+def test_attribute_quoting_variants():
+    tokens = toks("""<a href="double" title='single' data-x=bare checked>""")
+    attrs = tokens[0].attributes
+    assert attrs["href"] == "double"
+    assert attrs["title"] == "single"
+    assert attrs["data-x"] == "bare"
+    assert attrs["checked"] == ""
+
+
+def test_first_attribute_wins_on_duplicates():
+    tokens = toks('<a id="one" id="two">')
+    assert tokens[0].attributes["id"] == "one"
+
+
+def test_entities_decoded_in_attributes():
+    tokens = toks('<a href="/x?a=1&amp;b=2">')
+    assert tokens[0].attributes["href"] == "/x?a=1&b=2"
+
+
+def test_entities_decoded_in_text():
+    tokens = toks("<p>a &amp; b</p>")
+    assert tokens[1].data == "a & b"
+
+
+def test_self_closing_tag():
+    tokens = toks("<br/><img src=x.png />")
+    assert tokens[0].self_closing
+    assert tokens[1].self_closing
+    assert tokens[1].attributes["src"] == "x.png"
+
+
+def test_script_content_is_raw():
+    tokens = toks("<script>if (a<b && c>d) {}</script>")
+    assert tokens[1].data == "if (a<b && c>d) {}"
+    assert isinstance(tokens[2], EndTagToken)
+
+
+def test_script_close_requires_real_terminator():
+    # "</scripting" inside must not end the element.
+    tokens = toks("<script>var s='</scriptish>';</script>")
+    assert "</scriptish>" in tokens[1].data
+
+
+def test_title_is_rcdata_with_entities():
+    tokens = toks("<title>Fish &amp; Chips</title>")
+    assert tokens[1].data == "Fish & Chips"
+
+
+def test_style_is_raw():
+    tokens = toks("<style>a > b { color: red }</style>")
+    assert tokens[1].data == "a > b { color: red }"
+
+
+def test_unterminated_script_consumes_rest():
+    tokens = toks("<script>alert(1)")
+    assert tokens[-1].data == "alert(1)"
+
+
+def test_stray_lt_becomes_text():
+    tokens = toks("a < b")
+    joined = "".join(t.data for t in tokens if isinstance(t, TextToken))
+    assert joined == "a < b"
+
+
+def test_trailing_lone_lt():
+    tokens = toks("abc<")
+    assert tokens[-1].data == "<"
+
+
+def test_end_tag_with_spaces():
+    tokens = toks("<div>x</div  >")
+    assert isinstance(tokens[-1], EndTagToken)
+    assert tokens[-1].name == "div"
+
+
+def test_processing_instruction_skipped():
+    tokens = toks("<?xml version='1.0'?><p>x</p>")
+    assert isinstance(tokens[0], StartTagToken)
+    assert tokens[0].name == "p"
+
+
+def test_bogus_markup_declaration_dropped():
+    tokens = toks("<![CDATA[stuff]]><p>x</p>")
+    names = [t.name for t in tokens if isinstance(t, StartTagToken)]
+    assert "p" in names
+
+
+def test_unclosed_attribute_quote_consumes_to_end():
+    tokens = toks('<a href="unterminated>text')
+    # Tolerant: one start tag, nothing crashes.
+    assert isinstance(tokens[0], StartTagToken)
+
+
+def test_empty_input():
+    assert toks("") == []

@@ -1,0 +1,145 @@
+"""Failure injection: the proxy must degrade cleanly, never crash.
+
+§3.2: the generated shell handles "any error handling should the page be
+unavailable."
+"""
+
+import pytest
+
+from repro.core.pipeline import ProxyServices
+from repro.core.proxy import MSiteProxy
+from repro.core.spec import AdaptationSpec, ObjectSelector
+from repro.net.client import HttpClient
+from repro.net.cookies import CookieJar
+from repro.net.messages import Request, Response
+from repro.net.server import Application
+from tests.conftest import PROXY_HOST
+
+
+class FlakyOrigin(Application):
+    """An origin that can be told to fail in various ways."""
+
+    def __init__(self) -> None:
+        self.mode = "ok"
+        self.hits = 0
+
+    def handle(self, request: Request) -> Response:
+        self.hits += 1
+        if self.mode == "down":
+            return Response.text("boom", status=500)
+        if self.mode == "missing":
+            return Response.not_found()
+        if self.mode == "garbage":
+            return Response.html("<<<<]]]>> not even close <p>to html")
+        if self.mode == "redirect-loop":
+            return Response.redirect(request.url.request_target)
+        if self.mode == "empty":
+            return Response.html("")
+        if request.url.path.startswith("/asset"):
+            return Response.binary(b"x" * 100, "image/gif")
+        return Response.html(
+            '<html><head><title>Flaky</title></head><body>'
+            '<div id="target"><p>content</p></div>'
+            '<img src="/asset/a.gif"></body></html>'
+        )
+
+
+@pytest.fixture()
+def setup(clock):
+    origin = FlakyOrigin()
+    spec = AdaptationSpec(site="F", origin_host="flaky.example",
+                          page_path="/")
+    spec.add("prerender")
+    spec.add(
+        "subpage", ObjectSelector.css("#target"), subpage_id="target"
+    )
+    services = ProxyServices(
+        origins={"flaky.example": origin}, clock=clock
+    )
+    proxy = MSiteProxy(spec, services)
+    client = HttpClient({PROXY_HOST: proxy}, jar=CookieJar(), clock=clock)
+    return origin, proxy, client
+
+
+def url(params=""):
+    return f"http://{PROXY_HOST}/proxy.php{params}"
+
+
+def test_origin_500_becomes_502(setup):
+    origin, proxy, client = setup
+    origin.mode = "down"
+    response = client.get(url())
+    assert response.status == 502
+    assert "unavailable" in response.text_body
+    assert proxy.counters.errors == 1
+
+
+def test_origin_404_becomes_502(setup):
+    origin, proxy, client = setup
+    origin.mode = "missing"
+    assert client.get(url()).status == 502
+
+
+def test_recovery_after_origin_returns(setup):
+    origin, proxy, client = setup
+    origin.mode = "down"
+    assert client.get(url()).status == 502
+    origin.mode = "ok"
+    assert client.get(url()).ok
+
+
+def test_garbage_html_still_adapts(setup):
+    origin, proxy, client = setup
+    origin.mode = "garbage"
+    # The subpage selector matches nothing → adaptation error surfaces
+    # as a proxy-level failure, not a crash.
+    response = client.send(Request.get(url()))
+    assert response.status in (200, 502)
+
+
+def test_empty_page_tolerated(clock):
+    origin = FlakyOrigin()
+    origin.mode = "empty"
+    spec = AdaptationSpec(site="F", origin_host="flaky.example",
+                          page_path="/")
+    proxy = MSiteProxy(
+        spec, ProxyServices(origins={"flaky.example": origin}, clock=clock)
+    )
+    client = HttpClient({PROXY_HOST: proxy}, jar=CookieJar(), clock=clock)
+    response = client.get(url())
+    assert response.ok
+
+
+def test_redirect_loop_at_origin_contained(setup):
+    origin, proxy, client = setup
+    origin.mode = "redirect-loop"
+    response = client.get(url())
+    assert response.status == 502
+
+
+def test_session_survives_origin_outage(setup):
+    origin, proxy, client = setup
+    client.get(url())
+    session_count = len(proxy.sessions)
+    origin.mode = "down"
+    client.get(url("?refresh=1"))
+    origin.mode = "ok"
+    assert client.get(url()).ok
+    assert len(proxy.sessions) == session_count
+
+
+def test_cache_not_poisoned_by_failures(clock):
+    origin = FlakyOrigin()
+    spec = AdaptationSpec(site="F", origin_host="flaky.example",
+                          page_path="/")
+    spec.add("prerender")
+    spec.add("cacheable", ttl_s=3600)
+    services = ProxyServices(origins={"flaky.example": origin}, clock=clock)
+    proxy = MSiteProxy(spec, services)
+    client = HttpClient({PROXY_HOST: proxy}, jar=CookieJar(), clock=clock)
+    origin.mode = "down"
+    assert client.get(url()).status == 502
+    assert len(services.cache) == 0  # nothing cached from the failure
+    origin.mode = "ok"
+    assert client.get(url()).ok
+    assert len(services.cache) > 0

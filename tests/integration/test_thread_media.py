@@ -1,0 +1,49 @@
+"""Rich-media thumbnails on real thread pages (embedded Flash in posts)."""
+
+import pytest
+
+from repro.core.pipeline import ProxyServices
+from repro.core.proxy import MSiteProxy
+from repro.core.spec import AdaptationSpec
+from repro.net.client import HttpClient
+from repro.net.cookies import CookieJar
+from tests.conftest import FORUM_HOST, PROXY_HOST
+
+
+def find_media_thread(forum_app):
+    """A thread whose first page contains an embedded Flash movie."""
+    for thread in forum_app.community.threads_by_id.values():
+        posts = forum_app.community.thread_posts(thread)
+        if any(post.post_id % 5 == 0 for post in posts):
+            return thread
+    pytest.fail("no thread with embedded media in the fixture community")
+
+
+def test_thread_pages_carry_flash(forum_app, client):
+    thread = find_media_thread(forum_app)
+    body = client.get(
+        f"http://{FORUM_HOST}{thread.path}"
+    ).text_body
+    assert "<embed" in body
+    assert ".swf" in body
+
+
+def test_media_thumbnail_attribute_on_thread(origins, clock, forum_app):
+    thread = find_media_thread(forum_app)
+    spec = AdaptationSpec(
+        site="S", origin_host=FORUM_HOST,
+        page_path=f"/showthread.php?t={thread.thread_id}",
+    )
+    spec.add("media_thumbnail", max_width=160)
+    proxy = MSiteProxy(spec, ProxyServices(origins=origins, clock=clock))
+    mobile = HttpClient({PROXY_HOST: proxy}, jar=CookieJar(), clock=clock)
+    body = mobile.get(f"http://{PROXY_HOST}/proxy.php").text_body
+    # Flash is gone; thumbnails link to the movies.
+    assert "<embed" not in body
+    assert "msite-media-thumb" in body
+    assert ".swf" in body  # preserved as the link target
+    # The thumbnail image itself is served by the proxy.
+    thumb = mobile.get(f"http://{PROXY_HOST}/proxy.php?file=media0.jpg")
+    assert thumb.ok
+    assert thumb.content_type == "image/jpeg"
+    assert 500 < len(thumb.body) < 30_000

@@ -1,0 +1,112 @@
+"""Cookies and jars: parsing, scoping, expiry."""
+
+from repro.net.cookies import Cookie, CookieJar, parse_set_cookie
+from repro.net.headers import Headers
+from repro.net.url import URL
+
+
+def test_parse_basic_set_cookie():
+    cookie = parse_set_cookie("sid=abc123", "example.com", now=0.0)
+    assert cookie.name == "sid"
+    assert cookie.value == "abc123"
+    assert cookie.domain == "example.com"
+    assert cookie.path == "/"
+
+
+def test_parse_attributes():
+    cookie = parse_set_cookie(
+        "sid=x; Path=/forum; Max-Age=60; Secure; HttpOnly; Domain=.example.com",
+        "www.example.com",
+        now=100.0,
+    )
+    assert cookie.path == "/forum"
+    assert cookie.expires_at == 160.0
+    assert cookie.secure
+    assert cookie.http_only
+    assert cookie.domain == "example.com"
+
+
+def test_bad_max_age_ignored():
+    cookie = parse_set_cookie("a=1; Max-Age=soon", "h", now=0.0)
+    assert cookie.expires_at is None
+
+
+def test_domain_matching():
+    cookie = Cookie("a", "1", domain="example.com")
+    assert cookie.matches(URL.parse("http://example.com/"), 0.0)
+    assert cookie.matches(URL.parse("http://www.example.com/"), 0.0)
+    assert not cookie.matches(URL.parse("http://notexample.com/"), 0.0)
+
+
+def test_path_matching():
+    cookie = Cookie("a", "1", domain="h", path="/forum")
+    assert cookie.matches(URL.parse("http://h/forum/thread"), 0.0)
+    assert not cookie.matches(URL.parse("http://h/other"), 0.0)
+
+
+def test_expiry():
+    cookie = Cookie("a", "1", domain="h", expires_at=50.0)
+    assert cookie.matches(URL.parse("http://h/"), 49.9)
+    assert not cookie.matches(URL.parse("http://h/"), 50.0)
+
+
+def test_secure_requires_https():
+    cookie = Cookie("a", "1", domain="h", secure=True)
+    assert not cookie.matches(URL.parse("http://h/"), 0.0)
+    assert cookie.matches(URL.parse("https://h/"), 0.0)
+
+
+def test_jar_stores_response_cookies():
+    jar = CookieJar()
+    headers = Headers()
+    headers.add("Set-Cookie", "a=1")
+    headers.add("Set-Cookie", "b=2; Path=/x")
+    stored = jar.store_response_cookies(headers, URL.parse("http://h/"), 0.0)
+    assert len(stored) == 2
+    assert len(jar) == 2
+
+
+def test_jar_cookie_header():
+    jar = CookieJar()
+    jar.set(Cookie("a", "1", domain="h"))
+    jar.set(Cookie("b", "2", domain="h", path="/deep/path"))
+    header = jar.cookie_header(URL.parse("http://h/deep/path/x"), 0.0)
+    # Longest path first.
+    assert header == "b=2; a=1"
+
+
+def test_jar_header_none_when_empty():
+    assert CookieJar().cookie_header(URL.parse("http://h/"), 0.0) is None
+
+
+def test_jar_same_key_overwrites():
+    jar = CookieJar()
+    jar.set(Cookie("a", "1", domain="h"))
+    jar.set(Cookie("a", "2", domain="h"))
+    assert len(jar) == 1
+    assert jar.get("a").value == "2"
+
+
+def test_jar_delete_by_name():
+    jar = CookieJar()
+    jar.set(Cookie("a", "1", domain="h"))
+    jar.set(Cookie("a", "1", domain="other"))
+    jar.set(Cookie("b", "2", domain="h"))
+    assert jar.delete("a") == 2
+    assert len(jar) == 1
+
+
+def test_jar_clear():
+    jar = CookieJar()
+    jar.set(Cookie("a", "1", domain="h"))
+    jar.clear()
+    assert len(jar) == 0
+
+
+def test_expire_stale():
+    jar = CookieJar()
+    jar.set(Cookie("old", "1", domain="h", expires_at=10.0))
+    jar.set(Cookie("new", "2", domain="h"))
+    assert jar.expire_stale(now=20.0) == 1
+    assert jar.get("old") is None
+    assert jar.get("new") is not None

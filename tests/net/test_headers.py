@@ -1,0 +1,63 @@
+"""Header multimap semantics."""
+
+from repro.net.headers import Headers
+
+
+def test_get_is_case_insensitive():
+    headers = Headers()
+    headers.add("Content-Type", "text/html")
+    assert headers.get("content-type") == "text/html"
+    assert "CONTENT-TYPE" in headers
+
+
+def test_add_allows_repeats():
+    headers = Headers()
+    headers.add("Set-Cookie", "a=1")
+    headers.add("Set-Cookie", "b=2")
+    assert headers.get_all("set-cookie") == ["a=1", "b=2"]
+    assert headers.get("Set-Cookie") == "a=1"  # first value
+
+
+def test_set_replaces_all():
+    headers = Headers()
+    headers.add("X", "1")
+    headers.add("X", "2")
+    headers.set("x", "3")
+    assert headers.get_all("X") == ["3"]
+
+
+def test_remove():
+    headers = Headers([("A", "1"), ("B", "2"), ("a", "3")])
+    headers.remove("A")
+    assert "A" not in headers
+    assert headers.get("B") == "2"
+
+
+def test_get_default():
+    assert Headers().get("Missing", "fallback") == "fallback"
+    assert Headers().get("Missing") is None
+
+
+def test_iteration_preserves_order():
+    headers = Headers([("A", "1"), ("B", "2")])
+    assert list(headers) == [("A", "1"), ("B", "2")]
+    assert len(headers) == 2
+
+
+def test_copy_is_independent():
+    headers = Headers([("A", "1")])
+    copy = headers.copy()
+    copy.set("A", "2")
+    assert headers.get("A") == "1"
+
+
+def test_values_stripped():
+    headers = Headers()
+    headers.add("  X  ", "  padded  ")
+    assert headers.get("X") == "padded"
+
+
+def test_wire_size_counts_everything():
+    headers = Headers([("AB", "cd")])
+    # "AB: cd\r\n" = 2 + 2 + 4
+    assert headers.wire_size() == 8

@@ -1,0 +1,102 @@
+"""Request/Response message helpers."""
+
+from repro.net.messages import Request, Response
+
+
+def test_request_get_constructor():
+    request = Request.get("http://h/p?a=1", user_agent="test")
+    assert request.method == "GET"
+    assert request.url.host == "h"
+    assert request.headers.get("user-agent") == "test"
+    assert request.params == {"a": "1"}
+
+
+def test_request_post_form():
+    request = Request.post("http://h/login", {"user": "a b", "pw": "x"})
+    assert request.method == "POST"
+    assert request.form == {"user": "a b", "pw": "x"}
+    assert "urlencoded" in request.headers.get("Content-Type")
+
+
+def test_form_empty_without_content_type():
+    request = Request(method="POST", body=b"a=1")
+    assert request.form == {}
+
+
+def test_request_cookies():
+    request = Request.get("http://h/")
+    request.headers.set("Cookie", "a=1; b=2")
+    assert request.cookies == {"a": "1", "b": "2"}
+
+
+def test_basic_auth_roundtrip():
+    request = Request.get("http://h/").with_basic_auth("user", "pa:ss")
+    assert request.basic_auth() == ("user", "pa:ss")
+
+
+def test_basic_auth_absent():
+    assert Request.get("http://h/").basic_auth() is None
+
+
+def test_basic_auth_malformed():
+    request = Request.get("http://h/")
+    request.headers.set("Authorization", "Basic !!!notb64!!!")
+    assert request.basic_auth() is None
+
+
+def test_wire_size_positive_and_monotonic():
+    small = Request.get("http://h/")
+    large = Request.post("http://h/", {"data": "x" * 500})
+    assert small.wire_size() > 0
+    assert large.wire_size() > small.wire_size() + 400
+
+
+def test_response_html():
+    response = Response.html("<p>x</p>")
+    assert response.ok
+    assert response.content_type == "text/html"
+    assert response.text_body == "<p>x</p>"
+
+
+def test_response_json():
+    response = Response.json({"a": 1})
+    assert response.content_type == "application/json"
+    assert b'"a": 1' in response.body
+
+
+def test_response_redirect():
+    response = Response.redirect("/next")
+    assert response.is_redirect
+    assert response.headers.get("Location") == "/next"
+    assert not response.ok
+
+
+def test_response_not_found():
+    response = Response.not_found()
+    assert response.status == 404
+    assert response.reason == "Not Found"
+
+
+def test_response_unauthorized_sets_challenge():
+    response = Response.unauthorized("realm1")
+    assert response.status == 401
+    assert 'realm="realm1"' in response.headers.get("WWW-Authenticate")
+
+
+def test_set_cookie_header():
+    response = Response.html("x")
+    response.set_cookie("sid", "abc", max_age=60, http_only=True)
+    header = response.headers.get("Set-Cookie")
+    assert "sid=abc" in header
+    assert "Max-Age=60" in header
+    assert "HttpOnly" in header
+
+
+def test_binary_response():
+    response = Response.binary(b"\x89PNG", "image/png")
+    assert response.content_type == "image/png"
+    assert response.body.startswith(b"\x89PNG")
+
+
+def test_unknown_status_reason():
+    assert Response(status=599).reason == "Unknown"

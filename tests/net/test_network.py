@@ -1,0 +1,70 @@
+"""Network link timing model."""
+
+import pytest
+
+from repro.net.network import (
+    LINK_3G,
+    LINK_HSPA,
+    LINK_LAN,
+    LINK_PROFILES,
+    LINK_WIFI,
+    NetworkLink,
+)
+
+
+def test_transfer_time_components():
+    link = NetworkLink("t", bandwidth_bytes_per_s=1000, rtt_s=0.1,
+                       concurrent_connections=2)
+    # 4 requests => 2 RTT batches; 500 bytes => 0.5 s.
+    assert link.transfer_time(500, requests=4) == pytest.approx(0.7)
+
+
+def test_single_request_single_rtt():
+    link = NetworkLink("t", bandwidth_bytes_per_s=1000, rtt_s=0.2)
+    assert link.transfer_time(0, requests=1) == pytest.approx(0.2)
+
+
+def test_zero_requests_clamped_to_one():
+    link = NetworkLink("t", bandwidth_bytes_per_s=1000, rtt_s=0.2)
+    assert link.transfer_time(100, requests=0) == pytest.approx(0.3)
+
+
+def test_page_load_adds_wakeup():
+    link = NetworkLink("t", 1000, 0.1, wakeup_s=1.5)
+    assert link.page_load_time(0, 1) == pytest.approx(1.6)
+
+
+def test_negative_bytes_rejected():
+    with pytest.raises(ValueError):
+        LINK_WIFI.transfer_time(-1)
+
+
+def test_invalid_link_parameters():
+    with pytest.raises(ValueError):
+        NetworkLink("x", 0, 0.1)
+    with pytest.raises(ValueError):
+        NetworkLink("x", 10, -0.1)
+    with pytest.raises(ValueError):
+        NetworkLink("x", 10, 0.1, concurrent_connections=0)
+
+
+def test_profile_ordering():
+    """Faster links move the same payload in less time."""
+    payload = (224_477, 25)
+    times = [
+        LINK_3G.page_load_time(*payload),
+        LINK_HSPA.page_load_time(*payload),
+        LINK_WIFI.page_load_time(*payload),
+        LINK_LAN.page_load_time(*payload),
+    ]
+    assert times == sorted(times, reverse=True)
+
+
+def test_profiles_registry():
+    assert set(LINK_PROFILES) == {"3g", "hspa", "wifi", "lan"}
+    assert LINK_PROFILES["3g"] is LINK_3G
+
+
+def test_3g_dominated_by_latency_for_small_payloads():
+    small = LINK_3G.page_load_time(2_000, 1)
+    assert small > 1.5  # radio wakeup dominates

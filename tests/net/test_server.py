@@ -1,0 +1,79 @@
+"""Router dispatch."""
+
+from repro.net.messages import Request, Response
+from repro.net.server import Router, collect_routes, route
+
+
+def make_request(path, method="GET"):
+    return Request(method=method, url=Request.get(f"http://h{path}").url)
+
+
+def test_route_decorator_dispatch():
+    router = Router()
+
+    @router.route("/hello")
+    def hello(request):
+        return Response.text("hi")
+
+    assert router.handle(make_request("/hello")).text_body == "hi"
+
+
+def test_path_parameters():
+    router = Router()
+
+    @router.route("/thread/<thread_id>")
+    def show(request, thread_id):
+        return Response.text(f"thread {thread_id}")
+
+    assert router.handle(make_request("/thread/42")).text_body == "thread 42"
+
+
+def test_parameter_does_not_cross_slash():
+    router = Router()
+
+    @router.route("/a/<x>")
+    def handler(request, x):
+        return Response.text(x)
+
+    assert router.handle(make_request("/a/b/c")).status == 404
+
+
+def test_method_filter():
+    router = Router()
+
+    @router.route("/only-post", methods=("POST",))
+    def handler(request):
+        return Response.text("ok")
+
+    assert router.handle(make_request("/only-post")).status == 404
+    assert router.handle(make_request("/only-post", "POST")).ok
+
+
+def test_not_found_default():
+    router = Router()
+    response = router.handle(make_request("/nowhere"))
+    assert response.status == 404
+    assert "/nowhere" in response.text_body
+
+
+def test_first_matching_route_wins():
+    router = Router()
+    router.add_route("/x", lambda request: Response.text("first"))
+    router.add_route("/x", lambda request: Response.text("second"))
+    assert router.handle(make_request("/x")).text_body == "first"
+
+
+def test_collect_routes_from_instance():
+    class Site:
+        @route("/a")
+        def a(self, request):
+            return Response.text("A")
+
+        @route("/b/<name>")
+        def b(self, request, name):
+            return Response.text(f"B {name}")
+
+    router = Router()
+    collect_routes(Site(), router)
+    assert router.handle(make_request("/a")).text_body == "A"
+    assert router.handle(make_request("/b/z")).text_body == "B z"

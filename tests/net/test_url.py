@@ -1,0 +1,144 @@
+"""URL parsing, joining, and query handling."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.net.url import URL, encode_query, parse_query, quote, unquote
+
+
+def test_parse_full_url():
+    url = URL.parse("http://www.example.com:8080/path/page?a=1&b=2#frag")
+    assert url.scheme == "http"
+    assert url.host == "www.example.com"
+    assert url.port == 8080
+    assert url.path == "/path/page"
+    assert url.query == "a=1&b=2"
+    assert url.fragment == "frag"
+
+
+def test_parse_defaults():
+    url = URL.parse("http://host")
+    assert url.path == "/"
+    assert url.port is None
+    assert url.query == ""
+
+
+def test_host_lowercased():
+    assert URL.parse("http://WWW.Example.COM/").host == "www.example.com"
+
+
+def test_userinfo_stripped():
+    assert URL.parse("http://user:pw@host/x").host == "host"
+
+
+def test_bad_port_raises():
+    with pytest.raises(Exception):
+        URL.parse("http://host:notaport/")
+
+
+def test_params():
+    url = URL.parse("http://h/p?do=showpic&id=12")
+    assert url.params == {"do": "showpic", "id": "12"}
+
+
+def test_duplicate_params_last_wins():
+    assert parse_query("a=1&a=2") == {"a": "2"}
+
+
+def test_params_decoding():
+    assert parse_query("q=a%20b+c&empty=") == {"q": "a b c", "empty": ""}
+
+
+def test_origin_and_request_target():
+    url = URL.parse("http://h:99/p/q?x=1")
+    assert url.origin == "http://h:99"
+    assert url.request_target == "/p/q?x=1"
+
+
+def test_with_params_merges():
+    url = URL.parse("http://h/p?a=1")
+    updated = url.with_params(b="2", a="9")
+    assert updated.params == {"a": "9", "b": "2"}
+    assert url.params == {"a": "1"}  # original unchanged (frozen)
+
+
+def test_str_roundtrip():
+    text = "http://h:81/a/b?x=1&y=2#z"
+    assert str(URL.parse(text)) == text
+
+
+def test_join_absolute_reference():
+    base = URL.parse("http://h/a/b")
+    assert str(base.join("http://other/x")) == "http://other/x"
+
+
+def test_join_absolute_path():
+    base = URL.parse("http://h/a/b?q=1")
+    joined = base.join("/c/d")
+    assert joined.host == "h"
+    assert joined.path == "/c/d"
+    assert joined.query == ""
+
+
+def test_join_relative_path():
+    base = URL.parse("http://h/a/b/page.html")
+    assert base.join("other.html").path == "/a/b/other.html"
+
+
+def test_join_dotdot():
+    base = URL.parse("http://h/a/b/c")
+    assert base.join("../x").path == "/a/x"
+    assert base.join("./y").path == "/a/b/y"
+
+
+def test_join_query_only():
+    base = URL.parse("http://h/a?old=1")
+    assert base.join("?new=2").query == "new=2"
+    assert base.join("?new=2").path == "/a"
+
+
+def test_join_scheme_relative_keeps_scheme():
+    base = URL.parse("https://h/a")
+    assert base.join("//cdn.example.com/lib.js").scheme == "https"
+
+
+def test_quote_unquote_roundtrip():
+    original = "a b/c?d=e&f#g%h"
+    assert unquote(quote(original, safe="")) == original
+
+
+def test_quote_preserves_safe():
+    assert quote("/a/b", safe="/") == "/a/b"
+
+
+def test_unquote_plus_as_space():
+    assert unquote("a+b") == "a b"
+
+
+def test_unquote_bad_percent_passthrough():
+    assert unquote("100%") == "100%"
+    assert unquote("%zz") == "%zz"
+
+
+def test_encode_query():
+    assert encode_query({"a": "1", "b": "x y"}) == "a=1&b=x%20y"
+
+
+@given(
+    st.dictionaries(
+        st.text(
+            alphabet=st.characters(min_codepoint=33, max_codepoint=126),
+            min_size=1,
+            max_size=8,
+        ).filter(lambda s: "=" not in s and "&" not in s),
+        st.text(max_size=12),
+        max_size=5,
+    )
+)
+def test_query_roundtrip_property(params):
+    assert parse_query(encode_query(params)) == params
+
+
+@given(st.text(max_size=60))
+def test_quote_unquote_property(text):
+    assert unquote(quote(text, safe="")) == text

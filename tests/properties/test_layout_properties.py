@@ -1,0 +1,113 @@
+"""Property-based layout invariants on generated pages."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.html.parser import parse_html
+from repro.render.layout import LayoutEngine
+
+_WORDS = ["alpha", "beta", "gamma", "delta", "epsilon", "longwordhere"]
+
+
+@st.composite
+def small_page(draw):
+    """Random nesting of divs, paragraphs, tables, images, and text."""
+    pieces = []
+    for __ in range(draw(st.integers(1, 6))):
+        kind = draw(st.sampled_from(["p", "div", "table", "img", "ul"]))
+        text = " ".join(
+            draw(st.lists(st.sampled_from(_WORDS), min_size=1, max_size=12))
+        )
+        if kind == "p":
+            pieces.append(f"<p>{text}</p>")
+        elif kind == "div":
+            inner = draw(st.sampled_from(["<b>x</b>", "<p>y</p>", text]))
+            style = draw(
+                st.sampled_from(
+                    ["", ' style="padding: 10px"', ' style="margin: 6px"',
+                     ' style="width: 50%"']
+                )
+            )
+            pieces.append(f"<div{style}>{inner}</div>")
+        elif kind == "table":
+            cells = draw(st.integers(1, 4))
+            row = "".join(f"<td>{text[:12]}</td>" for __ in range(cells))
+            pieces.append(f"<table><tr>{row}</tr><tr>{row}</tr></table>")
+        elif kind == "img":
+            width = draw(st.integers(5, 200))
+            pieces.append(f'<img src="x.gif" width="{width}" height="20">')
+        else:
+            items = "".join(f"<li>{w}</li>" for w in text.split()[:4])
+            pieces.append(f"<ul>{items}</ul>")
+    return "<html><body>" + "".join(pieces) + "</body></html>"
+
+
+@settings(max_examples=50, deadline=None)
+@given(small_page(), st.sampled_from([320, 640, 1024]))
+def test_boxes_stay_within_viewport_width(page, viewport):
+    document = parse_html(page)
+    root = LayoutEngine(viewport_width=viewport).layout(document)
+    for box in root.iter_boxes():
+        assert box.rect.x >= -1e-6
+        assert box.rect.right <= viewport + 1e-6, (
+            box.element, box.rect
+        )
+
+
+@settings(max_examples=50, deadline=None)
+@given(small_page())
+def test_dimensions_never_negative(page):
+    document = parse_html(page)
+    root = LayoutEngine(viewport_width=640).layout(document)
+    for box in root.iter_boxes():
+        assert box.rect.width >= 0
+        assert box.rect.height >= 0
+        for run in box.text_runs:
+            assert run.rect.width >= 0
+            assert run.rect.height > 0
+
+
+@settings(max_examples=30, deadline=None)
+@given(small_page())
+def test_layout_is_deterministic(page):
+    document_a = parse_html(page)
+    document_b = parse_html(page)
+    root_a = LayoutEngine(viewport_width=640).layout(document_a)
+    root_b = LayoutEngine(viewport_width=640).layout(document_b)
+    rects_a = [box.rect for box in root_a.iter_boxes()]
+    rects_b = [box.rect for box in root_b.iter_boxes()]
+    assert rects_a == rects_b
+
+
+@settings(max_examples=30, deadline=None)
+@given(small_page())
+def test_narrower_viewport_never_shorter(page):
+    """Squeezing the viewport can only keep or grow the page height."""
+    document_wide = parse_html(page)
+    document_narrow = parse_html(page)
+    wide = LayoutEngine(viewport_width=1024).layout(document_wide)
+    narrow = LayoutEngine(viewport_width=320).layout(document_narrow)
+    assert narrow.rect.height >= wide.rect.height - 1e-6
+
+
+@settings(max_examples=30, deadline=None)
+@given(small_page())
+def test_every_visible_element_has_geometry(page):
+    """Anything the image map might target must have a box."""
+    document = parse_html(page)
+    engine = LayoutEngine(viewport_width=640)
+    root = engine.layout(document)
+    boxed = {
+        id(box.element)
+        for box in root.iter_boxes()
+        if box.element is not None
+    }
+    for element in document.body.descendant_elements():
+        if element.tag in ("script", "style", "head"):
+            continue
+        display = engine.resolver.computed_style(element).display
+        if display == "none":
+            continue
+        assert id(element) in boxed or element.tag in (
+            "li",  # list items flow inline in this engine
+            "b", "i", "em", "span", "a",
+        ), element.tag

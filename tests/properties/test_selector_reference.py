@@ -1,0 +1,144 @@
+"""Cross-check the selector engine against a naive reference matcher.
+
+The engine matches right-to-left with compiled structures; the reference
+implementation below evaluates the same grammar the slow, obvious way.
+Any disagreement on generated documents is a bug in one of them.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.dom.element import Element
+from repro.dom.selectors import select
+from repro.html.parser import parse_html
+
+_TAGS = ["div", "span", "p", "em"]
+_CLASSES = ["a", "b", "c"]
+
+
+@st.composite
+def document_strategy(draw):
+    """A random small tree with ids and classes."""
+    counter = {"n": 0}
+
+    def build(depth):
+        counter["n"] += 1
+        tag = draw(st.sampled_from(_TAGS))
+        attrs = {}
+        if draw(st.booleans()):
+            attrs["class"] = " ".join(
+                draw(
+                    st.lists(
+                        st.sampled_from(_CLASSES), min_size=1, max_size=2,
+                        unique=True,
+                    )
+                )
+            )
+        if draw(st.booleans()):
+            attrs["id"] = f"n{counter['n']}"
+        children = ""
+        if depth > 0 and counter["n"] < 15:
+            for __ in range(draw(st.integers(0, 3))):
+                children += build(depth - 1)
+        attr_text = "".join(f' {k}="{v}"' for k, v in attrs.items())
+        return f"<{tag}{attr_text}>{children}</{tag}>"
+
+    return parse_html("<body>" + build(3) + "</body>")
+
+
+# -- reference implementation ----------------------------------------------
+
+
+def ref_match_simple(element, simple):
+    """simple: (tag | None, classes, id | None)"""
+    tag, classes, element_id = simple
+    if tag is not None and element.tag != tag:
+        return False
+    if element_id is not None and element.id != element_id:
+        return False
+    return all(cls in element.classes for cls in classes)
+
+
+def ref_select(document, parts, combinators):
+    """Evaluate left-to-right by expanding candidate sets."""
+    current = [
+        el for el in document.all_elements() if ref_match_simple(el, parts[0])
+    ]
+    for combinator, part in zip(combinators, parts[1:]):
+        next_set = []
+        for candidate in current:
+            if combinator == " ":
+                pool = list(candidate.descendant_elements())
+            elif combinator == ">":
+                pool = candidate.child_elements()
+            elif combinator == "+":
+                pool = []
+                sibling = candidate.next_sibling
+                while sibling is not None and not isinstance(
+                    sibling, Element
+                ):
+                    sibling = sibling.next_sibling
+                if sibling is not None:
+                    pool = [sibling]
+            else:  # '~'
+                pool = []
+                sibling = candidate.next_sibling
+                while sibling is not None:
+                    if isinstance(sibling, Element):
+                        pool.append(sibling)
+                    sibling = sibling.next_sibling
+            next_set.extend(
+                el for el in pool if ref_match_simple(el, part)
+            )
+        # Deduplicate, document order.
+        seen = set()
+        ordered = []
+        for el in document.all_elements():
+            if id(el) in seen:
+                continue
+            if any(el is c for c in next_set):
+                seen.add(id(el))
+                ordered.append(el)
+        current = ordered
+    return current
+
+
+@st.composite
+def selector_strategy(draw):
+    """Parallel (text, parts, combinators) representations."""
+    count = draw(st.integers(1, 3))
+    parts = []
+    texts = []
+    for __ in range(count):
+        tag = draw(st.one_of(st.none(), st.sampled_from(_TAGS)))
+        classes = draw(
+            st.lists(st.sampled_from(_CLASSES), max_size=2, unique=True)
+        )
+        if tag is None and not classes:
+            tag = draw(st.sampled_from(_TAGS))
+        text = (tag or "") + "".join(f".{cls}" for cls in classes)
+        if tag is None and classes:
+            pass  # ".a" style is fine
+        parts.append((tag, classes, None))
+        texts.append(text)
+    combinators = [
+        draw(st.sampled_from([" ", ">", "+", "~"]))
+        for __ in range(count - 1)
+    ]
+    selector_text = texts[0]
+    for combinator, text in zip(combinators, texts[1:]):
+        joiner = combinator if combinator != " " else " "
+        selector_text += (
+            f" {joiner} {text}" if combinator != " " else f" {text}"
+        )
+    return selector_text, parts, combinators
+
+
+@settings(max_examples=120, deadline=None)
+@given(document_strategy(), selector_strategy())
+def test_engine_agrees_with_reference(document, selector):
+    selector_text, parts, combinators = selector
+    engine_result = select(document, selector_text)
+    reference_result = ref_select(document, parts, combinators)
+    assert [id(el) for el in engine_result] == [
+        id(el) for el in reference_result
+    ], selector_text

@@ -1,0 +1,71 @@
+"""Geometry primitives."""
+
+from repro.dom.element import Element
+from repro.render.box import Edges, LayoutBox, Rect
+
+
+def test_rect_edges():
+    rect = Rect(10, 20, 30, 40)
+    assert rect.right == 40
+    assert rect.bottom == 60
+    assert rect.area == 1200
+
+
+def test_rect_contains():
+    rect = Rect(0, 0, 10, 10)
+    assert rect.contains(0, 0)
+    assert rect.contains(9.9, 9.9)
+    assert not rect.contains(10, 5)
+    assert not rect.contains(-1, 5)
+
+
+def test_rect_intersects():
+    a = Rect(0, 0, 10, 10)
+    assert a.intersects(Rect(5, 5, 10, 10))
+    assert not a.intersects(Rect(10, 0, 5, 5))  # touching edges don't overlap
+    assert not a.intersects(Rect(20, 20, 5, 5))
+
+
+def test_rect_scaled():
+    rect = Rect(2, 4, 6, 8).scaled(0.5)
+    assert (rect.x, rect.y, rect.width, rect.height) == (1, 2, 3, 4)
+
+
+def test_rect_rounded():
+    assert Rect(1.4, 1.6, 2.5, 3.49).rounded() == (1, 2, 2, 3)
+
+
+def test_edges_sums():
+    edges = Edges(top=1, right=2, bottom=3, left=4)
+    assert edges.horizontal == 6
+    assert edges.vertical == 4
+
+
+def test_layout_box_iteration():
+    root = LayoutBox(None, Rect(0, 0, 100, 100))
+    child = LayoutBox(None, Rect(0, 0, 50, 50))
+    grandchild = LayoutBox(None, Rect(0, 0, 25, 25))
+    child.children.append(grandchild)
+    root.children.append(child)
+    assert list(root.iter_boxes()) == [root, child, grandchild]
+
+
+def test_find_box_for_element():
+    element = Element("div")
+    root = LayoutBox(None, Rect(0, 0, 100, 100))
+    target = LayoutBox(element, Rect(10, 10, 20, 20))
+    root.children.append(target)
+    assert root.find_box_for(element) is target
+    assert root.find_box_for(Element("other")) is None
+
+
+def test_hit_test_deepest():
+    root = LayoutBox(Element("body"), Rect(0, 0, 100, 100))
+    outer = LayoutBox(Element("div"), Rect(10, 10, 80, 80))
+    inner = LayoutBox(Element("p"), Rect(20, 20, 30, 30))
+    outer.children.append(inner)
+    root.children.append(outer)
+    assert root.hit_test(25, 25) is inner
+    assert root.hit_test(15, 15) is outer
+    assert root.hit_test(5, 5) is root
+    assert root.hit_test(200, 200) is None

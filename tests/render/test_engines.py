@@ -1,0 +1,116 @@
+"""Pluggable rendering engines."""
+
+import pytest
+
+from repro.errors import RenderError
+from repro.html.parser import parse_html
+from repro.render.engines import (
+    EngineRegistry,
+    HtmlEngine,
+    ImageEngine,
+    PdfEngine,
+    RenderingEngine,
+    TextEngine,
+)
+
+PAGE = """
+<html><head><title>Engine Test</title><style>p{color:red}</style></head>
+<body>
+<h1>Heading</h1>
+<p>First paragraph with <b>bold</b> text.</p>
+<table><tr><td>cell one</td><td>cell two</td></tr></table>
+<script>ignore_me();</script>
+</body></html>
+"""
+
+
+@pytest.fixture()
+def document():
+    return parse_html(PAGE)
+
+
+def test_html_engine_roundtrips(document):
+    output = HtmlEngine().render(document)
+    assert output.content_type.startswith("text/html")
+    assert b"<h1>Heading</h1>" in output.data
+
+
+def test_html_engine_xhtml_mode(document):
+    output = HtmlEngine().render(document, xhtml=True)
+    assert output.content_type == "application/xhtml+xml"
+    import xml.dom.minidom
+
+    xml.dom.minidom.parseString(output.data)
+
+
+def test_image_engine_png(document):
+    output = ImageEngine().render(document, viewport_width=400)
+    assert output.content_type == "image/png"
+    assert output.data.startswith(b"\x89PNG")
+
+
+def test_image_engine_jpeg_quality(document):
+    high = ImageEngine().render(
+        document, format="jpeg", quality=90, viewport_width=400
+    )
+    low = ImageEngine().render(
+        document, format="jpeg", quality=10, viewport_width=400
+    )
+    assert high.content_type == "image/jpeg"
+    assert len(low.data) < len(high.data)
+
+
+def test_image_engine_unknown_format(document):
+    with pytest.raises(RenderError):
+        ImageEngine().render(document, format="webp")
+
+
+def test_text_engine_extracts_lines(document):
+    output = TextEngine().render(document)
+    text = output.data.decode("utf-8")
+    assert "Heading" in text
+    assert "First paragraph with bold text." in text
+    assert "cell one" in text
+    assert "ignore_me" not in text
+    # Block-level breaks: heading on its own line.
+    assert "Heading\n" in text or text.endswith("Heading")
+
+
+def test_pdf_engine_valid_structure(document):
+    output = PdfEngine().render(document)
+    assert output.content_type == "application/pdf"
+    assert output.data.startswith(b"%PDF-1.4")
+    assert output.data.rstrip().endswith(b"%%EOF")
+    assert b"/Type /Page" in output.data
+    assert b"Heading" in output.data
+
+
+def test_pdf_escapes_parentheses():
+    document = parse_html("<p>f(x) = (a) \\ b</p>")
+    output = PdfEngine().render(document)
+    assert rb"f\(x\)" in output.data
+
+
+def test_registry_defaults():
+    registry = EngineRegistry()
+    assert set(registry.names) == {"html", "image", "pdf", "text"}
+    assert isinstance(registry.get("image"), ImageEngine)
+
+
+def test_registry_unknown_engine():
+    with pytest.raises(RenderError):
+        EngineRegistry().get("flash")
+
+
+def test_registry_extensible(document):
+    class FlashEngine(RenderingEngine):
+        name = "flash"
+
+        def render(self, doc, **options):
+            from repro.render.engines import RenderedOutput
+
+            return RenderedOutput("application/x-shockwave-flash", b"FWS", "flash")
+
+    registry = EngineRegistry()
+    registry.register(FlashEngine())
+    assert registry.get("flash").render(document).data == b"FWS"

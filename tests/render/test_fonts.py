@@ -1,0 +1,74 @@
+"""Font metrics and wrapping."""
+
+from repro.render import fonts
+
+
+def test_char_width_scales_with_size():
+    assert fonts.char_width("a", 20.0) == 2 * fonts.char_width("a", 10.0)
+
+
+def test_bold_is_wider():
+    assert fonts.char_width("a", 16.0, bold=True) > fonts.char_width("a", 16.0)
+
+
+def test_proportional_widths():
+    assert fonts.char_width("i", 16.0) < fonts.char_width("m", 16.0)
+
+
+def test_text_width_sums():
+    size = 16.0
+    assert fonts.text_width("ab", size) == (
+        fonts.char_width("a", size) + fonts.char_width("b", size)
+    )
+
+
+def test_line_height_above_font_size():
+    assert fonts.line_height(16.0) > 16.0
+
+
+def test_wrap_fits_everything_on_wide_line():
+    lines = fonts.wrap_text("hello world", 10_000, 16.0)
+    assert lines == ["hello world"]
+
+
+def test_wrap_breaks_lines():
+    text = "aaa bbb ccc ddd"
+    width = fonts.text_width("aaa bbb", 16.0) + 1
+    lines = fonts.wrap_text(text, width, 16.0)
+    assert lines == ["aaa bbb", "ccc ddd"]
+
+
+def test_wrap_never_exceeds_width():
+    text = "the quick brown fox jumps over the lazy dog " * 3
+    width = 120.0
+    for line in fonts.wrap_text(text, width, 14.0):
+        # Words longer than the line are the only permitted overflow.
+        if " " in line:
+            assert fonts.text_width(line, 14.0) <= width + 1e-6
+
+
+def test_overlong_word_broken_mid_word():
+    word = "x" * 100
+    lines = fonts.wrap_text(word, 50.0, 16.0)
+    assert len(lines) > 1
+    assert "".join(lines) == word
+
+
+def test_empty_text():
+    assert fonts.wrap_text("", 100.0, 16.0) == []
+
+
+def test_glyph_bitmap_shape():
+    for char in "AZ09.&":
+        bitmap = fonts.glyph_bitmap(char)
+        assert len(bitmap) == fonts.GLYPH_ROWS
+        assert all(0 <= row < (1 << fonts.GLYPH_COLUMNS) for row in bitmap)
+
+
+def test_lowercase_maps_to_uppercase_glyph():
+    assert fonts.glyph_bitmap("a") == fonts.glyph_bitmap("A")
+
+
+def test_unknown_glyph_gets_fallback_box():
+    bitmap = fonts.glyph_bitmap("€")
+    assert bitmap[0] == 0x1F  # solid top row of the fallback box

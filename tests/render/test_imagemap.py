@@ -1,0 +1,60 @@
+"""Image-map overlay generation."""
+
+import pytest
+
+from repro.render.box import Rect
+from repro.render.imagemap import MapRegion, build_image_map
+
+
+def test_basic_map_structure():
+    html = build_image_map(
+        [MapRegion(Rect(10, 20, 100, 50), "proxy.php?page=login", "Log in")],
+        snapshot_src="snap.jpg",
+    )
+    assert '<map name="msite-menu">' in html
+    assert 'coords="10,20,110,70"' in html
+    assert 'href="proxy.php?page=login"' in html
+    assert 'usemap="#msite-menu"' in html
+    assert 'src="snap.jpg"' in html
+
+
+def test_scale_translates_coordinates():
+    html = build_image_map(
+        [MapRegion(Rect(100, 200, 300, 400), "x", "r")],
+        snapshot_src="s.jpg",
+        scale=0.5,
+    )
+    assert 'coords="50,100,200,300"' in html
+
+
+def test_scale_must_be_positive():
+    with pytest.raises(ValueError):
+        build_image_map([], "s.jpg", scale=0)
+
+
+def test_multiple_regions():
+    regions = [
+        MapRegion(Rect(0, 0, 10, 10), "a", "A"),
+        MapRegion(Rect(20, 20, 10, 10), "b", "B"),
+    ]
+    html = build_image_map(regions, "s.jpg")
+    assert html.count("<area") == 2
+
+
+def test_alt_text_escaped():
+    html = build_image_map(
+        [MapRegion(Rect(0, 0, 1, 1), "x", 'say "hi"')], "s.jpg"
+    )
+    assert "&quot;hi&quot;" in html
+
+
+def test_dimensions_attributes():
+    html = build_image_map([], "s.jpg", width=287, height=1504)
+    assert 'width="287"' in html
+    assert 'height="1504"' in html
+
+
+def test_custom_map_name():
+    html = build_image_map([], "s.jpg", map_name="custom")
+    assert 'name="custom"' in html
+    assert "#custom" in html

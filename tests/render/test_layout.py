@@ -1,0 +1,294 @@
+"""Layout engine: block stacking, inline wrapping, tables, geometry."""
+
+import pytest
+
+from repro.css.cascade import StyleResolver
+from repro.css.parser import parse_stylesheet
+from repro.html.parser import parse_html
+from repro.render.layout import LayoutEngine
+
+
+def layout(html, css="", width=800):
+    document = parse_html(html)
+    sheets = [parse_stylesheet(css)] if css else []
+    engine = LayoutEngine(StyleResolver(sheets), viewport_width=width)
+    root = engine.layout(document)
+    return document, root
+
+
+def box_for(document, root, element_id):
+    element = document.get_element_by_id(element_id)
+    return root.find_box_for(element)
+
+
+def test_viewport_too_narrow_rejected():
+    with pytest.raises(ValueError):
+        LayoutEngine(viewport_width=10)
+
+
+def test_blocks_stack_vertically():
+    document, root = layout(
+        '<div id="a" style="height: 50px"></div>'
+        '<div id="b" style="height: 30px"></div>'
+    )
+    a = box_for(document, root, "a")
+    b = box_for(document, root, "b")
+    assert a.rect.y < b.rect.y
+    assert b.rect.y >= a.rect.bottom
+    assert a.rect.height == 50
+    assert b.rect.height == 30
+
+
+def test_block_fills_available_width():
+    document, root = layout('<div id="a">x</div>', width=640)
+    a = box_for(document, root, "a")
+    # body has 8px UA margins on both sides.
+    assert a.rect.width == pytest.approx(640 - 16)
+
+
+def test_explicit_css_width():
+    document, root = layout('<div id="a" style="width: 200px">x</div>')
+    assert box_for(document, root, "a").rect.width == 200
+
+
+def test_percentage_width():
+    document, root = layout(
+        '<div id="a" style="width: 50%">x</div>', width=800
+    )
+    a = box_for(document, root, "a")
+    assert a.rect.width == pytest.approx((800 - 16) / 2)
+
+
+def test_margins_offset_position():
+    document, root = layout(
+        '<div id="a" style="margin: 10px 0 0 20px; height: 5px"></div>'
+    )
+    a = box_for(document, root, "a")
+    assert a.rect.x == pytest.approx(8 + 20)
+    assert a.rect.y == pytest.approx(8 + 10)
+
+
+def test_padding_grows_height():
+    document, root = layout(
+        '<div id="a" style="padding: 12px"><div style="height: 10px"></div></div>'
+    )
+    assert box_for(document, root, "a").rect.height == pytest.approx(34)
+
+
+def test_text_produces_runs_and_height():
+    document, root = layout('<p id="p">hello world</p>')
+    p = box_for(document, root, "p")
+    assert p.rect.height > 0
+    runs = [run for box in p.iter_boxes() for run in box.text_runs]
+    assert runs
+    assert runs[0].text.startswith("hello")
+
+
+def test_long_text_wraps_to_taller_box():
+    short_doc, short_root = layout('<p id="p">word</p>', width=300)
+    long_doc, long_root = layout(
+        f'<p id="p">{"word " * 60}</p>', width=300
+    )
+    short_box = box_for(short_doc, short_root, "p")
+    long_box = box_for(long_doc, long_root, "p")
+    assert long_box.rect.height > short_box.rect.height * 4
+
+
+def test_display_none_subtree_skipped():
+    document, root = layout(
+        '<div id="a" style="display: none"><p>x</p></div><p id="b">y</p>'
+    )
+    assert box_for(document, root, "a") is None
+    assert box_for(document, root, "b") is not None
+
+
+def test_inline_elements_get_boxes():
+    document, root = layout('<p>go <a id="link" href="/x">somewhere</a> now</p>')
+    link_box = box_for(document, root, "link")
+    assert link_box is not None
+    assert link_box.rect.width > 0
+
+
+def test_br_forces_new_line():
+    document, root = layout('<p id="p">one<br>two</p>')
+    p = box_for(document, root, "p")
+    runs = [run for box in p.iter_boxes() for run in box.text_runs]
+    ys = {round(run.rect.y) for run in runs}
+    assert len(ys) == 2
+
+
+def test_image_uses_declared_size():
+    document, root = layout('<img id="i" src="x.gif" width="120" height="60">')
+    i = box_for(document, root, "i")
+    assert i.rect.width == 120
+    assert i.rect.height == 60
+    assert i.box_type == "image"
+
+
+def test_image_default_size():
+    document, root = layout('<img id="i" src="x.gif">')
+    i = box_for(document, root, "i")
+    assert i.rect.width > 0 and i.rect.height > 0
+
+
+def test_input_sizes_by_type():
+    document, root = layout(
+        '<input id="t" type="text" size="10">'
+        '<input id="c" type="checkbox">'
+        '<input id="h" type="hidden">'
+        '<input id="s" type="submit" value="Log in">'
+    )
+    t = box_for(document, root, "t")
+    c = box_for(document, root, "c")
+    h = box_for(document, root, "h")
+    s = box_for(document, root, "s")
+    assert t.rect.width > c.rect.width
+    assert h.rect.width == 0
+    assert s.rect.width >= 60
+
+
+def test_table_rows_and_cells():
+    document, root = layout(
+        '<table id="t" width="400">'
+        "<tr><td>a</td><td>b</td></tr>"
+        "<tr><td>c</td><td>d</td></tr></table>"
+    )
+    t = box_for(document, root, "t")
+    rows = [b for b in t.children if b.box_type == "row"]
+    assert len(rows) == 2
+    cells = rows[0].children
+    assert len(cells) == 2
+    # Equal column widths.
+    assert cells[0].rect.width == pytest.approx(cells[1].rect.width)
+    # Second row below the first.
+    assert rows[1].rect.y > rows[0].rect.y
+
+
+def test_table_colspan():
+    document, root = layout(
+        '<table id="t" width="400" cellspacing="0">'
+        '<tr><td id="wide" colspan="2">w</td></tr>'
+        '<tr><td id="a">a</td><td>b</td></tr></table>'
+    )
+    wide = box_for(document, root, "wide")
+    a = box_for(document, root, "a")
+    assert wide.rect.width == pytest.approx(2 * a.rect.width)
+
+
+def test_cells_stretch_to_row_height():
+    document, root = layout(
+        '<table><tr><td id="tall">' + "word " * 40 + '</td>'
+        '<td id="short">x</td></tr></table>',
+        width=500,
+    )
+    tall = box_for(document, root, "tall")
+    short = box_for(document, root, "short")
+    assert short.rect.height == pytest.approx(tall.rect.height)
+
+
+def test_hidden_visibility_occupies_no_paint_but_layout_skips():
+    document, root = layout(
+        '<p id="a" style="visibility: hidden">x</p><p id="b">y</p>'
+    )
+    assert box_for(document, root, "b") is not None
+
+
+def test_root_covers_page():
+    document, root = layout("<p>x</p>" * 30, width=640)
+    assert root.rect.width == 640
+    assert root.rect.height > 100
+    for box in root.iter_boxes():
+        assert box.rect.bottom <= root.rect.height + 1e-6
+
+
+def test_background_and_gradient_flags():
+    document, root = layout(
+        '<div id="flat" style="background-color: #336699">x</div>'
+        '<div id="grad" style="background: #336699 url(x.gif) repeat-x">y</div>'
+    )
+    flat = box_for(document, root, "flat")
+    grad = box_for(document, root, "grad")
+    assert flat.background == (0x33, 0x66, 0x99)
+    assert not flat.gradient
+    assert grad.gradient
+
+
+def test_bgcolor_attribute():
+    document, root = layout('<table id="t" bgcolor="#ff0000"><tr><td>x</td></tr></table>')
+    assert box_for(document, root, "t").background == (255, 0, 0)
+
+
+def test_font_size_affects_run_height():
+    document, root = layout(
+        '<p id="big" style="font-size: 32px">x</p>'
+        '<p id="small" style="font-size: 10px">x</p>'
+    )
+    big_runs = [
+        run
+        for box in box_for(document, root, "big").iter_boxes()
+        for run in box.text_runs
+    ]
+    small_runs = [
+        run
+        for box in box_for(document, root, "small").iter_boxes()
+        for run in box.text_runs
+    ]
+    assert big_runs[0].font_size > small_runs[0].font_size
+    assert big_runs[0].rect.width > small_runs[0].rect.width
+
+
+def test_bold_and_color_propagate_to_runs():
+    document, root = layout(
+        '<p id="p" style="color: #ff0000"><b>shout</b></p>'
+    )
+    runs = [
+        run
+        for box in box_for(document, root, "p").iter_boxes()
+        for run in box.text_runs
+    ]
+    assert runs[0].bold
+    assert runs[0].color == (255, 0, 0)
+
+
+def test_text_align_center_and_right():
+    document, root = layout(
+        '<div style="width: 400px">'
+        '<p id="c" style="text-align: center">mid</p>'
+        '<p id="r" align="right">end</p>'
+        '<p id="l">start</p></div>',
+        width=500,
+    )
+    runs = {}
+    for pid in ("c", "r", "l"):
+        box = box_for(document, root, pid)
+        runs[pid] = [run for b in box.iter_boxes() for run in b.text_runs][0]
+    left_edge = runs["l"].rect.x
+    container_right = left_edge + 400
+    # Centered: roughly equal slack on both sides.
+    center_slack_left = runs["c"].rect.x - left_edge
+    center_slack_right = container_right - runs["c"].rect.right
+    assert abs(center_slack_left - center_slack_right) < 2
+    # Right-aligned: flush against the container's right edge.
+    assert abs(runs["r"].rect.right - container_right) < 2
+    # Default: flush left.
+    assert runs["l"].rect.x == left_edge
+
+
+def test_alignment_shifts_inline_boxes_too():
+    document, root = layout(
+        '<div id="d" style="width: 400px; text-align: center">'
+        '<a id="link" href="/x">click</a></div>',
+        width=500,
+    )
+    link = box_for(document, root, "link")
+    assert link.rect.x > 100  # centered, not flush left
+
+
+def test_link_runs_flagged():
+    document, root = layout('<p id="p"><a href="/x">click</a></p>')
+    runs = [
+        run
+        for box in box_for(document, root, "p").iter_boxes()
+        for run in box.text_runs
+    ]
+    assert runs[0].is_link

@@ -1,0 +1,109 @@
+"""Display-list construction and execution."""
+
+from repro.dom.element import Element
+from repro.render.box import LayoutBox, Rect, TextRun
+from repro.render.paint import (
+    FillCommand,
+    PlaceholderCommand,
+    StrokeCommand,
+    TextCommand,
+    build_display_list,
+    paint_onto,
+)
+from repro.render.raster import Canvas
+
+
+def make_box(**overrides):
+    defaults = dict(element=None, rect=Rect(0, 0, 100, 50))
+    defaults.update(overrides)
+    return LayoutBox(**defaults)
+
+
+def test_background_emits_fill():
+    box = make_box()
+    box.background = (10, 20, 30)
+    commands = build_display_list(box)
+    fills = [c for c in commands if isinstance(c, FillCommand)]
+    assert fills[0].color == (10, 20, 30)
+    assert not fills[0].gradient
+
+
+def test_gradient_flag_propagates():
+    box = make_box()
+    box.background = (10, 20, 30)
+    box.gradient = True
+    fills = [
+        c for c in build_display_list(box) if isinstance(c, FillCommand)
+    ]
+    assert fills[0].gradient
+
+
+def test_border_emits_stroke():
+    box = make_box()
+    box.border_width = 2.0
+    box.border_color = (1, 2, 3)
+    strokes = [
+        c for c in build_display_list(box) if isinstance(c, StrokeCommand)
+    ]
+    assert strokes[0].width == 2
+
+
+def test_image_box_emits_placeholder_with_seed():
+    box = make_box(box_type="image")
+    box.texture_seed = 42
+    placeholders = [
+        c
+        for c in build_display_list(box)
+        if isinstance(c, PlaceholderCommand)
+    ]
+    assert placeholders[0].texture_seed == 42
+
+
+def test_paint_order_parent_before_children():
+    parent = make_box()
+    parent.background = (1, 1, 1)
+    child = make_box(rect=Rect(10, 10, 20, 20))
+    child.background = (2, 2, 2)
+    parent.children.append(child)
+    fills = [
+        c for c in build_display_list(parent) if isinstance(c, FillCommand)
+    ]
+    assert [f.color for f in fills] == [(1, 1, 1), (2, 2, 2)]
+
+
+def test_text_runs_emitted_after_own_background():
+    box = make_box()
+    box.background = (9, 9, 9)
+    box.text_runs.append(
+        TextRun("hi", Rect(2, 2, 20, 16), font_size=14.0)
+    )
+    commands = build_display_list(box)
+    kinds = [type(c).__name__ for c in commands]
+    assert kinds.index("FillCommand") < kinds.index("TextCommand")
+
+
+def test_zero_size_box_skips_own_paint_but_visits_children():
+    empty = make_box(rect=Rect(0, 0, 0, 0))
+    empty.background = (5, 5, 5)
+    child = make_box(rect=Rect(0, 0, 10, 10))
+    child.background = (6, 6, 6)
+    empty.children.append(child)
+    fills = [
+        c for c in build_display_list(empty) if isinstance(c, FillCommand)
+    ]
+    assert [f.color for f in fills] == [(6, 6, 6)]
+
+
+def test_paint_onto_executes_every_command_kind():
+    canvas = Canvas(120, 80)
+    commands = [
+        FillCommand(Rect(0, 0, 120, 80), (200, 200, 200)),
+        FillCommand(Rect(0, 0, 120, 20), (90, 110, 140), gradient=True),
+        StrokeCommand(Rect(5, 30, 40, 20), (0, 0, 0), 1),
+        PlaceholderCommand(Rect(60, 30, 30, 30), texture_seed=3),
+        TextCommand(TextRun("ok", Rect(8, 55, 30, 18), font_size=14.0)),
+    ]
+    paint_onto(canvas, commands)
+    # All four paint classes left marks: no pixel row is untouched white.
+    assert (canvas.pixels != 255).any()
+    assert len(set(canvas.pixels[:, :, 0].flatten().tolist())) > 10

@@ -1,0 +1,100 @@
+"""Canvas painting operations."""
+
+import numpy as np
+import pytest
+
+from repro.render.box import Rect
+from repro.render.raster import Canvas
+
+
+def test_canvas_starts_with_background():
+    canvas = Canvas(10, 5, background=(1, 2, 3))
+    assert canvas.pixels.shape == (5, 10, 3)
+    assert (canvas.pixels == (1, 2, 3)).all()
+
+
+def test_canvas_rejects_empty():
+    with pytest.raises(ValueError):
+        Canvas(0, 5)
+
+
+def test_fill_rect():
+    canvas = Canvas(10, 10)
+    canvas.fill_rect(Rect(2, 3, 4, 5), (255, 0, 0))
+    assert tuple(canvas.pixels[3, 2]) == (255, 0, 0)
+    assert tuple(canvas.pixels[7, 5]) == (255, 0, 0)
+    assert tuple(canvas.pixels[2, 2]) == (255, 255, 255)
+    assert tuple(canvas.pixels[3, 6]) == (255, 255, 255)
+
+
+def test_fill_rect_clipped_to_canvas():
+    canvas = Canvas(10, 10)
+    canvas.fill_rect(Rect(-5, -5, 100, 100), (0, 0, 0))
+    assert (canvas.pixels == 0).all()
+
+
+def test_fill_rect_fully_outside_is_noop():
+    canvas = Canvas(10, 10)
+    canvas.fill_rect(Rect(50, 50, 5, 5), (0, 0, 0))
+    assert (canvas.pixels == 255).all()
+
+
+def test_stroke_rect_draws_border_only():
+    canvas = Canvas(20, 20)
+    canvas.stroke_rect(Rect(5, 5, 10, 10), (0, 0, 0))
+    assert tuple(canvas.pixels[5, 5]) == (0, 0, 0)  # corner
+    assert tuple(canvas.pixels[5, 10]) == (0, 0, 0)  # top edge
+    assert tuple(canvas.pixels[10, 10]) == (255, 255, 255)  # interior
+
+
+def test_draw_text_changes_pixels():
+    canvas = Canvas(200, 40)
+    canvas.draw_text(4, 4, "HELLO", 16.0, (0, 0, 0))
+    assert (canvas.pixels == 0).any()
+
+
+def test_draw_text_respects_color():
+    canvas = Canvas(100, 30)
+    canvas.draw_text(2, 2, "A", 16.0, (10, 200, 30))
+    matches = (canvas.pixels == (10, 200, 30)).all(axis=2)
+    assert matches.any()
+
+
+def test_space_draws_nothing():
+    canvas = Canvas(50, 20)
+    canvas.draw_text(2, 2, "   ", 16.0, (0, 0, 0))
+    assert (canvas.pixels == 255).all()
+
+
+def test_fill_gradient_varies_vertically():
+    canvas = Canvas(10, 30)
+    canvas.fill_gradient(Rect(0, 0, 10, 30), (100, 120, 150))
+    top = canvas.pixels[0, 5].astype(int)
+    bottom = canvas.pixels[29, 5].astype(int)
+    assert (top > bottom).all()  # lighter top, darker bottom
+    # Uniform across a row.
+    assert (canvas.pixels[10, 0] == canvas.pixels[10, 9]).all()
+
+
+def test_photo_placeholder_is_textured_and_deterministic():
+    a = Canvas(40, 40)
+    a.draw_photo_placeholder(Rect(0, 0, 40, 40), seed=7)
+    b = Canvas(40, 40)
+    b.draw_photo_placeholder(Rect(0, 0, 40, 40), seed=7)
+    assert (a.pixels == b.pixels).all()
+    # Textured: many distinct values, unlike a flat fill.
+    assert len(np.unique(a.pixels)) > 50
+
+
+def test_photo_placeholder_seed_changes_texture():
+    a = Canvas(40, 40)
+    a.draw_photo_placeholder(Rect(0, 0, 40, 40), seed=1)
+    b = Canvas(40, 40)
+    b.draw_photo_placeholder(Rect(0, 0, 40, 40), seed=2)
+    assert (a.pixels != b.pixels).any()
+
+
+def test_draw_placeholder_x_marker():
+    canvas = Canvas(30, 30)
+    canvas.draw_placeholder(Rect(0, 0, 30, 30))
+    assert (canvas.pixels != 255).any()

@@ -1,0 +1,105 @@
+"""Full snapshot pipeline: geometry, hit testing, stylesheets."""
+
+import pytest
+
+from repro.html.parser import parse_html
+from repro.render.snapshot import collect_stylesheets, render_snapshot
+
+PAGE = """
+<html><head>
+<style>#hdr { background-color: #336699; height: 60px; }</style>
+<link rel="stylesheet" href="/site.css">
+</head><body>
+<div id="hdr">Header</div>
+<div id="content"><p>Some content text</p></div>
+<form id="form"><input type="text"></form>
+</body></html>
+"""
+
+
+@pytest.fixture()
+def snapshot():
+    return render_snapshot(parse_html(PAGE), viewport_width=640)
+
+
+def test_image_dimensions(snapshot):
+    assert snapshot.image.width == 640
+    assert snapshot.image.height == snapshot.page_height
+    assert snapshot.page_height > 50
+
+
+def test_geometry_for_elements(snapshot):
+    document_hdr = None
+    for element_id, rect in snapshot.element_geometry.items():
+        assert rect.width >= 0
+    # geometry_of by element identity:
+    root = snapshot.layout_root
+    boxes_with_elements = [
+        box for box in root.iter_boxes() if box.element is not None
+    ]
+    assert boxes_with_elements
+    first = boxes_with_elements[0]
+    assert snapshot.geometry_of(first.element) is not None
+
+
+def test_header_painted_with_css_color(snapshot):
+    # Somewhere in the top rows the #336699 header background shows
+    # (smoothing shifts edge pixels, so sample the middle of the band).
+    import numpy as np
+
+    band = snapshot.image.pixels[10:40]
+    target = np.array([0x33, 0x66, 0x99])
+    distances = np.abs(band.astype(int) - target).sum(axis=2)
+    assert (distances < 30).any()
+
+
+def test_hit_test_finds_deepest(snapshot):
+    document = parse_html(PAGE)
+    fresh = render_snapshot(document, viewport_width=640)
+    hdr = document.get_element_by_id("hdr")
+    rect = fresh.geometry_of(hdr)
+    hit = fresh.hit_test(rect.x + 2, rect.y + 2)
+    assert hit is not None
+    # The header div or a descendant of it.
+    assert hit is hdr or hdr in list(hit.ancestors())
+
+
+def test_hit_test_outside_returns_none(snapshot):
+    assert snapshot.hit_test(-10, -10) is None
+
+
+def test_external_css_applied():
+    document = parse_html(PAGE)
+    with_css = render_snapshot(
+        document,
+        viewport_width=640,
+        external_css={"/site.css": "#content { height: 444px }"},
+    )
+    content = document.get_element_by_id("content")
+    assert with_css.geometry_of(content).height == pytest.approx(444)
+    assert with_css.stylesheet_count == 2
+
+
+def test_missing_external_css_ignored():
+    document = parse_html(PAGE)
+    snapshot = render_snapshot(document, viewport_width=640)
+    assert snapshot.stylesheet_count == 1  # just the <style> block
+
+
+def test_collect_stylesheets():
+    document = parse_html(PAGE)
+    sheets = collect_stylesheets(document, {"/site.css": "p { color: red }"})
+    assert len(sheets) == 2
+
+
+def test_max_height_clamps():
+    tall = "<p>line</p>" * 2000
+    snapshot = render_snapshot(parse_html(tall), viewport_width=400,
+                               max_height=500)
+    assert snapshot.image.height == 500
+
+
+def test_deterministic_rendering():
+    a = render_snapshot(parse_html(PAGE), viewport_width=640)
+    b = render_snapshot(parse_html(PAGE), viewport_width=640)
+    assert (a.image.pixels == b.image.pixels).all()

@@ -1,0 +1,57 @@
+"""Clock invariants: monotonic, rejects backwards motion."""
+
+import pytest
+
+from repro.sim.clock import Clock
+
+
+def test_starts_at_zero_by_default():
+    assert Clock().now == 0.0
+
+
+def test_starts_at_given_time():
+    assert Clock(12.5).now == 12.5
+
+
+def test_rejects_negative_start():
+    with pytest.raises(ValueError):
+        Clock(-1.0)
+
+
+def test_advance_moves_forward():
+    clock = Clock()
+    assert clock.advance(2.5) == 2.5
+    assert clock.now == 2.5
+
+
+def test_advance_accumulates():
+    clock = Clock()
+    clock.advance(1.0)
+    clock.advance(0.5)
+    assert clock.now == 1.5
+
+
+def test_advance_rejects_negative_delta():
+    clock = Clock(5.0)
+    with pytest.raises(ValueError):
+        clock.advance(-0.1)
+    assert clock.now == 5.0
+
+
+def test_advance_to_absolute():
+    clock = Clock()
+    clock.advance_to(9.0)
+    assert clock.now == 9.0
+
+
+def test_advance_to_rejects_past():
+    clock = Clock(10.0)
+    with pytest.raises(ValueError):
+        clock.advance_to(9.999)
+
+
+def test_zero_advance_is_allowed():
+    clock = Clock(3.0)
+    clock.advance(0.0)
+    clock.advance_to(3.0)
+    assert clock.now == 3.0

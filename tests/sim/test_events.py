@@ -1,0 +1,61 @@
+"""Event queue ordering and cancellation."""
+
+from repro.sim.events import EventQueue
+
+
+def test_pops_in_time_order():
+    queue = EventQueue()
+    fired = []
+    queue.push(3.0, lambda: fired.append("c"))
+    queue.push(1.0, lambda: fired.append("a"))
+    queue.push(2.0, lambda: fired.append("b"))
+    while (event := queue.pop()) is not None:
+        event.action()
+    assert fired == ["a", "b", "c"]
+
+
+def test_simultaneous_events_fire_in_insertion_order():
+    queue = EventQueue()
+    fired = []
+    for label in "abcde":
+        queue.push(1.0, lambda l=label: fired.append(l))
+    while (event := queue.pop()) is not None:
+        event.action()
+    assert fired == list("abcde")
+
+
+def test_cancelled_events_are_skipped():
+    queue = EventQueue()
+    fired = []
+    keep = queue.push(1.0, lambda: fired.append("keep"))
+    drop = queue.push(0.5, lambda: fired.append("drop"))
+    drop.cancel()
+    while (event := queue.pop()) is not None:
+        event.action()
+    assert fired == ["keep"]
+    assert keep.time == 1.0
+
+
+def test_len_excludes_cancelled():
+    queue = EventQueue()
+    queue.push(1.0, lambda: None)
+    doomed = queue.push(2.0, lambda: None)
+    assert len(queue) == 2
+    doomed.cancel()
+    assert len(queue) == 1
+
+
+def test_peek_time_skips_cancelled():
+    queue = EventQueue()
+    first = queue.push(1.0, lambda: None)
+    queue.push(2.0, lambda: None)
+    first.cancel()
+    assert queue.peek_time() == 2.0
+
+
+def test_peek_time_empty_queue():
+    assert EventQueue().peek_time() is None
+
+
+def test_pop_empty_queue():
+    assert EventQueue().pop() is None

@@ -1,0 +1,65 @@
+"""Counters, tallies, and measurement windows."""
+
+import math
+
+import pytest
+
+from repro.sim.metrics import Counter, Tally, WindowedCounter
+
+
+def test_counter_increments():
+    counter = Counter()
+    counter.increment()
+    counter.increment(4)
+    assert counter.value == 5
+
+
+def test_counter_rejects_decrease():
+    with pytest.raises(ValueError):
+        Counter().increment(-1)
+
+
+def test_tally_statistics():
+    tally = Tally()
+    for value in (1.0, 2.0, 3.0, 4.0):
+        tally.observe(value)
+    assert tally.count == 4
+    assert tally.mean == 2.5
+    assert tally.minimum == 1.0
+    assert tally.maximum == 4.0
+    assert math.isclose(tally.variance, 1.25)
+    assert math.isclose(tally.stddev, math.sqrt(1.25))
+
+
+def test_tally_empty_mean_raises():
+    with pytest.raises(ValueError):
+        __ = Tally().mean
+
+
+def test_tally_variance_never_negative():
+    tally = Tally()
+    # Values engineered so naive E[x^2]-E[x]^2 cancels to ~-epsilon.
+    for __ in range(1000):
+        tally.observe(1e8 + 0.1)
+    assert tally.variance >= 0.0
+
+
+def test_window_counts_only_inside():
+    window = WindowedCounter(start=10.0, duration=60.0)
+    assert not window.record(9.99)
+    assert window.record(10.0)
+    assert window.record(69.999)
+    assert not window.record(70.0)
+    assert window.count == 2
+
+
+def test_window_rate_per_minute_scales():
+    window = WindowedCounter(start=0.0, duration=30.0)
+    for timestamp in (1.0, 2.0, 3.0):
+        window.record(timestamp)
+    assert window.rate_per_minute == 6.0
+
+
+def test_window_rejects_zero_duration():
+    with pytest.raises(ValueError):
+        WindowedCounter(start=0.0, duration=0.0)

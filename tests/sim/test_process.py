@@ -1,0 +1,173 @@
+"""Process model: delays, resources, joins, horizons."""
+
+import pytest
+
+from repro.sim.process import Acquire, Delay, Release, Simulation
+from repro.sim.resources import Resource
+
+
+def test_delay_advances_clock():
+    sim = Simulation()
+    log = []
+
+    def worker():
+        yield Delay(1.5)
+        log.append(sim.now)
+        yield Delay(0.5)
+        log.append(sim.now)
+
+    sim.spawn(worker())
+    sim.run()
+    assert log == [1.5, 2.0]
+
+
+def test_negative_delay_rejected():
+    with pytest.raises(ValueError):
+        Delay(-0.1)
+
+
+def test_two_processes_interleave():
+    sim = Simulation()
+    log = []
+
+    def ticker(name, period):
+        for __ in range(3):
+            yield Delay(period)
+            log.append((name, sim.now))
+
+    sim.spawn(ticker("fast", 1.0))
+    sim.spawn(ticker("slow", 1.6))
+    sim.run()
+    expected = [
+        ("fast", 1.0), ("slow", 1.6), ("fast", 2.0), ("fast", 3.0),
+        ("slow", 3.2), ("slow", 4.8),
+    ]
+    assert [name for name, __ in log] == [name for name, __ in expected]
+    for (__, actual), (__, wanted) in zip(log, expected):
+        assert actual == pytest.approx(wanted)
+
+
+def test_resource_serializes_access():
+    sim = Simulation()
+    cores = Resource(1, "core")
+    spans = []
+
+    def job(duration):
+        yield Acquire(cores)
+        start = sim.now
+        yield Delay(duration)
+        yield Release(cores)
+        spans.append((start, sim.now))
+
+    sim.spawn(job(2.0))
+    sim.spawn(job(3.0))
+    sim.run()
+    # Second job starts only after the first releases.
+    assert spans == [(0.0, 2.0), (2.0, 5.0)]
+
+
+def test_resource_parallelism_matches_capacity():
+    sim = Simulation()
+    cores = Resource(2, "cores")
+    finish = []
+
+    def job():
+        yield Acquire(cores)
+        yield Delay(1.0)
+        yield Release(cores)
+        finish.append(sim.now)
+
+    for __ in range(4):
+        sim.spawn(job())
+    sim.run()
+    # Two run in [0,1], two in [1,2].
+    assert finish == [1.0, 1.0, 2.0, 2.0]
+
+
+def test_waiting_on_another_process():
+    sim = Simulation()
+    log = []
+
+    def producer():
+        yield Delay(2.0)
+        return 42
+
+    def consumer(handle):
+        value = yield handle
+        log.append((sim.now, value))
+
+    handle = sim.spawn(producer())
+    sim.spawn(consumer(handle))
+    sim.run()
+    assert log == [(2.0, 42)]
+
+
+def test_waiting_on_finished_process_returns_immediately():
+    sim = Simulation()
+    log = []
+
+    def producer():
+        return "done"
+        yield  # pragma: no cover
+
+    def consumer(handle):
+        value = yield handle
+        log.append(value)
+
+    handle = sim.spawn(producer())
+    sim.run()
+    sim.spawn(consumer(handle))
+    sim.run()
+    assert log == ["done"]
+
+
+def test_run_until_horizon_stops_clock_exactly():
+    sim = Simulation()
+
+    def late():
+        yield Delay(100.0)
+
+    sim.spawn(late())
+    final = sim.run(until=60.0)
+    assert final == 60.0
+    assert sim.now == 60.0
+
+
+def test_run_until_executes_events_inside_horizon():
+    sim = Simulation()
+    log = []
+
+    def worker():
+        yield Delay(10.0)
+        log.append("in")
+        yield Delay(100.0)
+        log.append("out")
+
+    sim.spawn(worker())
+    sim.run(until=60.0)
+    assert log == ["in"]
+
+
+def test_unknown_yield_type_raises():
+    sim = Simulation()
+
+    def bad():
+        yield "nonsense"
+
+    sim.spawn(bad())
+    with pytest.raises(TypeError):
+        sim.run()
+
+
+def test_schedule_callback():
+    sim = Simulation()
+    fired = []
+    sim.schedule(5.0, lambda: fired.append(sim.now))
+    sim.run()
+    assert fired == [5.0]
+
+
+def test_schedule_rejects_negative_delay():
+    sim = Simulation()
+    with pytest.raises(ValueError):
+        sim.schedule(-1.0, lambda: None)

@@ -1,0 +1,39 @@
+"""Resource bookkeeping outside the process model."""
+
+import pytest
+
+from repro.sim.resources import Resource, ResourceBusy
+
+
+def test_capacity_must_be_positive():
+    with pytest.raises(ValueError):
+        Resource(0)
+
+
+def test_try_acquire_and_release():
+    resource = Resource(2, "r")
+    resource.try_acquire()
+    assert resource.in_use == 1
+    assert resource.available == 1
+    resource.try_acquire()
+    with pytest.raises(ResourceBusy):
+        resource.try_acquire()
+    resource.release_direct()
+    assert resource.available == 1
+
+
+def test_release_without_acquire_raises():
+    with pytest.raises(RuntimeError):
+        Resource(1).release_direct()
+
+
+def test_queue_length_initially_zero():
+    assert Resource(3).queue_length == 0
+
+
+def test_repr_mentions_name_and_usage():
+    resource = Resource(2, "cores")
+    resource.try_acquire()
+    text = repr(resource)
+    assert "cores" in text
+    assert "1/2" in text

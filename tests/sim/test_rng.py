@@ -1,0 +1,120 @@
+"""Deterministic RNG: reproducibility and distribution sanity."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sim.rng import DeterministicRandom
+
+
+def test_same_seed_same_stream():
+    a = DeterministicRandom(42)
+    b = DeterministicRandom(42)
+    assert [a.next_u64() for __ in range(20)] == [
+        b.next_u64() for __ in range(20)
+    ]
+
+
+def test_different_seeds_differ():
+    a = DeterministicRandom(1)
+    b = DeterministicRandom(2)
+    assert [a.next_u64() for __ in range(5)] != [
+        b.next_u64() for __ in range(5)
+    ]
+
+
+def test_zero_seed_does_not_stall():
+    rng = DeterministicRandom(0)
+    values = {rng.next_u64() for __ in range(10)}
+    assert len(values) == 10
+
+
+@given(st.integers(min_value=0, max_value=2**64 - 1))
+def test_uniform_in_unit_interval(seed):
+    rng = DeterministicRandom(seed)
+    for __ in range(50):
+        value = rng.uniform()
+        assert 0.0 <= value < 1.0
+
+
+def test_uniform_mean_is_reasonable():
+    rng = DeterministicRandom(7)
+    samples = [rng.uniform() for __ in range(20_000)]
+    mean = sum(samples) / len(samples)
+    assert abs(mean - 0.5) < 0.02
+
+
+def test_uniform_range():
+    rng = DeterministicRandom(9)
+    for __ in range(100):
+        value = rng.uniform_range(5.0, 6.0)
+        assert 5.0 <= value < 6.0
+
+
+def test_uniform_range_rejects_inverted():
+    with pytest.raises(ValueError):
+        DeterministicRandom().uniform_range(2.0, 1.0)
+
+
+@given(st.integers(-100, 100), st.integers(0, 200))
+def test_randint_inclusive_bounds(low, span):
+    high = low + span
+    rng = DeterministicRandom(13)
+    for __ in range(20):
+        value = rng.randint(low, high)
+        assert low <= value <= high
+
+
+def test_randint_covers_full_range():
+    rng = DeterministicRandom(3)
+    seen = {rng.randint(0, 3) for __ in range(200)}
+    assert seen == {0, 1, 2, 3}
+
+
+def test_randint_rejects_inverted():
+    with pytest.raises(ValueError):
+        DeterministicRandom().randint(5, 4)
+
+
+def test_choice_from_empty_raises():
+    with pytest.raises(IndexError):
+        DeterministicRandom().choice([])
+
+
+def test_choice_returns_member():
+    rng = DeterministicRandom(11)
+    pool = ["a", "b", "c"]
+    for __ in range(30):
+        assert rng.choice(pool) in pool
+
+
+def test_shuffle_is_permutation():
+    rng = DeterministicRandom(17)
+    items = list(range(30))
+    shuffled = list(items)
+    rng.shuffle(shuffled)
+    assert sorted(shuffled) == items
+    assert shuffled != items  # overwhelmingly likely for 30 items
+
+
+def test_exponential_mean():
+    rng = DeterministicRandom(23)
+    samples = [rng.exponential(2.0) for __ in range(20_000)]
+    mean = sum(samples) / len(samples)
+    assert math.isclose(mean, 2.0, rel_tol=0.05)
+    assert all(sample >= 0 for sample in samples)
+
+
+def test_exponential_rejects_nonpositive_mean():
+    with pytest.raises(ValueError):
+        DeterministicRandom().exponential(0.0)
+
+
+def test_fork_streams_are_independent():
+    parent = DeterministicRandom(5)
+    child_a = parent.fork(1)
+    child_b = parent.fork(2)
+    a = [child_a.next_u64() for __ in range(5)]
+    b = [child_b.next_u64() for __ in range(5)]
+    assert a != b

@@ -1,0 +1,80 @@
+"""The Craigslist-analog origin."""
+
+import re
+
+import pytest
+
+from repro.net.client import HttpClient
+from repro.sites.classifieds.data import CATEGORIES, ListingGenerator
+from tests.conftest import CLASSIFIEDS_HOST
+
+
+@pytest.fixture()
+def cl_client(classifieds_app):
+    return HttpClient({CLASSIFIEDS_HOST: classifieds_app})
+
+
+def test_home_links_categories(cl_client):
+    body = cl_client.get(f"http://{CLASSIFIEDS_HOST}/").text_body
+    for code, label in CATEGORIES:
+        assert f'href="/{code}/"' in body
+
+
+def test_category_page_sorted_by_date(cl_client):
+    body = cl_client.get(f"http://{CLASSIFIEDS_HOST}/tls/").text_body
+    days = [int(d) for d in re.findall(r"day (\d+)</span>", body)]
+    assert len(days) == 100
+    assert days == sorted(days, reverse=True)
+
+
+def test_listing_page(cl_client):
+    category = ListingGenerator().category("tls")
+    listing = category[0]
+    body = cl_client.get(
+        f"http://{CLASSIFIEDS_HOST}{listing.path}"
+    ).text_body
+    assert listing.title in body
+    assert f"${listing.price}" in body
+    assert 'id="posting"' in body
+
+
+def test_unknown_category_404(cl_client):
+    assert cl_client.get(f"http://{CLASSIFIEDS_HOST}/xyz/").status == 404
+
+
+def test_unknown_listing_404(cl_client):
+    assert cl_client.get(
+        f"http://{CLASSIFIEDS_HOST}/tls/999.html"
+    ).status == 404
+
+
+def test_listing_in_wrong_category_404(cl_client):
+    listing = ListingGenerator().category("tls")[0]
+    assert cl_client.get(
+        f"http://{CLASSIFIEDS_HOST}/fuo/{listing.listing_id}.html"
+    ).status == 404
+
+
+def test_generator_deterministic():
+    a = ListingGenerator(seed=5)
+    b = ListingGenerator(seed=5)
+    assert [l.title for l in a.category("tls")] == [
+        l.title for l in b.category("tls")
+    ]
+
+
+def test_listing_ids_unique():
+    generator = ListingGenerator()
+    all_ids = [
+        listing.listing_id
+        for code, __ in CATEGORIES
+        for listing in generator.category(code)
+    ]
+    assert len(all_ids) == len(set(all_ids))
+
+
+def test_no_ajax_in_original_site(cl_client):
+    """§4.5: craigslist 'does not ordinarily require any AJAX requests'."""
+    body = cl_client.get(f"http://{CLASSIFIEDS_HOST}/tls/").text_body
+    assert "XMLHttpRequest" not in body
+    assert "onclick" not in body

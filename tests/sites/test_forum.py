@@ -1,0 +1,253 @@
+"""The vBulletin-analog origin: content, scale, sessions, AJAX, auth."""
+
+import json
+
+import pytest
+
+from repro.net.client import HttpClient
+from repro.net.cookies import CookieJar
+from repro.sites.forum import assets
+from repro.sites.forum.data import (
+    MEMBER_COUNT,
+    ONLINE_COUNT,
+    CommunityGenerator,
+)
+from tests.conftest import FORUM_HOST
+
+
+@pytest.fixture()
+def forum_client(forum_app, clock):
+    return HttpClient({FORUM_HOST: forum_app}, jar=CookieJar(), clock=clock)
+
+
+# -- community generation -------------------------------------------------
+
+
+def test_community_scale_matches_paper():
+    community = CommunityGenerator().generate()
+    assert community.statistics.member_count == MEMBER_COUNT
+    assert 65_000 <= MEMBER_COUNT <= 66_000  # "nearly 66,000 members"
+    assert community.statistics.online_count == ONLINE_COUNT
+    assert 1_100 <= ONLINE_COUNT <= 1_200  # "as many as 1200 users online"
+    forum_count = len(community.forums_by_id)
+    assert 28 <= forum_count <= 32  # "about 30 forum descriptions"
+
+
+def test_generation_is_deterministic():
+    a = CommunityGenerator(seed=99).generate()
+    b = CommunityGenerator(seed=99).generate()
+    assert a.statistics == b.statistics
+    assert [f.title for f in a.forums_by_id.values()] == [
+        f.title for f in b.forums_by_id.values()
+    ]
+    assert a.member(1234).username == b.member(1234).username
+
+
+def test_different_seeds_differ():
+    a = CommunityGenerator(seed=1).generate()
+    b = CommunityGenerator(seed=2).generate()
+    assert a.member(500).username != b.member(500).username or (
+        a.forums_by_id[1].description != b.forums_by_id[1].description
+    )
+
+
+def test_members_lazy_and_stable():
+    community = CommunityGenerator().generate()
+    member = community.member(4321)
+    again = community.member(4321)
+    assert member.username == again.username
+    assert member.post_count == again.post_count
+    assert 1 <= member.birthday_month <= 12
+
+
+def test_threads_sorted_recent_first():
+    community = CommunityGenerator().generate()
+    threads = community.threads_by_forum[1]
+    non_sticky = [t for t in threads if not t.sticky]
+    days = [t.last_post_day for t in non_sticky]
+    assert days == sorted(days, reverse=True)
+
+
+def test_thread_posts_deterministic():
+    community = CommunityGenerator().generate()
+    thread = next(iter(community.threads_by_id.values()))
+    first = community.thread_posts(thread)
+    second = community.thread_posts(thread)
+    assert [p.body for p in first] == [p.body for p in second]
+    assert first[0].author_id == thread.author_id
+
+
+# -- page serving ------------------------------------------------------------
+
+
+def test_entry_page_structure(forum_client):
+    body = forum_client.get(f"http://{FORUM_HOST}/index.php").text_body
+    for anchor in (
+        "logobar", "navlinks", "loginform", "announce", "forumbits",
+        "wol", "stats", "birthdays", "calendar", "footerlinks",
+    ):
+        assert f'id="{anchor}"' in body, anchor
+
+
+def test_entry_page_resource_budget(forum_client):
+    response = forum_client.get(f"http://{FORUM_HOST}/index.php")
+    total = len(response.body) + assets.total_asset_bytes()
+    # §4.2: "a total of 224,477 bytes ... inclusive of all images,
+    # external Javascripts (of which there are about 12), and CSS files."
+    assert total == 224_477
+    assert len(assets.SCRIPT_MANIFEST) == 12
+
+
+def test_root_serves_entry(forum_client):
+    assert forum_client.get(f"http://{FORUM_HOST}/").ok
+
+
+def test_forumdisplay(forum_client):
+    body = forum_client.get(
+        f"http://{FORUM_HOST}/forumdisplay.php?f=1"
+    ).text_body
+    assert 'id="threadbits"' in body
+    assert body.count("showthread.php?t=") >= 25
+
+
+def test_forumdisplay_bad_id(forum_client):
+    assert forum_client.get(
+        f"http://{FORUM_HOST}/forumdisplay.php?f=999"
+    ).status == 404
+    assert forum_client.get(
+        f"http://{FORUM_HOST}/forumdisplay.php?f=abc"
+    ).status == 404
+
+
+def test_showthread(forum_client, forum_app):
+    thread_id = next(iter(forum_app.community.threads_by_id))
+    body = forum_client.get(
+        f"http://{FORUM_HOST}/showthread.php?t={thread_id}"
+    ).text_body
+    assert 'id="post' in body
+    assert "ajax.php?do=showpic" in body
+
+
+def test_static_assets_served(forum_client):
+    css = forum_client.get(
+        f"http://{FORUM_HOST}/clientscript/vbulletin_stylesheet.css"
+    )
+    assert css.content_type == "text/css"
+    assert b".tcat" in css.body
+    js = forum_client.get(
+        f"http://{FORUM_HOST}/clientscript/vbulletin_global.js"
+    )
+    assert js.content_type == "application/javascript"
+    gif = forum_client.get(f"http://{FORUM_HOST}/images/sawmill_logo.gif")
+    assert gif.body.startswith(b"GIF89a")
+    assert len(gif.body) == dict(assets.IMAGE_MANIFEST)["sawmill_logo.gif"]
+
+
+def test_missing_assets_404(forum_client):
+    assert forum_client.get(
+        f"http://{FORUM_HOST}/clientscript/nope.js"
+    ).status == 404
+    assert forum_client.get(
+        f"http://{FORUM_HOST}/images/nope.gif"
+    ).status == 404
+
+
+# -- sessions -----------------------------------------------------------------
+
+
+def test_login_flow(forum_client):
+    response = forum_client.post(
+        f"http://{FORUM_HOST}/login.php",
+        {"vb_login_username": "woodfan", "vb_login_password": "hunter2"},
+    )
+    assert "Thank you for logging in" in response.text_body
+    entry = forum_client.get(f"http://{FORUM_HOST}/index.php").text_body
+    assert "Welcome back" in entry
+    assert "woodfan" in entry
+
+
+def test_bad_login_rejected(forum_client):
+    response = forum_client.post(
+        f"http://{FORUM_HOST}/login.php",
+        {"vb_login_username": "woodfan", "vb_login_password": "wrong"},
+    )
+    assert "invalid" in response.text_body
+    entry = forum_client.get(f"http://{FORUM_HOST}/index.php").text_body
+    assert "Welcome back" not in entry
+
+
+def test_logout_clears_session(forum_client):
+    forum_client.post(
+        f"http://{FORUM_HOST}/login.php",
+        {"vb_login_username": "woodfan", "vb_login_password": "hunter2"},
+    )
+    forum_client.get(f"http://{FORUM_HOST}/logout.php")
+    entry = forum_client.get(f"http://{FORUM_HOST}/index.php").text_body
+    assert "Welcome back" not in entry
+
+
+def test_private_forum_redirects_anonymous(forum_client, forum_app):
+    private = next(
+        f for f in forum_app.community.forums_by_id.values() if f.private
+    )
+    response = forum_client.send(
+        __import__("repro.net.messages", fromlist=["Request"]).Request.get(
+            f"http://{FORUM_HOST}/forumdisplay.php?f={private.forum_id}"
+        )
+    )
+    assert response.status == 302
+
+
+# -- AJAX endpoints -----------------------------------------------------------
+
+
+def test_ajax_showpic(forum_client):
+    response = forum_client.get(
+        f"http://{FORUM_HOST}/ajax.php?do=showpic&id=7"
+    )
+    assert "<img" in response.text_body
+    assert "attachment7" in response.text_body
+
+
+def test_ajax_quickstats(forum_client):
+    payload = json.loads(
+        forum_client.get(
+            f"http://{FORUM_HOST}/ajax.php?do=quickstats"
+        ).text_body
+    )
+    assert payload["members"] == MEMBER_COUNT
+
+
+def test_ajax_unknown_action(forum_client):
+    assert forum_client.get(
+        f"http://{FORUM_HOST}/ajax.php?do=nothing"
+    ).status == 404
+
+
+# -- HTTP auth ---------------------------------------------------------------
+
+
+def test_private_area_challenges(forum_client):
+    response = forum_client.get(f"http://{FORUM_HOST}/private.php")
+    assert response.status == 401
+    assert "WWW-Authenticate" in response.headers
+
+
+def test_private_area_with_credentials(forum_client):
+    from repro.net.messages import Request
+
+    request = Request.get(f"http://{FORUM_HOST}/private.php").with_basic_auth(
+        "woodfan", "hunter2"
+    )
+    response = forum_client.request(request)
+    assert response.ok
+    assert "Private messages for woodfan" in response.text_body
+
+
+def test_private_area_wrong_password(forum_client):
+    from repro.net.messages import Request
+
+    request = Request.get(f"http://{FORUM_HOST}/private.php").with_basic_auth(
+        "woodfan", "wrong"
+    )
+    assert forum_client.request(request).status == 401

@@ -1,0 +1,38 @@
+"""Every example must run clean — examples are executable documentation."""
+
+import os
+import runpy
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(
+    os.path.dirname(__file__), os.pardir, "examples"
+)
+
+EXAMPLES = [
+    "quickstart.py",
+    "forum_mobilization.py",
+    "craigslist_ajax.py",
+    "hierarchical_navigation.py",
+    "attribute_tour.py",
+    "device_timing.py",
+    "scalability_demo.py",
+]
+
+
+def test_every_example_is_listed():
+    on_disk = sorted(
+        name for name in os.listdir(EXAMPLES_DIR) if name.endswith(".py")
+    )
+    assert on_disk == sorted(EXAMPLES)
+
+
+@pytest.mark.parametrize("name", EXAMPLES)
+def test_example_runs(name, capsys, monkeypatch):
+    path = os.path.join(EXAMPLES_DIR, name)
+    monkeypatch.setattr(sys, "argv", [path])
+    runpy.run_path(path, run_name="__main__")
+    out = capsys.readouterr().out
+    assert out.strip(), f"{name} produced no output"
+    assert "Traceback" not in out

@@ -1,0 +1,59 @@
+"""Deterministic text/name generation utilities."""
+
+from repro.sim.process import Simulation, run_all, Delay
+from repro.util.names import FIRST_NAMES, LAST_NAMES, USERNAMES
+from repro.util.text import TextGenerator
+
+
+def test_name_pools_are_nonempty_and_unique():
+    assert len(FIRST_NAMES) > 50
+    assert len(set(FIRST_NAMES)) == len(FIRST_NAMES)
+    assert len(set(LAST_NAMES)) == len(LAST_NAMES)
+    assert len(USERNAMES) > 300
+
+
+def test_text_generator_deterministic():
+    a = TextGenerator(seed=5)
+    b = TextGenerator(seed=5)
+    assert [a.title() for __ in range(5)] == [b.title() for __ in range(5)]
+    assert a.paragraph() == b.paragraph()
+
+
+def test_text_generator_seeds_differ():
+    assert TextGenerator(1).paragraph() != TextGenerator(2).paragraph()
+
+
+def test_sentence_shape():
+    generator = TextGenerator()
+    for __ in range(20):
+        sentence = generator.sentence()
+        assert sentence.endswith(".")
+        assert sentence[0].isupper()
+        assert 2 <= len(sentence.split()) <= 20
+
+
+def test_title_word_bounds():
+    generator = TextGenerator()
+    for __ in range(20):
+        title = generator.title(max_words=5)
+        # Prefix phrase plus at most 5 generated tokens.
+        assert len(title.split()) <= 5 + 4
+
+
+def test_paragraph_sentence_count():
+    generator = TextGenerator()
+    paragraph = generator.paragraph(sentences=3)
+    assert paragraph.count(".") >= 3
+
+
+def test_run_all_convenience():
+    sim = Simulation()
+    log = []
+
+    def worker(n):
+        yield Delay(float(n))
+        log.append(n)
+
+    final = run_all(sim, [worker(3), worker(1), worker(2)])
+    assert log == [1, 2, 3]
+    assert final == 3.0

@@ -1,0 +1,65 @@
+"""Generate docs/API.md from package and module docstrings.
+
+Usage:  python tools/gen_api_docs.py
+"""
+
+from __future__ import annotations
+
+import importlib
+import os
+import pkgutil
+import sys
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(__file__), os.pardir, "src")
+)
+
+import repro  # noqa: E402
+
+
+def first_paragraph(doc: str | None) -> str:
+    if not doc:
+        return "(undocumented)"
+    lines = []
+    for line in doc.strip().splitlines():
+        if not line.strip():
+            break
+        lines.append(line.strip())
+    return " ".join(lines)
+
+
+def walk(package) -> list[tuple[str, str]]:
+    entries = [(package.__name__, first_paragraph(package.__doc__))]
+    for info in pkgutil.walk_packages(
+        package.__path__, prefix=package.__name__ + "."
+    ):
+        try:
+            module = importlib.import_module(info.name)
+        except Exception as exc:  # pragma: no cover - report, don't die
+            entries.append((info.name, f"(import failed: {exc})"))
+            continue
+        entries.append((info.name, first_paragraph(module.__doc__)))
+    return sorted(entries)
+
+
+def main() -> int:
+    entries = walk(repro)
+    out_dir = os.path.join(os.path.dirname(__file__), os.pardir, "docs")
+    os.makedirs(out_dir, exist_ok=True)
+    path = os.path.join(out_dir, "API.md")
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write("# API index\n\n")
+        handle.write(
+            "One line per module, taken from its docstring.  Regenerate "
+            "with `python tools/gen_api_docs.py`.\n\n"
+        )
+        handle.write("| Module | Purpose |\n|---|---|\n")
+        for name, summary in entries:
+            summary = summary.replace("|", "\\|")
+            handle.write(f"| `{name}` | {summary} |\n")
+    print(f"wrote {path} ({len(entries)} modules)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
