@@ -66,3 +66,68 @@ def test_bench_one_measurement_window(benchmark):
 
     result = benchmark(run)
     assert result.mean_requests_per_minute > 0
+
+
+# ---------------------------------------------------------------------------
+# Figure 7 on real threads: the concurrent runtime instead of the DES
+
+
+@pytest.fixture(scope="module")
+def real_sweep():
+    from repro.bench.scalability import run_real_threadpool_sweep
+
+    # Scaled-down service times (the shape lives in the browser-vs-
+    # lightweight ratio, not the absolute seconds); enough requests per
+    # point for stable wall-clock throughput.
+    # distinct_pages is large so nearly every browser-marked request
+    # pays a full render, matching the paper's cache-free protocol (the
+    # single-flight collapse is reported, not relied on for shape).
+    return run_real_threadpool_sweep(
+        [1.0, 0.75, 0.50, 0.25, 0.10, 0.0],
+        total_requests=600,
+        workers=8,
+        client_threads=8,
+        browser_service_s=0.030,
+        distinct_pages=64,
+    )
+
+
+def test_fig7_real_threadpool_regenerates(real_sweep):
+    print("\n\nFigure 7 (real thread pool): throughput vs % browser requests")
+    print(
+        format_series(
+            "requests satisfied per minute (wall clock)",
+            [
+                (f"{r.browser_fraction:.0%}", r.requests_per_minute)
+                for r in real_sweep
+            ],
+        )
+    )
+    for result in real_sweep:
+        print(
+            f"  {result.browser_fraction:>5.0%}: "
+            f"renders={result.renders} "
+            f"collapsed={result.stampedes_suppressed} "
+            f"queue-wait mean={result.queue_wait_mean_s * 1e3:.3f}ms "
+            f"max={result.queue_wait_max_s * 1e3:.3f}ms "
+            f"pool-waits={result.pool_queue_waits}"
+        )
+        assert result.completed == 600
+        assert result.rejected == result.errors == result.timeouts == 0
+
+
+def test_fig7_real_threadpool_two_orders(real_sweep):
+    by_fraction = {r.browser_fraction: r for r in real_sweep}
+    ratio = (
+        by_fraction[0.0].requests_per_minute
+        / by_fraction[1.0].requests_per_minute
+    )
+    print(f"\nreal-thread improvement at 0% vs 100%: {ratio:,.0f}x")
+    assert ratio > 100
+
+
+def test_fig7_real_threadpool_reports_contention(real_sweep):
+    heavy = real_sweep[0]  # 100% browser
+    assert heavy.renders > 0
+    assert heavy.renders + heavy.stampedes_suppressed == 600
+    assert heavy.pool_queue_waits > 0  # 8 workers over 4 browser slots

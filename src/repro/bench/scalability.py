@@ -18,14 +18,27 @@ The experiment runs on the discrete-event simulator: a closed population
 of clients issues requests back-to-back; each request occupies one of two
 cores for its service time (browser launch+render, or the lightweight
 proxy path); completions inside the measurement window are counted.
+
+A second, wall-clock mode (:func:`run_real_threadpool_experiment`) drives
+the same workload through the real concurrent runtime — OS threads, the
+bounded-admission executor, the semaphore-bounded browser pool, and the
+single-flight pre-render cache — with sleeps standing in for service
+times, so Figure 7 can also be reproduced on actual thread contention
+with queue-wait and stampede-suppression metrics.
 """
 
 from __future__ import annotations
 
+import threading
+import time
 from dataclasses import dataclass, field
 
 from repro.browser.costs import BrowserCostModel, DEFAULT_COST_MODEL
 from repro.browser.pool import BrowserPool
+from repro.core.cache import PrerenderCache
+from repro.net.messages import Request, Response
+from repro.net.server import Application
+from repro.runtime.executor import ConcurrentProxy
 from repro.sim.metrics import Tally, WindowedCounter
 from repro.sim.process import Acquire, Delay, Release, Simulation
 from repro.sim.resources import Resource
@@ -157,3 +170,213 @@ def run_browser_percentage_sweep(
         )
         results.append(run_scalability_experiment(config))
     return results
+
+
+# ---------------------------------------------------------------------------
+# The real-thread-pool reproduction (wall clock, actual contention)
+
+
+@dataclass
+class RealThreadPoolConfig:
+    """One wall-clock run through the concurrent runtime.
+
+    Service times are scaled down from the paper's (a ~266 ms browser
+    render would make the sweep take minutes); what matters for the
+    Figure 7 *shape* is the ratio between the browser and lightweight
+    paths, which the defaults keep at two-plus orders of magnitude.
+    """
+
+    browser_fraction: float
+    workers: int = 8
+    client_threads: int = 8
+    total_requests: int = 400
+    queue_limit: int = 0  # 0 -> sized to client_threads (no rejections)
+    request_timeout_s: float | None = None
+    browser_service_s: float = 0.020
+    lightweight_service_s: float = 0.0
+    distinct_pages: int = 8
+    pool_size: int = 4
+    seed: int = 0xF16_7
+
+
+@dataclass
+class RealThreadPoolResult:
+    """What one wall-clock run measured."""
+
+    browser_fraction: float
+    requests_per_minute: float
+    wall_clock_s: float
+    completed: int
+    rejected: int
+    timeouts: int
+    errors: int
+    browser_requests: int
+    lightweight_requests: int
+    renders: int  # actual browser renders after single-flight collapse
+    stampedes_suppressed: int
+    queue_wait_mean_s: float
+    queue_wait_max_s: float
+    queue_depth_peak: int
+    pool_queue_waits: int
+    pool_queue_wait_mean_s: float
+    pool_queue_wait_max_s: float
+
+
+class _ServiceTimeApplication(Application):
+    """Stands in for the generated proxy under the executor.
+
+    Browser-marked requests render "snapshots" through the single-flight
+    cache and the semaphore-bounded pool (a render = holding a pool slot
+    for ``browser_service_s``); lightweight requests cost
+    ``lightweight_service_s``.  Nothing is stored in the cache, so every
+    non-overlapping browser request pays the full render — matching the
+    paper's cache-free Figure 7 protocol — while *concurrent* misses on
+    one page collapse, which is exactly what the stampede counters
+    measure.
+    """
+
+    def __init__(
+        self,
+        browser_service_s: float,
+        lightweight_service_s: float,
+        pool: BrowserPool,
+        cache: PrerenderCache,
+    ) -> None:
+        self.browser_service_s = browser_service_s
+        self.lightweight_service_s = lightweight_service_s
+        self.pool = pool
+        self.cache = cache
+        self.renders = 0
+        self._lock = threading.Lock()
+
+    def handle(self, request: Request) -> Response:
+        page = request.params.get("page", "p0")
+        if request.params.get("browser") == "1":
+
+            def _render() -> str:
+                with self.pool.instance(f"page-{page}"):
+                    if self.browser_service_s > 0:
+                        time.sleep(self.browser_service_s)
+                with self._lock:
+                    self.renders += 1
+                return page
+
+            self.cache.load_or_join(f"snap:{page}", _render)
+        elif self.lightweight_service_s > 0:
+            time.sleep(self.lightweight_service_s)
+        return Response.text("ok")
+
+
+def run_real_threadpool_experiment(
+    config: RealThreadPoolConfig,
+) -> RealThreadPoolResult:
+    """Drive the marked workload through real threads and measure."""
+    if not 0.0 <= config.browser_fraction <= 1.0:
+        raise ValueError("browser_fraction must be within [0, 1]")
+    rng = DeterministicRandom(config.seed ^ id_hash_real(config))
+    # Pre-generate the paper's U[0,1] marking so the workload is
+    # deterministic regardless of thread scheduling.
+    marked = [
+        rng.uniform() <= config.browser_fraction
+        for _ in range(config.total_requests)
+    ]
+    requests = [
+        Request.get(
+            "http://proxy.local/"
+            f"?page=p{index % config.distinct_pages}"
+            f"&browser={'1' if needs_browser else '0'}"
+        )
+        for index, needs_browser in enumerate(marked)
+    ]
+
+    pool = BrowserPool(max_instances=config.pool_size)
+    cache = PrerenderCache()
+    app = _ServiceTimeApplication(
+        browser_service_s=config.browser_service_s,
+        lightweight_service_s=config.lightweight_service_s,
+        pool=pool,
+        cache=cache,
+    )
+    queue_limit = config.queue_limit or max(
+        config.client_threads, config.workers
+    )
+    statuses: dict[int, int] = {}
+    status_lock = threading.Lock()
+    next_index = [0]
+
+    with ConcurrentProxy(
+        app,
+        workers=config.workers,
+        queue_limit=queue_limit,
+        request_timeout_s=config.request_timeout_s,
+    ) as executor:
+
+        def client() -> None:
+            while True:
+                with status_lock:
+                    index = next_index[0]
+                    if index >= len(requests):
+                        return
+                    next_index[0] = index + 1
+                response = executor.handle(requests[index])
+                with status_lock:
+                    statuses[response.status] = (
+                        statuses.get(response.status, 0) + 1
+                    )
+
+        threads = [
+            threading.Thread(target=client, name=f"client-{i}")
+            for i in range(config.client_threads)
+        ]
+        started = time.perf_counter()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        elapsed = time.perf_counter() - started
+        runtime = executor.stats.snapshot()
+
+    completed = statuses.get(200, 0)
+    return RealThreadPoolResult(
+        browser_fraction=config.browser_fraction,
+        requests_per_minute=completed * 60.0 / elapsed if elapsed else 0.0,
+        wall_clock_s=elapsed,
+        completed=completed,
+        rejected=statuses.get(503, 0),
+        timeouts=statuses.get(504, 0),
+        errors=statuses.get(500, 0),
+        browser_requests=sum(marked),
+        lightweight_requests=len(marked) - sum(marked),
+        renders=app.renders,
+        stampedes_suppressed=cache.stats.stampedes_suppressed,
+        queue_wait_mean_s=runtime.mean_queue_wait_s,
+        queue_wait_max_s=runtime.queue_wait_max_s,
+        queue_depth_peak=runtime.queue_depth_peak,
+        pool_queue_waits=pool.stats.queue_waits,
+        pool_queue_wait_mean_s=pool.stats.mean_queue_wait_s,
+        pool_queue_wait_max_s=pool.stats.queue_wait_max_s,
+    )
+
+
+def id_hash_real(config: RealThreadPoolConfig) -> int:
+    """Stable per-configuration stream id, as for the simulated sweep."""
+    return int(config.browser_fraction * 10_000) * 2_654_435_761 & 0xFFFFFFFF
+
+
+def run_real_threadpool_sweep(
+    percentages: list[float] | None = None,
+    **overrides,
+) -> list[RealThreadPoolResult]:
+    """The Figure 7 sweep on real threads.
+
+    ``overrides`` are forwarded to every :class:`RealThreadPoolConfig`
+    (e.g. ``total_requests=2000, browser_service_s=0.05``).
+    """
+    if percentages is None:
+        percentages = [1.0, 0.75, 0.50, 0.25, 0.10, 0.05, 0.01, 0.0]
+    return [
+        run_real_threadpool_experiment(
+            RealThreadPoolConfig(browser_fraction=fraction, **overrides)
+        )
+        for fraction in percentages
+    ]

@@ -7,13 +7,28 @@ state to the next.  We implement the pool anyway so the ablation bench can
 quantify what the security decision costs: a pooled instance skips the
 launch portion of the service time but must be *scrubbed* between users,
 and the scrub is where the security risk lives.
+
+Two faces:
+
+* :meth:`BrowserPool.acquire` / :meth:`~BrowserPool.release` — the
+  cost/accounting model the discrete-event Figure 7 experiment runs on
+  (service seconds, no real blocking).
+* :meth:`BrowserPool.instance` — a real bounded-semaphore acquire for
+  the concurrent runtime: at most ``max_instances`` threads hold a
+  browser at once, the rest queue, and the time they spend queueing is
+  accounted in :class:`PoolStats`.
 """
 
 from __future__ import annotations
 
+import threading
+import time
+from contextlib import contextmanager
 from dataclasses import dataclass, field
+from typing import Optional
 
 from repro.browser.costs import BrowserCostModel, DEFAULT_COST_MODEL
+from repro.errors import PoolTimeoutError
 
 
 @dataclass
@@ -24,15 +39,25 @@ class PoolStats:
     misses: int = 0  # had to launch a new one
     scrubs: int = 0  # state scrubs between distinct users
     leaks_risked: int = 0  # reuses across different users (the hazard)
+    # Real-semaphore accounting (the concurrent runtime's view).
+    acquires: int = 0  # completed semaphore acquisitions
+    queue_waits: int = 0  # acquisitions that had to block for a slot
+    queue_wait_total_s: float = 0.0
+    queue_wait_max_s: float = 0.0
+
+    @property
+    def mean_queue_wait_s(self) -> float:
+        return self.queue_wait_total_s / self.acquires if self.acquires else 0.0
 
 
 @dataclass
 class BrowserPool:
     """A bounded pool of reusable browser instances.
 
-    This is a cost/accounting model (the Figure 7 experiment runs on
-    service times, not real processes): ``acquire`` returns the core
+    ``acquire`` is the cost/accounting model (the Figure 7 experiment
+    runs on service times, not real processes): it returns the core
     seconds the request's browser work costs given pool state.
+    ``instance`` is the real concurrency bound.  Both are thread-safe.
     """
 
     max_instances: int = 4
@@ -42,26 +67,68 @@ class BrowserPool:
     _idle: list[str] = field(default_factory=list)  # last user per instance
     _live_count: int = 0
 
+    def __post_init__(self) -> None:
+        if self.max_instances < 1:
+            raise ValueError("pool needs at least one instance")
+        self._lock = threading.Lock()
+        self._slots = threading.BoundedSemaphore(self.max_instances)
+
     def acquire(self, user_id: str) -> float:
         """Core seconds of browser work for this request; updates stats."""
-        if self._idle:
-            last_user = self._idle.pop()
-            self.stats.hits += 1
-            cost = self.costs.browser_render_s
-            if last_user != user_id:
-                self.stats.scrubs += 1
-                self.stats.leaks_risked += 1
-                cost += self.scrub_cost_s
-            return cost
-        self.stats.misses += 1
-        if self._live_count < self.max_instances:
-            self._live_count += 1
-        return self.costs.browser_request_s
+        with self._lock:
+            if self._idle:
+                last_user = self._idle.pop()
+                self.stats.hits += 1
+                cost = self.costs.browser_render_s
+                if last_user != user_id:
+                    self.stats.scrubs += 1
+                    self.stats.leaks_risked += 1
+                    cost += self.scrub_cost_s
+                return cost
+            self.stats.misses += 1
+            if self._live_count < self.max_instances:
+                self._live_count += 1
+            return self.costs.browser_request_s
 
     def release(self, user_id: str) -> None:
         """Return the instance to the idle set, remembering its user."""
-        if len(self._idle) < self._live_count:
-            self._idle.append(user_id)
+        with self._lock:
+            if len(self._idle) < self._live_count:
+                self._idle.append(user_id)
+
+    @contextmanager
+    def instance(self, user_id: str, timeout: Optional[float] = None):
+        """Hold one of the ``max_instances`` browser slots for real.
+
+        Blocks (up to ``timeout`` seconds, or forever when ``None``)
+        until a slot frees, accounting the wait in
+        :attr:`PoolStats.queue_wait_total_s`.  Yields the service-time
+        cost from :meth:`acquire` so callers can keep the ablation's
+        core-seconds accounting.  Raises :class:`PoolTimeoutError` when
+        the wait exceeds ``timeout``.
+        """
+        waited = 0.0
+        if not self._slots.acquire(blocking=False):
+            start = time.perf_counter()
+            if not self._slots.acquire(timeout=timeout):
+                raise PoolTimeoutError(
+                    f"no browser instance within {timeout}s "
+                    f"({self.max_instances} slots busy)"
+                )
+            waited = time.perf_counter() - start
+        with self._lock:
+            self.stats.acquires += 1
+            if waited > 0.0:
+                self.stats.queue_waits += 1
+                self.stats.queue_wait_total_s += waited
+                self.stats.queue_wait_max_s = max(
+                    self.stats.queue_wait_max_s, waited
+                )
+        try:
+            yield self.acquire(user_id)
+        finally:
+            self.release(user_id)
+            self._slots.release()
 
     @property
     def hit_rate(self) -> float:

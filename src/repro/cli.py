@@ -6,7 +6,10 @@ The admin-facing entry points a deployment actually uses:
 * ``validate``   — check a spec JSON for consistency,
 * ``generate``   — emit proxy shell source from a spec JSON,
 * ``demo``       — run the built-in forum mobilization end to end and
-  print what the proxy produced.
+  print what the proxy produced,
+* ``scalability`` — the Figure 7 sweep: the discrete-event model by
+  default, or ``--real`` to drive actual threads through the concurrent
+  runtime and report queue-wait / stampede-suppression metrics.
 
 Run as ``python -m repro.cli <command>``.
 """
@@ -101,6 +104,68 @@ def _cmd_demo(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_scalability(args: argparse.Namespace) -> int:
+    try:
+        return _run_scalability(args)
+    except (ValueError, MSiteError) as exc:
+        print(f"scalability run failed: {exc}", file=sys.stderr)
+        return 1
+
+
+def _run_scalability(args: argparse.Namespace) -> int:
+    percentages = (
+        [float(p) for p in args.percentages.split(",")]
+        if args.percentages
+        else None
+    )
+    if args.real:
+        from repro.bench.scalability import run_real_threadpool_sweep
+
+        results = run_real_threadpool_sweep(
+            percentages,
+            workers=args.workers,
+            client_threads=args.clients,
+            total_requests=args.requests,
+            browser_service_s=args.browser_service_s,
+        )
+        print(
+            "Figure 7 (real thread pool): "
+            f"{args.workers} workers, {args.clients} clients, "
+            f"{args.requests} requests per point"
+        )
+        print(
+            f"{'browser%':>8}  {'req/min':>12}  {'renders':>7}  "
+            f"{'collapsed':>9}  {'q-wait ms':>9}  {'pool waits':>10}"
+        )
+        for result in results:
+            print(
+                f"{result.browser_fraction * 100:>7.0f}%  "
+                f"{result.requests_per_minute:>12,.0f}  "
+                f"{result.renders:>7}  "
+                f"{result.stampedes_suppressed:>9}  "
+                f"{result.queue_wait_mean_s * 1e3:>9.3f}  "
+                f"{result.pool_queue_waits:>10}"
+            )
+        return 0
+
+    from repro.bench.scalability import run_browser_percentage_sweep
+
+    results = run_browser_percentage_sweep(percentages, use_pool=args.pool)
+    print(
+        "Figure 7 (discrete-event model): 2 cores, "
+        f"pool={'on' if args.pool else 'off'}"
+    )
+    print(f"{'browser%':>8}  {'req/min':>12}  {'browser':>8}  {'light':>8}")
+    for result in results:
+        print(
+            f"{result.browser_fraction * 100:>7.0f}%  "
+            f"{result.mean_requests_per_minute:>12,.0f}  "
+            f"{result.browser_requests:>8}  "
+            f"{result.lightweight_requests:>8}"
+        )
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="msite",
@@ -133,6 +198,41 @@ def build_parser() -> argparse.ArgumentParser:
     commands.add_parser(
         "demo", help="mobilize the built-in forum end to end"
     ).set_defaults(fn=_cmd_demo)
+
+    scalability = commands.add_parser(
+        "scalability", help="run the Figure 7 scalability sweep"
+    )
+    scalability.add_argument(
+        "--real", action="store_true",
+        help="drive real threads through the concurrent runtime "
+        "instead of the discrete-event model",
+    )
+    scalability.add_argument(
+        "--pool", action="store_true",
+        help="enable the browser pool ablation (simulated sweep only)",
+    )
+    scalability.add_argument(
+        "--percentages", default=None,
+        help="comma-separated browser fractions (default: the paper's)",
+    )
+    scalability.add_argument(
+        "--workers", type=int, default=8,
+        help="executor worker threads (--real only, default 8)",
+    )
+    scalability.add_argument(
+        "--clients", type=int, default=8,
+        help="closed-loop client threads (--real only, default 8)",
+    )
+    scalability.add_argument(
+        "--requests", type=int, default=400,
+        help="requests per data point (--real only, default 400)",
+    )
+    scalability.add_argument(
+        "--browser-service-s", type=float, default=0.020,
+        help="scaled browser service time in seconds "
+        "(--real only, default 0.020)",
+    )
+    scalability.set_defaults(fn=_cmd_scalability)
 
     return parser
 

@@ -16,6 +16,7 @@ parameter p is its parameter representing the id in the original call."
 from __future__ import annotations
 
 import re
+import threading
 from dataclasses import dataclass, field
 from typing import Callable, Optional
 
@@ -44,12 +45,18 @@ class AjaxAction:
 
 
 class AjaxActionTable:
-    """The proxy's action registry, built during code generation."""
+    """The proxy's action registry, built during code generation.
+
+    Registration is idempotent per action name and safe to call from
+    concurrent request threads (the proxy merges each session's
+    discovered actions into one shared table).
+    """
 
     def __init__(self) -> None:
         self._actions: dict[int, AjaxAction] = {}
         self._by_name: dict[str, AjaxAction] = {}
         self._next_id = 1
+        self._lock = threading.Lock()
 
     def register(
         self,
@@ -59,21 +66,22 @@ class AjaxActionTable:
         cacheable: bool = False,
         cache_ttl_s: float = 300.0,
     ) -> AjaxAction:
-        existing = self._by_name.get(name)
-        if existing is not None:
-            return existing
-        action = AjaxAction(
-            action_id=self._next_id,
-            name=name,
-            origin_template=origin_template,
-            transform=transform,
-            cacheable=cacheable,
-            cache_ttl_s=cache_ttl_s,
-        )
-        self._actions[action.action_id] = action
-        self._by_name[name] = action
-        self._next_id += 1
-        return action
+        with self._lock:
+            existing = self._by_name.get(name)
+            if existing is not None:
+                return existing
+            action = AjaxAction(
+                action_id=self._next_id,
+                name=name,
+                origin_template=origin_template,
+                transform=transform,
+                cacheable=cacheable,
+                cache_ttl_s=cache_ttl_s,
+            )
+            self._actions[action.action_id] = action
+            self._by_name[name] = action
+            self._next_id += 1
+            return action
 
     def get(self, action_id: int) -> Optional[AjaxAction]:
         return self._actions.get(action_id)

@@ -4,12 +4,23 @@
 amortizing the initial pre-rendering cost across many users. ... a cached
 snapshot of the main page of a site can be set to expire after an hour."
 (§3.3)
+
+The cache is safe to share across request-handling threads.  All
+bookkeeping happens under one internal lock, and misses can be collapsed
+with **single-flight** semantics (:meth:`PrerenderCache.load_or_join`):
+when many concurrent requests miss on the same key, exactly one of them
+runs the expensive loader (a browser render, an origin fetch) while the
+rest block and share its result.  This is the proxy-side analog of the
+request-collapsing DRIVESHAFT applies to CDN-scale snapshotting —
+amortization only works if a stampede of cold misses costs one render,
+not N.  Suppressed stampedes are counted in :class:`CacheStats`.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Optional
+import threading
+from dataclasses import dataclass
+from typing import Callable, Optional
 
 
 @dataclass
@@ -22,6 +33,11 @@ class CacheEntry:
     hits: int = 0
 
     def fresh(self, now: float) -> bool:
+        """Strictly-less-than freshness: an entry whose TTL has *exactly*
+        elapsed is expired, and ``ttl_s <= 0`` is never fresh — even on a
+        clock that has not advanced since the store."""
+        if self.ttl_s <= 0:
+            return False
         return now - self.stored_at < self.ttl_s
 
     @property
@@ -35,6 +51,12 @@ class CacheStats:
     misses: int = 0
     expirations: int = 0
     stores: int = 0
+    evictions: int = 0
+    # Single-flight accounting: ``flights`` counts loader executions,
+    # ``stampedes_suppressed`` counts callers that joined an in-progress
+    # flight instead of rendering redundantly.
+    flights: int = 0
+    stampedes_suppressed: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -42,13 +64,31 @@ class CacheStats:
         return self.hits / total if total else 0.0
 
 
+class _Flight:
+    """One in-progress loader execution that concurrent misses join."""
+
+    __slots__ = ("done", "result", "error", "owner")
+
+    def __init__(self, owner: int) -> None:
+        self.done = threading.Event()
+        self.result: object = None
+        self.error: Optional[BaseException] = None
+        self.owner = owner  # thread id of the leader, for reentrancy
+
+
 class PrerenderCache:
-    """TTL cache for rendered snapshots and adapted fragments."""
+    """TTL cache for rendered snapshots and adapted fragments.
+
+    Thread-safe; the internal lock is never held while a single-flight
+    loader runs, so loaders may freely call back into the cache.
+    """
 
     def __init__(self, clock=None, max_bytes: int = 64 * 1024 * 1024) -> None:
         self.clock = clock
         self.max_bytes = max_bytes
         self._entries: dict[str, CacheEntry] = {}
+        self._flights: dict[str, _Flight] = {}
+        self._lock = threading.RLock()
         self.stats = CacheStats()
 
     @property
@@ -56,18 +96,29 @@ class PrerenderCache:
         return self.clock.now if self.clock is not None else 0.0
 
     def get(self, key: str) -> Optional[CacheEntry]:
-        entry = self._entries.get(key)
-        if entry is None:
-            self.stats.misses += 1
-            return None
-        if not entry.fresh(self._now):
-            del self._entries[key]
-            self.stats.expirations += 1
-            self.stats.misses += 1
-            return None
-        entry.hits += 1
-        self.stats.hits += 1
-        return entry
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.stats.misses += 1
+                return None
+            if not entry.fresh(self._now):
+                del self._entries[key]
+                self.stats.expirations += 1
+                self.stats.misses += 1
+                return None
+            entry.hits += 1
+            self.stats.hits += 1
+            return entry
+
+    def peek(self, key: str) -> Optional[CacheEntry]:
+        """Lookup without touching hit/miss statistics or entry hit
+        counts.  Single-flight loaders use this for their double-check so
+        a collapsed stampede is not double-counted as misses."""
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None or not entry.fresh(self._now):
+                return None
+            return entry
 
     def put(
         self,
@@ -78,35 +129,120 @@ class PrerenderCache:
     ) -> CacheEntry:
         if isinstance(data, str):
             data = data.encode("utf-8")
-        entry = CacheEntry(
-            key=key,
-            data=data,
-            content_type=content_type,
-            stored_at=self._now,
-            ttl_s=ttl_s,
-        )
-        self._entries[key] = entry
-        self.stats.stores += 1
-        self._evict_if_needed()
-        return entry
+        with self._lock:
+            entry = CacheEntry(
+                key=key,
+                data=data,
+                content_type=content_type,
+                stored_at=self._now,
+                ttl_s=ttl_s,
+            )
+            self._entries[key] = entry
+            self.stats.stores += 1
+            self._evict_if_needed()
+            return entry
 
     def invalidate(self, key: str) -> bool:
-        return self._entries.pop(key, None) is not None
+        with self._lock:
+            return self._entries.pop(key, None) is not None
 
     def clear(self) -> None:
-        self._entries.clear()
+        with self._lock:
+            self._entries.clear()
 
     @property
     def total_bytes(self) -> int:
-        return sum(entry.size for entry in self._entries.values())
+        with self._lock:
+            return sum(entry.size for entry in self._entries.values())
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
+
+    # ------------------------------------------------------------------
+    # single-flight
+
+    def load_or_join(self, key: str, loader: Callable[[], object]) -> object:
+        """Run ``loader`` once per key across concurrent callers.
+
+        The first caller for ``key`` becomes the leader and executes
+        ``loader`` (with no cache lock held); every caller that arrives
+        while the flight is in progress blocks until the leader finishes
+        and receives the same result (or the same exception).  The flight
+        is forgotten once it completes, so a later expiry triggers a
+        fresh load.  A leader that re-enters the same key on the same
+        thread runs the loader directly rather than deadlocking on its
+        own flight.
+        """
+        me = threading.get_ident()
+        with self._lock:
+            existing = self._flights.get(key)
+            if existing is not None and existing.owner == me:
+                # Reentrant: the leader's loader consulted the cache
+                # again; run directly rather than joining our own flight.
+                existing = None
+                flight = None
+            elif existing is not None:
+                self.stats.stampedes_suppressed += 1
+                flight = None
+            else:
+                flight = _Flight(owner=me)
+                self._flights[key] = flight
+                self.stats.flights += 1
+        if existing is not None:
+            existing.done.wait()
+            if existing.error is not None:
+                raise existing.error
+            return existing.result
+        if flight is None:  # reentrant leader
+            return loader()
+        try:
+            flight.result = loader()
+        except BaseException as exc:
+            flight.error = exc
+        finally:
+            with self._lock:
+                self._flights.pop(key, None)
+            flight.done.set()
+        if flight.error is not None:
+            raise flight.error
+        return flight.result
+
+    def get_or_load(
+        self,
+        key: str,
+        loader: Callable[[], bytes | str],
+        content_type: str = "application/octet-stream",
+        ttl_s: float = 3600.0,
+    ) -> CacheEntry:
+        """``get`` with a single-flight fill on miss: concurrent misses
+        on one key run ``loader`` exactly once and all receive the stored
+        entry."""
+        entry = self.get(key)
+        if entry is not None:
+            return entry
+
+        def _fill() -> CacheEntry:
+            cached = self.peek(key)
+            if cached is not None:
+                return cached
+            return self.put(
+                key, loader(), content_type=content_type, ttl_s=ttl_s
+            )
+
+        return self.load_or_join(key, _fill)
+
+    # ------------------------------------------------------------------
 
     def _evict_if_needed(self) -> None:
-        """Oldest-first eviction when over the byte budget."""
-        while self.total_bytes > self.max_bytes and self._entries:
+        """Oldest-first eviction when over the byte budget (caller holds
+        the lock)."""
+        while (
+            sum(e.size for e in self._entries.values()) > self.max_bytes
+            and self._entries
+        ):
             oldest_key = min(
                 self._entries, key=lambda key: self._entries[key].stored_at
             )
             del self._entries[oldest_key]
+            self.stats.evictions += 1

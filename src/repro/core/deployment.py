@@ -89,16 +89,8 @@ class ProxyDeployment(Application):
     def total_counters(self) -> ProxyCounters:
         total = ProxyCounters()
         for entry in self._entries.values():
-            counters = entry.proxy.counters
-            total.requests += counters.requests
-            total.entry_pages += counters.entry_pages
-            total.subpages += counters.subpages
-            total.ajax_actions += counters.ajax_actions
-            total.browser_renders += counters.browser_renders
-            total.lightweight_requests += counters.lightweight_requests
-            total.errors += counters.errors
-            total.browser_core_seconds += counters.browser_core_seconds
-            total.lightweight_core_seconds += (
-                counters.lightweight_core_seconds
+            snap = entry.proxy.counters.snapshot()
+            total.add(
+                **{name: getattr(snap, name) for name in ProxyCounters.FIELDS}
             )
         return total

@@ -266,39 +266,81 @@ class AdaptationPipeline:
             f":s{spec.snapshot_scale}:q{spec.snapshot_quality}"
         )
 
+    def _cached_snapshot_bundle(
+        self, key: str, record_stats: bool = True
+    ) -> Optional[dict]:
+        """Reassemble a manifest+image bundle from the cache, or ``None``.
+
+        ``record_stats=False`` uses :meth:`PrerenderCache.peek` so
+        single-flight double-checks don't skew hit/miss accounting.
+        """
+        cache = self.services.cache
+        lookup = cache.get if record_stats else cache.peek
+        entry = lookup(key)
+        if entry is None:
+            return None
+        image_entry = lookup(key + ":image")
+        if image_entry is None:
+            return None
+        bundle = json.loads(entry.data.decode("utf-8"))
+        bundle["image_bytes"] = image_entry.data
+        return bundle
+
+    def _store_snapshot_bundle(
+        self, key: str, bundle: dict, ttl_s: float
+    ) -> None:
+        manifest = {
+            key_: value
+            for key_, value in bundle.items()
+            if key_ != "image_bytes"
+        }
+        self.services.cache.put(
+            key,
+            json.dumps(manifest),
+            content_type="application/json",
+            ttl_s=ttl_s,
+        )
+        self.services.cache.put(
+            key + ":image",
+            bundle["image_bytes"],
+            content_type="image/jpeg",
+            ttl_s=ttl_s,
+        )
+
     def _obtain_snapshot(
         self, ctx: PipelineContext, result: AdaptedPage, force_refresh: bool
     ) -> dict:
         key = self._snapshot_cache_key(ctx)
-        if ctx.cache_snapshot and not force_refresh:
-            entry = self.services.cache.get(key)
-            if entry is not None:
-                bundle = json.loads(entry.data.decode("utf-8"))
-                image_entry = self.services.cache.get(key + ":image")
-                if image_entry is not None:
-                    bundle["image_bytes"] = image_entry.data
-                    result.snapshot_from_cache = True
-                    result.snapshot_bytes = len(image_entry.data)
-                    return bundle
-        bundle = self._render_snapshot(ctx, result)
-        if ctx.cache_snapshot:
-            manifest = {
-                key_: value
-                for key_, value in bundle.items()
-                if key_ != "image_bytes"
-            }
-            self.services.cache.put(
-                key,
-                json.dumps(manifest),
-                content_type="application/json",
-                ttl_s=ctx.cache_ttl_s,
-            )
-            self.services.cache.put(
-                key + ":image",
-                bundle["image_bytes"],
-                content_type="image/jpeg",
-                ttl_s=ctx.cache_ttl_s,
-            )
+        if not ctx.cache_snapshot:
+            return self._render_snapshot(ctx, result)
+        if force_refresh:
+            bundle = self._render_snapshot(ctx, result)
+            self._store_snapshot_bundle(key, bundle, ctx.cache_ttl_s)
+            return bundle
+        bundle = self._cached_snapshot_bundle(key)
+        if bundle is not None:
+            result.snapshot_from_cache = True
+            result.snapshot_bytes = len(bundle["image_bytes"])
+            return bundle
+
+        rendered_here = False
+
+        def _render_and_store() -> dict:
+            nonlocal rendered_here
+            cached = self._cached_snapshot_bundle(key, record_stats=False)
+            if cached is not None:
+                return cached
+            rendered_here = True
+            fresh = self._render_snapshot(ctx, result)
+            self._store_snapshot_bundle(key, fresh, ctx.cache_ttl_s)
+            return fresh
+
+        # Single flight: concurrent sessions cold-missing on this page
+        # share one browser render instead of stampeding the pool.
+        bundle = self.services.cache.load_or_join(key, _render_and_store)
+        if not rendered_here:
+            result.snapshot_from_cache = True
+            result.snapshot_bytes = len(bundle["image_bytes"])
         return bundle
 
     def _render_snapshot(
@@ -519,23 +561,21 @@ class AdaptationPipeline:
             f":{definition.subpage_id}:q{quality}"
             f":w{self.spec.viewport_width}"
         )
-        cached = None
-        if definition.cacheable:
-            # §3.3 object caching: "Once a cacheable object is rendered,
-            # it is placed into a pre-render cache on the server and can
-            # be used by the attribute system as needed."
-            manifest_entry = self.services.cache.get(cache_key)
-            image_entry = self.services.cache.get(cache_key + ":image")
-            if manifest_entry is not None and image_entry is not None:
-                cached = json.loads(manifest_entry.data.decode("utf-8"))
-                cached["image_bytes"] = image_entry.data
+        def _cached_objrender(record_stats: bool = True) -> Optional[dict]:
+            lookup = (
+                self.services.cache.get
+                if record_stats
+                else self.services.cache.peek
+            )
+            manifest_entry = lookup(cache_key)
+            image_entry = lookup(cache_key + ":image")
+            if manifest_entry is None or image_entry is None:
+                return None
+            bundle = json.loads(manifest_entry.data.decode("utf-8"))
+            bundle["image_bytes"] = image_entry.data
+            return bundle
 
-        if cached is not None:
-            image_bytes = cached["image_bytes"]
-            image_width = cached["width"]
-            image_height = cached["height"]
-            search_block = cached["search_block"]
-        else:
+        def _render_objrender() -> dict:
             document = build_subpage_document(
                 definition, ctx.plan, ctx.page_url_for, taken
             )
@@ -609,6 +649,34 @@ class AdaptationPipeline:
                     content_type="image/jpeg",
                     ttl_s=definition.cache_ttl_s,
                 )
+            return {
+                "image_bytes": image_bytes,
+                "width": image_width,
+                "height": image_height,
+                "search_block": search_block,
+            }
+
+        if definition.cacheable:
+            # §3.3 object caching: "Once a cacheable object is rendered,
+            # it is placed into a pre-render cache on the server and can
+            # be used by the attribute system as needed."  Cold misses
+            # from concurrent sessions collapse into one render.
+            bundle = _cached_objrender()
+            if bundle is None:
+
+                def _load() -> dict:
+                    double_check = _cached_objrender(record_stats=False)
+                    if double_check is not None:
+                        return double_check
+                    return _render_objrender()
+
+                bundle = self.services.cache.load_or_join(cache_key, _load)
+        else:
+            bundle = _render_objrender()
+        image_bytes = bundle["image_bytes"]
+        image_width = bundle["width"]
+        image_height = bundle["height"]
+        search_block = bundle["search_block"]
         image_path = (
             f"{self.image_dir}/{definition.subpage_id}.jpg"
         )

@@ -23,7 +23,9 @@ describes:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import threading
+
+from dataclasses import dataclass
 from typing import Optional
 
 from repro.core.ajax import AjaxActionTable
@@ -41,9 +43,9 @@ from repro.net.server import Application
 from repro.net.url import unquote
 
 
-@dataclass
-class ProxyCounters:
-    """Load accounting for the scalability analysis."""
+@dataclass(frozen=True)
+class CounterSnapshot:
+    """A consistent point-in-time copy of :class:`ProxyCounters`."""
 
     requests: int = 0
     entry_pages: int = 0
@@ -56,8 +58,76 @@ class ProxyCounters:
     lightweight_core_seconds: float = 0.0
 
 
+class ProxyCounters:
+    """Load accounting for the scalability analysis.
+
+    Thread-safe: request handlers mutate it through :meth:`add`, which
+    applies all of its deltas under one lock so a multi-field update
+    (e.g. a subpage hit bumping ``subpages`` *and* the lightweight
+    accounting) can never be observed half-applied.  The bench layer
+    reads a consistent view through :meth:`snapshot`.
+    """
+
+    FIELDS = (
+        "requests",
+        "entry_pages",
+        "subpages",
+        "ajax_actions",
+        "browser_renders",
+        "lightweight_requests",
+        "errors",
+        "browser_core_seconds",
+        "lightweight_core_seconds",
+    )
+
+    def __init__(self, **initial: float) -> None:
+        self._lock = threading.Lock()
+        self.requests = 0
+        self.entry_pages = 0
+        self.subpages = 0
+        self.ajax_actions = 0
+        self.browser_renders = 0
+        self.lightweight_requests = 0
+        self.errors = 0
+        self.browser_core_seconds = 0.0
+        self.lightweight_core_seconds = 0.0
+        for name, value in initial.items():
+            if name not in self.FIELDS:
+                raise TypeError(f"unknown counter {name!r}")
+            setattr(self, name, value)
+
+    def add(self, **deltas: float) -> None:
+        """Atomically apply every ``field=delta`` in one lock hold."""
+        with self._lock:
+            for name, delta in deltas.items():
+                if name not in self.FIELDS:
+                    raise TypeError(f"unknown counter {name!r}")
+                setattr(self, name, getattr(self, name) + delta)
+
+    def snapshot(self) -> CounterSnapshot:
+        with self._lock:
+            return CounterSnapshot(
+                **{name: getattr(self, name) for name in self.FIELDS}
+            )
+
+    def __repr__(self) -> str:
+        body = ", ".join(
+            f"{name}={getattr(self, name)!r}" for name in self.FIELDS
+        )
+        return f"ProxyCounters({body})"
+
+
 class MSiteProxy(Application):
-    """The generated proxy for one adapted page."""
+    """The generated proxy for one adapted page.
+
+    Safe to drive from many threads at once (see
+    ``docs/CONCURRENCY.md``): sessions are guarded by per-session locks,
+    shared tables by one proxy-wide lock, counters are atomic, and the
+    expensive snapshot render collapses concurrent cold misses into a
+    single flight through the shared pre-render cache.  Wrap it in
+    :class:`repro.runtime.ConcurrentProxy` for a bounded thread pool
+    with admission control.
+    """
 
     def __init__(
         self,
@@ -75,6 +145,9 @@ class MSiteProxy(Application):
         self.ajax_table = AjaxActionTable()
         self.counters = ProxyCounters()
         self._adapted: dict[str, AdaptedPage] = {}
+        # Guards _adapted and the shared ajax table; per-session work is
+        # serialized by each session's own lock (always acquired first).
+        self._lock = threading.RLock()
 
     def _page_dir(self, session: MobileSession) -> str:
         if self.namespace:
@@ -87,7 +160,7 @@ class MSiteProxy(Application):
     # ------------------------------------------------------------------
 
     def handle(self, request: Request) -> Response:
-        self.counters.requests += 1
+        self.counters.add(requests=1)
         params = request.params
         try:
             session, is_new = self._resolve_session(request)
@@ -129,7 +202,7 @@ class MSiteProxy(Application):
         except AuthenticationRequired:
             return Response.redirect(f"{self.proxy_base}?auth=1")
         except FetchError as exc:
-            self.counters.errors += 1
+            self.counters.add(errors=1)
             return Response.text(
                 f"m.Site proxy: originating page unavailable ({exc})",
                 status=502,
@@ -137,7 +210,7 @@ class MSiteProxy(Application):
         except AdaptationError as exc:
             # The originating page no longer matches the spec (content
             # drift, malformed markup): fail this request, not the proxy.
-            self.counters.errors += 1
+            self.counters.add(errors=1)
             return Response.text(
                 f"m.Site proxy: adaptation failed ({exc}); "
                 f"the administrator should refresh the spec",
@@ -173,43 +246,55 @@ class MSiteProxy(Application):
     def _ensure_adapted(
         self, session: MobileSession, force: bool = False
     ) -> AdaptedPage:
-        adapted = self._adapted.get(session.session_id)
-        if adapted is not None and not force:
-            return adapted
-        pipeline = AdaptationPipeline(
-            self.spec, self.services, session,
-            proxy_base=self.proxy_base, namespace=self.namespace,
-        )
-        adapted = pipeline.run(force_refresh=force)
-        # Merge discovered AJAX actions into the proxy-wide table so the
-        # rewritten links on every session's pages resolve.
-        for action in adapted.ajax_table or []:
-            self.ajax_table.register(
-                action.name,
-                action.origin_template,
-                transform=action.transform,
-                cacheable=action.cacheable,
-                cache_ttl_s=action.cache_ttl_s,
+        # The session lock makes the check-then-adapt atomic per session:
+        # two concurrent requests from one device run the pipeline once.
+        # Requests from *different* sessions adapt in parallel, and their
+        # concurrent snapshot renders collapse in the cache's single
+        # flight.
+        with session.lock:
+            with self._lock:
+                adapted = self._adapted.get(session.session_id)
+            if adapted is not None and not force:
+                return adapted
+            pipeline = AdaptationPipeline(
+                self.spec, self.services, session,
+                proxy_base=self.proxy_base, namespace=self.namespace,
             )
-        self._adapted[session.session_id] = adapted
-        self._account(adapted)
-        return adapted
+            adapted = pipeline.run(force_refresh=force)
+            with self._lock:
+                # Merge discovered AJAX actions into the proxy-wide table
+                # so the rewritten links on every session's pages resolve.
+                for action in adapted.ajax_table or []:
+                    self.ajax_table.register(
+                        action.name,
+                        action.origin_template,
+                        transform=action.transform,
+                        cacheable=action.cacheable,
+                        cache_ttl_s=action.cache_ttl_s,
+                    )
+                self._adapted[session.session_id] = adapted
+            self._account(adapted)
+            return adapted
 
     def _account(self, adapted: AdaptedPage) -> None:
         if adapted.used_browser:
-            self.counters.browser_renders += 1
+            self.counters.add(
+                browser_renders=1,
+                browser_core_seconds=adapted.browser_core_seconds,
+                lightweight_core_seconds=adapted.lightweight_core_seconds,
+            )
         else:
-            self.counters.lightweight_requests += 1
-        self.counters.browser_core_seconds += adapted.browser_core_seconds
-        self.counters.lightweight_core_seconds += (
-            adapted.lightweight_core_seconds
-        )
+            self.counters.add(
+                lightweight_requests=1,
+                browser_core_seconds=adapted.browser_core_seconds,
+                lightweight_core_seconds=adapted.lightweight_core_seconds,
+            )
 
     def _handle_entry(
         self, session: MobileSession, force: bool = False
     ) -> Response:
         adapted = self._ensure_adapted(session, force=force)
-        self.counters.entry_pages += 1
+        self.counters.add(entry_pages=1)
         stored = self.services.storage.read(adapted.entry_path)
         return Response.binary(stored.data, "text/html; charset=utf-8")
 
@@ -217,10 +302,10 @@ class MSiteProxy(Application):
         self, session: MobileSession, subpage_id: str, fragment: bool
     ) -> Response:
         self._ensure_adapted(session)
-        self.counters.subpages += 1
-        self.counters.lightweight_requests += 1
-        self.counters.lightweight_core_seconds += (
-            self.services.costs.lightweight_request_s
+        self.counters.add(
+            subpages=1,
+            lightweight_requests=1,
+            lightweight_core_seconds=self.services.costs.lightweight_request_s,
         )
         if fragment:
             candidates = [f"{subpage_id}.fragment.html"]
@@ -242,9 +327,9 @@ class MSiteProxy(Application):
 
     def _handle_file(self, session: MobileSession, name: str) -> Response:
         self._ensure_adapted(session)
-        self.counters.lightweight_requests += 1
-        self.counters.lightweight_core_seconds += (
-            self.services.costs.lightweight_request_s
+        self.counters.add(
+            lightweight_requests=1,
+            lightweight_core_seconds=self.services.costs.lightweight_request_s,
         )
         if "/" in name or ".." in name:
             return Response.text("bad file name", status=400)
@@ -263,40 +348,50 @@ class MSiteProxy(Application):
     ) -> Response:
         source = unquote(request.params.get("img", ""))
         quality = request.params.get("q", "40")
-        self.counters.lightweight_requests += 1
-        self.counters.lightweight_core_seconds += (
-            self.services.costs.lightweight_request_s
+        self.counters.add(
+            lightweight_requests=1,
+            lightweight_core_seconds=self.services.costs.lightweight_request_s,
         )
         key = f"lowfi:{source}:q{quality}"
         entry = self.services.cache.get(key)
         if entry is not None:
             return Response.binary(entry.data, entry.content_type)
-        client = self.services.make_client(session.jar)
-        origin_url = (
-            f"http://{self.spec.origin_host}{source}"
-            if source.startswith("/")
-            else f"http://{self.spec.origin_host}/{source}"
-        )
-        try:
-            origin_response = client.get(origin_url)
-        except FetchError:
-            return Response.not_found("image origin unreachable")
-        if not origin_response.ok:
-            return Response.not_found("origin image missing")
-        # Fidelity model: a reduced-quality image ships a fraction of the
-        # original bytes (re-encoding real GIF/JPEG payloads is the
-        # post-processor's job; the proxy cares about cacheable size).
-        try:
-            fraction = max(5, min(100, int(quality))) / 100.0
-        except ValueError:
-            fraction = 0.4
-        reduced = origin_response.body[
-            : max(64, int(len(origin_response.body) * fraction))
-        ]
-        self.services.cache.put(
-            key, reduced, content_type="image/jpeg", ttl_s=3600.0
-        )
-        return Response.binary(reduced, "image/jpeg")
+
+        def _fetch_and_reduce() -> Response:
+            # Single-flight loader: a stampede of misses for one image
+            # fetches the origin once; joiners share the Response.
+            cached = self.services.cache.peek(key)
+            if cached is not None:
+                return Response.binary(cached.data, cached.content_type)
+            client = self.services.make_client(session.jar)
+            origin_url = (
+                f"http://{self.spec.origin_host}{source}"
+                if source.startswith("/")
+                else f"http://{self.spec.origin_host}/{source}"
+            )
+            try:
+                origin_response = client.get(origin_url)
+            except FetchError:
+                return Response.not_found("image origin unreachable")
+            if not origin_response.ok:
+                return Response.not_found("origin image missing")
+            # Fidelity model: a reduced-quality image ships a fraction of
+            # the original bytes (re-encoding real GIF/JPEG payloads is
+            # the post-processor's job; the proxy cares about cacheable
+            # size).
+            try:
+                fraction = max(5, min(100, int(quality))) / 100.0
+            except ValueError:
+                fraction = 0.4
+            reduced = origin_response.body[
+                : max(64, int(len(origin_response.body) * fraction))
+            ]
+            self.services.cache.put(
+                key, reduced, content_type="image/jpeg", ttl_s=3600.0
+            )
+            return Response.binary(reduced, "image/jpeg")
+
+        return self.services.cache.load_or_join(key, _fetch_and_reduce)
 
     # ------------------------------------------------------------------
     # AJAX actions (§4.4)
@@ -304,10 +399,10 @@ class MSiteProxy(Application):
     def _handle_action(
         self, session: MobileSession, request: Request
     ) -> Response:
-        self.counters.ajax_actions += 1
-        self.counters.lightweight_requests += 1
-        self.counters.lightweight_core_seconds += (
-            self.services.costs.lightweight_request_s
+        self.counters.add(
+            ajax_actions=1,
+            lightweight_requests=1,
+            lightweight_core_seconds=self.services.costs.lightweight_request_s,
         )
         self._ensure_adapted(session)
         try:
@@ -323,36 +418,50 @@ class MSiteProxy(Application):
             entry = self.services.cache.get(cache_key)
             if entry is not None:
                 return Response.binary(entry.data, entry.content_type)
-        client = self.services.make_client(session.jar)
-        target = f"http://{self.spec.origin_host}" + action.origin_target(
-            parameter
-        )
-        origin_response = client.get(target)
-        if not origin_response.ok:
-            return Response.text(
-                f"origin ajax call failed ({origin_response.status})",
-                status=502,
+
+        def _call_origin() -> Response:
+            if action.cacheable:
+                cached = self.services.cache.peek(cache_key)
+                if cached is not None:
+                    return Response.binary(cached.data, cached.content_type)
+            client = self.services.make_client(session.jar)
+            target = f"http://{self.spec.origin_host}" + action.origin_target(
+                parameter
             )
-        body = origin_response.text_body
-        if action.transform is not None:
-            body = action.transform(body)
-        if action.cacheable:
-            self.services.cache.put(
-                cache_key,
-                body,
-                content_type="text/html; charset=utf-8",
-                ttl_s=action.cache_ttl_s,
-            )
-        return Response.html(body)
+            origin_response = client.get(target)
+            if not origin_response.ok:
+                return Response.text(
+                    f"origin ajax call failed ({origin_response.status})",
+                    status=502,
+                )
+            body = origin_response.text_body
+            if action.transform is not None:
+                body = action.transform(body)
+            if action.cacheable:
+                self.services.cache.put(
+                    cache_key,
+                    body,
+                    content_type="text/html; charset=utf-8",
+                    ttl_s=action.cache_ttl_s,
+                )
+            return Response.html(body)
+
+        if not action.cacheable:
+            # Non-cacheable actions may carry session state — never share
+            # one origin call across users.
+            return _call_origin()
+        return self.services.cache.load_or_join(cache_key, _call_origin)
 
     # ------------------------------------------------------------------
     # session administration
 
     def _handle_logout(self, session: MobileSession) -> Response:
-        cleared = len(session.jar)
-        session.jar.clear()
-        session.http_credentials.clear()
-        self._adapted.pop(session.session_id, None)
+        with session.lock:
+            cleared = len(session.jar)
+            session.jar.clear()
+            session.http_credentials.clear()
+            with self._lock:
+                self._adapted.pop(session.session_id, None)
         return Response.html(
             f"<html><body>Logged out ({cleared} cookies cleared). "
             f'<a href="{self.proxy_base}">Return</a>.</body></html>'
@@ -375,16 +484,18 @@ class MSiteProxy(Application):
             login_binding = next(
                 iter(self.spec.bindings_for("form_login")), None
             )
-            if login_binding is not None:
-                self._perform_form_login(
-                    session, login_binding, username, password
-                )
-            else:
-                session.http_credentials[self.spec.origin_host] = (
-                    username,
-                    password,
-                )
-            self._adapted.pop(session.session_id, None)
+            with session.lock:
+                if login_binding is not None:
+                    self._perform_form_login(
+                        session, login_binding, username, password
+                    )
+                else:
+                    session.http_credentials[self.spec.origin_host] = (
+                        username,
+                        password,
+                    )
+                with self._lock:
+                    self._adapted.pop(session.session_id, None)
             return Response.redirect(self.proxy_base)
         return Response.html(
             f"""<html><head><title>Authentication required</title></head>

@@ -4,10 +4,19 @@
 issued a session cookie for maintaining state on the server" (§3.2).  Each
 session owns a cookie jar for the originating site, optional stored HTTP
 credentials, and a protected subdirectory in the proxy's file store.
+
+Concurrency: the manager's own tables are guarded by an internal lock,
+so sessions can be issued, resolved, and expired from many
+request-handling threads at once.  Each :class:`MobileSession` carries a
+reentrant per-session lock; the proxy holds it while mutating the
+session's cookie jar, credentials, or adapted-page state, so two
+requests from one device can never interleave destructively while
+requests from different devices proceed in parallel.
 """
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import Optional
 
@@ -28,6 +37,9 @@ class MobileSession:
     http_credentials: dict[str, tuple[str, str]] = field(default_factory=dict)
     last_seen: float = 0.0
     pages_served: int = 0
+    lock: threading.RLock = field(
+        default_factory=threading.RLock, repr=False, compare=False
+    )
 
     @property
     def directory(self) -> str:
@@ -39,7 +51,7 @@ class MobileSession:
 
 
 class SessionManager:
-    """Issues, resolves, and expires mobile sessions."""
+    """Issues, resolves, and expires mobile sessions (thread-safe)."""
 
     def __init__(
         self,
@@ -53,34 +65,40 @@ class SessionManager:
         self.ttl_s = ttl_s
         self._rng = DeterministicRandom(seed)
         self._sessions: dict[str, MobileSession] = {}
+        self._lock = threading.RLock()
 
     @property
     def _now(self) -> float:
         return self.clock.now if self.clock is not None else 0.0
 
     def __len__(self) -> int:
-        return len(self._sessions)
+        with self._lock:
+            return len(self._sessions)
 
     # -- lifecycle -----------------------------------------------------------
 
     def create(self) -> MobileSession:
-        session_id = f"ms{self._rng.next_u64():016x}"
-        session = MobileSession(session_id=session_id, created_at=self._now)
-        session.last_seen = self._now
-        self._sessions[session_id] = session
+        with self._lock:
+            session_id = f"ms{self._rng.next_u64():016x}"
+            session = MobileSession(
+                session_id=session_id, created_at=self._now
+            )
+            session.last_seen = self._now
+            self._sessions[session_id] = session
         self.storage.mkdir(session.directory)
         self.storage.mkdir(session.image_directory)
         return session
 
     def get(self, session_id: str) -> MobileSession:
-        session = self._sessions.get(session_id)
-        if session is None:
-            raise SessionError(f"unknown session {session_id!r}")
-        if self._now - session.last_seen > self.ttl_s:
-            self.destroy(session_id)
-            raise SessionError(f"session {session_id!r} expired")
-        session.last_seen = self._now
-        return session
+        with self._lock:
+            session = self._sessions.get(session_id)
+            if session is None:
+                raise SessionError(f"unknown session {session_id!r}")
+            if self._now - session.last_seen > self.ttl_s:
+                self.destroy(session_id)
+                raise SessionError(f"session {session_id!r} expired")
+            session.last_seen = self._now
+            return session
 
     def get_or_create(self, session_id: Optional[str]) -> MobileSession:
         """Resolve a cookie value to a session, creating one as needed."""
@@ -92,17 +110,19 @@ class SessionManager:
         return self.create()
 
     def destroy(self, session_id: str) -> None:
-        session = self._sessions.pop(session_id, None)
+        with self._lock:
+            session = self._sessions.pop(session_id, None)
         if session is not None:
             self.storage.delete_tree(session.directory)
 
     def expire_idle(self) -> int:
         """Expire sessions idle past the TTL; returns how many died."""
-        doomed = [
-            sid
-            for sid, session in self._sessions.items()
-            if self._now - session.last_seen > self.ttl_s
-        ]
+        with self._lock:
+            doomed = [
+                sid
+                for sid, session in self._sessions.items()
+                if self._now - session.last_seen > self.ttl_s
+            ]
         for session_id in doomed:
             self.destroy(session_id)
         return len(doomed)

@@ -5,9 +5,13 @@ file system under a (protected) subdirectory created specifically for that
 user" (§3.2), and shared pre-rendered objects go to a public cache
 directory.  The store is an in-memory tree so tests and simulations never
 touch the host disk, with the same path semantics a real deployment needs.
+All operations are guarded by one internal lock so concurrent request
+threads can write session artifacts without corrupting the tree.
 """
 
 from __future__ import annotations
+
+import threading
 
 from dataclasses import dataclass, field
 from typing import Optional
@@ -34,6 +38,7 @@ class VirtualFileSystem:
         self._files: dict[str, StoredFile] = {}
         self._dirs: set[str] = {"/"}
         self.bytes_written = 0
+        self._lock = threading.RLock()
 
     # -- directories ----------------------------------------------------
 
@@ -49,29 +54,35 @@ class VirtualFileSystem:
         """Create a directory (and parents); idempotent."""
         path = self._normalize(path).rstrip("/") or "/"
         parts = [part for part in path.split("/") if part]
-        current = ""
-        for part in parts:
-            current += "/" + part
-            self._dirs.add(current)
+        with self._lock:
+            current = ""
+            for part in parts:
+                current += "/" + part
+                self._dirs.add(current)
         return path
 
     def is_dir(self, path: str) -> bool:
-        return self._normalize(path).rstrip("/") in self._dirs or path == "/"
+        with self._lock:
+            return (
+                self._normalize(path).rstrip("/") in self._dirs
+                or path == "/"
+            )
 
     def listdir(self, path: str) -> list[str]:
         """Immediate children (files and directories) of ``path``."""
         path = self._normalize(path).rstrip("/")
         prefix = path + "/"
         children: set[str] = set()
-        for file_path in self._files:
-            if file_path.startswith(prefix):
-                rest = file_path[len(prefix):]
-                children.add(rest.split("/")[0])
-        for dir_path in self._dirs:
-            if dir_path.startswith(prefix):
-                rest = dir_path[len(prefix):]
-                if rest:
+        with self._lock:
+            for file_path in self._files:
+                if file_path.startswith(prefix):
+                    rest = file_path[len(prefix):]
                     children.add(rest.split("/")[0])
+            for dir_path in self._dirs:
+                if dir_path.startswith(prefix):
+                    rest = dir_path[len(prefix):]
+                    if rest:
+                        children.add(rest.split("/")[0])
         return sorted(children)
 
     # -- files -----------------------------------------------------------
@@ -87,46 +98,60 @@ class VirtualFileSystem:
         if isinstance(data, str):
             data = data.encode("utf-8")
         parent = path.rsplit("/", 1)[0]
-        if parent:
-            self.mkdir(parent)
-        stored = StoredFile(
-            path=path, data=data, content_type=content_type, created_at=now
-        )
-        self._files[path] = stored
-        self.bytes_written += len(data)
-        return stored
+        with self._lock:
+            if parent:
+                self.mkdir(parent)
+            stored = StoredFile(
+                path=path, data=data, content_type=content_type,
+                created_at=now,
+            )
+            self._files[path] = stored
+            self.bytes_written += len(data)
+            return stored
 
     def read(self, path: str) -> StoredFile:
         path = self._normalize(path)
-        stored = self._files.get(path)
+        with self._lock:
+            stored = self._files.get(path)
         if stored is None:
             raise FileNotFoundError(path)
         return stored
 
     def exists(self, path: str) -> bool:
-        return self._normalize(path) in self._files
+        with self._lock:
+            return self._normalize(path) in self._files
 
     def delete(self, path: str) -> bool:
-        return self._files.pop(self._normalize(path), None) is not None
+        with self._lock:
+            return self._files.pop(self._normalize(path), None) is not None
 
     def delete_tree(self, path: str) -> int:
         """Remove a directory and everything beneath it; returns files removed."""
         path = self._normalize(path).rstrip("/")
         prefix = path + "/"
-        doomed = [p for p in self._files if p.startswith(prefix) or p == path]
-        for file_path in doomed:
-            del self._files[file_path]
-        self._dirs = {
-            d for d in self._dirs if not (d == path or d.startswith(prefix))
-        }
-        return len(doomed)
+        with self._lock:
+            doomed = [
+                p for p in self._files if p.startswith(prefix) or p == path
+            ]
+            for file_path in doomed:
+                del self._files[file_path]
+            self._dirs = {
+                d
+                for d in self._dirs
+                if not (d == path or d.startswith(prefix))
+            }
+            return len(doomed)
 
     def total_bytes(self, prefix: str = "/") -> int:
         prefix = self._normalize(prefix)
-        return sum(
-            f.size for p, f in self._files.items() if p.startswith(prefix)
-        )
+        with self._lock:
+            return sum(
+                f.size
+                for p, f in self._files.items()
+                if p.startswith(prefix)
+            )
 
     def file_count(self, prefix: str = "/") -> int:
         prefix = self._normalize(prefix)
-        return sum(1 for p in self._files if p.startswith(prefix))
+        with self._lock:
+            return sum(1 for p in self._files if p.startswith(prefix))

@@ -36,3 +36,15 @@ class ParseError(MSiteError):
 
 class CodegenError(MSiteError):
     """The proxy code generator was given an inconsistent spec."""
+
+
+class ConcurrencyError(MSiteError):
+    """The concurrent runtime rejected or could not complete a request."""
+
+
+class AdmissionError(ConcurrencyError):
+    """The executor's bounded admission queue is full."""
+
+
+class PoolTimeoutError(ConcurrencyError):
+    """Waiting for a pooled browser instance exceeded the timeout."""

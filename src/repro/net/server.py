@@ -8,6 +8,7 @@ synthetic sites and the generated proxy both build on.
 from __future__ import annotations
 
 import re
+import threading
 from typing import Callable, Optional
 
 from repro.net.messages import Request, Response
@@ -66,7 +67,8 @@ class Router(Application):
     """
 
     def __init__(self) -> None:
-        self._routes: list[Route] = []
+        self._routes: tuple[Route, ...] = ()
+        self._routes_lock = threading.Lock()
         self.not_found_handler: Handler = lambda request: Response.not_found(
             f"no route for {request.url.path}"
         )
@@ -86,7 +88,10 @@ class Router(Application):
         handler: Callable,
         methods: tuple[str, ...] = ("GET", "POST"),
     ) -> None:
-        self._routes.append(Route(pattern, handler, methods))
+        # Copy-on-write: ``handle`` iterates an immutable snapshot, so
+        # routes can be added while other threads are dispatching.
+        with self._routes_lock:
+            self._routes = self._routes + (Route(pattern, handler, methods),)
 
     def handle(self, request: Request) -> Response:
         for registered in self._routes:

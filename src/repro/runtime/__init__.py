@@ -1,0 +1,22 @@
+"""Concurrent proxy runtime.
+
+The m.Site proxy objects (:class:`~repro.core.proxy.MSiteProxy`) are
+thread-safe; this package supplies the execution layer that actually
+drives them from many clients at once: a bounded-admission thread pool
+with per-request timeouts and queue-wait accounting, the real-machine
+counterpart to the discrete-event Figure 7 scalability model.
+
+See ``docs/CONCURRENCY.md`` for the threading model and lock ordering.
+"""
+
+from repro.runtime.executor import (
+    ConcurrentProxy,
+    RuntimeStats,
+    RuntimeStatsSnapshot,
+)
+
+__all__ = [
+    "ConcurrentProxy",
+    "RuntimeStats",
+    "RuntimeStatsSnapshot",
+]

@@ -1,0 +1,225 @@
+"""A bounded-admission thread pool over any :class:`Application`.
+
+The generated proxy is a plain ``Request -> Response`` object; in a real
+deployment something has to pump requests from many mobile devices into
+it at once.  :class:`ConcurrentProxy` is that something: a fixed pool of
+worker threads fed by a bounded queue.  Admission control (reject with
+503 when the queue is full) and per-request timeouts (504 when the
+deadline passes) bound both memory and client-visible latency — the
+overload behaviour the Figure 7 scalability story depends on, since an
+unbounded queue hides saturation instead of reporting it.
+
+Queue-wait time is accounted per request so the scalability bench can
+report how long requests sat waiting for a worker, separately from how
+long the proxy spent serving them.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from concurrent.futures import CancelledError, Future
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import AdmissionError
+from repro.net.messages import Request, Response
+from repro.net.server import Application
+
+
+@dataclass(frozen=True)
+class RuntimeStatsSnapshot:
+    """A consistent point-in-time copy of :class:`RuntimeStats`."""
+
+    submitted: int = 0
+    rejected: int = 0
+    completed: int = 0
+    failures: int = 0
+    timeouts: int = 0
+    queue_wait_total_s: float = 0.0
+    queue_wait_max_s: float = 0.0
+    queue_depth_peak: int = 0
+
+    @property
+    def mean_queue_wait_s(self) -> float:
+        started = self.submitted - self.rejected
+        return self.queue_wait_total_s / started if started else 0.0
+
+
+class RuntimeStats:
+    """Atomic counters for the executor (one lock, multi-field updates)."""
+
+    FIELDS = (
+        "submitted", "rejected", "completed", "failures", "timeouts",
+        "queue_wait_total_s", "queue_wait_max_s", "queue_depth_peak",
+    )
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._values = {name: 0 for name in self.FIELDS}
+        self._values["queue_wait_total_s"] = 0.0
+        self._values["queue_wait_max_s"] = 0.0
+
+    def add(self, **deltas: float) -> None:
+        with self._lock:
+            for name, delta in deltas.items():
+                if name not in self._values:
+                    raise TypeError(f"unknown runtime stat {name!r}")
+                self._values[name] += delta
+
+    def observe_queue_wait(self, waited_s: float) -> None:
+        with self._lock:
+            self._values["queue_wait_total_s"] += waited_s
+            if waited_s > self._values["queue_wait_max_s"]:
+                self._values["queue_wait_max_s"] = waited_s
+
+    def observe_queue_depth(self, depth: int) -> None:
+        with self._lock:
+            if depth > self._values["queue_depth_peak"]:
+                self._values["queue_depth_peak"] = depth
+
+    def snapshot(self) -> RuntimeStatsSnapshot:
+        with self._lock:
+            return RuntimeStatsSnapshot(**self._values)
+
+
+_SENTINEL = object()
+
+
+class ConcurrentProxy(Application):
+    """Drive an :class:`Application` from a bounded thread pool.
+
+    * ``workers`` threads pull requests off one queue and call
+      ``app.handle``.
+    * The queue holds at most ``queue_limit`` waiting requests; beyond
+      that :meth:`submit` raises :class:`AdmissionError` and
+      :meth:`handle` answers **503**.
+    * :meth:`handle` waits at most ``request_timeout_s`` for the
+      response and answers **504** when the deadline passes (the request
+      is cancelled if still queued).
+    * A handler exception becomes a **500** (and is counted in
+      :attr:`RuntimeStats.failures`) rather than killing the worker.
+
+    Use as a context manager, or call :meth:`close` when done.
+    """
+
+    def __init__(
+        self,
+        app: Application,
+        workers: int = 8,
+        queue_limit: int = 64,
+        request_timeout_s: Optional[float] = None,
+    ) -> None:
+        if workers < 1:
+            raise ValueError("need at least one worker thread")
+        if queue_limit < 1:
+            raise ValueError("queue_limit must be positive")
+        self.app = app
+        self.workers = workers
+        self.queue_limit = queue_limit
+        self.request_timeout_s = request_timeout_s
+        self.stats = RuntimeStats()
+        self._queue: queue.Queue = queue.Queue(maxsize=queue_limit)
+        self._closed = False
+        self._close_lock = threading.Lock()
+        self._threads = [
+            threading.Thread(
+                target=self._worker_loop,
+                name=f"msite-worker-{index}",
+                daemon=True,
+            )
+            for index in range(workers)
+        ]
+        for thread in self._threads:
+            thread.start()
+
+    # -- submission ------------------------------------------------------
+
+    def submit(self, request: Request) -> "Future[Response]":
+        """Enqueue a request; returns a future resolving to the response.
+
+        Raises :class:`AdmissionError` when the queue is full or the
+        executor is closed.
+        """
+        if self._closed:
+            raise AdmissionError("executor is closed")
+        future: "Future[Response]" = Future()
+        item = (future, request, time.perf_counter())
+        try:
+            self._queue.put_nowait(item)
+        except queue.Full:
+            self.stats.add(submitted=1, rejected=1)
+            raise AdmissionError(
+                f"admission queue full ({self.queue_limit} waiting)"
+            ) from None
+        self.stats.add(submitted=1)
+        self.stats.observe_queue_depth(self._queue.qsize())
+        return future
+
+    def handle(self, request: Request) -> Response:
+        """Synchronous facade: submit, wait, map failures to statuses."""
+        try:
+            future = self.submit(request)
+        except AdmissionError as exc:
+            return Response.text(f"proxy overloaded: {exc}", status=503)
+        try:
+            response = future.result(timeout=self.request_timeout_s)
+        except FutureTimeoutError:
+            future.cancel()
+            self.stats.add(timeouts=1)
+            return Response.text(
+                f"proxy timeout after {self.request_timeout_s}s", status=504
+            )
+        except CancelledError:
+            self.stats.add(timeouts=1)
+            return Response.text("request cancelled", status=504)
+        except Exception as exc:
+            self.stats.add(failures=1)
+            return Response.text(f"proxy error: {exc}", status=500)
+        self.stats.add(completed=1)
+        return response
+
+    # -- worker side -----------------------------------------------------
+
+    def _worker_loop(self) -> None:
+        while True:
+            item = self._queue.get()
+            if item is _SENTINEL:
+                self._queue.task_done()
+                return
+            future, request, enqueued_at = item
+            self.stats.observe_queue_wait(time.perf_counter() - enqueued_at)
+            if not future.set_running_or_notify_cancel():
+                self._queue.task_done()
+                continue  # timed out while queued; caller is gone
+            try:
+                future.set_result(self.app.handle(request))
+            except BaseException as exc:  # keep the worker alive
+                future.set_exception(exc)
+            finally:
+                self._queue.task_done()
+
+    # -- lifecycle -------------------------------------------------------
+
+    def close(self, wait: bool = True) -> None:
+        """Stop accepting work and (optionally) join the workers.
+
+        Requests already queued are still served before workers exit.
+        """
+        with self._close_lock:
+            if self._closed:
+                return
+            self._closed = True
+        for _ in self._threads:
+            self._queue.put(_SENTINEL)  # blocks if full; drains first
+        if wait:
+            for thread in self._threads:
+                thread.join()
+
+    def __enter__(self) -> "ConcurrentProxy":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -90,3 +90,74 @@ def test_sweep_covers_requested_points():
         percentages=[1.0, 0.5, 0.0], runs=1
     )
     assert [r.browser_fraction for r in results] == [1.0, 0.5, 0.0]
+
+
+# ---------------------------------------------------------------------------
+# the real-thread-pool mode (wall-clock smoke; the full two-orders run
+# lives in benchmarks/)
+
+
+def test_real_threadpool_smoke():
+    from repro.bench.scalability import (
+        RealThreadPoolConfig,
+        run_real_threadpool_experiment,
+    )
+
+    heavy = run_real_threadpool_experiment(
+        RealThreadPoolConfig(
+            browser_fraction=1.0,
+            total_requests=80,
+            workers=8,
+            client_threads=8,
+            browser_service_s=0.005,
+        )
+    )
+    light = run_real_threadpool_experiment(
+        RealThreadPoolConfig(
+            browser_fraction=0.0,
+            total_requests=80,
+            workers=8,
+            client_threads=8,
+            browser_service_s=0.005,
+        )
+    )
+    # All requests answered, none dropped.
+    assert heavy.completed == light.completed == 80
+    assert heavy.rejected == heavy.errors == heavy.timeouts == 0
+    assert heavy.browser_requests == 80
+    assert light.browser_requests == 0
+    # Browser-bound load is much slower, and the contention metrics the
+    # DES model can't produce are populated: slot queueing and collapsed
+    # renders.
+    assert light.requests_per_minute > heavy.requests_per_minute * 3
+    assert 0 < heavy.renders <= 80
+    assert heavy.renders + heavy.stampedes_suppressed == 80
+    assert heavy.pool_queue_waits > 0
+    assert light.renders == light.stampedes_suppressed == 0
+    assert heavy.queue_wait_max_s >= heavy.queue_wait_mean_s
+
+
+def test_real_threadpool_fraction_bounds():
+    from repro.bench.scalability import (
+        RealThreadPoolConfig,
+        run_real_threadpool_experiment,
+    )
+
+    with pytest.raises(ValueError):
+        run_real_threadpool_experiment(
+            RealThreadPoolConfig(browser_fraction=2.0)
+        )
+
+
+def test_real_threadpool_sweep_covers_points():
+    from repro.bench.scalability import run_real_threadpool_sweep
+
+    results = run_real_threadpool_sweep(
+        [1.0, 0.0],
+        total_requests=40,
+        workers=4,
+        client_threads=4,
+        browser_service_s=0.002,
+    )
+    assert [r.browser_fraction for r in results] == [1.0, 0.0]
+    assert all(r.completed == 40 for r in results)

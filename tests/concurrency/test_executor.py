@@ -1,0 +1,177 @@
+"""The bounded-admission executor (repro.runtime.ConcurrentProxy)."""
+
+import threading
+import time
+
+import pytest
+
+from repro.errors import AdmissionError
+from repro.net.messages import Request, Response
+from repro.net.server import Application
+from repro.runtime import ConcurrentProxy
+
+
+class GatedApp(Application):
+    """Blocks every request on an event so tests control worker state."""
+
+    def __init__(self):
+        self.gate = threading.Event()
+        self.handled = 0
+        self._lock = threading.Lock()
+
+    def handle(self, request):
+        self.gate.wait()
+        with self._lock:
+            self.handled += 1
+        return Response.text("done")
+
+
+class EchoApp(Application):
+    def handle(self, request):
+        if request.params.get("sleep"):
+            time.sleep(float(request.params["sleep"]))
+        if request.params.get("boom"):
+            raise RuntimeError("handler exploded")
+        return Response.text(request.params.get("v", "ok"))
+
+
+def _req(query=""):
+    return Request.get(f"http://proxy.local/{'?' + query if query else ''}")
+
+
+def test_requests_flow_through_and_are_counted():
+    with ConcurrentProxy(EchoApp(), workers=4, queue_limit=16) as executor:
+        responses = [executor.handle(_req(f"v={i}")) for i in range(20)]
+        assert [r.text_body for r in responses] == [str(i) for i in range(20)]
+        snap = executor.stats.snapshot()
+    assert snap.submitted == 20
+    assert snap.completed == 20
+    assert snap.rejected == snap.failures == snap.timeouts == 0
+
+
+def test_queue_full_rejects_with_503():
+    app = GatedApp()
+    executor = ConcurrentProxy(app, workers=1, queue_limit=2)
+    try:
+        # Occupy the one worker...
+        futures = [executor.submit(_req())]
+        deadline = time.time() + 2.0
+        while executor._queue.qsize() > 0 and time.time() < deadline:
+            time.sleep(0.001)
+        # ...then fill the queue behind it.
+        futures += [executor.submit(_req()) for _ in range(2)]
+        with pytest.raises(AdmissionError):
+            executor.submit(_req())
+        response = executor.handle(_req())
+        assert response.status == 503
+        snap = executor.stats.snapshot()
+        assert snap.rejected == 2
+        app.gate.set()
+        for future in futures:
+            assert future.result(timeout=2.0).status == 200
+    finally:
+        app.gate.set()
+        executor.close()
+
+
+def test_request_timeout_maps_to_504():
+    with ConcurrentProxy(
+        EchoApp(), workers=1, queue_limit=4, request_timeout_s=0.05
+    ) as executor:
+        response = executor.handle(_req("sleep=0.5"))
+        assert response.status == 504
+        assert executor.stats.snapshot().timeouts == 1
+
+
+def test_timed_out_queued_request_is_cancelled_not_served():
+    app = GatedApp()
+    executor = ConcurrentProxy(
+        app, workers=1, queue_limit=4, request_timeout_s=0.05
+    )
+    try:
+        blocker = executor.submit(_req())
+        response = executor.handle(_req())  # queued behind the blocker
+        assert response.status == 504
+        app.gate.set()
+        assert blocker.result(timeout=2.0).status == 200
+        executor.close()
+        # Only the blocker ran; the timed-out request was cancelled in
+        # the queue and never reached the app.
+        assert app.handled == 1
+    finally:
+        app.gate.set()
+        executor.close()
+
+
+def test_handler_exception_maps_to_500_and_worker_survives():
+    with ConcurrentProxy(EchoApp(), workers=1, queue_limit=4) as executor:
+        assert executor.handle(_req("boom=1")).status == 500
+        # Same (sole) worker must still serve the next request.
+        assert executor.handle(_req("v=alive")).text_body == "alive"
+        snap = executor.stats.snapshot()
+    assert snap.failures == 1
+    assert snap.completed == 1
+
+
+def test_queue_wait_is_accounted():
+    app = GatedApp()
+    executor = ConcurrentProxy(app, workers=1, queue_limit=8)
+    try:
+        futures = [executor.submit(_req()) for _ in range(4)]
+        time.sleep(0.08)  # requests sit queued behind the gated worker
+        app.gate.set()
+        for future in futures:
+            future.result(timeout=2.0)
+        snap = executor.stats.snapshot()
+        assert snap.queue_wait_total_s > 0.05
+        assert snap.queue_wait_max_s >= snap.queue_wait_total_s / 4
+        assert snap.queue_depth_peak >= 2
+        assert snap.mean_queue_wait_s > 0.0
+    finally:
+        app.gate.set()
+        executor.close()
+
+
+def test_close_drains_queued_work_then_rejects():
+    executor = ConcurrentProxy(EchoApp(), workers=2, queue_limit=8)
+    futures = [executor.submit(_req(f"v={i}")) for i in range(6)]
+    executor.close()
+    assert [f.result(timeout=2.0).text_body for f in futures] == [
+        str(i) for i in range(6)
+    ]
+    with pytest.raises(AdmissionError):
+        executor.submit(_req())
+    assert executor.handle(_req()).status == 503
+
+
+def test_constructor_validation():
+    with pytest.raises(ValueError):
+        ConcurrentProxy(EchoApp(), workers=0)
+    with pytest.raises(ValueError):
+        ConcurrentProxy(EchoApp(), queue_limit=0)
+
+
+def test_many_threads_hammer_counters_consistently():
+    """Stats from 8 submitting threads must sum exactly."""
+    with ConcurrentProxy(EchoApp(), workers=4, queue_limit=64) as executor:
+        per_thread = 50
+        statuses = []
+        lock = threading.Lock()
+
+        def client():
+            mine = [executor.handle(_req()).status for _ in range(per_thread)]
+            with lock:
+                statuses.extend(mine)
+
+        threads = [threading.Thread(target=client) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        snap = executor.stats.snapshot()
+
+    assert len(statuses) == 8 * per_thread
+    assert snap.submitted == snap.completed + snap.rejected
+    assert statuses.count(200) == snap.completed
+    assert statuses.count(503) == snap.rejected
+    assert snap.failures == snap.timeouts == 0

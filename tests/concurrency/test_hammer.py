@@ -1,0 +1,211 @@
+"""The load harness: 16 device threads hammer one proxy through the
+concurrent runtime with mixed traffic.
+
+Verifies the whole-system guarantees the runtime claims:
+
+* no lost or duplicated counter increments — the proxy's counters sum
+  exactly to the per-thread request tallies,
+* exactly one browser render per cold cache key (single flight), with
+  the suppressed stampede visible in the cache stats,
+* no session cross-talk — every device keeps its own origin identity.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.core.pipeline import ProxyServices
+from repro.core.proxy import MSiteProxy
+from repro.core.spec import AdaptationSpec, ObjectSelector
+from repro.net.client import HttpClient
+from repro.net.cookies import CookieJar
+from repro.net.messages import Response
+from repro.net.server import Application, Router
+from repro.runtime import ConcurrentProxy
+from repro.sim.rng import DeterministicRandom
+
+ORIGIN_HOST = "tiny.example.org"
+PROXY_HOST = "m.tiny.example.org"
+
+THREADS = 16
+REQUESTS_PER_THREAD = 200
+
+PAGE_HTML = """<!DOCTYPE html>
+<html><head><title>Tiny</title></head>
+<body>
+<div id="main"><h1>Tiny site</h1><img src="/pic.gif" alt="pic"></div>
+<div id="extra"><p>Deep content</p><a href="/other.php">other</a></div>
+<a href="api.php?do=ping&id=1">refresh</a>
+</body></html>
+"""
+
+
+class TinyOrigin(Router):
+    """A minimal origin that tags each new visitor with a unique cookie.
+
+    The ``tag`` cookie is the cross-talk detector: it is issued once per
+    cookie-less visitor, so if two proxy sessions ever shared a cookie
+    jar, fewer than THREADS distinct tags would exist afterwards.
+    """
+
+    def __init__(self):
+        super().__init__()
+        self._lock = threading.Lock()
+        self._next_tag = 0
+        self.page_requests = 0
+        self.pic_requests = 0
+        self.api_requests = 0
+        self.add_route("/", self._page)
+        self.add_route("/pic.gif", self._pic)
+        self.add_route("/api.php", self._api)
+
+    def _page(self, request):
+        response = Response.html(PAGE_HTML)
+        with self._lock:
+            self.page_requests += 1
+            if request.cookies.get("tag") is None:
+                response.set_cookie("tag", f"visitor-{self._next_tag}")
+                self._next_tag += 1
+        return response
+
+    def _pic(self, request):
+        with self._lock:
+            self.pic_requests += 1
+        return Response.binary(b"GIF89a" + b"\x00" * 2048, "image/gif")
+
+    def _api(self, request):
+        with self._lock:
+            self.api_requests += 1
+        return Response.html(f"<div>pong {request.params.get('id')}</div>")
+
+
+@pytest.fixture()
+def rig():
+    origin = TinyOrigin()
+    spec = AdaptationSpec(
+        site="Tiny", origin_host=ORIGIN_HOST, page_path="/"
+    )
+    spec.add("prerender")
+    spec.add("cacheable", ttl_s=3600)
+    spec.add(
+        "subpage", ObjectSelector.css("#extra"),
+        subpage_id="extra", title="Extra",
+    )
+    spec.add("ajax_rewrite")
+    services = ProxyServices(origins={ORIGIN_HOST: origin})
+
+    # Wrap browser construction: count real renders and hold each one
+    # open long enough that cold-start stampedes genuinely overlap.
+    renders = []
+    renders_lock = threading.Lock()
+    original_make_browser = services.make_browser
+
+    def slow_make_browser(jar, viewport_width):
+        with renders_lock:
+            renders.append(threading.get_ident())
+        time.sleep(0.25)
+        return original_make_browser(jar, viewport_width)
+
+    services.make_browser = slow_make_browser
+    proxy = MSiteProxy(spec, services, proxy_base="proxy.php")
+    return origin, proxy, renders
+
+
+def test_hammer_mixed_traffic(rig):
+    origin, proxy, renders = rig
+    url = f"http://{PROXY_HOST}/proxy.php"
+    barrier = threading.Barrier(THREADS)
+    per_thread = [None] * THREADS
+
+    with ConcurrentProxy(
+        proxy, workers=THREADS, queue_limit=THREADS * 4
+    ) as executor:
+
+        def device(index):
+            rng = DeterministicRandom(0xD0 ^ (index * 0x9E3779B9))
+            client = HttpClient({PROXY_HOST: executor}, jar=CookieJar())
+            counts = {
+                "entry": 0, "subpage": 0, "file": 0, "img": 0, "ajax": 0,
+            }
+            bad = []
+
+            def issue(kind, params):
+                response = client.get(url + params)
+                counts[kind] += 1
+                if response.status != 200:
+                    bad.append((kind, response.status, response.text_body))
+
+            barrier.wait()  # all 16 cold-start together: stampede
+            issue("entry", "")
+            for _ in range(REQUESTS_PER_THREAD - 1):
+                draw = rng.uniform()
+                if draw < 0.05:
+                    issue("entry", "")
+                elif draw < 0.30:
+                    issue("subpage", "?page=extra")
+                elif draw < 0.55:
+                    issue("file", "?file=snapshot.jpg")
+                elif draw < 0.80:
+                    issue("img", "?img=/pic.gif&q=40")
+                else:
+                    issue("ajax", "?action=1&p=1")
+            per_thread[index] = (counts, bad)
+
+        threads = [
+            threading.Thread(target=device, args=(i,), name=f"device-{i}")
+            for i in range(THREADS)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        runtime = executor.stats.snapshot()
+
+    assert all(result is not None for result in per_thread)
+    for counts, bad in per_thread:
+        assert bad == [], f"non-200 responses: {bad[:5]}"
+
+    total = {"entry": 0, "subpage": 0, "file": 0, "img": 0, "ajax": 0}
+    for counts, __ in per_thread:
+        for kind, count in counts.items():
+            total[kind] += count
+    grand_total = sum(total.values())
+    assert grand_total == THREADS * REQUESTS_PER_THREAD
+
+    # -- counters sum exactly: nothing lost, nothing double-counted -----
+    snap = proxy.counters.snapshot()
+    assert snap.requests == grand_total
+    assert snap.entry_pages == total["entry"]
+    assert snap.subpages == total["subpage"]
+    assert snap.ajax_actions == total["ajax"]
+    assert snap.errors == 0
+    # Adaptation ran once per session: 1 leader used the browser, the
+    # other THREADS-1 sessions reused its snapshot (lightweight), and
+    # every non-entry request is lightweight.
+    assert snap.browser_renders == 1
+    assert snap.lightweight_requests == (
+        (THREADS - 1)
+        + total["subpage"] + total["file"] + total["img"] + total["ajax"]
+    )
+
+    # -- single flight: one render per cold key, stampede suppressed ----
+    assert len(renders) == 1
+    cache_stats = proxy.services.cache.stats
+    assert cache_stats.stampedes_suppressed > 0
+    assert origin.pic_requests == 1  # lowfi image: one origin fetch, ever
+    assert origin.page_requests == THREADS  # one adaptation fetch/session
+
+    # -- sessions: no cross-talk ----------------------------------------
+    assert len(proxy.sessions) == THREADS
+    tags = {
+        session.jar.get("tag") and session.jar.get("tag").value
+        for session in proxy.sessions._sessions.values()
+    }
+    assert len(tags) == THREADS
+    assert None not in tags
+
+    # -- executor bookkeeping -------------------------------------------
+    assert runtime.submitted == grand_total
+    assert runtime.completed == grand_total
+    assert runtime.rejected == runtime.failures == runtime.timeouts == 0

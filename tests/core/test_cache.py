@@ -100,3 +100,69 @@ def test_overwrite_refreshes_age(cache, clock):
     cache.put("k", b"v2", ttl_s=10.0)
     clock.advance(8.0)
     assert cache.get("k").data == b"v2"
+
+
+# ---------------------------------------------------------------------------
+# freshness boundary regressions
+
+
+def test_ttl_zero_is_never_fresh(cache):
+    """A ttl_s=0 entry must not be served — not even on a clock that has
+    not advanced since the store (clock=None pins now to 0.0)."""
+    cache.put("k", b"data", ttl_s=0.0)
+    assert cache.get("k") is None
+    assert cache.stats.expirations == 1
+
+
+def test_ttl_zero_is_never_fresh_without_clock():
+    cache = PrerenderCache()  # no clock: now is always 0.0
+    cache.put("k", b"data", ttl_s=0.0)
+    assert cache.get("k") is None
+
+
+def test_negative_ttl_is_never_fresh(cache):
+    cache.put("k", b"data", ttl_s=-5.0)
+    assert cache.get("k") is None
+
+
+def test_exactly_elapsed_ttl_is_expired(cache, clock):
+    """now - stored_at == ttl_s sits on the boundary: expired."""
+    cache.put("k", b"data", ttl_s=10.0)
+    clock.advance(10.0)
+    assert cache.get("k") is None
+    assert cache.stats.expirations == 1
+
+
+def test_just_under_ttl_is_fresh(cache, clock):
+    cache.put("k", b"data", ttl_s=10.0)
+    clock.advance(10.0 - 1e-9)
+    assert cache.get("k") is not None
+
+
+# ---------------------------------------------------------------------------
+# peek and eviction accounting
+
+
+def test_peek_does_not_touch_stats(cache):
+    cache.put("k", b"data")
+    before_hits = cache.stats.hits
+    before_misses = cache.stats.misses
+    assert cache.peek("k") is not None
+    assert cache.peek("absent") is None
+    assert cache.stats.hits == before_hits
+    assert cache.stats.misses == before_misses
+    assert cache.peek("k").hits == 0  # entry hit count untouched too
+
+
+def test_peek_respects_freshness(cache, clock):
+    cache.put("k", b"data", ttl_s=5.0)
+    clock.advance(6.0)
+    assert cache.peek("k") is None
+
+
+def test_eviction_counted_in_stats(clock):
+    cache = PrerenderCache(clock=clock, max_bytes=100)
+    cache.put("a", b"x" * 60)
+    clock.advance(1.0)
+    cache.put("b", b"y" * 60)
+    assert cache.stats.evictions == 1

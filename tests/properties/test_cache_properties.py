@@ -1,0 +1,159 @@
+"""Model-based properties of the pre-render cache.
+
+Hypothesis drives interleaved store / get / clock-advance / invalidate
+sequences against both the real :class:`PrerenderCache` and a
+transparent reference model, checking after every operation that
+
+* total bytes never exceed the configured budget,
+* every ``get`` answers exactly what the model predicts (freshness
+  boundary included),
+* the statistics stay internally consistent (hits+misses == lookups,
+  expirations and evictions never exceed stores).
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.cache import PrerenderCache
+from repro.sim.clock import Clock
+
+KEYS = ("alpha", "beta", "gamma", "delta")
+MAX_BYTES = 120
+
+_op = st.one_of(
+    st.tuples(
+        st.just("put"),
+        st.sampled_from(KEYS),
+        st.integers(min_value=0, max_value=60),
+        st.sampled_from((0.0, 1.0, 5.0, 1000.0)),
+    ),
+    st.tuples(st.just("get"), st.sampled_from(KEYS)),
+    st.tuples(st.just("advance"), st.sampled_from((0.5, 1.0, 2.0, 10.0))),
+    st.tuples(st.just("invalidate"), st.sampled_from(KEYS)),
+)
+
+
+class _Model:
+    """Reference semantics: same freshness rule, same oldest-first
+    eviction the cache documents."""
+
+    def __init__(self):
+        self.now = 0.0
+        self.entries = {}  # key -> (data, stored_at, ttl_s)
+
+    def fresh(self, key):
+        if key not in self.entries:
+            return False
+        __, stored_at, ttl_s = self.entries[key]
+        if ttl_s <= 0:
+            return False
+        return self.now - stored_at < ttl_s
+
+    def put(self, key, data, ttl_s):
+        self.entries[key] = (data, self.now, ttl_s)
+        while (
+            sum(len(d) for d, *_ in self.entries.values()) > MAX_BYTES
+            and self.entries
+        ):
+            oldest = min(
+                self.entries, key=lambda k: self.entries[k][1]
+            )
+            del self.entries[oldest]
+
+    def get(self, key):
+        if key in self.entries and not self.fresh(key):
+            del self.entries[key]
+            return None
+        if key not in self.entries:
+            return None
+        return self.entries[key][0]
+
+    @property
+    def total_bytes(self):
+        return sum(len(d) for d, *_ in self.entries.values())
+
+
+@settings(max_examples=150, deadline=None)
+@given(ops=st.lists(_op, max_size=60))
+def test_cache_matches_reference_model(ops):
+    clock = Clock()
+    cache = PrerenderCache(clock=clock, max_bytes=MAX_BYTES)
+    model = _Model()
+    gets = puts = 0
+
+    for step, op in enumerate(ops):
+        if op[0] == "put":
+            __, key, size, ttl_s = op
+            data = f"{key}:{step}:".encode() + b"x" * size
+            cache.put(key, data, ttl_s=ttl_s)
+            model.put(key, data, ttl_s)
+            puts += 1
+        elif op[0] == "get":
+            __, key = op
+            expected = model.get(key)
+            entry = cache.get(key)
+            if expected is None:
+                assert entry is None
+            else:
+                assert entry is not None
+                assert entry.data == expected
+            gets += 1
+        elif op[0] == "advance":
+            clock.advance(op[1])
+            model.now += op[1]
+        else:
+            __, key = op
+            cache.invalidate(key)
+            model.entries.pop(key, None)
+
+        # Byte budget holds after every single operation.
+        assert cache.total_bytes <= MAX_BYTES
+        assert cache.total_bytes == model.total_bytes
+
+    # Statistics consistency over the whole run.
+    stats = cache.stats
+    assert stats.hits + stats.misses == gets
+    assert stats.stores == puts
+    assert stats.expirations <= gets
+    assert stats.evictions <= puts
+    assert len(cache) == len(model.entries)
+
+
+@settings(max_examples=80, deadline=None)
+@given(
+    ttl_s=st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+    elapsed=st.floats(min_value=0.0, max_value=200.0, allow_nan=False),
+)
+def test_freshness_boundary_property(ttl_s, elapsed):
+    """fresh ⇔ (ttl_s > 0 and elapsed < ttl_s), for any ttl/elapsed."""
+    clock = Clock()
+    cache = PrerenderCache(clock=clock)
+    cache.put("k", b"v", ttl_s=ttl_s)
+    clock.advance(elapsed)
+    served = cache.get("k") is not None
+    assert served == (ttl_s > 0 and elapsed < ttl_s)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    sizes=st.lists(
+        st.integers(min_value=1, max_value=80), min_size=1, max_size=20
+    )
+)
+def test_eviction_keeps_newest_within_budget(sizes):
+    """After any put sequence, surviving entries are a suffix of the
+    insertion order (oldest-first eviction) and fit the budget."""
+    clock = Clock()
+    cache = PrerenderCache(clock=clock, max_bytes=MAX_BYTES)
+    for index, size in enumerate(sizes):
+        cache.put(f"k{index}", b"x" * size, ttl_s=1000.0)
+        clock.advance(1.0)
+    assert cache.total_bytes <= MAX_BYTES
+    survivors = [
+        index for index in range(len(sizes)) if cache.peek(f"k{index}")
+    ]
+    if survivors:
+        # Contiguous suffix: everything older than the oldest survivor
+        # is gone, nothing newer was sacrificed in its place.
+        assert survivors == list(range(survivors[0], len(sizes)))
+    assert cache.stats.evictions == len(sizes) - len(survivors)

@@ -52,6 +52,9 @@ def main() -> int:
         handle.write(
             "One line per module, taken from its docstring.  Regenerate "
             "with `python tools/gen_api_docs.py`.\n\n"
+            "For the threading model, lock ordering, and single-flight "
+            "rendering design behind `repro.runtime`, see "
+            "[CONCURRENCY.md](CONCURRENCY.md).\n\n"
         )
         handle.write("| Module | Purpose |\n|---|---|\n")
         for name, summary in entries:
