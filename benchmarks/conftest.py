@@ -22,6 +22,35 @@ CLASSIFIEDS_HOST = "portland.craigslist.org"
 ARTIFACT_DIR = os.path.join(os.path.dirname(__file__), "artifacts")
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--smoke",
+        action="store_true",
+        default=False,
+        help="run only the quick @pytest.mark.smoke benchmarks (the "
+        "tier-1 gate uses this to keep the bench harness compiling "
+        "and its invariants holding without paying full sweeps)",
+    )
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "smoke: quick benchmark subset run by the tier-1 gate",
+    )
+
+
+def pytest_collection_modifyitems(config, items):
+    if not config.getoption("--smoke"):
+        return
+    skip_full = pytest.mark.skip(
+        reason="full benchmark; tier-1 smoke mode runs @smoke only"
+    )
+    for item in items:
+        if "smoke" not in item.keywords:
+            item.add_marker(skip_full)
+
+
 @pytest.fixture(scope="session")
 def artifact_dir():
     os.makedirs(ARTIFACT_DIR, exist_ok=True)

@@ -24,6 +24,20 @@ def sweep():
     return run_browser_percentage_sweep(runs=3)
 
 
+def _print_phase_histograms(result):
+    for phase in sorted(result.phases):
+        snap = result.phases[phase]
+        if snap.count == 0:
+            continue
+        print(
+            f"  {phase:>12}: n={snap.count:>6} "
+            f"p50={snap.p50 * 1e3:8.3f}ms "
+            f"p90={snap.p90 * 1e3:8.3f}ms "
+            f"p99={snap.p99 * 1e3:8.3f}ms "
+            f"mean={snap.mean * 1e3:8.3f}ms"
+        )
+
+
 def test_fig7_regenerates(sweep):
     print("\n\nFigure 7: throughput vs % of requests requiring a browser")
     print(
@@ -35,6 +49,9 @@ def test_fig7_regenerates(sweep):
             ],
         )
     )
+    for result in sweep:
+        print(f"per-phase service time at {result.browser_fraction:.0%}:")
+        _print_phase_histograms(result)
     by_fraction = {r.browser_fraction: r for r in sweep}
     for fraction, expected in PAPER_ANCHORS.items():
         measured = by_fraction[fraction].mean_requests_per_minute
@@ -54,6 +71,34 @@ def test_fig7_two_orders_of_magnitude(sweep):
 def test_fig7_monotone_curve(sweep):
     throughputs = [r.mean_requests_per_minute for r in sweep]
     assert throughputs == sorted(throughputs)  # sweep runs 100% → 0%
+
+
+@pytest.mark.smoke
+def test_fig7_smoke_throughput_spread():
+    """Tier-1 smoke: one short window per endpoint keeps the Figure 7
+    spread (and its per-phase histogram attribution) visible without the
+    full three-run sweep."""
+    results = {
+        fraction: run_scalability_experiment(
+            ScalabilityConfig(
+                browser_fraction=fraction, runs=1, window_s=10.0
+            )
+        )
+        for fraction in (1.0, 0.0)
+    }
+    for fraction, result in results.items():
+        print(f"\nsmoke {fraction:.0%}: "
+              f"{result.mean_requests_per_minute:,.0f} req/min")
+        _print_phase_histograms(result)
+    ratio = (
+        results[0.0].mean_requests_per_minute
+        / results[1.0].mean_requests_per_minute
+    )
+    assert ratio > 100
+    render = results[1.0].phases["render"]
+    lightweight = results[0.0].phases["lightweight"]
+    assert render.count > 0 and lightweight.count > 0
+    assert render.mean > 100 * lightweight.mean
 
 
 def test_bench_one_measurement_window(benchmark):

@@ -32,12 +32,18 @@ from __future__ import annotations
 import threading
 import time
 from dataclasses import dataclass, field
+from typing import Optional
 
 from repro.browser.costs import BrowserCostModel, DEFAULT_COST_MODEL
 from repro.browser.pool import BrowserPool
 from repro.core.cache import PrerenderCache
 from repro.net.messages import Request, Response
 from repro.net.server import Application
+from repro.observability.metrics import (
+    Histogram,
+    HistogramSnapshot,
+    MetricsRegistry,
+)
 from repro.runtime.executor import ConcurrentProxy
 from repro.sim.metrics import Tally, WindowedCounter
 from repro.sim.process import Acquire, Delay, Release, Simulation
@@ -71,6 +77,21 @@ class ScalabilityResult:
     browser_requests: int
     lightweight_requests: int
     pool_hit_rate: float = 0.0
+    # Per-phase service-time distributions ("render" vs "lightweight"),
+    # merged across runs — the histogram evidence that the Figure 7 gap
+    # is the render phase's doing.
+    phases: dict[str, HistogramSnapshot] = field(default_factory=dict)
+
+
+def _phase_histograms() -> dict[str, Histogram]:
+    return {
+        phase: Histogram(
+            "msite_phase_service_seconds",
+            "Per-request service time by pipeline phase.",
+            labels={"phase": phase},
+        )
+        for phase in ("render", "lightweight")
+    }
 
 
 def run_scalability_experiment(config: ScalabilityConfig) -> ScalabilityResult:
@@ -81,15 +102,21 @@ def run_scalability_experiment(config: ScalabilityConfig) -> ScalabilityResult:
     browser_total = 0
     lightweight_total = 0
     pool_hits = 0.0
+    phases = _phase_histograms()
     for run_index in range(config.runs):
         rng = DeterministicRandom(
             config.seed ^ (run_index * 0x9E3779B9) ^ id_hash(config)
         )
-        outcome = _run_window(config, rng)
+        # Each window observes into fresh histograms; merging them here
+        # exercises the same bucket-wise merge /metrics relies on.
+        run_phases = _phase_histograms()
+        outcome = _run_window(config, rng, run_phases)
         tally.observe(outcome["satisfied"])
         browser_total += outcome["browser"]
         lightweight_total += outcome["lightweight"]
         pool_hits += outcome["pool_hit_rate"]
+        for phase, histogram in run_phases.items():
+            phases[phase].merge(histogram)
     return ScalabilityResult(
         browser_fraction=config.browser_fraction,
         mean_requests_per_minute=tally.mean * (60.0 / config.window_s),
@@ -98,6 +125,10 @@ def run_scalability_experiment(config: ScalabilityConfig) -> ScalabilityResult:
         browser_requests=browser_total,
         lightweight_requests=lightweight_total,
         pool_hit_rate=pool_hits / config.runs,
+        phases={
+            phase: histogram.snapshot()
+            for phase, histogram in phases.items()
+        },
     )
 
 
@@ -106,7 +137,11 @@ def id_hash(config: ScalabilityConfig) -> int:
     return int(config.browser_fraction * 10_000) * 2_654_435_761 & 0xFFFFFFFF
 
 
-def _run_window(config: ScalabilityConfig, rng: DeterministicRandom) -> dict:
+def _run_window(
+    config: ScalabilityConfig,
+    rng: DeterministicRandom,
+    phases: Optional[dict[str, Histogram]] = None,
+) -> dict:
     sim = Simulation()
     cores = Resource(config.cores, name="cpu-cores")
     window = WindowedCounter(start=0.0, duration=config.window_s)
@@ -133,6 +168,10 @@ def _run_window(config: ScalabilityConfig, rng: DeterministicRandom) -> dict:
                     service = config.costs.browser_request_s
             else:
                 service = config.costs.lightweight_request_s
+            if phases is not None:
+                phases["render" if needs_browser else "lightweight"].observe(
+                    service
+                )
             yield Delay(service)
             if pool is not None and needs_browser:
                 pool.release(f"user{client_id}")
@@ -220,6 +259,8 @@ class RealThreadPoolResult:
     pool_queue_waits: int
     pool_queue_wait_mean_s: float
     pool_queue_wait_max_s: float
+    # Wall-clock per-phase service histograms, measured inside the app.
+    phases: dict[str, HistogramSnapshot] = field(default_factory=dict)
 
 
 class _ServiceTimeApplication(Application):
@@ -241,6 +282,7 @@ class _ServiceTimeApplication(Application):
         lightweight_service_s: float,
         pool: BrowserPool,
         cache: PrerenderCache,
+        registry: Optional[MetricsRegistry] = None,
     ) -> None:
         self.browser_service_s = browser_service_s
         self.lightweight_service_s = lightweight_service_s
@@ -248,10 +290,20 @@ class _ServiceTimeApplication(Application):
         self.cache = cache
         self.renders = 0
         self._lock = threading.Lock()
+        registry = registry or MetricsRegistry()
+        self.phase_histograms = {
+            phase: registry.histogram(
+                "msite_phase_service_seconds",
+                "Per-request service time by pipeline phase.",
+                labels={"phase": phase},
+            )
+            for phase in ("render", "lightweight")
+        }
 
     def handle(self, request: Request) -> Response:
         page = request.params.get("page", "p0")
         if request.params.get("browser") == "1":
+            started = time.perf_counter()
 
             def _render() -> str:
                 with self.pool.instance(f"page-{page}"):
@@ -262,8 +314,16 @@ class _ServiceTimeApplication(Application):
                 return page
 
             self.cache.load_or_join(f"snap:{page}", _render)
-        elif self.lightweight_service_s > 0:
-            time.sleep(self.lightweight_service_s)
+            self.phase_histograms["render"].observe(
+                time.perf_counter() - started
+            )
+        else:
+            started = time.perf_counter()
+            if self.lightweight_service_s > 0:
+                time.sleep(self.lightweight_service_s)
+            self.phase_histograms["lightweight"].observe(
+                time.perf_counter() - started
+            )
         return Response.text("ok")
 
 
@@ -289,13 +349,17 @@ def run_real_threadpool_experiment(
         for index, needs_browser in enumerate(marked)
     ]
 
+    registry = MetricsRegistry()
     pool = BrowserPool(max_instances=config.pool_size)
+    pool.bind_metrics(registry)
     cache = PrerenderCache()
+    cache.bind_metrics(registry)
     app = _ServiceTimeApplication(
         browser_service_s=config.browser_service_s,
         lightweight_service_s=config.lightweight_service_s,
         pool=pool,
         cache=cache,
+        registry=registry,
     )
     queue_limit = config.queue_limit or max(
         config.client_threads, config.workers
@@ -309,6 +373,7 @@ def run_real_threadpool_experiment(
         workers=config.workers,
         queue_limit=queue_limit,
         request_timeout_s=config.request_timeout_s,
+        metrics=registry,
     ) as executor:
 
         def client() -> None:
@@ -355,6 +420,10 @@ def run_real_threadpool_experiment(
         pool_queue_waits=pool.stats.queue_waits,
         pool_queue_wait_mean_s=pool.stats.mean_queue_wait_s,
         pool_queue_wait_max_s=pool.stats.queue_wait_max_s,
+        phases={
+            phase: histogram.snapshot()
+            for phase, histogram in app.phase_histograms.items()
+        },
     )
 
 

@@ -29,25 +29,75 @@ from typing import Optional
 
 from repro.browser.costs import BrowserCostModel, DEFAULT_COST_MODEL
 from repro.errors import PoolTimeoutError
+from repro.observability.metrics import MetricsRegistry
 
 
-@dataclass
 class PoolStats:
-    """Counters for pool behaviour."""
+    """Counters for pool behaviour, backed by registry instruments.
 
-    hits: int = 0  # reused an idle instance
-    misses: int = 0  # had to launch a new one
-    scrubs: int = 0  # state scrubs between distinct users
-    leaks_risked: int = 0  # reuses across different users (the hazard)
-    # Real-semaphore accounting (the concurrent runtime's view).
-    acquires: int = 0  # completed semaphore acquisitions
-    queue_waits: int = 0  # acquisitions that had to block for a slot
-    queue_wait_total_s: float = 0.0
-    queue_wait_max_s: float = 0.0
+    The queue wait is a full latency histogram
+    (``msite_pool_queue_wait_seconds``) rather than just a sum, so the
+    Figure 7 bench can report pool-wait percentiles; the historical
+    ``queue_wait_total_s`` / ``queue_wait_max_s`` fields read through to
+    it.
+    """
+
+    _COUNTERS = {
+        "hits": ("msite_pool_hits_total",
+                 "Requests that reused an idle browser instance."),
+        "misses": ("msite_pool_misses_total",
+                   "Requests that had to launch a new browser."),
+        "scrubs": ("msite_pool_scrubs_total",
+                   "State scrubs between distinct users."),
+        "leaks_risked": ("msite_pool_leaks_risked_total",
+                         "Instance reuses across different users."),
+        "acquires": ("msite_pool_acquires_total",
+                     "Completed browser-slot acquisitions."),
+        "queue_waits": ("msite_pool_queue_waits_total",
+                        "Acquisitions that had to block for a slot."),
+    }
+
+    def __init__(self, registry: Optional[MetricsRegistry] = None) -> None:
+        registry = registry or MetricsRegistry()
+        self._counters = {
+            field_name: registry.counter(metric_name, help_text)
+            for field_name, (metric_name, help_text) in self._COUNTERS.items()
+        }
+        self._queue_wait = registry.histogram(
+            "msite_pool_queue_wait_seconds",
+            "Time spent blocked waiting for a browser slot.",
+        )
+
+    def record(self, field_name: str, by: float = 1) -> None:
+        self._counters[field_name].inc(by)
+
+    def observe_queue_wait(self, waited_s: float) -> None:
+        self._queue_wait.observe(waited_s)
+
+    def bind(self, registry: MetricsRegistry) -> None:
+        """Register these instruments into a shared registry."""
+        for counter in self._counters.values():
+            registry.register(counter)
+        registry.register(self._queue_wait)
+
+    def __getattr__(self, name: str):
+        counters = self.__dict__.get("_counters")
+        if counters is not None and name in counters:
+            return int(counters[name].value)
+        raise AttributeError(name)
+
+    @property
+    def queue_wait_total_s(self) -> float:
+        return self._queue_wait.sum
+
+    @property
+    def queue_wait_max_s(self) -> float:
+        return self._queue_wait.max
 
     @property
     def mean_queue_wait_s(self) -> float:
-        return self.queue_wait_total_s / self.acquires if self.acquires else 0.0
+        acquires = self.acquires
+        return self.queue_wait_total_s / acquires if acquires else 0.0
 
 
 @dataclass
@@ -73,19 +123,23 @@ class BrowserPool:
         self._lock = threading.Lock()
         self._slots = threading.BoundedSemaphore(self.max_instances)
 
+    def bind_metrics(self, registry: MetricsRegistry) -> None:
+        """Expose this pool's instruments through a shared registry."""
+        self.stats.bind(registry)
+
     def acquire(self, user_id: str) -> float:
         """Core seconds of browser work for this request; updates stats."""
         with self._lock:
             if self._idle:
                 last_user = self._idle.pop()
-                self.stats.hits += 1
+                self.stats.record("hits")
                 cost = self.costs.browser_render_s
                 if last_user != user_id:
-                    self.stats.scrubs += 1
-                    self.stats.leaks_risked += 1
+                    self.stats.record("scrubs")
+                    self.stats.record("leaks_risked")
                     cost += self.scrub_cost_s
                 return cost
-            self.stats.misses += 1
+            self.stats.record("misses")
             if self._live_count < self.max_instances:
                 self._live_count += 1
             return self.costs.browser_request_s
@@ -117,13 +171,10 @@ class BrowserPool:
                 )
             waited = time.perf_counter() - start
         with self._lock:
-            self.stats.acquires += 1
+            self.stats.record("acquires")
             if waited > 0.0:
-                self.stats.queue_waits += 1
-                self.stats.queue_wait_total_s += waited
-                self.stats.queue_wait_max_s = max(
-                    self.stats.queue_wait_max_s, waited
-                )
+                self.stats.record("queue_waits")
+            self.stats.observe_queue_wait(waited)
         try:
             yield self.acquire(user_id)
         finally:

@@ -7,6 +7,10 @@ The admin-facing entry points a deployment actually uses:
 * ``generate``   — emit proxy shell source from a spec JSON,
 * ``demo``       — run the built-in forum mobilization end to end and
   print what the proxy produced,
+* ``metrics``    — drive the forum demo and print the deployment's
+  Prometheus exposition (``GET /metrics``),
+* ``trace``      — drive the forum demo and print the JSON dump of
+  recent request traces (``GET /traces``),
 * ``scalability`` — the Figure 7 sweep: the discrete-event model by
   default, or ``--real`` to drive actual threads through the concurrent
   runtime and report queue-wait / stampede-suppression metrics.
@@ -69,7 +73,12 @@ def _cmd_generate(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_demo(args: argparse.Namespace) -> int:
+def _build_forum_proxy():
+    """The built-in SawmillCreek mobilization, plus a mobile client.
+
+    Shared by ``demo``, ``metrics``, and ``trace`` so each subcommand
+    observes the same deployment the demo exercises.
+    """
     from repro.core.codegen import load_generated_proxy
     from repro.core.pipeline import ProxyServices
     from repro.core.spec import ObjectSelector
@@ -91,6 +100,11 @@ def _cmd_demo(args: argparse.Namespace) -> int:
         ProxyServices(origins=origins)
     )
     mobile = HttpClient({"m.sawmillcreek.org": proxy}, jar=CookieJar())
+    return proxy, mobile
+
+
+def _cmd_demo(args: argparse.Namespace) -> int:
+    proxy, mobile = _build_forum_proxy()
     entry = mobile.get("http://m.sawmillcreek.org/proxy.php")
     snapshot = mobile.get(
         "http://m.sawmillcreek.org/proxy.php?file=snapshot.jpg"
@@ -101,6 +115,32 @@ def _cmd_demo(args: argparse.Namespace) -> int:
     print(f"  snapshot image: {len(snapshot.body):>7,} bytes")
     print(f"  map regions:    {entry.text_body.count('<area'):>7}")
     print(f"  counters:       {proxy.counters}")
+    return 0
+
+
+def _drive_forum(proxy, mobile, requests: int) -> None:
+    """Issue a small representative workload against the forum proxy."""
+    paths = ["", "?page=forums", "?file=snapshot.jpg", "?page=login"]
+    for index in range(max(1, requests)):
+        mobile.get(
+            "http://m.sawmillcreek.org/proxy.php"
+            + paths[index % len(paths)]
+        )
+
+
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    proxy, mobile = _build_forum_proxy()
+    _drive_forum(proxy, mobile, args.requests)
+    response = mobile.get("http://m.sawmillcreek.org/metrics")
+    print(response.text_body, end="")
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    proxy, mobile = _build_forum_proxy()
+    _drive_forum(proxy, mobile, args.requests)
+    response = mobile.get("http://m.sawmillcreek.org/traces")
+    print(response.text_body)
     return 0
 
 
@@ -198,6 +238,26 @@ def build_parser() -> argparse.ArgumentParser:
     commands.add_parser(
         "demo", help="mobilize the built-in forum end to end"
     ).set_defaults(fn=_cmd_demo)
+
+    metrics = commands.add_parser(
+        "metrics",
+        help="drive the forum demo and print the Prometheus exposition",
+    )
+    metrics.add_argument(
+        "--requests", type=int, default=8,
+        help="requests to issue before scraping /metrics (default 8)",
+    )
+    metrics.set_defaults(fn=_cmd_metrics)
+
+    trace = commands.add_parser(
+        "trace",
+        help="drive the forum demo and print the JSON trace dump",
+    )
+    trace.add_argument(
+        "--requests", type=int, default=4,
+        help="requests to issue before dumping /traces (default 4)",
+    )
+    trace.set_defaults(fn=_cmd_trace)
 
     scalability = commands.add_parser(
         "scalability", help="run the Figure 7 scalability sweep"

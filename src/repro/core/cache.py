@@ -22,6 +22,8 @@ import threading
 from dataclasses import dataclass
 from typing import Callable, Optional
 
+from repro.observability.metrics import MetricsRegistry
+
 
 @dataclass
 class CacheEntry:
@@ -45,23 +47,70 @@ class CacheEntry:
         return len(self.data)
 
 
-@dataclass
 class CacheStats:
-    hits: int = 0
-    misses: int = 0
-    expirations: int = 0
-    stores: int = 0
-    evictions: int = 0
-    # Single-flight accounting: ``flights`` counts loader executions,
-    # ``stampedes_suppressed`` counts callers that joined an in-progress
-    # flight instead of rendering redundantly.
-    flights: int = 0
-    stampedes_suppressed: int = 0
+    """Cache counters, delegated to :class:`MetricsRegistry` instruments.
+
+    The historical field names (``stats.hits`` etc.) remain readable
+    attributes; the numbers themselves live in thread-safe counters that
+    can be :meth:`bind`-ed into a deployment-wide registry so the
+    ``/metrics`` endpoint and the bench read the same values.
+
+    Single-flight accounting: ``flights`` counts loader executions,
+    ``stampedes_suppressed`` counts callers that joined an in-progress
+    flight instead of rendering redundantly.
+    """
+
+    _COUNTERS = {
+        "hits": ("msite_cache_hits_total",
+                 "Cache lookups served from a fresh entry."),
+        "misses": ("msite_cache_misses_total",
+                   "Cache lookups that found nothing fresh."),
+        "expirations": ("msite_cache_expirations_total",
+                        "Entries dropped because their TTL elapsed."),
+        "stores": ("msite_cache_stores_total",
+                   "Entries written into the cache."),
+        "evictions": ("msite_cache_evictions_total",
+                      "Entries evicted by the byte-budget policy."),
+        "flights": ("msite_cache_flights_total",
+                    "Single-flight loader executions."),
+        "stampedes_suppressed": (
+            "msite_cache_stampedes_suppressed_total",
+            "Callers that joined an in-progress flight instead of "
+            "loading redundantly."),
+    }
+
+    def __init__(self, registry: Optional[MetricsRegistry] = None) -> None:
+        registry = registry or MetricsRegistry()
+        self._counters = {
+            field_name: registry.counter(metric_name, help_text)
+            for field_name, (metric_name, help_text) in self._COUNTERS.items()
+        }
+
+    def record(self, field_name: str, by: float = 1) -> None:
+        self._counters[field_name].inc(by)
+
+    def bind(self, registry: MetricsRegistry) -> None:
+        """Register these instruments into a shared registry."""
+        for counter in self._counters.values():
+            registry.register(counter)
+
+    def __getattr__(self, name: str):
+        counters = self.__dict__.get("_counters")
+        if counters is not None and name in counters:
+            return int(counters[name].value)
+        raise AttributeError(name)
 
     @property
     def hit_rate(self) -> float:
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
+
+    def __repr__(self) -> str:
+        body = ", ".join(
+            f"{name}={int(counter.value)}"
+            for name, counter in self._counters.items()
+        )
+        return f"CacheStats({body})"
 
 
 class _Flight:
@@ -83,13 +132,22 @@ class PrerenderCache:
     loader runs, so loaders may freely call back into the cache.
     """
 
-    def __init__(self, clock=None, max_bytes: int = 64 * 1024 * 1024) -> None:
+    def __init__(
+        self,
+        clock=None,
+        max_bytes: int = 64 * 1024 * 1024,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
         self.clock = clock
         self.max_bytes = max_bytes
         self._entries: dict[str, CacheEntry] = {}
         self._flights: dict[str, _Flight] = {}
         self._lock = threading.RLock()
-        self.stats = CacheStats()
+        self.stats = CacheStats(registry=metrics)
+
+    def bind_metrics(self, registry: MetricsRegistry) -> None:
+        """Expose this cache's counters through a shared registry."""
+        self.stats.bind(registry)
 
     @property
     def _now(self) -> float:
@@ -99,15 +157,15 @@ class PrerenderCache:
         with self._lock:
             entry = self._entries.get(key)
             if entry is None:
-                self.stats.misses += 1
+                self.stats.record("misses")
                 return None
             if not entry.fresh(self._now):
                 del self._entries[key]
-                self.stats.expirations += 1
-                self.stats.misses += 1
+                self.stats.record("expirations")
+                self.stats.record("misses")
                 return None
             entry.hits += 1
-            self.stats.hits += 1
+            self.stats.record("hits")
             return entry
 
     def peek(self, key: str) -> Optional[CacheEntry]:
@@ -138,7 +196,7 @@ class PrerenderCache:
                 ttl_s=ttl_s,
             )
             self._entries[key] = entry
-            self.stats.stores += 1
+            self.stats.record("stores")
             self._evict_if_needed()
             return entry
 
@@ -183,12 +241,12 @@ class PrerenderCache:
                 existing = None
                 flight = None
             elif existing is not None:
-                self.stats.stampedes_suppressed += 1
+                self.stats.record("stampedes_suppressed")
                 flight = None
             else:
                 flight = _Flight(owner=me)
                 self._flights[key] = flight
-                self.stats.flights += 1
+                self.stats.record("flights")
         if existing is not None:
             existing.done.wait()
             if existing.error is not None:
@@ -245,4 +303,4 @@ class PrerenderCache:
                 self._entries, key=lambda key: self._entries[key].stored_at
             )
             del self._entries[oldest_key]
-            self.stats.evictions += 1
+            self.stats.record("evictions")

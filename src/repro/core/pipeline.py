@@ -46,6 +46,8 @@ from repro.html.serializer import serialize
 from repro.net.client import HttpClient
 from repro.net.messages import Request
 from repro.net.url import URL
+from repro.observability import Observability
+from repro.observability.tracing import span
 from repro.render.box import Rect
 from repro.render.imagemap import MapRegion, build_image_map
 
@@ -63,12 +65,16 @@ class ProxyServices:
     cache: PrerenderCache = field(default_factory=PrerenderCache)
     clock: Any = None
     costs: BrowserCostModel = field(default_factory=lambda: DEFAULT_COST_MODEL)
+    observability: Observability = field(default_factory=Observability)
 
     def __post_init__(self) -> None:
         # A default-constructed cache must share the deployment's clock,
         # or TTLs would never expire in simulated time.
         if self.cache.clock is None and self.clock is not None:
             self.cache.clock = self.clock
+        # One registry per deployment: the cache's counters surface on
+        # the same /metrics endpoint as the proxy's.
+        self.cache.bind_metrics(self.observability.registry)
 
     def make_client(self, jar) -> HttpClient:
         return HttpClient(origins=self.origins, jar=jar, clock=self.clock)
@@ -183,12 +189,18 @@ class AdaptationPipeline:
     # ------------------------------------------------------------------
 
     def run(self, force_refresh: bool = False) -> AdaptedPage:
-        source, origin_bytes = self._fetch_origin()
+        # Spans are deliberately flat and sequential (never nested on
+        # this path) so their durations sum to at most the request wall
+        # time — each phase of the request is attributed exactly once.
+        with span("detect"):
+            source, origin_bytes = self._fetch_origin()
         ctx = PipelineContext(self.spec, source, self.proxy_base)
-        self._apply_phase(ctx, "filter")
-        ctx.document = parse_html(ctx.source)
-        self._apply_phase(ctx, "dom")
-        self._apply_phase(ctx, "page")
+        with span("filter"):
+            self._apply_phase(ctx, "filter")
+        with span("adapt"):
+            ctx.document = parse_html(ctx.source)
+            self._apply_phase(ctx, "dom")
+            self._apply_phase(ctx, "page")
 
         result = AdaptedPage(
             entry_path=f"{self.page_dir}/index.html",
@@ -315,9 +327,11 @@ class AdaptationPipeline:
             return self._render_snapshot(ctx, result)
         if force_refresh:
             bundle = self._render_snapshot(ctx, result)
-            self._store_snapshot_bundle(key, bundle, ctx.cache_ttl_s)
+            with span("cache"):
+                self._store_snapshot_bundle(key, bundle, ctx.cache_ttl_s)
             return bundle
-        bundle = self._cached_snapshot_bundle(key)
+        with span("cache"):
+            bundle = self._cached_snapshot_bundle(key)
         if bundle is not None:
             result.snapshot_from_cache = True
             result.snapshot_bytes = len(bundle["image_bytes"])
@@ -332,7 +346,8 @@ class AdaptationPipeline:
                 return cached
             rendered_here = True
             fresh = self._render_snapshot(ctx, result)
-            self._store_snapshot_bundle(key, fresh, ctx.cache_ttl_s)
+            with span("cache"):
+                self._store_snapshot_bundle(key, fresh, ctx.cache_ttl_s)
             return fresh
 
         # Single flight: concurrent sessions cold-missing on this page
@@ -352,7 +367,7 @@ class AdaptationPipeline:
         browser = self.services.make_browser(
             self.session.jar, self.spec.viewport_width
         )
-        with browser:
+        with span("render"), browser:
             external_css = browser._fetch_stylesheets(
                 ctx.document, self._origin_url()
             )[0]
@@ -399,30 +414,32 @@ class AdaptationPipeline:
         self, ctx: PipelineContext, result: AdaptedPage
     ) -> None:
         for binding, element in ctx.partial_prerender_targets:
-            artifact: PartialPrerender = partial_css_prerender(
-                ctx.document,
-                element,
-                viewport_width=self.spec.viewport_width,
-                quality=int(binding.param("quality", 55)),
-            )
+            with span("render"):
+                artifact: PartialPrerender = partial_css_prerender(
+                    ctx.document,
+                    element,
+                    viewport_width=self.spec.viewport_width,
+                    quality=int(binding.param("quality", 55)),
+                )
             result.used_browser = True
             result.browser_core_seconds += (
                 self.services.costs.browser_request_s
             )
             name = binding.param("name", f"partial{id(element) & 0xFFFF}")
             base = f"{self.image_dir}/{name}"
-            self.services.storage.write(
-                f"{base}.jpg",
-                artifact.background.data,
-                content_type="image/jpeg",
-                now=self.services.now,
-            )
-            self.services.storage.write(
-                f"{base}.json",
-                json.dumps(artifact.text_runs),
-                content_type="application/json",
-                now=self.services.now,
-            )
+            with span("serialize"):
+                self.services.storage.write(
+                    f"{base}.jpg",
+                    artifact.background.data,
+                    content_type="image/jpeg",
+                    now=self.services.now,
+                )
+                self.services.storage.write(
+                    f"{base}.json",
+                    json.dumps(artifact.text_runs),
+                    content_type="application/json",
+                    now=self.services.now,
+                )
             ctx.note(
                 f"partial_css_prerender: {name} background "
                 f"{len(artifact.background.data)} bytes, "
@@ -432,13 +449,16 @@ class AdaptationPipeline:
     def _emit_media_thumbnails(
         self, ctx: PipelineContext, result: AdaptedPage
     ) -> None:
-        for name, data in ctx.media_thumbnails.items():
-            self.services.storage.write(
-                f"{self.image_dir}/{name}",
-                data,
-                content_type="image/jpeg",
-                now=self.services.now,
-            )
+        if not ctx.media_thumbnails:
+            return
+        with span("serialize"):
+            for name, data in ctx.media_thumbnails.items():
+                self.services.storage.write(
+                    f"{self.image_dir}/{name}",
+                    data,
+                    content_type="image/jpeg",
+                    now=self.services.now,
+                )
         if ctx.media_thumbnails:
             total = sum(len(d) for d in ctx.media_thumbnails.values())
             ctx.note(
@@ -481,17 +501,18 @@ class AdaptationPipeline:
         rendering process')."""
         from repro.render.engines import EngineRegistry
 
-        document = build_subpage_document(
-            definition, ctx.plan, ctx.page_url_for, taken
-        )
-        output = EngineRegistry().get(definition.engine).render(document)
-        extensions = {"text": "txt", "pdf": "pdf"}
-        extension = extensions.get(definition.engine, definition.engine)
-        path = f"{self.page_dir}/{definition.subpage_id}.{extension}"
-        self.services.storage.write(
-            path, output.data, content_type=output.content_type,
-            now=self.services.now,
-        )
+        with span("serialize"):
+            document = build_subpage_document(
+                definition, ctx.plan, ctx.page_url_for, taken
+            )
+            output = EngineRegistry().get(definition.engine).render(document)
+            extensions = {"text": "txt", "pdf": "pdf"}
+            extension = extensions.get(definition.engine, definition.engine)
+            path = f"{self.page_dir}/{definition.subpage_id}.{extension}"
+            self.services.storage.write(
+                path, output.data, content_type=output.content_type,
+                now=self.services.now,
+            )
         return SubpageArtifact(
             subpage_id=definition.subpage_id,
             title=definition.title,
@@ -527,12 +548,13 @@ class AdaptationPipeline:
                     search_trigger_html(definition.search_trigger_label)
                 ):
                     script.prepend(node)
-        html = serialize(document)
-        path = f"{self.page_dir}/{definition.file_name}"
-        self.services.storage.write(
-            path, html, content_type="text/html; charset=utf-8",
-            now=self.services.now,
-        )
+        with span("serialize"):
+            html = serialize(document)
+            path = f"{self.page_dir}/{definition.file_name}"
+            self.services.storage.write(
+                path, html, content_type="text/html; charset=utf-8",
+                now=self.services.now,
+            )
         return SubpageArtifact(
             subpage_id=definition.subpage_id,
             title=definition.title,
@@ -661,18 +683,21 @@ class AdaptationPipeline:
             # it is placed into a pre-render cache on the server and can
             # be used by the attribute system as needed."  Cold misses
             # from concurrent sessions collapse into one render.
-            bundle = _cached_objrender()
+            with span("cache"):
+                bundle = _cached_objrender()
             if bundle is None:
 
                 def _load() -> dict:
                     double_check = _cached_objrender(record_stats=False)
                     if double_check is not None:
                         return double_check
-                    return _render_objrender()
+                    with span("render"):
+                        return _render_objrender()
 
                 bundle = self.services.cache.load_or_join(cache_key, _load)
         else:
-            bundle = _render_objrender()
+            with span("render"):
+                bundle = _render_objrender()
         image_bytes = bundle["image_bytes"]
         image_width = bundle["width"]
         image_height = bundle["height"]
@@ -680,10 +705,11 @@ class AdaptationPipeline:
         image_path = (
             f"{self.image_dir}/{definition.subpage_id}.jpg"
         )
-        self.services.storage.write(
-            image_path, image_bytes, content_type="image/jpeg",
-            now=self.services.now,
-        )
+        with span("serialize"):
+            self.services.storage.write(
+                image_path, image_bytes, content_type="image/jpeg",
+                now=self.services.now,
+            )
         html = (
             f"<!DOCTYPE html><html><head><title>{definition.title}</title>"
             f"</head><body>"
@@ -698,10 +724,11 @@ class AdaptationPipeline:
             f"</body></html>"
         )
         path = f"{self.page_dir}/{definition.file_name}"
-        self.services.storage.write(
-            path, html, content_type="text/html; charset=utf-8",
-            now=self.services.now,
-        )
+        with span("serialize"):
+            self.services.storage.write(
+                path, html, content_type="text/html; charset=utf-8",
+                now=self.services.now,
+            )
         return SubpageArtifact(
             subpage_id=definition.subpage_id,
             title=definition.title,
@@ -718,12 +745,13 @@ class AdaptationPipeline:
         definition: SubpageDefinition,
         taken: list,
     ) -> SubpageArtifact:
-        fragment = fragment_html(definition, taken)
-        path = f"{self.page_dir}/{definition.subpage_id}.fragment.html"
-        self.services.storage.write(
-            path, fragment, content_type="text/html; charset=utf-8",
-            now=self.services.now,
-        )
+        with span("serialize"):
+            fragment = fragment_html(definition, taken)
+            path = f"{self.page_dir}/{definition.subpage_id}.fragment.html"
+            self.services.storage.write(
+                path, fragment, content_type="text/html; charset=utf-8",
+                now=self.services.now,
+            )
         return SubpageArtifact(
             subpage_id=definition.subpage_id,
             title=definition.title,
@@ -747,12 +775,13 @@ class AdaptationPipeline:
                 ctx, snapshot_bundle, title
             )
             image_path = f"{self.page_dir}/snapshot.jpg"
-            self.services.storage.write(
-                image_path,
-                snapshot_bundle["image_bytes"],
-                content_type="image/jpeg",
-                now=self.services.now,
-            )
+            with span("serialize"):
+                self.services.storage.write(
+                    image_path,
+                    snapshot_bundle["image_bytes"],
+                    content_type="image/jpeg",
+                    now=self.services.now,
+                )
         else:
             # No prerender: the residual document (post-splitting) plus a
             # simple subpage menu is the entry page.
@@ -774,12 +803,13 @@ class AdaptationPipeline:
                 "<body>", f"<body>{menu}", 1
             ) if "<body>" in body_html else menu + body_html
         entry_html = self._inject_ajax_support(ctx, entry_html)
-        self.services.storage.write(
-            result.entry_path,
-            entry_html,
-            content_type="text/html; charset=utf-8",
-            now=self.services.now,
-        )
+        with span("serialize"):
+            self.services.storage.write(
+                result.entry_path,
+                entry_html,
+                content_type="text/html; charset=utf-8",
+                now=self.services.now,
+            )
         result.entry_html = entry_html
 
     def _entry_from_snapshot(

@@ -41,6 +41,11 @@ from repro.errors import AdaptationError, FetchError, SessionError
 from repro.net.messages import Request, Response
 from repro.net.server import Application
 from repro.net.url import unquote
+from repro.observability import tracing
+from repro.observability.exposition import (
+    PROMETHEUS_CONTENT_TYPE,
+    render_prometheus,
+)
 
 
 @dataclass(frozen=True)
@@ -61,11 +66,13 @@ class CounterSnapshot:
 class ProxyCounters:
     """Load accounting for the scalability analysis.
 
-    Thread-safe: request handlers mutate it through :meth:`add`, which
-    applies all of its deltas under one lock so a multi-field update
-    (e.g. a subpage hit bumping ``subpages`` *and* the lightweight
-    accounting) can never be observed half-applied.  The bench layer
-    reads a consistent view through :meth:`snapshot`.
+    Delegates to :class:`~repro.observability.metrics.MetricsRegistry`
+    counters (each individually atomic), so the same numbers surface on
+    the ``/metrics`` endpoint; the historical attribute reads
+    (``counters.requests``) and the multi-field :meth:`add` remain, and
+    the bench layer still reads a view through :meth:`snapshot`.  In a
+    multi-page deployment each page proxy labels its series with
+    ``page="<namespace>"`` so they coexist in one registry.
     """
 
     FIELDS = (
@@ -80,35 +87,60 @@ class ProxyCounters:
         "lightweight_core_seconds",
     )
 
-    def __init__(self, **initial: float) -> None:
-        self._lock = threading.Lock()
-        self.requests = 0
-        self.entry_pages = 0
-        self.subpages = 0
-        self.ajax_actions = 0
-        self.browser_renders = 0
-        self.lightweight_requests = 0
-        self.errors = 0
-        self.browser_core_seconds = 0.0
-        self.lightweight_core_seconds = 0.0
+    _HELP = {
+        "requests": "Requests handled by the generated proxy.",
+        "entry_pages": "Adapted entry pages served.",
+        "subpages": "Generated subpages served.",
+        "ajax_actions": "Rewritten AJAX actions proxied.",
+        "browser_renders": "Requests that paid a full browser render.",
+        "lightweight_requests": "Requests served on the lightweight path.",
+        "errors": "Requests that failed (fetch or adaptation).",
+        "browser_core_seconds": "Core seconds spent in browser renders.",
+        "lightweight_core_seconds":
+            "Core seconds spent on the lightweight path.",
+    }
+
+    def __init__(self, registry=None, labels=None, **initial: float) -> None:
+        from repro.observability.metrics import MetricsRegistry
+
+        registry = registry or MetricsRegistry()
+        self._counters = {}
+        for name in self.FIELDS:
+            suffix = "" if name.endswith("_seconds") else "_total"
+            self._counters[name] = registry.counter(
+                f"msite_proxy_{name}{suffix}", self._HELP[name], labels
+            )
         for name, value in initial.items():
             if name not in self.FIELDS:
                 raise TypeError(f"unknown counter {name!r}")
-            setattr(self, name, value)
+            self._counters[name].inc(value)
 
     def add(self, **deltas: float) -> None:
-        """Atomically apply every ``field=delta`` in one lock hold."""
-        with self._lock:
-            for name, delta in deltas.items():
-                if name not in self.FIELDS:
-                    raise TypeError(f"unknown counter {name!r}")
-                setattr(self, name, getattr(self, name) + delta)
+        """Apply every ``field=delta``; each counter is atomic."""
+        for name in deltas:
+            if name not in self.FIELDS:
+                raise TypeError(f"unknown counter {name!r}")
+        for name, delta in deltas.items():
+            self._counters[name].inc(delta)
+
+    def bind(self, registry) -> None:
+        """Register these instruments into a shared registry."""
+        for counter in self._counters.values():
+            registry.register(counter)
+
+    def __getattr__(self, name: str):
+        counters = self.__dict__.get("_counters")
+        if counters is not None and name in counters:
+            value = counters[name].value
+            if name.endswith("_seconds"):
+                return value
+            return int(value)
+        raise AttributeError(name)
 
     def snapshot(self) -> CounterSnapshot:
-        with self._lock:
-            return CounterSnapshot(
-                **{name: getattr(self, name) for name in self.FIELDS}
-            )
+        return CounterSnapshot(
+            **{name: getattr(self, name) for name in self.FIELDS}
+        )
 
     def __repr__(self) -> str:
         body = ", ".join(
@@ -143,7 +175,10 @@ class MSiteProxy(Application):
         self.namespace = namespace.strip("/")
         self.sessions = SessionManager(services.storage, clock=services.clock)
         self.ajax_table = AjaxActionTable()
-        self.counters = ProxyCounters()
+        self.counters = ProxyCounters(
+            registry=services.observability.registry,
+            labels={"page": self.namespace} if self.namespace else None,
+        )
         self._adapted: dict[str, AdaptedPage] = {}
         # Guards _adapted and the shared ajax table; per-session work is
         # serialized by each session's own lock (always acquired first).
@@ -159,11 +194,54 @@ class MSiteProxy(Application):
 
     # ------------------------------------------------------------------
 
+    @staticmethod
+    def _request_kind(params) -> str:
+        for key in ("logout", "auth", "action", "img", "file", "page"):
+            if params.get(key):
+                return key
+        return "entry"
+
     def handle(self, request: Request) -> Response:
+        path = request.url.path
+        if path == "/metrics":
+            return self.metrics_response()
+        if path == "/traces":
+            return self.traces_response()
+        observability = self.services.observability
+        trace = observability.start_trace(self._request_kind(request.params))
+        with tracing.activate(trace):
+            try:
+                return self._handle_traced(request, trace)
+            finally:
+                observability.finish_trace(trace)
+                observability.registry.histogram(
+                    "msite_request_duration_seconds",
+                    "End-to-end proxy request time, by request kind.",
+                    labels={"kind": trace.name},
+                ).observe(trace.duration_s or 0.0)
+
+    def metrics_response(self) -> Response:
+        """Prometheus exposition of the deployment's registry."""
+        return Response.binary(
+            render_prometheus(self.services.observability.registry).encode(
+                "utf-8"
+            ),
+            PROMETHEUS_CONTENT_TYPE,
+        )
+
+    def traces_response(self) -> Response:
+        """JSON dump of recent and slow request traces."""
+        return Response.binary(
+            self.services.observability.traces.dump_json().encode("utf-8"),
+            "application/json; charset=utf-8",
+        )
+
+    def _handle_traced(self, request: Request, trace) -> Response:
         self.counters.add(requests=1)
         params = request.params
         try:
-            session, is_new = self._resolve_session(request)
+            with tracing.span("session"):
+                session, is_new = self._resolve_session(request)
             if params.get("logout"):
                 return self._finish(self._handle_logout(session), session, is_new)
             if params.get("auth"):

@@ -1,0 +1,40 @@
+"""The per-deployment observability bundle.
+
+One :class:`Observability` instance per proxy deployment owns the
+metrics registry and the trace recorder, and stamps both with a shared
+clock so traces and histograms agree about time.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.observability.exposition import render_prometheus
+from repro.observability.metrics import MetricsRegistry
+from repro.observability.tracing import Trace, TraceRecorder
+
+
+class Observability:
+    """One deployment's registry + trace recorder, with shared clock."""
+
+    def __init__(
+        self,
+        registry: Optional[MetricsRegistry] = None,
+        slow_threshold_s: float = 1.0,
+        trace_capacity: int = 128,
+        clock: Optional[Callable[[], float]] = None,
+    ) -> None:
+        self.registry = registry or MetricsRegistry()
+        self.traces = TraceRecorder(
+            capacity=trace_capacity, slow_threshold_s=slow_threshold_s
+        )
+        self.clock = clock
+
+    def start_trace(self, name: str = "request") -> Trace:
+        return Trace(name=name, clock=self.clock, metrics=self.registry)
+
+    def finish_trace(self, trace: Trace) -> Trace:
+        return self.traces.record(trace)
+
+    def render_metrics(self) -> str:
+        return render_prometheus(self.registry)

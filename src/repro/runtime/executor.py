@@ -27,6 +27,7 @@ from typing import Optional
 from repro.errors import AdmissionError
 from repro.net.messages import Request, Response
 from repro.net.server import Application
+from repro.observability.metrics import MetricsRegistry
 
 
 @dataclass(frozen=True)
@@ -49,40 +50,79 @@ class RuntimeStatsSnapshot:
 
 
 class RuntimeStats:
-    """Atomic counters for the executor (one lock, multi-field updates)."""
+    """Executor counters, delegated to registry instruments.
+
+    The counters keep their historical names; the queue wait is a full
+    latency histogram (``msite_executor_queue_wait_seconds``) so the
+    ``/metrics`` endpoint and the Figure 7 bench can report queue-wait
+    percentiles, and the peak queue depth is a high-watermark gauge.
+    """
 
     FIELDS = (
         "submitted", "rejected", "completed", "failures", "timeouts",
         "queue_wait_total_s", "queue_wait_max_s", "queue_depth_peak",
     )
 
-    def __init__(self) -> None:
-        self._lock = threading.Lock()
-        self._values = {name: 0 for name in self.FIELDS}
-        self._values["queue_wait_total_s"] = 0.0
-        self._values["queue_wait_max_s"] = 0.0
+    _COUNTERS = {
+        "submitted": ("msite_executor_submitted_total",
+                      "Requests offered to the admission queue."),
+        "rejected": ("msite_executor_rejected_total",
+                     "Requests rejected because the queue was full."),
+        "completed": ("msite_executor_completed_total",
+                      "Requests answered successfully."),
+        "failures": ("msite_executor_failures_total",
+                     "Requests whose handler raised (mapped to 500)."),
+        "timeouts": ("msite_executor_timeouts_total",
+                     "Requests that missed their deadline (504)."),
+    }
+
+    def __init__(self, registry: Optional[MetricsRegistry] = None) -> None:
+        registry = registry or MetricsRegistry()
+        self._counters = {
+            field_name: registry.counter(metric_name, help_text)
+            for field_name, (metric_name, help_text) in self._COUNTERS.items()
+        }
+        self._queue_wait = registry.histogram(
+            "msite_executor_queue_wait_seconds",
+            "Time requests sat in the admission queue before a worker "
+            "picked them up.",
+        )
+        self._queue_depth_peak = registry.gauge(
+            "msite_executor_queue_depth_peak",
+            "High watermark of the admission queue depth.",
+        )
 
     def add(self, **deltas: float) -> None:
-        with self._lock:
-            for name, delta in deltas.items():
-                if name not in self._values:
-                    raise TypeError(f"unknown runtime stat {name!r}")
-                self._values[name] += delta
+        for name, delta in deltas.items():
+            counter = self._counters.get(name)
+            if counter is None:
+                raise TypeError(f"unknown runtime stat {name!r}")
+            counter.inc(delta)
 
     def observe_queue_wait(self, waited_s: float) -> None:
-        with self._lock:
-            self._values["queue_wait_total_s"] += waited_s
-            if waited_s > self._values["queue_wait_max_s"]:
-                self._values["queue_wait_max_s"] = waited_s
+        self._queue_wait.observe(waited_s)
 
     def observe_queue_depth(self, depth: int) -> None:
-        with self._lock:
-            if depth > self._values["queue_depth_peak"]:
-                self._values["queue_depth_peak"] = depth
+        self._queue_depth_peak.track_max(depth)
+
+    def bind(self, registry: MetricsRegistry) -> None:
+        """Register these instruments into a shared registry."""
+        for counter in self._counters.values():
+            registry.register(counter)
+        registry.register(self._queue_wait)
+        registry.register(self._queue_depth_peak)
 
     def snapshot(self) -> RuntimeStatsSnapshot:
-        with self._lock:
-            return RuntimeStatsSnapshot(**self._values)
+        return RuntimeStatsSnapshot(
+            submitted=int(self._counters["submitted"].value),
+            rejected=int(self._counters["rejected"].value),
+            completed=int(self._counters["completed"].value),
+            failures=int(self._counters["failures"].value),
+            timeouts=int(self._counters["timeouts"].value),
+            queue_wait_total_s=self._queue_wait.sum,
+            queue_wait_max_s=self._queue_wait.max,
+            queue_depth_peak=int(self._queue_depth_peak.value),
+        )
 
 
 _SENTINEL = object()
@@ -111,6 +151,7 @@ class ConcurrentProxy(Application):
         workers: int = 8,
         queue_limit: int = 64,
         request_timeout_s: Optional[float] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         if workers < 1:
             raise ValueError("need at least one worker thread")
@@ -120,7 +161,7 @@ class ConcurrentProxy(Application):
         self.workers = workers
         self.queue_limit = queue_limit
         self.request_timeout_s = request_timeout_s
-        self.stats = RuntimeStats()
+        self.stats = RuntimeStats(registry=metrics)
         self._queue: queue.Queue = queue.Queue(maxsize=queue_limit)
         self._closed = False
         self._close_lock = threading.Lock()

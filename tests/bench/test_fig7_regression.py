@@ -1,0 +1,70 @@
+"""Regression pin for the Figure 7 *shape* (§4.6).
+
+The full three-run sweep lives in ``benchmarks/``; this tier-1 test
+runs one short window per endpoint and pins the property the paper
+actually claims — at least two orders of magnitude of throughput
+between 100% and 0% browser mixes — plus the per-phase histogram
+evidence that the render phase is what opens the gap.
+"""
+
+import pytest
+
+from repro.bench.scalability import (
+    ScalabilityConfig,
+    run_scalability_experiment,
+)
+
+
+@pytest.fixture(scope="module")
+def endpoints():
+    return {
+        fraction: run_scalability_experiment(
+            ScalabilityConfig(
+                browser_fraction=fraction, runs=1, window_s=10.0
+            )
+        )
+        for fraction in (1.0, 0.0)
+    }
+
+
+def test_two_orders_of_magnitude_throughput_spread(endpoints):
+    all_browser = endpoints[1.0].mean_requests_per_minute
+    no_browser = endpoints[0.0].mean_requests_per_minute
+    assert all_browser > 0
+    assert no_browser / all_browser >= 100
+
+
+def test_per_phase_histograms_attribute_gap_to_render(endpoints):
+    render = endpoints[1.0].phases["render"]
+    lightweight = endpoints[0.0].phases["lightweight"]
+    assert render.count > 0
+    assert lightweight.count > 0
+    # Every browser-marked request paid the render-phase service time;
+    # the phase means carry the same two-orders-of-magnitude spread the
+    # throughput shows, pinning the gap on the render phase.
+    assert render.mean > 100 * lightweight.mean
+    assert render.p50 > 100 * lightweight.p50
+
+
+def test_phase_histograms_conserve_request_counts(endpoints):
+    for result in endpoints.values():
+        observed = sum(
+            snap.count for snap in result.phases.values()
+        )
+        # Phase observations happen at dispatch; completions are the
+        # subset that finished inside the measurement window.
+        completed = result.browser_requests + result.lightweight_requests
+        assert observed >= completed
+
+
+def test_mixed_load_sits_between_the_endpoints(endpoints):
+    mixed = run_scalability_experiment(
+        ScalabilityConfig(browser_fraction=0.5, runs=1, window_s=10.0)
+    )
+    assert (
+        endpoints[1.0].mean_requests_per_minute
+        < mixed.mean_requests_per_minute
+        < endpoints[0.0].mean_requests_per_minute
+    )
+    assert mixed.phases["render"].count > 0
+    assert mixed.phases["lightweight"].count > 0

@@ -1,0 +1,72 @@
+"""Regression pin for the Table 1 device-timing story (§4.2).
+
+The paper's table: a cold BlackBerry load of the full page takes ~20 s,
+the cached snapshot page delivers it in ~5 s (a ~5x speedup, generated
+once in ~2 s), the iPhone over 3G takes ~20 s, over WiFi ~4.5 s.  The
+model's measured values wobble a little around the paper's rounded
+numbers (WiFi 4.54 s vs. cached snapshot 4.57 s are within a hair of
+each other), so the ordering claims are pinned with tolerance where the
+paper's own numbers are close, and strictly where they are far apart.
+"""
+
+import pytest
+
+from repro.bench.wallclock import table1_rows
+
+
+@pytest.fixture(scope="module")
+def rows():
+    return {row.label: row.measured_seconds for row in table1_rows()}
+
+
+def test_rows_are_all_positive(rows):
+    assert all(value > 0 for value in rows.values())
+
+
+def test_cold_blackberry_is_the_slowest_path(rows):
+    cold = rows["BlackBerry Tour browser page load"]
+    for label, value in rows.items():
+        if label != "BlackBerry Tour browser page load":
+            assert value < cold, label
+
+
+def test_device_ordering_matches_the_paper(rows):
+    cached = rows["Cached snapshot page to Blackberry"]
+    wifi = rows["iPhone 4 via WiFi"]
+    cellular = rows["iPhone 4 via 3G"]
+    cold = rows["BlackBerry Tour browser page load"]
+    # Strict where the paper's numbers are far apart...
+    assert wifi < cellular < cold
+    assert cached < cellular
+    # ...tolerant where they nearly tie (paper: 5 s vs 4.5 s; model:
+    # 4.57 s vs 4.54 s): the cached snapshot must at least be in the
+    # WiFi class, not the cellular class.
+    assert cached <= wifi * 1.15
+
+
+def test_snapshot_generation_is_amortizable(rows):
+    # Generating the snapshot (~2 s) costs less than a single cold
+    # BlackBerry load — the amortization argument of §3.3.
+    generation = rows["Snapshot page generation"]
+    assert generation == pytest.approx(2.0, rel=0.25)
+    assert generation < rows["Cached snapshot page to Blackberry"]
+
+
+def test_prerender_speedup_is_about_five_x(rows):
+    speedup = (
+        rows["BlackBerry Tour browser page load"]
+        / rows["Cached snapshot page to Blackberry"]
+    )
+    assert 4.0 <= speedup <= 6.5  # paper: 20 s / ~5 s ≈ 4-5x
+
+
+def test_paper_anchor_rows_within_tolerance(rows):
+    anchors = {
+        "BlackBerry Tour browser page load": 20.0,
+        "Cached snapshot page to Blackberry": 5.0,
+        "iPhone 4 via 3G": 20.0,
+        "iPhone 4 via WiFi": 4.5,
+        "Desktop browser page load": 1.5,
+    }
+    for label, paper_seconds in anchors.items():
+        assert rows[label] == pytest.approx(paper_seconds, rel=0.25), label

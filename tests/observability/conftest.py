@@ -1,0 +1,17 @@
+"""Hypothesis profiles for the observability suite.
+
+The coverage gate (``tools/check_observability_coverage.py``) runs this
+suite under the stdlib ``trace`` module, which slows every Python line;
+the ``coverage`` profile keeps the property tests exhaustive enough to
+hit their branches while staying inside the tier-1 time budget.
+"""
+
+import os
+
+from hypothesis import settings
+
+settings.register_profile("default", deadline=None)
+settings.register_profile("coverage", max_examples=10, deadline=None)
+settings.load_profile(
+    os.environ.get("MSITE_HYPOTHESIS_PROFILE", "default")
+)

@@ -1,0 +1,121 @@
+"""Property-based correctness of the fixed-bucket histogram.
+
+The merge operation must behave like addition on the bucket vector —
+associative, commutative, count-conserving — because the Figure 7 bench
+merges per-run histograms and :meth:`MetricsRegistry.merge_from` folds
+per-thread registries; any asymmetry would make the reported
+distributions depend on merge order.
+"""
+
+import threading
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.observability.metrics import Histogram
+
+BUCKETS = (0.001, 0.01, 0.1, 1.0, 10.0)
+
+values = st.floats(
+    min_value=0.0,
+    max_value=100.0,
+    allow_nan=False,
+    allow_infinity=False,
+)
+value_lists = st.lists(values, max_size=64)
+
+
+def _filled(observations) -> Histogram:
+    histogram = Histogram("h", buckets=BUCKETS)
+    for value in observations:
+        histogram.observe(value)
+    return histogram
+
+
+def _assert_same_distribution(a: Histogram, b: Histogram) -> None:
+    sa, sb = a.snapshot(), b.snapshot()
+    assert sa.counts == sb.counts
+    assert sa.count == sb.count
+    assert sa.min == sb.min and sa.max == sb.max
+    # Sums are float additions folded in different orders; identical
+    # counts make them equal to rounding.
+    assert sa.sum == pytest.approx(sb.sum, rel=1e-9, abs=1e-9)
+
+
+@given(value_lists, value_lists)
+def test_merge_is_commutative(xs, ys):
+    ab = Histogram("h", buckets=BUCKETS)
+    ab.merge(_filled(xs))
+    ab.merge(_filled(ys))
+    ba = Histogram("h", buckets=BUCKETS)
+    ba.merge(_filled(ys))
+    ba.merge(_filled(xs))
+    _assert_same_distribution(ab, ba)
+
+
+@given(value_lists, value_lists, value_lists)
+def test_merge_is_associative(xs, ys, zs):
+    left = _filled(xs)
+    left.merge(_filled(ys))
+    left.merge(_filled(zs))
+
+    inner = _filled(ys)
+    inner.merge(_filled(zs))
+    right = _filled(xs)
+    right.merge(inner)
+
+    _assert_same_distribution(left, right)
+
+
+@given(value_lists, value_lists)
+def test_merge_conserves_observations(xs, ys):
+    merged = _filled(xs)
+    merged.merge(_filled(ys))
+    snap = merged.snapshot()
+    assert snap.count == len(xs) + len(ys)
+    assert sum(snap.counts) == snap.count
+    assert snap.sum == pytest.approx(
+        sum(xs) + sum(ys), rel=1e-9, abs=1e-9
+    )
+
+
+@given(value_lists.filter(bool))
+def test_quantiles_are_monotone_and_bounded(xs):
+    snap = _filled(xs).snapshot()
+    qs = [0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0]
+    estimates = [snap.quantile(q) for q in qs]
+    assert estimates == sorted(estimates)
+    for estimate in estimates:
+        assert snap.min <= estimate <= snap.max
+
+
+@settings(max_examples=10)
+@given(st.lists(values, min_size=1, max_size=32))
+def test_concurrent_observe_conserves_count(per_thread):
+    """16 threads hammering one histogram lose nothing."""
+    histogram = Histogram("h", buckets=BUCKETS)
+    thread_count = 16
+    barrier = threading.Barrier(thread_count)
+
+    def worker() -> None:
+        barrier.wait()
+        for value in per_thread:
+            histogram.observe(value)
+
+    threads = [
+        threading.Thread(target=worker) for _ in range(thread_count)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+
+    snap = histogram.snapshot()
+    assert snap.count == thread_count * len(per_thread)
+    assert sum(snap.counts) == snap.count
+    assert snap.sum == pytest.approx(
+        thread_count * sum(per_thread), rel=1e-6, abs=1e-6
+    )
+    assert snap.min == min(per_thread)
+    assert snap.max == max(per_thread)

@@ -1,0 +1,271 @@
+"""End-to-end observability through the real proxy runtime.
+
+These pin the PR's acceptance criteria: one adapted request produces a
+trace whose named spans account for (at most) the request's wall time,
+``GET /metrics`` on the proxy serves parseable Prometheus text with the
+cache/render/queue-wait series, and the legacy stats structs lose
+nothing when hammered from 16 threads.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.browser.pool import BrowserPool, PoolStats
+from repro.core.cache import CacheStats, PrerenderCache
+from repro.core.proxy import ProxyCounters
+from repro.net.messages import Request
+from repro.observability.exposition import (
+    PROMETHEUS_CONTENT_TYPE,
+    parse_prometheus,
+)
+from repro.observability.metrics import MetricsRegistry
+from repro.runtime.executor import ConcurrentProxy, RuntimeStats
+
+PROXY_HOST = "m.sawmillcreek.org"
+
+EXPECTED_SPAN_NAMES = {
+    "session", "detect", "filter", "adapt", "render", "cache", "serialize",
+}
+
+
+@pytest.fixture()
+def traced_entry(mobilized):
+    """One adapted entry request driven through the concurrent runtime."""
+    proxy, services, mobile = mobilized
+    registry = services.observability.registry
+    with ConcurrentProxy(proxy, workers=2, metrics=registry) as executor:
+        started = time.perf_counter()
+        response = executor.handle(
+            Request.get(f"http://{PROXY_HOST}/proxy.php")
+        )
+        wall_s = time.perf_counter() - started
+    assert response.status == 200
+    return services, wall_s
+
+
+class TestRequestTrace:
+    def test_adapted_request_yields_named_spans(self, traced_entry):
+        services, wall_s = traced_entry
+        trace = services.observability.traces.last()
+        assert trace is not None
+        assert trace.name == "entry"
+        named = set(trace.span_names()) & EXPECTED_SPAN_NAMES
+        assert len(named) >= 5, trace.span_names()
+
+    def test_span_durations_fit_in_request_wall_time(self, traced_entry):
+        services, wall_s = traced_entry
+        trace = services.observability.traces.last()
+        assert trace.spans, "entry request recorded no spans"
+        span_total = sum(record.duration_s for record in trace.spans)
+        assert span_total <= wall_s
+        assert trace.duration_s <= wall_s
+
+    def test_spans_are_flat_on_the_hot_path(self, traced_entry):
+        # The sum-fits-in-wall-time guarantee relies on phase spans never
+        # nesting (a nested span's time would be counted twice).
+        services, __ = traced_entry
+        trace = services.observability.traces.last()
+        assert all(record.depth == 0 for record in trace.spans)
+
+    def test_spans_observe_phase_histograms(self, traced_entry):
+        services, __ = traced_entry
+        registry = services.observability.registry
+        for name in ("render", "session", "serialize"):
+            histogram = registry.get(
+                "msite_span_duration_seconds", {"span": name}
+            )
+            assert histogram is not None, name
+            assert histogram.count >= 1
+
+
+class TestMetricsEndpoint:
+    def test_proxy_serves_parseable_prometheus(self, mobilized):
+        proxy, services, mobile = mobilized
+        registry = services.observability.registry
+        with ConcurrentProxy(
+            proxy, workers=2, metrics=registry
+        ) as executor:
+            entry = executor.handle(
+                Request.get(f"http://{PROXY_HOST}/proxy.php")
+            )
+            assert entry.status == 200
+            again = executor.handle(
+                Request.get(f"http://{PROXY_HOST}/proxy.php")
+            )
+            assert again.status == 200
+            response = executor.handle(
+                Request.get(f"http://{PROXY_HOST}/metrics")
+            )
+        assert response.status == 200
+        assert response.headers.get("Content-Type") == (
+            PROMETHEUS_CONTENT_TYPE
+        )
+        samples = parse_prometheus(response.text_body)
+
+        assert "msite_cache_hits_total" in samples
+        assert "msite_cache_misses_total" in samples
+        assert samples["msite_cache_misses_total"] >= 1
+        # Render span histogram, populated by the adapted request.
+        assert (
+            samples['msite_span_duration_seconds_count{span="render"}'] >= 1
+        )
+        # Executor queue-wait histogram from the concurrent runtime.
+        assert samples["msite_executor_queue_wait_seconds_count"] >= 3
+        # Request-duration histogram by kind.
+        assert (
+            samples['msite_request_duration_seconds_count{kind="entry"}']
+            == 2
+        )
+        assert samples["msite_proxy_requests_total"] == 2
+
+    def test_traces_endpoint_serves_json(self, mobilized):
+        proxy, __, mobile = mobilized
+        mobile.get(f"http://{PROXY_HOST}/proxy.php")
+        response = mobile.get(f"http://{PROXY_HOST}/traces")
+        assert response.status == 200
+        assert response.headers.get("Content-Type") == (
+            "application/json; charset=utf-8"
+        )
+        import json
+
+        dump = json.loads(response.text_body)
+        assert dump["recent"], "expected at least one recorded trace"
+        assert dump["recent"][-1]["spans"]
+
+    def test_metrics_requests_are_not_traced(self, mobilized):
+        proxy, services, mobile = mobilized
+        before = services.observability.traces.recorded
+        mobile.get(f"http://{PROXY_HOST}/metrics")
+        assert services.observability.traces.recorded == before
+
+
+class TestLegacyStructDelegation:
+    """The old stats structs are views over registry instruments."""
+
+    def test_cache_stats_surface_in_registry(self):
+        registry = MetricsRegistry()
+        cache = PrerenderCache(metrics=registry)
+        cache.put("k", b"v", ttl_s=60.0)
+        assert cache.get("k") is not None
+        assert cache.get("missing") is None
+        assert registry.get("msite_cache_hits_total").value == 1
+        assert registry.get("msite_cache_misses_total").value == 1
+        assert cache.stats.hits == 1 and cache.stats.misses == 1
+
+    def test_bind_shares_objects_not_copies(self):
+        registry = MetricsRegistry()
+        stats = CacheStats()
+        stats.record("hits", 2)
+        stats.bind(registry)
+        stats.record("hits", 3)
+        assert registry.get("msite_cache_hits_total").value == 5
+        # Rebinding is idempotent (same objects).
+        stats.bind(registry)
+
+    def test_unknown_fields_still_raise(self):
+        with pytest.raises(TypeError):
+            RuntimeStats().add(bogus=1)
+        with pytest.raises(TypeError):
+            ProxyCounters().add(bogus=1)
+        with pytest.raises(AttributeError):
+            CacheStats().nonsense
+
+    def test_sixteen_thread_hammer_loses_nothing(self):
+        registry = MetricsRegistry()
+        cache_stats = CacheStats(registry=registry)
+        pool_stats = PoolStats(registry=registry)
+        runtime_stats = RuntimeStats(registry=registry)
+        proxy_counters = ProxyCounters(registry=registry)
+
+        thread_count = 16
+        rounds = 200
+        barrier = threading.Barrier(thread_count)
+
+        def hammer() -> None:
+            barrier.wait()
+            for index in range(rounds):
+                cache_stats.record("hits")
+                cache_stats.record("misses", 2)
+                pool_stats.record("acquires")
+                pool_stats.observe_queue_wait(0.001 * (index % 5))
+                runtime_stats.add(submitted=1, completed=1)
+                runtime_stats.observe_queue_wait(0.002)
+                runtime_stats.observe_queue_depth(index % 7)
+                proxy_counters.add(
+                    requests=1, browser_core_seconds=0.25
+                )
+
+        threads = [
+            threading.Thread(target=hammer) for _ in range(thread_count)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        total = thread_count * rounds
+        assert cache_stats.hits == total
+        assert cache_stats.misses == 2 * total
+        assert pool_stats.acquires == total
+        assert registry.get(
+            "msite_pool_queue_wait_seconds"
+        ).count == total
+        snapshot = runtime_stats.snapshot()
+        assert snapshot.submitted == total
+        assert snapshot.completed == total
+        assert snapshot.queue_depth_peak == 6
+        assert registry.get(
+            "msite_executor_queue_wait_seconds"
+        ).count == total
+        assert proxy_counters.requests == total
+        assert proxy_counters.browser_core_seconds == pytest.approx(
+            0.25 * total
+        )
+        # The registry reads the same objects — nothing was copied.
+        assert registry.get("msite_cache_hits_total").value == total
+        assert registry.get("msite_proxy_requests_total").value == total
+
+    def test_pool_instance_accounts_queue_waits(self):
+        registry = MetricsRegistry()
+        pool = BrowserPool(max_instances=1)
+        pool.bind_metrics(registry)
+        with pool.instance("alice"):
+            pass
+        with pool.instance("bob"):
+            pass
+        assert pool.stats.acquires == 2
+        histogram = registry.get("msite_pool_queue_wait_seconds")
+        assert histogram.count == 2  # zero waits are observed too
+        assert pool.stats.mean_queue_wait_s == histogram.sum / 2
+
+
+class TestDeploymentEndpoint:
+    def test_deployment_metrics_aggregate_pages(self, origins, clock):
+        from repro.core.deployment import ProxyDeployment
+        from repro.core.pipeline import ProxyServices
+        from repro.core.spec import AdaptationSpec
+
+        services = ProxyServices(origins=origins, clock=clock)
+        deployment = ProxyDeployment(services)
+        for name in ("index", "thread"):
+            spec = AdaptationSpec(
+                site="SawmillCreek",
+                origin_host="www.sawmillcreek.org",
+                page_path="/index.php",
+            )
+            deployment.add_page(name, spec)
+        deployment.handle(Request.get("http://host/index.php"))
+        deployment.handle(Request.get("http://host/thread.php"))
+
+        response = deployment.handle(Request.get("http://host/metrics"))
+        assert response.status == 200
+        samples = parse_prometheus(response.text_body)
+        assert samples['msite_proxy_requests_total{page="index"}'] == 1
+        assert samples['msite_proxy_requests_total{page="thread"}'] == 1
+        totals = deployment.total_counters()
+        assert totals.requests == 2
+
+        traces = deployment.handle(Request.get("http://host/traces"))
+        assert traces.status == 200

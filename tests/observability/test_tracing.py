@@ -1,0 +1,230 @@
+"""Request-scoped tracing: span structure, exception paths, ambience."""
+
+import threading
+
+import pytest
+
+from repro.observability.metrics import MetricsRegistry
+from repro.observability.tracing import (
+    Trace,
+    TraceRecorder,
+    activate,
+    current_trace,
+    span,
+)
+
+
+class FakeClock:
+    """Monotonic fake: every reading advances by ``step`` seconds."""
+
+    def __init__(self, step: float = 0.25) -> None:
+        self.now = 0.0
+        self.step = step
+
+    def __call__(self) -> float:
+        reading = self.now
+        self.now += self.step
+        return reading
+
+
+class TestSpans:
+    def test_flat_spans_are_sequential_depth_zero(self):
+        trace = Trace("request", clock=FakeClock())
+        with trace.span("detect"):
+            pass
+        with trace.span("adapt"):
+            pass
+        assert trace.span_names() == ["detect", "adapt"]
+        assert [s.depth for s in trace.spans] == [0, 0]
+        assert [s.parent for s in trace.spans] == [None, None]
+        for record in trace.spans:
+            assert record.end_s is not None
+            assert record.duration_s > 0
+
+    def test_nested_spans_record_depth_and_parent(self):
+        trace = Trace("request", clock=FakeClock())
+        with trace.span("outer"):
+            with trace.span("middle"):
+                with trace.span("inner"):
+                    pass
+            with trace.span("sibling"):
+                pass
+        by_name = {record.name: record for record in trace.spans}
+        assert by_name["outer"].depth == 0
+        assert by_name["middle"].depth == 1
+        assert by_name["inner"].depth == 2
+        assert by_name["sibling"].depth == 1
+        outer_index = trace.spans.index(by_name["outer"])
+        assert by_name["middle"].parent == outer_index
+        assert by_name["sibling"].parent == outer_index
+        assert by_name["inner"].parent == trace.spans.index(
+            by_name["middle"]
+        )
+
+    def test_exception_closes_span_with_error_status(self):
+        trace = Trace("request", clock=FakeClock())
+        with pytest.raises(KeyError):
+            with trace.span("adapt"):
+                raise KeyError("missing selector")
+        record = trace.spans[0]
+        assert record.end_s is not None  # closed despite the raise
+        assert record.status == "error"
+        assert record.error == "KeyError"
+        assert trace.status == "error"
+
+    def test_exception_closes_every_enclosing_span(self):
+        trace = Trace("request", clock=FakeClock())
+        with pytest.raises(RuntimeError):
+            with trace.span("outer"):
+                with trace.span("inner"):
+                    raise RuntimeError
+        assert all(record.end_s is not None for record in trace.spans)
+        assert [record.status for record in trace.spans] == [
+            "error", "error",
+        ]
+
+    def test_top_level_duration_ignores_nested_spans(self):
+        clock = FakeClock(step=1.0)
+        trace = Trace("request", clock=clock)
+        with trace.span("outer"):
+            with trace.span("inner"):
+                pass
+        outer, inner = trace.spans
+        assert trace.top_level_duration_s() == outer.duration_s
+        assert inner.duration_s < outer.duration_s
+
+    def test_finish_is_idempotent(self):
+        trace = Trace("request", clock=FakeClock())
+        first = trace.finish().duration_s
+        assert trace.finish().duration_s == first
+
+    def test_spans_observe_into_metrics_registry(self):
+        registry = MetricsRegistry()
+        trace = Trace("request", clock=FakeClock(), metrics=registry)
+        with trace.span("render"):
+            pass
+        with trace.span("render"):
+            pass
+        histogram = registry.get(
+            Trace.SPAN_HISTOGRAM, {"span": "render"}
+        )
+        assert histogram is not None
+        assert histogram.count == 2
+
+
+class TestAmbientTrace:
+    def test_span_is_noop_without_active_trace(self):
+        assert current_trace() is None
+        with span("render") as record:
+            assert record is None  # nothing recorded, nothing raised
+
+    def test_activate_installs_and_restores(self):
+        trace = Trace("request", clock=FakeClock())
+        with activate(trace):
+            assert current_trace() is trace
+            with span("render") as record:
+                assert record is not None
+        assert current_trace() is None
+        assert trace.span_names() == ["render"]
+
+    def test_activation_nests(self):
+        outer_trace = Trace("outer", clock=FakeClock())
+        inner_trace = Trace("inner", clock=FakeClock())
+        with activate(outer_trace):
+            with activate(inner_trace):
+                with span("render"):
+                    pass
+            assert current_trace() is outer_trace
+        assert inner_trace.span_names() == ["render"]
+        assert outer_trace.spans == []
+
+    def test_ambient_trace_is_thread_local(self):
+        trace = Trace("request", clock=FakeClock())
+        seen = {}
+
+        def other_thread() -> None:
+            seen["trace"] = current_trace()
+
+        with activate(trace):
+            worker = threading.Thread(target=other_thread)
+            worker.start()
+            worker.join()
+        assert seen["trace"] is None
+
+
+class TestTraceRecorder:
+    def _trace(self, duration_steps: int) -> Trace:
+        clock = FakeClock(step=1.0)
+        trace = Trace("request", clock=clock)
+        for _ in range(duration_steps):
+            clock()
+        return trace
+
+    def test_ring_keeps_only_capacity(self):
+        recorder = TraceRecorder(capacity=2, slow_threshold_s=100.0)
+        traces = [Trace(f"t{i}", clock=FakeClock()) for i in range(3)]
+        for trace in traces:
+            recorder.record(trace)
+        assert recorder.recent() == traces[1:]
+        assert recorder.recorded == 3
+        assert recorder.last() is traces[-1]
+
+    def test_slow_requests_survive_ring_churn(self):
+        recorder = TraceRecorder(capacity=1, slow_threshold_s=3.0)
+        slow = self._trace(duration_steps=10)
+        recorder.record(slow)
+        for _ in range(5):
+            recorder.record(Trace("fast", clock=FakeClock(step=0.001)))
+        assert slow not in recorder.recent()
+        assert recorder.slow() == [slow]
+        assert recorder.slow_recorded == 1
+
+    def test_record_finishes_the_trace(self):
+        recorder = TraceRecorder()
+        trace = Trace("request", clock=FakeClock())
+        recorder.record(trace)
+        assert trace.duration_s is not None
+
+    def test_rejects_nonpositive_capacity(self):
+        with pytest.raises(ValueError):
+            TraceRecorder(capacity=0)
+
+
+class TestObservabilityHub:
+    def test_trace_lifecycle_through_the_hub(self):
+        from repro.observability.hub import Observability
+
+        hub = Observability(clock=FakeClock(step=0.5))
+        trace = hub.start_trace("entry")
+        with trace.span("render"):
+            pass
+        hub.finish_trace(trace)
+        assert hub.traces.last() is trace
+        assert hub.registry.get(
+            "msite_span_duration_seconds", {"span": "render"}
+        ).count == 1
+
+    def test_slow_threshold_and_capacity_forwarded(self):
+        from repro.observability.hub import Observability
+
+        hub = Observability(slow_threshold_s=0.1, trace_capacity=2)
+        assert hub.traces.slow_threshold_s == 0.1
+        for index in range(3):
+            hub.finish_trace(hub.start_trace(f"t{index}"))
+        assert len(hub.traces.recent()) == 2
+
+    def test_render_metrics_is_prometheus_text(self):
+        from repro.observability.hub import Observability
+
+        hub = Observability()
+        hub.registry.counter("msite_demo_total").inc()
+        text = hub.render_metrics()
+        assert "msite_demo_total 1" in text
+
+    def test_accepts_external_registry(self):
+        from repro.observability.hub import Observability
+
+        registry = MetricsRegistry()
+        hub = Observability(registry=registry)
+        assert hub.registry is registry
+        assert hub.start_trace().name == "request"

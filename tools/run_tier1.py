@@ -10,6 +10,13 @@ enforces two ceilings:
 * no single test may exceed ``--slowest-s`` seconds (parsed from the
   durations report).
 
+After the suite, the gate also runs the benchmark harness in smoke mode
+(``pytest benchmarks/ --smoke``) so the bench layer keeps compiling and
+its core invariants keep holding, and enforces the statement-coverage
+floor for ``repro.observability`` via
+``tools/check_observability_coverage.py`` (stdlib ``trace``; no
+third-party coverage package required).
+
 Exits non-zero when tests fail or a ceiling is breached, so CI and the
 pre-merge checklist can gate on one command.
 """
@@ -91,6 +98,35 @@ def main(argv: list[str] | None = None) -> int:
                 f"{match.group('test')} took {seconds:.1f}s "
                 f"(ceiling {args.slowest_s:.0f}s)"
             )
+
+    # -- benchmark smoke mode -------------------------------------------
+    smoke_command = [
+        sys.executable, "-m", "pytest", "benchmarks/", "--smoke",
+        "-q", "-p", "no:cacheprovider",
+    ]
+    print(f"\n$ {' '.join(smoke_command)}")
+    smoke = subprocess.run(
+        smoke_command, cwd=REPO_ROOT, env=env,
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+    )
+    sys.stdout.write(smoke.stdout)
+    if smoke.returncode != 0:
+        failures.append(f"benchmark smoke mode exited {smoke.returncode}")
+
+    # -- observability coverage floor -----------------------------------
+    coverage_command = [
+        sys.executable, "tools/check_observability_coverage.py",
+    ]
+    print(f"\n$ {' '.join(coverage_command)}")
+    coverage = subprocess.run(
+        coverage_command, cwd=REPO_ROOT, env=env,
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+    )
+    sys.stdout.write(coverage.stdout)
+    if coverage.returncode != 0:
+        failures.append(
+            f"observability coverage floor exited {coverage.returncode}"
+        )
 
     print(f"\ntier-1 gate: suite finished in {elapsed:.1f}s")
     if failures:
