@@ -114,6 +114,10 @@ class BrowserPool:
     scrub_cost_s: float = 0.040
     costs: BrowserCostModel = field(default_factory=lambda: DEFAULT_COST_MODEL)
     stats: PoolStats = field(default_factory=PoolStats)
+    #: Optional :class:`repro.resilience.CircuitBreaker` guarding the
+    #: renderer: an open breaker rejects :meth:`instance` *before* the
+    #: semaphore, so shed load never queues behind a sick renderer.
+    breaker: Optional[object] = None
     _idle: list[str] = field(default_factory=list)  # last user per instance
     _live_count: int = 0
 
@@ -159,8 +163,12 @@ class BrowserPool:
         :attr:`PoolStats.queue_wait_total_s`.  Yields the service-time
         cost from :meth:`acquire` so callers can keep the ablation's
         core-seconds accounting.  Raises :class:`PoolTimeoutError` when
-        the wait exceeds ``timeout``.
+        the wait exceeds ``timeout``, or
+        :class:`~repro.errors.CircuitOpenError` immediately — without
+        ever touching the semaphore — when the attached breaker is open.
         """
+        if self.breaker is not None:
+            self.breaker.check()  # raises CircuitOpenError when open
         waited = 0.0
         if not self._slots.acquire(blocking=False):
             start = time.perf_counter()

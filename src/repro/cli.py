@@ -13,7 +13,10 @@ The admin-facing entry points a deployment actually uses:
   recent request traces (``GET /traces``),
 * ``scalability`` — the Figure 7 sweep: the discrete-event model by
   default, or ``--real`` to drive actual threads through the concurrent
-  runtime and report queue-wait / stampede-suppression metrics.
+  runtime and report queue-wait / stampede-suppression metrics,
+* ``chaos``      — drive the forum demo through a seeded fault schedule
+  (failed/hung renders and origin fetches) and print the degradation
+  report; exits non-zero if any request leaked a 500.
 
 Run as ``python -m repro.cli <command>``.
 """
@@ -144,6 +147,31 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from repro.resilience.chaos import format_report, run_chaos
+
+    try:
+        report = run_chaos(
+            seed=args.seed,
+            requests=args.requests,
+            render_failure_rate=args.render_fail,
+            origin_failure_rate=args.origin_fail,
+            garbage_rate=args.garbage,
+            warm=not args.cold,
+        )
+    except (ValueError, MSiteError) as exc:
+        print(f"chaos run failed: {exc}", file=sys.stderr)
+        return 1
+    print(format_report(report))
+    if report.internal_errors:
+        print(
+            f"FAIL: {report.internal_errors} requests leaked a 500",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 def _cmd_scalability(args: argparse.Namespace) -> int:
     try:
         return _run_scalability(args)
@@ -258,6 +286,38 @@ def build_parser() -> argparse.ArgumentParser:
         help="requests to issue before dumping /traces (default 4)",
     )
     trace.set_defaults(fn=_cmd_trace)
+
+    chaos = commands.add_parser(
+        "chaos",
+        help="drive the forum demo through a seeded fault schedule and "
+        "print the degradation report",
+    )
+    chaos.add_argument(
+        "--seed", type=int, default=7,
+        help="fault schedule seed (default 7)",
+    )
+    chaos.add_argument(
+        "--requests", type=int, default=200,
+        help="requests to drive through the fault schedule (default 200)",
+    )
+    chaos.add_argument(
+        "--render-fail", type=float, default=0.3,
+        help="fraction of renders that crash or hang (default 0.3)",
+    )
+    chaos.add_argument(
+        "--origin-fail", type=float, default=0.1,
+        help="fraction of origin fetches that fail or hang (default 0.1)",
+    )
+    chaos.add_argument(
+        "--garbage", type=float, default=0.05,
+        help="fraction of origin responses corrupted in flight "
+        "(default 0.05)",
+    )
+    chaos.add_argument(
+        "--cold", action="store_true",
+        help="skip the cache warm-up (exercises the no-stale rungs)",
+    )
+    chaos.set_defaults(fn=_cmd_chaos)
 
     scalability = commands.add_parser(
         "scalability", help="run the Figure 7 scalability sweep"

@@ -22,6 +22,7 @@ import threading
 from dataclasses import dataclass
 from typing import Callable, Optional
 
+from repro.errors import DegradedServeError
 from repro.observability.metrics import MetricsRegistry
 
 
@@ -77,6 +78,16 @@ class CacheStats:
             "msite_cache_stampedes_suppressed_total",
             "Callers that joined an in-progress flight instead of "
             "loading redundantly."),
+        "stale_hits": (
+            "msite_cache_stale_hits_total",
+            "Stale lookups served from an expired entry kept for "
+            "graceful degradation."),
+        "stale_misses": (
+            "msite_cache_stale_misses_total",
+            "Stale lookups that found nothing servable."),
+        "stale_evictions": (
+            "msite_cache_stale_evictions_total",
+            "Retired entries dropped from the stale store."),
     }
 
     def __init__(self, registry: Optional[MetricsRegistry] = None) -> None:
@@ -137,10 +148,18 @@ class PrerenderCache:
         clock=None,
         max_bytes: int = 64 * 1024 * 1024,
         metrics: Optional[MetricsRegistry] = None,
+        stale_grace_s: float = 24 * 3600.0,
+        stale_max_bytes: int = 16 * 1024 * 1024,
     ) -> None:
         self.clock = clock
         self.max_bytes = max_bytes
+        self.stale_grace_s = stale_grace_s
+        self.stale_max_bytes = stale_max_bytes
         self._entries: dict[str, CacheEntry] = {}
+        # Expired entries retired here (instead of vanishing) so the
+        # degradation ladder can serve a stale snapshot when the fresh
+        # path fails.  Bounded separately; never served as fresh.
+        self._stale: dict[str, CacheEntry] = {}
         self._flights: dict[str, _Flight] = {}
         self._lock = threading.RLock()
         self.stats = CacheStats(registry=metrics)
@@ -160,13 +179,28 @@ class PrerenderCache:
                 self.stats.record("misses")
                 return None
             if not entry.fresh(self._now):
-                del self._entries[key]
+                self._retire(key)
                 self.stats.record("expirations")
                 self.stats.record("misses")
                 return None
             entry.hits += 1
             self.stats.record("hits")
             return entry
+
+    def _retire(self, key: str) -> None:
+        """Move an expired entry to the stale store (caller holds the
+        lock).  Entries with no positive TTL were never servable and are
+        dropped outright."""
+        entry = self._entries.pop(key, None)
+        if entry is None:
+            return
+        if entry.ttl_s > 0 and self._stale_age(entry) <= self.stale_grace_s:
+            self._stale[key] = entry
+            self._evict_stale_if_needed()
+
+    def _stale_age(self, entry: CacheEntry) -> float:
+        """Seconds past the entry's expiry instant (negative = fresh)."""
+        return self._now - (entry.stored_at + entry.ttl_s)
 
     def peek(self, key: str) -> Optional[CacheEntry]:
         """Lookup without touching hit/miss statistics or entry hit
@@ -196,26 +230,103 @@ class PrerenderCache:
                 ttl_s=ttl_s,
             )
             self._entries[key] = entry
+            self._stale.pop(key, None)  # a fresh store supersedes stale
             self.stats.record("stores")
             self._evict_if_needed()
             return entry
 
     def invalidate(self, key: str) -> bool:
         with self._lock:
+            self._stale.pop(key, None)
             return self._entries.pop(key, None) is not None
 
     def clear(self) -> None:
         with self._lock:
             self._entries.clear()
+            self._stale.clear()
 
     @property
     def total_bytes(self) -> int:
         with self._lock:
             return sum(entry.size for entry in self._entries.values())
 
+    @property
+    def stale_bytes(self) -> int:
+        with self._lock:
+            return sum(entry.size for entry in self._stale.values())
+
     def __len__(self) -> int:
         with self._lock:
             return len(self._entries)
+
+    # ------------------------------------------------------------------
+    # stale serving (graceful degradation)
+
+    def load_stale(
+        self, key: str, max_stale_s: Optional[float] = None
+    ) -> Optional[CacheEntry]:
+        """Best available entry for ``key``, expired entries included.
+
+        A fresh entry is returned as-is (without touching hit/miss
+        accounting — this path only runs when the fresh path already
+        failed).  Otherwise an expired entry no more than ``max_stale_s``
+        (default: the cache's ``stale_grace_s``) past its TTL is served
+        and counted as a ``stale_hit``.  Returns ``None`` when nothing
+        servable survives.
+        """
+        limit = self.stale_grace_s if max_stale_s is None else max_stale_s
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                if entry.fresh(self._now):
+                    return entry
+                # Expired in place (no get noticed yet): retire it now so
+                # the fresh map matches the documented semantics, then
+                # fall through to the stale check.
+                self._retire(key)
+            entry = self._stale.get(key)
+            if entry is not None and self._stale_age(entry) <= limit:
+                entry.hits += 1
+                self.stats.record("stale_hits")
+                return entry
+            if entry is not None:
+                del self._stale[key]
+                self.stats.record("stale_evictions")
+            self.stats.record("stale_misses")
+            return None
+
+    def serve_stale_while_revalidate(
+        self,
+        key: str,
+        loader: Callable[[], bytes | str],
+        content_type: str = "application/octet-stream",
+        ttl_s: float = 3600.0,
+        max_stale_s: Optional[float] = None,
+    ) -> tuple[CacheEntry, bool]:
+        """``get_or_load``, but a loader failure falls back to stale.
+
+        Returns ``(entry, is_stale)``.  The revalidation (the loader) is
+        attempted on every call while only stale data exists — a later
+        success replaces the stale copy — and its failure surfaces as
+        :class:`~repro.errors.DegradedServeError` (the ladder ran out of
+        rungs; ``__cause__`` carries the loader's error) only when no
+        stale fallback survives.
+        """
+        try:
+            return (
+                self.get_or_load(
+                    key, loader, content_type=content_type, ttl_s=ttl_s
+                ),
+                False,
+            )
+        except Exception as exc:
+            entry = self.load_stale(key, max_stale_s=max_stale_s)
+            if entry is None:
+                raise DegradedServeError(
+                    f"no stale fallback for {key!r} after loader failure: "
+                    f"{exc}"
+                ) from exc
+            return entry, True
 
     # ------------------------------------------------------------------
     # single-flight
@@ -304,3 +415,16 @@ class PrerenderCache:
             )
             del self._entries[oldest_key]
             self.stats.record("evictions")
+
+    def _evict_stale_if_needed(self) -> None:
+        """Oldest-first eviction of the stale store (caller holds the
+        lock); the stale budget is independent of the fresh budget."""
+        while (
+            sum(e.size for e in self._stale.values()) > self.stale_max_bytes
+            and self._stale
+        ):
+            oldest_key = min(
+                self._stale, key=lambda key: self._stale[key].stored_at
+            )
+            del self._stale[oldest_key]
+            self.stats.record("stale_evictions")

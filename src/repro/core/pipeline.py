@@ -40,7 +40,14 @@ from repro.core.subpages import (
     fragment_html,
 )
 from repro.dom.document import Document
-from repro.errors import AdaptationError, FetchError
+from repro.errors import (
+    AdaptationError,
+    CircuitOpenError,
+    FetchError,
+    PoolTimeoutError,
+    RenderError,
+    TransientFetchError,
+)
 from repro.html.parser import parse_html
 from repro.html.serializer import serialize
 from repro.net.client import HttpClient
@@ -50,6 +57,13 @@ from repro.observability import Observability
 from repro.observability.tracing import span
 from repro.render.box import Rect
 from repro.render.imagemap import MapRegion, build_image_map
+from repro.resilience.faults import (
+    FaultPlan,
+    FaultyBrowser,
+    FaultyHttpClient,
+    inject_render_fault,
+)
+from repro.resilience.policy import HTML_ONLY, SKIPPED, STALE, ResiliencePolicy
 
 
 class AuthenticationRequired(FetchError):
@@ -66,6 +80,8 @@ class ProxyServices:
     clock: Any = None
     costs: BrowserCostModel = field(default_factory=lambda: DEFAULT_COST_MODEL)
     observability: Observability = field(default_factory=Observability)
+    resilience: ResiliencePolicy = field(default_factory=ResiliencePolicy)
+    faults: Optional[FaultPlan] = None
 
     def __post_init__(self) -> None:
         # A default-constructed cache must share the deployment's clock,
@@ -75,17 +91,33 @@ class ProxyServices:
         # One registry per deployment: the cache's counters surface on
         # the same /metrics endpoint as the proxy's.
         self.cache.bind_metrics(self.observability.registry)
+        self.resilience.bind(self.observability.registry, clock=self.clock)
+        if self.faults is not None:
+            self.faults.bind_metrics(self.observability.registry)
+
+    def install_faults(self, plan: Optional[FaultPlan]) -> None:
+        """Install (or clear) a fault plan on a live deployment."""
+        self.faults = plan
+        if plan is not None:
+            plan.bind_metrics(self.observability.registry)
 
     def make_client(self, jar) -> HttpClient:
+        if self.faults is not None:
+            return FaultyHttpClient(
+                self.faults, origins=self.origins, jar=jar, clock=self.clock
+            )
         return HttpClient(origins=self.origins, jar=jar, clock=self.clock)
 
     def make_browser(self, jar, viewport_width: int):
         from repro.browser.webkit import ServerBrowser
 
         client = self.make_client(jar)
-        return ServerBrowser(
+        browser = ServerBrowser(
             client, jar=jar, viewport_width=viewport_width, costs=self.costs
         )
+        if self.faults is not None:
+            return FaultyBrowser(browser, self.faults)
+        return browser
 
     @property
     def now(self) -> float:
@@ -157,6 +189,9 @@ class AdaptedPage:
     origin_bytes: int = 0
     notes: list[str] = field(default_factory=list)
     ajax_table: Optional[AjaxActionTable] = None
+    #: ``None`` for a full-fidelity page, else the degradation mode that
+    #: produced it (``"stale"`` / ``"html_only"`` — see repro.resilience).
+    degraded: Optional[str] = None
 
     @property
     def total_core_seconds(self) -> float:
@@ -189,6 +224,18 @@ class AdaptationPipeline:
     # ------------------------------------------------------------------
 
     def run(self, force_refresh: bool = False) -> AdaptedPage:
+        try:
+            return self._run_full(force_refresh)
+        except AuthenticationRequired:
+            raise  # an auth challenge is a feature, not a failure
+        except (FetchError, AdaptationError, CircuitOpenError) as exc:
+            # Bottom rung of the entry-page ladder: the origin (or the
+            # adaptation itself) is gone, but a stale snapshot may still
+            # make the page navigable.  No stale copy ⇒ re-raise, and the
+            # proxy maps the error to an honest 502/503/504.
+            return self._serve_stale_entry(exc)
+
+    def _run_full(self, force_refresh: bool) -> AdaptedPage:
         # Spans are deliberately flat and sequential (never nested on
         # this path) so their durations sum to at most the request wall
         # time — each phase of the request is attributed exactly once.
@@ -236,18 +283,38 @@ class AdaptationPipeline:
     def _fetch_origin(self) -> tuple[str, int]:
         client = self.services.make_client(self.session.jar)
         url = self._origin_url()
-        request = Request.get(url)
         credentials = self.session.http_credentials.get(self.spec.origin_host)
-        if credentials is not None:
-            request.with_basic_auth(*credentials)
-        response = client.request(request)
+        resilience = self.services.resilience
+
+        def _attempt():
+            request = Request.get(url)
+            if credentials is not None:
+                request.with_basic_auth(*credentials)
+            response = client.request(request)
+            if response.status == 401:
+                # Returned (not raised) so an auth challenge is never
+                # retried and never counts against the origin breaker.
+                return response
+            if not response.ok:
+                raise FetchError(
+                    f"origin returned {response.status} for {url}"
+                )
+            if b"\x00" in response.body:
+                # A truncated/corrupt payload is as useless as a refused
+                # connection — surface it as a retriable fetch failure.
+                raise TransientFetchError(
+                    f"origin returned a corrupt body for {url}"
+                )
+            return response
+
+        response = resilience.retry.call(
+            _attempt,
+            breaker=resilience.origin_breaker(self.spec.origin_host),
+            target=f"origin:{self.spec.origin_host}",
+        )
         if response.status == 401:
             raise AuthenticationRequired(
                 f"origin {self.spec.origin_host} requires HTTP authentication"
-            )
-        if not response.ok:
-            raise FetchError(
-                f"origin returned {response.status} for {url}"
             )
         return response.text_body, len(response.body)
 
@@ -321,8 +388,117 @@ class AdaptationPipeline:
 
     def _obtain_snapshot(
         self, ctx: PipelineContext, result: AdaptedPage, force_refresh: bool
-    ) -> dict:
+    ) -> Optional[dict]:
+        """Cached/fresh snapshot, degrading down the render ladder.
+
+        Render fails (crash, hang, open breaker, exhausted pool) ⇒ serve
+        the stale snapshot if one survives in the cache's grace store ⇒
+        otherwise return ``None``, which makes :meth:`_emit_entry` build
+        the HTML-only menu entry page.
+        """
         key = self._snapshot_cache_key(ctx)
+        try:
+            return self._obtain_snapshot_fresh(ctx, result, force_refresh, key)
+        except (RenderError, FetchError, CircuitOpenError, PoolTimeoutError) as exc:
+            resilience = self.services.resilience
+            with span("degrade"):
+                bundle = (
+                    self._stale_snapshot_bundle(key)
+                    if ctx.cache_snapshot
+                    else None
+                )
+                if bundle is not None:
+                    result.snapshot_from_cache = True
+                    result.snapshot_bytes = len(bundle["image_bytes"])
+                    result.degraded = result.degraded or STALE
+                    resilience.record_degraded(STALE)
+                    ctx.note(
+                        f"degraded: stale snapshot served after render "
+                        f"failure ({exc})"
+                    )
+                    return bundle
+                result.degraded = result.degraded or HTML_ONLY
+                resilience.record_degraded(HTML_ONLY)
+                ctx.note(
+                    f"degraded: html-only entry after render failure ({exc})"
+                )
+                return None
+
+    def _stale_snapshot_bundle(self, key: str) -> Optional[dict]:
+        """A fresh-or-stale manifest+image bundle, or ``None``."""
+        cache = self.services.cache
+        entry = cache.load_stale(key)
+        image = cache.load_stale(key + ":image")
+        if entry is None or image is None:
+            return None
+        bundle = json.loads(entry.data.decode("utf-8"))
+        bundle["image_bytes"] = image.data
+        return bundle
+
+    def _serve_stale_entry(self, exc: BaseException) -> AdaptedPage:
+        """Entry page rebuilt from a stale snapshot when the run failed."""
+        key = self._snapshot_cache_key(None)
+        bundle = self._stale_snapshot_bundle(key)
+        if bundle is None:
+            raise exc
+        with span("degrade"):
+            result = AdaptedPage(
+                entry_path=f"{self.page_dir}/index.html",
+                entry_html="",
+                subpages=[],
+                snapshot_from_cache=True,
+                snapshot_bytes=len(bundle["image_bytes"]),
+                degraded=STALE,
+            )
+            title = self.spec.mobile_title or self.spec.site
+            regions = [
+                MapRegion(
+                    rect=Rect(*raw),
+                    href=f"{self.proxy_base}?page={subpage_id}",
+                    alt=subpage_id,
+                )
+                for subpage_id, raw in sorted(bundle["regions"].items())
+            ]
+            image_map = build_image_map(
+                regions,
+                snapshot_src=f"{self.proxy_base}?file=snapshot.jpg",
+                scale=bundle["scale"],
+                width=bundle["width"],
+                height=bundle["height"],
+            )
+            result.entry_html = (
+                f"<!DOCTYPE html><html><head><title>{title}</title>"
+                f'<meta name="viewport" content="width=device-width, '
+                f'initial-scale=1" /></head><body>'
+                f"{image_map}"
+                f"</body></html>"
+            )
+            self.services.storage.write(
+                f"{self.page_dir}/snapshot.jpg",
+                bundle["image_bytes"],
+                content_type="image/jpeg",
+                now=self.services.now,
+            )
+            self.services.storage.write(
+                result.entry_path,
+                result.entry_html,
+                content_type="text/html; charset=utf-8",
+                now=self.services.now,
+            )
+        result.notes.append(
+            f"degraded: stale entry page served; upstream failure: {exc}"
+        )
+        self.services.resilience.record_degraded(STALE)
+        self.session.pages_served += 1
+        return result
+
+    def _obtain_snapshot_fresh(
+        self,
+        ctx: PipelineContext,
+        result: AdaptedPage,
+        force_refresh: bool,
+        key: str,
+    ) -> dict:
         if not ctx.cache_snapshot:
             return self._render_snapshot(ctx, result)
         if force_refresh:
@@ -364,18 +540,23 @@ class AdaptationPipeline:
         """The full browser path: launch, load subresources, paint."""
         from repro.render.snapshot import collect_stylesheets, render_snapshot
 
-        browser = self.services.make_browser(
-            self.session.jar, self.spec.viewport_width
-        )
-        with span("render"), browser:
-            external_css = browser._fetch_stylesheets(
-                ctx.document, self._origin_url()
-            )[0]
-            snapshot = render_snapshot(
-                ctx.document,
-                viewport_width=self.spec.viewport_width,
-                external_css=external_css,
+        # The breaker check happens before a browser is even constructed:
+        # an open renderer breaker must never consume a pool slot.
+        with self.services.resilience.render_breaker.guard(
+            failure_on=(RenderError, FetchError, PoolTimeoutError)
+        ):
+            browser = self.services.make_browser(
+                self.session.jar, self.spec.viewport_width
             )
+            with span("render"), browser:
+                external_css = browser._fetch_stylesheets(
+                    ctx.document, self._origin_url()
+                )[0]
+                snapshot = render_snapshot(
+                    ctx.document,
+                    viewport_width=self.spec.viewport_width,
+                    external_css=external_css,
+                )
         result.used_browser = True
         result.browser_core_seconds += self.services.costs.browser_request_s
 
@@ -414,13 +595,25 @@ class AdaptationPipeline:
         self, ctx: PipelineContext, result: AdaptedPage
     ) -> None:
         for binding, element in ctx.partial_prerender_targets:
-            with span("render"):
-                artifact: PartialPrerender = partial_css_prerender(
-                    ctx.document,
-                    element,
-                    viewport_width=self.spec.viewport_width,
-                    quality=int(binding.param("quality", 55)),
+            try:
+                inject_render_fault(self.services.faults)
+                with span("render"):
+                    artifact: PartialPrerender = partial_css_prerender(
+                        ctx.document,
+                        element,
+                        viewport_width=self.spec.viewport_width,
+                        quality=int(binding.param("quality", 55)),
+                    )
+            except (RenderError, CircuitOpenError) as exc:
+                # Partial prerenders are an enhancement; a failed one is
+                # dropped rather than failing the page.
+                result.degraded = result.degraded or SKIPPED
+                self.services.resilience.record_degraded(SKIPPED)
+                ctx.note(
+                    f"degraded: partial prerender skipped after render "
+                    f"failure ({exc})"
                 )
+                continue
             result.used_browser = True
             result.browser_core_seconds += (
                 self.services.costs.browser_request_s
@@ -478,9 +671,23 @@ class AdaptationPipeline:
             definition = ctx.plan.subpages[subpage_id]
             taken = taken_by_id[subpage_id]
             if definition.prerender:
-                artifact = self._emit_prerendered_subpage(
-                    ctx, result, definition, taken
-                )
+                try:
+                    artifact = self._emit_prerendered_subpage(
+                        ctx, result, definition, taken
+                    )
+                except (RenderError, CircuitOpenError, PoolTimeoutError) as exc:
+                    # Middle rung of the render ladder: an unrenderable
+                    # subpage still ships, just as plain HTML.
+                    with span("degrade"):
+                        artifact = self._emit_html_subpage(
+                            ctx, definition, taken
+                        )
+                    result.degraded = result.degraded or HTML_ONLY
+                    self.services.resilience.record_degraded(HTML_ONLY)
+                    ctx.note(
+                        f"degraded: subpage {definition.subpage_id} emitted "
+                        f"as HTML after render failure ({exc})"
+                    )
             elif definition.ajax:
                 artifact = self._emit_ajax_fragment(ctx, definition, taken)
             elif definition.engine != "html":
@@ -598,6 +805,7 @@ class AdaptationPipeline:
             return bundle
 
         def _render_objrender() -> dict:
+            inject_render_fault(self.services.faults)
             document = build_subpage_document(
                 definition, ctx.plan, ctx.page_url_for, taken
             )

@@ -37,7 +37,14 @@ from repro.core.pipeline import (
 )
 from repro.core.sessions import SESSION_COOKIE, MobileSession, SessionManager
 from repro.core.spec import AdaptationSpec
-from repro.errors import AdaptationError, FetchError, SessionError
+from repro.errors import (
+    AdaptationError,
+    CircuitOpenError,
+    DegradedServeError,
+    FetchError,
+    RetryExhaustedError,
+    SessionError,
+)
 from repro.net.messages import Request, Response
 from repro.net.server import Application
 from repro.net.url import unquote
@@ -46,6 +53,7 @@ from repro.observability.exposition import (
     PROMETHEUS_CONTENT_TYPE,
     render_prometheus,
 )
+from repro.resilience.policy import DEFAULT_RETRY_AFTER_S, PASSTHROUGH, STALE
 
 
 @dataclass(frozen=True)
@@ -279,6 +287,28 @@ class MSiteProxy(Application):
             )
         except AuthenticationRequired:
             return Response.redirect(f"{self.proxy_base}?auth=1")
+        except CircuitOpenError as exc:
+            # An open breaker is load shedding, not a crash: an honest
+            # 503 with a Retry-After estimate of when probes resume.
+            self.counters.add(errors=1)
+            return self._retry_later(
+                f"m.Site proxy: temporarily refusing calls ({exc})",
+                exc.retry_after_s,
+            )
+        except DegradedServeError as exc:
+            self.counters.add(errors=1)
+            return self._retry_later(
+                f"m.Site proxy: degraded and unable to serve ({exc})", None
+            )
+        except RetryExhaustedError as exc:
+            # Ordered before FetchError (its base): the origin never
+            # answered across every attempt — a gateway timeout, not a
+            # bad gateway.
+            self.counters.add(errors=1)
+            return Response.text(
+                f"m.Site proxy: originating page timed out ({exc})",
+                status=504,
+            )
         except FetchError as exc:
             self.counters.add(errors=1)
             return Response.text(
@@ -294,6 +324,15 @@ class MSiteProxy(Application):
                 f"the administrator should refresh the spec",
                 status=502,
             )
+
+    @staticmethod
+    def _retry_later(message: str, retry_after_s: Optional[float]) -> Response:
+        response = Response.text(message, status=503)
+        seconds = (
+            DEFAULT_RETRY_AFTER_S if retry_after_s is None else retry_after_s
+        )
+        response.headers.set("Retry-After", str(max(1, round(seconds))))
+        return response
 
     # ------------------------------------------------------------------
     # sessions
@@ -331,14 +370,23 @@ class MSiteProxy(Application):
         # flight.
         with session.lock:
             with self._lock:
-                adapted = self._adapted.get(session.session_id)
-            if adapted is not None and not force:
-                return adapted
+                previous = self._adapted.get(session.session_id)
+            if previous is not None and not force and previous.degraded is None:
+                return previous
             pipeline = AdaptationPipeline(
                 self.spec, self.services, session,
                 proxy_base=self.proxy_base, namespace=self.namespace,
             )
-            adapted = pipeline.run(force_refresh=force)
+            try:
+                adapted = pipeline.run(force_refresh=force)
+            except (FetchError, AdaptationError, CircuitOpenError):
+                # Stale-while-revalidate at the session level: a page we
+                # served before (degraded or not) beats an error page.
+                # The revalidation is re-attempted on the next request.
+                if previous is not None:
+                    self.services.resilience.record_degraded(STALE)
+                    return previous
+                raise
             with self._lock:
                 # Merge discovered AJAX actions into the proxy-wide table
                 # so the rewritten links on every session's pages resolve.
@@ -374,12 +422,21 @@ class MSiteProxy(Application):
         adapted = self._ensure_adapted(session, force=force)
         self.counters.add(entry_pages=1)
         stored = self.services.storage.read(adapted.entry_path)
-        return Response.binary(stored.data, "text/html; charset=utf-8")
+        response = Response.binary(stored.data, "text/html; charset=utf-8")
+        return self._mark_degraded(response, adapted)
+
+    @staticmethod
+    def _mark_degraded(response: Response, adapted: AdaptedPage) -> Response:
+        """The 206-style partial-service marker: still a 200, but the
+        client (and the chaos harness) can tell fidelity was reduced."""
+        if adapted.degraded is not None:
+            response.headers.set("X-MSite-Degraded", adapted.degraded)
+        return response
 
     def _handle_subpage(
         self, session: MobileSession, subpage_id: str, fragment: bool
     ) -> Response:
-        self._ensure_adapted(session)
+        adapted = self._ensure_adapted(session)
         self.counters.add(
             subpages=1,
             lightweight_requests=1,
@@ -400,7 +457,9 @@ class MSiteProxy(Application):
             path = f"{self._page_dir(session)}/{name}"
             if self.services.storage.exists(path):
                 stored = self.services.storage.read(path)
-                return Response.binary(stored.data, stored.content_type)
+                return self._mark_degraded(
+                    Response.binary(stored.data, stored.content_type), adapted
+                )
         return Response.not_found(f"no subpage {subpage_id!r}")
 
     def _handle_file(self, session: MobileSession, name: str) -> Response:
@@ -435,6 +494,8 @@ class MSiteProxy(Application):
         if entry is not None:
             return Response.binary(entry.data, entry.content_type)
 
+        resilience = self.services.resilience
+
         def _fetch_and_reduce() -> Response:
             # Single-flight loader: a stampede of misses for one image
             # fetches the origin once; joiners share the Response.
@@ -448,28 +509,51 @@ class MSiteProxy(Application):
                 else f"http://{self.spec.origin_host}/{source}"
             )
             try:
-                origin_response = client.get(origin_url)
-            except FetchError:
+                origin_response = resilience.retry.call(
+                    lambda: client.get(origin_url),
+                    breaker=resilience.origin_breaker(self.spec.origin_host),
+                    target=f"origin:{self.spec.origin_host}",
+                )
+            except (FetchError, CircuitOpenError):
+                # A missing decoration stays a 404, exactly as before the
+                # resilience layer; the page around it still works.
                 return Response.not_found("image origin unreachable")
             if not origin_response.ok:
                 return Response.not_found("origin image missing")
-            # Fidelity model: a reduced-quality image ships a fraction of
-            # the original bytes (re-encoding real GIF/JPEG payloads is
-            # the post-processor's job; the proxy cares about cacheable
-            # size).
             try:
-                fraction = max(5, min(100, int(quality))) / 100.0
-            except ValueError:
-                fraction = 0.4
-            reduced = origin_response.body[
-                : max(64, int(len(origin_response.body) * fraction))
-            ]
+                reduced = self._reduce_image(origin_response.body, quality)
+            except AdaptationError:
+                # Bottom rung of the image ladder: an unreducible payload
+                # ships at original fidelity rather than not at all.
+                resilience.record_degraded(PASSTHROUGH)
+                passthrough = Response.binary(
+                    origin_response.body,
+                    origin_response.headers.get("Content-Type")
+                    or "application/octet-stream",
+                )
+                passthrough.headers.set("X-MSite-Degraded", PASSTHROUGH)
+                return passthrough
             self.services.cache.put(
                 key, reduced, content_type="image/jpeg", ttl_s=3600.0
             )
             return Response.binary(reduced, "image/jpeg")
 
         return self.services.cache.load_or_join(key, _fetch_and_reduce)
+
+    @staticmethod
+    def _reduce_image(data: bytes, quality: str) -> bytes:
+        """Fidelity model: a reduced-quality image ships a fraction of
+        the original bytes (re-encoding real GIF/JPEG payloads is the
+        post-processor's job; the proxy cares about cacheable size).
+        Raises :class:`AdaptationError` for payloads the reducer cannot
+        re-encode (e.g. corrupted mid-transfer)."""
+        if data[:2] == b"\x00\xff":
+            raise AdaptationError("image payload corrupt; cannot re-encode")
+        try:
+            fraction = max(5, min(100, int(quality))) / 100.0
+        except ValueError:
+            fraction = 0.4
+        return data[: max(64, int(len(data) * fraction))]
 
     # ------------------------------------------------------------------
     # AJAX actions (§4.4)
@@ -497,21 +581,42 @@ class MSiteProxy(Application):
             if entry is not None:
                 return Response.binary(entry.data, entry.content_type)
 
+        resilience = self.services.resilience
+        target = f"http://{self.spec.origin_host}" + action.origin_target(
+            parameter
+        )
+
+        def _attempt() -> Response:
+            client = self.services.make_client(session.jar)
+            origin_response = client.get(target)
+            if not origin_response.ok:
+                raise FetchError(
+                    f"origin ajax call failed ({origin_response.status})"
+                )
+            return origin_response
+
         def _call_origin() -> Response:
             if action.cacheable:
                 cached = self.services.cache.peek(cache_key)
                 if cached is not None:
                     return Response.binary(cached.data, cached.content_type)
-            client = self.services.make_client(session.jar)
-            target = f"http://{self.spec.origin_host}" + action.origin_target(
-                parameter
-            )
-            origin_response = client.get(target)
-            if not origin_response.ok:
-                return Response.text(
-                    f"origin ajax call failed ({origin_response.status})",
-                    status=502,
+            try:
+                origin_response = resilience.retry.call(
+                    _attempt,
+                    breaker=resilience.origin_breaker(self.spec.origin_host),
+                    target=f"origin:{self.spec.origin_host}",
                 )
+            except (FetchError, CircuitOpenError):
+                if action.cacheable:
+                    stale = self.services.cache.load_stale(cache_key)
+                    if stale is not None:
+                        resilience.record_degraded(STALE)
+                        response = Response.binary(
+                            stale.data, stale.content_type
+                        )
+                        response.headers.set("X-MSite-Degraded", STALE)
+                        return response
+                raise
             body = origin_response.text_body
             if action.transform is not None:
                 body = action.transform(body)

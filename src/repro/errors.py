@@ -22,6 +22,45 @@ class FetchError(MSiteError):
     """The proxy could not download the originating page."""
 
 
+class TransientFetchError(FetchError):
+    """A transport-level fetch failure that is worth retrying.
+
+    Refused connections, hangs killed by a watchdog, and corrupt
+    payloads land here; a *definitive* origin answer (an HTTP 4xx/5xx
+    status, a redirect loop) stays a plain :class:`FetchError` — the
+    origin spoke, and repeating the question would not change the
+    answer.  :class:`repro.resilience.RetryPolicy` retries only this
+    subclass by default.
+    """
+
+
+class RetryExhaustedError(FetchError):
+    """Every retry attempt against the origin failed.
+
+    Raised by :class:`repro.resilience.RetryPolicy` once the bounded
+    attempt count (or the retry budget) is spent; ``__cause__`` carries
+    the last underlying failure.  The proxy maps it to **504 Gateway
+    Timeout** — the origin was given every chance and never answered.
+    """
+
+    def __init__(self, message: str, attempts: int = 0) -> None:
+        super().__init__(message)
+        self.attempts = attempts
+
+
+class DegradedServeError(MSiteError):
+    """The graceful-degradation ladder ran out of rungs.
+
+    Raised when a failed fetch/render could not be papered over with a
+    stale snapshot or an HTML-only fallback.  The proxy maps it to
+    **503 Service Unavailable** with a ``Retry-After`` header — an
+    honest "come back later" rather than a misleading 5xx stack trace.
+    Successful degraded serves are *not* errors: they go out as 200 with
+    an ``X-MSite-Degraded`` marker header (the 206-style partial-service
+    signal).
+    """
+
+
 class RenderError(MSiteError):
     """The server-side rendering engine failed to produce output."""
 
@@ -48,3 +87,20 @@ class AdmissionError(ConcurrencyError):
 
 class PoolTimeoutError(ConcurrencyError):
     """Waiting for a pooled browser instance exceeded the timeout."""
+
+
+class CircuitOpenError(ConcurrencyError):
+    """A circuit breaker is open and short-circuited the call.
+
+    Raised *before* any expensive work happens (no pool slot is
+    consumed, no origin connection is attempted).  ``retry_after_s``
+    estimates when the breaker will admit a half-open probe; the proxy
+    maps this to **503 Service Unavailable** with a ``Retry-After``
+    header carrying that estimate.
+    """
+
+    def __init__(
+        self, message: str, retry_after_s: float | None = None
+    ) -> None:
+        super().__init__(message)
+        self.retry_after_s = retry_after_s

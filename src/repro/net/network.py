@@ -50,8 +50,10 @@ class NetworkLink:
         (radio wakeup excluded; see :meth:`page_load_time`)."""
         if total_bytes < 0:
             raise ValueError("bytes cannot be negative")
+        if requests < 0:
+            raise ValueError("requests cannot be negative")
         if requests < 1:
-            requests = 1
+            requests = 1  # zero requests still costs one round trip
         batches = math.ceil(requests / self.concurrent_connections)
         return batches * self.rtt_s + total_bytes / self.bandwidth_bytes_per_s
 

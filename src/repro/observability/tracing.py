@@ -3,7 +3,8 @@
 A :class:`Trace` is one request's timeline, made of named
 :class:`Span`\\ s (the taxonomy the proxy uses is ``session``,
 ``detect``, ``filter``, ``adapt``, ``render``, ``cache``,
-``serialize``; see ``docs/OBSERVABILITY.md``).  The hot path threads the
+``serialize``, plus ``retry`` for backoff waits and ``degrade`` for
+degradation-ladder fallbacks; see ``docs/OBSERVABILITY.md``).  The hot path threads the
 active trace through a thread-local, so deep pipeline code opens spans
 with the module-level :func:`span` without any plumbing — and pays
 nothing when no trace is active (library use outside the proxy).

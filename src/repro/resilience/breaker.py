@@ -1,0 +1,227 @@
+"""Circuit breakers: stop hammering a dependency that is failing.
+
+One :class:`CircuitBreaker` guards one dependency (an origin host, the
+browser renderer).  It watches a sliding window of recent outcomes and
+moves through the classic three-state machine:
+
+* **closed** — calls flow through; outcomes are recorded.  When the
+  failure rate over the window crosses the threshold (with at least
+  ``min_samples`` observations), the breaker *opens*.
+* **open** — every call is short-circuited with
+  :class:`~repro.errors.CircuitOpenError` before any work happens: no
+  pool slot is held, no origin connection is made, no retry budget is
+  burned.  After ``open_cooldown_s`` the breaker moves to half-open.
+* **half-open** — up to ``half_open_probes`` trial calls are admitted.
+  A probe success closes the breaker (window reset); a probe failure
+  re-opens it and restarts the cooldown.
+
+State transitions, short-circuits, and the current state are exported
+through the metrics registry (``msite_breaker_*``), so ``GET /metrics``
+shows exactly when and why a dependency was fenced off.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from contextlib import contextmanager
+from typing import Callable, Iterator, Optional
+
+from repro.errors import CircuitOpenError
+from repro.observability.metrics import MetricsRegistry
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half_open"
+
+_STATE_VALUE = {CLOSED: 0.0, HALF_OPEN: 1.0, OPEN: 2.0}
+
+
+class CircuitBreaker:
+    """Failure-rate breaker over a sliding window of outcomes."""
+
+    def __init__(
+        self,
+        name: str,
+        window: int = 16,
+        failure_threshold: float = 0.5,
+        min_samples: int = 4,
+        open_cooldown_s: float = 30.0,
+        half_open_probes: int = 1,
+        clock: Optional[Callable[[], float]] = None,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
+        if window < 1:
+            raise ValueError("breaker window must hold at least one sample")
+        if not 0.0 < failure_threshold <= 1.0:
+            raise ValueError("failure_threshold must be in (0, 1]")
+        if min_samples < 1:
+            raise ValueError("min_samples must be positive")
+        if half_open_probes < 1:
+            raise ValueError("need at least one half-open probe")
+        self.name = name
+        self.failure_threshold = failure_threshold
+        self.min_samples = min_samples
+        self.open_cooldown_s = open_cooldown_s
+        self.half_open_probes = half_open_probes
+        self._clock = clock or time.monotonic
+        self._lock = threading.Lock()
+        self._window: deque[bool] = deque(maxlen=window)  # True == failure
+        self._state = CLOSED
+        self._opened_at = 0.0
+        self._probes_in_flight = 0
+        registry = metrics or MetricsRegistry()
+        labels = {"breaker": name}
+        self._transitions = {
+            state: registry.counter(
+                "msite_breaker_transitions_total",
+                "Breaker state transitions, by destination state.",
+                labels={"breaker": name, "to": state},
+            )
+            for state in (CLOSED, OPEN, HALF_OPEN)
+        }
+        self._short_circuits = registry.counter(
+            "msite_breaker_short_circuits_total",
+            "Calls rejected without any work because the breaker was open.",
+            labels=labels,
+        )
+        self._state_gauge = registry.gauge(
+            "msite_breaker_state",
+            "Breaker state (0 closed, 1 half-open, 2 open).",
+            labels=labels,
+        )
+
+    # -- state machine (callers hold self._lock) -------------------------
+
+    def _transition(self, state: str) -> None:
+        self._state = state
+        self._transitions[state].inc()
+        self._state_gauge.set(_STATE_VALUE[state])
+        if state == OPEN:
+            self._opened_at = self._clock()
+            self._probes_in_flight = 0
+        elif state == HALF_OPEN:
+            self._probes_in_flight = 0
+        elif state == CLOSED:
+            self._window.clear()
+            self._probes_in_flight = 0
+
+    def _maybe_half_open(self) -> None:
+        if (
+            self._state == OPEN
+            and self._clock() - self._opened_at >= self.open_cooldown_s
+        ):
+            self._transition(HALF_OPEN)
+
+    @property
+    def state(self) -> str:
+        with self._lock:
+            self._maybe_half_open()
+            return self._state
+
+    @property
+    def failure_rate(self) -> float:
+        with self._lock:
+            if not self._window:
+                return 0.0
+            return sum(self._window) / len(self._window)
+
+    def retry_after_s(self) -> float:
+        """Seconds until the breaker will admit a half-open probe."""
+        with self._lock:
+            if self._state != OPEN:
+                return 0.0
+            remaining = (
+                self._opened_at + self.open_cooldown_s - self._clock()
+            )
+            return max(0.0, remaining)
+
+    # -- the call protocol ----------------------------------------------
+
+    def allow(self) -> bool:
+        """May a call proceed right now?  (Half-open consumes a probe.)"""
+        with self._lock:
+            self._maybe_half_open()
+            if self._state == CLOSED:
+                return True
+            if self._state == HALF_OPEN:
+                if self._probes_in_flight < self.half_open_probes:
+                    self._probes_in_flight += 1
+                    return True
+                self._short_circuits.inc()
+                return False
+            self._short_circuits.inc()
+            return False
+
+    def check(self) -> None:
+        """Raise :class:`CircuitOpenError` when open, without consuming
+        a half-open probe.  For gatekeepers (the browser pool) that only
+        shed load and never observe the call's outcome themselves."""
+        with self._lock:
+            self._maybe_half_open()
+            if self._state != OPEN:
+                return
+            self._short_circuits.inc()
+            remaining = max(
+                0.0, self._opened_at + self.open_cooldown_s - self._clock()
+            )
+        raise CircuitOpenError(
+            f"circuit {self.name!r} is open; not acquiring a slot",
+            retry_after_s=remaining or self.open_cooldown_s,
+        )
+
+    def record_success(self) -> None:
+        with self._lock:
+            if self._state == HALF_OPEN:
+                self._transition(CLOSED)
+                return
+            if self._state == CLOSED:
+                self._window.append(False)
+
+    def record_failure(self) -> None:
+        with self._lock:
+            if self._state == HALF_OPEN:
+                self._transition(OPEN)
+                return
+            if self._state == OPEN:
+                return
+            self._window.append(True)
+            if (
+                len(self._window) >= self.min_samples
+                and sum(self._window) / len(self._window)
+                >= self.failure_threshold
+            ):
+                self._transition(OPEN)
+
+    @contextmanager
+    def guard(
+        self, failure_on: tuple[type[BaseException], ...] = (Exception,)
+    ) -> Iterator[None]:
+        """Run one guarded call: short-circuit when open, record the
+        outcome otherwise.  Exceptions outside ``failure_on`` (e.g. an
+        authentication redirect) pass through without tripping the
+        breaker."""
+        if not self.allow():
+            raise CircuitOpenError(
+                f"circuit {self.name!r} is open "
+                f"(failure rate {self.failure_rate:.0%} over the last "
+                f"{len(self._window)} calls)",
+                retry_after_s=self.retry_after_s() or self.open_cooldown_s,
+            )
+        try:
+            yield
+        except failure_on:
+            self.record_failure()
+            raise
+        except BaseException:
+            self.record_success()
+            raise
+        else:
+            self.record_success()
+
+    def __repr__(self) -> str:
+        return (
+            f"CircuitBreaker({self.name!r}, state={self.state}, "
+            f"failure_rate={self.failure_rate:.2f})"
+        )

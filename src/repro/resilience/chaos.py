@@ -1,0 +1,223 @@
+"""The chaos harness behind ``msite chaos``.
+
+Drives the built-in forum deployment through a seeded fault schedule —
+renders crash and hang, origin fetches fail or return garbage — and
+reports how the resilience machinery absorbed it: statuses served,
+degradation modes used, retries spent, breaker behaviour, stale serves.
+The whole run is deterministic in the seed, so a chaos regression is a
+reproducible bug report, not a flake.
+
+The acceptance bar the tier-1 gate enforces: with the cache warm, a
+30%-render / 10%-origin fault schedule must serve ≥ 99% of requests as
+200 (possibly degraded-marked) and **zero** as 500.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+#: The deterministic request mix, cycled.  ``?refresh=1`` forces renders
+#: so the render fault schedule (and its degradation ladder) is actually
+#: exercised against the warm cache.
+WORKLOAD = (
+    "",
+    "?page=forums",
+    "?file=snapshot.jpg",
+    "?refresh=1",
+    "?page=login",
+    "",
+)
+
+
+@dataclass
+class ChaosReport:
+    """What one seeded chaos run did to the deployment."""
+
+    seed: int
+    requests: int
+    statuses: dict[int, int] = field(default_factory=dict)
+    degraded_responses: dict[str, int] = field(default_factory=dict)
+    faults_injected: dict[str, int] = field(default_factory=dict)
+    retry_attempts: int = 0
+    retries_exhausted: int = 0
+    breaker_transitions: dict[str, int] = field(default_factory=dict)
+    breaker_short_circuits: int = 0
+    degraded_serves: dict[str, int] = field(default_factory=dict)
+    stale_hits: int = 0
+    metrics_exposition_lines: int = 0
+
+    @property
+    def total(self) -> int:
+        return sum(self.statuses.values())
+
+    @property
+    def ok_count(self) -> int:
+        return self.statuses.get(200, 0)
+
+    @property
+    def ok_fraction(self) -> float:
+        return self.ok_count / self.total if self.total else 0.0
+
+    @property
+    def internal_errors(self) -> int:
+        """Responses that leaked a 500 — the one status chaos forbids."""
+        return self.statuses.get(500, 0)
+
+
+def _labeled_totals(registry, name: str, *label_names: str) -> dict[str, int]:
+    """``{joined-label-values: count}`` for every child of one family."""
+    totals: dict[str, int] = {}
+    for family in registry.collect():
+        if family.name != name:
+            continue
+        for metric in family.sorted_children():
+            key = "/".join(
+                metric.labels.get(label, "?") for label in label_names
+            ) or "total"
+            totals[key] = totals.get(key, 0) + int(metric.value)
+    return {key: value for key, value in totals.items() if value}
+
+
+def _family_sum(registry, name: str) -> int:
+    return sum(
+        int(metric.value)
+        for family in registry.collect()
+        if family.name == name
+        for metric in family.sorted_children()
+    )
+
+
+def run_chaos(
+    seed: int = 7,
+    requests: int = 200,
+    render_failure_rate: float = 0.3,
+    origin_failure_rate: float = 0.1,
+    garbage_rate: float = 0.05,
+    warm: bool = True,
+) -> ChaosReport:
+    """Run the forum deployment through a seeded fault schedule.
+
+    ``render_failure_rate`` / ``origin_failure_rate`` are each split
+    between hard failures and hangs; ``garbage_rate`` additionally makes
+    origin responses arrive corrupted.  ``warm=False`` skips the cache
+    warm-up, exercising the no-stale bottom rungs instead.
+    """
+    # Imported here, not at module level: the resilience package is a
+    # dependency of the pipeline, so the harness (which drives the whole
+    # proxy) must not be part of the package's import-time graph.
+    from repro.cli import _build_forum_proxy
+    from repro.resilience.faults import (
+        RENDER_TARGET,
+        FaultPlan,
+        origin_target,
+    )
+
+    proxy, mobile = _build_forum_proxy()
+    services = proxy.services
+    base = "http://m.sawmillcreek.org/proxy.php"
+
+    if warm:
+        for suffix in ("", "?page=forums", "?page=login",
+                       "?file=snapshot.jpg"):
+            mobile.get(base + suffix)
+
+    plan = FaultPlan(seed=seed)
+    plan.on(
+        RENDER_TARGET,
+        fail_rate=render_failure_rate / 2.0,
+        hang_rate=render_failure_rate / 2.0,
+    )
+    plan.on(
+        origin_target(proxy.spec.origin_host),
+        fail_rate=origin_failure_rate / 2.0,
+        hang_rate=origin_failure_rate / 2.0,
+        garbage_rate=garbage_rate,
+    )
+    services.install_faults(plan)
+
+    report = ChaosReport(seed=seed, requests=requests)
+    for index in range(max(1, requests)):
+        response = mobile.get(base + WORKLOAD[index % len(WORKLOAD)])
+        report.statuses[response.status] = (
+            report.statuses.get(response.status, 0) + 1
+        )
+        mode = response.headers.get("X-MSite-Degraded")
+        if mode:
+            report.degraded_responses[mode] = (
+                report.degraded_responses.get(mode, 0) + 1
+            )
+
+    services.install_faults(None)
+    registry = services.observability.registry
+    report.faults_injected = _labeled_totals(
+        registry, "msite_faults_injected_total", "target", "mode"
+    )
+    report.retry_attempts = _family_sum(registry, "msite_retry_attempts_total")
+    report.retries_exhausted = _family_sum(
+        registry, "msite_retry_exhausted_total"
+    )
+    report.breaker_transitions = _labeled_totals(
+        registry, "msite_breaker_transitions_total", "breaker", "to"
+    )
+    report.breaker_short_circuits = _family_sum(
+        registry, "msite_breaker_short_circuits_total"
+    )
+    report.degraded_serves = _labeled_totals(
+        registry, "msite_degraded_serves_total", "mode"
+    )
+    report.stale_hits = _family_sum(registry, "msite_cache_stale_hits_total")
+    metrics_page = mobile.get("http://m.sawmillcreek.org/metrics")
+    report.metrics_exposition_lines = len(
+        metrics_page.text_body.splitlines()
+    )
+    return report
+
+
+def format_report(report: ChaosReport) -> str:
+    """The human-readable degradation report ``msite chaos`` prints."""
+    lines = [
+        f"m.Site chaos run: seed {report.seed}, "
+        f"{report.total} requests against the forum deployment",
+        "",
+        "  statuses served:",
+    ]
+    for status in sorted(report.statuses):
+        lines.append(f"    {status}: {report.statuses[status]:>6}")
+    lines.append(
+        f"  200 rate: {report.ok_fraction * 100:.1f}%  "
+        f"(500s: {report.internal_errors})"
+    )
+    lines.append("")
+    lines.append("  degradation ladder:")
+    if report.degraded_responses:
+        for mode in sorted(report.degraded_responses):
+            lines.append(
+                f"    responses marked {mode}: "
+                f"{report.degraded_responses[mode]:>6}"
+            )
+    for mode in sorted(report.degraded_serves):
+        lines.append(
+            f"    degraded serves ({mode}): "
+            f"{report.degraded_serves[mode]:>6}"
+        )
+    lines.append(f"    stale cache hits: {report.stale_hits:>6}")
+    lines.append("")
+    lines.append("  faults and recovery:")
+    for key in sorted(report.faults_injected):
+        lines.append(
+            f"    injected {key}: {report.faults_injected[key]:>6}"
+        )
+    lines.append(f"    retry attempts: {report.retry_attempts:>6}")
+    lines.append(f"    retries exhausted: {report.retries_exhausted:>6}")
+    for key in sorted(report.breaker_transitions):
+        lines.append(
+            f"    breaker {key}: {report.breaker_transitions[key]:>6}"
+        )
+    lines.append(
+        f"    breaker short-circuits: {report.breaker_short_circuits:>6}"
+    )
+    lines.append("")
+    lines.append(
+        f"  /metrics exposition: {report.metrics_exposition_lines} lines"
+    )
+    return "\n".join(lines)

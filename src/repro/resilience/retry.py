@@ -1,0 +1,216 @@
+"""Bounded retries with exponential backoff, jitter, and a retry budget.
+
+A :class:`RetryPolicy` wraps one origin-facing call: up to
+``max_attempts`` tries, exponential backoff between them (seeded jitter
+through :class:`repro.sim.rng.DeterministicRandom`, so runs are
+reproducible), an optional per-attempt wall-clock timeout, and an
+optional :class:`RetryBudget` that caps how many *retries* (attempts
+beyond the first) the whole deployment may spend per window — a retry
+storm against a dying origin otherwise multiplies its load exactly when
+it can least afford it.
+
+Every retry opens a ``retry`` span on the ambient trace and increments
+``msite_retry_attempts_total``; exhaustion raises
+:class:`~repro.errors.RetryExhaustedError` with the last failure as its
+``__cause__``.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from typing import Callable, Optional, TypeVar
+
+from repro.errors import (
+    CircuitOpenError,
+    RetryExhaustedError,
+    TransientFetchError,
+)
+from repro.observability import tracing
+from repro.observability.metrics import MetricsRegistry
+from repro.resilience.breaker import CircuitBreaker
+from repro.sim.rng import DeterministicRandom
+
+T = TypeVar("T")
+
+
+class _AttemptTimeout(TransientFetchError):
+    """Internal: one attempt exceeded its per-attempt deadline."""
+
+
+class RetryBudget:
+    """At most ``budget`` retries per sliding ``window_s`` seconds.
+
+    Shared across call sites: when the budget is spent, callers fail
+    fast with their last error instead of piling more attempts onto a
+    struggling dependency.
+    """
+
+    def __init__(
+        self,
+        budget: int = 64,
+        window_s: float = 10.0,
+        clock: Optional[Callable[[], float]] = None,
+    ) -> None:
+        if budget < 0:
+            raise ValueError("retry budget cannot be negative")
+        if window_s <= 0:
+            raise ValueError("retry budget window must be positive")
+        self.budget = budget
+        self.window_s = window_s
+        self._clock = clock or time.monotonic
+        self._lock = threading.Lock()
+        self._spent: deque[float] = deque()
+
+    def try_take(self) -> bool:
+        """Consume one retry token; ``False`` when the window is spent."""
+        now = self._clock()
+        with self._lock:
+            while self._spent and now - self._spent[0] >= self.window_s:
+                self._spent.popleft()
+            if len(self._spent) >= self.budget:
+                return False
+            self._spent.append(now)
+            return True
+
+    @property
+    def outstanding(self) -> int:
+        now = self._clock()
+        with self._lock:
+            while self._spent and now - self._spent[0] >= self.window_s:
+                self._spent.popleft()
+            return len(self._spent)
+
+
+class RetryPolicy:
+    """Retry a callable with backoff, driven by a seeded RNG."""
+
+    def __init__(
+        self,
+        max_attempts: int = 3,
+        base_backoff_s: float = 0.02,
+        multiplier: float = 2.0,
+        max_backoff_s: float = 1.0,
+        jitter: float = 0.5,
+        attempt_timeout_s: Optional[float] = None,
+        retry_on: tuple[type[BaseException], ...] = (TransientFetchError,),
+        budget: Optional[RetryBudget] = None,
+        rng: Optional[DeterministicRandom] = None,
+        sleep: Optional[Callable[[float], None]] = None,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
+        if max_attempts < 1:
+            raise ValueError("need at least one attempt")
+        if not 0.0 <= jitter <= 1.0:
+            raise ValueError("jitter must be a fraction in [0, 1]")
+        self.max_attempts = max_attempts
+        self.base_backoff_s = base_backoff_s
+        self.multiplier = multiplier
+        self.max_backoff_s = max_backoff_s
+        self.jitter = jitter
+        self.attempt_timeout_s = attempt_timeout_s
+        self.retry_on = retry_on
+        self.budget = budget
+        self._rng = rng or DeterministicRandom()
+        self._rng_lock = threading.Lock()
+        self._sleep = time.sleep if sleep is None else sleep
+        registry = metrics or MetricsRegistry()
+        self._registry = registry
+        self._backoff = registry.histogram(
+            "msite_retry_backoff_seconds",
+            "Backoff slept between retry attempts.",
+        )
+
+    def bind_metrics(self, registry: MetricsRegistry) -> None:
+        registry.register(self._backoff)
+        self._registry = registry
+
+    def backoff_s(self, attempt: int) -> float:
+        """Jittered backoff before attempt ``attempt + 1`` (1-based)."""
+        delay = min(
+            self.max_backoff_s,
+            self.base_backoff_s * self.multiplier ** (attempt - 1),
+        )
+        with self._rng_lock:
+            fraction = 1.0 - self.jitter * self._rng.uniform()
+        return delay * fraction
+
+    # -- execution -------------------------------------------------------
+
+    def _run_attempt(self, fn: Callable[[], T]) -> T:
+        if self.attempt_timeout_s is None:
+            return fn()
+        outcome: dict = {}
+        done = threading.Event()
+
+        def runner() -> None:
+            try:
+                outcome["value"] = fn()
+            except BaseException as exc:  # re-raised on the caller thread
+                outcome["error"] = exc
+            finally:
+                done.set()
+
+        worker = threading.Thread(target=runner, daemon=True)
+        worker.start()
+        if not done.wait(self.attempt_timeout_s):
+            raise _AttemptTimeout(
+                f"attempt exceeded {self.attempt_timeout_s}s"
+            )
+        if "error" in outcome:
+            raise outcome["error"]
+        return outcome["value"]
+
+    def call(
+        self,
+        fn: Callable[[], T],
+        breaker: Optional[CircuitBreaker] = None,
+        target: str = "origin",
+    ) -> T:
+        """Run ``fn`` under this policy.
+
+        When a ``breaker`` is given, every attempt goes through its
+        :meth:`~CircuitBreaker.guard` — an open breaker short-circuits
+        the remaining attempts with :class:`CircuitOpenError` (never
+        retried; the whole point is to stop calling).
+        """
+        retries_counter = self._registry.counter(
+            "msite_retry_attempts_total",
+            "Retry attempts beyond the first, by target.",
+            labels={"target": target},
+        )
+        exhausted_counter = self._registry.counter(
+            "msite_retry_exhausted_total",
+            "Calls that failed every retry attempt, by target.",
+            labels={"target": target},
+        )
+        last: Optional[BaseException] = None
+        for attempt in range(1, self.max_attempts + 1):
+            try:
+                if breaker is not None:
+                    with breaker.guard(failure_on=self.retry_on):
+                        return self._run_attempt(fn)
+                return self._run_attempt(fn)
+            except CircuitOpenError:
+                raise
+            except RetryExhaustedError:
+                raise  # a nested policy already gave up; don't multiply
+            except self.retry_on as exc:
+                last = exc
+                if attempt == self.max_attempts:
+                    break
+                if self.budget is not None and not self.budget.try_take():
+                    break  # budget spent: fail fast with the last error
+                retries_counter.inc()
+                pause = self.backoff_s(attempt)
+                self._backoff.observe(pause)
+                with tracing.span("retry"):
+                    if pause > 0.0:
+                        self._sleep(pause)
+        exhausted_counter.inc()
+        raise RetryExhaustedError(
+            f"{target}: no success after {self.max_attempts} attempts "
+            f"(last: {last})",
+            attempts=self.max_attempts,
+        ) from last

@@ -24,7 +24,12 @@ from concurrent.futures import TimeoutError as FutureTimeoutError
 from dataclasses import dataclass
 from typing import Optional
 
-from repro.errors import AdmissionError
+from repro.errors import (
+    AdmissionError,
+    CircuitOpenError,
+    DegradedServeError,
+    RetryExhaustedError,
+)
 from repro.net.messages import Request, Response
 from repro.net.server import Application
 from repro.observability.metrics import MetricsRegistry
@@ -216,6 +221,24 @@ class ConcurrentProxy(Application):
         except CancelledError:
             self.stats.add(timeouts=1)
             return Response.text("request cancelled", status=504)
+        except CircuitOpenError as exc:
+            # A breaker that tripped below the wrapped app is load
+            # shedding, not an internal error: answer 503 + Retry-After.
+            self.stats.add(failures=1)
+            response = Response.text(
+                f"proxy temporarily refusing calls: {exc}", status=503
+            )
+            if exc.retry_after_s is not None:
+                response.headers.set(
+                    "Retry-After", str(max(1, round(exc.retry_after_s)))
+                )
+            return response
+        except DegradedServeError as exc:
+            self.stats.add(failures=1)
+            return Response.text(f"proxy degraded: {exc}", status=503)
+        except RetryExhaustedError as exc:
+            self.stats.add(timeouts=1)
+            return Response.text(f"origin timed out: {exc}", status=504)
         except Exception as exc:
             self.stats.add(failures=1)
             return Response.text(f"proxy error: {exc}", status=500)

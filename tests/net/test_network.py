@@ -39,6 +39,14 @@ def test_negative_bytes_rejected():
         LINK_WIFI.transfer_time(-1)
 
 
+def test_negative_requests_rejected():
+    """Zero clamps to one round trip; negative is a caller bug."""
+    with pytest.raises(ValueError):
+        LINK_WIFI.transfer_time(100, requests=-1)
+    with pytest.raises(ValueError):
+        LINK_WIFI.page_load_time(100, requests=-5)
+
+
 def test_invalid_link_parameters():
     with pytest.raises(ValueError):
         NetworkLink("x", 0, 0.1)

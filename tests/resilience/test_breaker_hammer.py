@@ -1,0 +1,111 @@
+"""Open breaker + saturated pool: shed load must never queue.
+
+16 threads hammer a :class:`BrowserPool` whose slots are all held. With
+the render breaker open, every ``instance()`` call must fail immediately
+with :class:`CircuitOpenError` — before touching the semaphore — instead
+of blocking behind the busy slots.
+"""
+
+import threading
+import time
+
+from repro.browser.pool import BrowserPool
+from repro.errors import CircuitOpenError
+from repro.observability.metrics import MetricsRegistry
+from repro.resilience.breaker import CircuitBreaker
+
+THREADS = 16
+
+
+def open_breaker():
+    breaker = CircuitBreaker(
+        "render", min_samples=1, failure_threshold=1.0,
+        open_cooldown_s=3600.0, clock=lambda: 0.0,
+        metrics=MetricsRegistry(),
+    )
+    breaker.record_failure()
+    assert breaker.state == "open"
+    return breaker
+
+
+def test_open_breaker_rejects_before_the_semaphore():
+    breaker = open_breaker()
+    pool = BrowserPool(max_instances=2, breaker=breaker)
+
+    # Saturate both slots and keep them held for the whole hammer.
+    holders_ready = threading.Barrier(3)
+    release = threading.Event()
+
+    def hold():
+        with pool.instance("holder"):
+            holders_ready.wait(timeout=10.0)
+            release.wait(timeout=10.0)
+
+    # The holders must get in *before* the breaker opens affects them —
+    # but the breaker is already open, so bypass it for the holders.
+    pool.breaker = None
+    holders = [threading.Thread(target=hold) for __ in range(2)]
+    for thread in holders:
+        thread.start()
+    holders_ready.wait(timeout=10.0)
+    pool.breaker = breaker
+
+    outcomes = []
+    outcome_lock = threading.Lock()
+    start = threading.Barrier(THREADS)
+
+    def hammer():
+        start.wait(timeout=10.0)
+        began = time.perf_counter()
+        try:
+            with pool.instance("hammer", timeout=30.0):
+                result = "acquired"
+        except CircuitOpenError:
+            result = "shed"
+        except Exception as exc:  # pragma: no cover - diagnostic
+            result = f"unexpected: {exc!r}"
+        waited = time.perf_counter() - began
+        with outcome_lock:
+            outcomes.append((result, waited))
+
+    threads = [threading.Thread(target=hammer) for __ in range(THREADS)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=30.0)
+    release.set()
+    for thread in holders:
+        thread.join(timeout=10.0)
+
+    assert len(outcomes) == THREADS
+    assert all(result == "shed" for result, __ in outcomes), outcomes
+    # Nobody blocked on the semaphore: with both slots held for the
+    # whole run, any queuing would have cost the 30s timeout.  A whole
+    # second of slack keeps slow CI honest without false alarms.
+    assert max(waited for __, waited in outcomes) < 1.0
+    # The semaphore was never touched: no acquisition stats moved.
+    assert pool.stats.acquires == 2  # the two holders only
+    assert pool.stats.queue_waits == 0
+
+
+def test_closed_breaker_admits_the_hammer():
+    breaker = CircuitBreaker(
+        "render", clock=lambda: 0.0, metrics=MetricsRegistry()
+    )
+    pool = BrowserPool(max_instances=2, breaker=breaker)
+    errors = []
+
+    def worker():
+        try:
+            with pool.instance("w", timeout=10.0):
+                pass
+        except Exception as exc:  # pragma: no cover - diagnostic
+            errors.append(exc)
+
+    threads = [threading.Thread(target=worker) for __ in range(THREADS)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=30.0)
+    assert not errors
+    assert pool.stats.acquires == THREADS

@@ -1,0 +1,69 @@
+"""The chaos harness itself: deterministic, honest, and formatted.
+
+Chaos runs pay real renders, and the coverage gate replays this file
+under the stdlib line tracer (~10x slower) — so the runs here are small
+and shared via module-scoped fixtures wherever determinism allows.
+"""
+
+import pytest
+
+from repro.resilience.chaos import ChaosReport, format_report, run_chaos
+
+REQUESTS = 12
+#: High enough that a 12-request run certainly draws some faults.
+RATES = dict(
+    render_failure_rate=0.8, origin_failure_rate=0.4, garbage_rate=0.1
+)
+
+
+@pytest.fixture(scope="module")
+def warm_report():
+    return run_chaos(seed=7, requests=REQUESTS, **RATES)
+
+
+@pytest.fixture(scope="module")
+def warm_report_again():
+    return run_chaos(seed=7, requests=REQUESTS, **RATES)
+
+
+def test_same_seed_same_report(warm_report, warm_report_again):
+    assert warm_report.statuses == warm_report_again.statuses
+    assert warm_report.faults_injected == warm_report_again.faults_injected
+    assert (
+        warm_report.degraded_responses
+        == warm_report_again.degraded_responses
+    )
+    assert warm_report.retry_attempts == warm_report_again.retry_attempts
+
+
+def test_warm_run_serves_everything(warm_report):
+    assert warm_report.total == REQUESTS
+    assert warm_report.internal_errors == 0
+    assert warm_report.ok_fraction == 1.0
+    assert warm_report.faults_injected  # the schedule actually fired
+    assert warm_report.metrics_exposition_lines > 0
+
+
+def test_cold_run_still_never_leaks_500():
+    report = run_chaos(seed=7, requests=REQUESTS, warm=False, **RATES)
+    assert report.internal_errors == 0
+    # Cold rungs may answer honest 5xx statuses, and ?file=snapshot.jpg
+    # is an honest 404 when no render ever produced the snapshot — but
+    # never a 500.
+    assert set(report.statuses) <= {200, 404, 502, 503, 504}
+
+
+def test_report_properties_on_empty_run():
+    report = ChaosReport(seed=1, requests=0)
+    assert report.total == 0
+    assert report.ok_fraction == 0.0
+    assert report.internal_errors == 0
+
+
+def test_format_report_mentions_the_essentials(warm_report):
+    text = format_report(warm_report)
+    assert "seed 7" in text
+    assert "200 rate" in text
+    assert "degradation ladder" in text
+    assert "retry attempts" in text
+    assert "/metrics exposition" in text

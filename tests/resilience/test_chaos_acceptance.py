@@ -1,0 +1,50 @@
+"""The PR's acceptance bar, asserted as a test.
+
+With the cache warm, a seeded schedule failing 30% of renders and 10%
+of origin fetches must serve at least 99% of requests as 200 and none
+as 500 — and the whole story must be visible on ``GET /metrics``.
+"""
+
+from repro.resilience.chaos import run_chaos
+
+
+def test_thirty_percent_render_ten_percent_origin_faults():
+    report = run_chaos(
+        seed=7,
+        requests=200,
+        render_failure_rate=0.3,
+        origin_failure_rate=0.1,
+        garbage_rate=0.05,
+        warm=True,
+    )
+    assert report.total == 200
+    assert report.internal_errors == 0, (
+        f"chaos leaked 500s: {report.statuses}"
+    )
+    assert report.ok_fraction >= 0.99, (
+        f"only {report.ok_fraction:.1%} served as 200: {report.statuses}"
+    )
+    # The machinery actually worked, not just got lucky:
+    assert sum(report.faults_injected.values()) > 0
+    assert report.retry_attempts > 0
+    assert sum(report.degraded_serves.values()) > 0
+    # ...and the run is observable end to end.
+    assert report.metrics_exposition_lines > 100
+
+
+def test_sustained_render_outage_opens_and_recovers_the_breaker():
+    """Breaker lifecycle under chaos: a 100% render outage trips the
+    render breaker open; the report carries the transitions."""
+    report = run_chaos(
+        seed=7,
+        requests=60,
+        render_failure_rate=1.0,
+        origin_failure_rate=0.0,
+        garbage_rate=0.0,
+        warm=True,
+    )
+    assert report.internal_errors == 0
+    assert report.breaker_transitions.get("render/open", 0) >= 1
+    assert report.breaker_short_circuits > 0
+    # Every response still lands on a ladder rung.
+    assert set(report.statuses) <= {200, 503, 504}

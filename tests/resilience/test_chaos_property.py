@@ -1,0 +1,31 @@
+"""Property: a warm deployment under any seeded fault schedule never
+leaks a 500, and only ever answers the documented statuses."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.resilience.chaos import run_chaos
+
+rates = st.floats(min_value=0.0, max_value=0.6, allow_nan=False)
+
+
+@settings(max_examples=8, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=2**31),
+    render_rate=rates,
+    origin_rate=st.floats(min_value=0.0, max_value=0.4, allow_nan=False),
+    garbage=st.floats(min_value=0.0, max_value=0.3, allow_nan=False),
+)
+def test_warm_deployment_never_serves_500(
+    seed, render_rate, origin_rate, garbage
+):
+    report = run_chaos(
+        seed=seed,
+        requests=12,
+        render_failure_rate=render_rate,
+        origin_failure_rate=origin_rate,
+        garbage_rate=garbage,
+        warm=True,
+    )
+    assert report.internal_errors == 0
+    assert set(report.statuses) <= {200, 503, 504}

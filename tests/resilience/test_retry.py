@@ -1,0 +1,204 @@
+"""RetryPolicy and RetryBudget unit behaviour."""
+
+import pytest
+
+from repro.errors import (
+    CircuitOpenError,
+    FetchError,
+    RetryExhaustedError,
+    TransientFetchError,
+)
+from repro.observability.metrics import MetricsRegistry
+from repro.resilience.breaker import CircuitBreaker
+from repro.resilience.retry import RetryBudget, RetryPolicy
+from repro.sim.rng import DeterministicRandom
+
+
+def make_policy(**kwargs):
+    kwargs.setdefault("rng", DeterministicRandom(7))
+    kwargs.setdefault("sleep", lambda seconds: None)
+    kwargs.setdefault("metrics", MetricsRegistry())
+    return RetryPolicy(**kwargs)
+
+
+class Flaky:
+    """Fails the first ``failures`` calls, then succeeds."""
+
+    def __init__(self, failures, exc=TransientFetchError):
+        self.failures = failures
+        self.exc = exc
+        self.calls = 0
+
+    def __call__(self):
+        self.calls += 1
+        if self.calls <= self.failures:
+            raise self.exc(f"boom #{self.calls}")
+        return "ok"
+
+
+def test_succeeds_after_transient_failures():
+    fn = Flaky(2)
+    assert make_policy(max_attempts=3).call(fn) == "ok"
+    assert fn.calls == 3
+
+
+def test_exhaustion_raises_with_cause_and_attempt_count():
+    fn = Flaky(99)
+    with pytest.raises(RetryExhaustedError) as excinfo:
+        make_policy(max_attempts=3).call(fn, target="origin:x")
+    assert excinfo.value.attempts == 3
+    assert isinstance(excinfo.value.__cause__, TransientFetchError)
+    assert fn.calls == 3
+    # RetryExhaustedError is still a FetchError, so legacy handlers and
+    # the pipeline's degradation ladder both catch it.
+    assert isinstance(excinfo.value, FetchError)
+
+
+def test_definitive_errors_are_not_retried():
+    fn = Flaky(99, exc=FetchError)  # e.g. an HTTP 500 answer
+    with pytest.raises(FetchError):
+        make_policy(max_attempts=3).call(fn)
+    assert fn.calls == 1
+
+
+def test_nested_exhaustion_is_not_multiplied():
+    def inner():
+        raise RetryExhaustedError("inner gave up", attempts=3)
+
+    calls = []
+    with pytest.raises(RetryExhaustedError):
+        make_policy(max_attempts=5).call(
+            lambda: calls.append(1) or inner()
+        )
+    assert len(calls) == 1
+
+
+def test_backoff_grows_exponentially_and_caps():
+    policy = make_policy(
+        base_backoff_s=0.1, multiplier=2.0, max_backoff_s=0.35, jitter=0.0
+    )
+    assert policy.backoff_s(1) == pytest.approx(0.1)
+    assert policy.backoff_s(2) == pytest.approx(0.2)
+    assert policy.backoff_s(3) == pytest.approx(0.35)  # capped
+    assert policy.backoff_s(9) == pytest.approx(0.35)
+
+
+def test_backoff_jitter_is_seeded_and_bounded():
+    draws_a = [
+        make_policy(rng=DeterministicRandom(3), jitter=0.5).backoff_s(2)
+        for __ in range(1)
+    ]
+    draws_b = [
+        make_policy(rng=DeterministicRandom(3), jitter=0.5).backoff_s(2)
+        for __ in range(1)
+    ]
+    assert draws_a == draws_b  # same seed, same jitter
+    policy = make_policy(rng=DeterministicRandom(5), jitter=0.5,
+                         base_backoff_s=0.1, multiplier=2.0)
+    for attempt in range(1, 6):
+        pause = policy.backoff_s(attempt)
+        full = min(policy.max_backoff_s,
+                   policy.base_backoff_s * 2.0 ** (attempt - 1))
+        assert full * 0.5 <= pause <= full
+
+
+def test_sleeps_between_attempts_but_not_after_last():
+    pauses = []
+    policy = make_policy(max_attempts=3, sleep=pauses.append)
+    with pytest.raises(RetryExhaustedError):
+        policy.call(Flaky(99))
+    assert len(pauses) == 2  # attempts 1->2 and 2->3 only
+
+
+def test_budget_exhaustion_fails_fast():
+    clock = [0.0]
+    budget = RetryBudget(budget=1, window_s=10.0, clock=lambda: clock[0])
+    policy = make_policy(max_attempts=4, budget=budget)
+    fn = Flaky(99)
+    with pytest.raises(RetryExhaustedError):
+        policy.call(fn)
+    # One retry token: attempt 1 fails, one retry (attempt 2) fails,
+    # then the budget is spent and the call fails fast.
+    assert fn.calls == 2
+    # The window slides: tokens return after window_s.
+    clock[0] = 11.0
+    assert budget.outstanding == 0
+    assert budget.try_take()
+
+
+def test_budget_validation():
+    with pytest.raises(ValueError):
+        RetryBudget(budget=-1)
+    with pytest.raises(ValueError):
+        RetryBudget(window_s=0.0)
+
+
+def test_policy_validation():
+    with pytest.raises(ValueError):
+        make_policy(max_attempts=0)
+    with pytest.raises(ValueError):
+        make_policy(jitter=1.5)
+
+
+def test_per_attempt_timeout_is_retriable():
+    import threading
+
+    release = threading.Event()
+
+    def slow():
+        release.wait(5.0)
+        return "late"
+
+    policy = make_policy(max_attempts=2, attempt_timeout_s=0.05)
+    try:
+        with pytest.raises(RetryExhaustedError) as excinfo:
+            policy.call(slow, target="origin:slow")
+        assert isinstance(excinfo.value.__cause__, TransientFetchError)
+    finally:
+        release.set()
+
+
+def test_circuit_open_is_never_retried():
+    registry = MetricsRegistry()
+    breaker = CircuitBreaker(
+        "dep", min_samples=1, failure_threshold=1.0,
+        clock=lambda: 0.0, metrics=registry,
+    )
+    policy = make_policy(max_attempts=5, metrics=registry)
+    fn = Flaky(99)
+    with pytest.raises(CircuitOpenError):
+        policy.call(fn, breaker=breaker, target="dep")
+    # min_samples=1: the first failure opened the breaker; the second
+    # attempt short-circuited without calling fn, and CircuitOpenError
+    # propagated un-retried instead of burning the remaining attempts.
+    assert fn.calls == 1
+    assert breaker.state == "open"
+    with pytest.raises(CircuitOpenError):
+        policy.call(fn, breaker=breaker, target="dep")
+    assert fn.calls == 1
+
+
+def test_metrics_count_retries_and_exhaustion():
+    registry = MetricsRegistry()
+    policy = make_policy(max_attempts=3, metrics=registry)
+    with pytest.raises(RetryExhaustedError):
+        policy.call(Flaky(99), target="origin:h")
+    attempts = registry.get(
+        "msite_retry_attempts_total", labels={"target": "origin:h"}
+    )
+    exhausted = registry.get(
+        "msite_retry_exhausted_total", labels={"target": "origin:h"}
+    )
+    assert int(attempts.value) == 2
+    assert int(exhausted.value) == 1
+
+
+def test_bind_metrics_moves_series_to_shared_registry():
+    policy = make_policy()
+    shared = MetricsRegistry()
+    policy.bind_metrics(shared)
+    with pytest.raises(RetryExhaustedError):
+        policy.call(Flaky(99), target="origin:k")
+    assert shared.get(
+        "msite_retry_exhausted_total", labels={"target": "origin:k"}
+    ) is not None

@@ -1,16 +1,21 @@
-"""Enforce a statement-coverage floor for ``repro.observability``.
+"""Enforce statement-coverage floors for the instrumented packages.
 
 The container has no third-party coverage package, so this uses the
-stdlib :mod:`trace` module: it runs the observability unit suites under
-a line tracer (worker threads included via :func:`threading.settrace`)
-and compares the executed lines against each module's executable lines.
+stdlib :mod:`trace` module: it runs each package's unit suites under a
+line tracer (worker threads included via :func:`threading.settrace`) and
+compares the executed lines against each module's executable lines.
+
+Covered packages: ``repro.observability`` and ``repro.resilience`` —
+the two layers whose correctness is mostly *accounting* (metrics,
+spans, breaker state, retry budgets), where untested lines are silent
+lies on the ``/metrics`` endpoint.
 
 Usage:  python tools/check_observability_coverage.py [--floor 0.80]
 
 The end-to-end proxy tests are deliberately excluded — they cover the
-pipeline integration, not this package, and real renders under a line
+pipeline integration, not these packages, and real renders under a line
 tracer would blow the tier-1 time budget.  The unit suites exercise the
-package directly, which is what the floor is about.
+packages directly, which is what the floor is about.
 """
 
 from __future__ import annotations
@@ -26,13 +31,28 @@ REPO_ROOT = os.path.abspath(
     os.path.join(os.path.dirname(__file__), os.pardir)
 )
 SRC_DIR = os.path.join(REPO_ROOT, "src")
-PACKAGE_DIR = os.path.join(SRC_DIR, "repro", "observability")
 
-UNIT_SUITES = [
-    "tests/observability/test_metrics.py",
-    "tests/observability/test_tracing.py",
-    "tests/observability/test_exposition.py",
-    "tests/observability/test_properties.py",
+PACKAGES = [
+    {
+        "label": "repro.observability",
+        "dir": os.path.join(SRC_DIR, "repro", "observability"),
+        "suites": [
+            "tests/observability/test_metrics.py",
+            "tests/observability/test_tracing.py",
+            "tests/observability/test_exposition.py",
+            "tests/observability/test_properties.py",
+        ],
+    },
+    {
+        "label": "repro.resilience",
+        "dir": os.path.join(SRC_DIR, "repro", "resilience"),
+        "suites": [
+            "tests/resilience/test_retry.py",
+            "tests/resilience/test_breaker.py",
+            "tests/resilience/test_faults.py",
+            "tests/resilience/test_chaos.py",
+        ],
+    },
 ]
 
 
@@ -40,7 +60,8 @@ def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
         "--floor", type=float, default=0.80,
-        help="minimum fraction of executable lines covered (default 0.80)",
+        help="minimum fraction of executable lines covered per package "
+        "(default 0.80)",
     )
     args = parser.parse_args(argv)
 
@@ -53,6 +74,7 @@ def main(argv: list[str] | None = None) -> int:
 
     import pytest
 
+    all_suites = [suite for pkg in PACKAGES for suite in pkg["suites"]]
     tracer = trace_module.Trace(
         count=1,
         trace=0,
@@ -61,12 +83,12 @@ def main(argv: list[str] | None = None) -> int:
     threading.settrace(tracer.globaltrace)
     try:
         exit_code = tracer.runfunc(
-            pytest.main, [*UNIT_SUITES, "-q", "-p", "no:cacheprovider"]
+            pytest.main, [*all_suites, "-q", "-p", "no:cacheprovider"]
         )
     finally:
         threading.settrace(None)
     if exit_code != 0:
-        print(f"observability unit suites failed (pytest exit {exit_code})")
+        print(f"coverage unit suites failed (pytest exit {exit_code})")
         return 1
 
     covered: dict[str, set[int]] = defaultdict(set)
@@ -74,41 +96,46 @@ def main(argv: list[str] | None = None) -> int:
         if hits > 0:
             covered[os.path.abspath(filename)].add(lineno)
 
-    print("\nrepro.observability statement coverage:")
-    total_executable = 0
-    total_covered = 0
-    for name in sorted(os.listdir(PACKAGE_DIR)):
-        if not name.endswith(".py"):
-            continue
-        if name == "__init__.py":
-            # The stdlib tracer's ignore cache is keyed by module
-            # *basename*: the first stdlib ``__init__.py`` under
-            # ``ignoredirs`` caches ``_ignore["__init__"] = 1`` and every
-            # later ``__init__.py`` — ours included — is then dropped.
-            # The package init is pure re-exports, so exclude it rather
-            # than report a spurious 0%.
-            continue
-        path = os.path.join(PACKAGE_DIR, name)
-        executable = set(trace_module._find_executable_linenos(path))
-        hit = covered.get(os.path.abspath(path), set()) & executable
-        total_executable += len(executable)
-        total_covered += len(hit)
-        fraction = len(hit) / len(executable) if executable else 1.0
-        print(
-            f"  {name:<16} {len(hit):>4}/{len(executable):<4} "
-            f"({fraction:6.1%})"
-        )
+    failed = False
+    for pkg in PACKAGES:
+        print(f"\n{pkg['label']} statement coverage:")
+        total_executable = 0
+        total_covered = 0
+        for name in sorted(os.listdir(pkg["dir"])):
+            if not name.endswith(".py"):
+                continue
+            if name == "__init__.py":
+                # The stdlib tracer's ignore cache is keyed by module
+                # *basename*: the first stdlib ``__init__.py`` under
+                # ``ignoredirs`` caches ``_ignore["__init__"] = 1`` and
+                # every later ``__init__.py`` — ours included — is then
+                # dropped.  The package inits are pure re-exports, so
+                # exclude them rather than report a spurious 0%.
+                continue
+            path = os.path.join(pkg["dir"], name)
+            executable = set(trace_module._find_executable_linenos(path))
+            hit = covered.get(os.path.abspath(path), set()) & executable
+            total_executable += len(executable)
+            total_covered += len(hit)
+            fraction = len(hit) / len(executable) if executable else 1.0
+            print(
+                f"  {name:<16} {len(hit):>4}/{len(executable):<4} "
+                f"({fraction:6.1%})"
+            )
 
-    overall = total_covered / total_executable if total_executable else 1.0
-    print(
-        f"  {'TOTAL':<16} {total_covered:>4}/{total_executable:<4} "
-        f"({overall:6.1%}), floor {args.floor:.0%}"
-    )
-    if overall < args.floor:
-        print("  FAIL: coverage below the floor")
-        return 1
-    print("  ok: floor respected")
-    return 0
+        overall = (
+            total_covered / total_executable if total_executable else 1.0
+        )
+        print(
+            f"  {'TOTAL':<16} {total_covered:>4}/{total_executable:<4} "
+            f"({overall:6.1%}), floor {args.floor:.0%}"
+        )
+        if overall < args.floor:
+            print("  FAIL: coverage below the floor")
+            failed = True
+        else:
+            print("  ok: floor respected")
+    return 1 if failed else 0
 
 
 if __name__ == "__main__":

@@ -12,10 +12,12 @@ enforces two ceilings:
 
 After the suite, the gate also runs the benchmark harness in smoke mode
 (``pytest benchmarks/ --smoke``) so the bench layer keeps compiling and
-its core invariants keep holding, and enforces the statement-coverage
-floor for ``repro.observability`` via
+its core invariants keep holding, enforces the statement-coverage
+floors for ``repro.observability`` and ``repro.resilience`` via
 ``tools/check_observability_coverage.py`` (stdlib ``trace``; no
-third-party coverage package required).
+third-party coverage package required), and runs the chaos smoke
+(``msite chaos --seed 7 --requests 200``), which exits non-zero if the
+seeded fault schedule leaks a single 500.
 
 Exits non-zero when tests fail or a ceiling is breached, so CI and the
 pre-merge checklist can gate on one command.
@@ -127,6 +129,20 @@ def main(argv: list[str] | None = None) -> int:
         failures.append(
             f"observability coverage floor exited {coverage.returncode}"
         )
+
+    # -- chaos smoke: seeded faults must never leak a 500 ---------------
+    chaos_command = [
+        sys.executable, "-m", "repro.cli", "chaos",
+        "--seed", "7", "--requests", "200",
+    ]
+    print(f"\n$ {' '.join(chaos_command)}")
+    chaos = subprocess.run(
+        chaos_command, cwd=REPO_ROOT, env=env,
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+    )
+    sys.stdout.write(chaos.stdout)
+    if chaos.returncode != 0:
+        failures.append(f"chaos smoke exited {chaos.returncode}")
 
     print(f"\ntier-1 gate: suite finished in {elapsed:.1f}s")
     if failures:
