@@ -1,0 +1,46 @@
+"""The adaptation hot path: fast-path cache and streaming serializer.
+
+The PR's acceptance bar: on the warm forum workload the fast path must
+at least double adapts/sec over the full pipeline, with a non-zero
+cross-session hit ratio.  Run with ``-s`` to see the measured table.
+"""
+
+import pytest
+
+from repro.bench.hotpath import format_report, run_hotpath_bench
+
+
+@pytest.mark.smoke
+def test_hotpath_smoke_fastpath_hits_and_speedup():
+    """Tier-1 smoke: a short warm run must hit the fast path and beat
+    the full pipeline by the 2x acceptance floor."""
+    results = run_hotpath_bench(requests=20)
+    print("\n" + format_report(results))
+    warm = results["warm"]
+    assert warm["fastpath_hit_ratio"] > 0, (
+        "warm forum workload never hit the adapted-response cache"
+    )
+    assert warm["fastpath_hits"] >= warm["fastpath_misses"], (
+        "a warm workload should be hit-dominated"
+    )
+    assert results["speedup"] >= 2.0, (
+        f"fast path {results['speedup']:.1f}x over the full pipeline; "
+        f"the acceptance floor is 2x"
+    )
+
+
+def test_hotpath_full_run_stream_faster_than_dom():
+    """Full bench: the one-pass serializer beats parse+serialize on the
+    filter-only spec, and the warm numbers hold at a larger sample."""
+    results = run_hotpath_bench(requests=120)
+    print("\n" + format_report(results))
+    assert results["speedup"] >= 2.0
+    assert results["warm"]["fastpath_hit_ratio"] >= 0.9
+    stream = results["stream"]
+    assert stream["stream_on"]["streamed"] > 0, (
+        "the filter-only spec never took the streaming path"
+    )
+    assert stream["speedup"] >= 1.0, (
+        f"streaming emitted slower than the DOM round-trip "
+        f"({stream['speedup']:.2f}x)"
+    )

@@ -172,6 +172,31 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench_adapt(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.bench.hotpath import format_report, run_hotpath_bench
+
+    try:
+        results = run_hotpath_bench(requests=args.requests)
+    except (ValueError, MSiteError) as exc:
+        print(f"bench-adapt run failed: {exc}", file=sys.stderr)
+        return 1
+    print(format_report(results))
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            json.dump(results, handle, indent=2)
+            handle.write("\n")
+        print(f"wrote {args.output}")
+    if args.require_hits and results["warm"]["fastpath_hit_ratio"] <= 0:
+        print(
+            "FAIL: warm forum workload never hit the fast path",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 def _cmd_scalability(args: argparse.Namespace) -> int:
     try:
         return _run_scalability(args)
@@ -276,6 +301,26 @@ def build_parser() -> argparse.ArgumentParser:
         help="requests to issue before scraping /metrics (default 8)",
     )
     metrics.set_defaults(fn=_cmd_metrics)
+
+    bench = commands.add_parser(
+        "bench-adapt",
+        help="benchmark the adaptation hot path (fast path vs full runs)",
+    )
+    bench.add_argument(
+        "--requests", type=int, default=60,
+        help="requests per configuration (default 60)",
+    )
+    bench.add_argument(
+        "-o", "--output", default="BENCH_pipeline.json",
+        help="write the JSON results here (default BENCH_pipeline.json; "
+        "empty string to skip)",
+    )
+    bench.add_argument(
+        "--require-hits", action="store_true",
+        help="exit 1 if the warm workload's fast-path hit ratio is 0 "
+        "(the tier-1 gate uses this)",
+    )
+    bench.set_defaults(fn=_cmd_bench_adapt)
 
     trace = commands.add_parser(
         "trace",

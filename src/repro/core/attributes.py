@@ -18,7 +18,6 @@ from dataclasses import dataclass
 from typing import Callable, Optional
 
 from repro.core import filters
-from repro.core.identify import identify, identify_one
 from repro.core.subpages import SubpageDefinition
 from repro.dom.element import Element
 from repro.dom.node import Text
@@ -145,7 +144,7 @@ def _apply_source_replace(ctx, binding) -> None:
     "optionally a child of another subpage)",
 )
 def _apply_subpage(ctx, binding) -> None:
-    elements = identify(ctx.document, binding.selector)
+    elements = ctx.identify(binding.selector)
     if not elements:
         raise AdaptationError(
             f"subpage {binding.param('subpage_id')!r}: selector matched "
@@ -179,7 +178,7 @@ def _apply_subpage(ctx, binding) -> None:
     "hidden div on the entry page",
 )
 def _apply_ajax_subpage(ctx, binding) -> None:
-    elements = identify(ctx.document, binding.selector)
+    elements = ctx.identify(binding.selector)
     if not elements:
         raise AdaptationError(
             f"ajax_subpage {binding.param('subpage_id')!r}: selector "
@@ -210,7 +209,7 @@ def _apply_copy_dependency(ctx, binding) -> None:
             f"copy_dependency: subpage {target_id!r} is not defined yet "
             f"(order copy_dependency bindings after their subpage)"
         )
-    elements = identify(ctx.document, binding.selector)
+    elements = ctx.identify(binding.selector)
     if not elements:
         raise AdaptationError(
             f"copy_dependency into {target_id!r}: selector matched nothing"
@@ -223,7 +222,7 @@ def _apply_copy_dependency(ctx, binding) -> None:
     "Hide the selection via CSS when it arrives on the client",
 )
 def _apply_hide(ctx, binding) -> None:
-    for element in identify(ctx.document, binding.selector):
+    for element in ctx.identify(binding.selector):
         _style_hide(element)
 
 
@@ -240,7 +239,7 @@ def _style_hide(element: Element) -> None:
 )
 def _apply_remove(ctx, binding) -> None:
     removed = 0
-    for element in identify(ctx.document, binding.selector):
+    for element in ctx.identify(binding.selector):
         element.detach()
         removed += 1
     if removed == 0 and binding.param("required", False):
@@ -260,7 +259,7 @@ def _apply_insert(ctx, binding) -> None:
     position = binding.param("position", "append")
     nodes = parse_fragment(markup)
     if binding.selector is not None:
-        anchor = identify_one(ctx.document, binding.selector)
+        anchor = ctx.identify_one(binding.selector)
     else:
         anchor = ctx.document.body
         if anchor is None:
@@ -281,14 +280,14 @@ def _apply_insert(ctx, binding) -> None:
     "Move the selection to a new position in the document",
 )
 def _apply_relocate(ctx, binding) -> None:
-    element = identify_one(ctx.document, binding.selector)
+    element = ctx.identify_one(binding.selector)
     from repro.core.spec import ObjectSelector
 
     destination_expr = binding.param("destination")
     if not destination_expr:
         raise AdaptationError("relocate_object needs a destination selector")
-    destination = identify_one(
-        ctx.document, ObjectSelector.css(destination_expr)
+    destination = ctx.identify_one(
+        ObjectSelector.css(destination_expr)
     )
     position = binding.param("position", "append")
     element.detach()
@@ -307,7 +306,7 @@ def _apply_relocate(ctx, binding) -> None:
     "Replace the selection outright with new markup",
 )
 def _apply_replace(ctx, binding) -> None:
-    element = identify_one(ctx.document, binding.selector)
+    element = ctx.identify_one(binding.selector)
     nodes = parse_fragment(binding.param("html", ""))
     if not nodes:
         element.detach()
@@ -329,7 +328,7 @@ def _apply_replace_attribute(ctx, binding) -> None:
     value = binding.param("value", "")
     if not name:
         raise AdaptationError("replace_attribute needs an attribute name")
-    for element in identify(ctx.document, binding.selector):
+    for element in ctx.identify(binding.selector):
         element.set(name, value)
 
 
@@ -362,7 +361,7 @@ def _apply_insert_js(ctx, binding) -> None:
     "remove_js", "dom", True, "Remove matching script elements"
 )
 def _apply_remove_js(ctx, binding) -> None:
-    for element in identify(ctx.document, binding.selector):
+    for element in ctx.identify(binding.selector):
         if element.tag == "script":
             element.detach()
 
@@ -373,7 +372,7 @@ def _apply_remove_js(ctx, binding) -> None:
     "(the §4.3 navigation transform)",
 )
 def _apply_vertical_links(ctx, binding) -> None:
-    container = identify_one(ctx.document, binding.selector)
+    container = ctx.identify_one(binding.selector)
     columns = max(1, int(binding.param("columns", 2)))
     links = [
         el.clone() for el in container.descendant_elements() if el.tag == "a"
@@ -401,7 +400,7 @@ def _apply_vertical_links(ctx, binding) -> None:
     "user's proxy-held cookies",
 )
 def _apply_logout_button(ctx, binding) -> None:
-    for element in identify(ctx.document, binding.selector):
+    for element in ctx.identify(binding.selector):
         element.set("href", f"{ctx.proxy_base}?logout=1")
         element.remove_attribute("onclick")
 
@@ -454,7 +453,7 @@ def _apply_image_fidelity(ctx, binding) -> None:
     "draws only the text",
 )
 def _apply_partial_prerender(ctx, binding) -> None:
-    element = identify_one(ctx.document, binding.selector)
+    element = ctx.identify_one(binding.selector)
     ctx.partial_prerender_targets.append((binding, element))
 
 
@@ -471,7 +470,7 @@ def _apply_media_thumbnail(ctx, binding) -> None:
     from repro.core.media import replace_rich_media
 
     if binding.selector is not None:
-        targets = identify(ctx.document, binding.selector)
+        targets = ctx.identify(binding.selector)
     else:
         targets = None  # every rich-media element on the page
     replaced = replace_rich_media(

@@ -18,9 +18,20 @@ from repro.core.spec import ObjectSelector
 from repro.errors import IdentificationError
 
 
-def identify(document: Document, selector: ObjectSelector) -> list[Element]:
-    """All elements the selector matches, in document order."""
+def identify(
+    document: Document, selector: ObjectSelector, index=None
+) -> list[Element]:
+    """All elements the selector matches, in document order.
+
+    ``index`` is an optional :class:`repro.dom.index.QueryIndex` over
+    ``document``; CSS selections then prune candidates through its
+    tag/id/class buckets instead of scanning the whole tree.  Results
+    are identical — the index verifies every candidate with the full
+    matcher.
+    """
     if selector.kind == "css":
+        if index is not None and index.root is document:
+            return index.select(selector.expression)
         return select(document, selector.expression)
     if selector.kind == "xpath":
         return xpath(document, selector.expression)
@@ -31,9 +42,11 @@ def identify(document: Document, selector: ObjectSelector) -> list[Element]:
     raise IdentificationError(f"unknown selector kind {selector.kind!r}")
 
 
-def identify_one(document: Document, selector: ObjectSelector) -> Element:
+def identify_one(
+    document: Document, selector: ObjectSelector, index=None
+) -> Element:
     """Exactly the first match; raises when nothing matches."""
-    matches = identify(document, selector)
+    matches = identify(document, selector, index=index)
     if not matches:
         raise IdentificationError(
             f"selector {selector.kind}:{selector.expression!r} "

@@ -14,9 +14,11 @@ from dataclasses import dataclass, field
 from typing import Any, Optional
 
 from repro.browser.costs import BrowserCostModel, DEFAULT_COST_MODEL
+from repro.core import fastpath
 from repro.core.ajax import AjaxActionTable
-from repro.core.attributes import ATTRIBUTE_REGISTRY
 from repro.core.cache import PrerenderCache
+from repro.core.identify import identify, identify_one
+from repro.core.plan import TransformPlan
 from repro.core.prerender import (
     PartialPrerender,
     partial_css_prerender,
@@ -40,6 +42,7 @@ from repro.core.subpages import (
     fragment_html,
 )
 from repro.dom.document import Document
+from repro.dom.index import QueryIndex
 from repro.errors import (
     AdaptationError,
     CircuitOpenError,
@@ -50,6 +53,7 @@ from repro.errors import (
 )
 from repro.html.parser import parse_html
 from repro.html.serializer import serialize
+from repro.html.stream import StreamUnsupported, stream_serialize
 from repro.net.client import HttpClient
 from repro.net.messages import Request
 from repro.net.url import URL
@@ -82,6 +86,12 @@ class ProxyServices:
     observability: Observability = field(default_factory=Observability)
     resilience: ResiliencePolicy = field(default_factory=ResiliencePolicy)
     faults: Optional[FaultPlan] = None
+    #: Whole-adapted-response cache (content-addressed; see
+    #: :mod:`repro.core.fastpath`).  Off ⇒ every request adapts fully.
+    fastpath_enabled: bool = True
+    #: One-pass streaming emission for filter-only specs (falls back to
+    #: the DOM round-trip automatically when unsupported).
+    stream_enabled: bool = True
 
     def __post_init__(self) -> None:
         # A default-constructed cache must share the deployment's clock,
@@ -151,9 +161,41 @@ class PipelineContext:
         self.http_auth_enabled = False
         self.http_auth_realm = "restricted"
         self.form_login: Optional[dict[str, Any]] = None
+        #: Entry HTML produced by the one-pass streaming serializer;
+        #: set instead of ``document`` for stream-eligible specs.
+        self.streamed_html: Optional[str] = None
+        self._index: Optional[QueryIndex] = None
 
     def note(self, message: str) -> None:
         self.notes.append(message)
+
+    # -- object identification -----------------------------------------
+    # Appliers route their selector lookups through the context so CSS
+    # selections share one lazily-built per-document query index.  Every
+    # applier may mutate the tree after querying it, so the pipeline
+    # invalidates the index between steps (see _apply_phase).
+
+    def _query_index(self) -> Optional[QueryIndex]:
+        if self.document is None:
+            return None
+        if self._index is None or self._index.root is not self.document:
+            self._index = QueryIndex(self.document)
+        return self._index
+
+    def invalidate_index(self) -> None:
+        self._index = None
+
+    def identify(self, selector) -> list:
+        index = (
+            self._query_index() if selector.kind == "css" else None
+        )
+        return identify(self.document, selector, index=index)
+
+    def identify_one(self, selector):
+        index = (
+            self._query_index() if selector.kind == "css" else None
+        )
+        return identify_one(self.document, selector, index=index)
 
     def page_url_for(self, subpage_id: Optional[str]) -> str:
         if subpage_id is None:
@@ -192,6 +234,12 @@ class AdaptedPage:
     #: ``None`` for a full-fidelity page, else the degradation mode that
     #: produced it (``"stale"`` / ``"html_only"`` — see repro.resilience).
     degraded: Optional[str] = None
+    #: Strong validator for If-None-Match revalidation; ``None`` when
+    #: the fast path is disabled or the page was served degraded.
+    etag: Optional[str] = None
+    #: True when this result was replayed from the fast-path cache
+    #: without running the adaptation at all.
+    fastpath_hit: bool = False
 
     @property
     def total_core_seconds(self) -> float:
@@ -208,45 +256,135 @@ class AdaptationPipeline:
         session: MobileSession,
         proxy_base: str = "proxy.php",
         namespace: str = "",
+        plan: Optional[TransformPlan] = None,
     ) -> None:
         spec.validate()
         self.spec = spec
         self.services = services
         self.session = session
         self.proxy_base = proxy_base
+        # The compiled plan is normally shared across requests by the
+        # proxy; direct pipeline constructions compile their own.
+        if plan is None or plan.spec is not spec:
+            plan = TransformPlan.compile(
+                spec, proxy_base=proxy_base, namespace=namespace
+            )
+        self.plan = plan
+        # The origin URL never changes for a deployment — parse it once
+        # instead of on every fetch/render.
+        self._origin = URL.parse(
+            f"http://{spec.origin_host}{spec.page_path}"
+        )
         # Multi-page deployments give each page proxy its own namespace
         # inside the shared session directory so generated files never
         # collide across pages.
         suffix = f"/{namespace.strip('/')}" if namespace.strip("/") else ""
         self.page_dir = f"{session.directory}{suffix}"
         self.image_dir = f"{self.page_dir}/images"
+        #: While a run is capturing for the fast path, every emitted
+        #: artifact is mirrored here as (relpath, content_type, bytes).
+        self._capture: Optional[list[tuple[str, str, bytes]]] = None
 
     # ------------------------------------------------------------------
 
-    def run(self, force_refresh: bool = False) -> AdaptedPage:
+    def run(
+        self, force_refresh: bool = False, device_class: str = "default"
+    ) -> AdaptedPage:
         try:
-            return self._run_full(force_refresh)
+            return self._run_full(force_refresh, device_class)
         except AuthenticationRequired:
             raise  # an auth challenge is a feature, not a failure
         except (FetchError, AdaptationError, CircuitOpenError) as exc:
             # Bottom rung of the entry-page ladder: the origin (or the
-            # adaptation itself) is gone, but a stale snapshot may still
-            # make the page navigable.  No stale copy ⇒ re-raise, and the
-            # proxy maps the error to an honest 502/503/504.
-            return self._serve_stale_entry(exc)
+            # adaptation itself) is gone, but a stale fast-path bundle or
+            # snapshot may still make the page navigable.  No stale copy
+            # ⇒ re-raise, and the proxy maps the error to an honest
+            # 502/503/504.
+            return self._serve_stale_entry(exc, device_class)
 
-    def _run_full(self, force_refresh: bool) -> AdaptedPage:
+    def _run_full(
+        self, force_refresh: bool, device_class: str = "default"
+    ) -> AdaptedPage:
         # Spans are deliberately flat and sequential (never nested on
         # this path) so their durations sum to at most the request wall
         # time — each phase of the request is attributed exactly once.
         with span("detect"):
             source, origin_bytes = self._fetch_origin()
+
+        services = self.services
+        etag = bundle_key = pointer_key = None
+        if services.fastpath_enabled:
+            # The origin was fetched above regardless, so hashing the
+            # source *is* the revalidation: a changed page changes the
+            # content fingerprint and misses naturally.
+            content_fp = fastpath.content_fingerprint(source)
+            spec_fp = self.plan.fingerprint
+            etag = fastpath.make_etag(spec_fp, device_class, content_fp)
+            bundle_key = fastpath.fastpath_key(
+                self.spec.site, self.spec.page_path, device_class,
+                spec_fp, content_fp,
+            )
+            pointer_key = fastpath.latest_key(
+                self.spec.site, self.spec.page_path, device_class, spec_fp
+            )
+            if not force_refresh:
+                with span("fastpath"):
+                    bundle = fastpath.load_bundle(
+                        services.cache, bundle_key
+                    )
+                if bundle is not None:
+                    self._fastpath_counter("hits").inc()
+                    return self._replay_bundle(bundle, origin_bytes, etag)
+                self._fastpath_counter("misses").inc()
+
         ctx = PipelineContext(self.spec, source, self.proxy_base)
+        self._capture = [] if services.fastpath_enabled else None
+        try:
+            result = self._adapt_and_emit(ctx, origin_bytes, force_refresh)
+            result.etag = etag
+            if services.fastpath_enabled and self._bundle_storable(ctx, result):
+                # The bundle freezes every cached component it embeds,
+                # so it must expire no later than the shortest one.
+                ttl_s = ctx.cache_ttl_s
+                for definition in ctx.plan.subpages.values():
+                    if definition.cacheable:
+                        ttl_s = min(ttl_s, definition.cache_ttl_s)
+                with span("cache"):
+                    fastpath.store_bundle(
+                        services.cache,
+                        bundle_key,
+                        pointer_key,
+                        self._bundle_from(result, etag),
+                        ttl_s=ttl_s,
+                    )
+                self._fastpath_counter("stores").inc()
+        finally:
+            self._capture = None
+        return result
+
+    def _adapt_and_emit(
+        self, ctx: PipelineContext, origin_bytes: int, force_refresh: bool
+    ) -> AdaptedPage:
         with span("filter"):
             self._apply_phase(ctx, "filter")
+        use_stream = (
+            self.services.stream_enabled and self.plan.stream_eligible
+        )
         with span("adapt"):
-            ctx.document = parse_html(ctx.source)
-            self._apply_phase(ctx, "dom")
+            if use_stream:
+                # Filter-only spec: the adapted output is the filtered
+                # source normalized — one tokenizer pass, no tree.
+                try:
+                    ctx.streamed_html = stream_serialize(ctx.source)
+                except StreamUnsupported as exc:
+                    self._fastpath_counter("stream_fallback").inc()
+                    ctx.note(f"stream fallback: {exc}")
+            if ctx.streamed_html is None:
+                ctx.document = parse_html(ctx.source)
+                self._apply_phase(ctx, "dom")
+                self._fastpath_counter("dom").inc()
+            else:
+                self._fastpath_counter("stream").inc()
             self._apply_phase(ctx, "page")
 
         result = AdaptedPage(
@@ -273,12 +411,138 @@ class AdaptationPipeline:
         return result
 
     # ------------------------------------------------------------------
+    # fast path
+
+    def _fastpath_counter(self, name: str):
+        return fastpath.fastpath_counter(
+            self.services.observability.registry, name
+        )
+
+    def _bundle_storable(
+        self, ctx: PipelineContext, result: AdaptedPage
+    ) -> bool:
+        """Whether this run's output may be replayed for later requests.
+
+        Degraded results are never stored (a replay would pin the
+        degradation past the outage).  AJAX pages are skipped: their
+        action handlers are registered by the run itself, so a replayed
+        entry after a restart would serve links with no handlers.  And
+        anything the spec said to render per request — an uncached page
+        snapshot, a prerendered subpage without ``cacheable`` — keeps
+        that semantic by keeping the whole response out of the bundle
+        cache.
+        """
+        if result.degraded is not None:
+            return False
+        if len(ctx.ajax_table):
+            return False
+        if ctx.prerender_page and not ctx.cache_snapshot:
+            return False
+        return all(
+            definition.cacheable
+            for definition in ctx.plan.subpages.values()
+            if definition.prerender
+        )
+
+    def _replay_bundle(
+        self,
+        bundle: fastpath.FastpathBundle,
+        origin_bytes: int,
+        etag: Optional[str],
+    ) -> AdaptedPage:
+        """Restore a cached bundle into this session's directory."""
+        for item in bundle.files:
+            self.services.storage.write(
+                f"{self.page_dir}/{item.relpath}",
+                item.data,
+                content_type=item.content_type,
+                now=self.services.now,
+            )
+        subpages = [
+            SubpageArtifact(
+                subpage_id=meta["subpage_id"],
+                title=meta["title"],
+                path=f"{self.page_dir}/{meta['relpath']}",
+                content_type=meta["content_type"],
+                bytes_written=meta["bytes_written"],
+                prerendered=meta["prerendered"],
+                ajax=meta["ajax"],
+            )
+            for meta in bundle.subpages
+        ]
+        result = AdaptedPage(
+            entry_path=f"{self.page_dir}/{bundle.entry_rel}",
+            entry_html=bundle.entry_html,
+            subpages=subpages,
+            snapshot_bytes=bundle.snapshot_bytes,
+            snapshot_from_cache=bundle.snapshot_bytes > 0,
+            used_browser=False,
+            lightweight_core_seconds=(
+                self.services.costs.lightweight_request_s
+            ),
+            origin_bytes=origin_bytes,
+            notes=[
+                *bundle.notes,
+                "fastpath: adapted response replayed from cache",
+            ],
+            etag=etag,
+            fastpath_hit=True,
+        )
+        self.session.pages_served += 1
+        return result
+
+    def _bundle_from(
+        self, result: AdaptedPage, etag: Optional[str]
+    ) -> fastpath.FastpathBundle:
+        files = [
+            fastpath.BundleFile(relpath, content_type, data)
+            for relpath, content_type, data in self._capture or []
+        ]
+        subpages = [
+            {
+                "subpage_id": artifact.subpage_id,
+                "title": artifact.title,
+                "relpath": self._relpath(artifact.path),
+                "content_type": artifact.content_type,
+                "bytes_written": artifact.bytes_written,
+                "prerendered": artifact.prerendered,
+                "ajax": artifact.ajax,
+            }
+            for artifact in result.subpages
+        ]
+        return fastpath.FastpathBundle(
+            etag=etag or "",
+            entry_rel=self._relpath(result.entry_path),
+            entry_html=result.entry_html,
+            files=files,
+            subpages=subpages,
+            notes=list(result.notes),
+            snapshot_bytes=result.snapshot_bytes,
+            used_browser=result.used_browser,
+        )
+
+    def _relpath(self, path: str) -> str:
+        prefix = f"{self.page_dir}/"
+        return path[len(prefix):] if path.startswith(prefix) else path
+
+    def _write(self, path: str, data, content_type: str) -> None:
+        """Write an artifact, mirroring it into the fast-path capture."""
+        self.services.storage.write(
+            path, data, content_type=content_type, now=self.services.now
+        )
+        if self._capture is not None:
+            payload = (
+                data.encode("utf-8") if isinstance(data, str) else data
+            )
+            self._capture.append(
+                (self._relpath(path), content_type, payload)
+            )
+
+    # ------------------------------------------------------------------
     # fetching
 
     def _origin_url(self) -> URL:
-        return URL.parse(
-            f"http://{self.spec.origin_host}{self.spec.page_path}"
-        )
+        return self._origin
 
     def _fetch_origin(self) -> tuple[str, int]:
         client = self.services.make_client(self.session.jar)
@@ -322,18 +586,21 @@ class AdaptationPipeline:
     # attribute phases
 
     def _apply_phase(self, ctx: PipelineContext, phase: str) -> None:
-        for binding in self.spec.bindings:
-            definition = ATTRIBUTE_REGISTRY[binding.attribute]
-            if definition.phase != phase:
-                continue
+        # The plan resolved registry lookups and phase grouping at
+        # deployment time; request time just walks the step list.
+        for step in self.plan.steps_for(phase):
             try:
-                definition.applier(ctx, binding)
+                step.definition.applier(ctx, step.binding)
             except AdaptationError:
                 raise
             except Exception as exc:
                 raise AdaptationError(
-                    f"attribute {binding.attribute!r} failed: {exc}"
+                    f"attribute {step.binding.attribute!r} failed: {exc}"
                 ) from exc
+            finally:
+                # Appliers select-then-mutate: whatever tree shape the
+                # index memoized may be gone after the step.
+                ctx.invalidate_index()
 
     # ------------------------------------------------------------------
     # snapshot (the heavyweight path + cache)
@@ -435,8 +702,36 @@ class AdaptationPipeline:
         bundle["image_bytes"] = image.data
         return bundle
 
-    def _serve_stale_entry(self, exc: BaseException) -> AdaptedPage:
-        """Entry page rebuilt from a stale snapshot when the run failed."""
+    def _serve_stale_entry(
+        self, exc: BaseException, device_class: str = "default"
+    ) -> AdaptedPage:
+        """Entry page served from stale caches when the run failed.
+
+        Top rung: the last fast-path bundle for this (page, device,
+        spec), fresh or stale — it replays the complete artifact set,
+        not just the snapshot entry.  Below it, the stale-snapshot rung
+        from the resilience ladder.  Nothing stale ⇒ re-raise.
+        """
+        if self.services.fastpath_enabled:
+            bundle = fastpath.load_stale_bundle(
+                self.services.cache,
+                fastpath.latest_key(
+                    self.spec.site, self.spec.page_path, device_class,
+                    self.plan.fingerprint,
+                ),
+            )
+            if bundle is not None:
+                with span("degrade"):
+                    result = self._replay_bundle(bundle, 0, None)
+                    result.degraded = STALE
+                    result.snapshot_from_cache = True
+                    result.notes.append(
+                        f"degraded: stale fast-path bundle served; "
+                        f"upstream failure: {exc}"
+                    )
+                self._fastpath_counter("stale_serves").inc()
+                self.services.resilience.record_degraded(STALE)
+                return result
         key = self._snapshot_cache_key(None)
         bundle = self._stale_snapshot_bundle(key)
         if bundle is None:
@@ -621,17 +916,13 @@ class AdaptationPipeline:
             name = binding.param("name", f"partial{id(element) & 0xFFFF}")
             base = f"{self.image_dir}/{name}"
             with span("serialize"):
-                self.services.storage.write(
-                    f"{base}.jpg",
-                    artifact.background.data,
-                    content_type="image/jpeg",
-                    now=self.services.now,
+                self._write(
+                    f"{base}.jpg", artifact.background.data, "image/jpeg"
                 )
-                self.services.storage.write(
+                self._write(
                     f"{base}.json",
                     json.dumps(artifact.text_runs),
-                    content_type="application/json",
-                    now=self.services.now,
+                    "application/json",
                 )
             ctx.note(
                 f"partial_css_prerender: {name} background "
@@ -646,12 +937,7 @@ class AdaptationPipeline:
             return
         with span("serialize"):
             for name, data in ctx.media_thumbnails.items():
-                self.services.storage.write(
-                    f"{self.image_dir}/{name}",
-                    data,
-                    content_type="image/jpeg",
-                    now=self.services.now,
-                )
+                self._write(f"{self.image_dir}/{name}", data, "image/jpeg")
         if ctx.media_thumbnails:
             total = sum(len(d) for d in ctx.media_thumbnails.values())
             ctx.note(
@@ -716,10 +1002,7 @@ class AdaptationPipeline:
             extensions = {"text": "txt", "pdf": "pdf"}
             extension = extensions.get(definition.engine, definition.engine)
             path = f"{self.page_dir}/{definition.subpage_id}.{extension}"
-            self.services.storage.write(
-                path, output.data, content_type=output.content_type,
-                now=self.services.now,
-            )
+            self._write(path, output.data, output.content_type)
         return SubpageArtifact(
             subpage_id=definition.subpage_id,
             title=definition.title,
@@ -758,10 +1041,7 @@ class AdaptationPipeline:
         with span("serialize"):
             html = serialize(document)
             path = f"{self.page_dir}/{definition.file_name}"
-            self.services.storage.write(
-                path, html, content_type="text/html; charset=utf-8",
-                now=self.services.now,
-            )
+            self._write(path, html, "text/html; charset=utf-8")
         return SubpageArtifact(
             subpage_id=definition.subpage_id,
             title=definition.title,
@@ -914,10 +1194,7 @@ class AdaptationPipeline:
             f"{self.image_dir}/{definition.subpage_id}.jpg"
         )
         with span("serialize"):
-            self.services.storage.write(
-                image_path, image_bytes, content_type="image/jpeg",
-                now=self.services.now,
-            )
+            self._write(image_path, image_bytes, "image/jpeg")
         html = (
             f"<!DOCTYPE html><html><head><title>{definition.title}</title>"
             f"</head><body>"
@@ -933,10 +1210,7 @@ class AdaptationPipeline:
         )
         path = f"{self.page_dir}/{definition.file_name}"
         with span("serialize"):
-            self.services.storage.write(
-                path, html, content_type="text/html; charset=utf-8",
-                now=self.services.now,
-            )
+            self._write(path, html, "text/html; charset=utf-8")
         return SubpageArtifact(
             subpage_id=definition.subpage_id,
             title=definition.title,
@@ -956,10 +1230,7 @@ class AdaptationPipeline:
         with span("serialize"):
             fragment = fragment_html(definition, taken)
             path = f"{self.page_dir}/{definition.subpage_id}.fragment.html"
-            self.services.storage.write(
-                path, fragment, content_type="text/html; charset=utf-8",
-                now=self.services.now,
-            )
+            self._write(path, fragment, "text/html; charset=utf-8")
         return SubpageArtifact(
             subpage_id=definition.subpage_id,
             title=definition.title,
@@ -984,11 +1255,10 @@ class AdaptationPipeline:
             )
             image_path = f"{self.page_dir}/snapshot.jpg"
             with span("serialize"):
-                self.services.storage.write(
+                self._write(
                     image_path,
                     snapshot_bundle["image_bytes"],
-                    content_type="image/jpeg",
-                    now=self.services.now,
+                    "image/jpeg",
                 )
         else:
             # No prerender: the residual document (post-splitting) plus a
@@ -1002,21 +1272,23 @@ class AdaptationPipeline:
             menu = (
                 f'<ul id="msite-menu">{menu_items}</ul>' if menu_items else ""
             )
-            body_html = (
-                serialize(ctx.document)
-                if ctx.document is not None
-                else ctx.source
-            )
+            with span("serialize"):
+                # Serialized exactly once (inside the span) and reused
+                # below for both the stored file and entry_html.  The
+                # stream path already produced the normalized HTML.
+                if ctx.streamed_html is not None:
+                    body_html = ctx.streamed_html
+                elif ctx.document is not None:
+                    body_html = serialize(ctx.document)
+                else:
+                    body_html = ctx.source
             entry_html = body_html.replace(
                 "<body>", f"<body>{menu}", 1
             ) if "<body>" in body_html else menu + body_html
         entry_html = self._inject_ajax_support(ctx, entry_html)
         with span("serialize"):
-            self.services.storage.write(
-                result.entry_path,
-                entry_html,
-                content_type="text/html; charset=utf-8",
-                now=self.services.now,
+            self._write(
+                result.entry_path, entry_html, "text/html; charset=utf-8"
             )
         result.entry_html = entry_html
 

@@ -29,12 +29,15 @@ from dataclasses import dataclass
 from typing import Optional
 
 from repro.core.ajax import AjaxActionTable
+from repro.core.detect import detect_user_agent
+from repro.core.fastpath import etag_matches, fastpath_counter
 from repro.core.pipeline import (
     AdaptationPipeline,
     AdaptedPage,
     AuthenticationRequired,
     ProxyServices,
 )
+from repro.core.plan import TransformPlan
 from repro.core.sessions import SESSION_COOKIE, MobileSession, SessionManager
 from repro.core.spec import AdaptationSpec
 from repro.errors import (
@@ -182,6 +185,15 @@ class MSiteProxy(Application):
         self.proxy_base = proxy_base
         self.namespace = namespace.strip("/")
         self.sessions = SessionManager(services.storage, clock=services.clock)
+        # Compiled once per deployment and shared by every request's
+        # pipeline: registry lookups, phase grouping, and CSS selector
+        # parsing all happen here instead of per request.
+        self.plan = TransformPlan.compile(
+            spec,
+            proxy_base=proxy_base,
+            namespace=self.namespace,
+            registry=services.observability.registry,
+        )
         self.ajax_table = AjaxActionTable()
         self.counters = ProxyCounters(
             registry=services.observability.registry,
@@ -280,7 +292,7 @@ class MSiteProxy(Application):
                 )
             return self._finish(
                 self._handle_entry(
-                    session, force=bool(params.get("refresh"))
+                    session, request, force=bool(params.get("refresh"))
                 ),
                 session,
                 is_new,
@@ -360,8 +372,24 @@ class MSiteProxy(Application):
     # ------------------------------------------------------------------
     # entry page and subpages
 
+    @staticmethod
+    def _device_class(request: Request) -> str:
+        """Bucket the requesting device for fast-path cache keys."""
+        user_agent = request.headers.get("User-Agent")
+        if not user_agent:
+            return "default"
+        detection = detect_user_agent(user_agent)
+        if detection.is_tablet:
+            return "tablet"
+        if detection.is_mobile:
+            return "phone"
+        return "desktop"
+
     def _ensure_adapted(
-        self, session: MobileSession, force: bool = False
+        self,
+        session: MobileSession,
+        force: bool = False,
+        device_class: str = "default",
     ) -> AdaptedPage:
         # The session lock makes the check-then-adapt atomic per session:
         # two concurrent requests from one device run the pipeline once.
@@ -376,9 +404,12 @@ class MSiteProxy(Application):
             pipeline = AdaptationPipeline(
                 self.spec, self.services, session,
                 proxy_base=self.proxy_base, namespace=self.namespace,
+                plan=self.plan,
             )
             try:
-                adapted = pipeline.run(force_refresh=force)
+                adapted = pipeline.run(
+                    force_refresh=force, device_class=device_class
+                )
             except (FetchError, AdaptationError, CircuitOpenError):
                 # Stale-while-revalidate at the session level: a page we
                 # served before (degraded or not) beats an error page.
@@ -417,12 +448,28 @@ class MSiteProxy(Application):
             )
 
     def _handle_entry(
-        self, session: MobileSession, force: bool = False
+        self, session: MobileSession, request: Request, force: bool = False
     ) -> Response:
-        adapted = self._ensure_adapted(session, force=force)
+        adapted = self._ensure_adapted(
+            session, force=force, device_class=self._device_class(request)
+        )
         self.counters.add(entry_pages=1)
+        etag = adapted.etag
+        if etag is not None and not force:
+            validator = request.headers.get("If-None-Match")
+            if validator and etag_matches(validator, etag):
+                # The adapted result is current for these origin bytes,
+                # this device class, and this spec — nothing to resend.
+                fastpath_counter(
+                    self.services.observability.registry, "not_modified"
+                ).inc()
+                response = Response(status=304)
+                response.headers.set("ETag", etag)
+                return self._mark_degraded(response, adapted)
         stored = self.services.storage.read(adapted.entry_path)
         response = Response.binary(stored.data, "text/html; charset=utf-8")
+        if etag is not None:
+            response.headers.set("ETag", etag)
         return self._mark_degraded(response, adapted)
 
     @staticmethod

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import re
 from dataclasses import dataclass, field
+from functools import lru_cache
 from typing import Optional
 
 from repro.dom.element import Element
@@ -207,8 +208,22 @@ class SelectorGroup:
 # parsing
 
 
+@lru_cache(maxsize=2048)
 def parse_selector(source: str) -> SelectorGroup:
-    """Parse a selector group; raises :class:`ParseError` on bad syntax."""
+    """Parse a selector group; raises :class:`ParseError` on bad syntax.
+
+    Memoized on the source string: specs and jQuery-style scripts re-use
+    a handful of selector strings on every request, so the parse happens
+    once per deployment rather than once per match.  The returned
+    structures are shared — matching never mutates them, which is what
+    makes the cache safe across threads.  (``lru_cache`` does not cache
+    raising calls, so bad syntax raises every time.)
+    """
+    return parse_selector_uncached(source)
+
+
+def parse_selector_uncached(source: str) -> SelectorGroup:
+    """The actual parser; exposed for memoization-equivalence tests."""
     source = source.strip()
     if not source:
         raise ParseError("empty selector")

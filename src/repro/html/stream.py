@@ -1,0 +1,266 @@
+"""Single-pass streaming serializer: token stream → final markup.
+
+The DOM adaptation path is ``serialize(parse_html(source))`` — build the
+whole tree, then walk it back into a string.  For filter-only
+adaptations (the paper's "source filters": script stripping, URL
+rewrites, title/doctype swaps) the tree is pure overhead: nothing ever
+queries it.  :func:`stream_serialize` produces the *same bytes* in one
+pass over the token stream by replaying :class:`_TreeBuilder`'s
+soup-recovery rules (implied closers, html/head/body scaffolding,
+attribute merging on repeated ``<html>``/``<body>`` tags) as emission
+rules instead of tree edits.
+
+Byte-identity with the DOM round-trip is the contract — it is what lets
+the pipeline pick either path per request without changing rendered
+output.  Two soup shapes cannot be emitted in source order because the
+tree builder reorders them (a comment or a second head-level tag
+arriving while a ``<noscript>``-style head element is still open
+becomes a *sibling after* the open element); those raise
+:class:`StreamUnsupported` and the caller falls back to the DOM path.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.dom.element import RAW_TEXT_ELEMENTS, VOID_ELEMENTS
+from repro.html.entities import encode_attribute, encode_text
+from repro.html.parser import _HEAD_TAGS, _IMPLIED_CLOSERS
+from repro.html.serializer import _BOOLEAN_ATTRIBUTES
+from repro.html.tokenizer import (
+    CommentToken,
+    DoctypeToken,
+    EndTagToken,
+    StartTagToken,
+    TextToken,
+    Token,
+    tokenize,
+)
+
+
+class StreamUnsupported(Exception):
+    """Input needs tree reordering the streaming writer cannot mirror."""
+
+
+def stream_serialize(source: str) -> str:
+    """One-pass equivalent of ``serialize(parse_html(source))``.
+
+    Raises :class:`StreamUnsupported` when the input hits one of the
+    (rare) reordering soup cases; callers fall back to the DOM path.
+    """
+    return stream_serialize_tokens(tokenize(source))
+
+
+def stream_serialize_tokens(tokens: Iterable[Token]) -> str:
+    writer = _StreamWriter()
+    for token in tokens:
+        writer.feed(token)
+    return writer.finish()
+
+
+def _render_open(tag: str, attributes: dict) -> str:
+    """Open-tag markup, mirroring ``serializer._write_element``."""
+    parts = [f"<{tag}"]
+    for name, value in attributes.items():
+        if name in _BOOLEAN_ATTRIBUTES and value in ("", name):
+            parts.append(f" {name}")
+        else:
+            parts.append(f' {name}="{encode_attribute(value)}"')
+    parts.append(">")
+    return "".join(parts)
+
+
+class _StreamWriter:
+    """Emission-order mirror of ``parser._TreeBuilder``.
+
+    The html and body open tags are emitted as placeholders and rendered
+    at :meth:`finish`, because later ``<html>``/``<body>`` tokens merge
+    attributes into the already-created elements (``setdefault``) and
+    the serialized open tag must carry the merged set.
+    """
+
+    def __init__(self) -> None:
+        self._parts: list[str] = []
+        self._saw_doctype = False
+        self._html_index: int | None = None
+        self._html_attrs: dict[str, str] = {}
+        self._head_open = False
+        self._body_index: int | None = None
+        self._body_attrs: dict[str, str] = {}
+        # Open head-level elements before body exists (tag names).
+        self._pre_stack: list[str] = []
+        # Open elements in body mode; always starts with "body".
+        self._stack: list[str] = []
+
+    # -- scaffolding (mirrors _ensure_html/_ensure_head/_ensure_body) --
+
+    @property
+    def _body_created(self) -> bool:
+        return self._body_index is not None
+
+    def _ensure_html(self) -> None:
+        if self._html_index is None:
+            self._html_index = len(self._parts)
+            self._parts.append("")  # rendered in finish()
+
+    def _ensure_head(self) -> None:
+        self._ensure_html()
+        if not self._head_open:
+            self._parts.append("<head>")
+            self._head_open = True
+
+    def _ensure_body(self) -> None:
+        if self._body_created:
+            return
+        self._ensure_head()
+        # Open head elements are abandoned by the tree builder; their
+        # close tags land here because nothing is appended after them.
+        for tag in reversed(self._pre_stack):
+            self._parts.append(f"</{tag}>")
+        self._pre_stack.clear()
+        self._parts.append("</head>")
+        self._body_index = len(self._parts)
+        self._parts.append("")  # rendered in finish()
+        self._stack = ["body"]
+
+    # -- token dispatch -------------------------------------------------
+
+    def feed(self, token: Token) -> None:
+        if isinstance(token, DoctypeToken):
+            if not self._saw_doctype and self._html_index is None:
+                self._parts.append(f"<!DOCTYPE {token.name}>")
+                self._saw_doctype = True
+        elif isinstance(token, CommentToken):
+            self._feed_comment(token)
+        elif isinstance(token, TextToken):
+            self._feed_text(token)
+        elif isinstance(token, StartTagToken):
+            self._feed_start(token)
+        elif isinstance(token, EndTagToken):
+            self._feed_end(token)
+        else:  # pragma: no cover - defensive
+            raise TypeError(f"unknown token {token!r}")
+
+    def _feed_comment(self, token: CommentToken) -> None:
+        if not self._body_created and self._html_index is None:
+            self._parts.append(f"<!--{token.data}-->")
+            return
+        if not self._body_created:
+            if self._pre_stack:
+                # The builder appends the comment to <head> as a sibling
+                # *after* the still-open element — out of source order.
+                raise StreamUnsupported(
+                    "comment beside an open head element"
+                )
+            self._ensure_head()
+        self._parts.append(f"<!--{token.data}-->")
+
+    def _feed_text(self, token: TextToken) -> None:
+        data = token.data
+        if not data:
+            return
+        if not self._body_created:
+            if self._pre_stack:
+                top = self._pre_stack[-1]
+                self._parts.append(
+                    data if top in ("script", "style")
+                    else encode_text(data)
+                )
+                return
+            if data.strip() == "":
+                return  # inter-tag whitespace before body opens
+            self._ensure_body()
+        top = self._stack[-1]
+        self._parts.append(
+            data if top in ("script", "style") else encode_text(data)
+        )
+
+    def _feed_start(self, token: StartTagToken) -> None:
+        name = token.name
+        if name == "html":
+            self._ensure_html()
+            for key, value in token.attributes.items():
+                self._html_attrs.setdefault(key, value)
+            return
+        if name == "head":
+            self._ensure_head()  # token attributes are dropped
+            return
+        if name == "body":
+            self._ensure_body()
+            for key, value in token.attributes.items():
+                self._body_attrs.setdefault(key, value)
+            return
+        if not self._body_created and name in _HEAD_TAGS:
+            if self._pre_stack:
+                # Builder appends to <head> while an earlier head element
+                # is still open — becomes a later sibling, not a child.
+                raise StreamUnsupported(
+                    "head element beside an open head element"
+                )
+            self._ensure_head()
+            self._emit_element(token)
+            return
+        self._ensure_body()
+        implied = _IMPLIED_CLOSERS.get(name)
+        if implied is not None:
+            while len(self._stack) > 1 and self._stack[-1] in implied:
+                self._parts.append(f"</{self._stack.pop()}>")
+        self._emit_element(token)
+
+    def _emit_element(self, token: StartTagToken) -> None:
+        name = token.name
+        self._parts.append(_render_open(name, token.attributes))
+        if name in VOID_ELEMENTS:
+            return  # serializer emits no close tag for voids
+        if token.self_closing:
+            # Childless non-void element: serializer still closes it.
+            self._parts.append(f"</{name}>")
+            return
+        stack = self._stack if self._body_created else self._pre_stack
+        stack.append(name)
+
+    def _feed_end(self, token: EndTagToken) -> None:
+        name = token.name
+        if name in ("html", "body"):
+            if name == "body" and self._body_created:
+                while len(self._stack) > 1:
+                    self._parts.append(f"</{self._stack.pop()}>")
+            return
+        if name == "head":
+            # The head element itself is never on the builder stack.
+            return
+        if not self._body_created:
+            stack, floor = self._pre_stack, 0
+        else:
+            stack, floor = self._stack, 1  # never pop body by name
+        for index in range(len(stack) - 1, floor - 1, -1):
+            if stack[index] == name:
+                for tag in reversed(stack[index:]):
+                    self._parts.append(f"</{tag}>")
+                del stack[index:]
+                return
+        # Stray end tag: ignore, as the tree builder does.
+
+    # -- completion -----------------------------------------------------
+
+    def finish(self) -> str:
+        self._ensure_body()
+        while len(self._stack) > 1:
+            self._parts.append(f"</{self._stack.pop()}>")
+        self._parts.append("</body></html>")
+        assert self._html_index is not None
+        assert self._body_index is not None
+        self._parts[self._html_index] = _render_open(
+            "html", self._html_attrs
+        )
+        self._parts[self._body_index] = _render_open(
+            "body", self._body_attrs
+        )
+        return "".join(self._parts)
+
+
+__all__ = [
+    "StreamUnsupported",
+    "stream_serialize",
+    "stream_serialize_tokens",
+]

@@ -1,0 +1,77 @@
+"""The per-document query index must agree with the plain engine."""
+
+from repro.dom.index import QueryIndex
+from repro.dom.selectors import select
+from repro.html.parser import parse_html
+
+PAGE = """
+<html><body>
+  <div id="top" class="wrap">
+    <ul class="menu">
+      <li class="item first"><a href="#a">A</a></li>
+      <li class="item"><a href="#b">B</a></li>
+    </ul>
+    <div class="wrap inner">
+      <p class="item">text</p>
+      <span id="solo">alone</span>
+    </div>
+  </div>
+  <p>outside</p>
+</body></html>
+"""
+
+SELECTORS = [
+    "div",
+    "p",
+    "#top",
+    "#solo",
+    ".item",
+    ".wrap .item",
+    "ul.menu > li",
+    "li a",
+    "div.wrap.inner p.item",
+    "#top .menu .first",
+    ".menu, #solo",
+    "em",  # matches nothing
+    "#missing",
+    ".item.first",
+]
+
+
+def test_index_matches_plain_select_in_document_order():
+    document = parse_html(PAGE)
+    index = QueryIndex(document)
+    for selector in SELECTORS:
+        assert index.select(selector) == select(document, selector), (
+            f"index diverged on {selector!r}"
+        )
+
+
+def test_index_skips_detached_elements():
+    document = parse_html(PAGE)
+    index = QueryIndex(document)
+    menu = index.select(".menu")[0]
+    menu.detach()
+    # The buckets still hold the detached subtree; attachment
+    # verification must filter it out, matching the plain engine.
+    assert index.select("li") == select(document, "li") == []
+
+
+def test_index_candidates_prefer_narrow_buckets():
+    from repro.dom.selectors import parse_selector
+
+    document = parse_html(PAGE)
+    index = QueryIndex(document)
+    # id bucket: exactly one candidate to verify.
+    assert len(index.candidates_for(parse_selector("#solo"))) == 1
+    # class bucket beats the tag bucket for compound selectors.
+    assert len(index.candidates_for(parse_selector("li.first"))) == 1
+    # a bare tag falls back to the tag bucket, not the whole tree.
+    assert len(index.candidates_for(parse_selector("li"))) == 2
+
+
+def test_index_on_element_root():
+    document = parse_html(PAGE)
+    inner = select(document, ".inner")[0]
+    index = QueryIndex(inner)
+    assert [el.tag for el in index.select(".item")] == ["p"]

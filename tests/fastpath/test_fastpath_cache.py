@@ -1,0 +1,109 @@
+"""Fast-path primitives: keys, ETags, bundle serialization, storage."""
+
+from repro.core import fastpath
+from repro.core.cache import PrerenderCache
+from repro.sim.clock import Clock
+
+
+def test_key_anatomy_partitions_every_dimension():
+    base = fastpath.fastpath_key("S", "/p", "phone", "spec1", "c1")
+    assert base == "fastpath:S:/p:phone:spec1:c1"
+    assert base != fastpath.fastpath_key("S", "/p", "tablet", "spec1", "c1")
+    assert base != fastpath.fastpath_key("S", "/p", "phone", "spec2", "c1")
+    assert base != fastpath.fastpath_key("S", "/p", "phone", "spec1", "c2")
+    assert (
+        fastpath.latest_key("S", "/p", "phone", "spec1")
+        == "fastpath-latest:S:/p:phone:spec1"
+    )
+
+
+def test_content_fingerprint_tracks_source_bytes():
+    a = fastpath.content_fingerprint("<html>a</html>")
+    assert a == fastpath.content_fingerprint("<html>a</html>")
+    assert a != fastpath.content_fingerprint("<html>b</html>")
+
+
+def test_etag_matching():
+    etag = fastpath.make_etag("spec1", "phone", "c1")
+    assert etag == '"spec1.phone.c1"'
+    assert fastpath.etag_matches(etag, etag)
+    assert fastpath.etag_matches("*", etag)
+    assert fastpath.etag_matches(f'"other", {etag}', etag)
+    assert not fastpath.etag_matches('"other"', etag)
+    assert not fastpath.etag_matches("", etag)
+
+
+def make_bundle():
+    return fastpath.FastpathBundle(
+        etag='"spec1.phone.c1"',
+        entry_rel="index.html",
+        entry_html="<html><body>hi</body></html>",
+        files=[
+            fastpath.BundleFile(
+                "index.html", "text/html; charset=utf-8", b"<html>...",
+            ),
+            fastpath.BundleFile(
+                "images/x.jpg", "image/jpeg", bytes(range(256)),
+            ),
+        ],
+        subpages=[{"subpage_id": "main", "relpath": "main.html"}],
+        notes=["note one"],
+        snapshot_bytes=7,
+        used_browser=True,
+    )
+
+
+def test_bundle_round_trips_binary_payloads():
+    bundle = make_bundle()
+    restored = fastpath.FastpathBundle.from_json(bundle.to_json())
+    assert restored is not None
+    assert restored.etag == bundle.etag
+    assert restored.entry_html == bundle.entry_html
+    assert [f.relpath for f in restored.files] == [
+        "index.html", "images/x.jpg",
+    ]
+    assert restored.files[1].data == bytes(range(256))
+    assert restored.subpages == bundle.subpages
+    assert restored.notes == ["note one"]
+    assert restored.snapshot_bytes == 7
+    assert restored.used_browser is True
+
+
+def test_corrupt_or_versioned_out_bundles_miss():
+    assert fastpath.FastpathBundle.from_json("not json{") is None
+    stale_version = make_bundle().to_json().replace(
+        f'"version": {fastpath.BUNDLE_VERSION}', '"version": 0'
+    )
+    assert fastpath.FastpathBundle.from_json(stale_version) is None
+
+
+def test_store_and_load_through_cache():
+    cache = PrerenderCache(clock=Clock())
+    key = fastpath.fastpath_key("S", "/p", "phone", "spec1", "c1")
+    pointer = fastpath.latest_key("S", "/p", "phone", "spec1")
+    assert fastpath.load_bundle(cache, key) is None
+    fastpath.store_bundle(cache, key, pointer, make_bundle(), ttl_s=60)
+    loaded = fastpath.load_bundle(cache, key)
+    assert loaded is not None
+    assert loaded.entry_rel == "index.html"
+
+
+def test_stale_bundle_survives_expiry_via_pointer():
+    clock = Clock()
+    cache = PrerenderCache(clock=clock)
+    key = fastpath.fastpath_key("S", "/p", "phone", "spec1", "c1")
+    pointer = fastpath.latest_key("S", "/p", "phone", "spec1")
+    fastpath.store_bundle(cache, key, pointer, make_bundle(), ttl_s=10)
+    clock.advance(11)
+    # Fresh lookup misses (the entry expired)...
+    assert fastpath.load_bundle(cache, key) is None
+    # ...but the degradation rung still finds it through the pointer.
+    stale = fastpath.load_stale_bundle(cache, pointer)
+    assert stale is not None
+    assert stale.entry_html == "<html><body>hi</body></html>"
+
+
+def test_stale_lookup_with_nothing_stored():
+    cache = PrerenderCache(clock=Clock())
+    pointer = fastpath.latest_key("S", "/p", "phone", "spec1")
+    assert fastpath.load_stale_bundle(cache, pointer) is None

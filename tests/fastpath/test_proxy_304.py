@@ -1,0 +1,113 @@
+"""End-to-end revalidation: ETag on 200s, 304 on If-None-Match.
+
+Uses a lightweight forum spec (no prerender) so the adapted response is
+fast-path storable and the traces show exactly which phases ran.
+"""
+
+import pytest
+
+from repro.core.pipeline import ProxyServices
+from repro.core.proxy import MSiteProxy
+from repro.core.spec import AdaptationSpec, ObjectSelector
+from repro.net.client import HttpClient
+from repro.net.cookies import CookieJar
+from tests.conftest import FORUM_HOST, PROXY_HOST
+
+IPHONE_UA = (
+    "Mozilla/5.0 (iPhone; CPU iPhone OS 4_0 like Mac OS X) "
+    "AppleWebKit/532.9 Mobile/8A293 Safari/6531.22.7"
+)
+
+
+def make_proxy(origins, clock):
+    spec = AdaptationSpec(site="SawmillCreek", origin_host=FORUM_HOST)
+    spec.add("cacheable", ttl_s=3600)
+    spec.add(
+        "subpage", ObjectSelector.css("#loginform"),
+        subpage_id="login", title="Log in",
+    )
+    services = ProxyServices(origins=origins, clock=clock)
+    return MSiteProxy(spec, services, proxy_base="proxy.php")
+
+
+@pytest.fixture()
+def proxy(origins, clock):
+    return make_proxy(origins, clock)
+
+
+def client_for(proxy, clock):
+    return HttpClient({PROXY_HOST: proxy}, jar=CookieJar(), clock=clock)
+
+
+def url(params=""):
+    return f"http://{PROXY_HOST}/proxy.php{params}"
+
+
+def last_trace(proxy):
+    return proxy.services.observability.traces.last()
+
+
+def test_entry_carries_strong_etag(proxy, clock):
+    response = client_for(proxy, clock).get(url())
+    assert response.status == 200
+    etag = response.headers.get("ETag")
+    assert etag and etag.startswith('"') and etag.endswith('"')
+
+
+def test_repeat_request_with_validator_returns_304(proxy, clock):
+    mobile = client_for(proxy, clock)
+    first = mobile.get(url())
+    etag = first.headers.get("ETag")
+    second = mobile.get(url(), If_None_Match=etag)
+    assert second.status == 304
+    assert second.headers.get("ETag") == etag
+    assert second.body == b""
+    # The 304 skipped the whole adaptation: no adapt span in its trace.
+    trace = last_trace(proxy)
+    assert "adapt" not in trace.span_names()
+
+
+def test_cross_session_revalidation_hits_fastpath(proxy, clock):
+    etag = client_for(proxy, clock).get(url()).headers.get("ETag")
+    # A different device, fresh session, revalidating the same page.
+    response = client_for(proxy, clock).get(url(), If_None_Match=etag)
+    assert response.status == 304
+    trace = last_trace(proxy)
+    names = trace.span_names()
+    assert "fastpath" in names  # the bundle lookup ran...
+    assert "adapt" not in names  # ...and replay skipped the adaptation
+    registry = proxy.services.observability.registry
+    assert registry.counter("msite_fastpath_hits_total").value >= 1
+    assert registry.counter("msite_fastpath_not_modified_total").value >= 1
+
+
+def test_mismatched_validator_returns_full_page(proxy, clock):
+    mobile = client_for(proxy, clock)
+    mobile.get(url())
+    response = mobile.get(url(), If_None_Match='"stale-etag"')
+    assert response.status == 200
+    assert b"<html" in response.body
+
+
+def test_refresh_bypasses_revalidation_and_replay(proxy, clock):
+    mobile = client_for(proxy, clock)
+    etag = mobile.get(url()).headers.get("ETag")
+    response = mobile.get(url("?refresh=1"), If_None_Match=etag)
+    assert response.status == 200
+    trace = last_trace(proxy)
+    assert "adapt" in trace.span_names()  # forced full re-adaptation
+
+
+def test_device_classes_partition_etags(proxy, clock):
+    desktop = client_for(proxy, clock).get(
+        url(), User_Agent="Mozilla/5.0 (Windows NT 6.1)"
+    )
+    phone = client_for(proxy, clock).get(url(), User_Agent=IPHONE_UA)
+    assert desktop.headers.get("ETag") != phone.headers.get("ETag")
+    # A phone validator never 304s the desktop variant.
+    response = client_for(proxy, clock).get(
+        url(),
+        User_Agent="Mozilla/5.0 (Windows NT 6.1)",
+        If_None_Match=phone.headers.get("ETag"),
+    )
+    assert response.status == 200

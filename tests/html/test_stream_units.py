@@ -1,0 +1,107 @@
+"""The streaming serializer: unit cases plus a differential property.
+
+The contract is byte-identity with the DOM round-trip:
+``stream_serialize(x) == serialize(parse_html(x))`` for every input the
+stream path accepts — inputs it cannot normalize in one pass raise
+:class:`StreamUnsupported` and the pipeline falls back to the tree.
+"""
+
+import pytest
+from hypothesis import assume, given, settings, strategies as st
+
+from repro.html.parser import parse_html
+from repro.html.serializer import serialize
+from repro.html.stream import StreamUnsupported, stream_serialize
+
+
+def roundtrip(source: str) -> str:
+    return serialize(parse_html(source))
+
+
+CASES = [
+    "<html><head><title>t</title></head><body><p>x</p></body></html>",
+    "<p>bare fragment, no envelope",
+    "<!DOCTYPE html><html><body><br><img src=a></body></html>",
+    "<div><ul><li>one<li>two</ul></div>",  # implied </li>
+    "<p>first<p>second",  # implied </p>
+    "<table><tr><td>a<td>b<tr><td>c</table>",
+    "<head><meta charset=utf-8><title>x</title></head><body>y</body>",
+    "<script>if (a < b && c > d) { x(); }</script><p>after</p>",
+    "<style>p > em { color: red }</style><p>styled</p>",
+    "<textarea>&lt;kept&gt;</textarea>",
+    "<body><!-- comment --><p>x</p></body>",
+    "<!-- leading comment --><html><body>x</body></html>",
+    '<input type="checkbox" checked>',
+    '<option selected="selected">pick</option>',
+    "<p>entities: &amp; &lt; &gt; &quot; &#65;</p>",
+    "<div title='single \"quotes\"'>attr encoding</div>",
+    "<p></body>after body close</p>",
+    "<b><i>unclosed inline",
+    "<div>stray </span> end tag</div>",
+    "text before any tag<p>then content</p>",
+    "<html lang=en><body class=x>attrs</body></html>",
+    "",
+]
+
+
+@pytest.mark.parametrize("source", CASES)
+def test_stream_matches_dom_roundtrip(source):
+    assert stream_serialize(source) == roundtrip(source)
+
+
+UNSUPPORTED = [
+    # A head-level tag arriving while a head element is still open
+    # pre-body: the tree builder reorders it as a later head sibling.
+    "<head><noscript><meta charset=utf-8></noscript></head>",
+    # Same reordering for comments beside an open head element.
+    "<head><noscript><!-- c --></noscript></head>",
+]
+
+
+@pytest.mark.parametrize("source", UNSUPPORTED)
+def test_reordering_soup_raises_stream_unsupported(source):
+    with pytest.raises(StreamUnsupported):
+        stream_serialize(source)
+    # The DOM path still handles it — that is the fallback.
+    assert roundtrip(source)
+
+
+_WORDS = st.sampled_from(
+    ["alpha", "beta &amp; gamma", "x < 3", "  ", "line\nbreak"]
+)
+_TAGS = st.sampled_from(
+    ["div", "span", "p", "li", "ul", "b", "br", "img", "table", "td",
+     "tr", "script", "style", "title", "input"]
+)
+_ATTRS = st.sampled_from(
+    ["", " id=one", ' class="a b"', " checked", ' href="?a=1&amp;b=2"',
+     " title='it\\'s'"]
+)
+
+
+@st.composite
+def soup_strategy(draw):
+    """Tag soup: unbalanced opens/closes, entities, raw text."""
+    parts = []
+    for __ in range(draw(st.integers(1, 12))):
+        kind = draw(st.integers(0, 3))
+        tag = draw(_TAGS)
+        if kind == 0:
+            parts.append(f"<{tag}{draw(_ATTRS)}>")
+        elif kind == 1:
+            parts.append(f"</{tag}>")
+        elif kind == 2:
+            parts.append(draw(_WORDS))
+        else:
+            parts.append(f"<!-- {draw(_WORDS)} -->")
+    return "".join(parts)
+
+
+@settings(max_examples=300, deadline=None)
+@given(soup_strategy())
+def test_stream_differential_on_generated_soup(source):
+    try:
+        streamed = stream_serialize(source)
+    except StreamUnsupported:
+        assume(False)
+    assert streamed == roundtrip(source)

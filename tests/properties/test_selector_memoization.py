@@ -1,0 +1,53 @@
+"""Memoized selector parsing must be invisible to matching.
+
+``parse_selector`` is an ``lru_cache`` over ``parse_selector_uncached``;
+this property drives both through the matcher on generated documents and
+requires identical results — the cached structures are shared across
+calls, so any mutation during matching would surface here as a
+divergence (or as cross-test flakiness).
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.dom.selectors import (
+    matches,
+    parse_selector,
+    parse_selector_uncached,
+    select,
+)
+from tests.properties.test_selector_reference import document_strategy
+
+_SELECTORS = [
+    "div",
+    "span.a",
+    ".a.b",
+    "#n1",
+    "#n3 .c",
+    "div > span",
+    "p em",
+    "div, span, .b",
+    "em + p",
+    "* .a",
+]
+
+
+@settings(max_examples=60, deadline=None)
+@given(document_strategy(), st.sampled_from(_SELECTORS))
+def test_memoized_and_uncached_parse_agree_on_matches(document, selector):
+    cached = parse_selector(selector)
+    uncached = parse_selector_uncached(selector)
+    for element in document.all_elements():
+        assert matches(element, cached) == matches(element, uncached)
+    assert select(document, cached) == select(document, uncached)
+
+
+@settings(max_examples=30, deadline=None)
+@given(document_strategy(), st.sampled_from(_SELECTORS))
+def test_repeated_cached_parses_stay_stable(document, selector):
+    # Same object back each time (it IS a cache)...
+    assert parse_selector(selector) is parse_selector(selector)
+    # ...and matching through it twice gives the same answer, i.e.
+    # matching did not mutate the shared parsed structures.
+    first = select(document, selector)
+    second = select(document, selector)
+    assert first == second

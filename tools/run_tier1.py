@@ -15,9 +15,11 @@ After the suite, the gate also runs the benchmark harness in smoke mode
 its core invariants keep holding, enforces the statement-coverage
 floors for ``repro.observability`` and ``repro.resilience`` via
 ``tools/check_observability_coverage.py`` (stdlib ``trace``; no
-third-party coverage package required), and runs the chaos smoke
+third-party coverage package required), runs the chaos smoke
 (``msite chaos --seed 7 --requests 200``), which exits non-zero if the
-seeded fault schedule leaks a single 500.
+seeded fault schedule leaks a single 500, and runs the hot-path bench
+smoke (``msite bench-adapt --require-hits``), which exits non-zero if
+the warm forum workload never hits the adapted-response fast path.
 
 Exits non-zero when tests fail or a ceiling is breached, so CI and the
 pre-merge checklist can gate on one command.
@@ -143,6 +145,20 @@ def main(argv: list[str] | None = None) -> int:
     sys.stdout.write(chaos.stdout)
     if chaos.returncode != 0:
         failures.append(f"chaos smoke exited {chaos.returncode}")
+
+    # -- hot-path bench smoke: the fast path must actually hit ----------
+    bench_command = [
+        sys.executable, "-m", "repro.cli", "bench-adapt",
+        "--requests", "20", "--require-hits", "--output", "",
+    ]
+    print(f"\n$ {' '.join(bench_command)}")
+    bench = subprocess.run(
+        bench_command, cwd=REPO_ROOT, env=env,
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+    )
+    sys.stdout.write(bench.stdout)
+    if bench.returncode != 0:
+        failures.append(f"hot-path bench smoke exited {bench.returncode}")
 
     print(f"\ntier-1 gate: suite finished in {elapsed:.1f}s")
     if failures:
