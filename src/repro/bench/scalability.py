@@ -432,6 +432,284 @@ def id_hash_real(config: RealThreadPoolConfig) -> int:
     return int(config.browser_fraction * 10_000) * 2_654_435_761 & 0xFFFFFFFF
 
 
+# ---------------------------------------------------------------------------
+# The cluster reproduction (fleet of workers over one shared cache)
+
+
+#: User-Agents of the cluster workload's device mix; the shard key and
+#: the render key both derive the device class from the UA, exactly as
+#: the real deployment does.
+CLUSTER_DEVICE_AGENTS: tuple[tuple[str, str], ...] = (
+    ("phone", (
+        "Mozilla/5.0 (iPhone; U; CPU iPhone OS 4_0 like Mac OS X; en-us) "
+        "AppleWebKit/532.9 (KHTML, like Gecko) Version/4.0.5 Mobile/8A293 "
+        "Safari/6531.22.7"
+    )),
+    ("desktop", (
+        "Mozilla/5.0 (Windows NT 6.0; WOW64) AppleWebKit/535.19 "
+        "(KHTML, like Gecko) Chrome/18.0.1025.162 Safari/535.19"
+    )),
+)
+
+
+@dataclass
+class ClusterScalabilityConfig:
+    """One wall-clock run through a :class:`ClusterDeployment` fleet.
+
+    Unlike the cache-free single-proxy protocol, the cluster run keeps
+    the shared cache on: the point being measured is m.Site's
+    render-amortization *across the fleet* — each (page, device) pair
+    is rendered exactly once no matter which worker fields the cold
+    request — on top of the horizontal throughput gain.  Every request
+    additionally pays ``lightweight_service_s`` of serving work, so the
+    fleet-size speedup is visible at every browser fraction.
+    """
+
+    browser_fraction: float
+    fleet_workers: int = 4
+    worker_threads: int = 2
+    client_threads: int = 16
+    total_requests: int = 600
+    queue_limit: int = 0  # 0 -> sized to client_threads (no rejections)
+    spill_depth: int | None = None  # None -> worker_threads (steal work)
+    request_timeout_s: float | None = None
+    browser_service_s: float = 0.010
+    lightweight_service_s: float = 0.002
+    distinct_pages: int = 16
+    seed: int = 0xF16_7
+
+
+@dataclass
+class ClusterScalabilityResult:
+    """What one cluster run measured."""
+
+    browser_fraction: float
+    fleet_workers: int
+    requests_per_minute: float
+    wall_clock_s: float
+    completed: int
+    rejected: int
+    timeouts: int
+    errors: int
+    browser_requests: int
+    lightweight_requests: int
+    renders: int  # fleet-total renders after shared single-flight
+    unique_render_keys: int  # distinct (page, device) pairs rendered
+    stampedes_suppressed: int
+    spillovers: int
+    offshard: int
+    unrouteable: int
+
+
+class _RenderLedger:
+    """Fleet-shared record of which (page, device) keys were rendered."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.renders = 0
+        self.keys: set[str] = set()
+
+    def record(self, key: str) -> None:
+        with self._lock:
+            self.renders += 1
+            self.keys.add(key)
+
+
+class _ClusterServiceApplication(Application):
+    """The per-worker stand-in app for the cluster sweep.
+
+    ``services.cache`` is the *fleet-shared* cache the deployment
+    attached, so a render performed on one worker is a hit (or a joined
+    flight) on every other — the property the acceptance criterion
+    "total renders == unique (page, device) pairs" pins down.
+    """
+
+    def __init__(
+        self,
+        services,
+        browser_service_s: float,
+        lightweight_service_s: float,
+        ledger: _RenderLedger,
+    ) -> None:
+        self.services = services
+        self.browser_service_s = browser_service_s
+        self.lightweight_service_s = lightweight_service_s
+        self.ledger = ledger
+
+    def handle(self, request: Request) -> Response:
+        from repro.core.detect import device_class
+
+        page = request.params.get("page", "p0")
+        if request.params.get("browser") == "1":
+            device = device_class(request.headers.get("User-Agent"))
+            key = f"clustersnap:{page}:{device}"
+
+            def _render() -> str:
+                if self.browser_service_s > 0:
+                    time.sleep(self.browser_service_s)
+                self.ledger.record(key)
+                return page
+
+            self.services.cache.get_or_load(key, _render, ttl_s=3600.0)
+        if self.lightweight_service_s > 0:
+            time.sleep(self.lightweight_service_s)
+        return Response.text("ok")
+
+
+def id_hash_cluster(config: ClusterScalabilityConfig) -> int:
+    """Stable per-configuration stream id (fraction + fleet size)."""
+    return (
+        int(config.browser_fraction * 10_000) * 2_654_435_761
+        ^ config.fleet_workers * 0x9E3779B9
+    ) & 0xFFFFFFFF
+
+
+def _registry_total(registry, name: str) -> int:
+    """Sum a counter family's children (labelled series included)."""
+    for family in registry.collect():
+        if family.name == name:
+            return int(sum(m.value for m in family.sorted_children()))
+    return 0
+
+
+def run_cluster_experiment(
+    config: ClusterScalabilityConfig,
+) -> ClusterScalabilityResult:
+    """Drive the marked workload through a worker fleet and measure."""
+    from repro.cluster.deployment import ClusterDeployment
+
+    if not 0.0 <= config.browser_fraction <= 1.0:
+        raise ValueError("browser_fraction must be within [0, 1]")
+    rng = DeterministicRandom(config.seed ^ id_hash_cluster(config))
+    marked = [
+        rng.uniform() <= config.browser_fraction
+        for _ in range(config.total_requests)
+    ]
+    agents = CLUSTER_DEVICE_AGENTS
+    requests = [
+        Request.get(
+            "http://cluster.local/"
+            f"?page=p{index % config.distinct_pages}"
+            f"&browser={'1' if needs_browser else '0'}",
+            User_Agent=agents[
+                (index // config.distinct_pages) % len(agents)
+            ][1],
+        )
+        for index, needs_browser in enumerate(marked)
+    ]
+
+    ledger = _RenderLedger()
+    queue_limit = config.queue_limit or max(
+        config.client_threads, config.worker_threads
+    )
+    statuses: dict[int, int] = {}
+    status_lock = threading.Lock()
+    next_index = [0]
+
+    with ClusterDeployment(
+        origins={},
+        workers=config.fleet_workers,
+        worker_threads=config.worker_threads,
+        queue_limit=queue_limit,
+        spill_depth=(
+            config.spill_depth
+            if config.spill_depth is not None
+            else config.worker_threads
+        ),
+        request_timeout_s=config.request_timeout_s,
+        site="bench",
+        make_app=lambda services: _ClusterServiceApplication(
+            services,
+            browser_service_s=config.browser_service_s,
+            lightweight_service_s=config.lightweight_service_s,
+            ledger=ledger,
+        ),
+    ) as cluster:
+
+        def client() -> None:
+            while True:
+                with status_lock:
+                    index = next_index[0]
+                    if index >= len(requests):
+                        return
+                    next_index[0] = index + 1
+                response = cluster.handle(requests[index])
+                with status_lock:
+                    statuses[response.status] = (
+                        statuses.get(response.status, 0) + 1
+                    )
+
+        threads = [
+            threading.Thread(target=client, name=f"cluster-client-{i}")
+            for i in range(config.client_threads)
+        ]
+        started = time.perf_counter()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        elapsed = time.perf_counter() - started
+        shared_stats = cluster.shared_cache.cache.stats
+        registry = cluster.registry
+        spillovers = _registry_total(
+            registry, "msite_cluster_spillovers_total"
+        )
+        offshard = _registry_total(registry, "msite_cluster_offshard_total")
+        unrouteable = _registry_total(
+            registry, "msite_cluster_unrouteable_total"
+        )
+        stampedes = shared_stats.stampedes_suppressed
+
+    completed = statuses.get(200, 0)
+    return ClusterScalabilityResult(
+        browser_fraction=config.browser_fraction,
+        fleet_workers=config.fleet_workers,
+        requests_per_minute=completed * 60.0 / elapsed if elapsed else 0.0,
+        wall_clock_s=elapsed,
+        completed=completed,
+        rejected=statuses.get(503, 0),
+        timeouts=statuses.get(504, 0),
+        errors=statuses.get(500, 0),
+        browser_requests=sum(marked),
+        lightweight_requests=len(marked) - sum(marked),
+        renders=ledger.renders,
+        unique_render_keys=len(ledger.keys),
+        stampedes_suppressed=stampedes,
+        spillovers=spillovers,
+        offshard=offshard,
+        unrouteable=unrouteable,
+    )
+
+
+def run_cluster_sweep(
+    percentages: list[float] | None = None,
+    fleet_sizes: tuple[int, ...] = (1, 4),
+    **overrides,
+) -> dict[int, list[ClusterScalabilityResult]]:
+    """The Figure 7 sweep per fleet size.
+
+    Returns ``{fleet_size: [result per percentage]}``; comparing the
+    0%-browser rows across fleet sizes is the horizontal-scaling
+    headline (acceptance: 4 workers ≥ 3x one worker), and the render
+    counts in every row pin the fleet-wide single-render property.
+    """
+    if percentages is None:
+        percentages = [1.0, 0.50, 0.25, 0.10, 0.0]
+    sweep: dict[int, list[ClusterScalabilityResult]] = {}
+    for fleet in fleet_sizes:
+        sweep[fleet] = [
+            run_cluster_experiment(
+                ClusterScalabilityConfig(
+                    browser_fraction=fraction,
+                    fleet_workers=fleet,
+                    **overrides,
+                )
+            )
+            for fraction in percentages
+        ]
+    return sweep
+
+
 def run_real_threadpool_sweep(
     percentages: list[float] | None = None,
     **overrides,

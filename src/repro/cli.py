@@ -184,9 +184,7 @@ def _cmd_bench_adapt(args: argparse.Namespace) -> int:
         return 1
     print(format_report(results))
     if args.output:
-        with open(args.output, "w", encoding="utf-8") as handle:
-            json.dump(results, handle, indent=2)
-            handle.write("\n")
+        _merge_json_report(args.output, results)
         print(f"wrote {args.output}")
     if args.require_hits and results["warm"]["fastpath_hit_ratio"] <= 0:
         print(
@@ -195,6 +193,31 @@ def _cmd_bench_adapt(args: argparse.Namespace) -> int:
         )
         return 1
     return 0
+
+
+def _merge_json_report(path: str, updates: dict) -> None:
+    """Update ``path`` with ``updates``, preserving other top-level keys.
+
+    BENCH_pipeline.json is shared by ``bench-adapt`` and the cluster
+    scalability sweep; each writer owns its keys and must not clobber
+    the other's record.
+    """
+    import json
+    import os
+
+    merged: dict = {}
+    if os.path.exists(path):
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                existing = json.load(handle)
+            if isinstance(existing, dict):
+                merged = existing
+        except (OSError, ValueError):
+            merged = {}
+    merged.update(updates)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(merged, handle, indent=2)
+        handle.write("\n")
 
 
 def _cmd_scalability(args: argparse.Namespace) -> int:
@@ -211,19 +234,21 @@ def _run_scalability(args: argparse.Namespace) -> int:
         if args.percentages
         else None
     )
+    if args.workers is not None and not args.real:
+        return _run_cluster_scalability(args, percentages)
     if args.real:
         from repro.bench.scalability import run_real_threadpool_sweep
 
         results = run_real_threadpool_sweep(
             percentages,
-            workers=args.workers,
+            workers=args.workers or 8,
             client_threads=args.clients,
             total_requests=args.requests,
             browser_service_s=args.browser_service_s,
         )
         print(
             "Figure 7 (real thread pool): "
-            f"{args.workers} workers, {args.clients} clients, "
+            f"{args.workers or 8} workers, {args.clients} clients, "
             f"{args.requests} requests per point"
         )
         print(
@@ -257,6 +282,88 @@ def _run_scalability(args: argparse.Namespace) -> int:
             f"{result.lightweight_requests:>8}"
         )
     return 0
+
+
+def _run_cluster_scalability(
+    args: argparse.Namespace, percentages: Optional[list[float]]
+) -> int:
+    """The Figure 7 sweep per fleet size (``--workers N`` cluster mode)."""
+    from dataclasses import asdict
+
+    from repro.bench.scalability import run_cluster_sweep
+
+    smoke = getattr(args, "smoke", False)
+    if percentages is None:
+        percentages = [1.0, 0.0] if smoke else [1.0, 0.50, 0.25, 0.10, 0.0]
+    total_requests = 200 if smoke else args.requests
+    fleet_sizes = (
+        (1,) if args.workers == 1 else (1, args.workers)
+    )
+    sweep = run_cluster_sweep(
+        percentages,
+        fleet_sizes=fleet_sizes,
+        client_threads=args.clients if args.clients != 8 else 16,
+        total_requests=total_requests,
+    )
+    print(
+        f"Figure 7 (cluster): fleet sizes {list(fleet_sizes)}, "
+        f"{total_requests} requests per point, shared render cache"
+    )
+    failed = False
+    for fleet in fleet_sizes:
+        print(f"-- {fleet} worker{'s' if fleet != 1 else ''}")
+        print(
+            f"{'browser%':>8}  {'req/min':>12}  {'renders':>7}  "
+            f"{'unique':>6}  {'collapsed':>9}  {'spill':>6}  {'offshard':>8}"
+        )
+        for result in sweep[fleet]:
+            print(
+                f"{result.browser_fraction * 100:>7.0f}%  "
+                f"{result.requests_per_minute:>12,.0f}  "
+                f"{result.renders:>7}  "
+                f"{result.unique_render_keys:>6}  "
+                f"{result.stampedes_suppressed:>9}  "
+                f"{result.spillovers:>6}  "
+                f"{result.offshard:>8}"
+            )
+            if result.renders != result.unique_render_keys:
+                failed = True
+                print(
+                    f"FAIL: {result.renders} renders for "
+                    f"{result.unique_render_keys} unique (page, device) "
+                    f"pairs — duplicate renders in the fleet",
+                    file=sys.stderr,
+                )
+    speedup = None
+    if len(fleet_sizes) > 1:
+        base = {r.browser_fraction: r for r in sweep[1]}
+        top = {r.browser_fraction: r for r in sweep[fleet_sizes[-1]]}
+        zero = min(base)  # the lowest browser fraction measured
+        if base[zero].requests_per_minute:
+            speedup = (
+                top[zero].requests_per_minute
+                / base[zero].requests_per_minute
+            )
+            print(
+                f"speedup at {zero * 100:.0f}% browser: "
+                f"{speedup:.2f}x ({fleet_sizes[-1]} workers vs 1)"
+            )
+    if args.output and not smoke:
+        record = {
+            "cluster_scalability": {
+                "fleet_workers": args.workers,
+                "percentages": percentages,
+                "requests_per_point": total_requests,
+                "speedup_at_lowest_browser_fraction": speedup,
+                "sweep": {
+                    str(fleet): [asdict(result) for result in sweep[fleet]]
+                    for fleet in fleet_sizes
+                },
+            }
+        }
+        _merge_json_report(args.output, record)
+        print(f"wrote {args.output}")
+    return 1 if failed else 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -381,21 +488,35 @@ def build_parser() -> argparse.ArgumentParser:
         help="comma-separated browser fractions (default: the paper's)",
     )
     scalability.add_argument(
-        "--workers", type=int, default=8,
-        help="executor worker threads (--real only, default 8)",
+        "--workers", type=int, default=None,
+        help="with --real: executor worker threads (default 8); "
+        "without --real: run the cluster sweep with N fleet workers "
+        "behind the shard router",
     )
     scalability.add_argument(
         "--clients", type=int, default=8,
-        help="closed-loop client threads (--real only, default 8)",
+        help="closed-loop client threads (default 8; cluster mode "
+        "defaults to 16 unless overridden)",
     )
     scalability.add_argument(
         "--requests", type=int, default=400,
-        help="requests per data point (--real only, default 400)",
+        help="requests per data point (--real and cluster modes, "
+        "default 400)",
     )
     scalability.add_argument(
         "--browser-service-s", type=float, default=0.020,
         help="scaled browser service time in seconds "
         "(--real only, default 0.020)",
+    )
+    scalability.add_argument(
+        "--smoke", action="store_true",
+        help="cluster mode: small fast run (200 requests, two "
+        "percentages) that skips the BENCH_pipeline.json record",
+    )
+    scalability.add_argument(
+        "-o", "--output", default="BENCH_pipeline.json",
+        help="cluster mode: merge the sweep record into this JSON file "
+        "(default BENCH_pipeline.json; other keys are preserved)",
     )
     scalability.set_defaults(fn=_cmd_scalability)
 

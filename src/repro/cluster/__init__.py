@@ -1,0 +1,38 @@
+"""Horizontal scale-out: sharded proxy workers over one shared cache.
+
+See docs/CLUSTER.md for the operational story (sharding key, spill-over
+rules, invalidation bus, fleet metrics).
+"""
+
+from repro.cluster.deployment import ClusterDeployment
+from repro.cluster.rollup import fleet_rollup, merge_unique
+from repro.cluster.router import (
+    ShardRouter,
+    request_shard_key,
+    shard_key,
+    spread,
+)
+from repro.cluster.sharedcache import (
+    InProcessSharedCache,
+    InvalidationBus,
+    InvalidationEvent,
+    SharedCacheBackend,
+    SharedPrerenderCache,
+)
+from repro.cluster.worker import ClusterWorker
+
+__all__ = [
+    "ClusterDeployment",
+    "ClusterWorker",
+    "InProcessSharedCache",
+    "InvalidationBus",
+    "InvalidationEvent",
+    "SharedCacheBackend",
+    "SharedPrerenderCache",
+    "ShardRouter",
+    "fleet_rollup",
+    "merge_unique",
+    "request_shard_key",
+    "shard_key",
+    "spread",
+]

@@ -1,0 +1,79 @@
+"""Fleet-wide metric rollups that don't double-count shared instruments.
+
+Per-worker registries are not disjoint: the shared cache's counters are
+``bind``-ed into *every* worker registry (``ProxyServices`` wires
+``cache.bind_metrics(registry)`` unconditionally), and the same happens
+to any other instrument living on a shared object.  A naive
+``merge_from`` over N worker registries therefore reports N× the true
+value for every shared counter — the stampede-suppression numbers, for
+one, looked twice as good as they were on a two-worker fleet.
+
+:func:`merge_unique` folds each *instrument object* exactly once, by
+identity: the first registry that carries a given Counter/Histogram
+object contributes its value, every later appearance of the same object
+is skipped.  Distinct objects with the same name+labels (genuinely
+per-worker instruments merged into one fleet series) still sum, exactly
+like ``merge_from``.
+
+``merge`` semantics are cumulative, so callers must roll up into a
+**fresh** registry per scrape (see :func:`fleet_rollup`) rather than
+merging into a long-lived one.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.observability.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+
+
+def merge_unique(
+    target: MetricsRegistry,
+    sources: Iterable[MetricsRegistry],
+    seen: Optional[set[int]] = None,
+) -> MetricsRegistry:
+    """Fold ``sources`` into ``target``, each instrument object once.
+
+    ``seen`` carries instrument ids across calls for callers that roll
+    up in several passes; by default it is scoped to this call.
+    """
+    if seen is None:
+        seen = set()
+    for source in sources:
+        for family in source.collect():
+            for metric in family.sorted_children():
+                if id(metric) in seen:
+                    continue
+                seen.add(id(metric))
+                labels = dict(metric.labels)
+                if isinstance(metric, Counter):
+                    target.counter(
+                        family.name, family.help_text, labels
+                    ).inc(metric.value)
+                elif isinstance(metric, Gauge):
+                    target.gauge(
+                        family.name, family.help_text, labels
+                    ).track_max(metric.value)
+                elif isinstance(metric, Histogram):
+                    target.histogram(
+                        family.name, family.help_text, labels,
+                        buckets=metric.buckets,
+                    ).merge(metric)
+    return target
+
+
+def fleet_rollup(
+    registries: Iterable[MetricsRegistry],
+) -> MetricsRegistry:
+    """A fresh point-in-time rollup of the fleet's registries.
+
+    Build a new one per ``/metrics`` scrape; merging is cumulative, so
+    reusing a rollup registry would double every series on the second
+    scrape just as surely as the identity bug doubled shared ones.
+    """
+    return merge_unique(MetricsRegistry(), registries)

@@ -1,0 +1,141 @@
+"""Consistent-hash routing of requests onto cluster workers.
+
+The fleet's render amortization only works if the fastpath/prerender
+keys for one ``site:path:device`` triple keep landing on the same
+worker: that worker's session memos stay warm, and the shared cache
+sees one writer per key instead of N workers racing.  The router uses
+**rendezvous (highest-random-weight) hashing**: every worker scores
+every key with a keyed digest, and the highest score owns the key.
+
+Rendezvous hashing gives the two properties the conformance suite pins:
+
+* *stability* — removing a worker remaps **only** that worker's keys
+  (every other key's winning score is untouched), and adding one steals
+  only the keys it now wins;
+* *balance* — sha256 scores are uniform, so keys spread evenly across
+  the fleet without virtual-node tuning.
+
+``preference(key)`` returns the full score-descending worker order; the
+deployment walks it for spill-over when the owner is saturated, its
+render breaker is open, or it is marked down.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from typing import Iterable, Optional
+
+from repro.core.detect import device_class
+from repro.net.messages import Request
+
+
+def shard_key(site: str, path: str, device: str) -> str:
+    """The canonical ``site:path:device`` routing key."""
+    return f"{site}:{path}:{device}"
+
+
+def request_shard_key(site: str, request: Request) -> str:
+    """Derive the routing key for one proxy request.
+
+    ``path`` is the URL path qualified by the parameter that names the
+    resource (``page``/``file``/``img``/``action``), so an entry page,
+    its subpages, and its cached images each get a stable owner instead
+    of all piling onto one worker.  The device class comes from the
+    same UA bucketing the fast-path cache keys use.
+    """
+    params = request.params
+    resource = "entry"
+    for param in ("action", "img", "file", "page"):
+        value = params.get(param)
+        if value:
+            resource = f"{param}={value}"
+            break
+    device = device_class(request.headers.get("User-Agent"))
+    return shard_key(site, f"{request.url.path}|{resource}", device)
+
+
+def _score(worker_id: str, key: str) -> int:
+    digest = hashlib.sha256(
+        f"{worker_id}\x00{key}".encode("utf-8")
+    ).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+class ShardRouter:
+    """Deterministic key → worker assignment over a mutable fleet."""
+
+    def __init__(self, workers: Iterable[str] = ()) -> None:
+        self._lock = threading.Lock()
+        self._workers: list[str] = []
+        for worker_id in workers:
+            self.add_worker(worker_id)
+
+    # -- membership ------------------------------------------------------
+
+    def add_worker(self, worker_id: str) -> None:
+        if not worker_id:
+            raise ValueError("worker id must be non-empty")
+        with self._lock:
+            if worker_id in self._workers:
+                raise ValueError(f"worker {worker_id!r} already routed")
+            self._workers.append(worker_id)
+            self._workers.sort()
+
+    def remove_worker(self, worker_id: str) -> None:
+        with self._lock:
+            self._workers.remove(worker_id)
+
+    @property
+    def worker_ids(self) -> tuple[str, ...]:
+        with self._lock:
+            return tuple(self._workers)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._workers)
+
+    # -- routing ---------------------------------------------------------
+
+    def route(self, key: str) -> str:
+        """The worker that owns ``key``; raises when the fleet is empty."""
+        with self._lock:
+            if not self._workers:
+                raise LookupError("no workers to route to")
+            # Ties are impossible in practice (64-bit digests), but the
+            # id tiebreak keeps the assignment total and deterministic.
+            return max(
+                self._workers,
+                key=lambda worker_id: (_score(worker_id, key), worker_id),
+            )
+
+    def preference(self, key: str) -> list[str]:
+        """Every worker, owner first, in score-descending spill order."""
+        with self._lock:
+            return sorted(
+                self._workers,
+                key=lambda worker_id: (_score(worker_id, key), worker_id),
+                reverse=True,
+            )
+
+    def assignment(self, keys: Iterable[str]) -> dict[str, str]:
+        """Batch :meth:`route`, for balance checks and tests."""
+        return {key: self.route(key) for key in keys}
+
+    def load(self, keys: Iterable[str]) -> dict[str, int]:
+        """Keys-per-worker histogram over ``keys`` (absent workers: 0)."""
+        counts = {worker_id: 0 for worker_id in self.worker_ids}
+        for key in keys:
+            counts[self.route(key)] += 1
+        return counts
+
+
+def spread(router: ShardRouter, keys: Iterable[str]) -> Optional[float]:
+    """Max worker load over the ideal (uniform) load, or ``None`` when
+    there is nothing to measure.  1.0 is perfect balance."""
+    counts = router.load(keys)
+    total = sum(counts.values())
+    if not counts or not total:
+        return None
+    ideal = total / len(counts)
+    return max(counts.values()) / ideal

@@ -1,0 +1,232 @@
+"""One prerender/fastpath cache shared by every worker in the fleet.
+
+m.Site's economics rest on "render once, serve many" (§3.3, §5).  A
+cluster of workers each holding a private :class:`PrerenderCache` would
+re-render every snapshot once *per worker*; sharing one cache object —
+single-flight semantics included — keeps the fleet-wide render count at
+one per key no matter which worker fields the cold request.
+
+Two pieces live here:
+
+* :class:`SharedPrerenderCache` — a :class:`PrerenderCache` that
+  announces every invalidation (explicit, ``clear``, or TTL expiry) on
+  an :class:`InvalidationBus`, so workers holding derived state (the
+  per-session adapted-page memo in :class:`MSiteProxy
+  <repro.core.proxy.MSiteProxy>`) can drop it fleet-wide.  Events are
+  always published *after* the cache lock is released; a subscriber may
+  freely call back into the cache or take its own locks.
+* :class:`InProcessSharedCache` — the :class:`SharedCacheBackend`
+  implementation for a single-process fleet: every ``attach`` returns
+  the same cache object.  A network-backed implementation would return
+  a per-worker client speaking to the same store; the protocol is what
+  the cluster deployment codes against.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Protocol, runtime_checkable
+
+from repro.core.cache import CacheEntry, PrerenderCache
+from repro.observability.metrics import MetricsRegistry
+
+#: Event kinds carried by the bus.
+REFRESH = "refresh"  # a client sent ?refresh=1 somewhere in the fleet
+INVALIDATE = "invalidate"  # an explicit single-key invalidation
+EXPIRE = "expire"  # a TTL lapsed and the entry was retired
+CLEAR = "clear"  # the whole cache was dropped
+
+#: Kinds that should make workers forget derived (memoized) state.
+#: TTL expiry deliberately does not: a single proxy keeps serving its
+#: session memo past snapshot expiry, and the cluster must byte-match
+#: single-proxy output.
+DERIVED_STATE_KINDS = frozenset({REFRESH, INVALIDATE, CLEAR})
+
+
+@dataclass(frozen=True)
+class InvalidationEvent:
+    """One fleet-wide cache invalidation announcement."""
+
+    kind: str
+    key: Optional[str] = None  # None = the whole cache (``clear``)
+
+
+class InvalidationBus:
+    """Synchronous fan-out of :class:`InvalidationEvent` to subscribers.
+
+    Delivery is in-line with :meth:`publish` (no background thread — the
+    in-process fleet shares an address space, so propagation is just a
+    call).  A subscriber exception is counted and swallowed: one broken
+    worker must not stop the rest of the fleet from hearing about an
+    invalidation.
+    """
+
+    def __init__(self, metrics: Optional[MetricsRegistry] = None) -> None:
+        self._lock = threading.Lock()
+        self._subscribers: list[Callable[[InvalidationEvent], None]] = []
+        self._registry = metrics or MetricsRegistry()
+        self._errors = self._registry.counter(
+            "msite_cluster_bus_errors_total",
+            "Invalidation-bus subscriber callbacks that raised.",
+        )
+
+    def subscribe(
+        self, callback: Callable[[InvalidationEvent], None]
+    ) -> None:
+        with self._lock:
+            self._subscribers.append(callback)
+
+    @property
+    def subscriber_count(self) -> int:
+        with self._lock:
+            return len(self._subscribers)
+
+    def publish(self, event: InvalidationEvent) -> None:
+        self._registry.counter(
+            "msite_cluster_invalidations_total",
+            "Cache invalidation events published on the fleet bus.",
+            labels={"kind": event.kind},
+        ).inc()
+        with self._lock:
+            subscribers = tuple(self._subscribers)
+        for callback in subscribers:
+            try:
+                callback(event)
+            except Exception:
+                self._errors.inc()
+
+    def published(self, kind: str) -> int:
+        counter = self._registry.get(
+            "msite_cluster_invalidations_total", labels={"kind": kind}
+        )
+        return int(counter.value) if counter is not None else 0
+
+
+class SharedPrerenderCache(PrerenderCache):
+    """A :class:`PrerenderCache` that announces invalidations on a bus.
+
+    TTL expiries are detected inside lock-holding paths (:meth:`get`,
+    :meth:`load_stale` via ``_retire``), so they are queued under the
+    lock and flushed onto the bus once it is released — subscribers
+    never run with the cache lock held.
+    """
+
+    def __init__(self, bus: InvalidationBus, **kwargs) -> None:
+        self._bus = bus
+        # _retire runs under the cache lock; queue events for a
+        # post-release flush instead of publishing in place.
+        self._pending_events: deque[InvalidationEvent] = deque()
+        super().__init__(**kwargs)
+
+    @property
+    def bus(self) -> InvalidationBus:
+        return self._bus
+
+    # -- expiry propagation ---------------------------------------------
+
+    def _retire(self, key: str) -> None:
+        had_entry = key in self._entries
+        super()._retire(key)
+        if had_entry:
+            self._pending_events.append(InvalidationEvent(EXPIRE, key))
+
+    def _flush_events(self) -> None:
+        while True:
+            try:
+                event = self._pending_events.popleft()
+            except IndexError:
+                return
+            self._bus.publish(event)
+
+    def get(self, key: str) -> Optional[CacheEntry]:
+        entry = super().get(key)
+        self._flush_events()
+        return entry
+
+    def load_stale(
+        self, key: str, max_stale_s: Optional[float] = None
+    ) -> Optional[CacheEntry]:
+        entry = super().load_stale(key, max_stale_s=max_stale_s)
+        self._flush_events()
+        return entry
+
+    # -- explicit invalidation ------------------------------------------
+
+    def invalidate(self, key: str) -> bool:
+        removed = super().invalidate(key)
+        if removed:
+            self._bus.publish(InvalidationEvent(INVALIDATE, key))
+        return removed
+
+    def clear(self) -> None:
+        super().clear()
+        self._bus.publish(InvalidationEvent(CLEAR))
+
+
+@runtime_checkable
+class SharedCacheBackend(Protocol):
+    """What the cluster deployment needs from a shared cache.
+
+    ``attach`` hands a worker its view of the fleet cache — for the
+    in-process backend that is literally the one shared object; a remote
+    backend would return a client bound to the same store.  Single-flight
+    semantics must hold across every attached view: a load started
+    through worker A's view is joined, not repeated, through worker B's.
+    """
+
+    @property
+    def bus(self) -> InvalidationBus: ...
+
+    def attach(self, worker_id: str) -> PrerenderCache: ...
+
+    def invalidate(self, key: str) -> bool: ...
+
+    def clear(self) -> None: ...
+
+
+@dataclass
+class InProcessSharedCache:
+    """:class:`SharedCacheBackend` for a one-process fleet.
+
+    Owns the bus and one :class:`SharedPrerenderCache`; every worker
+    attaches to the same object, so single-flight collapsing and the
+    byte budget are fleet-global for free.
+    """
+
+    clock: Optional[object] = None
+    max_bytes: int = 64 * 1024 * 1024
+    metrics: Optional[MetricsRegistry] = None
+    _attached: list[str] = field(default_factory=list, init=False)
+
+    def __post_init__(self) -> None:
+        self._bus = InvalidationBus(metrics=self.metrics)
+        self._cache = SharedPrerenderCache(
+            self._bus,
+            clock=self.clock,
+            max_bytes=self.max_bytes,
+            metrics=self.metrics,
+        )
+
+    @property
+    def bus(self) -> InvalidationBus:
+        return self._bus
+
+    @property
+    def cache(self) -> SharedPrerenderCache:
+        return self._cache
+
+    @property
+    def attached_workers(self) -> tuple[str, ...]:
+        return tuple(self._attached)
+
+    def attach(self, worker_id: str) -> PrerenderCache:
+        self._attached.append(worker_id)
+        return self._cache
+
+    def invalidate(self, key: str) -> bool:
+        return self._cache.invalidate(key)
+
+    def clear(self) -> None:
+        self._cache.clear()

@@ -65,6 +65,23 @@ def detect_request(request: Request) -> DetectionResult:
     return detect_user_agent(request.headers.get("User-Agent", "") or "")
 
 
+def device_class(user_agent: Optional[str]) -> str:
+    """Bucket a User-Agent into the fast-path / shard device classes.
+
+    The same buckets key the adapted-response cache
+    (:mod:`repro.core.fastpath`) and the cluster shard router, so a
+    device's requests land on the worker that owns its cached variants.
+    """
+    if not user_agent:
+        return "default"
+    detection = detect_user_agent(user_agent)
+    if detection.is_tablet:
+        return "tablet"
+    if detection.is_mobile:
+        return "phone"
+    return "desktop"
+
+
 OPT_OUT_COOKIE = "msite_fullsite"
 
 

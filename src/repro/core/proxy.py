@@ -29,7 +29,7 @@ from dataclasses import dataclass
 from typing import Optional
 
 from repro.core.ajax import AjaxActionTable
-from repro.core.detect import detect_user_agent
+from repro.core.detect import device_class
 from repro.core.fastpath import etag_matches, fastpath_counter
 from repro.core.pipeline import (
     AdaptationPipeline,
@@ -375,15 +375,19 @@ class MSiteProxy(Application):
     @staticmethod
     def _device_class(request: Request) -> str:
         """Bucket the requesting device for fast-path cache keys."""
-        user_agent = request.headers.get("User-Agent")
-        if not user_agent:
-            return "default"
-        detection = detect_user_agent(user_agent)
-        if detection.is_tablet:
-            return "tablet"
-        if detection.is_mobile:
-            return "phone"
-        return "desktop"
+        return device_class(request.headers.get("User-Agent"))
+
+    def forget_adapted(self) -> None:
+        """Drop every session's memoized adapted page.
+
+        The cluster invalidation bus calls this when ``?refresh=1`` or an
+        explicit invalidation lands anywhere in the fleet, so a peer
+        worker never keeps serving a superseded memo for a page another
+        worker just re-adapted.  The next request per session re-resolves
+        through the shared fast-path cache (cheap when nothing changed).
+        """
+        with self._lock:
+            self._adapted.clear()
 
     def _ensure_adapted(
         self,

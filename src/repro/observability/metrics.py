@@ -153,7 +153,9 @@ class HistogramSnapshot:
                     hi = self.max if upper == _INF else min(upper, self.max)
                     lo = min(max(lower, self.min), hi)
                     fraction = (target - cumulative) / bucket_count
-                    return lo + (hi - lo) * fraction
+                    # lo + (hi - lo) can round a ULP past hi; clamp so
+                    # the estimate never leaves the observed range.
+                    return min(max(lo + (hi - lo) * fraction, lo), hi)
                 cumulative += bucket_count
             lower = upper
         return self.max

@@ -204,12 +204,40 @@ class ConcurrentProxy(Application):
         self.stats.observe_queue_depth(self._queue.qsize())
         return future
 
+    @property
+    def queue_depth(self) -> int:
+        """Requests currently waiting for a worker (approximate)."""
+        return self._queue.qsize()
+
+    @property
+    def saturated(self) -> bool:
+        """Whether the next :meth:`submit` is likely to be rejected.
+
+        Advisory (the queue may drain between the check and the submit);
+        the cluster router uses it to spill a request to a peer worker
+        before paying an admission rejection.
+        """
+        return self._queue.qsize() >= self.queue_limit
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
     def handle(self, request: Request) -> Response:
         """Synchronous facade: submit, wait, map failures to statuses."""
         try:
             future = self.submit(request)
         except AdmissionError as exc:
             return Response.text(f"proxy overloaded: {exc}", status=503)
+        return self.resolve(future)
+
+    def resolve(self, future: "Future[Response]") -> Response:
+        """Wait for a submitted request and map failures to statuses.
+
+        Split out of :meth:`handle` so callers that need to distinguish
+        admission rejection (the cluster's spill-over router) can call
+        :meth:`submit` themselves and still share the status mapping.
+        """
         try:
             response = future.result(timeout=self.request_timeout_s)
         except FutureTimeoutError:

@@ -9,6 +9,10 @@ each other), so the ordering claims are pinned with tolerance where the
 paper's own numbers are close, and strictly where they are far apart.
 """
 
+import statistics
+import threading
+import time
+
 import pytest
 
 from repro.bench.wallclock import table1_rows
@@ -70,3 +74,97 @@ def test_paper_anchor_rows_within_tolerance(rows):
     }
     for label, paper_seconds in anchors.items():
         assert rows[label] == pytest.approx(paper_seconds, rel=0.25), label
+
+
+# -- cluster column ---------------------------------------------------------
+#
+# Table 1's "cached snapshot" row assumes the snapshot is equally cheap
+# no matter which server answers.  In a cluster that only holds if the
+# prerender cache is genuinely fleet-shared: a peer that never rendered
+# the page must serve the cached snapshot as fast as the worker that
+# did, without re-rendering it.
+
+
+def test_cached_snapshot_latency_owner_vs_peer_cluster():
+    from repro.cluster import ClusterDeployment
+    from repro.core.proxy import MSiteProxy
+    from repro.core.spec import AdaptationSpec
+    from repro.net.client import HttpClient
+    from repro.net.cookies import CookieJar
+
+    from tests.concurrency.test_hammer import TinyOrigin
+
+    origin_host = "tiny.example.org"
+    proxy_host = "m.tiny.example.org"
+    spec = AdaptationSpec(site="Tiny", origin_host=origin_host, page_path="/")
+    spec.add("prerender")
+    spec.add("cacheable", ttl_s=3600)
+
+    renders = []
+    renders_lock = threading.Lock()
+
+    def make_app(services):
+        original = services.make_browser
+
+        def counting_make_browser(jar, viewport_width):
+            with renders_lock:
+                renders.append(1)
+            return original(jar, viewport_width)
+
+        services.make_browser = counting_make_browser
+        return MSiteProxy(spec, services, proxy_base="proxy.php")
+
+    with ClusterDeployment(
+        origins={origin_host: TinyOrigin()},
+        workers=2,
+        worker_threads=2,
+        site="Tiny",
+        make_app=make_app,
+    ) as cluster:
+        client = HttpClient({proxy_host: cluster}, jar=CookieJar())
+        url = f"http://{proxy_host}/proxy.php"
+
+        def fetch():
+            response = client.get(url)
+            assert response.status == 200
+            return response.headers.get("X-MSite-Worker")
+
+        owner = fetch()  # cold: exactly one render, owned by one shard
+        assert len(renders) == 1
+        peer = next(wid for wid in cluster.worker_ids if wid != owner)
+
+        def timed(samples=60):
+            values = []
+            for _ in range(samples):
+                start = time.perf_counter()
+                fetch()
+                values.append(time.perf_counter() - start)
+            return values
+
+        # Warm both paths (per-worker session adaptation memo) before
+        # timing, then interleave the measurement batches so clock or
+        # scheduler drift hits both columns alike.
+        owner_s, peer_s = [], []
+        for _ in range(3):
+            cluster.worker(peer).mark_down()
+            assert fetch() == owner
+            owner_s.extend(timed(20))
+            cluster.worker(peer).mark_up()
+            cluster.worker(owner).mark_down()
+            assert fetch() == peer
+            peer_s.extend(timed(20))
+            cluster.worker(owner).mark_up()
+
+        # The peer never re-rendered: the snapshot came from the shared
+        # cache both times.
+        assert len(renders) == 1
+
+        owner_median = statistics.median(owner_s)
+        peer_median = statistics.median(peer_s)
+        # Within 10% of each other, with a small absolute floor so that
+        # sub-millisecond clock granularity cannot fail the build.
+        tolerance = max(0.10 * max(owner_median, peer_median), 5e-4)
+        assert abs(owner_median - peer_median) <= tolerance, (
+            f"owner {owner_median * 1e3:.3f} ms vs "
+            f"peer {peer_median * 1e3:.3f} ms"
+        )

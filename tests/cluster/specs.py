@@ -1,0 +1,67 @@
+"""The example adaptation specs the conformance suite replays.
+
+Each case is ``(name, factory)`` where ``factory(origins, clock)``
+returns a full :class:`AdaptationSpec`.  The specs come from the
+repository's executable examples (plus the integration suite's standard
+§4.3 adaptation), loaded via ``runpy`` so the conformance suite always
+tests exactly what the examples ship.  ``craigslist_ajax`` is excluded:
+it demonstrates the hand-written ``TwoPaneProxy``, not a generated
+:class:`MSiteProxy`, so it has no single-proxy/cluster pair to compare.
+"""
+
+import os
+import runpy
+
+from repro.admin.tool import AdminTool
+from repro.core.spec import AdaptationSpec
+from repro.net.client import HttpClient
+from tests.conftest import FORUM_HOST, build_standard_spec
+
+EXAMPLES_DIR = os.path.join(
+    os.path.dirname(__file__), os.pardir, os.pardir, "examples"
+)
+
+
+def _example_globals(name: str) -> dict:
+    return runpy.run_path(os.path.join(EXAMPLES_DIR, name))
+
+
+def _forum_tool(origins, clock) -> AdminTool:
+    return AdminTool(
+        HttpClient(origins, clock=clock),
+        f"http://{FORUM_HOST}/index.php",
+        site_name="SawmillCreek",
+    )
+
+
+def standard_spec(origins, clock) -> AdaptationSpec:
+    tool = _forum_tool(origins, clock)
+    build_standard_spec(tool)
+    return tool.spec
+
+
+def forum_mobilization_spec(origins, clock) -> AdaptationSpec:
+    tool = _forum_tool(origins, clock)
+    _example_globals("forum_mobilization.py")["build_spec"](tool)
+    return tool.spec
+
+
+def hierarchical_navigation_spec(origins, clock) -> AdaptationSpec:
+    return _example_globals("hierarchical_navigation.py")["build_spec"]()
+
+
+SPEC_CASES = [
+    ("standard", standard_spec),
+    ("forum_mobilization", forum_mobilization_spec),
+    ("hierarchical_navigation", hierarchical_navigation_spec),
+]
+
+
+def subpage_ids(spec: AdaptationSpec) -> list[str]:
+    """Every navigable subpage id the spec defines, in spec order."""
+    return [
+        binding.param("subpage_id")
+        for binding in spec.bindings
+        if binding.attribute in ("subpage", "ajax_subpage")
+        and binding.param("subpage_id")
+    ]

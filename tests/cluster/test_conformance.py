@@ -1,0 +1,130 @@
+"""End-to-end conformance: a 4-worker cluster is byte-identical to a
+single proxy for every example spec.
+
+The cluster shares one cache, one file store, and one session universe,
+and may serve any given request from any worker (shard owner or
+spill-over peer), so byte-equality across the whole navigable surface —
+entry page, every subpage, snapshot and lowfi-image artifacts — is the
+strongest statement that sharding is an implementation detail invisible
+to devices.
+"""
+
+import pytest
+
+from repro.cluster import ClusterDeployment
+from repro.core.codegen import generate_proxy_source, load_generated_proxy
+from repro.core.pipeline import ProxyServices
+from repro.net.client import HttpClient
+from repro.net.cookies import CookieJar
+from repro.sim.clock import Clock
+
+from tests.cluster.specs import SPEC_CASES, subpage_ids
+
+PROXY_HOST = "m.sawmillcreek.org"
+
+PHONE_UA = (
+    "Mozilla/5.0 (iPhone; U; CPU iPhone OS 4_0 like Mac OS X; en-us) "
+    "AppleWebKit/532.9 (KHTML, like Gecko) Version/4.0.5 Mobile/8A293 "
+    "Safari/6531.22.7"
+)
+DESKTOP_UA = (
+    "Mozilla/5.0 (Windows NT 6.0; WOW64) AppleWebKit/535.19 "
+    "(KHTML, like Gecko) Chrome/18.0.1025.162 Safari/535.19"
+)
+
+
+def _request_paths(spec) -> list[str]:
+    """The navigable surface: entry, every subpage, cached artifacts."""
+    paths = ["proxy.php"]
+    paths.extend(
+        f"proxy.php?page={subpage_id}" for subpage_id in subpage_ids(spec)
+    )
+    paths.append("proxy.php?file=snapshot.jpg")
+    return paths
+
+
+@pytest.mark.parametrize(
+    "name,factory", SPEC_CASES, ids=[name for name, _ in SPEC_CASES]
+)
+def test_cluster_output_matches_single_proxy(name, factory, origins):
+    spec = factory(origins, Clock())
+    module = load_generated_proxy(generate_proxy_source(spec))
+
+    single_clock = Clock()
+    single = module.create_proxy(
+        ProxyServices(origins=origins, clock=single_clock)
+    )
+    single_client = HttpClient(
+        {PROXY_HOST: single}, jar=CookieJar(), clock=single_clock
+    )
+
+    cluster_clock = Clock()
+    with ClusterDeployment(
+        origins=origins,
+        workers=4,
+        clock=cluster_clock,
+        site=spec.site,
+        make_app=lambda services: module.create_proxy(services),
+    ) as cluster:
+        cluster_client = HttpClient(
+            {PROXY_HOST: cluster}, jar=CookieJar(), clock=cluster_clock
+        )
+        workers_seen = set()
+        for path in _request_paths(spec):
+            for user_agent in (PHONE_UA, DESKTOP_UA):
+                url = f"http://{PROXY_HOST}/{path}"
+                expected = single_client.get(
+                    url, headers={"User-Agent": user_agent}
+                )
+                actual = cluster_client.get(
+                    url, headers={"User-Agent": user_agent}
+                )
+                workers_seen.add(actual.headers.get("X-MSite-Worker"))
+                assert actual.status == expected.status, (name, path)
+                assert actual.headers.get("Content-Type") == (
+                    expected.headers.get("Content-Type")
+                ), (name, path)
+                assert actual.body == expected.body, (
+                    f"{name}: cluster output diverged on {path} "
+                    f"({user_agent.split('(')[0].strip()})"
+                )
+        # The surface genuinely exercised more than one shard.
+        assert len(workers_seen - {None}) >= 2, workers_seen
+
+
+def test_cluster_refresh_matches_single_proxy(origins):
+    """?refresh=1 (fleet-wide invalidation) keeps byte-equality."""
+    name, factory = SPEC_CASES[0]
+    spec = factory(origins, Clock())
+    module = load_generated_proxy(generate_proxy_source(spec))
+
+    single_clock = Clock()
+    single = module.create_proxy(
+        ProxyServices(origins=origins, clock=single_clock)
+    )
+    single_client = HttpClient(
+        {PROXY_HOST: single}, jar=CookieJar(), clock=single_clock
+    )
+
+    cluster_clock = Clock()
+    with ClusterDeployment(
+        origins=origins,
+        workers=4,
+        clock=cluster_clock,
+        site=spec.site,
+        make_app=lambda services: module.create_proxy(services),
+    ) as cluster:
+        cluster_client = HttpClient(
+            {PROXY_HOST: cluster}, jar=CookieJar(), clock=cluster_clock
+        )
+        url = f"http://{PROXY_HOST}/proxy.php"
+        for suffix in ("", "?refresh=1", "", "?page=login", ""):
+            expected = single_client.get(
+                url + suffix, headers={"User-Agent": PHONE_UA}
+            )
+            actual = cluster_client.get(
+                url + suffix, headers={"User-Agent": PHONE_UA}
+            )
+            assert actual.body == expected.body, suffix
+        bus = cluster.shared_cache.bus
+        assert bus.published("refresh") >= 1

@@ -1,0 +1,179 @@
+"""Cross-worker cold-start hammer: 16 device threads, 4 workers, one
+shared cache — the fleet renders each cold key exactly once.
+
+The single-proxy version of this harness lives in
+``tests/concurrency/test_hammer.py``; here the same mixed workload is
+pushed through a :class:`ClusterDeployment`, so the requests that
+stampede a cold key arrive on *different workers*.  The shared cache's
+single-flight must collapse them fleet-wide: a render started on worker
+A is joined, not repeated, by worker B.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.cluster import ClusterDeployment
+from repro.core.proxy import MSiteProxy
+from repro.core.spec import AdaptationSpec, ObjectSelector
+from repro.net.client import HttpClient
+from repro.net.cookies import CookieJar
+from repro.sim.rng import DeterministicRandom
+
+from tests.concurrency.test_hammer import TinyOrigin
+from tests.cluster.test_conformance import DESKTOP_UA, PHONE_UA
+
+ORIGIN_HOST = "tiny.example.org"
+PROXY_HOST = "m.tiny.example.org"
+
+THREADS = 16
+REQUESTS_PER_THREAD = 60
+WORKERS = 4
+
+
+@pytest.fixture()
+def rig():
+    origin = TinyOrigin()
+    spec = AdaptationSpec(
+        site="Tiny", origin_host=ORIGIN_HOST, page_path="/"
+    )
+    spec.add("prerender")
+    spec.add("cacheable", ttl_s=3600)
+    spec.add(
+        "subpage", ObjectSelector.css("#extra"),
+        subpage_id="extra", title="Extra",
+    )
+    spec.add("ajax_rewrite")
+
+    # Count real renders fleet-wide and hold each open long enough that
+    # cold-start stampedes genuinely overlap across workers.
+    renders = []
+    renders_lock = threading.Lock()
+
+    def make_app(services):
+        original_make_browser = services.make_browser
+
+        def slow_make_browser(jar, viewport_width):
+            with renders_lock:
+                renders.append(threading.get_ident())
+            time.sleep(0.25)
+            return original_make_browser(jar, viewport_width)
+
+        services.make_browser = slow_make_browser
+        return MSiteProxy(spec, services, proxy_base="proxy.php")
+
+    cluster = ClusterDeployment(
+        origins={ORIGIN_HOST: origin},
+        workers=WORKERS,
+        worker_threads=4,
+        queue_limit=THREADS * 4,
+        site="Tiny",
+        make_app=make_app,
+    )
+    yield origin, cluster, renders
+    cluster.close()
+
+
+def test_cluster_hammer_one_render_per_cold_key(rig):
+    origin, cluster, renders = rig
+    url = f"http://{PROXY_HOST}/proxy.php"
+    barrier = threading.Barrier(THREADS)
+    per_thread = [None] * THREADS
+
+    def device(index):
+        # Half the devices are phones, half desktops: two device
+        # classes, so the shard router splits even same-path traffic.
+        user_agent = PHONE_UA if index % 2 == 0 else DESKTOP_UA
+        rng = DeterministicRandom(0xC1 ^ (index * 0x9E3779B9))
+        client = HttpClient({PROXY_HOST: cluster}, jar=CookieJar())
+        counts = {
+            "entry": 0, "subpage": 0, "file": 0, "img": 0, "ajax": 0,
+        }
+        bad = []
+        workers_seen = set()
+
+        def issue(kind, params):
+            response = client.get(
+                url + params, headers={"User-Agent": user_agent}
+            )
+            counts[kind] += 1
+            workers_seen.add(response.headers.get("X-MSite-Worker"))
+            if response.status != 200:
+                bad.append((kind, response.status, response.text_body))
+
+        barrier.wait()  # all 16 cold-start together: cross-worker stampede
+        issue("entry", "")
+        for _ in range(REQUESTS_PER_THREAD - 1):
+            draw = rng.uniform()
+            if draw < 0.05:
+                issue("entry", "")
+            elif draw < 0.30:
+                issue("subpage", "?page=extra")
+            elif draw < 0.55:
+                issue("file", "?file=snapshot.jpg")
+            elif draw < 0.80:
+                issue("img", "?img=/pic.gif&q=40")
+            else:
+                issue("ajax", "?action=1&p=1")
+        per_thread[index] = (counts, bad, workers_seen)
+
+    threads = [
+        threading.Thread(target=device, args=(i,), name=f"device-{i}")
+        for i in range(THREADS)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+
+    assert all(result is not None for result in per_thread)
+    for counts, bad, _ in per_thread:
+        assert bad == [], f"non-200 responses: {bad[:5]}"
+
+    total = {"entry": 0, "subpage": 0, "file": 0, "img": 0, "ajax": 0}
+    workers_seen = set()
+    for counts, __, seen in per_thread:
+        for kind, count in counts.items():
+            total[kind] += count
+        workers_seen |= seen
+    grand_total = sum(total.values())
+    assert grand_total == THREADS * REQUESTS_PER_THREAD
+
+    # -- the tentpole property: one render per cold (path, device) ------
+    # The only browser-rendered path is the entry page, whose snapshot
+    # key is device-independent: 16 concurrent cold sessions across 4
+    # workers and 2 device classes must produce exactly ONE render.
+    assert len(renders) == 1
+    shared_stats = cluster.shared_cache.cache.stats
+    assert shared_stats.stampedes_suppressed > 0
+    assert origin.pic_requests == 1  # lowfi image: one origin fetch, ever
+    # Derived in-memory state (the per-session adapted-page memo) is
+    # deliberately per-worker — a networked fleet could not share live
+    # pipeline objects — so a session re-adapts on each distinct worker
+    # its request kinds shard to: between 1 and WORKERS fetches per
+    # session, never more.  The expensive artifacts (snapshot, lowfi
+    # images) still render exactly once fleet-wide, per the assertions
+    # above.
+    assert THREADS <= origin.page_requests <= THREADS * WORKERS
+
+    # -- the stampede really crossed workers ----------------------------
+    assert len(workers_seen - {None}) >= 2, workers_seen
+
+    # -- per-worker proxy counters sum exactly to the workload ----------
+    snaps = [worker.app.counters.snapshot() for worker in cluster.workers]
+    assert sum(snap.requests for snap in snaps) == grand_total
+    assert sum(snap.entry_pages for snap in snaps) == total["entry"]
+    assert sum(snap.subpages for snap in snaps) == total["subpage"]
+    assert sum(snap.ajax_actions for snap in snaps) == total["ajax"]
+    assert sum(snap.errors for snap in snaps) == 0
+    assert sum(snap.browser_renders for snap in snaps) == 1
+
+    # -- sessions: fleet-shared, no cross-talk --------------------------
+    assert len(cluster.sessions) == THREADS
+    tags = {
+        session.jar.get("tag") and session.jar.get("tag").value
+        for session in cluster.sessions._sessions.values()
+    }
+    assert len(tags) == THREADS
+    assert None not in tags

@@ -1,0 +1,129 @@
+"""Property tests for the rendezvous shard router.
+
+The three properties the ISSUE pins:
+
+* assignment is deterministic — same fleet, same key, same worker;
+* load is balanced within 2x of ideal for ≥64 keys;
+* removing one worker remaps exactly that worker's keys and no others
+  (the consistent-hashing stability guarantee).
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import ShardRouter, shard_key, spread
+
+worker_counts = st.integers(min_value=2, max_value=5)
+key_sets = st.sets(
+    st.text(
+        alphabet="abcdefghijklmnopqrstuvwxyz0123456789/:._-",
+        min_size=1,
+        max_size=24,
+    ),
+    min_size=64,
+    max_size=192,
+)
+
+
+def _router(worker_count: int) -> ShardRouter:
+    return ShardRouter(f"w{index}" for index in range(worker_count))
+
+
+@given(worker_counts, key_sets)
+def test_assignment_is_deterministic(worker_count, keys):
+    router = _router(worker_count)
+    first = router.assignment(keys)
+    second = _router(worker_count).assignment(keys)
+    assert first == second
+    for key, owner in first.items():
+        assert router.route(key) == owner
+        # The owner is the head of the spill-over preference order.
+        assert router.preference(key)[0] == owner
+
+
+@given(worker_counts, key_sets)
+@settings(max_examples=30)
+def test_balanced_within_2x_of_ideal(worker_count, keys):
+    router = _router(worker_count)
+    assert spread(router, keys) <= 2.0
+
+
+@given(worker_counts, key_sets, st.data())
+def test_removing_one_worker_remaps_only_its_keys(
+    worker_count, keys, data
+):
+    router = _router(worker_count)
+    before = router.assignment(keys)
+    removed = data.draw(
+        st.sampled_from(sorted(router.worker_ids)), label="removed"
+    )
+    router.remove_worker(removed)
+    after = router.assignment(keys)
+    for key in keys:
+        if before[key] == removed:
+            assert after[key] != removed
+        else:
+            assert after[key] == before[key], (
+                f"{key!r} moved off a surviving worker"
+            )
+
+
+@given(worker_counts, key_sets)
+def test_adding_a_worker_only_steals_keys(worker_count, keys):
+    router = _router(worker_count)
+    before = router.assignment(keys)
+    router.add_worker("w-new")
+    after = router.assignment(keys)
+    for key in keys:
+        assert after[key] in (before[key], "w-new")
+
+
+def test_shard_key_shape():
+    assert (
+        shard_key("SawmillCreek", "/index.php|entry", "phone")
+        == "SawmillCreek:/index.php|entry:phone"
+    )
+
+
+def test_request_shard_key_resource_priority_and_device():
+    from repro.cluster import request_shard_key
+    from repro.net.messages import Request
+
+    iphone = (
+        "Mozilla/5.0 (iPhone; CPU iPhone OS 14_0 like Mac OS X) "
+        "AppleWebKit/605.1.15 Mobile/15E148"
+    )
+
+    def key(query, user_agent=None):
+        headers = {"User_Agent": user_agent} if user_agent else {}
+        return request_shard_key(
+            "Tiny", Request.get(f"http://h/proxy.php{query}", **headers)
+        )
+
+    # action > img > file > page > entry, per resource priority.
+    assert key("?action=1&page=2") == "Tiny:/proxy.php|action=1:default"
+    assert key("?img=/a.gif&file=x") == "Tiny:/proxy.php|img=/a.gif:default"
+    assert key("?file=snapshot.jpg") == (
+        "Tiny:/proxy.php|file=snapshot.jpg:default"
+    )
+    assert key("?page=extra") == "Tiny:/proxy.php|page=extra:default"
+    assert key("") == "Tiny:/proxy.php|entry:default"
+    assert key("", iphone) == "Tiny:/proxy.php|entry:phone"
+
+
+def test_membership_validation():
+    import pytest
+
+    router = ShardRouter(["w0"])
+    with pytest.raises(ValueError):
+        router.add_worker("")
+    with pytest.raises(ValueError):
+        router.add_worker("w0")
+
+
+def test_empty_router_raises():
+    import pytest
+
+    router = ShardRouter()
+    with pytest.raises(LookupError):
+        router.route("anything")

@@ -1,0 +1,131 @@
+"""The shared cache backend and its invalidation bus.
+
+Single-flight across attached views, event publication for explicit
+invalidation / ``clear`` / TTL expiry, and the lock discipline (events
+fire after the cache lock is released, so subscribers may call back
+into the cache).
+"""
+
+import threading
+
+from repro.cluster.sharedcache import (
+    CLEAR,
+    EXPIRE,
+    INVALIDATE,
+    REFRESH,
+    InProcessSharedCache,
+    InvalidationBus,
+    InvalidationEvent,
+    SharedCacheBackend,
+)
+from repro.observability.metrics import MetricsRegistry
+from repro.sim.clock import Clock
+
+
+def test_backend_protocol_and_shared_view():
+    backend = InProcessSharedCache()
+    assert isinstance(backend, SharedCacheBackend)
+    view_a = backend.attach("w0")
+    view_b = backend.attach("w1")
+    assert view_a is view_b  # in-process: one object, fleet-global
+    assert backend.attached_workers == ("w0", "w1")
+
+
+def test_single_flight_joins_across_attached_views():
+    backend = InProcessSharedCache()
+    view_a = backend.attach("w0")
+    view_b = backend.attach("w1")
+    started = threading.Event()
+    release = threading.Event()
+    loads = []
+
+    def slow_loader():
+        loads.append("a")
+        started.set()
+        release.wait(timeout=5.0)
+        return b"rendered"
+
+    results = {}
+
+    def leader():
+        results["a"] = view_a.get_or_load("snap:page", slow_loader).data
+
+    def joiner():
+        started.wait(timeout=5.0)
+        results["b"] = view_b.get_or_load(
+            "snap:page", lambda: b"duplicate"
+        ).data
+
+    thread_a = threading.Thread(target=leader)
+    thread_b = threading.Thread(target=joiner)
+    thread_a.start()
+    thread_b.start()
+    started.wait(timeout=5.0)
+    # Give the joiner a beat to reach the flight before releasing.
+    for _ in range(1000):
+        if backend.cache.stats.stampedes_suppressed:
+            break
+        threading.Event().wait(0.001)
+    release.set()
+    thread_a.join(timeout=5.0)
+    thread_b.join(timeout=5.0)
+
+    assert results["a"] == results["b"] == b"rendered"
+    assert loads == ["a"]  # worker B joined, never loaded
+    assert backend.cache.stats.stampedes_suppressed == 1
+
+
+def test_invalidate_and_clear_publish_events():
+    backend = InProcessSharedCache()
+    events = []
+    backend.bus.subscribe(events.append)
+    cache = backend.attach("w0")
+    cache.put("snap:a", b"a")
+    assert backend.invalidate("snap:a") is True
+    assert backend.invalidate("snap:missing") is False  # no event
+    backend.clear()
+    assert events == [
+        InvalidationEvent(INVALIDATE, "snap:a"),
+        InvalidationEvent(CLEAR, None),
+    ]
+    assert backend.bus.published(INVALIDATE) == 1
+    assert backend.bus.published(CLEAR) == 1
+
+
+def test_ttl_expiry_publishes_after_lock_release():
+    clock = Clock()
+    backend = InProcessSharedCache(clock=clock)
+    cache = backend.attach("w0")
+    observed = []
+
+    def reentrant_subscriber(event):
+        # Re-entering the cache from the handler must not deadlock:
+        # events are flushed after the cache lock is released.
+        cache.put(f"derived:{event.key}", b"x")
+        observed.append(event)
+
+    backend.bus.subscribe(reentrant_subscriber)
+    cache.put("snap:a", b"a", ttl_s=10.0)
+    clock.advance(11.0)
+    assert cache.get("snap:a") is None  # expired -> retired
+    assert observed == [InvalidationEvent(EXPIRE, "snap:a")]
+    assert cache.peek("derived:snap:a") is not None
+
+
+def test_subscriber_errors_are_counted_not_propagated():
+    registry = MetricsRegistry()
+    bus = InvalidationBus(metrics=registry)
+    seen = []
+
+    def broken(event):
+        raise RuntimeError("subscriber bug")
+
+    bus.subscribe(broken)
+    bus.subscribe(seen.append)
+    bus.publish(InvalidationEvent(REFRESH, "k"))
+    # The broken subscriber neither blocked the healthy one nor leaked.
+    assert seen == [InvalidationEvent(REFRESH, "k")]
+    errors = registry.get("msite_cluster_bus_errors_total")
+    assert errors is not None and errors.value == 1
+    assert bus.published(REFRESH) == 1
+    assert bus.subscriber_count == 2

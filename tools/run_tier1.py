@@ -13,13 +13,17 @@ enforces two ceilings:
 After the suite, the gate also runs the benchmark harness in smoke mode
 (``pytest benchmarks/ --smoke``) so the bench layer keeps compiling and
 its core invariants keep holding, enforces the statement-coverage
-floors for ``repro.observability`` and ``repro.resilience`` via
+floors for ``repro.observability``, ``repro.resilience``, the fast
+path, and ``repro.cluster`` via
 ``tools/check_observability_coverage.py`` (stdlib ``trace``; no
 third-party coverage package required), runs the chaos smoke
 (``msite chaos --seed 7 --requests 200``), which exits non-zero if the
-seeded fault schedule leaks a single 500, and runs the hot-path bench
+seeded fault schedule leaks a single 500, runs the hot-path bench
 smoke (``msite bench-adapt --require-hits``), which exits non-zero if
-the warm forum workload never hits the adapted-response fast path.
+the warm forum workload never hits the adapted-response fast path,
+and runs the cluster smoke (``msite scalability --workers 2 --smoke``),
+which exits non-zero if a 2-worker fleet fails to beat one worker or
+ever renders the same (path, device) pair twice.
 
 Exits non-zero when tests fail or a ceiling is breached, so CI and the
 pre-merge checklist can gate on one command.
@@ -159,6 +163,21 @@ def main(argv: list[str] | None = None) -> int:
     sys.stdout.write(bench.stdout)
     if bench.returncode != 0:
         failures.append(f"hot-path bench smoke exited {bench.returncode}")
+
+    # -- cluster smoke: a 2-worker fleet must beat one worker and never
+    #    render the same (path, device) twice --------------------------
+    cluster_command = [
+        sys.executable, "-m", "repro.cli", "scalability",
+        "--workers", "2", "--smoke",
+    ]
+    print(f"\n$ {' '.join(cluster_command)}")
+    cluster = subprocess.run(
+        cluster_command, cwd=REPO_ROOT, env=env,
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+    )
+    sys.stdout.write(cluster.stdout)
+    if cluster.returncode != 0:
+        failures.append(f"cluster smoke exited {cluster.returncode}")
 
     print(f"\ntier-1 gate: suite finished in {elapsed:.1f}s")
     if failures:
