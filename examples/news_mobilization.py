@@ -1,0 +1,74 @@
+"""Mobilizing a news section front: feed windowing and pagination.
+
+The Metro Herald's section pages are exactly the shape the forum never
+shows the proxy: a long headline list (pagination-splitting material)
+and an infinite-scroll AJAX feed primed with a batch of teasers.  The
+adaptation:
+
+* windows the feed to its first six teasers and rewrites the "More
+  stories" link into a static proxy action (§4.4's AJAX translation),
+* splits the headline list into proxy-served pages of six with
+  next/previous navigation,
+* detaches the desk sidebar into its own subpage,
+* strips the origin's scroll-handler script (dead weight on a phone).
+
+Run:  python examples/news_mobilization.py
+"""
+
+from repro.core.codegen import generate_proxy_source, load_generated_proxy
+from repro.core.pipeline import ProxyServices
+from repro.net.client import HttpClient
+from repro.net.cookies import CookieJar
+from repro.sim.clock import Clock
+from repro.sites.news.app import NewsApplication
+from repro.sites.news.spec import NEWS_HOST, news_section_spec
+
+PHONE_UA = (
+    "Mozilla/5.0 (iPhone; U; CPU iPhone OS 4_0 like Mac OS X; en-us) "
+    "AppleWebKit/532.9 (KHTML, like Gecko) Version/4.0.5 Mobile/8A293 "
+    "Safari/6531.22.7"
+)
+
+
+def build_spec():
+    """The canonical news-section adaptation (shared with the tests)."""
+    return news_section_spec()
+
+
+def main() -> None:
+    spec = build_spec()
+    spec.validate()
+    clock = Clock()
+    origins = {NEWS_HOST: NewsApplication()}
+    module = load_generated_proxy(generate_proxy_source(spec))
+    proxy = module.create_proxy(
+        ProxyServices(origins=origins, clock=clock)
+    )
+    client = HttpClient(
+        {"m.metroherald.com": proxy}, jar=CookieJar(), clock=clock
+    )
+
+    teaser_marker = 'class="teaser"'
+    entry = client.get(
+        "http://m.metroherald.com/proxy.php", User_Agent=PHONE_UA
+    )
+    print(f"entry page: {entry.status}, {len(entry.body)} bytes")
+    print(f"  teasers on entry: {entry.text_body.count(teaser_marker)}")
+    for page in ("headlines-p2", "headlines-p3", "about"):
+        response = client.get(
+            f"http://m.metroherald.com/proxy.php?page={page}",
+            User_Agent=PHONE_UA,
+        )
+        print(f"subpage {page}: {response.status}, {len(response.body)} bytes")
+    batch = client.get(
+        "http://m.metroherald.com/proxy.php?action=1&p=6",
+        User_Agent=PHONE_UA,
+    )
+    print(
+        f"feed batch via proxy action: {batch.status}, "
+        f"{batch.text_body.count(teaser_marker)} teasers"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -198,26 +198,63 @@ def _cmd_bench_adapt(args: argparse.Namespace) -> int:
 def _merge_json_report(path: str, updates: dict) -> None:
     """Update ``path`` with ``updates``, preserving other top-level keys.
 
-    BENCH_pipeline.json is shared by ``bench-adapt`` and the cluster
-    scalability sweep; each writer owns its keys and must not clobber
-    the other's record.
+    BENCH_pipeline.json is shared by ``bench-adapt``, the cluster
+    scalability sweep, and every workload scenario; the store module
+    locks the file, merges keyed rows recursively, and replaces it
+    atomically so concurrent or repeated runs never duplicate or
+    clobber each other's entries.
     """
-    import json
-    import os
+    from repro.bench.store import merge_report
 
-    merged: dict = {}
-    if os.path.exists(path):
-        try:
-            with open(path, "r", encoding="utf-8") as handle:
-                existing = json.load(handle)
-            if isinstance(existing, dict):
-                merged = existing
-        except (OSError, ValueError):
-            merged = {}
-    merged.update(updates)
-    with open(path, "w", encoding="utf-8") as handle:
-        json.dump(merged, handle, indent=2)
-        handle.write("\n")
+    merge_report(path, updates)
+
+
+def _cmd_workload(args: argparse.Namespace) -> int:
+    from repro.workload import format_report, run_scenario, scenario_names
+    from repro.workload.scenarios import get_scenario
+
+    if args.list:
+        for name in scenario_names():
+            scenario = get_scenario(name)
+            print(f"{name:<16} [{scenario.site}] {scenario.description}")
+        return 0
+    if not args.scenario:
+        print("workload: --scenario NAME or --list required", file=sys.stderr)
+        return 2
+    try:
+        report = run_scenario(
+            args.scenario,
+            workers=args.workers,
+            seed=args.seed,
+            smoke=args.smoke,
+            client_threads=args.clients,
+        )
+    except (KeyError, ValueError, MSiteError) as exc:
+        print(f"workload run failed: {exc}", file=sys.stderr)
+        return 1
+    print(format_report(report))
+    if args.output:
+        from repro.bench.store import upsert_row
+
+        key = f"{report.scenario}@{report.fingerprint}"
+        upsert_row(args.output, "workload", key, report.bench_row())
+        print(f"wrote {args.output} (workload.{key})")
+    failed = False
+    if report.non_degraded_5xx:
+        print(
+            f"FAIL: {report.non_degraded_5xx} non-degraded 5xx at warm "
+            f"cache",
+            file=sys.stderr,
+        )
+        failed = True
+    if args.p99_budget_ms > 0 and report.p99_ms > args.p99_budget_ms:
+        print(
+            f"FAIL: p99 {report.p99_ms:.1f} ms over the "
+            f"{args.p99_budget_ms:.0f} ms budget",
+            file=sys.stderr,
+        )
+        failed = True
+    return 1 if failed else 0
 
 
 def _cmd_scalability(args: argparse.Namespace) -> int:
@@ -519,6 +556,48 @@ def build_parser() -> argparse.ArgumentParser:
         "(default BENCH_pipeline.json; other keys are preserved)",
     )
     scalability.set_defaults(fn=_cmd_scalability)
+
+    workload = commands.add_parser(
+        "workload",
+        help="replay a named traffic scenario against a worker fleet",
+    )
+    workload.add_argument(
+        "--scenario", default=None,
+        help="scenario name (see --list)",
+    )
+    workload.add_argument(
+        "--list", action="store_true",
+        help="list the named scenarios and exit",
+    )
+    workload.add_argument(
+        "--workers", type=int, default=None,
+        help="fleet size (default: the scenario's own, usually 1)",
+    )
+    workload.add_argument(
+        "--seed", type=int, default=None,
+        help="override the scenario's seed (same seed => same trace)",
+    )
+    workload.add_argument(
+        "--clients", type=int, default=8,
+        help="client threads replaying the trace (default 8)",
+    )
+    workload.add_argument(
+        "--smoke", action="store_true",
+        help="small fast run for the tier-1 gate (fails on any "
+        "non-degraded 5xx or a busted p99 budget, like the full run)",
+    )
+    workload.add_argument(
+        "--p99-budget-ms", type=float, default=1000.0,
+        help="fail if p99 exceeds this many milliseconds "
+        "(default 1000; 0 disables)",
+    )
+    workload.add_argument(
+        "-o", "--output", default="BENCH_pipeline.json",
+        help="upsert the scenario row into this JSON file keyed by "
+        "scenario name + config fingerprint (default "
+        "BENCH_pipeline.json; empty string skips the write)",
+    )
+    workload.set_defaults(fn=_cmd_workload)
 
     return parser
 

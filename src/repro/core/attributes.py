@@ -234,6 +234,110 @@ def _style_hide(element: Element) -> None:
 
 
 @register_attribute(
+    "feed_window", "dom", True,
+    "Trim an infinite-scroll feed to its first N items and link the "
+    "remainder through the proxy's AJAX feed action",
+)
+def _apply_feed_window(ctx, binding) -> None:
+    container = ctx.identify_one(binding.selector)
+    items = max(1, int(binding.param("items", 10)))
+    children = [
+        child for child in list(container.children)
+        if isinstance(child, Element)
+    ]
+    trimmed = 0
+    for child in children[items:]:
+        child.detach()
+        trimmed += 1
+    if trimmed:
+        template = binding.param("more_template")
+        if template:
+            label = binding.param("more_label", "More")
+            href = template.replace("{offset}", str(items))
+            for node in parse_fragment(
+                f'<p class="msite-feed-more">'
+                f'<a href="{href}">{label}</a></p>'
+            ):
+                container.append(node)
+    ctx.note(
+        f"feed_window: kept {min(items, len(children))} items, "
+        f"trimmed {trimmed}"
+    )
+
+
+@register_attribute(
+    "paginate", "dom", True,
+    "Split a long list into fixed-size pages: the first stays on the "
+    "entry page, the rest become proxy-served subpages with next/prev "
+    "navigation",
+)
+def _apply_paginate(ctx, binding) -> None:
+    base_id = binding.param("subpage_id")
+    if not base_id:
+        raise AdaptationError("paginate needs a subpage_id")
+    container = ctx.identify_one(binding.selector)
+    per_page = max(1, int(binding.param("per_page", 10)))
+    title = binding.param("title", base_id)
+    children = [
+        child for child in list(container.children)
+        if isinstance(child, Element)
+    ]
+    if len(children) <= per_page:
+        ctx.note(
+            f"paginate {base_id!r}: {len(children)} items fit on one page"
+        )
+        return
+    chunks = [
+        children[start : start + per_page]
+        for start in range(per_page, len(children), per_page)
+    ]
+    total = 1 + len(chunks)
+    for number, chunk in enumerate(chunks, start=2):
+        page_id = f"{base_id}-p{number}"
+        wrapper = Element(
+            "div",
+            {"id": f"msite-{page_id}", "class": "msite-paginated"},
+        )
+        for child in chunk:
+            child.detach()
+            wrapper.append(child)
+        links = [
+            f'<a href="{ctx.page_url_for(None)}">Entry</a>'
+            if number == 2
+            else f'<a href="{ctx.page_url_for(f"{base_id}-p{number - 1}")}"'
+            f">&larr; Page {number - 1}</a>"
+        ]
+        if number < total:
+            links.append(
+                f'<a href="{ctx.page_url_for(f"{base_id}-p{number + 1}")}"'
+                f">Page {number + 1} &rarr;</a>"
+            )
+        for node in parse_fragment(
+            f'<p class="msite-paginate-nav">{" | ".join(links)}</p>'
+        ):
+            wrapper.append(node)
+        definition = SubpageDefinition(
+            subpage_id=page_id,
+            title=f"{title} (page {number} of {total})",
+            elements=[wrapper],
+            mode="move",
+            cacheable=binding.param("cacheable", False),
+            cache_ttl_s=float(binding.param("cache_ttl_s", 3600.0)),
+        )
+        ctx.plan.define(definition)
+    for node in parse_fragment(
+        f'<p class="msite-paginate-nav">'
+        f'<a href="{ctx.page_url_for(base_id + "-p2")}">'
+        f"More {title} &mdash; page 2 of {total}</a></p>"
+    ):
+        container.append(node)
+    ctx.note(
+        f"paginate {base_id!r}: {len(children)} items over {total} pages "
+        f"of {per_page}"
+    )
+
+
+@register_attribute(
     "remove_object", "dom", True,
     "Strip the selection out of the page entirely",
 )

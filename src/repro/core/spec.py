@@ -114,7 +114,7 @@ class AdaptationSpec:
                 raise CodegenError(
                     f"attribute {binding.attribute!r} requires a selector"
                 )
-            if binding.attribute in ("subpage", "ajax_subpage"):
+            if binding.attribute in ("subpage", "ajax_subpage", "paginate"):
                 subpage_id = binding.param("subpage_id")
                 if not subpage_id:
                     raise CodegenError("subpage bindings need a subpage_id")
@@ -123,6 +123,21 @@ class AdaptationSpec:
                         f"duplicate subpage_id {subpage_id!r}"
                     )
                 subpage_ids.add(subpage_id)
+            if binding.attribute == "paginate":
+                # Page ids are minted at adaptation time as
+                # ``{subpage_id}-p2..pK``; catch the collision here
+                # instead of as a runtime AdaptationError.
+                prefix = f"{binding.param('subpage_id')}-p"
+                clashes = [
+                    taken for taken in subpage_ids
+                    if taken.startswith(prefix)
+                    and taken[len(prefix):].isdigit()
+                ]
+                if clashes:
+                    raise CodegenError(
+                        f"paginate {binding.param('subpage_id')!r} would "
+                        f"collide with subpage ids {clashes}"
+                    )
         for binding in self.bindings:
             parent = binding.param("parent")
             if binding.attribute == "subpage" and parent:

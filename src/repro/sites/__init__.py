@@ -6,9 +6,14 @@
   paper's Table 1 measures.
 * :mod:`repro.sites.classifieds` — a Craigslist-style listing site used by
   the AJAX-adaptation case study (§4.5, Figure 6).
+* :mod:`repro.sites.news` — a metro-daily site whose section fronts pair
+  a long headline list with an infinite-scroll AJAX feed, exercising the
+  feed-windowing and pagination-splitting attributes the forum never
+  touches.
 """
 
 from repro.sites.forum.app import ForumApplication
 from repro.sites.classifieds.app import ClassifiedsApplication
+from repro.sites.news.app import NewsApplication
 
-__all__ = ["ForumApplication", "ClassifiedsApplication"]
+__all__ = ["ForumApplication", "ClassifiedsApplication", "NewsApplication"]

@@ -1,0 +1,20 @@
+"""The news origin site: a metro daily with an infinite-scroll feed."""
+
+from repro.sites.news.app import NewsApplication
+from repro.sites.news.data import Article, Newsroom
+from repro.sites.news.spec import (
+    NEWS_HOST,
+    NEWS_SITE,
+    news_fastpath_spec,
+    news_section_spec,
+)
+
+__all__ = [
+    "Article",
+    "NEWS_HOST",
+    "NEWS_SITE",
+    "NewsApplication",
+    "Newsroom",
+    "news_fastpath_spec",
+    "news_section_spec",
+]

@@ -1,0 +1,111 @@
+"""Deterministic synthetic newsroom generation.
+
+The news family models the second class of site the paper's proxy would
+face in the wild: a metro daily whose section fronts are long,
+heavy-tailed article lists refreshed by an infinite-scroll AJAX feed
+(the page-characteristics measurements in PAPERS.md show news fronts
+carrying an order of magnitude more list items than a forum index).
+All output is a pure function of the seed, so adapted bytes are
+reproducible across runs, workers, and platforms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sim.rng import DeterministicRandom
+from repro.util.names import FIRST_NAMES, LAST_NAMES
+from repro.util.text import TextGenerator
+
+SECTIONS: list[tuple[str, str]] = [
+    ("metro", "Metro"),
+    ("business", "Business"),
+    ("tech", "Technology"),
+    ("sports", "Sports"),
+]
+
+ARTICLES_PER_SECTION = 18  # long enough to paginate and to window
+FEED_BATCH = 8  # teasers returned per infinite-scroll fetch
+TODAY = 1_460  # days since the paper's launch, the generator's "now"
+
+
+@dataclass(frozen=True)
+class Article:
+    """One published story."""
+
+    article_id: int
+    section: str
+    title: str
+    author: str
+    published_day: int
+    summary: str
+    paragraphs: tuple[str, ...]
+
+    @property
+    def path(self) -> str:
+        return f"/article/{self.article_id}.html"
+
+
+class Newsroom:
+    """The fully generated newsroom state for one seed."""
+
+    def __init__(
+        self,
+        seed: int = 0x4E4557,  # "NEW" in ASCII
+        articles_per_section: int = ARTICLES_PER_SECTION,
+    ) -> None:
+        self.seed = seed
+        rng = DeterministicRandom(seed)
+        text = TextGenerator(seed ^ 0x5EC7104)
+        self._articles: dict[int, Article] = {}
+        self._by_section: dict[str, list[Article]] = {}
+        next_id = 1000
+        for code, _label in SECTIONS:
+            stories: list[Article] = []
+            for rank in range(articles_per_section):
+                author = (
+                    f"{rng.choice(FIRST_NAMES)} {rng.choice(LAST_NAMES)}"
+                )
+                paragraphs = tuple(
+                    text.paragraph(sentences=rng.randint(2, 4))
+                    for _ in range(rng.randint(3, 6))
+                )
+                article = Article(
+                    article_id=next_id,
+                    section=code,
+                    title=text.title(max_words=8),
+                    author=author,
+                    published_day=TODAY - rank,
+                    summary=text.sentence(min_words=8, max_words=16),
+                    paragraphs=paragraphs,
+                )
+                stories.append(article)
+                self._articles[next_id] = article
+                next_id += 1
+            self._by_section[code] = stories
+
+    # -- lookups -----------------------------------------------------------
+
+    def article(self, article_id: int) -> Article | None:
+        return self._articles.get(article_id)
+
+    def section_articles(self, code: str) -> list[Article]:
+        """All of one section's stories, newest first."""
+        return list(self._by_section.get(code, []))
+
+    def front_headlines(self, per_section: int = 3) -> list[Article]:
+        """The front page's cross-section headline river."""
+        headlines: list[Article] = []
+        for code, _label in SECTIONS:
+            headlines.extend(self._by_section[code][:per_section])
+        return headlines
+
+    def feed_window(
+        self, code: str, offset: int, limit: int = FEED_BATCH
+    ) -> tuple[list[Article], int | None]:
+        """One infinite-scroll batch: (stories, next offset or None)."""
+        stories = self._by_section.get(code, [])
+        offset = max(0, offset)
+        window = stories[offset : offset + limit]
+        next_offset = offset + limit
+        return window, next_offset if next_offset < len(stories) else None

@@ -1,0 +1,73 @@
+"""Canonical adaptation specs for the news family.
+
+Two builders, sharing the same section front:
+
+* :func:`news_section_spec` — the full mobilization: window the
+  infinite-scroll feed, split the headline list into proxy-served
+  pages, detach the desk sidebar, and rewrite the feed's AJAX call to
+  a static proxy action (§4.4).
+* :func:`news_fastpath_spec` — the same adaptation minus the AJAX
+  rewrite, so the adapted bundle is storable on the response fast path
+  (bundles with live AJAX actions are excluded from the bundle cache).
+"""
+
+from __future__ import annotations
+
+from repro.core.spec import AdaptationSpec, ObjectSelector
+from repro.sites.news.data import ARTICLES_PER_SECTION
+
+NEWS_HOST = "www.metroherald.com"
+NEWS_SITE = "MetroHerald"
+
+FEED_WINDOW_ITEMS = 6
+HEADLINES_PER_PAGE = 6
+
+
+def headline_page_ids(
+    per_page: int = HEADLINES_PER_PAGE,
+    total: int = ARTICLES_PER_SECTION - 1,  # the lead is not listed
+) -> list[str]:
+    """The pagination subpage ids the section spec produces."""
+    pages = -(-total // per_page)  # ceil
+    return [f"headlines-p{n}" for n in range(2, pages + 1)]
+
+
+def news_section_spec(
+    host: str = NEWS_HOST,
+    section: str = "tech",
+    ajax: bool = True,
+    cache_ttl_s: float = 3600.0,
+) -> AdaptationSpec:
+    spec = AdaptationSpec(
+        site=NEWS_SITE,
+        origin_host=host,
+        page_path=f"/section/{section}/",
+        mobile_title=f"Metro Herald {section}",
+    )
+    spec.add("cacheable", ttl_s=cache_ttl_s)
+    spec.add("strip_scripts")  # the origin's scroll handler is dead weight
+    spec.add(
+        "feed_window", ObjectSelector.css("#feed"),
+        items=FEED_WINDOW_ITEMS,
+        more_template=f"feed.php?do=feed_{section}&id={{offset}}",
+        more_label="More stories",
+    )
+    spec.add(
+        "paginate", ObjectSelector.css("#headlines"),
+        subpage_id="headlines", per_page=HEADLINES_PER_PAGE,
+        title="Headlines",
+    )
+    spec.add(
+        "subpage", ObjectSelector.css("#sidebar"),
+        subpage_id="about", title="About this desk",
+    )
+    spec.add("remove_object", ObjectSelector.css("#feedmore"))
+    if ajax:
+        spec.add("ajax_rewrite")
+    return spec
+
+
+def news_fastpath_spec(
+    host: str = NEWS_HOST, section: str = "tech"
+) -> AdaptationSpec:
+    return news_section_spec(host=host, section=section, ajax=False)

@@ -1,0 +1,46 @@
+"""The workload engine: seeded traffic scenarios against a real fleet."""
+
+from repro.workload.arrivals import ClosedLoop, Diurnal, FlashCrowd, Poisson
+from repro.workload.engine import (
+    ScenarioReport,
+    build_scenario_origins,
+    build_scenario_spec,
+    format_report,
+    run_scenario,
+)
+from repro.workload.population import (
+    BOT_UA,
+    DEVICE_AGENTS,
+    BotMix,
+    DeviceMix,
+    SessionPool,
+    ZipfianSampler,
+)
+from repro.workload.scenarios import (
+    PlannedRequest,
+    Scenario,
+    get_scenario,
+    scenario_names,
+)
+
+__all__ = [
+    "BOT_UA",
+    "BotMix",
+    "ClosedLoop",
+    "DEVICE_AGENTS",
+    "DeviceMix",
+    "Diurnal",
+    "FlashCrowd",
+    "PlannedRequest",
+    "Poisson",
+    "Scenario",
+    "ScenarioReport",
+    "SessionPool",
+    "ZipfianSampler",
+    "build_scenario_origins",
+    "build_scenario_spec",
+    "format_report",
+    "get_scenario",
+    "run_scenario",
+    "scenario_names",
+]

@@ -1,0 +1,141 @@
+"""Population models: who issues requests, for what, from which device.
+
+The page-popularity model is Zipfian — the desktop/mobile page-
+characteristics measurements (PAPERS.md) show real page populations are
+heavy-tailed, so a uniform driver badly understates cache and fastpath
+hit rates.  Device and bot mixes reuse the era's user-agent strings so
+the proxy's real device-classification path is exercised, not mocked.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.sim.rng import DeterministicRandom
+
+PHONE_UA = (
+    "Mozilla/5.0 (iPhone; U; CPU iPhone OS 4_0 like Mac OS X; en-us) "
+    "AppleWebKit/532.9 (KHTML, like Gecko) Version/4.0.5 Mobile/8A293 "
+    "Safari/6531.22.7"
+)
+TABLET_UA = (
+    "Mozilla/5.0 (iPad; CPU OS 5_1 like Mac OS X) AppleWebKit/534.46 "
+    "(KHTML, like Gecko) Version/5.1 Mobile/9B176 Safari/7534.48.3"
+)
+DESKTOP_UA = (
+    "Mozilla/5.0 (Windows NT 6.0; WOW64) AppleWebKit/535.19 "
+    "(KHTML, like Gecko) Chrome/18.0.1025.162 Safari/535.19"
+)
+BOT_UA = (
+    "Mozilla/5.0 (compatible; Googlebot/2.1; "
+    "+http://www.google.com/bot.html)"
+)
+
+DEVICE_AGENTS: dict[str, str] = {
+    "phone": PHONE_UA,
+    "tablet": TABLET_UA,
+    "desktop": DESKTOP_UA,
+}
+
+
+class ZipfianSampler:
+    """Rank-ordered popularity: item ``r`` has weight ``1 / r^s``."""
+
+    def __init__(self, items: Sequence, exponent: float = 1.0) -> None:
+        if not items:
+            raise ValueError("zipfian sampler needs at least one item")
+        if exponent < 0:
+            raise ValueError("zipf exponent must be non-negative")
+        self.items = list(items)
+        self.exponent = exponent
+        self._cumulative: list[float] = []
+        total = 0.0
+        for rank in range(1, len(self.items) + 1):
+            total += 1.0 / (rank ** exponent)
+            self._cumulative.append(total)
+
+    def weight(self, rank: int) -> float:
+        """The normalized probability of the item at 1-based ``rank``."""
+        return (1.0 / (rank ** self.exponent)) / self._cumulative[-1]
+
+    def sample(self, rng: DeterministicRandom):
+        draw = rng.uniform() * self._cumulative[-1]
+        index = bisect.bisect_right(self._cumulative, draw)
+        return self.items[min(index, len(self.items) - 1)]
+
+
+@dataclass(frozen=True)
+class DeviceMix:
+    """A weighted mix of device classes (weights need not sum to 1)."""
+
+    weights: tuple[tuple[str, float], ...]
+
+    def __post_init__(self) -> None:
+        total = sum(weight for _device, weight in self.weights)
+        if total <= 0:
+            raise ValueError("device mix needs positive total weight")
+        for device, _weight in self.weights:
+            if device not in DEVICE_AGENTS:
+                raise ValueError(f"unknown device class {device!r}")
+
+    def sample(self, rng: DeterministicRandom) -> tuple[str, str]:
+        """(device class, user agent) for one request."""
+        total = sum(weight for _device, weight in self.weights)
+        draw = rng.uniform() * total
+        running = 0.0
+        for device, weight in self.weights:
+            running += weight
+            if draw < running:
+                return device, DEVICE_AGENTS[device]
+        device = self.weights[-1][0]
+        return device, DEVICE_AGENTS[device]
+
+
+@dataclass
+class SessionPool:
+    """Session churn: returning visitors with a fresh-arrival rate.
+
+    Each draw either re-uses a live session (a returning device with
+    its cookie jar intact) or, with probability ``churn``, starts a new
+    one; the pool is bounded so long scenarios recycle identities the
+    way a real audience does.
+    """
+
+    churn: float = 0.2
+    max_sessions: int = 64
+    _live: list[str] = field(default_factory=list)
+    _minted: int = 0
+
+    def next_session(self, rng: DeterministicRandom) -> str:
+        fresh = not self._live or rng.uniform() < self.churn
+        if fresh and len(self._live) < self.max_sessions:
+            self._minted += 1
+            name = f"s{self._minted:05d}"
+            self._live.append(name)
+            return name
+        return rng.choice(self._live)
+
+    @property
+    def minted(self) -> int:
+        return self._minted
+
+
+@dataclass(frozen=True)
+class BotMix:
+    """Crawler share of the traffic.
+
+    Bots never keep cookies (every hit is a fresh session) and crawl
+    the population's long tail uniformly instead of by popularity.
+    """
+
+    fraction: float = 0.0
+    user_agent: str = BOT_UA
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.fraction <= 1.0:
+            raise ValueError("bot fraction must be within [0, 1]")
+
+    def is_bot(self, rng: DeterministicRandom) -> bool:
+        return self.fraction > 0 and rng.uniform() < self.fraction

@@ -50,15 +50,25 @@ def hierarchical_navigation_spec(origins, clock) -> AdaptationSpec:
     return _example_globals("hierarchical_navigation.py")["build_spec"]()
 
 
+def news_mobilization_spec(origins, clock) -> AdaptationSpec:
+    return _example_globals("news_mobilization.py")["build_spec"]()
+
+
 SPEC_CASES = [
     ("standard", standard_spec),
     ("forum_mobilization", forum_mobilization_spec),
     ("hierarchical_navigation", hierarchical_navigation_spec),
+    ("news_mobilization", news_mobilization_spec),
 ]
 
 
 def subpage_ids(spec: AdaptationSpec) -> list[str]:
-    """Every navigable subpage id the spec defines, in spec order."""
+    """Every navigable subpage id the spec defines, in spec order.
+
+    ``paginate`` bindings mint their page ids at adaptation time
+    (``{subpage_id}-p2..pK``), so only the statically declared ids are
+    listed here; the news adaptation suite walks the minted pages.
+    """
     return [
         binding.param("subpage_id")
         for binding in spec.bindings

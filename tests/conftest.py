@@ -10,10 +10,12 @@ from repro.net.cookies import CookieJar
 from repro.sim.clock import Clock
 from repro.sites.classifieds.app import ClassifiedsApplication
 from repro.sites.forum.app import ForumApplication
+from repro.sites.news.app import NewsApplication
 
 FORUM_HOST = "www.sawmillcreek.org"
 PROXY_HOST = "m.sawmillcreek.org"
 CLASSIFIEDS_HOST = "portland.craigslist.org"
+NEWS_HOST = "www.metroherald.com"
 
 
 @pytest.fixture(scope="session")
@@ -27,14 +29,23 @@ def classifieds_app():
     return ClassifiedsApplication()
 
 
+@pytest.fixture(scope="session")
+def news_app():
+    return NewsApplication()
+
+
 @pytest.fixture()
 def clock():
     return Clock()
 
 
 @pytest.fixture()
-def origins(forum_app, classifieds_app):
-    return {FORUM_HOST: forum_app, CLASSIFIEDS_HOST: classifieds_app}
+def origins(forum_app, classifieds_app, news_app):
+    return {
+        FORUM_HOST: forum_app,
+        CLASSIFIEDS_HOST: classifieds_app,
+        NEWS_HOST: news_app,
+    }
 
 
 @pytest.fixture()

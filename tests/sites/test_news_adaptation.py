@@ -1,0 +1,238 @@
+"""News mobilization end-to-end: windowing, pagination, cluster
+conformance, and the response fast path.
+
+The news family exists to exercise two adaptations the forum never
+triggers — feed windowing with an AJAX more-link and pagination
+splitting — so this suite pins down their adapted output, proves a
+2-worker fleet serves byte-identical responses, and walks the fast
+path's store/hit/invalidate cycle on the storable (AJAX-free) variant.
+"""
+
+import pytest
+
+from repro.cluster import ClusterDeployment
+from repro.core.codegen import generate_proxy_source, load_generated_proxy
+from repro.core.pipeline import ProxyServices
+from repro.core.proxy import MSiteProxy
+from repro.net.client import HttpClient
+from repro.net.cookies import CookieJar
+from repro.sim.clock import Clock
+from repro.sites.news.data import ARTICLES_PER_SECTION, FEED_BATCH
+from repro.sites.news.spec import (
+    FEED_WINDOW_ITEMS,
+    headline_page_ids,
+    news_fastpath_spec,
+    news_section_spec,
+)
+
+MOBILE_HOST = "m.metroherald.com"
+
+PHONE_UA = (
+    "Mozilla/5.0 (iPhone; U; CPU iPhone OS 4_0 like Mac OS X; en-us) "
+    "AppleWebKit/532.9 (KHTML, like Gecko) Version/4.0.5 Mobile/8A293 "
+    "Safari/6531.22.7"
+)
+DESKTOP_UA = (
+    "Mozilla/5.0 (Windows NT 6.0; WOW64) AppleWebKit/535.19 "
+    "(KHTML, like Gecko) Chrome/18.0.1025.162 Safari/535.19"
+)
+
+# The adapted news surface: entry, both minted headline pages, the
+# sidebar subpage, then every infinite-scroll batch to exhaustion.
+SURFACE = (
+    "proxy.php",
+    "proxy.php?page=headlines-p2",
+    "proxy.php?page=headlines-p3",
+    "proxy.php?page=about",
+    "proxy.php?action=1&p=6",
+    "proxy.php?action=1&p=14",
+    "proxy.php?action=1&p=22",
+)
+
+
+def _single_proxy(origins, clock):
+    services = ProxyServices(origins=origins, clock=clock)
+    return MSiteProxy(
+        news_section_spec(), services, proxy_base="proxy.php"
+    )
+
+
+def _client(app, clock):
+    return HttpClient({MOBILE_HOST: app}, jar=CookieJar(), clock=clock)
+
+
+def _url(path: str) -> str:
+    return f"http://{MOBILE_HOST}/{path}"
+
+
+# -- adapted entry: windowing + pagination ---------------------------------
+
+
+class TestAdaptedSection:
+    @pytest.fixture()
+    def mobile(self, origins, clock):
+        return _client(_single_proxy(origins, clock), clock)
+
+    def test_feed_is_windowed_with_a_proxy_more_link(self, mobile):
+        body = mobile.get(_url("proxy.php")).text_body
+        assert body.count('class="teaser"') == FEED_WINDOW_ITEMS
+        # The origin's scroll machinery is gone...
+        assert "feedScroll" not in body
+        assert 'id="feedmore"' not in body
+        # ...replaced by a static link to the rewritten AJAX action.
+        assert 'class="msite-feed-more"' in body
+        assert f"proxy.php?action=1&amp;p={FEED_WINDOW_ITEMS}" in body
+
+    def test_headlines_split_across_minted_pages(self, mobile):
+        entry = mobile.get(_url("proxy.php")).text_body
+        per_page = 6
+        non_lead = ARTICLES_PER_SECTION - 1
+        assert entry.count('class="headline"') == per_page
+        assert "page 2 of 3" in entry
+        counted = entry.count('class="headline"')
+        for page_id in headline_page_ids():
+            page = mobile.get(_url(f"proxy.php?page={page_id}")).text_body
+            assert 'class="msite-paginated"' in page
+            counted += page.count('class="headline"')
+        assert counted == non_lead  # every non-lead story lands somewhere
+
+    def test_pagination_nav_links_chain(self, mobile):
+        p2 = mobile.get(_url("proxy.php?page=headlines-p2")).text_body
+        assert 'class="msite-paginate-nav"' in p2
+        assert "headlines-p3" in p2
+        p3 = mobile.get(_url("proxy.php?page=headlines-p3")).text_body
+        assert "headlines-p2" in p3
+
+    def test_sidebar_detached_to_subpage(self, mobile):
+        entry = mobile.get(_url("proxy.php")).text_body
+        assert 'id="sidebar"' not in entry
+        about = mobile.get(_url("proxy.php?page=about")).text_body
+        assert "About this desk" in about
+
+    def test_feed_actions_page_through_then_end(self, mobile):
+        mobile.get(_url("proxy.php"))  # registers the feed action
+        first = mobile.get(_url("proxy.php?action=1&p=6"))
+        assert first.status == 200
+        assert first.text_body.count('class="teaser"') == FEED_BATCH
+        last = mobile.get(_url("proxy.php?action=1&p=14")).text_body
+        assert last.count('class="teaser"') == ARTICLES_PER_SECTION - 14
+        done = mobile.get(_url("proxy.php?action=1&p=22")).text_body
+        assert 'class="feed-end"' in done
+
+
+# -- single proxy vs 2-worker cluster --------------------------------------
+
+
+def test_two_worker_cluster_matches_single_proxy(origins):
+    spec = news_section_spec()
+    module = load_generated_proxy(generate_proxy_source(spec))
+
+    single_clock = Clock()
+    single = module.create_proxy(
+        ProxyServices(origins=origins, clock=single_clock)
+    )
+    single_client = _client(single, single_clock)
+
+    cluster_clock = Clock()
+    with ClusterDeployment(
+        origins=origins,
+        workers=2,
+        clock=cluster_clock,
+        site=spec.site,
+        make_app=lambda services: module.create_proxy(services),
+    ) as cluster:
+        cluster_client = _client(cluster, cluster_clock)
+        workers_seen = set()
+        for path in SURFACE:
+            for user_agent in (PHONE_UA, DESKTOP_UA):
+                expected = single_client.get(
+                    _url(path), User_Agent=user_agent
+                )
+                actual = cluster_client.get(
+                    _url(path), User_Agent=user_agent
+                )
+                workers_seen.add(actual.headers.get("X-MSite-Worker"))
+                assert actual.status == expected.status, path
+                assert actual.body == expected.body, (
+                    f"cluster output diverged on {path}"
+                )
+        assert len(workers_seen - {None}) == 2, workers_seen
+
+
+def test_cluster_refresh_keeps_equality(origins):
+    spec = news_section_spec()
+    module = load_generated_proxy(generate_proxy_source(spec))
+
+    single_clock = Clock()
+    single = module.create_proxy(
+        ProxyServices(origins=origins, clock=single_clock)
+    )
+    single_client = _client(single, single_clock)
+
+    cluster_clock = Clock()
+    with ClusterDeployment(
+        origins=origins,
+        workers=2,
+        clock=cluster_clock,
+        site=spec.site,
+        make_app=lambda services: module.create_proxy(services),
+    ) as cluster:
+        cluster_client = _client(cluster, cluster_clock)
+        for path in ("proxy.php", "proxy.php?refresh=1", "proxy.php"):
+            expected = single_client.get(_url(path), User_Agent=PHONE_UA)
+            actual = cluster_client.get(_url(path), User_Agent=PHONE_UA)
+            assert actual.body == expected.body, path
+        assert cluster.shared_cache.bus.published("refresh") >= 1
+
+
+# -- the storable (AJAX-free) variant on the fast path ---------------------
+
+
+class TestNewsFastpath:
+    @pytest.fixture()
+    def proxy(self, origins, clock):
+        services = ProxyServices(origins=origins, clock=clock)
+        return MSiteProxy(
+            news_fastpath_spec(), services, proxy_base="proxy.php"
+        )
+
+    def _counter(self, proxy, name):
+        return proxy.services.observability.registry.counter(
+            f"msite_fastpath_{name}_total"
+        ).value
+
+    def test_fastpath_variant_keeps_origin_feed_link(self, proxy, clock):
+        body = _client(proxy, clock).get(_url("proxy.php")).text_body
+        assert body.count('class="teaser"') == FEED_WINDOW_ITEMS
+        # No ajax_rewrite: the more-link still points at the origin call.
+        assert "feed.php?do=feed_tech&amp;id=6" in body
+        assert "proxy.php?action=" not in body
+
+    def test_store_hit_and_refresh_invalidation(self, proxy, clock):
+        # Fresh sessions throughout: a returning session replays its own
+        # adapted state and never consults the bundle cache.
+        first = _client(proxy, clock).get(_url("proxy.php"))
+        assert first.status == 200
+        assert self._counter(proxy, "stores") == 1
+        assert self._counter(proxy, "hits") == 0
+
+        second = _client(proxy, clock).get(_url("proxy.php"))
+        assert second.body == first.body
+        assert self._counter(proxy, "hits") == 1
+
+        refreshed = _client(proxy, clock).get(_url("proxy.php?refresh=1"))
+        assert refreshed.status == 200
+        # The refresh bypassed replay and re-stored the bundle.
+        assert self._counter(proxy, "hits") == 1
+        assert self._counter(proxy, "stores") == 2
+
+        third = _client(proxy, clock).get(_url("proxy.php"))
+        assert third.status == 200
+        assert self._counter(proxy, "hits") == 2
+
+    def test_fresh_session_still_hits_the_shared_bundle(
+        self, proxy, clock
+    ):
+        _client(proxy, clock).get(_url("proxy.php"))
+        _client(proxy, clock).get(_url("proxy.php"))
+        assert self._counter(proxy, "hits") == 1

@@ -18,6 +18,7 @@ EXAMPLES = [
     "attribute_tour.py",
     "device_timing.py",
     "scalability_demo.py",
+    "news_mobilization.py",
 ]
 
 

@@ -1,0 +1,100 @@
+"""Arrival processes: shapes, bounds, and determinism."""
+
+import pytest
+
+from repro.sim.rng import DeterministicRandom
+from repro.workload.arrivals import ClosedLoop, Diurnal, FlashCrowd, Poisson
+
+
+def test_closed_loop_has_no_schedule():
+    times = ClosedLoop(requests=7).times(DeterministicRandom(1))
+    assert times == [None] * 7
+
+
+def test_closed_loop_negative_requests_clamp_to_empty():
+    assert ClosedLoop(requests=-3).times(DeterministicRandom(1)) == []
+
+
+def test_poisson_count_tracks_rate():
+    process = Poisson(rate_rps=50.0, duration_s=40.0)
+    times = process.times(DeterministicRandom(0xA))
+    expected = process.rate_rps * process.duration_s
+    assert 0.85 * expected <= len(times) <= 1.15 * expected
+    assert times == sorted(times)
+    assert all(0.0 <= t < process.duration_s for t in times)
+
+
+def test_poisson_zero_duration_is_empty():
+    assert Poisson(rate_rps=10.0, duration_s=0.0).times(
+        DeterministicRandom(2)
+    ) == []
+    assert Poisson(rate_rps=0.0, duration_s=10.0).times(
+        DeterministicRandom(2)
+    ) == []
+
+
+def test_flash_crowd_rate_curve_is_piecewise():
+    crowd = FlashCrowd(
+        base_rps=10.0, peak_rps=100.0, ramp_s=10.0, hold_s=5.0,
+        duration_s=30.0,
+    )
+    assert crowd.rate_at(0.0) == pytest.approx(10.0)
+    assert crowd.rate_at(5.0) == pytest.approx(55.0)
+    assert crowd.rate_at(10.0) == pytest.approx(100.0)
+    assert crowd.rate_at(12.0) == pytest.approx(100.0)
+    assert crowd.rate_at(30.0) == pytest.approx(10.0)
+
+
+def test_flash_crowd_never_exceeds_peak_rate():
+    crowd = FlashCrowd(
+        base_rps=5.0, peak_rps=40.0, ramp_s=5.0, hold_s=5.0,
+        duration_s=20.0,
+    )
+    times = crowd.times(DeterministicRandom(0xB))
+    assert times, "a flash crowd should produce arrivals"
+    floor_gap = 1.0 / crowd.peak_rps
+    gaps = [b - a for a, b in zip(times, times[1:])]
+    assert min(gaps) >= floor_gap - 1e-12
+    assert times[-1] < crowd.duration_s
+
+
+def test_flash_crowd_degenerate_ramp_and_tail():
+    crowd = FlashCrowd(
+        base_rps=8.0, peak_rps=8.0, ramp_s=0.0, hold_s=20.0,
+        duration_s=20.0,
+    )
+    assert crowd.rate_at(0.0) == pytest.approx(8.0)
+    assert crowd.rate_at(19.0) == pytest.approx(8.0)
+
+
+def test_flash_crowd_peak_below_base_rejected():
+    crowd = FlashCrowd(
+        base_rps=9.0, peak_rps=4.0, ramp_s=1.0, hold_s=1.0, duration_s=5.0
+    )
+    with pytest.raises(ValueError):
+        crowd.rate_at(0.5)
+
+
+def test_diurnal_trough_and_peak():
+    day = Diurnal(
+        mean_rps=10.0, duration_s=100.0, period_s=100.0,
+        trough_fraction=0.2,
+    )
+    assert day.rate_at(0.0) == pytest.approx(2.0)  # trough = 20% of mean
+    assert day.rate_at(50.0) == pytest.approx(18.0)  # midday peak
+    times = day.times(DeterministicRandom(0xC))
+    assert times == sorted(times)
+    # More arrivals in the busy half than the quiet quarter-windows.
+    quiet = sum(1 for t in times if t < 25.0)
+    busy = sum(1 for t in times if 37.5 <= t < 62.5)
+    assert busy > quiet
+
+
+def test_same_seed_same_arrivals():
+    process = Poisson(rate_rps=20.0, duration_s=10.0)
+    assert process.times(DeterministicRandom(7)) == process.times(
+        DeterministicRandom(7)
+    )
+    assert process.times(DeterministicRandom(7)) != process.times(
+        DeterministicRandom(8)
+    )

@@ -1,0 +1,157 @@
+"""Engine replay: small scenarios against a real cluster deployment."""
+
+import json
+
+import pytest
+
+from repro.sim.clock import Clock
+from repro.workload.arrivals import ClosedLoop, Poisson
+from repro.workload.engine import (
+    _percentile,
+    _SimClockPacer,
+    build_scenario_origins,
+    build_scenario_spec,
+    format_report,
+    run_scenario,
+)
+from repro.workload.population import DeviceMix
+from repro.workload.scenarios import (
+    NEWS_SURFACE,
+    Scenario,
+    _BUILDERS,
+)
+
+
+def _tiny_news(smoke: bool = True) -> Scenario:
+    return Scenario(
+        name="tiny-news",
+        site="news",
+        description="engine test: a short open burst on the news front",
+        arrivals=Poisson(rate_rps=20.0, duration_s=1.2),
+        surface=NEWS_SURFACE[:3],
+        zipf_exponent=1.1,
+        devices=DeviceMix((("phone", 0.7), ("tablet", 0.3))),
+        churn=0.4,
+        max_sessions=8,
+        bot_fraction=0.25,
+        seed=0x7E57_01,
+    )
+
+
+def _tiny_forum() -> Scenario:
+    return Scenario(
+        name="tiny-forum",
+        site="forum",
+        description="engine test: a short closed loop on the forum",
+        arrivals=ClosedLoop(requests=8),
+        surface=("proxy.php", "proxy.php?page=forums", "proxy.php?page=nav"),
+        zipf_exponent=None,
+        devices=DeviceMix((("phone", 1.0),)),
+        churn=0.2,
+        max_sessions=4,
+        bot_fraction=0.0,
+        seed=0x7E57_02,
+        requests=8,
+    )
+
+
+def test_news_scenario_runs_clean_at_warm_cache():
+    scenario = _tiny_news()
+    report = run_scenario(scenario, workers=1, client_threads=4)
+    assert report.scenario == "tiny-news"
+    assert report.site == "news"
+    assert report.workers == 1
+    assert report.completed == report.requests == len(
+        scenario.build_trace()
+    )
+    assert report.non_degraded_5xx == 0
+    assert report.error_rate == 0.0
+    assert set(report.statuses) == {200}
+    assert 0.0 < report.p50_ms <= report.p99_ms
+    assert report.throughput_rps > 0.0
+    assert report.sim_duration_s > 0.0  # the pacer drove the sim clock
+    assert report.fingerprint == scenario.fingerprint(1)
+
+
+def test_forum_scenario_with_seed_override_and_two_workers():
+    report = run_scenario(_tiny_forum(), workers=2, seed=99)
+    assert report.seed == 99
+    assert report.workers == 2
+    assert report.completed == 8
+    assert report.non_degraded_5xx == 0
+    assert set(report.statuses) == {200}
+    assert report.sim_duration_s == 0.0  # closed loop: no schedule
+
+
+def test_named_scenario_lookup_path(monkeypatch):
+    monkeypatch.setitem(_BUILDERS, "tiny-news", _tiny_news)
+    report = run_scenario("tiny-news", workers=1, client_threads=2)
+    assert report.scenario == "tiny-news"
+    assert report.non_degraded_5xx == 0
+
+
+def test_bench_row_is_json_serializable():
+    report = run_scenario(_tiny_forum(), workers=1, client_threads=2)
+    row = report.bench_row()
+    payload = json.loads(json.dumps(row))
+    assert payload["scenario"] == "tiny-forum"
+    assert payload["workers"] == 1
+    assert payload["statuses"] == {"200": 8}
+    assert payload["non_degraded_5xx"] == 0
+
+
+def test_spec_and_origin_builders_reject_unknown_sites():
+    stranger = Scenario(
+        name="x",
+        site="wiki",
+        description="",
+        arrivals=ClosedLoop(requests=1),
+        surface=("proxy.php",),
+        zipf_exponent=None,
+        devices=DeviceMix((("phone", 1.0),)),
+        churn=0.0,
+        max_sessions=1,
+        bot_fraction=0.0,
+        seed=1,
+    )
+    with pytest.raises(ValueError):
+        build_scenario_spec(stranger)
+    with pytest.raises(ValueError):
+        build_scenario_origins(stranger)
+
+
+def test_spec_builders_cover_both_site_families():
+    forum_spec = build_scenario_spec(_tiny_forum())
+    assert any(b.attribute == "ajax_rewrite" for b in forum_spec.bindings)
+    news_spec = build_scenario_spec(_tiny_news())
+    assert any(b.attribute == "feed_window" for b in news_spec.bindings)
+    assert set(build_scenario_origins(_tiny_forum()))
+    assert set(build_scenario_origins(_tiny_news()))
+
+
+def test_pacer_never_rewinds_the_clock():
+    clock = Clock()
+    pacer = _SimClockPacer(clock)
+    pacer.advance_to(5.0)
+    assert clock.now == 5.0
+    pacer.advance_to(3.0)  # stale arrival: skip, don't rewind
+    assert clock.now == 5.0
+    pacer.advance_to(None)  # closed-loop arrival: no schedule
+    assert clock.now == 5.0
+
+
+def test_percentile_handles_empty_and_extremes():
+    assert _percentile([], 0.99) == 0.0
+    assert _percentile([4.0], 0.5) == 4.0
+    samples = [float(n) for n in range(1, 101)]
+    assert _percentile(samples, 0.0) == 1.0
+    assert _percentile(samples, 1.0) == 100.0
+    assert _percentile(samples, 0.5) == pytest.approx(50.0, abs=1.0)
+
+
+def test_format_report_is_readable():
+    report = run_scenario(_tiny_forum(), workers=1, client_threads=2)
+    text = format_report(report)
+    assert "tiny-forum" in text
+    assert "p99" in text
+    assert "non-degraded 5xx" in text

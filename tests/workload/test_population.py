@@ -1,0 +1,129 @@
+"""Population models: popularity, devices, sessions, bots."""
+
+import pytest
+
+from repro.sim.rng import DeterministicRandom
+from repro.workload.population import (
+    BOT_UA,
+    DEVICE_AGENTS,
+    BotMix,
+    DeviceMix,
+    SessionPool,
+    ZipfianSampler,
+)
+
+
+class TestZipfianSampler:
+    def test_rejects_empty_and_negative_exponent(self):
+        with pytest.raises(ValueError):
+            ZipfianSampler([])
+        with pytest.raises(ValueError):
+            ZipfianSampler(["a"], exponent=-0.5)
+
+    def test_weights_are_normalized_and_rank_ordered(self):
+        sampler = ZipfianSampler(list("abcde"), exponent=1.2)
+        weights = [sampler.weight(r) for r in range(1, 6)]
+        assert sum(weights) == pytest.approx(1.0)
+        assert weights == sorted(weights, reverse=True)
+        assert weights[0] > weights[1]
+
+    def test_zero_exponent_is_uniform(self):
+        sampler = ZipfianSampler(list("abcd"), exponent=0.0)
+        for rank in range(1, 5):
+            assert sampler.weight(rank) == pytest.approx(0.25)
+
+    def test_sampling_reaches_every_item_and_is_deterministic(self):
+        items = list(range(6))
+        sampler = ZipfianSampler(items, exponent=1.0)
+        rng = DeterministicRandom(0x51)
+        draws = [sampler.sample(rng) for _ in range(600)]
+        assert set(draws) == set(items)
+        rng2 = DeterministicRandom(0x51)
+        assert draws == [sampler.sample(rng2) for _ in range(600)]
+
+    def test_head_dominates_tail(self):
+        sampler = ZipfianSampler(list(range(10)), exponent=1.4)
+        rng = DeterministicRandom(0x52)
+        draws = [sampler.sample(rng) for _ in range(2000)]
+        assert draws.count(0) > draws.count(9) * 3
+
+
+class TestDeviceMix:
+    def test_rejects_unknown_class_and_empty_weight(self):
+        with pytest.raises(ValueError):
+            DeviceMix((("toaster", 1.0),))
+        with pytest.raises(ValueError):
+            DeviceMix((("phone", 0.0),))
+
+    def test_sample_returns_registered_agent(self):
+        mix = DeviceMix((("phone", 0.5), ("desktop", 0.5)))
+        rng = DeterministicRandom(0x53)
+        for _ in range(50):
+            device, agent = mix.sample(rng)
+            assert device in ("phone", "desktop")
+            assert agent == DEVICE_AGENTS[device]
+
+    def test_weights_shape_the_draw(self):
+        mix = DeviceMix((("phone", 0.9), ("tablet", 0.1)))
+        rng = DeterministicRandom(0x54)
+        devices = [mix.sample(rng)[0] for _ in range(1000)]
+        assert devices.count("phone") > 800
+        assert devices.count("tablet") > 0
+
+    def test_single_class_always_wins(self):
+        mix = DeviceMix((("tablet", 2.0),))
+        rng = DeterministicRandom(0x55)
+        assert all(
+            mix.sample(rng)[0] == "tablet" for _ in range(20)
+        )
+
+
+class TestSessionPool:
+    def test_first_draw_always_mints(self):
+        pool = SessionPool(churn=0.0, max_sessions=4)
+        rng = DeterministicRandom(0x56)
+        first = pool.next_session(rng)
+        assert first == "s00001"
+        assert pool.minted == 1
+
+    def test_zero_churn_reuses_the_only_session(self):
+        pool = SessionPool(churn=0.0, max_sessions=8)
+        rng = DeterministicRandom(0x57)
+        sessions = {pool.next_session(rng) for _ in range(40)}
+        assert sessions == {"s00001"}
+
+    def test_full_churn_mints_until_capacity_then_recycles(self):
+        pool = SessionPool(churn=1.0, max_sessions=5)
+        rng = DeterministicRandom(0x58)
+        seen = [pool.next_session(rng) for _ in range(30)]
+        assert pool.minted == 5
+        assert set(seen) == {f"s{n:05d}" for n in range(1, 6)}
+
+    def test_moderate_churn_mixes_new_and_returning(self):
+        pool = SessionPool(churn=0.3, max_sessions=64)
+        rng = DeterministicRandom(0x59)
+        draws = [pool.next_session(rng) for _ in range(200)]
+        assert 1 < pool.minted < 200
+        assert len(draws) > len(set(draws))  # some visitors returned
+
+
+class TestBotMix:
+    def test_fraction_bounds_enforced(self):
+        with pytest.raises(ValueError):
+            BotMix(fraction=-0.1)
+        with pytest.raises(ValueError):
+            BotMix(fraction=1.5)
+
+    def test_extremes(self):
+        rng = DeterministicRandom(0x5A)
+        never = BotMix(fraction=0.0)
+        always = BotMix(fraction=1.0)
+        assert not any(never.is_bot(rng) for _ in range(50))
+        assert all(always.is_bot(rng) for _ in range(50))
+
+    def test_mixed_fraction_and_default_agent(self):
+        mix = BotMix(fraction=0.5)
+        assert mix.user_agent == BOT_UA
+        rng = DeterministicRandom(0x5B)
+        flags = [mix.is_bot(rng) for _ in range(400)]
+        assert 100 < sum(flags) < 300

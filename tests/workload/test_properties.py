@@ -1,0 +1,88 @@
+"""Property tests pinning the workload engine's contracts.
+
+Three invariants from the issue checklist:
+
+* same seed ⇒ byte-identical trace (reproducibility);
+* Zipfian empirical frequencies track the configured exponent;
+* a flash crowd never exceeds its configured peak rate.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.rng import DeterministicRandom
+from repro.workload.arrivals import FlashCrowd, Poisson
+from repro.workload.population import ZipfianSampler
+from repro.workload.scenarios import get_scenario, scenario_names
+
+
+@given(
+    name=st.sampled_from(scenario_names()),
+    seed=st.integers(min_value=1, max_value=2**48),
+)
+@settings(max_examples=15)
+def test_same_seed_means_identical_trace(name, seed):
+    scenario = get_scenario(name, smoke=True)
+    first = scenario.build_trace(seed=seed)
+    second = scenario.build_trace(seed=seed)
+    assert first == second
+
+
+@given(
+    exponent=st.floats(min_value=0.6, max_value=1.8),
+    seed=st.integers(min_value=1, max_value=2**32),
+)
+@settings(max_examples=20, deadline=None)
+def test_zipf_frequencies_match_exponent(exponent, seed):
+    items = list(range(6))
+    sampler = ZipfianSampler(items, exponent=exponent)
+    rng = DeterministicRandom(seed)
+    draws = 4000
+    counts = [0] * len(items)
+    for _ in range(draws):
+        counts[sampler.sample(rng)] += 1
+    for rank in (1, 2, len(items)):
+        expected = sampler.weight(rank)
+        observed = counts[rank - 1] / draws
+        assert abs(observed - expected) < 0.05
+
+
+@given(
+    base=st.floats(min_value=0.5, max_value=20.0),
+    boost=st.floats(min_value=0.0, max_value=80.0),
+    ramp=st.floats(min_value=0.0, max_value=10.0),
+    hold=st.floats(min_value=0.0, max_value=10.0),
+    tail=st.floats(min_value=0.0, max_value=10.0),
+    seed=st.integers(min_value=1, max_value=2**32),
+)
+@settings(max_examples=25, deadline=None)
+def test_flash_crowd_never_exceeds_peak(base, boost, ramp, hold, tail, seed):
+    crowd = FlashCrowd(
+        base_rps=base,
+        peak_rps=base + boost,
+        ramp_s=ramp,
+        hold_s=hold,
+        duration_s=ramp + hold + tail + 1.0,
+    )
+    times = crowd.times(DeterministicRandom(seed))
+    floor_gap = 1.0 / crowd.peak_rps
+    for earlier, later in zip(times, times[1:]):
+        # Gap floor <=> instantaneous rate bounded by the peak.
+        assert later - earlier >= floor_gap - 1e-9
+    for t in times:
+        assert 0.0 <= t < crowd.duration_s
+        assert crowd.rate_at(t) <= crowd.peak_rps + 1e-9
+
+
+@given(
+    rate=st.floats(min_value=1.0, max_value=50.0),
+    duration=st.floats(min_value=1.0, max_value=30.0),
+    seed=st.integers(min_value=1, max_value=2**32),
+)
+@settings(max_examples=15, deadline=None)
+def test_poisson_schedule_is_sorted_and_in_range(rate, duration, seed):
+    times = Poisson(rate_rps=rate, duration_s=duration).times(
+        DeterministicRandom(seed)
+    )
+    assert times == sorted(times)
+    assert all(0.0 <= t < duration for t in times)

@@ -1,0 +1,119 @@
+"""Named scenarios: registry, trace compilation, reproducibility."""
+
+import json
+
+import pytest
+
+from repro.workload.scenarios import (
+    FORUM_SURFACE,
+    NEWS_SURFACE,
+    get_scenario,
+    scenario_names,
+)
+
+ALL_NAMES = [
+    "bot-storm",
+    "flash-crowd",
+    "mixed-devices",
+    "uniform-forum",
+    "zipf-news",
+]
+
+
+def test_registry_lists_the_five_scenarios_sorted():
+    assert scenario_names() == ALL_NAMES
+
+
+def test_unknown_scenario_names_the_alternatives():
+    with pytest.raises(KeyError, match="zipf-news"):
+        get_scenario("nope")
+
+
+@pytest.mark.parametrize("name", ALL_NAMES)
+def test_same_seed_same_trace(name):
+    scenario = get_scenario(name, smoke=True)
+    assert scenario.build_trace() == scenario.build_trace()
+    assert scenario.build_trace(seed=1) != scenario.build_trace(seed=2)
+
+
+@pytest.mark.parametrize("name", ALL_NAMES)
+def test_smoke_variant_is_smaller(name):
+    smoke = get_scenario(name, smoke=True)
+    full = get_scenario(name, smoke=False)
+    assert len(smoke.build_trace()) < len(full.build_trace())
+
+
+@pytest.mark.parametrize("name", ALL_NAMES)
+def test_trace_paths_stay_on_the_surface(name):
+    scenario = get_scenario(name, smoke=True)
+    surface = set(scenario.surface)
+    trace = scenario.build_trace()
+    assert trace, "every scenario should plan some traffic"
+    assert all(planned.path in surface for planned in trace)
+    assert [planned.index for planned in trace] == list(range(len(trace)))
+
+
+def test_closed_loop_trace_has_no_timestamps():
+    trace = get_scenario("uniform-forum", smoke=True).build_trace()
+    assert all(planned.at_s is None for planned in trace)
+    # No Zipf exponent -> pages cycle the surface round-robin.
+    for planned in trace:
+        assert planned.path == FORUM_SURFACE[
+            planned.index % len(FORUM_SURFACE)
+        ]
+        assert planned.device == "phone"
+
+
+def test_open_trace_timestamps_are_sorted_and_bounded():
+    scenario = get_scenario("zipf-news", smoke=True)
+    times = [planned.at_s for planned in scenario.build_trace()]
+    assert all(t is not None for t in times)
+    assert times == sorted(times)
+    assert times[-1] < scenario.arrivals.duration_s
+
+
+def test_bot_storm_splits_bots_from_humans():
+    trace = get_scenario("bot-storm", smoke=True).build_trace()
+    bots = [planned for planned in trace if planned.bot]
+    humans = [planned for planned in trace if not planned.bot]
+    assert bots and humans
+    assert all(planned.session == "" for planned in bots)
+    assert all(planned.device == "bot" for planned in bots)
+    assert all("Googlebot" in planned.user_agent for planned in bots)
+    assert all(planned.session for planned in humans)
+    assert {planned.path for planned in trace} <= set(NEWS_SURFACE)
+
+
+def test_mixed_devices_uses_all_three_classes():
+    trace = get_scenario("mixed-devices", smoke=False).build_trace()
+    devices = {planned.device for planned in trace}
+    assert devices == {"phone", "tablet", "desktop"}
+
+
+def test_flash_crowd_defaults_to_a_two_worker_fleet():
+    assert get_scenario("flash-crowd").default_workers == 2
+
+
+@pytest.mark.parametrize("name", ALL_NAMES)
+def test_knobs_are_json_stable(name):
+    scenario = get_scenario(name, smoke=True)
+    knobs = scenario.knobs()
+    assert knobs["name"] == name
+    assert knobs["arrivals"]["kind"] in (
+        "ClosedLoop", "Poisson", "FlashCrowd", "Diurnal"
+    )
+    # Round-trips deterministically -> usable as a fingerprint payload.
+    first = json.dumps(knobs, sort_keys=True)
+    assert first == json.dumps(scenario.knobs(), sort_keys=True)
+
+
+def test_fingerprint_keys_on_config_and_fleet_size():
+    smoke = get_scenario("flash-crowd", smoke=True)
+    full = get_scenario("flash-crowd", smoke=False)
+    assert len(smoke.fingerprint(2)) == 12
+    assert int(smoke.fingerprint(2), 16) >= 0  # hex digest slice
+    assert smoke.fingerprint(2) != smoke.fingerprint(4)
+    assert smoke.fingerprint(2) != full.fingerprint(2)
+    assert smoke.fingerprint(2) == get_scenario(
+        "flash-crowd", smoke=True
+    ).fingerprint(2)

@@ -11,7 +11,9 @@ spans, breaker state, retry budgets), where untested lines are silent
 lies on the ``/metrics`` endpoint — plus ``repro.cluster``, whose
 routing/spill-over/rollup branches are exactly the lines that only
 matter when a worker is down or saturated (a per-package ``floor``
-raises its bar to 95%).
+raises its bar to 95%), and the workload layer (``repro.workload`` and
+``repro.sites.news``, both at 95%), whose determinism and 5xx
+accounting the scenario regression gate leans on.
 
 Usage:  python tools/check_observability_coverage.py [--floor 0.80]
 
@@ -93,6 +95,33 @@ PACKAGES = [
             "tests/cluster/test_deployment.py",
         ],
     },
+    {
+        # The scenario engine: trace compilation must be byte-stable
+        # and the replay loop honest about 5xx accounting, so the bar
+        # matches the cluster package.  The engine suite uses the tiny
+        # smoke scenarios (no pre-render) to stay inside the tracer
+        # budget.
+        "label": "repro.workload",
+        "dir": os.path.join(SRC_DIR, "repro", "workload"),
+        "floor": 0.95,
+        "suites": [
+            "tests/workload/test_arrivals.py",
+            "tests/workload/test_population.py",
+            "tests/workload/test_scenarios.py",
+            "tests/workload/test_properties.py",
+            "tests/workload/test_engine.py",
+        ],
+    },
+    {
+        # The news origin: the feed windowing / pagination surface the
+        # adaptation attributes cut against.
+        "label": "repro.sites.news",
+        "dir": os.path.join(SRC_DIR, "repro", "sites", "news"),
+        "floor": 0.95,
+        "suites": [
+            "tests/sites/test_news.py",
+        ],
+    },
 ]
 
 
@@ -104,13 +133,34 @@ def _package_files(pkg: dict) -> list[tuple[str, str]]:
         (name, os.path.join(pkg["dir"], name))
         for name in sorted(os.listdir(pkg["dir"]))
         if name.endswith(".py") and name != "__init__.py"
-        # The stdlib tracer's ignore cache is keyed by module
-        # *basename*: the first stdlib ``__init__.py`` under
-        # ``ignoredirs`` caches ``_ignore["__init__"] = 1`` and every
-        # later ``__init__.py`` — ours included — is then dropped.
-        # The package inits are pure re-exports, so they are excluded
-        # rather than reported as a spurious 0%.
+        # The package inits are pure re-exports; they are excluded so
+        # the floors measure behaviour, not import plumbing.
     ]
+
+
+class _RepoOnlyIgnore:
+    """Trace repository files only, keyed by full path.
+
+    The stdlib :class:`trace._Ignore` caches its verdict by module
+    *basename*: once a same-named module under ``ignoredirs`` is seen
+    (hypothesis's ``conjecture/engine.py``, any stdlib ``__init__.py``),
+    every later module with that basename — including ours — is dropped
+    and reports a spurious 0%.  Keying on the resolved path instead
+    also stops the tracer from line-counting third-party internals.
+    """
+
+    def __init__(self, root: str) -> None:
+        self._root = root.rstrip(os.sep) + os.sep
+        self._cache: dict[str, int] = {}
+
+    def names(self, filename: str, modname: str) -> int:
+        verdict = self._cache.get(filename)
+        if verdict is None:
+            verdict = int(
+                not os.path.abspath(filename).startswith(self._root)
+            )
+            self._cache[filename] = verdict
+        return verdict
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -132,11 +182,8 @@ def main(argv: list[str] | None = None) -> int:
     import pytest
 
     all_suites = [suite for pkg in PACKAGES for suite in pkg["suites"]]
-    tracer = trace_module.Trace(
-        count=1,
-        trace=0,
-        ignoredirs=[sys.prefix, sys.exec_prefix],
-    )
+    tracer = trace_module.Trace(count=1, trace=0)
+    tracer.ignore = _RepoOnlyIgnore(SRC_DIR)
     threading.settrace(tracer.globaltrace)
     try:
         exit_code = tracer.runfunc(

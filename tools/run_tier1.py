@@ -23,7 +23,11 @@ smoke (``msite bench-adapt --require-hits``), which exits non-zero if
 the warm forum workload never hits the adapted-response fast path,
 and runs the cluster smoke (``msite scalability --workers 2 --smoke``),
 which exits non-zero if a 2-worker fleet fails to beat one worker or
-ever renders the same (path, device) pair twice.
+ever renders the same (path, device) pair twice.  Finally it replays
+two workload scenarios in smoke mode (``msite workload --scenario
+flash-crowd --smoke`` and ``--scenario zipf-news --smoke``): each must
+finish with zero non-degraded 5xx at warm cache and within the p99
+budget, and each appends its bench row to ``BENCH_pipeline.json``.
 
 Exits non-zero when tests fail or a ceiling is breached, so CI and the
 pre-merge checklist can gate on one command.
@@ -178,6 +182,24 @@ def main(argv: list[str] | None = None) -> int:
     sys.stdout.write(cluster.stdout)
     if cluster.returncode != 0:
         failures.append(f"cluster smoke exited {cluster.returncode}")
+
+    # -- scenario smokes: a burst and a skewed news mix must finish with
+    #    zero non-degraded 5xx at warm cache and append their bench rows
+    for scenario in ("flash-crowd", "zipf-news"):
+        workload_command = [
+            sys.executable, "-m", "repro.cli", "workload",
+            "--scenario", scenario, "--smoke",
+        ]
+        print(f"\n$ {' '.join(workload_command)}")
+        workload = subprocess.run(
+            workload_command, cwd=REPO_ROOT, env=env,
+            stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+        )
+        sys.stdout.write(workload.stdout)
+        if workload.returncode != 0:
+            failures.append(
+                f"workload smoke ({scenario}) exited {workload.returncode}"
+            )
 
     print(f"\ntier-1 gate: suite finished in {elapsed:.1f}s")
     if failures:
