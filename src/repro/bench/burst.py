@@ -1,0 +1,402 @@
+"""The bursty (non-closed-loop) Figure 7 experiment: burst absorption.
+
+The paper's Figure 7 protocol is closed-loop — a fixed client
+population, next request when the last answer lands — which can never
+overload the system faster than it answers.  Real flash crowds are
+open-loop: arrivals keep coming whether or not the fleet is keeping up.
+This bench replays one seeded :class:`repro.workload.arrivals.FlashCrowd`
+schedule against two configurations of the same executor:
+
+* **inline** — the seed architecture: browser-marked requests render on
+  the request thread, holding a slot of the semaphore-bounded
+  :class:`~repro.browser.pool.BrowserPool`.  Under the burst the render
+  backlog parks every worker thread, the admission queue fills, and
+  arrivals bounce off admission control as 503s — thread starvation
+  made visible.
+* **farm** — the same requests submit their renders to a
+  :class:`~repro.renderfarm.RenderFarm` with a bounded wait.  Farm
+  backpressure (full queue, missed deadline) surfaces as a *degraded
+  200* with an ``X-MSite-Degraded`` marker — the ladder's stale rung —
+  so worker threads stay free, admission stays open, and the only 5xx
+  budget spent is zero.
+
+The acceptance criterion the tier-1 smoke and the full run pin: the
+farm side serves **zero non-degraded 5xx** while holding a bounded p99;
+the full run additionally requires the inline side to saturate
+admission (at least one 5xx) under the identical schedule, and
+merge-writes a ``renderfarm_burst`` section into BENCH_pipeline.json.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import asdict, dataclass, field
+from typing import Optional
+
+from repro.browser.pool import BrowserPool
+from repro.core.cache import PrerenderCache
+from repro.errors import AdmissionError, RenderFarmError
+from repro.net.messages import Request, Response
+from repro.net.server import Application
+from repro.observability.metrics import MetricsRegistry
+from repro.renderfarm import INTERACTIVE, RenderFarm, RenderKey
+from repro.runtime.executor import ConcurrentProxy
+from repro.sim.rng import DeterministicRandom
+from repro.workload.arrivals import FlashCrowd
+
+#: Marker header the farm app sets on backpressure-degraded responses,
+#: mirroring the proxy's degradation ladder convention.
+DEGRADED_HEADER = "X-MSite-Degraded"
+
+
+@dataclass
+class BurstConfig:
+    """One flash-crowd replay against one executor configuration."""
+
+    browser_fraction: float = 0.3  # acceptance floor is >= 0.2
+    base_rps: float = 40.0
+    peak_rps: float = 400.0
+    ramp_s: float = 1.0
+    hold_s: float = 2.0
+    duration_s: float = 5.0
+    # At the 400 rps peak, browser work arrives at 120 renders/s.  The
+    # inline pool (2 slots x 0.02s) caps at 100/s — it must fall behind
+    # — while the farm (4 consumers) caps at 200/s and keeps worker
+    # threads free, so only the bounded render wait is ever spent on a
+    # request thread.
+    workers: int = 8
+    queue_limit: int = 32
+    pool_size: int = 2
+    browser_service_s: float = 0.02
+    lightweight_service_s: float = 0.0
+    distinct_pages: int = 64
+    farm_consumers: int = 4
+    farm_queue_limit: int = 16
+    render_wait_s: float = 0.2
+    seed: int = 0xB065_7
+
+    def arrivals(self) -> list[float]:
+        crowd = FlashCrowd(
+            base_rps=self.base_rps,
+            peak_rps=self.peak_rps,
+            ramp_s=self.ramp_s,
+            hold_s=self.hold_s,
+            duration_s=self.duration_s,
+        )
+        return crowd.times(DeterministicRandom(self.seed))
+
+
+@dataclass
+class BurstResult:
+    """What one open-loop replay measured."""
+
+    mode: str  # "inline" | "farm"
+    offered: int
+    completed_200: int
+    degraded_200: int
+    rejected_5xx: int
+    other_5xx: int
+    non_degraded_5xx: int
+    renders: int
+    p50_ms: float
+    p99_ms: float
+    max_ms: float
+    wall_clock_s: float
+    queue_depth_peak: int
+    farm_coalesced: int = 0
+    farm_saturation_refusals: int = 0
+    farm_displaced: int = 0
+
+
+class _InlineRenderApplication(Application):
+    """The seed architecture: render on the request thread.
+
+    Browser-marked requests hold a pool slot for ``browser_service_s``
+    behind the single-flight cache — the exact configuration of the
+    closed-loop Figure 7 bench, now facing an open-loop burst.
+    """
+
+    def __init__(
+        self,
+        browser_service_s: float,
+        lightweight_service_s: float,
+        pool: BrowserPool,
+        cache: PrerenderCache,
+    ) -> None:
+        self.browser_service_s = browser_service_s
+        self.lightweight_service_s = lightweight_service_s
+        self.pool = pool
+        self.cache = cache
+        self.renders = 0
+        self._lock = threading.Lock()
+
+    def handle(self, request: Request) -> Response:
+        page = request.params.get("page", "p0")
+        if request.params.get("browser") == "1":
+
+            def _render() -> str:
+                with self.pool.instance(f"page-{page}"):
+                    if self.browser_service_s > 0:
+                        time.sleep(self.browser_service_s)
+                with self._lock:
+                    self.renders += 1
+                return page
+
+            self.cache.load_or_join(f"snap:{page}", _render)
+        elif self.lightweight_service_s > 0:
+            time.sleep(self.lightweight_service_s)
+        return Response.text("ok")
+
+
+class _FarmRenderApplication(Application):
+    """The farm-backed path: submit, wait bounded, degrade on refusal."""
+
+    def __init__(
+        self,
+        browser_service_s: float,
+        lightweight_service_s: float,
+        farm: RenderFarm,
+        render_wait_s: float,
+    ) -> None:
+        self.browser_service_s = browser_service_s
+        self.lightweight_service_s = lightweight_service_s
+        self.farm = farm
+        self.render_wait_s = render_wait_s
+        self.renders = 0
+        self.degraded = 0
+        self._lock = threading.Lock()
+
+    def handle(self, request: Request) -> Response:
+        page = request.params.get("page", "p0")
+        if request.params.get("browser") == "1":
+
+            def _render() -> str:
+                if self.browser_service_s > 0:
+                    time.sleep(self.browser_service_s)
+                with self._lock:
+                    self.renders += 1
+                return page
+
+            try:
+                self.farm.render(
+                    RenderKey("burst", f"/{page}"),
+                    _render,
+                    lane=INTERACTIVE,
+                    wait_s=self.render_wait_s,
+                )
+            except RenderFarmError:
+                # Backpressure: the ladder's stale rung, not a 5xx.
+                with self._lock:
+                    self.degraded += 1
+                response = Response.text("ok (degraded: stale snapshot)")
+                response.headers.set(DEGRADED_HEADER, "stale")
+                return response
+        elif self.lightweight_service_s > 0:
+            time.sleep(self.lightweight_service_s)
+        return Response.text("ok")
+
+
+def _percentile(sorted_values: list[float], fraction: float) -> float:
+    if not sorted_values:
+        return 0.0
+    index = min(
+        len(sorted_values) - 1, int(fraction * (len(sorted_values) - 1))
+    )
+    return sorted_values[index]
+
+
+def _replay(config: BurstConfig, mode: str) -> BurstResult:
+    """Dispatch the seeded schedule open-loop against one configuration."""
+    rng = DeterministicRandom(config.seed ^ 0x5EED)
+    arrivals = config.arrivals()
+    marked = [
+        rng.uniform() <= config.browser_fraction for _ in arrivals
+    ]
+    requests = [
+        Request.get(
+            "http://burst.local/"
+            f"?page=p{index % config.distinct_pages}"
+            f"&browser={'1' if needs_browser else '0'}"
+        )
+        for index, needs_browser in enumerate(marked)
+    ]
+
+    registry = MetricsRegistry()
+    farm: Optional[RenderFarm] = None
+    if mode == "farm":
+        farm = RenderFarm(
+            consumers=config.farm_consumers,
+            queue_limit=config.farm_queue_limit,
+            metrics=registry,
+            name="burst",
+        )
+        app: Application = _FarmRenderApplication(
+            browser_service_s=config.browser_service_s,
+            lightweight_service_s=config.lightweight_service_s,
+            farm=farm,
+            render_wait_s=config.render_wait_s,
+        )
+    else:
+        pool = BrowserPool(max_instances=config.pool_size)
+        cache = PrerenderCache()
+        app = _InlineRenderApplication(
+            browser_service_s=config.browser_service_s,
+            lightweight_service_s=config.lightweight_service_s,
+            pool=pool,
+            cache=cache,
+        )
+
+    statuses: dict[int, int] = {}
+    degraded = [0]
+    latencies: list[float] = []
+    record_lock = threading.Lock()
+
+    def _recorder(submitted_at: float):
+        def _record(future) -> None:
+            response = future.result()
+            elapsed = time.perf_counter() - submitted_at
+            with record_lock:
+                statuses[response.status] = (
+                    statuses.get(response.status, 0) + 1
+                )
+                if response.headers.get(DEGRADED_HEADER):
+                    degraded[0] += 1
+                latencies.append(elapsed)
+
+        return _record
+
+    with ConcurrentProxy(
+        app,
+        workers=config.workers,
+        queue_limit=config.queue_limit,
+        metrics=registry,
+    ) as executor:
+        futures = []
+        started = time.perf_counter()
+        for offset, request in zip(arrivals, requests):
+            # Open loop: pace to the schedule regardless of completions.
+            delay = started + offset - time.perf_counter()
+            if delay > 0:
+                time.sleep(delay)
+            submitted_at = time.perf_counter()
+            try:
+                future = executor.submit(request)
+            except AdmissionError:
+                with record_lock:
+                    statuses[503] = statuses.get(503, 0) + 1
+                continue
+            future.add_done_callback(_recorder(submitted_at))
+            futures.append(future)
+        for future in futures:
+            future.result()
+        elapsed = time.perf_counter() - started
+        runtime = executor.stats.snapshot()
+    if farm is not None:
+        farm.close()
+
+    with record_lock:
+        sorted_ms = sorted(value * 1e3 for value in latencies)
+        completed_200 = statuses.get(200, 0)
+        fives = {
+            status: count
+            for status, count in statuses.items()
+            if status >= 500
+        }
+    rejected = fives.get(503, 0)
+    other = sum(count for status, count in fives.items() if status != 503)
+    renders = app.renders
+    return BurstResult(
+        mode=mode,
+        offered=len(arrivals),
+        completed_200=completed_200,
+        degraded_200=degraded[0],
+        rejected_5xx=rejected,
+        other_5xx=other,
+        # Degraded responses are 200s here, so every 5xx is non-degraded
+        # by construction — the ladder either absorbed the failure or it
+        # didn't.
+        non_degraded_5xx=rejected + other,
+        renders=renders,
+        p50_ms=_percentile(sorted_ms, 0.50),
+        p99_ms=_percentile(sorted_ms, 0.99),
+        max_ms=sorted_ms[-1] if sorted_ms else 0.0,
+        wall_clock_s=elapsed,
+        queue_depth_peak=runtime.queue_depth_peak,
+        farm_coalesced=(farm.queue.coalesced if farm is not None else 0),
+        farm_saturation_refusals=(
+            farm.queue.refused if farm is not None else 0
+        ),
+        farm_displaced=(farm.queue.displaced if farm is not None else 0),
+    )
+
+
+@dataclass
+class BurstComparison:
+    """Inline vs farm under the identical arrival schedule."""
+
+    config: BurstConfig
+    inline: BurstResult
+    farm: BurstResult
+
+    def bench_record(self) -> dict:
+        return {
+            "renderfarm_burst": {
+                "config": asdict(self.config),
+                "inline": asdict(self.inline),
+                "farm": asdict(self.farm),
+            }
+        }
+
+
+def smoke_config() -> BurstConfig:
+    """A seconds-scale config for the tier-1 gate."""
+    return BurstConfig(
+        base_rps=30.0,
+        peak_rps=240.0,
+        ramp_s=0.4,
+        hold_s=0.8,
+        duration_s=2.0,
+        browser_service_s=0.04,
+        distinct_pages=32,
+    )
+
+
+def run_burst_comparison(
+    config: Optional[BurstConfig] = None,
+) -> BurstComparison:
+    """Replay the same flash crowd against both configurations."""
+    config = config or BurstConfig()
+    if config.browser_fraction < 0.2:
+        raise ValueError(
+            "the burst acceptance criterion requires a browser fraction "
+            ">= 20%"
+        )
+    inline = _replay(config, "inline")
+    farm = _replay(config, "farm")
+    return BurstComparison(config=config, inline=inline, farm=farm)
+
+
+def format_comparison(comparison: BurstComparison) -> str:
+    config = comparison.config
+    lines = [
+        "Figure 7 burst absorption (open-loop flash crowd): "
+        f"{comparison.inline.offered} arrivals, "
+        f"{config.base_rps:.0f}->{config.peak_rps:.0f} rps, "
+        f"{config.browser_fraction * 100:.0f}% browser",
+        f"{'mode':>8}  {'200s':>6}  {'degraded':>8}  {'5xx':>5}  "
+        f"{'renders':>7}  {'p50 ms':>8}  {'p99 ms':>8}  {'peak q':>6}",
+    ]
+    for result in (comparison.inline, comparison.farm):
+        lines.append(
+            f"{result.mode:>8}  {result.completed_200:>6}  "
+            f"{result.degraded_200:>8}  {result.non_degraded_5xx:>5}  "
+            f"{result.renders:>7}  {result.p50_ms:>8.1f}  "
+            f"{result.p99_ms:>8.1f}  {result.queue_depth_peak:>6}"
+        )
+    farm = comparison.farm
+    lines.append(
+        f"farm coalesced {farm.farm_coalesced}, refused "
+        f"{farm.farm_saturation_refusals}, displaced {farm.farm_displaced}"
+    )
+    return "\n".join(lines)

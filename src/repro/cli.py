@@ -158,6 +158,8 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
             origin_failure_rate=args.origin_fail,
             garbage_rate=args.garbage,
             warm=not args.cold,
+            farm_faults=args.farm_faults,
+            farm_consumers=args.farm_consumers,
         )
     except (ValueError, MSiteError) as exc:
         print(f"chaos run failed: {exc}", file=sys.stderr)
@@ -266,6 +268,8 @@ def _cmd_scalability(args: argparse.Namespace) -> int:
 
 
 def _run_scalability(args: argparse.Namespace) -> int:
+    if args.farm:
+        return _run_farm_burst(args)
     percentages = (
         [float(p) for p in args.percentages.split(",")]
         if args.percentages
@@ -319,6 +323,46 @@ def _run_scalability(args: argparse.Namespace) -> int:
             f"{result.lightweight_requests:>8}"
         )
     return 0
+
+
+def _run_farm_burst(args: argparse.Namespace) -> int:
+    """The bursty (open-loop) Figure 7 variant: ``--farm [--smoke]``.
+
+    Replays one seeded flash crowd against the inline-render seed
+    architecture and against the render farm, and holds the farm side
+    to zero non-degraded 5xx.  The full run additionally requires the
+    inline baseline to saturate admission under the identical schedule
+    (otherwise the burst was not a burst) and merge-writes the
+    ``renderfarm_burst`` record into BENCH_pipeline.json.
+    """
+    from repro.bench.burst import (
+        format_comparison,
+        run_burst_comparison,
+        smoke_config,
+    )
+
+    smoke = getattr(args, "smoke", False)
+    comparison = run_burst_comparison(smoke_config() if smoke else None)
+    print(format_comparison(comparison))
+    failed = False
+    if comparison.farm.non_degraded_5xx:
+        print(
+            f"FAIL: farm served {comparison.farm.non_degraded_5xx} "
+            "non-degraded 5xx under the burst",
+            file=sys.stderr,
+        )
+        failed = True
+    if not smoke and comparison.inline.non_degraded_5xx == 0:
+        print(
+            "FAIL: inline baseline absorbed the burst without refusals — "
+            "the schedule is not saturating; raise the peak rate",
+            file=sys.stderr,
+        )
+        failed = True
+    if args.output and not smoke:
+        _merge_json_report(args.output, comparison.bench_record())
+        print(f"wrote {args.output}")
+    return 1 if failed else 0
 
 
 def _run_cluster_scalability(
@@ -506,10 +550,26 @@ def build_parser() -> argparse.ArgumentParser:
         "--cold", action="store_true",
         help="skip the cache warm-up (exercises the no-stale rungs)",
     )
+    chaos.add_argument(
+        "--farm-faults", action="store_true",
+        help="route renders through the render farm and inject farm "
+        "faults (a consumer crash mid-render, dead-letter quarantines)",
+    )
+    chaos.add_argument(
+        "--farm-consumers", type=int, default=2,
+        help="render farm consumers to start with --farm-faults "
+        "(default 2; one is crashed a third of the way in)",
+    )
     chaos.set_defaults(fn=_cmd_chaos)
 
     scalability = commands.add_parser(
         "scalability", help="run the Figure 7 scalability sweep"
+    )
+    scalability.add_argument(
+        "--farm", action="store_true",
+        help="run the bursty (open-loop flash crowd) variant comparing "
+        "inline renders against the render farm; with --smoke a "
+        "seconds-scale gate run",
     )
     scalability.add_argument(
         "--real", action="store_true",

@@ -71,6 +71,9 @@ class ClusterDeployment(Application):
         shared_cache: Optional[SharedCacheBackend] = None,
         make_app: Optional[Callable[[ProxyServices], Application]] = None,
         key_fn: Optional[Callable[[Request], str]] = None,
+        farm_consumers: int = 0,
+        farm_queue_limit: int = 64,
+        farm_wait_s: Optional[float] = None,
     ) -> None:
         if workers < 1:
             raise ValueError("a cluster needs at least one worker")
@@ -93,6 +96,23 @@ class ClusterDeployment(Application):
         # given request spills to.
         self.storage = VirtualFileSystem()
         self.sessions = SessionManager(self.storage, clock=clock)
+        # Optional fleet-shared render farm: one queue of priority
+        # lanes drained by dedicated consumers, so render work never
+        # ties up the workers' admission threads.  Its
+        # msite_renderfarm_* instruments live on the fleet registry and
+        # surface through /metrics and /cluster.
+        self.renderfarm = None
+        if farm_consumers > 0:
+            from repro.renderfarm import RenderFarm
+
+            self.renderfarm = RenderFarm(
+                consumers=farm_consumers,
+                queue_limit=farm_queue_limit,
+                default_wait_s=farm_wait_s,
+                metrics=self.registry,
+                clock=clock,
+                name=self.site,
+            )
         self.router = ShardRouter()
         self._key_fn = key_fn or (
             lambda request: request_shard_key(self.site, request)
@@ -109,6 +129,7 @@ class ClusterDeployment(Application):
                 observability=Observability(
                     registry=registry, clock=obs_clock
                 ),
+                renderfarm=self.renderfarm,
             )
             if make_app is not None:
                 app = make_app(services)
@@ -305,6 +326,8 @@ class ClusterDeployment(Application):
                 for worker in self.workers
             },
         }
+        if self.renderfarm is not None:
+            status["renderfarm"] = self.renderfarm.status()
         return Response.binary(
             json.dumps(status, indent=2, sort_keys=True).encode("utf-8"),
             "application/json; charset=utf-8",
@@ -318,6 +341,8 @@ class ClusterDeployment(Application):
     def close(self, wait: bool = True) -> None:
         for worker in self.workers:
             worker.close(wait=wait)
+        if self.renderfarm is not None:
+            self.renderfarm.close(wait=wait)
 
     def __enter__(self) -> "ClusterDeployment":
         return self

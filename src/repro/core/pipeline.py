@@ -49,6 +49,7 @@ from repro.errors import (
     FetchError,
     PoolTimeoutError,
     RenderError,
+    RenderFarmError,
     TransientFetchError,
 )
 from repro.html.parser import parse_html
@@ -59,6 +60,11 @@ from repro.net.messages import Request
 from repro.net.url import URL
 from repro.observability import Observability
 from repro.observability.tracing import span
+from repro.renderfarm.job import (
+    INTERACTIVE as FARM_INTERACTIVE,
+    REFRESH as FARM_REFRESH,
+    RenderKey,
+)
 from repro.render.box import Rect
 from repro.render.imagemap import MapRegion, build_image_map
 from repro.resilience.faults import (
@@ -86,6 +92,11 @@ class ProxyServices:
     observability: Observability = field(default_factory=Observability)
     resilience: ResiliencePolicy = field(default_factory=ResiliencePolicy)
     faults: Optional[FaultPlan] = None
+    #: When set (a :class:`repro.renderfarm.RenderFarm`), snapshot and
+    #: cacheable-object renders are queued on the farm's priority lanes
+    #: instead of blocking the request thread on the pool semaphore;
+    #: farm backpressure degrades down the existing render ladder.
+    renderfarm: Optional[Any] = None
     #: Whole-adapted-response cache (content-addressed; see
     #: :mod:`repro.core.fastpath`).  Off ⇒ every request adapts fully.
     fastpath_enabled: bool = True
@@ -284,6 +295,9 @@ class AdaptationPipeline:
         #: While a run is capturing for the fast path, every emitted
         #: artifact is mirrored here as (relpath, content_type, bytes).
         self._capture: Optional[list[tuple[str, str, bytes]]] = None
+        #: The requesting device class, captured by :meth:`run` so the
+        #: farm's render keys coalesce per (site, path, device, spec).
+        self._device_class = "default"
 
     # ------------------------------------------------------------------
 
@@ -305,6 +319,7 @@ class AdaptationPipeline:
     def _run_full(
         self, force_refresh: bool, device_class: str = "default"
     ) -> AdaptedPage:
+        self._device_class = device_class
         # Spans are deliberately flat and sequential (never nested on
         # this path) so their durations sum to at most the request wall
         # time — each phase of the request is attributed exactly once.
@@ -666,7 +681,13 @@ class AdaptationPipeline:
         key = self._snapshot_cache_key(ctx)
         try:
             return self._obtain_snapshot_fresh(ctx, result, force_refresh, key)
-        except (RenderError, FetchError, CircuitOpenError, PoolTimeoutError) as exc:
+        except (
+            RenderError,
+            FetchError,
+            CircuitOpenError,
+            PoolTimeoutError,
+            RenderFarmError,
+        ) as exc:
             resilience = self.services.resilience
             with span("degrade"):
                 bundle = (
@@ -794,13 +815,24 @@ class AdaptationPipeline:
         force_refresh: bool,
         key: str,
     ) -> dict:
+        farm = self.services.renderfarm
         if not ctx.cache_snapshot:
             return self._render_snapshot(ctx, result)
         if force_refresh:
-            bundle = self._render_snapshot(ctx, result)
-            with span("cache"):
-                self._store_snapshot_bundle(key, bundle, ctx.cache_ttl_s)
-            return bundle
+
+            def _refresh_render() -> dict:
+                fresh = self._render_snapshot(ctx, result)
+                with span("cache"):
+                    self._store_snapshot_bundle(key, fresh, ctx.cache_ttl_s)
+                return fresh
+
+            if farm is None:
+                return _refresh_render()
+            # A forced refresh of a warm artifact rides the middle lane:
+            # it must not starve interactive cold misses.
+            return farm.render(
+                self._farm_key(), _refresh_render, lane=FARM_REFRESH
+            )
         with span("cache"):
             bundle = self._cached_snapshot_bundle(key)
         if bundle is not None:
@@ -821,13 +853,33 @@ class AdaptationPipeline:
                 self._store_snapshot_bundle(key, fresh, ctx.cache_ttl_s)
             return fresh
 
-        # Single flight: concurrent sessions cold-missing on this page
-        # share one browser render instead of stampeding the pool.
-        bundle = self.services.cache.load_or_join(key, _render_and_store)
+        if farm is not None:
+            # The farm supersedes the per-pool single flight: jobs
+            # sharing this (site, path, device, spec) key coalesce on
+            # one queued render, and a full queue raises into the
+            # degradation ladder instead of parking this thread.
+            bundle = farm.render(
+                self._farm_key(), _render_and_store, lane=FARM_INTERACTIVE
+            )
+        else:
+            # Single flight: concurrent sessions cold-missing on this
+            # page share one browser render instead of stampeding the
+            # pool.
+            bundle = self.services.cache.load_or_join(key, _render_and_store)
         if not rendered_here:
             result.snapshot_from_cache = True
             result.snapshot_bytes = len(bundle["image_bytes"])
         return bundle
+
+    def _farm_key(self, suffix: str = "") -> RenderKey:
+        """This deployment's coalescing identity for farm submissions."""
+        path = self.spec.page_path + (f"#{suffix}" if suffix else "")
+        return RenderKey(
+            site=self.spec.site,
+            path=path,
+            device_class=self._device_class,
+            spec_fp=self.plan.fingerprint,
+        )
 
     def _render_snapshot(
         self, ctx: PipelineContext, result: AdaptedPage
@@ -961,7 +1013,12 @@ class AdaptationPipeline:
                     artifact = self._emit_prerendered_subpage(
                         ctx, result, definition, taken
                     )
-                except (RenderError, CircuitOpenError, PoolTimeoutError) as exc:
+                except (
+                    RenderError,
+                    CircuitOpenError,
+                    PoolTimeoutError,
+                    RenderFarmError,
+                ) as exc:
                     # Middle rung of the render ladder: an unrenderable
                     # subpage still ships, just as plain HTML.
                     with span("degrade"):
@@ -1182,7 +1239,17 @@ class AdaptationPipeline:
                     with span("render"):
                         return _render_objrender()
 
-                bundle = self.services.cache.load_or_join(cache_key, _load)
+                farm = self.services.renderfarm
+                if farm is not None:
+                    bundle = farm.render(
+                        self._farm_key(suffix=definition.subpage_id),
+                        _load,
+                        lane=FARM_INTERACTIVE,
+                    )
+                else:
+                    bundle = self.services.cache.load_or_join(
+                        cache_key, _load
+                    )
         else:
             with span("render"):
                 bundle = _render_objrender()

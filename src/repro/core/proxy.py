@@ -45,6 +45,7 @@ from repro.errors import (
     CircuitOpenError,
     DegradedServeError,
     FetchError,
+    RenderFarmError,
     RetryExhaustedError,
     SessionError,
 )
@@ -311,6 +312,14 @@ class MSiteProxy(Application):
             self.counters.add(errors=1)
             return self._retry_later(
                 f"m.Site proxy: degraded and unable to serve ({exc})", None
+            )
+        except RenderFarmError as exc:
+            # Backstop: farm backpressure normally degrades inside the
+            # pipeline; one that escapes is still load shedding (503),
+            # never an internal error.
+            self.counters.add(errors=1)
+            return self._retry_later(
+                f"m.Site proxy: render farm refusing work ({exc})", None
             )
         except RetryExhaustedError as exc:
             # Ordered before FetchError (its base): the origin never

@@ -89,6 +89,35 @@ class PoolTimeoutError(ConcurrencyError):
     """Waiting for a pooled browser instance exceeded the timeout."""
 
 
+class RenderFarmError(ConcurrencyError):
+    """The render farm could not produce the requested render.
+
+    Base class for every farm-side refusal.  The pipeline treats a farm
+    refusal exactly like a failed render: it degrades down the ladder
+    (stale snapshot, then HTML-only) instead of surfacing a 5xx — the
+    farm sheds load, the ladder absorbs it.
+    """
+
+
+class FarmSaturatedError(RenderFarmError):
+    """The farm's bounded queue is full (or the wait deadline passed).
+
+    Backpressure, not failure: the queue refused to grow without bound.
+    Callers fall back to stale/HTML-only output rather than parking a
+    request thread behind an unbounded render backlog.
+    """
+
+
+class DeadLetterError(RenderFarmError):
+    """The render key is parked in the dead-letter lane.
+
+    Jobs that fail repeatedly (or poison a browser instance) are
+    quarantined; further submissions for the same key are refused
+    immediately until the dead-letter TTL expires, at which point a
+    single speculative-lane probe is allowed back in.
+    """
+
+
 class CircuitOpenError(ConcurrencyError):
     """A circuit breaker is open and short-circuited the call.
 

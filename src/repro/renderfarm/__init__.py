@@ -1,0 +1,38 @@
+"""The render farm: queue-based load leveling for browser renders.
+
+Public surface:
+
+* :class:`RenderFarm` — competing consumers over the bounded lane queue.
+* :class:`LaneQueue` — the scheduling policy itself (coalescing,
+  promotion, displacement, dead letters), shared by the real farm and
+  the deterministic test harness.
+* :class:`RenderKey`, lane constants — the coalescing identity and the
+  strict priority order ``INTERACTIVE > REFRESH > SPECULATIVE``.
+* :mod:`repro.renderfarm.testing` — sim-clock consumer + scheduling
+  traces for deterministic property tests.
+"""
+
+from repro.renderfarm.farm import ConsumerCrash, RenderFarm
+from repro.renderfarm.job import (
+    INTERACTIVE,
+    LANES,
+    REFRESH,
+    SPECULATIVE,
+    RenderJob,
+    RenderKey,
+    lane_rank,
+)
+from repro.renderfarm.queue import LaneQueue
+
+__all__ = [
+    "ConsumerCrash",
+    "INTERACTIVE",
+    "LANES",
+    "LaneQueue",
+    "REFRESH",
+    "RenderFarm",
+    "RenderJob",
+    "RenderKey",
+    "SPECULATIVE",
+    "lane_rank",
+]

@@ -1,0 +1,356 @@
+"""The render farm: competing consumers over the lane queue.
+
+Request threads never render.  They :meth:`~RenderFarm.submit` a render
+thunk under a :class:`RenderKey` and block (bounded) on the shared
+future; a fixed set of consumer threads drains the queue hottest-lane
+first.  Backpressure is explicit — a full queue raises
+:class:`FarmSaturatedError` at submission instead of parking the
+request thread — and repeated failures quarantine the key in the
+dead-letter lane so one poisonous page cannot monopolize consumers.
+
+Everything the farm does is visible as ``msite_renderfarm_*`` metrics
+on whatever registry it was constructed with, which is how the cluster
+status endpoint and the chaos report read it.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from typing import Any, Callable, Optional
+
+from repro.errors import FarmSaturatedError, RenderError
+from repro.observability.metrics import MetricsRegistry
+from repro.renderfarm.job import (
+    INTERACTIVE,
+    LANES,
+    RenderJob,
+    RenderKey,
+    resolve_clock,
+)
+from repro.renderfarm.queue import LaneQueue
+
+
+class ConsumerCrash(BaseException):
+    """Raised inside a consumer to simulate a mid-render crash.
+
+    A ``BaseException`` so application code's ``except Exception``
+    recovery paths cannot swallow the crash — exactly like a browser
+    process dying under the render.
+    """
+
+
+class RenderFarm:
+    """A bounded render queue drained by competing consumer threads."""
+
+    def __init__(
+        self,
+        consumers: int = 2,
+        queue_limit: int = 64,
+        poison_threshold: int = 3,
+        dead_letter_ttl_s: float = 60.0,
+        default_wait_s: Optional[float] = None,
+        metrics: Optional[MetricsRegistry] = None,
+        clock: Optional[Any] = None,
+        name: str = "farm",
+    ) -> None:
+        if consumers < 1:
+            raise ValueError("a render farm needs at least one consumer")
+        if poison_threshold < 1:
+            raise ValueError("poison threshold must be positive")
+        self.name = name
+        self.poison_threshold = poison_threshold
+        self.default_wait_s = default_wait_s
+        self.queue = LaneQueue(
+            limit=queue_limit,
+            clock=clock,
+            dead_letter_ttl_s=dead_letter_ttl_s,
+        )
+        self._now = resolve_clock(clock)
+        self._lock = threading.Lock()
+        # Serializes submissions so the counter deltas below attribute
+        # coalesce/promote/displace outcomes to the right submission.
+        self._submit_lock = threading.Lock()
+        self._failures: dict[RenderKey, int] = {}
+        self._crash_requests = 0
+        self._closed = False
+        self._bind(metrics or MetricsRegistry())
+        self._threads: list[threading.Thread] = []
+        for index in range(consumers):
+            thread = threading.Thread(
+                target=self._consume,
+                name=f"msite-render-{name}-{index}",
+                daemon=True,
+            )
+            self._threads.append(thread)
+            thread.start()
+        self._consumers_gauge.set(consumers)
+
+    # -- metrics ---------------------------------------------------------
+
+    def _bind(self, registry: MetricsRegistry) -> None:
+        self.registry = registry
+        self._submitted = {
+            lane: registry.counter(
+                "msite_renderfarm_submitted_total",
+                "Render jobs submitted to the farm, by lane.",
+                labels={"lane": lane},
+            )
+            for lane in LANES
+        }
+        self._completed = {
+            lane: registry.counter(
+                "msite_renderfarm_completed_total",
+                "Render jobs completed by the farm, by lane.",
+                labels={"lane": lane},
+            )
+            for lane in LANES
+        }
+        self._coalesced = registry.counter(
+            "msite_renderfarm_coalesced_total",
+            "Submissions satisfied by joining an existing job's future.",
+        )
+        self._promotions = registry.counter(
+            "msite_renderfarm_promotions_total",
+            "Queued jobs re-filed into a hotter lane by later demand.",
+        )
+        self._failures_counter = registry.counter(
+            "msite_renderfarm_failures_total",
+            "Render jobs whose thunk raised.",
+        )
+        self._dead_lettered = registry.counter(
+            "msite_renderfarm_dead_lettered_total",
+            "Render keys quarantined after repeated failures.",
+        )
+        self._dead_letter_refusals = registry.counter(
+            "msite_renderfarm_dead_letter_refusals_total",
+            "Submissions refused because their key was quarantined.",
+        )
+        self._displaced = registry.counter(
+            "msite_renderfarm_displaced_total",
+            "Cold queued jobs displaced by hotter submissions under "
+            "backpressure.",
+        )
+        self._saturation_refusals = registry.counter(
+            "msite_renderfarm_saturation_refusals_total",
+            "Submissions refused because the queue was full.",
+        )
+        self._crashes = registry.counter(
+            "msite_renderfarm_consumer_crashes_total",
+            "Consumer threads lost to injected mid-render crashes.",
+        )
+        self._depth_gauges = {
+            lane: registry.gauge(
+                "msite_renderfarm_queue_depth",
+                "Render jobs currently queued, by lane.",
+                labels={"lane": lane},
+            )
+            for lane in LANES
+        }
+        self._consumers_gauge = registry.gauge(
+            "msite_renderfarm_consumers",
+            "Consumer threads currently alive.",
+        )
+        self._wait_seconds = registry.histogram(
+            "msite_renderfarm_wait_seconds",
+            "Time jobs spent queued before a consumer picked them up.",
+        )
+        self._render_seconds = registry.histogram(
+            "msite_renderfarm_render_seconds",
+            "Time consumers spent executing render thunks.",
+        )
+
+    def _sync_depth_gauges(self) -> None:
+        for lane, depth in self.queue.lane_depths().items():
+            self._depth_gauges[lane].set(depth)
+
+    # -- submission ------------------------------------------------------
+
+    def submit(
+        self,
+        key: RenderKey,
+        fn: Callable[[], Any],
+        lane: str = INTERACTIVE,
+    ) -> RenderJob:
+        """Queue (or join) a render; returns the job with its shared future."""
+        with self._submit_lock:
+            before_coalesced = self.queue.coalesced
+            before_promotions = self.queue.promotions
+            before_displaced = self.queue.displaced
+            try:
+                job = self.queue.submit(key, fn, lane)
+            except FarmSaturatedError:
+                self._saturation_refusals.inc()
+                raise
+            except Exception:
+                self._dead_letter_refusals.inc()
+                raise
+            if self.queue.coalesced == before_coalesced:
+                self._submitted[job.lane].inc()
+            else:
+                self._coalesced.inc()
+            if self.queue.promotions > before_promotions:
+                self._promotions.inc()
+            if self.queue.displaced > before_displaced:
+                self._displaced.inc()
+        self._sync_depth_gauges()
+        return job
+
+    def render(
+        self,
+        key: RenderKey,
+        fn: Callable[[], Any],
+        lane: str = INTERACTIVE,
+        wait_s: Optional[float] = None,
+    ) -> Any:
+        """Submit and block for the result (the request path's call).
+
+        A missed deadline surfaces as :class:`FarmSaturatedError`: from
+        the caller's point of view an overdue render and a refused one
+        are the same event, and both degrade down the same ladder.
+        """
+        job = self.submit(key, fn, lane)
+        timeout = wait_s if wait_s is not None else self.default_wait_s
+        try:
+            return job.future.result(timeout=timeout)
+        except FutureTimeoutError:
+            raise FarmSaturatedError(
+                f"render for {key} still queued after {timeout}s "
+                f"(farm backlog {self.queue.depth})"
+            ) from None
+
+    # -- consumer side ---------------------------------------------------
+
+    def _consume(self) -> None:
+        while True:
+            job = self.queue.pop(timeout_s=0.1)
+            if job is None:
+                if self.queue.closed:
+                    return
+                continue
+            if self._take_crash_request():
+                # The browser died mid-render: fail this job's waiters,
+                # lose this consumer.  No restart — degraded capacity is
+                # the condition chaos asserts the fleet absorbs.
+                job.future.set_exception(
+                    RenderError(
+                        f"render consumer crashed mid-render on {job.key}"
+                    )
+                )
+                self._record_failure(job)
+                self.queue.done(job)
+                self._crashes.inc()
+                self._consumers_gauge.dec()
+                self._sync_depth_gauges()
+                return
+            self._wait_seconds.observe(
+                max(0.0, self._now() - job.enqueued_at)
+            )
+            started = self._now()
+            try:
+                result = job.fn()
+            except ConsumerCrash:
+                job.future.set_exception(
+                    RenderError(
+                        f"render consumer crashed mid-render on {job.key}"
+                    )
+                )
+                self._record_failure(job)
+                self.queue.done(job)
+                self._crashes.inc()
+                self._consumers_gauge.dec()
+                self._sync_depth_gauges()
+                return
+            except BaseException as exc:
+                job.future.set_exception(exc)
+                self._record_failure(job)
+            else:
+                job.future.set_result(result)
+                with self._lock:
+                    self._failures.pop(job.key, None)
+                self._completed[job.lane].inc()
+            finally:
+                self._render_seconds.observe(
+                    max(0.0, self._now() - started)
+                )
+                self.queue.done(job)
+                self._sync_depth_gauges()
+
+    def _record_failure(self, job: RenderJob) -> None:
+        self._failures_counter.inc()
+        with self._lock:
+            failures = self._failures.get(job.key, 0) + 1
+            self._failures[job.key] = failures
+        if failures >= self.poison_threshold:
+            self.queue.dead_letter(
+                job.key,
+                reason=f"{failures} consecutive render failures",
+                failures=failures,
+            )
+            self._dead_lettered.inc()
+            with self._lock:
+                self._failures.pop(job.key, None)
+
+    # -- chaos hooks -----------------------------------------------------
+
+    def crash_consumer(self) -> None:
+        """Make the next dispatched job kill its consumer mid-render."""
+        with self._lock:
+            self._crash_requests += 1
+
+    def _take_crash_request(self) -> bool:
+        with self._lock:
+            if self._crash_requests > 0:
+                self._crash_requests -= 1
+                return True
+            return False
+
+    # -- introspection ---------------------------------------------------
+
+    @property
+    def consumers_alive(self) -> int:
+        return sum(1 for thread in self._threads if thread.is_alive())
+
+    @property
+    def saturated(self) -> bool:
+        """Advisory: the next cold submission is likely to be refused."""
+        return self.queue.depth >= self.queue.limit
+
+    def status(self) -> dict:
+        """The JSON block ``/cluster`` exposes per deployment."""
+        return {
+            "consumers_alive": self.consumers_alive,
+            "queue_limit": self.queue.limit,
+            "lanes": self.queue.lane_depths(),
+            "running": self.queue.running,
+            "dead_letters": [
+                {
+                    "key": str(letter.key),
+                    "reason": letter.reason,
+                    "failures": letter.failures,
+                }
+                for letter in self.queue.dead_letters()
+            ],
+            "coalesced": self.queue.coalesced,
+            "promotions": self.queue.promotions,
+            "displaced": self.queue.displaced,
+        }
+
+    # -- lifecycle -------------------------------------------------------
+
+    def close(self, wait: bool = True) -> None:
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+        self.queue.close()
+        if wait:
+            for thread in self._threads:
+                thread.join(timeout=5.0)
+        self._consumers_gauge.set(0)
+
+    def __enter__(self) -> "RenderFarm":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

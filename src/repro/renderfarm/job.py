@@ -1,0 +1,122 @@
+"""Render jobs and the priority lanes they travel in.
+
+A *render key* names the artifact a job produces — ``(site, path,
+device-class, spec-fp)`` — and is the unit of coalescing: while a job
+for a key is queued or running, later submissions for the same key join
+its future instead of enqueueing a duplicate.  One render satisfies all
+waiters, which supersedes the per-pool single-flight cache for the
+snapshot path (the cache still stores the result; the farm just makes
+sure only one producer exists fleet-wide per key).
+
+Lanes are strict priorities: an ``interactive`` job (a user is waiting
+on the response) always dispatches before any ``prerender-refresh`` job
+(a warm artifact is being re-rendered ahead of its TTL), which always
+dispatches before any ``speculative`` job (a prediction that may never
+be requested).  Within a lane, dispatch is FIFO by submission order.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+#: A user request is blocked on this render right now.
+INTERACTIVE = "interactive"
+#: A warm cached artifact is being refreshed before it expires.
+REFRESH = "prerender-refresh"
+#: A prediction: render ahead of any request that may never come.
+SPECULATIVE = "speculative"
+
+#: Dispatch order, hottest first.
+LANES: tuple[str, ...] = (INTERACTIVE, REFRESH, SPECULATIVE)
+
+#: Lower rank dispatches first.
+LANE_RANK: dict[str, int] = {lane: rank for rank, lane in enumerate(LANES)}
+
+
+def lane_rank(lane: str) -> int:
+    """Strict precedence rank; unknown lanes are rejected loudly."""
+    try:
+        return LANE_RANK[lane]
+    except KeyError:
+        raise ValueError(
+            f"unknown render lane {lane!r} (expected one of {LANES})"
+        ) from None
+
+
+@dataclass(frozen=True)
+class RenderKey:
+    """What a render produces, independent of who asked for it."""
+
+    site: str
+    path: str
+    device_class: str = "default"
+    spec_fp: str = ""
+
+    def __str__(self) -> str:
+        return (
+            f"{self.site}:{self.path}:{self.device_class}"
+            f":{self.spec_fp or '-'}"
+        )
+
+
+@dataclass
+class RenderJob:
+    """One queued (possibly coalesced) render.
+
+    The ``future`` is shared by every coalesced waiter: the consumer
+    that executes ``fn`` resolves it once, and all waiters observe the
+    identical result object.  ``attempts`` counts executions across the
+    key's lifetime in the farm (it survives re-submission, which is how
+    the poison threshold accumulates).
+    """
+
+    key: RenderKey
+    fn: Callable[[], Any]
+    lane: str
+    seq: int
+    enqueued_at: float
+    future: "Future[Any]" = field(default_factory=Future)
+    waiters: int = 1
+    promoted: bool = False
+
+    def order(self) -> tuple[int, int]:
+        """Dispatch sort key: lane precedence, then FIFO within lane."""
+        return (lane_rank(self.lane), self.seq)
+
+
+@dataclass
+class DeadLetter:
+    """A quarantined render key."""
+
+    key: RenderKey
+    reason: str
+    failures: int
+    parked_at: float
+
+
+class _Monotonic:
+    """A thread-safe monotonic sequence for FIFO ordering."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._next = 0
+
+    def next(self) -> int:
+        with self._lock:
+            value = self._next
+            self._next += 1
+            return value
+
+
+def resolve_clock(clock: Optional[Any]) -> Callable[[], float]:
+    """A ``() -> seconds`` callable from a sim Clock, callable, or None."""
+    if clock is None:
+        import time
+
+        return time.monotonic
+    if callable(clock):
+        return clock
+    return lambda: clock.now

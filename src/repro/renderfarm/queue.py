@@ -1,0 +1,298 @@
+"""The farm's priority lane queue.
+
+One bounded queue with three strict-priority lanes and a dead-letter
+registry.  All the scheduling policy lives here, behind one lock, so
+the competing consumers in :mod:`repro.renderfarm.farm` and the
+deterministic :class:`~repro.renderfarm.testing.SimConsumer` drain the
+exact same code:
+
+* **Coalescing** — a submission whose :class:`RenderKey` is already
+  queued (or running) joins the existing job's future instead of
+  enqueueing a duplicate.  One render satisfies all waiters.
+* **Promotion** — joining a *queued* job from a hotter lane moves the
+  job into that lane (a speculative render a user is now waiting on
+  becomes interactive — never duplicated, never left to languish).
+* **Bounded depth** — past ``limit`` queued jobs, a hot submission
+  displaces the coldest queued job strictly below its own lane (the
+  displaced job's waiters see :class:`FarmSaturatedError`); a
+  submission with nothing colder to displace is itself refused.
+* **Dead letters** — keys quarantined by the farm are refused for
+  ``dead_letter_ttl_s``; the first submission after the TTL re-enters
+  as a single *speculative* probe, never straight into a hot lane.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Any, Callable, Optional
+
+from repro.errors import DeadLetterError, FarmSaturatedError
+from repro.renderfarm.job import (
+    LANES,
+    SPECULATIVE,
+    DeadLetter,
+    RenderJob,
+    RenderKey,
+    _Monotonic,
+    lane_rank,
+    resolve_clock,
+)
+
+
+class LaneQueue:
+    """Bounded, lane-prioritized, coalescing render queue."""
+
+    def __init__(
+        self,
+        limit: int = 64,
+        clock: Optional[Any] = None,
+        dead_letter_ttl_s: float = 60.0,
+    ) -> None:
+        if limit < 1:
+            raise ValueError("queue limit must be positive")
+        self.limit = limit
+        self.dead_letter_ttl_s = dead_letter_ttl_s
+        self._now = resolve_clock(clock)
+        self._lock = threading.Lock()
+        self._ready = threading.Condition(self._lock)
+        self._lanes: dict[str, deque[RenderJob]] = {
+            lane: deque() for lane in LANES
+        }
+        self._queued: dict[RenderKey, RenderJob] = {}
+        self._running: dict[RenderKey, RenderJob] = {}
+        self._dead: dict[RenderKey, DeadLetter] = {}
+        self._seq = _Monotonic()
+        self._closed = False
+        # Accounting the farm surfaces as msite_renderfarm_* metrics.
+        self.submitted: dict[str, int] = {lane: 0 for lane in LANES}
+        self.coalesced = 0
+        self.promotions = 0
+        self.displaced = 0
+        self.refused = 0
+        self.dead_letter_refusals = 0
+        self.probes = 0
+
+    # -- submission ------------------------------------------------------
+
+    def submit(
+        self,
+        key: RenderKey,
+        fn: Callable[[], Any],
+        lane: str,
+    ) -> RenderJob:
+        """Queue (or join) a render for ``key``; returns the job.
+
+        Raises :class:`DeadLetterError` when the key is quarantined and
+        :class:`FarmSaturatedError` when the queue is full and nothing
+        colder can be displaced.
+        """
+        rank = lane_rank(lane)
+        with self._lock:
+            if self._closed:
+                raise FarmSaturatedError("render farm is closed")
+            lane = self._admit_dead_lettered(key, lane)
+            rank = lane_rank(lane)
+
+            job = self._queued.get(key)
+            if job is not None:
+                self.coalesced += 1
+                job.waiters += 1
+                if rank < lane_rank(job.lane):
+                    # Promote: hotter demand re-files the queued job in
+                    # the hotter lane.  Seq is kept and the job is
+                    # inserted in seq order — it has been waiting at
+                    # least as long as the new submission, so FIFO
+                    # within the destination lane still holds.
+                    self._lanes[job.lane].remove(job)
+                    job.lane = lane
+                    job.promoted = True
+                    target = self._lanes[lane]
+                    position = len(target)
+                    while position > 0 and target[position - 1].seq > job.seq:
+                        position -= 1
+                    target.insert(position, job)
+                    self.promotions += 1
+                return job
+            job = self._running.get(key)
+            if job is not None:
+                # Too late to affect scheduling; share the in-flight
+                # render's future.
+                self.coalesced += 1
+                job.waiters += 1
+                return job
+
+            if self._depth_locked() >= self.limit:
+                victim = self._displaceable_locked(rank)
+                if victim is None:
+                    self.refused += 1
+                    raise FarmSaturatedError(
+                        f"render queue full ({self.limit} queued) and "
+                        f"nothing below the {lane!r} lane to displace"
+                    )
+                self._lanes[victim.lane].remove(victim)
+                del self._queued[victim.key]
+                self.displaced += 1
+                victim.future.set_exception(
+                    FarmSaturatedError(
+                        f"render for {victim.key} displaced by a hotter "
+                        f"{lane!r} submission under backpressure"
+                    )
+                )
+
+            job = RenderJob(
+                key=key,
+                fn=fn,
+                lane=lane,
+                seq=self._seq.next(),
+                enqueued_at=self._now(),
+            )
+            self._lanes[lane].append(job)
+            self._queued[key] = job
+            self.submitted[lane] += 1
+            self._ready.notify()
+            return job
+
+    def _admit_dead_lettered(self, key: RenderKey, lane: str) -> str:
+        """Apply dead-letter policy; returns the (possibly demoted) lane."""
+        letter = self._dead.get(key)
+        if letter is None:
+            return lane
+        age = self._now() - letter.parked_at
+        if age < self.dead_letter_ttl_s:
+            self.dead_letter_refusals += 1
+            raise DeadLetterError(
+                f"render key {key} dead-lettered ({letter.reason}); "
+                f"probes resume in {self.dead_letter_ttl_s - age:.1f}s"
+            )
+        # TTL expired: let one probe back in, but only at the coldest
+        # lane — a previously poisonous job never re-enters hot.
+        del self._dead[key]
+        self.probes += 1
+        return SPECULATIVE
+
+    def _displaceable_locked(self, rank: int) -> Optional[RenderJob]:
+        """Newest queued job in the coldest lane strictly below ``rank``."""
+        for lane in reversed(LANES):
+            if lane_rank(lane) <= rank:
+                return None
+            queue = self._lanes[lane]
+            if queue:
+                return queue[-1]
+        return None
+
+    # -- dispatch --------------------------------------------------------
+
+    def pop(self, timeout_s: Optional[float] = None) -> Optional[RenderJob]:
+        """Dequeue the hottest waiting job, blocking up to ``timeout_s``.
+
+        Returns ``None`` on timeout or once the queue is closed and
+        drained.  The job is moved to the *running* set so late
+        submissions still coalesce onto it; the caller must finish with
+        :meth:`done`.
+        """
+        with self._ready:
+            while True:
+                job = self._pop_locked()
+                if job is not None:
+                    return job
+                if self._closed:
+                    return None
+                if not self._ready.wait(timeout=timeout_s):
+                    return None
+
+    def try_pop(self) -> Optional[RenderJob]:
+        """Non-blocking :meth:`pop` (the sim consumer's step)."""
+        with self._lock:
+            return self._pop_locked()
+
+    def _pop_locked(self) -> Optional[RenderJob]:
+        for lane in LANES:
+            queue = self._lanes[lane]
+            if queue:
+                job = queue.popleft()
+                del self._queued[job.key]
+                self._running[job.key] = job
+                return job
+        return None
+
+    def done(self, job: RenderJob) -> None:
+        """Mark a popped job finished (its future already resolved)."""
+        with self._lock:
+            self._running.pop(job.key, None)
+
+    def requeue(self, job: RenderJob) -> None:
+        """Return a popped-but-unexecuted job to the head of its lane.
+
+        Used when a consumer dies between popping and executing: the
+        job keeps its seq, so FIFO order within the lane is preserved.
+        """
+        with self._ready:
+            self._running.pop(job.key, None)
+            self._lanes[job.lane].appendleft(job)
+            self._queued[job.key] = job
+            self._ready.notify()
+
+    # -- dead letters ----------------------------------------------------
+
+    def dead_letter(self, key: RenderKey, reason: str, failures: int) -> None:
+        with self._lock:
+            self._dead[key] = DeadLetter(
+                key=key,
+                reason=reason,
+                failures=failures,
+                parked_at=self._now(),
+            )
+
+    def revive(self, key: RenderKey) -> bool:
+        """Manually lift a quarantine; True when the key was parked."""
+        with self._lock:
+            return self._dead.pop(key, None) is not None
+
+    def dead_letters(self) -> list[DeadLetter]:
+        with self._lock:
+            return sorted(
+                self._dead.values(), key=lambda letter: str(letter.key)
+            )
+
+    # -- introspection ---------------------------------------------------
+
+    def _depth_locked(self) -> int:
+        return len(self._queued)
+
+    @property
+    def depth(self) -> int:
+        with self._lock:
+            return self._depth_locked()
+
+    def lane_depths(self) -> dict[str, int]:
+        with self._lock:
+            return {lane: len(self._lanes[lane]) for lane in LANES}
+
+    @property
+    def running(self) -> int:
+        with self._lock:
+            return len(self._running)
+
+    # -- lifecycle -------------------------------------------------------
+
+    def close(self) -> None:
+        """Refuse new work; queued jobs fail fast with saturation."""
+        with self._ready:
+            self._closed = True
+            failed: list[RenderJob] = []
+            for lane in LANES:
+                queue = self._lanes[lane]
+                while queue:
+                    failed.append(queue.popleft())
+            self._queued.clear()
+            self._ready.notify_all()
+        for job in failed:
+            job.future.set_exception(
+                FarmSaturatedError("render farm shut down with job queued")
+            )
+
+    @property
+    def closed(self) -> bool:
+        with self._lock:
+            return self._closed

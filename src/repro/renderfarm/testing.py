@@ -1,0 +1,127 @@
+"""Deterministic test harness for the render farm.
+
+The real :class:`~repro.renderfarm.farm.RenderFarm` runs OS threads; the
+properties worth pinning (lane precedence, FIFO within lane, coalescing
+identity, dead-letter isolation) are *scheduling* properties, which
+threads can only probabilistically exercise.  :class:`SimConsumer`
+drains the very same :class:`~repro.renderfarm.queue.LaneQueue` with no
+threads at all, on a :class:`repro.sim.clock.Clock`, recording every
+dispatch into a :class:`SchedulingTrace` — so a hypothesis property can
+enumerate arrival orders and assert on the exact drain order, and a
+regression is a replayable trace, not a flake.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+from repro.renderfarm.job import RenderJob, RenderKey
+from repro.renderfarm.queue import LaneQueue
+from repro.sim.clock import Clock
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One dispatched job, as the consumer saw it."""
+
+    seq: int
+    key: RenderKey
+    lane: str
+    enqueued_at: float
+    started_at: float
+    finished_at: float
+    consumer: str
+    outcome: str  # "ok" | "error"
+    promoted: bool
+    waiters: int
+
+
+@dataclass
+class SchedulingTrace:
+    """The recorded dispatch order of one simulated drain."""
+
+    events: list[TraceEvent] = field(default_factory=list)
+
+    def record(self, event: TraceEvent) -> None:
+        self.events.append(event)
+
+    def keys(self) -> list[RenderKey]:
+        return [event.key for event in self.events]
+
+    def lanes(self) -> list[str]:
+        return [event.lane for event in self.events]
+
+    def by_lane(self, lane: str) -> list[TraceEvent]:
+        return [event for event in self.events if event.lane == lane]
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+
+class SimConsumer:
+    """A fake competing consumer on simulated time.
+
+    ``service_s`` is either a constant or a ``job -> seconds`` callable;
+    each :meth:`step` pops the hottest job, advances the clock by its
+    service time, runs the thunk, resolves the shared future, and logs a
+    :class:`TraceEvent`.  :meth:`drain` steps until the queue is empty.
+    """
+
+    def __init__(
+        self,
+        queue: LaneQueue,
+        clock: Clock,
+        service_s: float | Callable[[RenderJob], float] = 0.0,
+        name: str = "sim-0",
+        trace: Optional[SchedulingTrace] = None,
+    ) -> None:
+        self.queue = queue
+        self.clock = clock
+        self.service_s = service_s
+        self.name = name
+        self.trace = trace if trace is not None else SchedulingTrace()
+
+    def _service_time(self, job: RenderJob) -> float:
+        if callable(self.service_s):
+            return float(self.service_s(job))
+        return float(self.service_s)
+
+    def step(self) -> Optional[TraceEvent]:
+        """Dispatch one job deterministically; None when queue is idle."""
+        job = self.queue.try_pop()
+        if job is None:
+            return None
+        started = self.clock.now
+        self.clock.advance(self._service_time(job))
+        outcome = "ok"
+        try:
+            result: Any = job.fn()
+        except BaseException as exc:
+            outcome = "error"
+            job.future.set_exception(exc)
+        else:
+            job.future.set_result(result)
+        finally:
+            self.queue.done(job)
+        event = TraceEvent(
+            seq=job.seq,
+            key=job.key,
+            lane=job.lane,
+            enqueued_at=job.enqueued_at,
+            started_at=started,
+            finished_at=self.clock.now,
+            consumer=self.name,
+            outcome=outcome,
+            promoted=job.promoted,
+            waiters=job.waiters,
+        )
+        self.trace.record(event)
+        return event
+
+    def drain(self, limit: int = 10_000) -> SchedulingTrace:
+        """Step until the queue is empty (bounded against runaways)."""
+        for _ in range(limit):
+            if self.step() is None:
+                return self.trace
+        raise RuntimeError(f"sim consumer did not drain within {limit} steps")

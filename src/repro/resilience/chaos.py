@@ -45,6 +45,14 @@ class ChaosReport:
     degraded_serves: dict[str, int] = field(default_factory=dict)
     stale_hits: int = 0
     metrics_exposition_lines: int = 0
+    # Farm-fault fields (populated when farm_faults=True).
+    farm_faults: bool = False
+    farm_consumers_started: int = 0
+    farm_consumers_alive: int = 0
+    farm_consumer_crashes: int = 0
+    farm_dead_letters: int = 0
+    farm_dead_letter_refusals: int = 0
+    farm_coalesced: int = 0
 
     @property
     def total(self) -> int:
@@ -94,6 +102,8 @@ def run_chaos(
     origin_failure_rate: float = 0.1,
     garbage_rate: float = 0.05,
     warm: bool = True,
+    farm_faults: bool = False,
+    farm_consumers: int = 2,
 ) -> ChaosReport:
     """Run the forum deployment through a seeded fault schedule.
 
@@ -101,6 +111,15 @@ def run_chaos(
     between hard failures and hangs; ``garbage_rate`` additionally makes
     origin responses arrive corrupted.  ``warm=False`` skips the cache
     warm-up, exercising the no-stale bottom rungs instead.
+
+    ``farm_faults=True`` routes renders through a
+    :class:`~repro.renderfarm.RenderFarm` and injects farm-level
+    faults on top of the schedule: one consumer is crashed mid-render a
+    third of the way in (the farm runs degraded from then on), and the
+    render fault schedule drives repeatedly-failing keys into the
+    dead-letter lane.  The acceptance bar is unchanged — warm-cache
+    requests keep returning 200s with the farm degraded to
+    ``farm_consumers - 1`` consumers.
     """
     # Imported here, not at module level: the resilience package is a
     # dependency of the pipeline, so the harness (which drives the whole
@@ -115,6 +134,17 @@ def run_chaos(
     proxy, mobile = _build_forum_proxy()
     services = proxy.services
     base = "http://m.sawmillcreek.org/proxy.php"
+
+    farm = None
+    if farm_faults:
+        from repro.renderfarm import RenderFarm
+
+        farm = RenderFarm(
+            consumers=farm_consumers,
+            metrics=services.observability.registry,
+            name="chaos",
+        )
+        services.renderfarm = farm
 
     if warm:
         for suffix in ("", "?page=forums", "?page=login",
@@ -136,7 +166,16 @@ def run_chaos(
     services.install_faults(plan)
 
     report = ChaosReport(seed=seed, requests=requests)
+    report.farm_faults = farm_faults
+    report.farm_consumers_started = farm_consumers if farm_faults else 0
+    crash_at = max(1, requests // 3)
     for index in range(max(1, requests)):
+        if farm is not None and index == crash_at:
+            # A browser process dies mid-render a third of the way in:
+            # the next dispatched farm job fails and takes its consumer
+            # with it.  No restart — the rest of the run is served by a
+            # degraded farm.
+            farm.crash_consumer()
         response = mobile.get(base + WORKLOAD[index % len(WORKLOAD)])
         report.statuses[response.status] = (
             report.statuses.get(response.status, 0) + 1
@@ -166,10 +205,26 @@ def run_chaos(
         registry, "msite_degraded_serves_total", "mode"
     )
     report.stale_hits = _family_sum(registry, "msite_cache_stale_hits_total")
+    if farm is not None:
+        report.farm_consumers_alive = farm.consumers_alive
+        report.farm_consumer_crashes = _family_sum(
+            registry, "msite_renderfarm_consumer_crashes_total"
+        )
+        report.farm_dead_letters = _family_sum(
+            registry, "msite_renderfarm_dead_lettered_total"
+        )
+        report.farm_dead_letter_refusals = _family_sum(
+            registry, "msite_renderfarm_dead_letter_refusals_total"
+        )
+        report.farm_coalesced = _family_sum(
+            registry, "msite_renderfarm_coalesced_total"
+        )
     metrics_page = mobile.get("http://m.sawmillcreek.org/metrics")
     report.metrics_exposition_lines = len(
         metrics_page.text_body.splitlines()
     )
+    if farm is not None:
+        farm.close()
     return report
 
 
@@ -216,6 +271,21 @@ def format_report(report: ChaosReport) -> str:
     lines.append(
         f"    breaker short-circuits: {report.breaker_short_circuits:>6}"
     )
+    if report.farm_faults:
+        lines.append("")
+        lines.append("  render farm:")
+        lines.append(
+            f"    consumers: {report.farm_consumers_alive} alive of "
+            f"{report.farm_consumers_started} started "
+            f"({report.farm_consumer_crashes} crashed mid-render)"
+        )
+        lines.append(
+            f"    dead-lettered keys: {report.farm_dead_letters:>6}"
+        )
+        lines.append(
+            f"    dead-letter refusals: {report.farm_dead_letter_refusals:>4}"
+        )
+        lines.append(f"    coalesced submissions: {report.farm_coalesced:>3}")
     lines.append("")
     lines.append(
         f"  /metrics exposition: {report.metrics_exposition_lines} lines"

@@ -206,3 +206,49 @@ def test_closed_cluster_rejects_into_unrouteable():
     deployment.close()
     response = deployment.handle(Request.get("http://echo.local/?page=a"))
     assert response.status == 503
+
+
+def test_farm_backed_cluster_shares_one_farm_and_reports_status():
+    """``farm_consumers=N`` stands up one fleet-shared render farm: every
+    worker's services point at it, its metrics land on the fleet
+    registry, and ``/cluster`` carries its lane depths."""
+    with ClusterDeployment(
+        origins={},
+        workers=2,
+        site="farmed",
+        make_app=EchoApp,
+        farm_consumers=2,
+        farm_queue_limit=8,
+        farm_wait_s=2.0,
+    ) as deployment:
+        farm = deployment.renderfarm
+        assert farm is not None
+        assert all(
+            worker.services.renderfarm is farm
+            for worker in deployment.workers
+        )
+        assert farm.default_wait_s == 2.0
+        # The farm actually renders through the shared queue.
+        from repro.renderfarm import RenderKey
+
+        assert farm.render(
+            RenderKey("farmed", "/front"), lambda: "bundle", wait_s=5.0
+        ) == "bundle"
+        status = json.loads(
+            _get(deployment, "http://farmed.local/cluster").text_body
+        )
+        assert status["renderfarm"]["consumers_alive"] == 2
+        assert status["renderfarm"]["queue_limit"] == 8
+        # msite_renderfarm_* families roll up into the fleet /metrics.
+        metrics = _get(deployment, "http://farmed.local/metrics").text_body
+        assert "msite_renderfarm_completed_total" in metrics
+    # close() shut the farm down with the workers.
+    assert farm.consumers_alive == 0
+
+
+def test_cluster_without_farm_has_no_renderfarm(cluster):
+    assert cluster.renderfarm is None
+    status = json.loads(
+        _get(cluster, "http://echo.local/cluster").text_body
+    )
+    assert "renderfarm" not in status

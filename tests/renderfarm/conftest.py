@@ -1,0 +1,41 @@
+"""Hypothesis profiles and shared rigs for the render farm suite.
+
+Mirrors ``tests/resilience/conftest.py``: the coverage gate runs this
+suite under the stdlib ``trace`` module, so the ``coverage`` profile
+keeps the property tests short enough to fit the tier-1 time budget.
+The default profile pins 200+ examples per property (the acceptance
+bar for the farm's scheduling invariants).
+
+Every fixture builds fresh objects — no module or session state — so
+the suite stays safe under parallel runners and repeat loops.
+"""
+
+import os
+
+import pytest
+from hypothesis import settings
+
+from repro.renderfarm import LaneQueue
+from repro.renderfarm.testing import SchedulingTrace, SimConsumer
+from repro.sim.clock import Clock
+
+settings.register_profile("default", max_examples=200, deadline=None)
+settings.register_profile("coverage", max_examples=10, deadline=None)
+settings.load_profile(
+    os.environ.get("MSITE_HYPOTHESIS_PROFILE", "default")
+)
+
+
+@pytest.fixture()
+def clock():
+    return Clock()
+
+
+@pytest.fixture()
+def queue(clock):
+    return LaneQueue(limit=64, clock=clock)
+
+
+@pytest.fixture()
+def consumer(queue, clock):
+    return SimConsumer(queue, clock, trace=SchedulingTrace())

@@ -1,0 +1,54 @@
+"""Farm-fault chaos acceptance: degraded capacity, not degraded answers.
+
+The farm loses a consumer mid-render a third of the way through the
+run and keeps absorbing the same fault schedule with what's left.  The
+acceptance bar: warm-cache requests still return **100% 200s** with the
+farm degraded to one consumer — capacity loss surfaces as ladder
+degradation and farm metrics, never as user-visible errors.
+"""
+
+from repro.resilience.chaos import run_chaos
+
+
+def test_warm_cache_survives_farm_degraded_to_one_consumer():
+    report = run_chaos(
+        seed=7,
+        requests=120,
+        render_failure_rate=0.3,
+        origin_failure_rate=0.1,
+        garbage_rate=0.05,
+        warm=True,
+        farm_faults=True,
+        farm_consumers=2,
+    )
+    assert report.farm_faults
+    assert report.total == 120
+    # The injected crash actually happened and actually cost a consumer.
+    assert report.farm_consumer_crashes == 1
+    assert report.farm_consumers_started == 2
+    assert report.farm_consumers_alive == 1
+    # And yet: every warm-cache request answered 200.
+    assert report.statuses == {200: 120}, (
+        f"farm degradation leaked errors: {report.statuses}"
+    )
+    assert report.internal_errors == 0
+
+
+def test_farm_chaos_is_observable_end_to_end():
+    report = run_chaos(
+        seed=11,
+        requests=60,
+        render_failure_rate=0.3,
+        origin_failure_rate=0.0,
+        garbage_rate=0.0,
+        warm=True,
+        farm_faults=True,
+        farm_consumers=2,
+    )
+    assert report.internal_errors == 0
+    # msite_renderfarm_* families made it onto the same exposition the
+    # rest of the chaos story uses.
+    assert report.metrics_exposition_lines > 100
+    # The schedule forced renders (?refresh=1), so the farm did real work
+    # before and after the crash.
+    assert report.farm_consumer_crashes == 1

@@ -1,0 +1,140 @@
+"""The deterministic harness itself: sim consumer, traces, timing."""
+
+import pytest
+
+from repro.errors import RenderError
+from repro.renderfarm import (
+    INTERACTIVE,
+    LaneQueue,
+    REFRESH,
+    RenderKey,
+    SPECULATIVE,
+)
+from repro.renderfarm.testing import SchedulingTrace, SimConsumer
+from repro.sim.clock import Clock
+
+
+def test_drain_order_is_hottest_lane_first(queue, consumer):
+    queue.submit(RenderKey("h", "/spec"), lambda: "s", SPECULATIVE)
+    queue.submit(RenderKey("h", "/refresh"), lambda: "r", REFRESH)
+    queue.submit(RenderKey("h", "/inter"), lambda: "i", INTERACTIVE)
+    trace = consumer.drain()
+    assert trace.lanes() == [INTERACTIVE, REFRESH, SPECULATIVE]
+    assert [event.consumer for event in trace.events] == ["sim-0"] * 3
+
+
+def test_trace_records_sim_time_service_windows():
+    clock = Clock()
+    queue = LaneQueue(limit=16, clock=clock)
+    queue.submit(RenderKey("h", "/a"), lambda: "a", INTERACTIVE)
+    queue.submit(RenderKey("h", "/b"), lambda: "b", INTERACTIVE)
+    trace = SimConsumer(queue, clock, service_s=0.25).drain()
+    assert [
+        (event.started_at, event.finished_at) for event in trace.events
+    ] == [(0.0, 0.25), (0.25, 0.5)]
+    assert all(event.enqueued_at == 0.0 for event in trace.events)
+
+
+def test_service_time_can_depend_on_the_job():
+    clock = Clock()
+    queue = LaneQueue(limit=16, clock=clock)
+    queue.submit(RenderKey("h", "/slow"), lambda: "s", INTERACTIVE)
+    queue.submit(RenderKey("h", "/fast"), lambda: "f", REFRESH)
+    consumer = SimConsumer(
+        queue,
+        clock,
+        service_s=lambda job: 1.0 if job.key.path == "/slow" else 0.1,
+    )
+    trace = consumer.drain()
+    assert trace.events[0].finished_at == pytest.approx(1.0)
+    assert trace.events[1].finished_at == pytest.approx(1.1)
+
+
+def test_error_outcome_is_traced_and_future_raises(queue, consumer):
+    def _boom():
+        raise RenderError("no browser")
+
+    job = queue.submit(RenderKey("h", "/boom"), _boom, INTERACTIVE)
+    trace = consumer.drain()
+    assert [event.outcome for event in trace.events] == ["error"]
+    with pytest.raises(RenderError):
+        job.future.result(timeout=0)
+
+
+def test_step_returns_none_when_idle(queue, consumer):
+    assert consumer.step() is None
+    assert len(consumer.trace) == 0
+
+
+def test_shared_trace_across_competing_sim_consumers():
+    """Two sim consumers draining one queue interleave into one trace —
+    the deterministic analogue of the threaded competing consumers."""
+    clock = Clock()
+    queue = LaneQueue(limit=16, clock=clock)
+    for index in range(4):
+        queue.submit(RenderKey("h", f"/p{index}"), lambda: "x", INTERACTIVE)
+    trace = SchedulingTrace()
+    a = SimConsumer(queue, clock, name="sim-a", trace=trace)
+    b = SimConsumer(queue, clock, name="sim-b", trace=trace)
+    while a.step() is not None and b.step() is not None:
+        pass
+    assert len(trace) == 4
+    assert {event.consumer for event in trace.events} == {"sim-a", "sim-b"}
+    seqs = [event.seq for event in trace.events]
+    assert seqs == sorted(seqs)
+
+
+def test_drain_limit_guards_against_runaway():
+    clock = Clock()
+    queue = LaneQueue(limit=16, clock=clock)
+    queue.submit(RenderKey("h", "/a"), lambda: "a", INTERACTIVE)
+    with pytest.raises(RuntimeError):
+        SimConsumer(queue, clock).drain(limit=0)
+
+
+def test_requeue_preserves_fifo_head_position():
+    """A popped-but-unexecuted job returns to the head of its lane."""
+    clock = Clock()
+    queue = LaneQueue(limit=16, clock=clock)
+    queue.submit(RenderKey("h", "/first"), lambda: "a", INTERACTIVE)
+    queue.submit(RenderKey("h", "/second"), lambda: "b", INTERACTIVE)
+    job = queue.try_pop()
+    assert job.key == RenderKey("h", "/first")
+    queue.requeue(job)
+    trace = SimConsumer(queue, clock).drain()
+    assert trace.keys() == [
+        RenderKey("h", "/first"), RenderKey("h", "/second")
+    ]
+
+
+def test_unknown_lane_is_rejected_loudly():
+    from repro.renderfarm import lane_rank
+
+    with pytest.raises(ValueError):
+        lane_rank("batch")
+    clock = Clock()
+    queue = LaneQueue(limit=16, clock=clock)
+    with pytest.raises(ValueError):
+        queue.submit(RenderKey("h", "/x"), lambda: "x", "batch")
+
+
+def test_render_key_string_form():
+    assert str(RenderKey("forum", "/front", "phone", "fp-9")) == (
+        "forum:/front:phone:fp-9"
+    )
+    assert str(RenderKey("forum", "/front")) == "forum:/front:default:-"
+
+
+def test_resolve_clock_accepts_callable_clock_or_none():
+    from repro.renderfarm.job import resolve_clock
+
+    assert resolve_clock(lambda: 4.5)() == 4.5
+    clock = Clock(start=2.0)
+    assert resolve_clock(clock)() == 2.0
+    assert resolve_clock(None)() >= 0.0
+
+
+def test_job_order_is_lane_rank_then_seq(queue):
+    early = queue.submit(RenderKey("h", "/a"), lambda: "a", SPECULATIVE)
+    late = queue.submit(RenderKey("h", "/b"), lambda: "b", INTERACTIVE)
+    assert late.order() < early.order()

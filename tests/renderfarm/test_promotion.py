@@ -1,0 +1,91 @@
+"""Regression: speculative work a user starts waiting on is promoted.
+
+The bug class this pins: a job enqueued speculatively (a prerender
+prediction) being *re-enqueued* when the real user arrives — two
+renders for one artifact, with the user's copy behind the speculative
+backlog.  The correct behaviour is promotion: same job, same future,
+re-filed into the interactive lane in seq order.
+
+All deterministic — sim clock, sim consumer, no threads.
+"""
+
+from repro.renderfarm import (
+    INTERACTIVE,
+    LaneQueue,
+    RenderKey,
+    SPECULATIVE,
+)
+from repro.renderfarm.testing import SimConsumer
+from repro.sim.clock import Clock
+
+
+def test_speculative_then_interactive_is_promoted_not_duplicated():
+    clock = Clock()
+    queue = LaneQueue(limit=16, clock=clock)
+    key = RenderKey("promo", "/article/7")
+
+    speculative = queue.submit(key, lambda: "bundle", SPECULATIVE)
+    clock.advance(0.5)  # the prediction sits queued for a while
+    interactive = queue.submit(key, lambda: "bundle", INTERACTIVE)
+
+    # Same job, not a duplicate: the user joined the queued prediction.
+    assert interactive is speculative
+    assert interactive.future is speculative.future
+    assert queue.depth == 1
+    assert queue.coalesced == 1
+    assert queue.promotions == 1
+    assert interactive.lane == INTERACTIVE
+    assert interactive.promoted
+
+    trace = SimConsumer(queue, clock, service_s=0.05).drain()
+    assert len(trace) == 1
+    event = trace.events[0]
+    assert event.lane == INTERACTIVE
+    assert event.promoted
+    assert event.waiters == 2
+    assert interactive.future.result(timeout=0) == "bundle"
+
+
+def test_promotion_keeps_seniority_within_the_hot_lane():
+    """A promoted job dispatches by its original seq: earlier-submitted
+    interactive work still goes first, later-submitted goes after."""
+    clock = Clock()
+    queue = LaneQueue(limit=16, clock=clock)
+
+    first = queue.submit(
+        RenderKey("promo", "/earlier"), lambda: "a", INTERACTIVE
+    )
+    spec = queue.submit(
+        RenderKey("promo", "/predicted"), lambda: "b", SPECULATIVE
+    )
+    later = queue.submit(
+        RenderKey("promo", "/later"), lambda: "c", INTERACTIVE
+    )
+    promoted = queue.submit(
+        RenderKey("promo", "/predicted"), lambda: "b", INTERACTIVE
+    )
+    assert promoted is spec
+
+    trace = SimConsumer(queue, clock).drain()
+    assert trace.keys() == [
+        RenderKey("promo", "/earlier"),
+        RenderKey("promo", "/predicted"),
+        RenderKey("promo", "/later"),
+    ]
+    assert [event.seq for event in trace.events] == sorted(
+        event.seq for event in trace.events
+    )
+    assert first.future.result(timeout=0) == "a"
+    assert later.future.result(timeout=0) == "c"
+
+
+def test_demotion_never_happens():
+    """A colder submission joining a hot queued job leaves it hot."""
+    clock = Clock()
+    queue = LaneQueue(limit=16, clock=clock)
+    key = RenderKey("promo", "/front")
+    hot = queue.submit(key, lambda: "bundle", INTERACTIVE)
+    joined = queue.submit(key, lambda: "bundle", SPECULATIVE)
+    assert joined is hot
+    assert hot.lane == INTERACTIVE
+    assert queue.promotions == 0

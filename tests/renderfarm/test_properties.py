@@ -1,0 +1,167 @@
+"""Hypothesis properties over the farm's scheduling policy.
+
+Every property enumerates arrival orders against the same
+:class:`~repro.renderfarm.queue.LaneQueue` the threaded farm drains,
+using the no-thread :class:`~repro.renderfarm.testing.SimConsumer` —
+so the invariants are checked on the *exact* dispatch order, not on
+what a thread scheduler happened to do.
+"""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import DeadLetterError
+from repro.renderfarm import (
+    INTERACTIVE,
+    LANES,
+    LaneQueue,
+    REFRESH,
+    RenderKey,
+    SPECULATIVE,
+    lane_rank,
+)
+from repro.renderfarm.testing import SimConsumer
+from repro.sim.clock import Clock
+
+lanes = st.sampled_from(LANES)
+
+#: An arrival: (page index, lane).  Page indices collide on purpose so
+#: coalescing paths are exercised alongside fresh enqueues.
+arrivals = st.lists(
+    st.tuples(st.integers(min_value=0, max_value=9), lanes),
+    min_size=1,
+    max_size=30,
+)
+
+
+def _drain(submissions):
+    """Submit everything at one simulated instant, then drain."""
+    clock = Clock()
+    queue = LaneQueue(limit=1024, clock=clock)
+    for index, (page, lane) in enumerate(submissions):
+        queue.submit(
+            RenderKey("prop", f"/p{page}"), lambda index=index: index, lane
+        )
+    return SimConsumer(queue, clock).drain()
+
+
+@given(arrivals)
+def test_fifo_within_lane(submissions):
+    """Within one lane, jobs dispatch in submission (seq) order."""
+    trace = _drain(submissions)
+    for lane in LANES:
+        seqs = [event.seq for event in trace.by_lane(lane)]
+        assert seqs == sorted(seqs)
+
+
+@given(arrivals)
+def test_strict_lane_precedence_at_equal_arrival(submissions):
+    """No priority inversion: with all jobs enqueued at the same sim
+    time, every dispatched job is at least as hot as the next one."""
+    trace = _drain(submissions)
+    ranks = [lane_rank(event.lane) for event in trace.events]
+    assert ranks == sorted(ranks)
+
+
+@given(arrivals)
+def test_each_key_renders_exactly_once(submissions):
+    """Coalescing: duplicate keys join; the drain renders each key once."""
+    trace = _drain(submissions)
+    keys = trace.keys()
+    assert len(keys) == len(set(keys))
+    assert set(keys) == {
+        RenderKey("prop", f"/p{page}") for page, _lane in submissions
+    }
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=3),
+            st.sampled_from(["fp-a", "fp-b"]),
+            lanes,
+        ),
+        min_size=1,
+        max_size=24,
+    )
+)
+def test_coalescing_never_merges_different_spec_fp(submissions):
+    """Same page under different spec fingerprints renders separately."""
+    clock = Clock()
+    queue = LaneQueue(limit=1024, clock=clock)
+    for page, fp, lane in submissions:
+        queue.submit(
+            RenderKey("prop", f"/p{page}", spec_fp=fp),
+            lambda fp=fp: fp,
+            lane,
+        )
+    trace = SimConsumer(queue, clock).drain()
+    rendered = trace.keys()
+    assert len(rendered) == len(set(rendered))
+    assert set(rendered) == {
+        RenderKey("prop", f"/p{page}", spec_fp=fp)
+        for page, fp, _lane in submissions
+    }
+    # And every waiter got the result for *its* fingerprint.
+    for event in trace.events:
+        assert event.key.spec_fp in ("fp-a", "fp-b")
+
+
+@given(lanes, st.floats(min_value=0.0, max_value=59.0))
+def test_dead_lettered_key_refused_within_ttl(lane, age_s):
+    """A quarantined key is refused for the full TTL, whatever the lane."""
+    clock = Clock()
+    queue = LaneQueue(limit=16, clock=clock, dead_letter_ttl_s=60.0)
+    key = RenderKey("prop", "/poison")
+    queue.dead_letter(key, reason="3 consecutive render failures", failures=3)
+    clock.advance(age_s)
+    try:
+        queue.submit(key, lambda: "never", lane)
+    except DeadLetterError:
+        pass
+    else:
+        raise AssertionError("dead-lettered key was admitted inside TTL")
+    assert queue.dead_letter_refusals >= 1
+    assert queue.depth == 0
+
+
+@given(lanes)
+def test_dead_letter_probe_never_reenters_hot_lane(lane):
+    """After the TTL one probe re-enters — always demoted to speculative,
+    regardless of how hot the submission asked to be."""
+    clock = Clock()
+    queue = LaneQueue(limit=16, clock=clock, dead_letter_ttl_s=60.0)
+    key = RenderKey("prop", "/poison")
+    queue.dead_letter(key, reason="3 consecutive render failures", failures=3)
+    clock.advance(61.0)
+    job = queue.submit(key, lambda: "probe", lane)
+    assert job.lane == SPECULATIVE
+    assert queue.probes == 1
+    trace = SimConsumer(queue, clock).drain()
+    assert trace.lanes() == [SPECULATIVE]
+
+
+@given(
+    st.lists(
+        st.integers(min_value=0, max_value=5), min_size=1, max_size=12
+    )
+)
+def test_displacement_only_evicts_colder_lanes(cold_pages):
+    """Under backpressure a hot submission displaces only strictly
+    colder queued work, and the displaced waiters see saturation."""
+    clock = Clock()
+    queue = LaneQueue(limit=len(set(cold_pages)), clock=clock)
+    for page in cold_pages:
+        queue.submit(
+            RenderKey("prop", f"/cold{page}"), lambda: "cold", SPECULATIVE
+        )
+    assert queue.depth == queue.limit
+    hot = queue.submit(RenderKey("prop", "/hot"), lambda: "hot", INTERACTIVE)
+    assert queue.displaced == 1
+    assert hot.lane == INTERACTIVE
+    trace = SimConsumer(queue, clock).drain()
+    assert trace.keys()[0] == RenderKey("prop", "/hot")
+    assert all(
+        lane_rank(event.lane) >= lane_rank(REFRESH)
+        for event in trace.events[1:]
+    )

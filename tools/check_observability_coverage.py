@@ -11,9 +11,11 @@ spans, breaker state, retry budgets), where untested lines are silent
 lies on the ``/metrics`` endpoint — plus ``repro.cluster``, whose
 routing/spill-over/rollup branches are exactly the lines that only
 matter when a worker is down or saturated (a per-package ``floor``
-raises its bar to 95%), and the workload layer (``repro.workload`` and
+raises its bar to 95%), the workload layer (``repro.workload`` and
 ``repro.sites.news``, both at 95%), whose determinism and 5xx
-accounting the scenario regression gate leans on.
+accounting the scenario regression gate leans on, and
+``repro.renderfarm`` (95%), whose scheduling branches only run under
+backpressure or failure.
 
 Usage:  python tools/check_observability_coverage.py [--floor 0.80]
 
@@ -110,6 +112,23 @@ PACKAGES = [
             "tests/workload/test_scenarios.py",
             "tests/workload/test_properties.py",
             "tests/workload/test_engine.py",
+        ],
+    },
+    {
+        # The render farm: scheduling policy (lanes, coalescing,
+        # promotion, displacement, dead letters) whose untested branches
+        # are exactly the ones that only run under backpressure or
+        # failure.  The burst/chaos e2e suites are excluded per the
+        # standard tracer-budget policy; the unit, property, and
+        # harness suites drive the package directly.
+        "label": "repro.renderfarm",
+        "dir": os.path.join(SRC_DIR, "repro", "renderfarm"),
+        "floor": 0.95,
+        "suites": [
+            "tests/renderfarm/test_properties.py",
+            "tests/renderfarm/test_farm.py",
+            "tests/renderfarm/test_promotion.py",
+            "tests/renderfarm/test_harness.py",
         ],
     },
     {

@@ -23,11 +23,18 @@ smoke (``msite bench-adapt --require-hits``), which exits non-zero if
 the warm forum workload never hits the adapted-response fast path,
 and runs the cluster smoke (``msite scalability --workers 2 --smoke``),
 which exits non-zero if a 2-worker fleet fails to beat one worker or
-ever renders the same (path, device) pair twice.  Finally it replays
-two workload scenarios in smoke mode (``msite workload --scenario
-flash-crowd --smoke`` and ``--scenario zipf-news --smoke``): each must
-finish with zero non-degraded 5xx at warm cache and within the p99
-budget, and each appends its bench row to ``BENCH_pipeline.json``.
+ever renders the same (path, device) pair twice, and the render-farm
+burst smoke (``msite scalability --farm --smoke``), which exits
+non-zero if the farm-backed configuration serves a single non-degraded
+5xx under an open-loop flash crowd.  It then replays two workload
+scenarios in smoke mode (``msite workload --scenario flash-crowd
+--smoke`` and ``--scenario zipf-news --smoke``): each must finish with
+zero non-degraded 5xx at warm cache and within the p99 budget, and
+each appends its bench row to ``BENCH_pipeline.json``.  Finally the
+two timing-sensitive farm tests (the cold-start hammer and the
+farm-fault chaos acceptance) are re-run three times in a flake-guard
+loop — a scheduling regression that only fires occasionally must still
+turn the gate red.
 
 Exits non-zero when tests fail or a ceiling is breached, so CI and the
 pre-merge checklist can gate on one command.
@@ -183,6 +190,21 @@ def main(argv: list[str] | None = None) -> int:
     if cluster.returncode != 0:
         failures.append(f"cluster smoke exited {cluster.returncode}")
 
+    # -- render farm burst smoke: zero non-degraded 5xx under an
+    #    open-loop flash crowd ------------------------------------------
+    farm_command = [
+        sys.executable, "-m", "repro.cli", "scalability",
+        "--farm", "--smoke",
+    ]
+    print(f"\n$ {' '.join(farm_command)}")
+    farm = subprocess.run(
+        farm_command, cwd=REPO_ROOT, env=env,
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+    )
+    sys.stdout.write(farm.stdout)
+    if farm.returncode != 0:
+        failures.append(f"render farm burst smoke exited {farm.returncode}")
+
     # -- scenario smokes: a burst and a skewed news mix must finish with
     #    zero non-degraded 5xx at warm cache and append their bench rows
     for scenario in ("flash-crowd", "zipf-news"):
@@ -200,6 +222,33 @@ def main(argv: list[str] | None = None) -> int:
             failures.append(
                 f"workload smoke ({scenario}) exited {workload.returncode}"
             )
+
+    # -- flake guard: the timing-sensitive farm tests must pass three
+    #    runs in a row (no pytest-repeat in the container, so a plain
+    #    loop; each run is a fresh process and fresh farm threads) -----
+    flaky_targets = [
+        "tests/renderfarm/test_farm.py::"
+        "test_cold_start_hammer_coalesces_to_one_render",
+        "tests/renderfarm/test_chaos_farm.py::"
+        "test_warm_cache_survives_farm_degraded_to_one_consumer",
+    ]
+    for attempt in range(1, 4):
+        repeat_command = [
+            sys.executable, "-m", "pytest", *flaky_targets,
+            "-q", "-p", "no:cacheprovider",
+        ]
+        print(f"\n$ {' '.join(repeat_command)}  (flake guard {attempt}/3)")
+        repeat = subprocess.run(
+            repeat_command, cwd=REPO_ROOT, env=env,
+            stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+        )
+        sys.stdout.write(repeat.stdout)
+        if repeat.returncode != 0:
+            failures.append(
+                f"farm flake guard run {attempt}/3 exited "
+                f"{repeat.returncode}"
+            )
+            break
 
     print(f"\ntier-1 gate: suite finished in {elapsed:.1f}s")
     if failures:
