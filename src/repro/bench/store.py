@@ -50,7 +50,16 @@ def deep_merge(base: dict, updates: dict) -> dict:
 
 
 class _FileLock:
-    """Exclusive advisory lock on ``path + '.lock'``."""
+    """Exclusive advisory lock on ``path + '.lock'``, self-cleaning.
+
+    The lock file is unlinked on release so a bench run leaves no
+    ``.lock`` droppings behind (they used to end up committed).  Unlink
+    happens *while still holding* the flock, and acquisition revalidates
+    that the fd it locked is still the inode the lock path names — a
+    waiter that wakes holding an orphaned (already-unlinked) inode's
+    lock retries on the fresh file instead of proceeding as a second
+    "owner".
+    """
 
     def __init__(self, path: str, timeout_s: float = 30.0) -> None:
         self.lock_path = path + _LOCK_SUFFIX
@@ -59,9 +68,21 @@ class _FileLock:
 
     def __enter__(self) -> "_FileLock":
         if fcntl is not None:
-            self._handle = os.open(self.lock_path, os.O_CREAT | os.O_RDWR)
-            fcntl.flock(self._handle, fcntl.LOCK_EX)
-            return self
+            while True:
+                handle = os.open(self.lock_path, os.O_CREAT | os.O_RDWR)
+                fcntl.flock(handle, fcntl.LOCK_EX)
+                try:
+                    current_ino = os.stat(self.lock_path).st_ino
+                except FileNotFoundError:
+                    # The holder unlinked the file while we blocked in
+                    # flock(): our lock is on an orphaned inode.
+                    os.close(handle)
+                    continue
+                if os.fstat(handle).st_ino != current_ino:
+                    os.close(handle)
+                    continue
+                self._handle = handle
+                return self
         deadline = time.monotonic() + self.timeout_s  # pragma: no cover
         while True:  # pragma: no cover - non-POSIX spin
             try:
@@ -80,6 +101,13 @@ class _FileLock:
     def __exit__(self, *_exc) -> None:
         if self._handle is not None:
             if fcntl is not None:
+                # Unlink first, release after: waiters blocked on this
+                # inode wake, fail the inode revalidation, and retry on
+                # a fresh lock file — mutual exclusion is preserved.
+                try:
+                    os.unlink(self.lock_path)
+                except OSError:
+                    pass
                 fcntl.flock(self._handle, fcntl.LOCK_UN)
                 os.close(self._handle)
             else:  # pragma: no cover - non-POSIX spin

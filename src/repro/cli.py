@@ -76,21 +76,16 @@ def _cmd_generate(args: argparse.Namespace) -> int:
     return 0
 
 
-def _build_forum_proxy():
-    """The built-in SawmillCreek mobilization, plus a mobile client.
+def _build_forum_spec():
+    """The built-in SawmillCreek spec plus its origin map.
 
-    Shared by ``demo``, ``metrics``, and ``trace`` so each subcommand
-    observes the same deployment the demo exercises.
+    The single-proxy demo, the chaos harness, and the multi-region
+    deployments all mobilize this same site.
     """
-    from repro.core.codegen import load_generated_proxy
-    from repro.core.pipeline import ProxyServices
     from repro.core.spec import ObjectSelector
-    from repro.net.client import HttpClient
-    from repro.net.cookies import CookieJar
     from repro.sites.forum.app import ForumApplication
 
-    forum = ForumApplication()
-    origins = {"www.sawmillcreek.org": forum}
+    origins = {"www.sawmillcreek.org": ForumApplication()}
     spec = AdaptationSpec(site="SawmillCreek",
                           origin_host="www.sawmillcreek.org")
     spec.add("prerender")
@@ -99,6 +94,21 @@ def _build_forum_proxy():
              subpage_id="login", title="Log in")
     spec.add("subpage", ObjectSelector.css("#forumbits"),
              subpage_id="forums", title="Forums")
+    return spec, origins
+
+
+def _build_forum_proxy():
+    """The built-in SawmillCreek mobilization, plus a mobile client.
+
+    Shared by ``demo``, ``metrics``, and ``trace`` so each subcommand
+    observes the same deployment the demo exercises.
+    """
+    from repro.core.codegen import load_generated_proxy
+    from repro.core.pipeline import ProxyServices
+    from repro.net.client import HttpClient
+    from repro.net.cookies import CookieJar
+
+    spec, origins = _build_forum_spec()
     proxy = load_generated_proxy(generate_proxy_source(spec)).create_proxy(
         ProxyServices(origins=origins)
     )
@@ -148,6 +158,8 @@ def _cmd_trace(args: argparse.Namespace) -> int:
 
 
 def _cmd_chaos(args: argparse.Namespace) -> int:
+    if args.region_faults:
+        return _cmd_region_chaos(args)
     from repro.resilience.chaos import format_report, run_chaos
 
     try:
@@ -172,6 +184,74 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         )
         return 1
     return 0
+
+
+def _cmd_region_chaos(args: argparse.Namespace) -> int:
+    """``msite chaos --region-faults [--smoke]``: kill one of two
+    regions mid-workload and hold the run to zero non-degraded 5xx plus
+    a fully-replayed invalidation log."""
+    from repro.regions.chaos import format_region_report, run_region_chaos
+
+    requests = min(args.requests, 60) if args.smoke else args.requests
+    try:
+        report = run_region_chaos(seed=args.seed, requests=requests)
+    except (ValueError, MSiteError) as exc:
+        print(f"region chaos run failed: {exc}", file=sys.stderr)
+        return 1
+    print(format_region_report(report))
+    failed = False
+    if report.non_degraded_5xx:
+        print(
+            f"FAIL: {report.non_degraded_5xx} non-degraded 5xx leaked "
+            "through the failover",
+            file=sys.stderr,
+        )
+        failed = True
+    if not report.replay_caught_up:
+        print(
+            f"FAIL: healed region did not replay to the live offset "
+            f"(head {report.log_head}, acked {report.acked})",
+            file=sys.stderr,
+        )
+        failed = True
+    return 1 if failed else 0
+
+
+def _cmd_bench_regions(args: argparse.Namespace) -> int:
+    """``msite bench-regions``: measure warm-failover latency and the
+    disk warm-start fraction; upsert the ``region_failover`` row."""
+    from repro.bench.regions import format_report, run_region_failover_bench
+
+    try:
+        report = run_region_failover_bench(smoke=args.smoke)
+    except (ValueError, MSiteError) as exc:
+        print(f"bench-regions run failed: {exc}", file=sys.stderr)
+        return 1
+    print(format_report(report))
+    failed = False
+    if report.warm_start_fraction < 0.9:
+        print(
+            f"FAIL: warm restart recovered only "
+            f"{report.warm_start_fraction * 100:.0f}% of the working set "
+            "from disk (need >= 90%)",
+            file=sys.stderr,
+        )
+        failed = True
+    if not args.smoke and report.wrong_over_owner_p99 > 25.0:
+        print(
+            f"FAIL: wrong-region p99 is {report.wrong_over_owner_p99:.1f}x "
+            "the owner-region p99 — failover is not warm",
+            file=sys.stderr,
+        )
+        failed = True
+    if args.output and not args.smoke:
+        from repro.bench.store import upsert_row
+
+        upsert_row(
+            args.output, "region_failover", report.key, report.bench_row()
+        )
+        print(f"wrote {args.output} (region_failover.{report.key})")
+    return 1 if failed else 0
 
 
 def _cmd_bench_adapt(args: argparse.Namespace) -> int:
@@ -560,7 +640,34 @@ def build_parser() -> argparse.ArgumentParser:
         help="render farm consumers to start with --farm-faults "
         "(default 2; one is crashed a third of the way in)",
     )
+    chaos.add_argument(
+        "--region-faults", action="store_true",
+        help="run the multi-region harness instead: kill one of two "
+        "regions mid-workload, assert warm failover and CDC replay",
+    )
+    chaos.add_argument(
+        "--smoke", action="store_true",
+        help="with --region-faults: a seconds-scale gate run "
+        "(at most 60 requests)",
+    )
     chaos.set_defaults(fn=_cmd_chaos)
+
+    bench_regions = commands.add_parser(
+        "bench-regions",
+        help="benchmark region failover (owner vs wrong-region latency, "
+        "disk warm-start fraction) and record the region_failover row",
+    )
+    bench_regions.add_argument(
+        "--smoke", action="store_true",
+        help="small fast run for the tier-1 gate (skips the "
+        "BENCH_pipeline.json write and the latency-ratio bar)",
+    )
+    bench_regions.add_argument(
+        "-o", "--output", default="BENCH_pipeline.json",
+        help="upsert the region_failover row into this JSON file "
+        "(default BENCH_pipeline.json; empty string skips the write)",
+    )
+    bench_regions.set_defaults(fn=_cmd_bench_regions)
 
     scalability = commands.add_parser(
         "scalability", help="run the Figure 7 scalability sweep"

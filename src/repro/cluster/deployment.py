@@ -74,6 +74,9 @@ class ClusterDeployment(Application):
         farm_consumers: int = 0,
         farm_queue_limit: int = 64,
         farm_wait_s: Optional[float] = None,
+        storage: Optional[VirtualFileSystem] = None,
+        sessions: Optional[SessionManager] = None,
+        worker_prefix: str = "",
     ) -> None:
         if workers < 1:
             raise ValueError("a cluster needs at least one worker")
@@ -93,9 +96,14 @@ class ClusterDeployment(Application):
         )
         # One session universe and one file store: a user keeps their
         # cookie jar and adapted artifacts no matter which worker a
-        # given request spills to.
-        self.storage = VirtualFileSystem()
-        self.sessions = SessionManager(self.storage, clock=clock)
+        # given request spills to.  A multi-region deployment passes
+        # both in so a failover to another region keeps them too.
+        self.storage = storage if storage is not None else VirtualFileSystem()
+        self.sessions = (
+            sessions
+            if sessions is not None
+            else SessionManager(self.storage, clock=clock)
+        )
         # Optional fleet-shared render farm: one queue of priority
         # lanes drained by dedicated consumers, so render work never
         # ties up the workers' admission threads.  Its
@@ -118,8 +126,10 @@ class ClusterDeployment(Application):
             lambda request: request_shard_key(self.site, request)
         )
         self._workers: dict[str, ClusterWorker] = {}
+        # A multi-region deployment prefixes worker ids with the region
+        # name so worker-labeled metrics stay distinct in a fleet rollup.
         for index in range(workers):
-            worker_id = f"w{index}"
+            worker_id = f"{worker_prefix}w{index}"
             registry = MetricsRegistry()
             services = ProxyServices(
                 origins=dict(origins or {}),

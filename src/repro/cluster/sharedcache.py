@@ -47,10 +47,18 @@ DERIVED_STATE_KINDS = frozenset({REFRESH, INVALIDATE, CLEAR})
 
 @dataclass(frozen=True)
 class InvalidationEvent:
-    """One fleet-wide cache invalidation announcement."""
+    """One fleet-wide cache invalidation announcement.
+
+    ``replayed`` marks events re-delivered from the multi-region CDC
+    :class:`InvalidationLog <repro.regions.cdclog.InvalidationLog>`
+    during catch-up.  The regional pump appends only original events to
+    the log and ignores replayed ones, so a heal never re-appends (and
+    re-replays) its own catch-up traffic.
+    """
 
     kind: str
     key: Optional[str] = None  # None = the whole cache (``clear``)
+    replayed: bool = False
 
 
 class InvalidationBus:

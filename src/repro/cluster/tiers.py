@@ -1,0 +1,559 @@
+"""The explicit three-tier read-through cache hierarchy.
+
+Tier 1 — :class:`HotMemoCache`: a small per-worker memo over the fleet
+cache.  Hot keys are answered without touching the shared lock; every
+fleet invalidation event drops the affected memo entries, so a memo hit
+is never staler than the bus.
+
+Tier 2 — the fleet :class:`SharedPrerenderCache
+<repro.cluster.sharedcache.SharedPrerenderCache>` (single-flight,
+byte-budgeted, bus-announced invalidations) — unchanged semantics.
+
+Tier 3 — the disk-backed :class:`SnapshotStore
+<repro.cluster.snapshotstore.SnapshotStore>`: :class:`TieredPrerenderCache`
+reads through to it on a memory miss (promoting fresh entries back into
+tier 2, parking expired-but-graceful ones in the stale store for the
+degradation ladder) and persists every store **write-behind** on a flush
+thread with a bounded dirty queue.  When the queue is full the write
+degrades to write-through — synchronous but never dropped — so a crash
+loses at most the bounded queue, and a full fleet restart warm-starts
+from disk (:meth:`TieredPrerenderCache.preload`) instead of stampeding
+the origin.
+
+The write-behind/invalidate race (flusher reads an entry, an
+invalidation deletes it, the flusher persists it anyway — resurrecting
+it on disk) is closed by ``_store_lock``: persistence re-checks entry
+identity against the live map under that lock, and invalidations delete
+from memory *and* disk under the same lock.
+
+:class:`TieredSharedCache` wraps the stack as a
+:class:`SharedCacheBackend <repro.cluster.sharedcache.SharedCacheBackend>`
+so a :class:`ClusterDeployment <repro.cluster.deployment.ClusterDeployment>`
+can use it as a drop-in for :class:`InProcessSharedCache
+<repro.cluster.sharedcache.InProcessSharedCache>`.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict, deque
+from typing import Callable, Optional
+
+from repro.cluster.sharedcache import (
+    CLEAR,
+    EXPIRE,
+    INVALIDATE,
+    InvalidationBus,
+    InvalidationEvent,
+    SharedPrerenderCache,
+)
+from repro.cluster.snapshotstore import SnapshotStore
+from repro.core.cache import CacheEntry, PrerenderCache
+from repro.observability.metrics import MetricsRegistry
+
+
+class TieredPrerenderCache(SharedPrerenderCache):
+    """Tier 2 + tier 3: the fleet cache backed by a snapshot store."""
+
+    def __init__(
+        self,
+        bus: InvalidationBus,
+        store: SnapshotStore,
+        write_behind: bool = True,
+        dirty_limit: int = 256,
+        metrics: Optional[MetricsRegistry] = None,
+        on_persist: Optional[Callable[[CacheEntry], None]] = None,
+        **kwargs,
+    ) -> None:
+        self._store = store
+        self.write_behind = write_behind
+        self.dirty_limit = dirty_limit
+        self.on_persist = on_persist
+        # Serializes (identity-check + store.put) against
+        # (memory-delete + store.delete); see the module docstring.
+        self._store_lock = threading.Lock()
+        self._dirty: deque[tuple[str, CacheEntry]] = deque()
+        self._dirty_cond = threading.Condition()
+        self._closed = False
+        registry = metrics or MetricsRegistry()
+        self._promotions = registry.counter(
+            "msite_snapshotstore_promotions_total",
+            "Memory-tier misses answered by promoting a disk snapshot.",
+        )
+        self._preloaded = registry.counter(
+            "msite_snapshotstore_preloaded_total",
+            "Entries restored from disk by a warm-start preload.",
+        )
+        self._overflows = registry.counter(
+            "msite_snapshotstore_writebehind_overflows_total",
+            "Writes that degraded to write-through because the dirty "
+            "queue was full.",
+        )
+        self._depth = registry.gauge(
+            "msite_snapshotstore_writebehind_depth",
+            "Entries waiting in the write-behind dirty queue.",
+        )
+        self._callback_errors = registry.counter(
+            "msite_snapshotstore_persist_callback_errors_total",
+            "on_persist callbacks (snapshot replication) that raised.",
+        )
+        super().__init__(bus, metrics=registry, **kwargs)
+        self._flusher = threading.Thread(
+            target=self._flush_loop,
+            name="snapshot-writebehind",
+            daemon=True,
+        )
+        self._flusher.start()
+
+    @property
+    def store(self) -> SnapshotStore:
+        return self._store
+
+    # -- read-through (tier 3 → tier 2 promotion) ------------------------
+
+    def _restore(self, key: str) -> None:
+        """On a memory miss, pull ``key`` from disk: fresh entries are
+        promoted into the live map, expired-but-graceful ones into the
+        stale store.  No-op when memory already has an opinion."""
+        with self._store_lock:
+            stored = self._store.get(key)
+            if stored is None:
+                return
+            with self._lock:
+                if key in self._entries or key in self._stale:
+                    return
+                if stored.fresh(self._now):
+                    self._entries[key] = stored
+                    self._promotions.inc()
+                    self._evict_if_needed()
+                elif (
+                    stored.ttl_s > 0
+                    and self._stale_age(stored) <= self.stale_grace_s
+                ):
+                    self._stale[key] = stored
+                    self._evict_stale_if_needed()
+
+    def get(self, key: str) -> Optional[CacheEntry]:
+        if self.peek(key) is None:
+            self._restore(key)
+        return super().get(key)
+
+    def load_stale(
+        self, key: str, max_stale_s: Optional[float] = None
+    ) -> Optional[CacheEntry]:
+        if self.peek(key) is None:
+            self._restore(key)
+        return super().load_stale(key, max_stale_s=max_stale_s)
+
+    def preload(self) -> int:
+        """Warm-start: restore every readable disk entry into the
+        matching memory tier.  Returns the number restored."""
+        restored = 0
+        for entry in self._store.entries():
+            with self._lock:
+                if entry.key in self._entries or entry.key in self._stale:
+                    continue
+                if entry.fresh(self._now):
+                    self._entries[entry.key] = entry
+                elif (
+                    entry.ttl_s > 0
+                    and self._stale_age(entry) <= self.stale_grace_s
+                ):
+                    self._stale[entry.key] = entry
+                else:
+                    continue
+                restored += 1
+        if restored:
+            self._preloaded.inc(restored)
+        with self._lock:
+            self._evict_if_needed()
+            self._evict_stale_if_needed()
+        return restored
+
+    # -- write path (tier 2 → tier 3, write-behind) ----------------------
+
+    def put(
+        self,
+        key: str,
+        data: bytes | str,
+        content_type: str = "application/octet-stream",
+        ttl_s: float = 3600.0,
+    ) -> CacheEntry:
+        entry = super().put(
+            key, data, content_type=content_type, ttl_s=ttl_s
+        )
+        self._schedule_persist(key, entry)
+        return entry
+
+    def _schedule_persist(self, key: str, entry: CacheEntry) -> None:
+        if not self.write_behind:
+            self._persist(key, entry)
+            return
+        with self._dirty_cond:
+            if not self._closed and len(self._dirty) < self.dirty_limit:
+                self._dirty.append((key, entry))
+                self._depth.set(len(self._dirty))
+                self._dirty_cond.notify()
+                return
+        # Queue full (or already closing): degrade to write-through
+        # rather than dropping durability on the floor.
+        self._overflows.inc()
+        self._persist(key, entry)
+
+    def _persist(self, key: str, entry: CacheEntry) -> bool:
+        """Write one entry to disk iff it is still the live entry for its
+        key; returns whether it was persisted."""
+        with self._store_lock:
+            with self._lock:
+                if self._entries.get(key) is not entry:
+                    return False
+            self._store.put(entry)
+        callback = self.on_persist
+        if callback is not None:
+            try:
+                callback(entry)
+            except Exception:
+                self._callback_errors.inc()
+        return True
+
+    def _flush_loop(self) -> None:
+        while True:
+            with self._dirty_cond:
+                while not self._dirty and not self._closed:
+                    self._dirty_cond.wait()
+                if not self._dirty and self._closed:
+                    return
+                key, entry = self._dirty.popleft()
+                self._depth.set(len(self._dirty))
+            self._persist(key, entry)
+
+    def flush(self) -> int:
+        """Drain the dirty queue in the calling thread (deterministic
+        tests, shutdown).  Returns how many entries were persisted."""
+        persisted = 0
+        while True:
+            with self._dirty_cond:
+                if not self._dirty:
+                    return persisted
+                key, entry = self._dirty.popleft()
+                self._depth.set(len(self._dirty))
+            if self._persist(key, entry):
+                persisted += 1
+
+    def close(self) -> None:
+        with self._dirty_cond:
+            self._closed = True
+            self._dirty_cond.notify_all()
+        self._flusher.join(timeout=5.0)
+        self.flush()
+
+    # -- invalidation (both tiers, atomically w.r.t. the flusher) --------
+    #
+    # Bus events are always published with ``_store_lock`` released: the
+    # regional CDC pump runs subscribers synchronously and may take
+    # *peer* store locks, so publishing under ours would let two regions
+    # invalidating concurrently deadlock on each other's locks.
+
+    def invalidate(self, key: str) -> bool:
+        with self._store_lock:
+            removed = PrerenderCache.invalidate(self, key)
+            dropped = self._store.delete(key)
+        if removed:
+            self._bus.publish(InvalidationEvent(INVALIDATE, key))
+        return removed or dropped
+
+    def clear(self) -> None:
+        with self._dirty_cond:
+            self._dirty.clear()
+            self._depth.set(0)
+        with self._store_lock:
+            PrerenderCache.clear(self)
+            self._store.clear()
+        self._bus.publish(InvalidationEvent(CLEAR))
+
+    def invalidate_matching(
+        self, predicate: Callable[[str], bool]
+    ) -> int:
+        with self._store_lock:
+            removed = super().invalidate_matching(predicate)
+            for key in self._store.keys():
+                if predicate(key):
+                    self._store.delete(key)
+        return removed
+
+
+class HotMemoCache:
+    """Tier 1: a per-worker memo of recently-read fresh entries.
+
+    Reads hit the memo without taking the shared cache lock; everything
+    else delegates to the shared :class:`TieredPrerenderCache` (or any
+    :class:`PrerenderCache <repro.core.cache.PrerenderCache>`), so
+    single-flight collapsing, stale serving, and the byte budget stay
+    fleet-global.  Correctness lever: the memo subscribes to the fleet
+    invalidation bus and drops affected entries synchronously with the
+    event, and every memo read re-checks TTL freshness — a memo hit is
+    never staler than what the shared cache itself would have served.
+    """
+
+    def __init__(
+        self,
+        shared: SharedPrerenderCache,
+        worker_id: str,
+        max_entries: int = 128,
+    ) -> None:
+        self._shared = shared
+        self.worker_id = worker_id
+        self.max_entries = max_entries
+        self._memo: OrderedDict[str, CacheEntry] = OrderedDict()
+        self._memo_lock = threading.Lock()
+        registry = MetricsRegistry()
+        self._memo_hits = registry.counter(
+            "msite_hotmemo_hits_total",
+            "Reads answered by the per-worker hot memo tier.",
+        )
+        self._memo_drops = registry.counter(
+            "msite_hotmemo_drops_total",
+            "Memo entries dropped by fleet invalidation events.",
+        )
+        self._instruments = (self._memo_hits, self._memo_drops)
+        shared.bus.subscribe(self._on_invalidation)
+
+    # -- plumbing the cluster runtime expects ----------------------------
+
+    @property
+    def clock(self):
+        return self._shared.clock
+
+    @clock.setter
+    def clock(self, value) -> None:
+        self._shared.clock = value
+
+    @property
+    def stats(self):
+        return self._shared.stats
+
+    def bind_metrics(self, registry: MetricsRegistry) -> None:
+        self._shared.bind_metrics(registry)
+        for instrument in self._instruments:
+            registry.register(instrument)
+
+    def __getattr__(self, name: str):
+        # Everything not re-implemented here (load_or_join, load_stale,
+        # serve_stale_while_revalidate, total_bytes, ...) is the shared
+        # cache's business.
+        return getattr(self._shared, name)
+
+    @property
+    def _now(self) -> float:
+        clock = self._shared.clock
+        return clock.now if clock is not None else 0.0
+
+    # -- memo maintenance ------------------------------------------------
+
+    def _on_invalidation(self, event: InvalidationEvent) -> None:
+        with self._memo_lock:
+            if event.kind in (INVALIDATE, EXPIRE) and event.key:
+                dropped = 1 if self._memo.pop(event.key, None) else 0
+            else:
+                # REFRESH carries a routing key, CLEAR carries none:
+                # neither names memo entries, so drop everything.
+                dropped = len(self._memo)
+                self._memo.clear()
+        if dropped:
+            self._memo_drops.inc(dropped)
+
+    def _memoize(self, entry: CacheEntry) -> None:
+        with self._memo_lock:
+            self._memo[entry.key] = entry
+            self._memo.move_to_end(entry.key)
+            while len(self._memo) > self.max_entries:
+                self._memo.popitem(last=False)
+
+    def _memo_get(self, key: str) -> Optional[CacheEntry]:
+        now = self._now
+        with self._memo_lock:
+            entry = self._memo.get(key)
+            if entry is None:
+                return None
+            if not entry.fresh(now):
+                del self._memo[key]
+                return None
+            self._memo.move_to_end(key)
+        return entry
+
+    # -- the read/write surface ------------------------------------------
+
+    def get(self, key: str) -> Optional[CacheEntry]:
+        entry = self._memo_get(key)
+        if entry is not None:
+            entry.hits += 1
+            self._memo_hits.inc()
+            # Keep the fleet hit-rate honest: a memo hit is a cache hit.
+            self._shared.stats.record("hits")
+            return entry
+        entry = self._shared.get(key)
+        if entry is not None:
+            self._memoize(entry)
+        return entry
+
+    def peek(self, key: str) -> Optional[CacheEntry]:
+        entry = self._memo_get(key)
+        if entry is not None:
+            return entry
+        return self._shared.peek(key)
+
+    def put(
+        self,
+        key: str,
+        data: bytes | str,
+        content_type: str = "application/octet-stream",
+        ttl_s: float = 3600.0,
+    ) -> CacheEntry:
+        entry = self._shared.put(
+            key, data, content_type=content_type, ttl_s=ttl_s
+        )
+        self._memoize(entry)
+        return entry
+
+    def get_or_load(
+        self,
+        key: str,
+        loader: Callable[[], bytes | str],
+        content_type: str = "application/octet-stream",
+        ttl_s: float = 3600.0,
+    ) -> CacheEntry:
+        entry = self._memo_get(key)
+        if entry is not None:
+            entry.hits += 1
+            self._memo_hits.inc()
+            self._shared.stats.record("hits")
+            return entry
+        entry = self._shared.get_or_load(
+            key, loader, content_type=content_type, ttl_s=ttl_s
+        )
+        self._memoize(entry)
+        return entry
+
+    def invalidate(self, key: str) -> bool:
+        # The bus event published by the shared cache drops our memo
+        # entry (and every peer's) synchronously.
+        return self._shared.invalidate(key)
+
+    def clear(self) -> None:
+        self._shared.clear()
+
+    @property
+    def memo_len(self) -> int:
+        with self._memo_lock:
+            return len(self._memo)
+
+    def __len__(self) -> int:
+        return len(self._shared)
+
+    def __repr__(self) -> str:
+        return (
+            f"HotMemoCache(worker={self.worker_id!r}, "
+            f"memo={self.memo_len}/{self.max_entries})"
+        )
+
+
+class TieredSharedCache:
+    """:class:`SharedCacheBackend` wiring the full three-tier stack.
+
+    Drop-in for :class:`InProcessSharedCache`: ``attach`` hands each
+    worker a :class:`HotMemoCache` view (tier 1) over one
+    :class:`TieredPrerenderCache` (tiers 2+3).  Constructing with
+    ``preload=True`` warm-starts tier 2 from whatever a previous process
+    left in the snapshot directory.
+    """
+
+    def __init__(
+        self,
+        root: str,
+        clock=None,
+        max_bytes: int = 64 * 1024 * 1024,
+        metrics: Optional[MetricsRegistry] = None,
+        memo_entries: int = 128,
+        write_behind: bool = True,
+        dirty_limit: int = 256,
+        name: Optional[str] = None,
+        preload: bool = True,
+        on_persist: Optional[Callable[[CacheEntry], None]] = None,
+    ) -> None:
+        self.name = name
+        self.memo_entries = memo_entries
+        self.metrics = metrics or MetricsRegistry()
+        self._bus = InvalidationBus(metrics=self.metrics)
+        self.store = SnapshotStore(
+            root, clock=clock, metrics=self.metrics, name=name
+        )
+        self._cache = TieredPrerenderCache(
+            self._bus,
+            self.store,
+            write_behind=write_behind,
+            dirty_limit=dirty_limit,
+            metrics=self.metrics,
+            on_persist=on_persist,
+            clock=clock,
+            max_bytes=max_bytes,
+        )
+        self.preloaded = self._cache.preload() if preload else 0
+        self._attached: list[str] = []
+
+    @property
+    def bus(self) -> InvalidationBus:
+        return self._bus
+
+    @property
+    def cache(self) -> TieredPrerenderCache:
+        return self._cache
+
+    @property
+    def attached_workers(self) -> tuple[str, ...]:
+        return tuple(self._attached)
+
+    @property
+    def on_persist(self):
+        return self._cache.on_persist
+
+    @on_persist.setter
+    def on_persist(self, callback) -> None:
+        self._cache.on_persist = callback
+
+    def attach(self, worker_id: str) -> HotMemoCache:
+        self._attached.append(worker_id)
+        return HotMemoCache(
+            self._cache, worker_id, max_entries=self.memo_entries
+        )
+
+    def invalidate(self, key: str) -> bool:
+        return self._cache.invalidate(key)
+
+    def invalidate_matching(
+        self, predicate: Callable[[str], bool]
+    ) -> int:
+        return self._cache.invalidate_matching(predicate)
+
+    def clear(self) -> None:
+        self._cache.clear()
+
+    def flush(self) -> int:
+        return self._cache.flush()
+
+    def close(self) -> None:
+        self._cache.close()
+
+    def __enter__(self) -> "TieredSharedCache":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def status(self) -> dict:
+        return {
+            "tiers": ["hot_memo", "shared", "snapshot_store"],
+            "attached_workers": list(self._attached),
+            "entries": len(self._cache),
+            "preloaded": self.preloaded,
+            "store": self.store.status(),
+        }

@@ -88,6 +88,11 @@ class CacheStats:
         "stale_evictions": (
             "msite_cache_stale_evictions_total",
             "Retired entries dropped from the stale store."),
+        "invalidated_loads": (
+            "msite_cache_invalidated_loads_total",
+            "Single-flight loads whose key was invalidated mid-flight; "
+            "the result was served to the waiting callers but never "
+            "stored, so the invalidation is not resurrected."),
     }
 
     def __init__(self, registry: Optional[MetricsRegistry] = None) -> None:
@@ -161,6 +166,14 @@ class PrerenderCache:
         # path fails.  Bounded separately; never served as fresh.
         self._stale: dict[str, CacheEntry] = {}
         self._flights: dict[str, _Flight] = {}
+        # Per-key invalidation counters, kept only while a flight is in
+        # progress: an invalidation that lands between a single-flight
+        # load starting and its result being stored must win — the
+        # loader's result is served to its waiters but never stored, so
+        # the invalidated entry is not resurrected.  Entries are dropped
+        # when their flight completes, so the dict stays bounded by the
+        # number of concurrent flights.
+        self._flight_invalidations: dict[str, int] = {}
         self._lock = threading.RLock()
         self.stats = CacheStats(registry=metrics)
 
@@ -237,13 +250,52 @@ class PrerenderCache:
 
     def invalidate(self, key: str) -> bool:
         with self._lock:
+            self._mark_flight_invalidated(key)
             self._stale.pop(key, None)
             return self._entries.pop(key, None) is not None
 
     def clear(self) -> None:
         with self._lock:
+            for key in self._flights:
+                self._mark_flight_invalidated(key)
             self._entries.clear()
             self._stale.clear()
+
+    def invalidate_matching(self, predicate: Callable[[str], bool]) -> int:
+        """Drop every fresh and stale entry whose key satisfies
+        ``predicate``; returns the number of distinct keys removed.
+
+        Unlike :meth:`invalidate` on the shared subclass, this is a
+        *silent* reconciliation primitive (no per-key bus events): the
+        CDC replay path uses it to purge a region's derived state for a
+        whole site, announcing the purge once itself.  In-progress
+        flights on matching keys are marked invalidated so their results
+        are served but not stored.
+        """
+        with self._lock:
+            doomed = {k for k in self._entries if predicate(k)}
+            retired = {k for k in self._stale if predicate(k)}
+            for key in doomed:
+                del self._entries[key]
+            for key in retired:
+                self._stale.pop(key, None)
+            for key in self._flights:
+                if predicate(key):
+                    self._mark_flight_invalidated(key)
+            return len(doomed | retired)
+
+    def _mark_flight_invalidated(self, key: str) -> None:
+        """Caller holds the lock.  Record that any in-progress flight's
+        result for ``key`` is superseded and must not be stored."""
+        if key in self._flights:
+            self._flight_invalidations[key] = (
+                self._flight_invalidations.get(key, 0) + 1
+            )
+
+    def keys(self) -> list[str]:
+        """Keys of the fresh entries (the current working set)."""
+        with self._lock:
+            return list(self._entries)
 
     @property
     def total_bytes(self) -> int:
@@ -372,6 +424,7 @@ class PrerenderCache:
         finally:
             with self._lock:
                 self._flights.pop(key, None)
+                self._flight_invalidations.pop(key, None)
             flight.done.set()
         if flight.error is not None:
             raise flight.error
@@ -395,9 +448,28 @@ class PrerenderCache:
             cached = self.peek(key)
             if cached is not None:
                 return cached
-            return self.put(
-                key, loader(), content_type=content_type, ttl_s=ttl_s
-            )
+            with self._lock:
+                token = self._flight_invalidations.get(key, 0)
+            data = loader()
+            if isinstance(data, str):
+                data = data.encode("utf-8")
+            with self._lock:
+                if self._flight_invalidations.get(key, 0) != token:
+                    # The key was invalidated while the loader ran: the
+                    # waiting callers still get the loaded bytes, but
+                    # storing them would resurrect the invalidated
+                    # entry — the next lookup must re-load.
+                    self.stats.record("invalidated_loads")
+                    return CacheEntry(
+                        key=key,
+                        data=data,
+                        content_type=content_type,
+                        stored_at=self._now,
+                        ttl_s=ttl_s,
+                    )
+                return self.put(
+                    key, data, content_type=content_type, ttl_s=ttl_s
+                )
 
         return self.load_or_join(key, _fill)
 

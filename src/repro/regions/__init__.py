@@ -1,0 +1,26 @@
+"""Multi-region deployment: replicated snapshot fleets with CDC
+invalidation replay and warm failover.
+
+See :mod:`repro.regions.cdclog` for the event-sourced invalidation log,
+:mod:`repro.regions.deployment` for :class:`RegionalDeployment`, and
+:mod:`repro.regions.chaos` for the ``msite chaos --region-faults``
+harness.  docs/REGIONS.md walks the whole design.
+"""
+
+from repro.regions.cdclog import ChangeEvent, InvalidationLog
+from repro.regions.chaos import (
+    RegionChaosReport,
+    format_region_report,
+    run_region_chaos,
+)
+from repro.regions.deployment import Region, RegionalDeployment
+
+__all__ = [
+    "ChangeEvent",
+    "InvalidationLog",
+    "Region",
+    "RegionalDeployment",
+    "RegionChaosReport",
+    "format_region_report",
+    "run_region_chaos",
+]

@@ -1,0 +1,161 @@
+"""The event-sourced invalidation log (change-data-capture style).
+
+Point invalidations don't survive a partition: a region that missed the
+bus while disconnected has no way to know *what* it missed, so its only
+safe move on heal would be dropping everything.  The CDC log replaces
+fire-and-forget events with an **append-only, monotonically sequenced
+stream**: every origin-content change, ``?refresh=1``, explicit
+invalidation, and TTL purge appends one :class:`ChangeEvent`; each
+region remembers the last sequence number it applied (its *acked
+offset*) and replays everything after it — catch-up after a partition
+is deterministic, ordered, and idempotent.
+
+Retention is bounded.  A region so far behind that its offset has been
+truncated out of the log gets ``truncated=True`` from
+:meth:`InvalidationLog.events_after` and must full-resync (drop derived
+state, re-copy the snapshot store) instead of replaying a gap it cannot
+see.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.observability.metrics import MetricsRegistry
+
+
+@dataclass(frozen=True)
+class ChangeEvent:
+    """One entry in the invalidation log."""
+
+    seq: int
+    kind: str  # refresh | invalidate | expire | clear
+    key: Optional[str]  # routing key (refresh) or cache key; None = all
+    origin: str  # region that generated the change
+    ts: float = 0.0
+
+
+class InvalidationLog:
+    """Append-only, bounded, monotonically-sequenced change stream."""
+
+    def __init__(
+        self,
+        retention: int = 4096,
+        clock=None,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
+        if retention < 1:
+            raise ValueError("retention must be at least 1 event")
+        self.retention = retention
+        self.clock = clock
+        self._lock = threading.Lock()
+        self._events: deque[ChangeEvent] = deque()
+        self._seq = 0
+        registry = metrics or MetricsRegistry()
+        self._registry = registry
+        self._head_gauge = registry.gauge(
+            "msite_cdclog_head_seq",
+            "Highest sequence number appended to the invalidation log.",
+        )
+        self._retained_gauge = registry.gauge(
+            "msite_cdclog_retained_events",
+            "Events currently retained by the invalidation log.",
+        )
+        self._dropped = registry.counter(
+            "msite_cdclog_dropped_total",
+            "Events aged out of the log by the retention bound.",
+        )
+        self._truncated_replays = registry.counter(
+            "msite_cdclog_truncated_replays_total",
+            "Replay attempts from an offset older than retention "
+            "(forces a full resync).",
+        )
+        self._replayed = registry.counter(
+            "msite_cdclog_replayed_total",
+            "Events handed out to replaying consumers.",
+        )
+
+    @property
+    def _now(self) -> float:
+        return self.clock.now if self.clock is not None else 0.0
+
+    def append(
+        self, kind: str, key: Optional[str], origin: str = ""
+    ) -> ChangeEvent:
+        with self._lock:
+            self._seq += 1
+            event = ChangeEvent(
+                seq=self._seq,
+                kind=kind,
+                key=key,
+                origin=origin,
+                ts=self._now,
+            )
+            self._events.append(event)
+            while len(self._events) > self.retention:
+                self._events.popleft()
+                self._dropped.inc()
+            self._head_gauge.set(self._seq)
+            self._retained_gauge.set(len(self._events))
+        self._registry.counter(
+            "msite_cdclog_appends_total",
+            "Change events appended to the invalidation log.",
+            labels={"kind": kind},
+        ).inc()
+        return event
+
+    @property
+    def head_seq(self) -> int:
+        with self._lock:
+            return self._seq
+
+    @property
+    def earliest_seq(self) -> Optional[int]:
+        """Sequence of the oldest retained event, or ``None`` if empty."""
+        with self._lock:
+            return self._events[0].seq if self._events else None
+
+    def events_after(
+        self, offset: int
+    ) -> tuple[list[ChangeEvent], bool]:
+        """``(events with seq > offset, truncated)``.
+
+        ``truncated=True`` means events between ``offset`` and the
+        oldest retained one have been aged out: the consumer cannot
+        catch up by replay and must full-resync instead.  The returned
+        list is always seq-ascending, and replaying it is idempotent —
+        applying an invalidation twice is a no-op.
+        """
+        with self._lock:
+            earliest = self._events[0].seq if self._events else self._seq + 1
+            truncated = offset < earliest - 1
+            events = [e for e in self._events if e.seq > offset]
+        if truncated:
+            self._truncated_replays.inc()
+        if events:
+            self._replayed.inc(len(events))
+        return events, truncated
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._events)
+
+    def status(self) -> dict:
+        with self._lock:
+            return {
+                "head_seq": self._seq,
+                "retained": len(self._events),
+                "earliest_seq": (
+                    self._events[0].seq if self._events else None
+                ),
+                "retention": self.retention,
+            }
+
+    def __repr__(self) -> str:
+        return (
+            f"InvalidationLog(head={self.head_seq}, "
+            f"retained={len(self)}/{self.retention})"
+        )

@@ -1,0 +1,236 @@
+"""The region-fault chaos harness behind ``msite chaos --region-faults``.
+
+Stands up the built-in forum mobilization on a two-region deployment,
+warms it, then kills the region that owns the entry page a third of the
+way through the workload and revives (and heals) it at two thirds.  The
+acceptance bar: **every** response across the whole run is either a
+non-5xx or a degraded-marked 5xx — the kill must be absorbed by warm
+failover to the surviving region, and after the heal the revived
+region's acked offset must equal the live log head (it replayed every
+invalidation it missed).
+"""
+
+from __future__ import annotations
+
+import shutil
+from dataclasses import dataclass, field
+from typing import Optional
+
+#: The deterministic request mix, cycled.  ``?refresh=1`` keeps the
+#: invalidation log busy so the healed region has real events to replay.
+WORKLOAD = (
+    "",
+    "?page=forums",
+    "?file=snapshot.jpg",
+    "?refresh=1",
+    "?page=login",
+    "",
+)
+
+
+@dataclass
+class RegionChaosReport:
+    """What one seeded region-fault run did to the deployment."""
+
+    seed: int
+    requests: int
+    regions: tuple[str, ...] = ()
+    workers_per_region: int = 0
+    statuses: dict[int, int] = field(default_factory=dict)
+    degraded_responses: dict[str, int] = field(default_factory=dict)
+    non_degraded_5xx: int = 0
+    killed_region: str = ""
+    killed_at: int = 0
+    revived_at: int = 0
+    failovers: int = 0
+    reroutes: int = 0
+    replications: int = 0
+    events_applied: int = 0
+    log_head: int = 0
+    acked: dict[str, int] = field(default_factory=dict)
+    store_entries: dict[str, int] = field(default_factory=dict)
+    metrics_exposition_lines: int = 0
+
+    @property
+    def total(self) -> int:
+        return sum(self.statuses.values())
+
+    @property
+    def ok_fraction(self) -> float:
+        ok = sum(
+            count for status, count in self.statuses.items()
+            if status < 500
+        )
+        return ok / self.total if self.total else 0.0
+
+    @property
+    def replay_caught_up(self) -> bool:
+        """Did every region ack the live head after the heal?"""
+        return all(seq == self.log_head for seq in self.acked.values())
+
+    @property
+    def failed(self) -> bool:
+        return bool(self.non_degraded_5xx) or not self.replay_caught_up
+
+
+def run_region_chaos(
+    seed: int = 11,
+    requests: int = 240,
+    workers_per_region: int = 2,
+    region_names: tuple[str, ...] = ("east", "west"),
+    snapshot_root: Optional[str] = None,
+) -> RegionChaosReport:
+    """Kill one of two regions mid-workload; assert failover + replay.
+
+    Deterministic in ``seed`` (it seeds nothing random today — the kill
+    schedule is positional — but keeps the chaos CLI surface uniform
+    and reserves the knob for randomized schedules).  When
+    ``snapshot_root`` is ``None`` a temporary directory is used and
+    removed afterwards.
+    """
+    # Imported here like the resilience harness: the regions package
+    # must not put the whole proxy stack on its import-time graph.
+    from repro.cli import _build_forum_spec
+    from repro.net.client import HttpClient
+    from repro.net.cookies import CookieJar
+    from repro.regions.deployment import RegionalDeployment
+
+    spec, origins = _build_forum_spec()
+    owns_root = snapshot_root is None
+    deployment = RegionalDeployment(
+        regions=region_names,
+        snapshot_root=snapshot_root,
+        spec=spec,
+        origins=origins,
+        workers_per_region=workers_per_region,
+    )
+    mobile = HttpClient(
+        {"m.sawmillcreek.org": deployment}, jar=CookieJar()
+    )
+    base = "http://m.sawmillcreek.org/proxy.php"
+
+    report = RegionChaosReport(
+        seed=seed,
+        requests=requests,
+        regions=tuple(deployment.region_names),
+        workers_per_region=workers_per_region,
+    )
+    try:
+        # Warm every workload path; the entry response names the region
+        # that owns the hot key — that is the one we will kill.
+        victim = None
+        for suffix in ("", "?page=forums", "?page=login",
+                       "?file=snapshot.jpg"):
+            response = mobile.get(base + suffix)
+            if suffix == "":
+                victim = response.headers.get("X-MSite-Region")
+        assert victim is not None
+        report.killed_region = victim
+        # Steady state: the write-behind queues drained long ago in
+        # wall-clock terms; make that explicit before the crash so the
+        # survivor's replicated store is warm.
+        deployment.region(victim).backend.flush()
+
+        kill_at = max(1, requests // 3)
+        revive_at = max(kill_at + 1, (2 * requests) // 3)
+        report.killed_at = kill_at
+        report.revived_at = revive_at
+        for index in range(max(1, requests)):
+            if index == kill_at:
+                deployment.kill(victim)
+            elif index == revive_at:
+                deployment.revive(victim)  # heals: replays the log
+            response = mobile.get(
+                base + WORKLOAD[index % len(WORKLOAD)]
+            )
+            report.statuses[response.status] = (
+                report.statuses.get(response.status, 0) + 1
+            )
+            mode = response.headers.get("X-MSite-Degraded")
+            if mode:
+                report.degraded_responses[mode] = (
+                    report.degraded_responses.get(mode, 0) + 1
+                )
+            if response.status >= 500 and not mode:
+                report.non_degraded_5xx += 1
+
+        report.log_head = deployment.log.head_seq
+        report.acked = {
+            region.name: region.acked_seq
+            for region in deployment.regions
+        }
+        report.store_entries = {
+            region.name: len(region.backend.store)
+            for region in deployment.regions
+        }
+        registry = deployment.rollup()
+
+        def _sum(name: str) -> int:
+            return sum(
+                int(metric.value)
+                for family in registry.collect()
+                if family.name == name
+                for metric in family.sorted_children()
+            )
+
+        report.failovers = _sum("msite_region_failovers_total")
+        report.reroutes = _sum("msite_region_reroutes_total")
+        report.replications = _sum("msite_region_replications_total")
+        report.events_applied = _sum("msite_region_applied_total")
+        metrics_page = mobile.get("http://m.sawmillcreek.org/metrics")
+        report.metrics_exposition_lines = len(
+            metrics_page.text_body.splitlines()
+        )
+    finally:
+        deployment.close()
+        if owns_root:
+            shutil.rmtree(deployment.snapshot_root, ignore_errors=True)
+    return report
+
+
+def format_region_report(report: RegionChaosReport) -> str:
+    """The human-readable report ``msite chaos --region-faults`` prints."""
+    lines = [
+        f"m.Site region-fault chaos: seed {report.seed}, "
+        f"{report.total} requests across regions "
+        f"{', '.join(report.regions)} "
+        f"({report.workers_per_region} workers each)",
+        "",
+        f"  killed {report.killed_region!r} at request "
+        f"{report.killed_at}, revived+healed at {report.revived_at}",
+        "",
+        "  statuses served:",
+    ]
+    for status in sorted(report.statuses):
+        lines.append(f"    {status}: {report.statuses[status]:>6}")
+    lines.append(
+        f"  non-5xx rate: {report.ok_fraction * 100:.1f}%  "
+        f"(non-degraded 5xx: {report.non_degraded_5xx})"
+    )
+    lines.append("")
+    lines.append("  failover:")
+    for mode in sorted(report.degraded_responses):
+        lines.append(
+            f"    responses marked {mode}: "
+            f"{report.degraded_responses[mode]:>6}"
+        )
+    lines.append(f"    failovers: {report.failovers:>6}")
+    lines.append(f"    reroutes past dead region: {report.reroutes:>6}")
+    lines.append("")
+    lines.append("  CDC replay:")
+    lines.append(f"    log head seq: {report.log_head:>6}")
+    for name in sorted(report.acked):
+        lines.append(
+            f"    {name} acked: {report.acked[name]:>6}  "
+            f"(store entries: {report.store_entries.get(name, 0)})"
+        )
+    lines.append(
+        f"    caught up: {'yes' if report.replay_caught_up else 'NO'}"
+    )
+    lines.append(f"    events applied cross-region: {report.events_applied}")
+    lines.append(f"    snapshot replications: {report.replications}")
+    lines.append("")
+    lines.append(
+        f"  /metrics exposition: {report.metrics_exposition_lines} lines"
+    )
+    return "\n".join(lines)

@@ -25,6 +25,10 @@ STALE = "stale"
 HTML_ONLY = "html_only"
 PASSTHROUGH = "passthrough"
 SKIPPED = "skipped"
+#: A request served off-owner by another region's fleet (warm failover
+#: from a replicated snapshot) — one rung above ``html_only`` on the
+#: ladder: fully-adapted content, just from the "wrong" region.
+REMOTE_REGION = "remote_region"
 
 #: ``Retry-After`` seconds suggested when no breaker estimate exists.
 DEFAULT_RETRY_AFTER_S = 5.0

@@ -112,6 +112,42 @@ def test_ttl_expiry_publishes_after_lock_release():
     assert cache.peek("derived:snap:a") is not None
 
 
+def test_invalidation_mid_flight_is_not_resurrected():
+    """An invalidation landing while a single-flight loader runs must
+    win: the loader's result is served to its waiters but never stored,
+    so the next lookup re-loads instead of seeing the stale bytes."""
+    backend = InProcessSharedCache()
+    cache = backend.attach("w0")
+    in_loader = threading.Event()
+    release = threading.Event()
+
+    def slow_loader():
+        in_loader.set()
+        release.wait(timeout=5.0)
+        return b"stale-by-the-time-it-lands"
+
+    result = {}
+
+    def leader():
+        result["entry"] = cache.get_or_load("snap:page", slow_loader)
+
+    thread = threading.Thread(target=leader)
+    thread.start()
+    assert in_loader.wait(timeout=5.0)
+    backend.invalidate("snap:page")  # lands mid-flight
+    release.set()
+    thread.join(timeout=5.0)
+
+    # The waiter still got the loaded bytes...
+    assert result["entry"].data == b"stale-by-the-time-it-lands"
+    # ...but they were never stored: the invalidation wins.
+    assert cache.peek("snap:page") is None
+    assert backend.cache.stats.invalidated_loads == 1
+    fresh = cache.get_or_load("snap:page", lambda: b"reloaded")
+    assert fresh.data == b"reloaded"
+    assert cache.peek("snap:page").data == b"reloaded"
+
+
 def test_subscriber_errors_are_counted_not_propagated():
     registry = MetricsRegistry()
     bus = InvalidationBus(metrics=registry)

@@ -1,0 +1,265 @@
+"""The disk-backed snapshot tier: atomicity, checksums, quarantine.
+
+The crash-safety property is the one the warm-restart story rests on:
+whatever a previous process did to the directory — clean writes,
+truncation mid-write, bit rot — a fresh :class:`SnapshotStore` over it
+returns byte-identical entries or clean misses, never garbage.
+"""
+
+import json
+import os
+
+from hypothesis import given, strategies as st
+
+from repro.cluster.snapshotstore import MAGIC, SnapshotStore
+from repro.core.cache import CacheEntry
+from repro.observability.metrics import MetricsRegistry
+from repro.sim.clock import Clock
+
+
+def _entry(key="snap:a", data=b"payload", ttl_s=60.0, stored_at=0.0):
+    return CacheEntry(
+        key=key,
+        data=data,
+        content_type="text/html",
+        stored_at=stored_at,
+        ttl_s=ttl_s,
+    )
+
+
+def _only_snap_file(root):
+    names = [n for n in os.listdir(root) if n.endswith(".snap")]
+    assert len(names) == 1
+    return os.path.join(root, names[0])
+
+
+def test_put_get_roundtrip_is_byte_identical(tmp_path):
+    store = SnapshotStore(str(tmp_path))
+    original = _entry(data=b"\x00\xffbinary\nbytes")
+    store.put(original)
+    loaded = store.get("snap:a")
+    assert loaded is not None
+    assert loaded.data == original.data
+    assert loaded.key == original.key
+    assert loaded.content_type == original.content_type
+    assert loaded.ttl_s == original.ttl_s
+    assert loaded.stored_at == original.stored_at
+    assert len(store) == 1 and store.keys() == ["snap:a"]
+
+
+def test_missing_key_is_a_clean_miss(tmp_path):
+    store = SnapshotStore(str(tmp_path))
+    assert store.get("snap:absent") is None
+    assert store.quarantined_count == 0
+
+
+def test_write_is_atomic_no_tmp_droppings(tmp_path):
+    store = SnapshotStore(str(tmp_path))
+    for i in range(8):
+        store.put(_entry(key=f"snap:{i}", data=b"x" * i))
+    leftovers = [n for n in os.listdir(tmp_path) if n.endswith(".tmp")]
+    assert leftovers == []
+    assert len(store) == 8
+
+
+def test_rewrite_replaces_in_place(tmp_path):
+    store = SnapshotStore(str(tmp_path))
+    store.put(_entry(data=b"v1"))
+    store.put(_entry(data=b"v2"))
+    assert store.get("snap:a").data == b"v2"
+    assert len(store) == 1
+
+
+def test_truncated_entry_quarantines_as_clean_miss(tmp_path):
+    store = SnapshotStore(str(tmp_path))
+    store.put(_entry(data=b"full payload bytes"))
+    path = _only_snap_file(tmp_path)
+    raw = open(path, "rb").read()
+    with open(path, "wb") as handle:
+        handle.write(raw[: len(raw) - 5])  # crash mid-write
+    assert store.get("snap:a") is None
+    assert store.quarantined_count == 1
+    assert len(store) == 0
+    assert store.get("snap:a") is None  # still a miss, no crash
+
+
+def test_flipped_payload_bit_fails_checksum(tmp_path):
+    store = SnapshotStore(str(tmp_path))
+    store.put(_entry(data=b"pristine"))
+    path = _only_snap_file(tmp_path)
+    raw = bytearray(open(path, "rb").read())
+    raw[-1] ^= 0x01
+    open(path, "wb").write(bytes(raw))
+    assert store.get("snap:a") is None
+    assert store.quarantined_count == 1
+
+
+def test_version_bump_quarantines_old_files(tmp_path):
+    store = SnapshotStore(str(tmp_path))
+    store.put(_entry())
+    path = _only_snap_file(tmp_path)
+    raw = open(path, "rb").read()
+    open(path, "wb").write(b"msite-snapshot/0\n" + raw[len(MAGIC):])
+    assert store.get("snap:a") is None
+    assert store.quarantined_count == 1
+
+
+def test_key_collision_with_wrong_header_key_misses(tmp_path):
+    # A file at key A's path claiming to be key B must not be served.
+    store = SnapshotStore(str(tmp_path))
+    store.put(_entry(key="snap:a"))
+    path = _only_snap_file(tmp_path)
+    raw = open(path, "rb").read()
+    body = raw[len(MAGIC):]
+    header = json.loads(body[: body.find(b"\n")])
+    header["key"] = "snap:b"
+    open(path, "wb").write(
+        MAGIC
+        + json.dumps(header, sort_keys=True).encode()
+        + b"\n"
+        + body[body.find(b"\n") + 1:]
+    )
+    assert store.get("snap:a") is None
+    assert store.quarantined_count == 1
+
+
+def test_entries_skips_and_quarantines_corrupt_files(tmp_path):
+    store = SnapshotStore(str(tmp_path))
+    store.put(_entry(key="snap:good", data=b"good"))
+    store.put(_entry(key="snap:bad", data=b"bad"))
+    bad_path = store._path_for("snap:bad")
+    open(bad_path, "wb").write(b"not a snapshot at all")
+    survivors = list(store.entries())
+    assert [entry.key for entry in survivors] == ["snap:good"]
+    assert store.quarantined_count == 1
+
+
+def test_delete_and_clear(tmp_path):
+    store = SnapshotStore(str(tmp_path))
+    for i in range(3):
+        store.put(_entry(key=f"snap:{i}"))
+    assert store.delete("snap:0") is True
+    assert store.delete("snap:0") is False
+    assert store.clear() == 2
+    assert len(store) == 0
+
+
+def test_metrics_track_reads_writes_quarantine(tmp_path):
+    registry = MetricsRegistry()
+    store = SnapshotStore(str(tmp_path), metrics=registry, name="east")
+    store.put(_entry())
+    store.get("snap:a")
+    store.get("snap:missing")
+    open(_only_snap_file(tmp_path), "wb").write(b"garbage")
+    store.get("snap:a")
+
+    def value(metric, **labels):
+        family = registry.get(metric, labels=labels or None)
+        return family.value if family is not None else None
+
+    assert value(
+        "msite_snapshotstore_reads_total", store="east", result="hit"
+    ) == 1
+    # The corrupt lookup counts as corrupt *and* as a miss to the caller.
+    assert value(
+        "msite_snapshotstore_reads_total", store="east", result="miss"
+    ) == 2
+    assert value(
+        "msite_snapshotstore_reads_total", store="east", result="corrupt"
+    ) == 1
+    assert value("msite_snapshotstore_writes_total", store="east") == 1
+    assert value("msite_snapshotstore_quarantined_total", store="east") == 1
+    assert value("msite_snapshotstore_entries", store="east") == 0
+
+
+def test_status_reports_entries_and_quarantined(tmp_path):
+    store = SnapshotStore(str(tmp_path))
+    store.put(_entry())
+    status = store.status()
+    assert status["entries"] == 1
+    assert status["quarantined"] == 0
+    assert status["root"] == str(tmp_path)
+
+
+def test_clock_drives_now_and_repr_names_the_root(tmp_path):
+    clock = Clock()
+    clock.advance(5.0)
+    store = SnapshotStore(str(tmp_path), clock=clock)
+    assert store._now == 5.0
+    assert str(tmp_path) in repr(store) and "0 entries" in repr(store)
+
+
+def test_non_dict_or_incomplete_header_quarantines(tmp_path):
+    store = SnapshotStore(str(tmp_path))
+    # Header parses as JSON but is not an object.
+    store.put(_entry())
+    path = _only_snap_file(tmp_path)
+    open(path, "wb").write(MAGIC + b'["list", "header"]\n' + b"data")
+    assert store.get("snap:a") is None
+    # Header is an object but with fields of the wrong shape.  A second
+    # key: quarantine keeps the original basename, so re-corrupting the
+    # same key would overwrite the first quarantined file in place.
+    store.put(_entry(key="snap:b"))
+    path = store._path_for("snap:b")
+    open(path, "wb").write(
+        MAGIC + b'{"key": "snap:b", "ttl_s": "not-a-number"}\n' + b"x"
+    )
+    assert store.get("snap:b") is None
+    assert store.quarantined_count == 2
+
+
+_KEYS = st.text(
+    alphabet="abc:/.0123456789", min_size=1, max_size=24
+).map(lambda s: "snap:" + s)
+
+
+@given(
+    entries=st.dictionaries(
+        _KEYS, st.binary(min_size=0, max_size=64), min_size=1, max_size=6
+    ),
+    damage=st.lists(
+        st.tuples(st.integers(min_value=0, max_value=5),
+                  st.integers(min_value=0, max_value=3)),
+        max_size=4,
+    ),
+)
+def test_property_restart_returns_identical_bytes_or_clean_miss(
+    tmp_path_factory, entries, damage
+):
+    """Kill-then-restart: after arbitrary per-file damage, a fresh store
+    over the same directory serves byte-identical entries or clean
+    misses — never altered data, never an exception."""
+    root = str(tmp_path_factory.mktemp("snapstore"))
+    clock = Clock()
+    writer = SnapshotStore(root, clock=clock)
+    for key, data in entries.items():
+        writer.put(_entry(key=key, data=data))
+    paths = sorted(
+        os.path.join(root, n)
+        for n in os.listdir(root)
+        if n.endswith(".snap")
+    )
+    for file_index, mode in damage:
+        if not paths:
+            break
+        path = paths[file_index % len(paths)]
+        if not os.path.exists(path):
+            continue
+        raw = open(path, "rb").read()
+        if mode == 0:  # truncate (crash mid-write of a larger file)
+            open(path, "wb").write(raw[: len(raw) // 2])
+        elif mode == 1:  # bit flip
+            mutated = bytearray(raw or b"\x00")
+            mutated[len(mutated) // 2] ^= 0xFF
+            open(path, "wb").write(bytes(mutated))
+        elif mode == 2:  # replaced with junk
+            open(path, "wb").write(b"\x00junk")
+        # mode == 3: left intact
+
+    restarted = SnapshotStore(root, clock=clock)
+    for key, data in entries.items():
+        loaded = restarted.get(key)
+        assert loaded is None or loaded.data == data
+    # Every surviving enumerated entry is also byte-identical.
+    for entry in restarted.entries():
+        assert entry.data == entries[entry.key]

@@ -1,0 +1,386 @@
+"""The three-tier stack: read-through, write-behind, memo coherence.
+
+The races these tests pin down: the flusher must never resurrect an
+entry invalidated after it was queued, a memo hit must never outlive
+the bus event that invalidated it, and a restart over the same
+directory must warm-start instead of stampeding.
+"""
+
+import threading
+
+from repro.cluster.sharedcache import (
+    CLEAR,
+    INVALIDATE,
+    InvalidationBus,
+    InvalidationEvent,
+)
+from repro.cluster.snapshotstore import SnapshotStore
+from repro.cluster.tiers import (
+    HotMemoCache,
+    TieredPrerenderCache,
+    TieredSharedCache,
+)
+from repro.observability.metrics import MetricsRegistry
+from repro.sim.clock import Clock
+
+
+def make_stack(tmp_path, clock=None, write_behind=True, **kwargs):
+    registry = MetricsRegistry()
+    bus = InvalidationBus(metrics=registry)
+    store = SnapshotStore(str(tmp_path), clock=clock, metrics=registry)
+    cache = TieredPrerenderCache(
+        bus,
+        store,
+        write_behind=write_behind,
+        metrics=registry,
+        clock=clock,
+        **kwargs,
+    )
+    return cache, store, registry
+
+
+def test_put_persists_to_disk_on_flush(tmp_path):
+    cache, store, _ = make_stack(tmp_path)
+    cache.put("snap:a", b"rendered", ttl_s=60.0)
+    cache.flush()
+    assert store.get("snap:a").data == b"rendered"
+    cache.close()
+
+
+def test_write_through_mode_persists_synchronously(tmp_path):
+    cache, store, _ = make_stack(tmp_path, write_behind=False)
+    cache.put("snap:a", b"rendered", ttl_s=60.0)
+    assert store.get("snap:a") is not None  # no flush needed
+    cache.close()
+
+
+def test_dirty_queue_overflow_degrades_to_write_through(tmp_path):
+    cache, store, registry = make_stack(tmp_path, dirty_limit=1)
+    # Pause the flusher by holding the condition so the queue stays full.
+    with cache._dirty_cond:
+        cache._dirty.append(("snap:block", None))
+        overflow_before = registry.get(
+            "msite_snapshotstore_writebehind_overflows_total"
+        ).value
+    cache.put("snap:a", b"sync", ttl_s=60.0)
+    assert store.get("snap:a") is not None  # landed without a flush
+    assert registry.get(
+        "msite_snapshotstore_writebehind_overflows_total"
+    ).value == overflow_before + 1
+    with cache._dirty_cond:
+        cache._dirty.clear()
+    cache.close()
+
+
+def test_read_through_promotes_fresh_disk_entry(tmp_path):
+    clock = Clock()
+    cache, store, registry = make_stack(tmp_path, clock=clock)
+    cache.put("snap:a", b"durable", ttl_s=100.0)
+    cache.flush()
+    # Simulate a memory-tier wipe (restart without the disk loss).
+    with cache._lock:
+        cache._entries.clear()
+    entry = cache.get("snap:a")
+    assert entry is not None and entry.data == b"durable"
+    assert registry.get(
+        "msite_snapshotstore_promotions_total"
+    ).value == 1
+    assert cache.peek("snap:a") is not None  # resident again
+    cache.close()
+
+
+def test_read_through_parks_expired_entry_in_stale_store(tmp_path):
+    clock = Clock()
+    cache, store, _ = make_stack(tmp_path, clock=clock)
+    cache.put("snap:a", b"old", ttl_s=10.0)
+    cache.flush()
+    with cache._lock:
+        cache._entries.clear()
+    clock.advance(20.0)  # expired, within default stale grace
+    assert cache.get("snap:a") is None  # not served as fresh
+    assert cache.load_stale("snap:a").data == b"old"  # ladder rung
+    cache.close()
+
+
+def test_preload_warm_starts_from_prior_process(tmp_path):
+    clock = Clock()
+    first, _, _ = make_stack(tmp_path, clock=clock)
+    first.put("snap:a", b"a", ttl_s=100.0)
+    first.put("snap:b", b"b", ttl_s=100.0)
+    first.close()  # flushes
+
+    second, _, registry = make_stack(tmp_path, clock=clock)
+    assert second.preload() == 2
+    assert second.peek("snap:a") is not None
+    assert second.peek("snap:b") is not None
+    assert registry.get(
+        "msite_snapshotstore_preloaded_total"
+    ).value == 2
+    assert second.preload() == 0  # idempotent: already resident
+    second.close()
+
+
+def test_invalidate_purges_memory_and_disk(tmp_path):
+    cache, store, _ = make_stack(tmp_path)
+    cache.put("snap:a", b"a", ttl_s=60.0)
+    cache.flush()
+    assert cache.invalidate("snap:a") is True
+    assert cache.peek("snap:a") is None
+    assert store.get("snap:a") is None
+    cache.close()
+
+
+def test_flusher_never_resurrects_invalidated_entry(tmp_path):
+    """The write-behind race: entry queued dirty, invalidated before the
+    flusher ran — persisting it anyway would resurrect it on disk."""
+    cache, store, _ = make_stack(tmp_path)
+    cache.put("snap:a", b"doomed", ttl_s=60.0)
+    # Invalidate while the entry may still be sitting in the queue.
+    cache.invalidate("snap:a")
+    cache.flush()
+    assert store.get("snap:a") is None
+    assert cache.peek("snap:a") is None
+    cache.close()
+
+
+def test_clear_wipes_both_tiers_and_dirty_queue(tmp_path):
+    cache, store, _ = make_stack(tmp_path)
+    events = []
+    cache._bus.subscribe(events.append)
+    cache.put("snap:a", b"a", ttl_s=60.0)
+    cache.flush()
+    cache.clear()
+    assert len(cache) == 0
+    assert len(store) == 0
+    assert InvalidationEvent(CLEAR) in events
+    cache.close()
+
+
+def test_bus_publish_happens_outside_store_lock(tmp_path):
+    """A subscriber that takes the store lock (as the regional CDC pump
+    does for peers) must not deadlock against invalidate/clear."""
+    cache, _, _ = make_stack(tmp_path)
+    entered = []
+
+    def lock_taking_subscriber(event):
+        acquired = cache._store_lock.acquire(timeout=2.0)
+        assert acquired, "publish ran while holding _store_lock"
+        cache._store_lock.release()
+        entered.append(event.kind)
+
+    cache._bus.subscribe(lock_taking_subscriber)
+    cache.put("snap:a", b"a", ttl_s=60.0)
+    cache.invalidate("snap:a")
+    cache.clear()
+    assert entered == [INVALIDATE, CLEAR]
+    cache.close()
+
+
+def test_hot_memo_hits_without_touching_shared_tier(tmp_path):
+    clock = Clock()
+    backend = TieredSharedCache(str(tmp_path), clock=clock)
+    memo = backend.attach("w0")
+    memo.put("snap:a", b"hot", ttl_s=60.0)
+    before = backend.cache.stats.hits
+    for _ in range(3):
+        assert memo.get("snap:a").data == b"hot"
+    assert memo.memo_len == 1
+    # Memo hits count toward the fleet hit rate.
+    assert backend.cache.stats.hits == before + 3
+    registry = MetricsRegistry()
+    memo.bind_metrics(registry)
+    assert registry.get("msite_hotmemo_hits_total").value == 3
+    backend.close()
+
+
+def test_memo_dropped_by_fleet_invalidation_event(tmp_path):
+    backend = TieredSharedCache(str(tmp_path))
+    memo_a = backend.attach("w0")
+    memo_b = backend.attach("w1")
+    memo_a.put("snap:a", b"v1", ttl_s=60.0)
+    memo_b.get("snap:a")  # memoized on both workers
+    assert memo_a.memo_len == 1 and memo_b.memo_len == 1
+    backend.invalidate("snap:a")
+    assert memo_a.memo_len == 0 and memo_b.memo_len == 0
+    assert memo_a.get("snap:a") is None
+    backend.close()
+
+
+def test_memo_respects_ttl_without_a_bus_event(tmp_path):
+    clock = Clock()
+    backend = TieredSharedCache(str(tmp_path), clock=clock)
+    memo = backend.attach("w0")
+    memo.put("snap:a", b"v1", ttl_s=10.0)
+    assert memo.get("snap:a") is not None
+    clock.advance(11.0)
+    assert memo._memo_get("snap:a") is None  # memo re-checks freshness
+    backend.close()
+
+
+def test_memo_is_bounded_lru(tmp_path):
+    backend = TieredSharedCache(str(tmp_path), memo_entries=2)
+    memo = backend.attach("w0")
+    for i in range(4):
+        memo.put(f"snap:{i}", b"x", ttl_s=60.0)
+    assert memo.memo_len == 2
+    # The shared tier still has all four.
+    assert all(
+        backend.cache.peek(f"snap:{i}") is not None for i in range(4)
+    )
+    backend.close()
+
+
+def test_tiered_backend_restart_warm_starts(tmp_path):
+    clock = Clock()
+    with TieredSharedCache(str(tmp_path), clock=clock) as backend:
+        view = backend.attach("w0")
+        for i in range(5):
+            view.put(f"snap:{i}", f"body{i}".encode(), ttl_s=100.0)
+    # close() flushed; a new backend over the same root preloads.
+    with TieredSharedCache(str(tmp_path), clock=clock) as restarted:
+        assert restarted.preloaded == 5
+        view = restarted.attach("w0")
+        for i in range(5):
+            assert view.get(f"snap:{i}").data == f"body{i}".encode()
+        status = restarted.status()
+        assert status["preloaded"] == 5
+        assert status["store"]["entries"] == 5
+
+
+def test_on_persist_callback_fires_and_errors_are_counted(tmp_path):
+    replicated = []
+
+    def replicator(entry):
+        replicated.append(entry.key)
+        raise RuntimeError("peer down")
+
+    backend = TieredSharedCache(str(tmp_path), on_persist=replicator)
+    backend.attach("w0").put("snap:a", b"a", ttl_s=60.0)
+    backend.flush()
+    assert replicated == ["snap:a"]
+    assert backend.metrics.get(
+        "msite_snapshotstore_persist_callback_errors_total"
+    ).value == 1
+    backend.close()
+
+
+def test_preload_parks_expired_but_graceful_entries_as_stale(tmp_path):
+    clock = Clock()
+    first, _, _ = make_stack(tmp_path, clock=clock, stale_grace_s=15.0)
+    first.put("snap:brief", b"old", ttl_s=10.0)
+    first.put("snap:gone", b"ancient", ttl_s=0.5)
+    first.close()
+    clock.advance(20.0)  # brief: 10s stale, inside grace; gone: 19.5s, beyond
+    second, _, _ = make_stack(tmp_path, clock=clock, stale_grace_s=15.0)
+    assert second.preload() == 1
+    assert second.peek("snap:brief") is None  # not fresh
+    assert second.load_stale("snap:brief").data == b"old"
+    assert second.load_stale("snap:gone") is None
+    second.close()
+
+
+def test_invalidate_matching_purges_disk_too(tmp_path):
+    cache, store, _ = make_stack(tmp_path)
+    cache.put("snap:site:a", b"a", ttl_s=60.0)
+    cache.put("snap:other:b", b"b", ttl_s=60.0)
+    cache.flush()
+    assert cache.store is store
+    removed = cache.invalidate_matching(lambda k: ":site:" in k)
+    assert removed == 1
+    assert store.get("snap:site:a") is None
+    assert store.get("snap:other:b") is not None
+    cache.close()
+
+
+def test_memo_view_delegates_the_shared_surface(tmp_path):
+    clock = Clock()
+    backend = TieredSharedCache(str(tmp_path), clock=clock)
+    assert backend.bus is backend.cache._bus
+    assert backend.attached_workers == ()
+    memo = backend.attach("w0")
+    assert backend.attached_workers == ("w0",)
+    # Plumbing the cluster runtime relies on:
+    assert memo.clock is clock
+    other = Clock()
+    memo.clock = other
+    assert backend.cache.clock is other
+    memo.clock = clock
+    assert memo.stats is backend.cache.stats
+    assert memo.total_bytes == 0  # __getattr__ delegation
+    memo.put("snap:a", b"a", ttl_s=60.0)
+    assert memo.peek("snap:a") is not None
+    assert len(memo) == 1
+    assert "w0" in repr(memo)
+    # invalidate/clear route through the shared cache and its bus.
+    assert memo.invalidate("snap:a") is True
+    assert memo.memo_len == 0
+    memo.put("snap:b", b"b", ttl_s=60.0)
+    memo.clear()
+    assert len(memo) == 0 and memo.memo_len == 0
+    backend.close()
+
+
+def test_memo_get_or_load_hits_the_memo_first(tmp_path):
+    backend = TieredSharedCache(str(tmp_path))
+    memo = backend.attach("w0")
+    loads = []
+
+    def loader():
+        loads.append(1)
+        return b"loaded"
+
+    first = memo.get_or_load("snap:a", loader)
+    again = memo.get_or_load("snap:a", loader)
+    assert first.data == again.data == b"loaded"
+    assert loads == [1]  # second call answered by the memo
+    assert backend.on_persist is None
+    seen = []
+    backend.on_persist = seen.append
+    assert backend.on_persist is not None
+    backend.flush()
+    assert [entry.key for entry in seen] == ["snap:a"]
+    # Backend-level matching invalidation is silent by design (the
+    # regional CDC replay publishes its own replayed-marked event); it
+    # purges the shared tier and disk but not memos.
+    assert backend.invalidate_matching(lambda k: True) == 1
+    assert len(backend.cache) == 0
+    assert len(backend.store) == 0
+    backend.close()
+
+
+def test_concurrent_puts_and_invalidations_converge(tmp_path):
+    """Hammer: writers and invalidators race the flusher; afterwards
+    disk and memory agree for every key."""
+    cache, store, _ = make_stack(tmp_path, dirty_limit=4)
+    keys = [f"snap:{i}" for i in range(8)]
+    stop = threading.Event()
+
+    def writer():
+        while not stop.is_set():
+            for key in keys:
+                cache.put(key, b"v", ttl_s=60.0)
+
+    def invalidator():
+        while not stop.is_set():
+            for key in keys:
+                cache.invalidate(key)
+
+    threads = [
+        threading.Thread(target=writer),
+        threading.Thread(target=invalidator),
+    ]
+    for thread in threads:
+        thread.start()
+    stop.wait(0.2)
+    stop.set()
+    for thread in threads:
+        thread.join(timeout=5.0)
+    cache.flush()
+    for key in keys:
+        in_memory = cache.peek(key) is not None
+        on_disk = store.get(key) is not None
+        # Disk may lag memory only by entries still dirty — flushed
+        # above — so a disk entry without a memory entry is the
+        # resurrection bug.
+        assert not (on_disk and not in_memory), key
+    cache.close()

@@ -1,0 +1,24 @@
+"""Hypothesis profiles and shared rigs for the regions suite.
+
+Mirrors ``tests/cluster/conftest.py``: the coverage gate runs this
+suite under the stdlib ``trace`` module, so the ``coverage`` profile
+keeps the property tests short enough to fit the tier-1 time budget.
+"""
+
+import os
+
+import pytest
+from hypothesis import settings
+
+from repro.sim.clock import Clock
+
+settings.register_profile("default", deadline=None)
+settings.register_profile("coverage", max_examples=10, deadline=None)
+settings.load_profile(
+    os.environ.get("MSITE_HYPOTHESIS_PROFILE", "default")
+)
+
+
+@pytest.fixture()
+def clock():
+    return Clock()

@@ -82,3 +82,40 @@ def test_concurrent_writers_all_land(tmp_path):
         name for name in os.listdir(tmp_path) if name.endswith(".tmp")
     ]
     assert leftovers == []
+    # The self-cleaning lock leaves no .lock file either.
+    assert not os.path.exists(path + ".lock")
+
+
+def test_lock_file_is_unlinked_after_write(tmp_path):
+    path = str(tmp_path / "BENCH.json")
+    upsert_row(path, "workload", "k@1", {"v": 1})
+    assert os.path.exists(path)
+    assert sorted(os.listdir(tmp_path)) == ["BENCH.json"]
+
+
+def test_lock_unlink_preserves_mutual_exclusion(tmp_path):
+    """Writers that race the unlink must not both think they hold the
+    lock: the inode revalidation forces late wakers onto the fresh lock
+    file, so increments on a shared counter never interleave lost."""
+    path = str(tmp_path / "BENCH.json")
+    rounds = 25
+
+    def _locked_bump():
+        from repro.bench.store import _FileLock, _read_report, deep_merge
+
+        for _ in range(rounds):
+            with _FileLock(path):
+                current = _read_report(path)
+                merged = deep_merge(
+                    current, {"counter": current.get("counter", 0) + 1}
+                )
+                with open(path, "w", encoding="utf-8") as handle:
+                    json.dump(merged, handle)
+
+    threads = [threading.Thread(target=_locked_bump) for _ in range(6)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert _read(path)["counter"] == 6 * rounds
+    assert not os.path.exists(path + ".lock")

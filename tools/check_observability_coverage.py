@@ -11,7 +11,9 @@ spans, breaker state, retry budgets), where untested lines are silent
 lies on the ``/metrics`` endpoint — plus ``repro.cluster``, whose
 routing/spill-over/rollup branches are exactly the lines that only
 matter when a worker is down or saturated (a per-package ``floor``
-raises its bar to 95%), the workload layer (``repro.workload`` and
+raises its bar to 95%), ``repro.regions`` (95%), whose CDC replay /
+partition-heal / failover branches only run when a region is down or
+behind, the workload layer (``repro.workload`` and
 ``repro.sites.news``, both at 95%), whose determinism and 5xx
 accounting the scenario regression gate leans on, and
 ``repro.renderfarm`` (95%), whose scheduling branches only run under
@@ -95,6 +97,24 @@ PACKAGES = [
             "tests/cluster/test_sharedcache.py",
             "tests/cluster/test_rollup.py",
             "tests/cluster/test_deployment.py",
+            "tests/cluster/test_snapshotstore.py",
+            "tests/cluster/test_tiers.py",
+        ],
+    },
+    {
+        # The multi-region layer: CDC pump/replay, partition/heal,
+        # failover routing, full resync — branches that only run when a
+        # region is down or behind, which is exactly when they must
+        # work.  Like the resilience package, a small seeded chaos run
+        # rides along to drive the harness itself; the full failover
+        # e2e suite is excluded per the standard tracer-budget policy.
+        "label": "repro.regions",
+        "dir": os.path.join(SRC_DIR, "repro", "regions"),
+        "floor": 0.95,
+        "suites": [
+            "tests/regions/test_cdclog.py",
+            "tests/regions/test_deployment.py",
+            "tests/regions/test_chaos_regions.py",
         ],
     },
     {

@@ -26,7 +26,14 @@ which exits non-zero if a 2-worker fleet fails to beat one worker or
 ever renders the same (path, device) pair twice, and the render-farm
 burst smoke (``msite scalability --farm --smoke``), which exits
 non-zero if the farm-backed configuration serves a single non-degraded
-5xx under an open-loop flash crowd.  It then replays two workload
+5xx under an open-loop flash crowd.  The multi-region layer gets the
+same treatment: the region-fault chaos smoke (``msite chaos
+--region-faults --smoke``) kills one of two regions mid-run and exits
+non-zero on any non-degraded 5xx or if the healed region fails to
+replay the invalidation log to the live offset, and the region
+failover bench smoke (``msite bench-regions --smoke``) exits non-zero
+if a full fleet restart warm-starts less than 90% of the working set
+from the snapshot store.  It then replays two workload
 scenarios in smoke mode (``msite workload --scenario flash-crowd
 --smoke`` and ``--scenario zipf-news --smoke``): each must finish with
 zero non-degraded 5xx at warm cache and within the p99 budget, and
@@ -204,6 +211,40 @@ def main(argv: list[str] | None = None) -> int:
     sys.stdout.write(farm.stdout)
     if farm.returncode != 0:
         failures.append(f"render farm burst smoke exited {farm.returncode}")
+
+    # -- region chaos smoke: kill one of two regions mid-run; the fleet
+    #    must serve zero non-degraded 5xx and the healed region must
+    #    replay the invalidation log to the live offset -----------------
+    region_chaos_command = [
+        sys.executable, "-m", "repro.cli", "chaos",
+        "--region-faults", "--smoke",
+    ]
+    print(f"\n$ {' '.join(region_chaos_command)}")
+    region_chaos = subprocess.run(
+        region_chaos_command, cwd=REPO_ROOT, env=env,
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+    )
+    sys.stdout.write(region_chaos.stdout)
+    if region_chaos.returncode != 0:
+        failures.append(
+            f"region chaos smoke exited {region_chaos.returncode}"
+        )
+
+    # -- region failover bench smoke: a full fleet restart must
+    #    warm-start at least 90% of the working set from disk ------------
+    regions_bench_command = [
+        sys.executable, "-m", "repro.cli", "bench-regions", "--smoke",
+    ]
+    print(f"\n$ {' '.join(regions_bench_command)}")
+    regions_bench = subprocess.run(
+        regions_bench_command, cwd=REPO_ROOT, env=env,
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+    )
+    sys.stdout.write(regions_bench.stdout)
+    if regions_bench.returncode != 0:
+        failures.append(
+            f"region failover bench smoke exited {regions_bench.returncode}"
+        )
 
     # -- scenario smokes: a burst and a skewed news mix must finish with
     #    zero non-degraded 5xx at warm cache and append their bench rows
