@@ -277,6 +277,57 @@ def _cmd_bench_adapt(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench_delta(args: argparse.Namespace) -> int:
+    from repro.bench.delta import format_report, run_delta_bench
+
+    requests = 60 if args.smoke else args.requests
+    try:
+        results = run_delta_bench(requests=requests, churn=args.churn)
+    except (RuntimeError, ValueError, MSiteError) as exc:
+        print(f"bench-delta run failed: {exc}", file=sys.stderr)
+        return 1
+    print(format_report(results))
+    delta = results["delta"]
+    failed = False
+    if delta.get("delta_applied", 0) <= 0:
+        print(
+            "FAIL: the churn workload never took the delta patch path",
+            file=sys.stderr,
+        )
+        failed = True
+    if not args.smoke and results["readapt_speedup"] < args.min_speedup:
+        print(
+            f"FAIL: re-adaptation p50 speedup is "
+            f"{results['readapt_speedup']:.1f}x "
+            f"(need >= {args.min_speedup:.1f}x over full replay)",
+            file=sys.stderr,
+        )
+        failed = True
+    if args.output and not args.smoke:
+        from repro.bench.store import upsert_row
+
+        key = f"churn{round(args.churn * 100)}pct@{requests}"
+        row = {
+            "requests": requests,
+            "churn": args.churn,
+            "byte_identical": results["byte_identical"],
+            "readapt_speedup": round(results["readapt_speedup"], 2),
+            "delta_readapt_p50_ms": round(delta["readapt_p50_ms"], 3),
+            "full_readapt_p50_ms": round(
+                results["full"]["readapt_p50_ms"], 3
+            ),
+            "delta_applied": delta.get("delta_applied", 0),
+            "delta_fallbacks": delta.get("delta_fallbacks", 0),
+            "patched_segments": delta.get("delta_patched_segments", 0),
+            "session_wire_fraction": round(
+                results["session"]["wire_fraction"], 4
+            ),
+        }
+        upsert_row(args.output, "delta_churn", key, row)
+        print(f"wrote {args.output} (delta_churn.{key})")
+    return 1 if failed else 0
+
+
 def _merge_json_report(path: str, updates: dict) -> None:
     """Update ``path`` with ``updates``, preserving other top-level keys.
 
@@ -589,6 +640,37 @@ def build_parser() -> argparse.ArgumentParser:
         "(the tier-1 gate uses this)",
     )
     bench.set_defaults(fn=_cmd_bench_adapt)
+
+    bench_delta = commands.add_parser(
+        "bench-delta",
+        help="benchmark incremental re-adaptation under content churn "
+        "(delta patch vs full replay)",
+    )
+    bench_delta.add_argument(
+        "--requests", type=int, default=220,
+        help="requests per configuration (default 220)",
+    )
+    bench_delta.add_argument(
+        "--churn", type=float, default=0.1,
+        help="fraction of requests that coincide with an origin "
+        "revision (default 0.1)",
+    )
+    bench_delta.add_argument(
+        "--min-speedup", type=float, default=3.0,
+        help="fail below this re-adaptation p50 speedup over full "
+        "replay (default 3.0; not enforced with --smoke)",
+    )
+    bench_delta.add_argument(
+        "--smoke", action="store_true",
+        help="small run for the tier-1 gate: checks byte equality and "
+        "that deltas apply, skips the speedup gate and the BENCH write",
+    )
+    bench_delta.add_argument(
+        "-o", "--output", default="BENCH_pipeline.json",
+        help="merge the delta_churn row here (default "
+        "BENCH_pipeline.json; empty string to skip)",
+    )
+    bench_delta.set_defaults(fn=_cmd_bench_delta)
 
     trace = commands.add_parser(
         "trace",

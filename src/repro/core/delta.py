@@ -1,0 +1,1389 @@
+"""Incremental re-adaptation: the warm cache-*miss* fast path.
+
+The fast path (:mod:`repro.core.fastpath`) replays whole adapted
+responses, but any origin content change busts the ``content-fp``
+component of the bundle key and forces a full pipeline replay — parse,
+every plan phase, serialize — even when consecutive origin renders
+differ in a handful of subtrees.  This module turns that warm miss into
+a near-hit:
+
+1.  After a full run stores a bundle, :meth:`DeltaEngine.seed` captures
+    a *memo* for the (site, path, device, spec) key: the post-filter
+    source split into top-level **segments** (the ``<body>``'s direct
+    children, each keyed by stable identity), the post-run residual
+    document whose serialization produced the entry page, per-step
+    selector footprints (which segments each compiled plan step may
+    touch), and the stored bundle itself.
+
+2.  On the next warm miss for the same key, :meth:`DeltaEngine.attempt`
+    re-runs only the filter phase over the new origin source, re-scans
+    its segments, and aligns them against the memo by identity.  Each
+    changed segment is handled by the cheapest sound rung:
+
+    * **identical** — the filtered sources are byte-equal (the change
+      was filtered away): the old bundle is re-stored under the new
+      content fingerprint, nothing is recomputed;
+    * **patch** — no plan step's footprint intersects the segment: the
+      residual's subtree is patched in place with a stable-identity
+      change-set from :mod:`repro.dom.diff`;
+    * **localize** — every implicated step is a *localizable* transform
+      confined to this one segment: the steps re-run on the parsed new
+      fragment in a scratch document and the result splices into the
+      residual;
+    * **fallback** — anything else (structural upheaval, a non-local
+      step, a scanner bail) falls through to the full pipeline replay.
+
+    The patched residual re-serializes into the entry page, the entry
+    artifact is swapped inside a copy of the cached bundle, and the
+    result is stored under the new ``content-fp`` — so subsequent
+    requests for the same render are plain fast-path hits.
+
+The hard invariant — enforced by the differential suites — is that a
+delta-patched response is **byte-identical** to a from-scratch full
+adaptation of the new origin.  Every shortcut in this module is either
+verified at seed time (the segment scanner is cross-checked against the
+real parser; the entry reconstruction is cross-checked against the run
+that just happened) or guarded by a conservative bail that takes the
+full-replay path instead.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from difflib import SequenceMatcher
+from typing import Any, Optional
+
+from repro.core import fastpath
+from repro.dom import diff
+from repro.dom.document import Document
+from repro.dom.element import Element, RAW_TEXT_ELEMENTS, VOID_ELEMENTS
+from repro.dom.node import Comment, Node, Text
+from repro.html.parser import _IMPLIED_CLOSERS, parse_fragment, parse_html
+from repro.html.serializer import serialize
+from repro.html.tokenizer import _WHITESPACE, _consume_start_tag
+
+#: DOM-phase attributes whose effect is a pure function of the matched
+#: subtree — safe to re-run on an isolated fragment.  Everything else
+#: (subpage minting, pagination, relocation…) forces a full replay when
+#: its footprint intersects a changed segment.
+LOCALIZABLE_STEPS = frozenset({"feed_window", "remove_object", "hide_object"})
+
+#: Filter attributes that are *piecewise-safe*: pure all-matches
+#: substitutions whose every match lies wholly inside one well-formed
+#: element or tag, so filtering segment-by-segment concatenates to the
+#: same bytes as filtering the whole page.  Attributes with insertion
+#: or first-match semantics (``doctype_rewrite``, ``title_rewrite``,
+#: counted ``source_replace``) are excluded — their output depends on
+#: content elsewhere in the page.
+PIECEWISE_FILTERS = frozenset(
+    {"strip_scripts", "strip_css", "rewrite_images"}
+)
+
+#: DOM-phase attributes that may insert or move nodes at the top level
+#: of the body — they would break the segment↔residual mapping, so a
+#: plan containing one is never memoized.
+_TOPLEVEL_REWRITERS = frozenset(
+    {"insert_object", "relocate_object", "replace_object", "insert_js"}
+)
+
+#: A changed fraction above this is a rebuild, not an edit.
+UPHEAVAL_FRACTION = 0.5
+
+
+# ---------------------------------------------------------------------------
+# segment scanning
+
+
+@dataclass
+class Segment:
+    """One top-level body child, as a raw slice of the filtered source."""
+
+    identity: tuple
+    raw: str
+    kind: str  # 'element' | 'text' | 'comment'
+    tag: str = ""
+    elem_id: Optional[str] = None
+    assigned: Optional[str] = None
+    classes: str = ""
+
+    @property
+    def facts(self) -> tuple:
+        return (
+            self.kind, self.raw, self.tag,
+            self.elem_id, self.assigned, self.classes,
+        )
+
+
+@dataclass
+class ScanResult:
+    """A source split into prelude + body segments + tail."""
+
+    prelude: str
+    segments: list[Segment]
+    tail: str
+
+
+class _ScanBail(Exception):
+    """The source is not strictly well-formed enough to segment."""
+
+
+def scan_segments(source: str) -> Optional[ScanResult]:
+    """Split a page into ``<body>`` prelude, segments, and tail.
+
+    Returns ``None`` whenever the markup needs any of the parser's soup
+    recovery (implied closers, stray end tags, head scaffolding inside
+    the body…) — those cases re-adapt through the full pipeline.  The
+    guarantee this strictness buys: every returned element segment
+    parses identically via :func:`parse_fragment` and in page context,
+    so fragments patched into the residual match a full re-parse.
+    """
+    lowered = source.lower()
+    body_at = lowered.find("<body")
+    if body_at == -1 or lowered[body_at + 5 : body_at + 6] not in (
+        "",
+        ">",
+        *(_WHITESPACE),
+    ):
+        return None
+    try:
+        _, body_end = _consume_start_tag(source, body_at)
+    except Exception:  # pragma: no cover - tokenizer never raises today
+        return None
+    close_at = lowered.rfind("</body")
+    if close_at == -1 or close_at < body_end:
+        return None
+    try:
+        facts = _scan_region(source, body_end, close_at)
+    except _ScanBail:
+        return None
+    return ScanResult(
+        prelude=source[:body_end],
+        segments=_assign_identities(facts),
+        tail=source[close_at:],
+    )
+
+
+def rescan_segments(source: str, baseline: ScanResult) -> Optional[ScanResult]:
+    """:func:`scan_segments`, reusing a previous scan of a similar page.
+
+    Unchanged segments are recognized by raw byte equality from both
+    ends of the body region, so only the changed middle pays for a real
+    depth-tracked scan — the delta path's cost then scales with the
+    size of the change, not the page.  Falls back to a full scan (and
+    its verdict) whenever the shortcut's preconditions wobble; the
+    result is always exactly what :func:`scan_segments` would return.
+    """
+    prelude, tail = baseline.prelude, baseline.tail
+    if not (source.startswith(prelude) and source.endswith(tail)):
+        return scan_segments(source)
+    start = len(prelude)
+    end = len(source) - len(tail)
+    if end < start:
+        return scan_segments(source)
+    old = baseline.segments
+    front = 0
+    cursor = start
+    while front < len(old):
+        raw = old[front].raw
+        if cursor + len(raw) <= end and source.startswith(raw, cursor):
+            cursor += len(raw)
+            front += 1
+        else:
+            break
+    back = 0
+    back_cursor = end
+    while back < len(old) - front:
+        raw = old[len(old) - 1 - back].raw
+        if back_cursor - len(raw) >= cursor and source.startswith(
+            raw, back_cursor - len(raw)
+        ):
+            back_cursor -= len(raw)
+            back += 1
+        else:
+            break
+    try:
+        middle = _scan_region(source, cursor, back_cursor)
+    except _ScanBail:
+        # The middle may only be malformed *relative to the splice
+        # boundaries* (e.g. an element left open across them); the full
+        # scan is the authority.
+        return scan_segments(source)
+    facts = (
+        [seg.facts for seg in old[:front]]
+        + middle
+        + [seg.facts for seg in old[len(old) - back :]]
+    )
+    # Two adjacent text runs would have been one segment in a full
+    # scan — the splice boundaries cut through a text run.  Re-scan.
+    for before, after in zip(facts, facts[1:]):
+        if before[0] == "text" and after[0] == "text":
+            return scan_segments(source)
+    return ScanResult(
+        prelude=prelude,
+        segments=_assign_identities(facts),
+        tail=tail,
+    )
+
+
+_Facts = tuple  # (kind, raw, tag, elem_id, assigned, classes)
+
+
+def _scan_region(source: str, start: int, end: int) -> list[_Facts]:
+    """Depth-tracked scan of the body region into top-level fact tuples."""
+    segments: list[_Facts] = []
+    stack: list[str] = []
+    pos = start
+    seg_start = start
+
+    def _flush_text(until: int) -> None:
+        if until > seg_start:
+            segments.append(
+                ("text", source[seg_start:until], "", None, None, "")
+            )
+
+    while pos < end:
+        lt = source.find("<", pos)
+        if lt == -1 or lt >= end:
+            if stack:
+                raise _ScanBail("region ends with open elements")
+            _flush_text(end)
+            seg_start = end
+            break
+        next_char = source[lt + 1 : lt + 2]
+        if next_char == "!":
+            if not source.startswith("<!--", lt):
+                raise _ScanBail("markup declaration inside body")
+            gt = source.find("-->", lt + 4)
+            if gt == -1 or gt + 3 > end:
+                raise _ScanBail("unterminated comment")
+            if not stack:
+                _flush_text(lt)
+                segments.append(
+                    ("comment", source[lt : gt + 3], "", None, None, "")
+                )
+                seg_start = gt + 3
+            pos = gt + 3
+            continue
+        if next_char == "/":
+            gt = source.find(">", lt)
+            if gt == -1 or gt >= end:
+                raise _ScanBail("unterminated end tag")
+            name = source[lt + 2 : gt].strip().lower()
+            if not stack or stack[-1] != name:
+                raise _ScanBail(f"end tag </{name}> does not close the top")
+            stack.pop()
+            pos = gt + 1
+            if not stack:
+                segments.append(
+                    ("element", source[seg_start:pos], "", None, None, "")
+                )
+                seg_start = pos
+            continue
+        if not next_char.isalpha():
+            raise _ScanBail("literal '<' or processing instruction")
+        token, after = _consume_start_tag(source, lt)
+        if after > end:
+            raise _ScanBail("start tag crosses the body close")
+        name = token.name
+        if name in ("html", "head", "body"):
+            raise _ScanBail(f"<{name}> inside body")
+        closers = _IMPLIED_CLOSERS.get(name)
+        if closers is not None and any(tag in closers for tag in stack):
+            raise _ScanBail(f"<{name}> would imply-close an open element")
+        if token.self_closing and name not in VOID_ELEMENTS:
+            raise _ScanBail(f"self-closing <{name}/>")
+        if not stack:
+            _flush_text(lt)
+            seg_start = lt
+        attrs = token.attributes
+        facts = (
+            name,
+            attrs.get("id"),
+            attrs.get(diff.IDENTITY_ATTRIBUTE),
+            attrs.get("class", ""),
+        )
+        if name in RAW_TEXT_ELEMENTS and not token.self_closing:
+            after = _skip_raw_text(source, after, end, name)
+            if not stack:
+                segments.append(
+                    ("element", source[seg_start:after], *facts)
+                )
+                seg_start = after
+            pos = after
+            continue
+        if name in VOID_ELEMENTS or token.self_closing:
+            if not stack:
+                segments.append(
+                    ("element", source[seg_start:after], *facts)
+                )
+                seg_start = after
+            pos = after
+            continue
+        if not stack:
+            # Record the root tag's identity facts now; the segment raw
+            # completes when the stack empties again.
+            segments.append(("open", "", *facts))
+        stack.append(name)
+        pos = after
+    if stack:
+        raise _ScanBail("body region ends with open elements")
+    _flush_text(end)
+    return _merge_opens(segments)
+
+
+def _skip_raw_text(source: str, start: int, end: int, tag: str) -> int:
+    """Position just past ``</tag>`` for a raw-text element."""
+    lowered = source.lower()
+    needle = f"</{tag}"
+    pos = start
+    while True:
+        at = lowered.find(needle, pos)
+        if at == -1 or at >= end:
+            raise _ScanBail(f"unterminated <{tag}>")
+        after = at + len(needle)
+        if after < len(source) and source[after] not in _WHITESPACE + "/>":
+            pos = after
+            continue
+        gt = source.find(">", after)
+        if gt == -1 or gt >= end:
+            raise _ScanBail(f"unterminated </{tag}>")
+        return gt + 1
+
+
+def _merge_opens(raw: list[_Facts]) -> list[_Facts]:
+    """Fuse each ``open`` marker with the ``element`` that closed it."""
+    merged: list[_Facts] = []
+    pending: Optional[_Facts] = None
+    for entry in raw:
+        if entry[0] == "open":
+            pending = entry
+            continue
+        if pending is not None:
+            if entry[0] != "element":  # pragma: no cover - defensive
+                raise _ScanBail("scanner state desync")
+            merged.append(("element", entry[1], *pending[2:]))
+            pending = None
+            continue
+        merged.append(entry)
+    if pending is not None:  # pragma: no cover - defensive
+        raise _ScanBail("scanner state desync")
+    return merged
+
+
+def _assign_identities(merged: list[_Facts]) -> list[Segment]:
+    """Identity keys mirroring :func:`repro.dom.diff.child_keys`."""
+    segments: list[Segment] = []
+    ordinals: dict[tuple, int] = {}
+
+    def _next(bucket: tuple) -> int:
+        ordinal = ordinals.get(bucket, 0)
+        ordinals[bucket] = ordinal + 1
+        return ordinal
+
+    for kind, raw, tag, elem_id, assigned, classes in merged:
+        if kind == "element":
+            if elem_id is not None:
+                identity = ("e", tag, "#", elem_id)
+            elif assigned is not None:
+                identity = ("e", tag, "@", assigned)
+            else:
+                shape = (tag, classes)
+                identity = ("e", *shape, _next(("e", *shape)))
+        elif kind == "text":
+            identity = ("t", _next(("t",)))
+        else:
+            identity = ("c", _next(("c",)))
+        segments.append(
+            Segment(
+                identity=identity,
+                raw=raw,
+                kind=kind,
+                tag=tag,
+                elem_id=elem_id,
+                assigned=assigned,
+                classes=classes,
+            )
+        )
+    return segments
+
+
+# ---------------------------------------------------------------------------
+# selector footprints
+
+
+def compound_may_match(compound, element: Element) -> bool:
+    """Context-free over-approximation of one compound selector.
+
+    Evaluates only the locally-decidable simple selectors (tag, id,
+    class, attribute tests); pseudo-classes are conservatively assumed
+    to match.  Any full right-to-left selector match requires the
+    rightmost compound to accept the subject element, so *may-match
+    nowhere in a subtree* soundly implies *matches nowhere in it*.
+    """
+    if compound.tag is not None and element.tag != compound.tag:
+        return False
+    if compound.element_id is not None and element.id != compound.element_id:
+        return False
+    for class_name in compound.class_names:
+        if not element.has_class(class_name):
+            return False
+    for test in compound.attribute_tests:
+        if not test.matches(element):
+            return False
+    return True
+
+
+def _rightmost_compounds(step) -> list:
+    group = step.selector_group
+    if group is None:
+        return []
+    return [alt.compounds[-1] for alt in group.alternatives]
+
+
+def step_touches(step, nodes: list[Node]) -> bool:
+    """May this plan step select anything inside these subtrees?"""
+    compounds = _rightmost_compounds(step)
+    if not compounds:
+        return False
+    for node in nodes:
+        if not isinstance(node, Element):
+            continue
+        for element in (node, *node.descendant_elements()):
+            for compound in compounds:
+                if compound_may_match(compound, element):
+                    return True
+    return False
+
+
+@dataclass
+class SubtreeSummary:
+    """Aggregate facts about a forest, for batched footprint tests.
+
+    Loses the per-element conjunction (an element that is ``div`` and
+    an element that is ``#feed`` satisfy a ``div#feed`` probe even if
+    they are different elements), which only *widens* footprints —
+    still sound, one walk instead of one per step.
+    """
+
+    tags: set
+    ids: set
+    classes: set
+
+    @classmethod
+    def of(cls, nodes: list[Node]) -> "SubtreeSummary":
+        tags: set = set()
+        ids: set = set()
+        classes: set = set()
+        for node in nodes:
+            if not isinstance(node, Element):
+                continue
+            for element in (node, *node.descendant_elements()):
+                tags.add(element.tag)
+                elem_id = element.id
+                if elem_id is not None:
+                    ids.add(elem_id)
+                class_attr = element.attributes.get("class")
+                if class_attr:
+                    classes.update(class_attr.split())
+        return cls(tags=tags, ids=ids, classes=classes)
+
+    def may_contain_match(self, compound) -> bool:
+        if compound.tag is not None and compound.tag not in self.tags:
+            return False
+        if (
+            compound.element_id is not None
+            and compound.element_id not in self.ids
+        ):
+            return False
+        for class_name in compound.class_names:
+            if class_name not in self.classes:
+                return False
+        # Attribute and pseudo tests are conservatively assumed to pass.
+        return True
+
+
+def steps_touching(plan_steps, nodes: list[Node]) -> set[int]:
+    """Indices of steps whose footprint may intersect these subtrees."""
+    summary = SubtreeSummary.of(nodes)
+    return {
+        index
+        for index, step in enumerate(plan_steps)
+        if any(
+            summary.may_contain_match(compound)
+            for compound in _rightmost_compounds(step)
+        )
+    }
+
+
+def _selector_is_localizable(step) -> bool:
+    """No pseudo-classes, no sibling combinators — the match outcome
+    cannot depend on anything outside the fragment's own subtree (its
+    ancestors in a scratch document are ``html > body``, exactly as in
+    the real page, because segments are top-level body children)."""
+    group = step.selector_group
+    if group is None:
+        return False
+    for alternative in group.alternatives:
+        if any(c in ("+", "~") for c in alternative.combinators):
+            return False
+        for compound in alternative.compounds:
+            if compound.pseudo_tests:
+                return False
+    return True
+
+
+# ---------------------------------------------------------------------------
+# the memo
+
+
+@dataclass
+class DeltaMemo:
+    """Everything needed to re-adapt one page incrementally."""
+
+    #: The full filtered source, kept only in *global-filter* mode
+    #: (``raw_scan is None``) where it is the identical-rung baseline.
+    filtered_source: Optional[str]
+    scan: ScanResult
+    #: Piecewise-filter mode: a scan of the *unfiltered* (normalized)
+    #: origin source, plus each raw segment's filter output and that
+    #: output's scanned facts.  A delta then rescans the cheap raw
+    #: source and runs the filter phase only over segments whose raw
+    #: bytes changed; seed time verified that the pieces concatenate to
+    #: exactly the globally filtered page.  ``None`` when the plan's
+    #: filter phase is not piecewise-safe.
+    raw_scan: Optional[ScanResult]
+    pieces: Optional[list]
+    piece_facts: Optional[list]
+    #: The post-run document whose serialization is the entry body; it
+    #: is patched in place on every applied delta.
+    residual: Document
+    #: identity → residual top-level node (absent keys were detached
+    #: into subpages or removed by the original run).
+    residual_by_key: dict[tuple, Node]
+    #: identity → indices (into plan.dom_steps) of steps whose selector
+    #: footprint intersects that segment.
+    seg_steps: dict[tuple, set[int]]
+    menu: str
+    ajax_injection: str
+    #: Per-segment serialized HTML keyed by identity, with the shell
+    #: around the body children, so a delta re-serializes only patched
+    #: segments.  ``None`` when the seed-time concatenation check
+    #: failed (the full-document serializer is the fallback).
+    entry_parts: Optional[dict]
+    shell_prefix: str
+    shell_suffix: str
+    bundle: fastpath.FastpathBundle
+    entry_rel: str
+    ttl_s: float
+    #: Clock time past which the memo's frozen artifacts (subpage
+    #: renders, images) are no longer fresh; delta attempts after this
+    #: take the full pipeline, which re-validates every component.
+    deadline: float = 0.0
+    lock: threading.Lock = field(default_factory=threading.Lock)
+
+
+_COUNTER_HELP = {
+    "seeds": "Delta memos captured after full adaptation runs.",
+    "seed_skips": "Full runs that were not delta-eligible.",
+    "applied": "Warm misses served by patching the cached bundle.",
+    "identical":
+        "Warm misses where filtering erased the origin change entirely.",
+    "fallbacks": "Delta attempts that fell back to a full replay.",
+    "patched_segments": "Segments patched in place across all deltas.",
+    "no_memo": "Warm misses with no memo to delta against.",
+    "expired": "Delta memos dropped because their freshness lapsed.",
+    "session_served": "Entry responses shipped as session patch manifests.",
+    "session_fallback":
+        "Session delta requests answered with the full body.",
+}
+
+
+def delta_counter(registry, name: str):
+    """The ``msite_delta_*`` counter family on one registry."""
+    return registry.counter(
+        f"msite_delta_{name}_total", _COUNTER_HELP[name]
+    )
+
+
+class DeltaEngine:
+    """Per-deployment incremental re-adaptation state and logic."""
+
+    def __init__(self, registry) -> None:
+        self._registry = registry
+        self._memos: dict[tuple, DeltaMemo] = {}
+        self._lock = threading.Lock()
+
+    def _counter(self, name: str):
+        return delta_counter(self._registry, name)
+
+    def _memo_key(self, pipeline, device_class: str) -> tuple:
+        return (
+            pipeline.spec.site,
+            pipeline.spec.page_path,
+            device_class,
+            pipeline.plan.fingerprint,
+        )
+
+    def forget(self, site: Optional[str] = None) -> None:
+        """Drop memos (all, or one site's) after an invalidation."""
+        with self._lock:
+            if site is None:
+                self._memos.clear()
+            else:
+                for key in [k for k in self._memos if k[0] == site]:
+                    del self._memos[key]
+
+    # ------------------------------------------------------------------
+    # seeding
+
+    def seed(
+        self,
+        pipeline,
+        ctx,
+        result,
+        bundle: fastpath.FastpathBundle,
+        ttl_s: float,
+        device_class: str,
+        raw_source: Optional[str] = None,
+    ) -> bool:
+        """Capture a memo from a just-completed full run.
+
+        ``raw_source`` is the normalized origin source *before* the
+        filter phase ran; when given (and the filter phase is
+        piecewise-safe) the memo also captures per-segment filter
+        output so deltas can filter only what changed.
+
+        Returns ``False`` (and counts ``seed_skips``) whenever any
+        precondition fails; the run itself is unaffected.
+        """
+        key = self._memo_key(pipeline, device_class)
+        memo = self._build_memo(
+            pipeline, ctx, result, bundle, ttl_s, raw_source
+        )
+        if memo is None:
+            self._counter("seed_skips").inc()
+            with self._lock:
+                self._memos.pop(key, None)
+            return False
+        with self._lock:
+            self._memos[key] = memo
+        self._counter("seeds").inc()
+        return True
+
+    def _build_memo(
+        self, pipeline, ctx, result, bundle, ttl_s, raw_source=None
+    ) -> Optional[DeltaMemo]:
+        if ctx.document is None or ctx.streamed_html is not None:
+            return None
+        if ctx.prerender_page or ctx.partial_prerender_targets:
+            return None
+        if ctx.media_thumbnails:
+            return None
+        if result.degraded is not None:
+            return None
+        steps = pipeline.plan.dom_steps
+        for step in steps:
+            if step.definition.name in _TOPLEVEL_REWRITERS:
+                return None
+            if step.selector_group is None:
+                return None
+        scan = scan_segments(ctx.source)
+        if scan is None:
+            return None
+        # Cross-check the scanner against the real parser: the pristine
+        # parse's body children must agree with the scanned segments in
+        # count and identity.  This makes scanner correctness a
+        # *verified* property of each memo, not an assumption.
+        pristine = parse_html(ctx.source)
+        body = pristine.body
+        if body is None:
+            return None
+        pristine_children = list(body.children)
+        pristine_keys = diff.child_keys(pristine_children)
+        if pristine_keys != [seg.identity for seg in scan.segments]:
+            return None
+        # A step whose rightmost compound could select the scaffolding
+        # (or anything in the head) has effects the segment model cannot
+        # scope; skip the memo for such "global" plans.
+        html_el = pristine.document_element
+        head = pristine.head
+        scaffold: list[Node] = [n for n in (html_el, head, body) if n is not None]
+        for step in steps:
+            for compound in _rightmost_compounds(step):
+                for element in scaffold:
+                    if compound_may_match(compound, element):
+                        return None
+                if head is not None and any(
+                    compound_may_match(compound, el)
+                    for el in head.descendant_elements()
+                ):
+                    return None
+        # Per-segment step footprints over the pristine subtrees.
+        seg_steps: dict[tuple, set[int]] = {}
+        for segment, child in zip(scan.segments, pristine_children):
+            touching = {
+                index
+                for index, step in enumerate(steps)
+                if step_touches(step, [child])
+            }
+            if touching:
+                seg_steps[segment.identity] = touching
+        # Residual mapping: every top-level survivor of the run must be
+        # one of the scanned segments (an ordered subsequence — steps
+        # may only have removed or detached top-level children).
+        residual_body = ctx.document.body
+        if residual_body is None:
+            return None
+        residual_children = list(residual_body.children)
+        residual_keys = diff.child_keys(residual_children)
+        if not _is_subsequence(residual_keys, pristine_keys):
+            return None
+        residual_by_key = dict(zip(residual_keys, residual_children))
+        # Reconstruct the entry exactly as _emit_entry does and verify
+        # byte equality against the run that just happened — if the
+        # reconstruction recipe cannot reproduce *this* run, it cannot
+        # be trusted to reproduce a patched one.
+        menu = _menu_html(ctx)
+        ajax_injection = _ajax_injection_html(ctx)
+        body_html = serialize(ctx.document)
+        rebuilt = _rebuild_entry(body_html, menu, ajax_injection)
+        if rebuilt != result.entry_html:
+            return None
+        # Per-segment serialization: valid only if the document's
+        # serialization is exactly shell + concatenated children.
+        entry_parts: Optional[dict] = {
+            key: serialize(node)
+            for key, node in zip(residual_keys, residual_children)
+        }
+        joined = "".join(entry_parts[key] for key in residual_keys)
+        shell_prefix = shell_suffix = ""
+        split = body_html.find(joined) if joined else -1
+        if joined and split != -1 and body_html.count(joined) == 1:
+            shell_prefix = body_html[:split]
+            shell_suffix = body_html[split + len(joined) :]
+        else:
+            entry_parts = None
+        entry_rel = pipeline._relpath(result.entry_path)
+        if not any(item.relpath == entry_rel for item in bundle.files):
+            return None
+        filtered_source: Optional[str] = ctx.source
+        raw_scan = pieces = piece_facts = None
+        piecewise = self._piecewise_setup(
+            pipeline, raw_source, ctx.source, scan
+        )
+        if piecewise is not None:
+            raw_scan, pieces, piece_facts = piecewise
+            filtered_source = None
+        return DeltaMemo(
+            filtered_source=filtered_source,
+            scan=scan,
+            raw_scan=raw_scan,
+            pieces=pieces,
+            piece_facts=piece_facts,
+            residual=ctx.document,
+            residual_by_key=residual_by_key,
+            seg_steps=seg_steps,
+            menu=menu,
+            ajax_injection=ajax_injection,
+            entry_parts=entry_parts,
+            shell_prefix=shell_prefix,
+            shell_suffix=shell_suffix,
+            bundle=bundle,
+            entry_rel=entry_rel,
+            ttl_s=ttl_s,
+            deadline=pipeline.services.now + ttl_s,
+        )
+
+    def _filter_piece(self, pipeline, piece: str) -> str:
+        """The plan's filter phase over one source slice."""
+        from repro.core.pipeline import PipelineContext
+
+        ctx = PipelineContext(pipeline.spec, piece, pipeline.proxy_base)
+        pipeline._apply_phase(ctx, "filter")
+        return ctx.source
+
+    def _piecewise_setup(
+        self, pipeline, raw_source, filtered_source, filtered_scan
+    ):
+        """Per-segment filter state, or ``None`` if unverifiable.
+
+        The scheme is admitted only when (a) every filter step is in
+        :data:`PIECEWISE_FILTERS`, and (b) filtering this page's raw
+        prelude, segments, and tail one by one concatenates to exactly
+        the globally filtered source *and* splices to exactly its
+        direct scan — a per-page proof that segment filtering commutes
+        with concatenation here.
+        """
+        if raw_source is None:
+            return None
+        if any(
+            step.definition.name not in PIECEWISE_FILTERS
+            for step in pipeline.plan.filter_steps
+        ):
+            return None
+        raw_scan = scan_segments(raw_source)
+        if raw_scan is None:
+            return None
+        try:
+            prelude = self._filter_piece(pipeline, raw_scan.prelude)
+            tail = self._filter_piece(pipeline, raw_scan.tail)
+            pieces = [
+                self._filter_piece(pipeline, seg.raw)
+                for seg in raw_scan.segments
+            ]
+        except Exception:
+            return None
+        if prelude != filtered_scan.prelude or tail != filtered_scan.tail:
+            return None
+        if prelude + "".join(pieces) + tail != filtered_source:
+            return None
+        piece_facts: list = []
+        spliced: list = []
+        for seg, piece in zip(raw_scan.segments, pieces):
+            if piece == seg.raw:
+                # The filter was an identity on this segment, so the raw
+                # scan's facts are the filtered facts.
+                facts = [seg.facts]
+            else:
+                try:
+                    facts = _scan_region(piece, 0, len(piece))
+                except _ScanBail:
+                    return None
+            piece_facts.append(facts)
+            spliced.extend(facts)
+        if spliced != [seg.facts for seg in filtered_scan.segments]:
+            return None
+        return raw_scan, pieces, piece_facts
+
+    # ------------------------------------------------------------------
+    # the delta attempt
+
+    def attempt(
+        self,
+        pipeline,
+        source: str,
+        origin_bytes: int,
+        device_class: str,
+        etag: Optional[str],
+        bundle_key: str,
+        pointer_key: str,
+    ):
+        """Serve this warm miss by patching, or return ``None``.
+
+        ``None`` sends the caller down the full pipeline (which will
+        re-seed the memo for the next change).
+        """
+        key = self._memo_key(pipeline, device_class)
+        with self._lock:
+            memo = self._memos.get(key)
+        if memo is None:
+            self._counter("no_memo").inc()
+            return None
+        if pipeline.services.now >= memo.deadline:
+            self._counter("expired").inc()
+            with self._lock:
+                if self._memos.get(key) is memo:
+                    del self._memos[key]
+            return None
+        with memo.lock:
+            outcome = self._attempt_locked(
+                pipeline, memo, source, origin_bytes, etag,
+                bundle_key, pointer_key,
+            )
+        if outcome is _DROP_MEMO:
+            with self._lock:
+                if self._memos.get(key) is memo:
+                    del self._memos[key]
+            return None
+        return outcome
+
+    def _attempt_locked(
+        self, pipeline, memo, source, origin_bytes, etag,
+        bundle_key, pointer_key,
+    ):
+        try:
+            if memo.raw_scan is not None:
+                scan, refresh = self._refilter_piecewise(
+                    pipeline, memo, source
+                )
+            else:
+                scan, refresh = self._refilter_global(
+                    pipeline, memo, source
+                )
+        except _Fallback as bail:
+            return self._fallback(bail.reason)
+        if scan is None:
+            # The origin change was entirely filtered away (a script
+            # edit under strip_scripts, say): re-store the cached bundle
+            # under the new content fingerprint, byte-for-byte.
+            self._counter("identical").inc()
+            new_bundle = _rebundle(memo.bundle, memo.bundle.entry_html, etag)
+            self._store(pipeline, bundle_key, pointer_key, new_bundle, memo)
+            memo.bundle = new_bundle
+            refresh()
+            return pipeline._replay_bundle(new_bundle, origin_bytes, etag)
+        plan_steps = pipeline.plan.dom_steps
+        try:
+            patches = self._classify(memo, scan, plan_steps, pipeline)
+        except _Fallback as bail:
+            return self._fallback(bail.reason)
+        try:
+            patched = self._apply(memo, scan, patches)
+        except Exception:
+            # The residual may be half-patched; the memo is unusable.
+            self._counter("fallbacks").inc()
+            return _DROP_MEMO
+        entry_html = _rebuild_entry(
+            self._render_body(memo), memo.menu, memo.ajax_injection
+        )
+        new_bundle = _rebundle(memo.bundle, entry_html, etag)
+        self._store(pipeline, bundle_key, pointer_key, new_bundle, memo)
+        # Refresh the memo in place: the residual already evolved, the
+        # new scan becomes the baseline, and footprints update only for
+        # the segments that changed.
+        memo.scan = scan
+        memo.bundle = new_bundle
+        refresh()
+        self._reindex(memo, patches)
+        self._counter("applied").inc()
+        self._counter("patched_segments").inc(len(patches))
+        return pipeline._replay_bundle(new_bundle, origin_bytes, etag)
+
+    def _refilter_global(self, pipeline, memo, source):
+        """Filter the whole page and rescan; ``(None, …)`` if identical.
+
+        Returns ``(scan, refresh)`` where ``refresh`` moves the memo's
+        filter baseline forward once the delta has been applied, or a
+        ``None`` scan when filtering erased the change entirely.
+        """
+        from repro.core.pipeline import PipelineContext
+
+        ctx = PipelineContext(
+            pipeline.spec, source, pipeline.proxy_base
+        )
+        pipeline._apply_phase(ctx, "filter")
+        filtered = ctx.source
+        if filtered == memo.filtered_source:
+            return None, lambda: None
+        scan = rescan_segments(filtered, memo.scan)
+        if scan is None:
+            raise _Fallback("scan")
+        if scan.prelude != memo.scan.prelude or scan.tail != memo.scan.tail:
+            raise _Fallback("structure")
+
+        def refresh() -> None:
+            memo.filtered_source = filtered
+
+        return scan, refresh
+
+    def _refilter_piecewise(self, pipeline, memo, source):
+        """Rescan the raw source and filter only what changed.
+
+        The whole-page filter run is the delta path's largest fixed
+        cost; this replaces it with a raw rescan (which already scales
+        with the change) plus a filter pass over just the changed
+        segments, splicing memoized filter output for everything else.
+        Seed time proved piecewise filtering byte-equal to the global
+        pass for this page and plan (:meth:`_piecewise_setup`).
+        """
+        raw_scan = rescan_segments(source, memo.raw_scan)
+        if raw_scan is None:
+            raise _Fallback("scan")
+        if (
+            raw_scan.prelude != memo.raw_scan.prelude
+            or raw_scan.tail != memo.raw_scan.tail
+        ):
+            raise _Fallback("structure")
+        old = {
+            seg.identity: (seg.raw, memo.pieces[i], memo.piece_facts[i])
+            for i, seg in enumerate(memo.raw_scan.segments)
+        }
+        pieces: list = []
+        piece_facts: list = []
+        spliced: list = []
+        for seg in raw_scan.segments:
+            hit = old.get(seg.identity)
+            if hit is not None and hit[0] == seg.raw:
+                piece, facts = hit[1], hit[2]
+            else:
+                try:
+                    piece = self._filter_piece(pipeline, seg.raw)
+                    if piece == seg.raw:
+                        facts = [seg.facts]
+                    else:
+                        facts = _scan_region(piece, 0, len(piece))
+                except Exception:
+                    raise _Fallback("scan")
+            pieces.append(piece)
+            piece_facts.append(facts)
+            spliced.extend(facts)
+        # Adjacent text runs would have merged in a direct scan of the
+        # filtered page (e.g. a filtered-away segment between them);
+        # the splice model cannot represent that.
+        for before, after in zip(spliced, spliced[1:]):
+            if before[0] == "text" and after[0] == "text":
+                raise _Fallback("scan")
+
+        def refresh() -> None:
+            memo.raw_scan = raw_scan
+            memo.pieces = pieces
+            memo.piece_facts = piece_facts
+
+        if pieces == memo.pieces:
+            return None, refresh
+        scan = ScanResult(
+            prelude=memo.scan.prelude,
+            segments=_assign_identities(spliced),
+            tail=memo.scan.tail,
+        )
+        return scan, refresh
+
+    def _render_body(self, memo) -> str:
+        """The residual's body HTML, re-serializing changed parts only."""
+        if memo.entry_parts is None:
+            return serialize(memo.residual)
+        inverse = {
+            id(node): key for key, node in memo.residual_by_key.items()
+        }
+        parts: list[str] = []
+        for child in memo.residual.body.children:
+            key = inverse.get(id(child))
+            part = (
+                memo.entry_parts.get(key) if key is not None else None
+            )
+            if part is None:  # pragma: no cover - defensive
+                return serialize(memo.residual)
+            parts.append(part)
+        return memo.shell_prefix + "".join(parts) + memo.shell_suffix
+
+    def _fallback(self, reason: str):
+        self._counter("fallbacks").inc()
+        counter = self._registry.counter(
+            f"msite_delta_fallback_{reason}_total",
+            f"Delta fallbacks to full replay: {reason}.",
+        )
+        counter.inc()
+        return None
+
+    def _store(self, pipeline, bundle_key, pointer_key, bundle, memo):
+        # The re-stored bundle still embeds the memo's frozen artifacts,
+        # so it may only live out their *remaining* freshness.
+        remaining = memo.deadline - pipeline.services.now
+        fastpath.store_bundle(
+            pipeline.services.cache,
+            bundle_key,
+            pointer_key,
+            bundle,
+            ttl_s=max(remaining, 0.0),
+        )
+
+    # -- classification (no mutation) ----------------------------------
+
+    def _classify(self, memo, scan, plan_steps, pipeline) -> list["_Patch"]:
+        old_keys = [seg.identity for seg in memo.scan.segments]
+        new_keys = [seg.identity for seg in scan.segments]
+        old_by_key = {seg.identity: seg for seg in memo.scan.segments}
+        new_by_key = {seg.identity: seg for seg in scan.segments}
+        matcher = SequenceMatcher(a=old_keys, b=new_keys, autojunk=False)
+        changed: list[tuple[str, tuple]] = []
+        for op, i1, i2, j1, j2 in matcher.get_opcodes():
+            if op == "equal":
+                for offset in range(i2 - i1):
+                    identity = old_keys[i1 + offset]
+                    if (
+                        old_by_key[identity].raw
+                        != new_by_key[identity].raw
+                    ):
+                        changed.append(("mutate", identity))
+            else:
+                # Identity lists pair only on equality; a replace block
+                # is removals plus insertions.
+                for index in range(i1, i2):
+                    changed.append(("remove", old_keys[index]))
+                for index in range(j1, j2):
+                    changed.append(("insert", new_keys[index]))
+        total = max(len(old_keys), len(new_keys), 1)
+        if len(changed) / total > UPHEAVAL_FRACTION:
+            raise _Fallback("upheaval")
+        patches: list[_Patch] = []
+        for action, identity in changed:
+            patches.append(
+                self._classify_one(
+                    action, identity, memo, old_by_key, new_by_key,
+                    plan_steps, pipeline,
+                )
+            )
+        # Inserts need an anchor: the first *following* new segment that
+        # already has a residual node.
+        for patch in patches:
+            if patch.action == "insert":
+                patch.anchor = self._anchor_for(
+                    patch.identity, scan.segments, memo, patches
+                )
+        return patches
+
+    def _classify_one(
+        self, action, identity, memo, old_by_key, new_by_key,
+        plan_steps, pipeline,
+    ) -> "_Patch":
+        implicated: set[int] = set(memo.seg_steps.get(identity, ()))
+        new_nodes: list[Node] = []
+        new_touching: set[int] = set()
+        if action in ("mutate", "insert"):
+            new_nodes = parse_fragment(new_by_key[identity].raw)
+            if len(new_nodes) != 1:
+                # One segment must parse to exactly one node, or the
+                # residual map (and part cache) would lose track.
+                raise _Fallback("fragment")
+            new_touching = steps_touching(plan_steps, new_nodes)
+            implicated |= new_touching
+        if action == "remove":
+            if implicated:
+                raise _Fallback("steps")
+            return _Patch(action, identity, steps=frozenset())
+        if not implicated:
+            return _Patch(
+                action, identity, nodes=new_nodes,
+                new_touching=frozenset(new_touching),
+            )
+        for index in implicated:
+            step = plan_steps[index]
+            if step.definition.name not in LOCALIZABLE_STEPS:
+                raise _Fallback("steps")
+            if not _selector_is_localizable(step):
+                raise _Fallback("steps")
+            footprint = {
+                seg_id
+                for seg_id, touching in memo.seg_steps.items()
+                if index in touching
+            }
+            footprint.add(identity)
+            if footprint != {identity}:
+                raise _Fallback("steps")
+        transformed = self._localize(
+            pipeline, new_nodes, sorted(implicated), plan_steps
+        )
+        return _Patch(
+            action, identity, nodes=transformed,
+            steps=frozenset(implicated),
+            new_touching=frozenset(new_touching),
+        )
+
+    def _localize(
+        self, pipeline, nodes: list[Node], step_indices, plan_steps
+    ) -> list[Node]:
+        """Re-run the implicated steps over the fragment in isolation."""
+        from repro.core.pipeline import PipelineContext
+
+        scratch = Document()
+        html_el = Element("html")
+        body = Element("body")
+        html_el.append(Element("head"))
+        html_el.append(body)
+        scratch.append(html_el)
+        for node in nodes:
+            body.append(node)
+        ctx = PipelineContext(
+            pipeline.spec, "", pipeline.proxy_base
+        )
+        ctx.document = scratch
+        for index in step_indices:
+            step = plan_steps[index]
+            try:
+                step.definition.applier(ctx, step.binding)
+            except Exception as exc:
+                raise _Fallback("localize") from exc
+            finally:
+                ctx.invalidate_index()
+        survivors = list(body.children)
+        if len(survivors) > 1:  # pragma: no cover - no such step today
+            raise _Fallback("localize")
+        return survivors
+
+    def _anchor_for(self, identity, new_segments, memo, patches):
+        seen = False
+        removed = {
+            patch.identity for patch in patches if patch.action == "remove"
+        }
+        for segment in new_segments:
+            if segment.identity == identity:
+                seen = True
+                continue
+            if not seen:
+                continue
+            node = memo.residual_by_key.get(segment.identity)
+            if node is not None and segment.identity not in removed:
+                return node
+        return None
+
+    # -- application (mutates the residual) ----------------------------
+
+    def _apply(self, memo, scan, patches) -> int:
+        count = 0
+        for patch in patches:
+            count += 1
+            if patch.action == "remove":
+                node = memo.residual_by_key.pop(patch.identity, None)
+                if node is not None:
+                    node.detach()
+            elif patch.action == "mutate" and not patch.steps:
+                node = memo.residual_by_key.get(patch.identity)
+                if (
+                    node is not None
+                    and len(patch.nodes) == 1
+                    and _patchable_pair(node, patch.nodes[0])
+                ):
+                    # Stable-identity diff against the untouched
+                    # residual subtree: small edits stay small.
+                    diff.apply(
+                        node, diff.changeset(node, patch.nodes[0])
+                    )
+                else:
+                    self._swap(memo, patch)
+            else:
+                self._swap(memo, patch)
+            if memo.entry_parts is not None:
+                survivor = memo.residual_by_key.get(patch.identity)
+                if survivor is None:
+                    memo.entry_parts.pop(patch.identity, None)
+                else:
+                    memo.entry_parts[patch.identity] = serialize(survivor)
+        return count
+
+    def _swap(self, memo, patch) -> None:
+        """Replace (or insert) a segment's residual nodes outright."""
+        old_node = memo.residual_by_key.pop(patch.identity, None)
+        nodes = patch.nodes
+        if old_node is not None:
+            anchor_parent = old_node.parent
+            for node in nodes:
+                old_node.insert_before(node)
+            old_node.detach()
+        else:
+            body = memo.residual.body
+            anchor = patch.anchor
+            for node in nodes:
+                if anchor is not None:
+                    anchor.insert_before(node)
+                else:
+                    body.append(node)
+        if len(nodes) == 1:
+            memo.residual_by_key[patch.identity] = nodes[0]
+        # A localized step may legitimately empty the segment (e.g. a
+        # remove_object matching the root): the key simply stays absent.
+
+    def _reindex(self, memo, patches) -> None:
+        """Refresh footprints for changed keys (pristine-new subtrees)."""
+        for patch in patches:
+            memo.seg_steps.pop(patch.identity, None)
+            if patch.action != "remove" and patch.new_touching:
+                memo.seg_steps[patch.identity] = set(patch.new_touching)
+
+
+_DROP_MEMO = object()
+
+
+class _Fallback(Exception):
+    def __init__(self, reason: str) -> None:
+        super().__init__(reason)
+        self.reason = reason
+
+
+@dataclass
+class _Patch:
+    action: str  # 'mutate' | 'insert' | 'remove'
+    identity: tuple
+    nodes: list[Node] = field(default_factory=list)
+    steps: frozenset = frozenset()
+    #: Steps whose footprint intersects the *pristine* new fragment —
+    #: the segment's footprint entry for subsequent deltas.
+    new_touching: frozenset = frozenset()
+    anchor: Optional[Node] = None
+
+
+def _patchable_pair(old: Node, new: Node) -> bool:
+    if isinstance(old, Element) and isinstance(new, Element):
+        return old.tag == new.tag
+    return type(old) is type(new) and isinstance(
+        old, (Text, Comment, Element)
+    )
+
+
+def _is_subsequence(needle: list, haystack: list) -> bool:
+    it = iter(haystack)
+    return all(item in it for item in needle)
+
+
+# ---------------------------------------------------------------------------
+# entry reconstruction (mirrors AdaptationPipeline._emit_entry)
+
+
+def _menu_html(ctx) -> str:
+    menu_items = "".join(
+        f'<li><a href="{ctx.page_url_for(d.subpage_id)}">'
+        f"{d.title}</a></li>"
+        for d in ctx.plan.top_level()
+        if not d.ajax
+    )
+    return f'<ul id="msite-menu">{menu_items}</ul>' if menu_items else ""
+
+
+def _ajax_injection_html(ctx) -> str:
+    from repro.core.subpages import AJAX_LOADER_JS, ajax_container_html
+
+    ajax_defs = [d for d in ctx.plan.top_level() if d.ajax]
+    if not ajax_defs:
+        return ""
+    containers = "".join(
+        ajax_container_html(d.subpage_id) for d in ajax_defs
+    )
+    return (
+        containers
+        + f'<script type="text/javascript">{AJAX_LOADER_JS}</script>'
+    )
+
+
+def _rebuild_entry(body_html: str, menu: str, ajax_injection: str) -> str:
+    entry_html = (
+        body_html.replace("<body>", f"<body>{menu}", 1)
+        if "<body>" in body_html
+        else menu + body_html
+    )
+    if ajax_injection:
+        if "</body>" in entry_html:
+            entry_html = entry_html.replace(
+                "</body>", ajax_injection + "</body>", 1
+            )
+        else:
+            entry_html = entry_html + ajax_injection
+    return entry_html
+
+
+def _rebundle(
+    bundle: fastpath.FastpathBundle, entry_html: str, etag: Optional[str]
+) -> fastpath.FastpathBundle:
+    """A copy of the bundle with the entry artifact swapped in."""
+    entry_bytes = entry_html.encode("utf-8")
+    files = [
+        fastpath.BundleFile(
+            item.relpath, item.content_type, entry_bytes
+        )
+        if item.relpath == bundle.entry_rel
+        else item
+        for item in bundle.files
+    ]
+    notes = [
+        note for note in bundle.notes if not note.startswith("delta:")
+    ]
+    notes.append("delta: entry patched incrementally")
+    return fastpath.FastpathBundle(
+        etag=etag or "",
+        entry_rel=bundle.entry_rel,
+        entry_html=entry_html,
+        files=files,
+        subpages=[dict(meta) for meta in bundle.subpages],
+        notes=notes,
+        snapshot_bytes=bundle.snapshot_bytes,
+        used_browser=False,
+    )

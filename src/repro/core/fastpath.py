@@ -36,6 +36,7 @@ from __future__ import annotations
 import base64
 import hashlib
 import json
+import re
 from dataclasses import dataclass, field
 from typing import Optional
 
@@ -46,6 +47,27 @@ from repro.core.cache import PrerenderCache
 BUNDLE_VERSION = 1
 
 _BUNDLE_CONTENT_TYPE = "application/x-msite-fastpath+json"
+
+#: Whitespace runs between two tags that contain at least one newline —
+#: template indentation, in other words.  Runs *without* a newline are
+#: left alone: a single space between two inline tags can be
+#: significant, but a line break plus indentation never is.
+_INTER_TAG_WS = re.compile(r"(?<=>)[ \t\r\f\v]*\n[ \t\r\f\v\n]*(?=<)")
+
+
+def normalize_origin(source: str) -> str:
+    """Collapse insignificant inter-tag whitespace in origin HTML.
+
+    Origin templates churn cosmetically — a reindented block, a
+    trailing newline — without the rendered content changing.  Each
+    inter-tag whitespace run containing a newline collapses to a single
+    ``"\\n"`` so those renders share one :func:`content_fingerprint`
+    and keep hitting the same fastpath bundle.  Applied to the fetched
+    source *before* fingerprinting and adaptation, so the bundle's
+    entry HTML matches what a full run over the normalized source
+    produces.
+    """
+    return _INTER_TAG_WS.sub("\n", source)
 
 
 def content_fingerprint(source: str) -> str:
@@ -103,6 +125,15 @@ class BundleFile:
     relpath: str
     content_type: str
     data: bytes
+    #: Lazily cached base64 form.  Bundles share ``BundleFile`` objects
+    #: across delta re-stores, so every unchanged artifact is encoded
+    #: once per object instead of once per store.
+    _b64: Optional[str] = field(default=None, repr=False, compare=False)
+
+    def data_b64(self) -> str:
+        if self._b64 is None:
+            self._b64 = base64.b64encode(self.data).decode("ascii")
+        return self._b64
 
 
 @dataclass
@@ -136,9 +167,7 @@ class FastpathBundle:
                     {
                         "relpath": item.relpath,
                         "content_type": item.content_type,
-                        "data": base64.b64encode(item.data).decode(
-                            "ascii"
-                        ),
+                        "data": item.data_b64(),
                     }
                     for item in self.files
                 ],
@@ -166,6 +195,7 @@ class FastpathBundle:
                     relpath=item["relpath"],
                     content_type=item["content_type"],
                     data=base64.b64decode(item["data"]),
+                    _b64=item["data"],
                 )
                 for item in payload.get("files", [])
             ],

@@ -103,6 +103,16 @@ class ProxyServices:
     #: One-pass streaming emission for filter-only specs (falls back to
     #: the DOM round-trip automatically when unsupported).
     stream_enabled: bool = True
+    #: Incremental re-adaptation of warm cache misses (see
+    #: :mod:`repro.core.delta`).  Off ⇒ every content change replays the
+    #: full pipeline.  Requires the fastpath.
+    delta_enabled: bool = True
+    #: A session patch manifest larger than this fraction of the full
+    #: entry body is not worth shipping; serve the full body instead.
+    session_delta_max_fraction: float = 0.5
+    #: The deployment's :class:`repro.core.delta.DeltaEngine`
+    #: (constructed on first use; ``None`` when delta is disabled).
+    delta: Optional[Any] = None
 
     def __post_init__(self) -> None:
         # A default-constructed cache must share the deployment's clock,
@@ -115,6 +125,12 @@ class ProxyServices:
         self.resilience.bind(self.observability.registry, clock=self.clock)
         if self.faults is not None:
             self.faults.bind_metrics(self.observability.registry)
+        if self.delta_enabled and self.fastpath_enabled and self.delta is None:
+            from repro.core.delta import DeltaEngine
+
+            self.delta = DeltaEngine(self.observability.registry)
+        elif not (self.delta_enabled and self.fastpath_enabled):
+            self.delta = None
 
     def install_faults(self, plan: Optional[FaultPlan]) -> None:
         """Install (or clear) a fault plan on a live deployment."""
@@ -325,6 +341,11 @@ class AdaptationPipeline:
         # time — each phase of the request is attributed exactly once.
         with span("detect"):
             source, origin_bytes = self._fetch_origin()
+        # Cosmetic origin churn (template reindentation) must not bust
+        # the content fingerprint; applied unconditionally so the
+        # adapted output is identical whether or not the fast/delta
+        # paths are enabled.
+        source = fastpath.normalize_origin(source)
 
         services = self.services
         etag = bundle_key = pointer_key = None
@@ -351,6 +372,17 @@ class AdaptationPipeline:
                     self._fastpath_counter("hits").inc()
                     return self._replay_bundle(bundle, origin_bytes, etag)
                 self._fastpath_counter("misses").inc()
+                # A warm miss — the bundle scheme knows this page, only
+                # the content changed.  Try patching the cached response
+                # incrementally before paying for a full replay.
+                if services.delta is not None:
+                    with span("delta"):
+                        delta_result = services.delta.attempt(
+                            self, source, origin_bytes, device_class,
+                            etag, bundle_key, pointer_key,
+                        )
+                    if delta_result is not None:
+                        return delta_result
 
         ctx = PipelineContext(self.spec, source, self.proxy_base)
         self._capture = [] if services.fastpath_enabled else None
@@ -365,14 +397,20 @@ class AdaptationPipeline:
                     if definition.cacheable:
                         ttl_s = min(ttl_s, definition.cache_ttl_s)
                 with span("cache"):
+                    stored_bundle = self._bundle_from(result, etag)
                     fastpath.store_bundle(
                         services.cache,
                         bundle_key,
                         pointer_key,
-                        self._bundle_from(result, etag),
+                        stored_bundle,
                         ttl_s=ttl_s,
                     )
                 self._fastpath_counter("stores").inc()
+                if services.delta is not None:
+                    services.delta.seed(
+                        self, ctx, result, stored_bundle, ttl_s,
+                        device_class, raw_source=source,
+                    )
         finally:
             self._capture = None
         return result

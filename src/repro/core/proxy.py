@@ -29,6 +29,7 @@ from dataclasses import dataclass
 from typing import Optional
 
 from repro.core.ajax import AjaxActionTable
+from repro.core.delta import delta_counter
 from repro.core.detect import device_class
 from repro.core.fastpath import etag_matches, fastpath_counter
 from repro.core.pipeline import (
@@ -40,6 +41,7 @@ from repro.core.pipeline import (
 from repro.core.plan import TransformPlan
 from repro.core.sessions import SESSION_COOKIE, MobileSession, SessionManager
 from repro.core.spec import AdaptationSpec
+from repro.dom import diff
 from repro.errors import (
     AdaptationError,
     CircuitOpenError,
@@ -49,6 +51,7 @@ from repro.errors import (
     RetryExhaustedError,
     SessionError,
 )
+from repro.html.parser import parse_html
 from repro.net.messages import Request, Response
 from repro.net.server import Application
 from repro.net.url import unquote
@@ -58,6 +61,11 @@ from repro.observability.exposition import (
     render_prometheus,
 )
 from repro.resilience.policy import DEFAULT_RETRY_AFTER_S, PASSTHROUGH, STALE
+
+#: Media type of a session patch manifest (a serialized
+#: :class:`repro.dom.diff.ChangeSet` the client applies to the entry
+#: body it already holds).
+SESSION_DELTA_CONTENT_TYPE = "application/x-msite-delta+json"
 
 
 @dataclass(frozen=True)
@@ -394,9 +402,13 @@ class MSiteProxy(Application):
         worker never keeps serving a superseded memo for a page another
         worker just re-adapted.  The next request per session re-resolves
         through the shared fast-path cache (cheap when nothing changed).
+        Delta memos for the site drop too: an invalidation supersedes
+        the cached bundle a memo would keep patching forward.
         """
         with self._lock:
             self._adapted.clear()
+        if self.services.delta is not None:
+            self.services.delta.forget(self.spec.site)
 
     def _ensure_adapted(
         self,
@@ -480,9 +492,85 @@ class MSiteProxy(Application):
                 response.headers.set("ETag", etag)
                 return self._mark_degraded(response, adapted)
         stored = self.services.storage.read(adapted.entry_path)
+        body: Optional[str] = None
+        if etag is not None and not force:
+            body = stored.data.decode("utf-8")
+            patched = self._entry_delta(session, request, body, etag, adapted)
+            if patched is not None:
+                session.last_entry_html = body
+                session.last_entry_etag = etag
+                return patched
         response = Response.binary(stored.data, "text/html; charset=utf-8")
         if etag is not None:
             response.headers.set("ETag", etag)
+            if self.services.delta_enabled:
+                # Remember what this session now holds, so its next
+                # visit can be answered with a patch manifest.
+                session.last_entry_html = (
+                    body
+                    if body is not None
+                    else stored.data.decode("utf-8")
+                )
+                session.last_entry_etag = etag
+        return self._mark_degraded(response, adapted)
+
+    def _entry_delta(
+        self,
+        session: MobileSession,
+        request: Request,
+        body: str,
+        etag: str,
+        adapted: AdaptedPage,
+    ) -> Optional[Response]:
+        """A session patch manifest for this entry, or ``None``.
+
+        A returning client that kept its last entry body advertises it
+        with ``X-MSite-Delta-Since: <etag>``.  When that validator is
+        exactly what this session was last served, the response is the
+        stable-identity change-set taking the old body to the current
+        one (``application/x-msite-delta+json``) instead of the full
+        page.  Falls back to the full body — counting
+        ``msite_delta_session_fallback_total`` — when the client's
+        baseline is unknown, the page changed structurally, or the
+        manifest would not be meaningfully smaller than the page.
+        """
+        if not self.services.delta_enabled:
+            return None
+        since = request.headers.get("X-MSite-Delta-Since")
+        if not since:
+            return None
+        registry = self.services.observability.registry
+        if etag_matches(since, etag):
+            # The client's baseline *is* the current page: the delta
+            # header doubles as a validator.
+            fastpath_counter(registry, "not_modified").inc()
+            response = Response(status=304)
+            response.headers.set("ETag", etag)
+            return self._mark_degraded(response, adapted)
+        if (
+            session.last_entry_etag is None
+            or session.last_entry_html is None
+            or not etag_matches(since, session.last_entry_etag)
+        ):
+            delta_counter(registry, "session_fallback").inc()
+            return None
+        try:
+            old_doc = parse_html(session.last_entry_html)
+            new_doc = parse_html(body)
+            manifest = diff.changeset(old_doc, new_doc)
+        except Exception:
+            delta_counter(registry, "session_fallback").inc()
+            return None
+        payload = manifest.to_json()
+        limit = self.services.session_delta_max_fraction * len(body)
+        if manifest.upheaval() or len(payload) > limit:
+            delta_counter(registry, "session_fallback").inc()
+            return None
+        delta_counter(registry, "session_served").inc()
+        response = Response.binary(
+            payload.encode("utf-8"), SESSION_DELTA_CONTENT_TYPE
+        )
+        response.headers.set("ETag", etag)
         return self._mark_degraded(response, adapted)
 
     @staticmethod

@@ -37,6 +37,12 @@ class MobileSession:
     http_credentials: dict[str, tuple[str, str]] = field(default_factory=dict)
     last_seen: float = 0.0
     pages_served: int = 0
+    #: The entry body (and its validator) this session last received.
+    #: A returning client that kept that body can send
+    #: ``X-MSite-Delta-Since: <etag>`` and be answered with a patch
+    #: manifest instead of the full page.
+    last_entry_html: Optional[str] = None
+    last_entry_etag: Optional[str] = None
     lock: threading.RLock = field(
         default_factory=threading.RLock, repr=False, compare=False
     )

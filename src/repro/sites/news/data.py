@@ -11,7 +11,8 @@ reproducible across runs, workers, and platforms.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import threading
+from dataclasses import dataclass, replace
 
 from repro.sim.rng import DeterministicRandom
 from repro.util.names import FIRST_NAMES, LAST_NAMES
@@ -55,6 +56,8 @@ class Newsroom:
         articles_per_section: int = ARTICLES_PER_SECTION,
     ) -> None:
         self.seed = seed
+        self._revisions = 0
+        self._revise_lock = threading.Lock()
         rng = DeterministicRandom(seed)
         text = TextGenerator(seed ^ 0x5EC7104)
         self._articles: dict[int, Article] = {}
@@ -99,6 +102,46 @@ class Newsroom:
         for code, _label in SECTIONS:
             headlines.extend(self._by_section[code][:per_section])
         return headlines
+
+    # -- churn -------------------------------------------------------------
+
+    @property
+    def revision_count(self) -> int:
+        return self._revisions
+
+    def revise(self, section: str = "tech") -> Article:
+        """Publish one deterministic newsroom edit and return it.
+
+        The edit stream is a pure function of (seed, revision number),
+        so two newsrooms built from the same seed see byte-identical
+        section fronts after the same number of revisions — the
+        property the content-churn workload and the delta bench lean
+        on.  Most revisions touch a story *summary* (rendered only in
+        the lead block and the teaser feed, the delta-patchable
+        regions); every tenth rewrites a deep *headline*, whose title
+        also renders inside the paginated list and therefore forces the
+        re-adaptation to take the full-replay path — keeping the churn
+        mix honest about both outcomes.
+        """
+        with self._revise_lock:
+            self._revisions += 1
+            revision = self._revisions
+            stories = self._by_section[section]
+            text = TextGenerator((self.seed << 5) ^ (revision * 0x9E37))
+            if revision % 10 == 9 and len(stories) > FEED_BATCH:
+                slot = FEED_BATCH + revision % (len(stories) - FEED_BATCH)
+                updated = replace(
+                    stories[slot], title=text.title(max_words=8)
+                )
+            else:
+                slot = revision % min(FEED_BATCH, len(stories))
+                updated = replace(
+                    stories[slot],
+                    summary=text.sentence(min_words=8, max_words=16),
+                )
+            stories[slot] = updated
+            self._articles[updated.article_id] = updated
+            return updated
 
     def feed_window(
         self, code: str, offset: int, limit: int = FEED_BATCH

@@ -105,6 +105,13 @@ def build_scenario_spec(scenario: Scenario) -> AdaptationSpec:
         )
         return spec
     if scenario.site == "news":
+        if scenario.mutate_fraction > 0:
+            # Churn scenarios exercise the delta fast path, which only
+            # engages for storable bundles — the fastpath variant drops
+            # the AJAX rewrite that excludes a page from the cache.
+            from repro.sites.news.spec import news_fastpath_spec
+
+            return news_fastpath_spec()
         from repro.sites.news.spec import news_section_spec
 
         return news_section_spec()
@@ -123,6 +130,26 @@ def build_scenario_origins(scenario: Scenario) -> dict:
 
         return {NEWS_HOST: NewsApplication()}
     raise ValueError(f"scenario site {scenario.site!r} has no origins")
+
+
+def build_scenario_mutator(scenario: Scenario, origins: dict):
+    """The origin-revision hook for churn scenarios, or ``None``.
+
+    Called once per planned request flagged ``mutate=True``, before the
+    request is issued.  Revisions are internally serialized and pure in
+    (seed, revision index), so the trace stays reproducible even though
+    client threads race to the next edit.
+    """
+    if scenario.mutate_fraction <= 0:
+        return None
+    if scenario.site == "news":
+        from repro.sites.news.spec import NEWS_HOST
+
+        newsroom = origins[NEWS_HOST].newsroom
+        return lambda: newsroom.revise()
+    raise ValueError(
+        f"scenario site {scenario.site!r} has no origin mutator"
+    )
 
 
 class _SimClockPacer:
@@ -165,6 +192,7 @@ def run_scenario(
     trace = scenario.build_trace(seed=seed)
     spec = spec or build_scenario_spec(scenario)
     origins = origins or build_scenario_origins(scenario)
+    mutator = build_scenario_mutator(scenario, origins)
 
     clock = Clock()
     pacer = _SimClockPacer(clock)
@@ -208,6 +236,8 @@ def run_scenario(
 
         def _issue(planned: PlannedRequest, record: bool) -> None:
             nonlocal degraded, non_degraded_5xx
+            if planned.mutate and mutator is not None:
+                mutator()
             client, lock = _session_client(planned.session)
             pacer.advance_to(planned.at_s)
             url = f"http://{PROXY_HOST}/{planned.path}"

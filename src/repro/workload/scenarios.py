@@ -6,7 +6,7 @@ ordered list of planned requests (arrival offset, path, device, session)
 the engine replays against a real cluster.  Same seed ⇒ byte-identical
 trace — the reproducibility contract the property suite pins down.
 
-The five named scenarios:
+The six named scenarios:
 
 * ``uniform-forum`` — the legacy bench shape: a closed loop of phones
   cycling uniformly over the forum surface.  The control scenario.
@@ -18,6 +18,10 @@ The five named scenarios:
   are cookie-less bots walking the long tail uniformly.
 * ``mixed-devices`` — a compressed diurnal day on the forum with all
   three device classes represented.
+* ``content-churn`` — steady reader traffic on the storable news front
+  while the newsroom keeps publishing edits: ~10% of arrivals coincide
+  with an origin revision, so warm misses dominate and the delta fast
+  path (re-adapt only what changed) carries the load.
 """
 
 from __future__ import annotations
@@ -55,6 +59,15 @@ NEWS_SURFACE: tuple[str, ...] = (
     "proxy.php?page=about",
     "proxy.php?action=1&p=22",
 )
+# The fastpath spec drops the AJAX rewrite (live actions exclude a
+# bundle from the cache), so its surface is the entry page plus the
+# static subpages only.
+NEWS_FASTPATH_SURFACE: tuple[str, ...] = (
+    "proxy.php",
+    "proxy.php?page=headlines-p2",
+    "proxy.php?page=headlines-p3",
+    "proxy.php?page=about",
+)
 
 
 @dataclass(frozen=True)
@@ -68,6 +81,9 @@ class PlannedRequest:
     user_agent: str
     session: str  # "" means a fresh, cookie-less session (bots)
     bot: bool = False
+    #: This arrival coincides with an origin content revision (the
+    #: engine runs the scenario's mutator before issuing the request).
+    mutate: bool = False
 
 
 @dataclass(frozen=True)
@@ -87,6 +103,9 @@ class Scenario:
     seed: int
     requests: Optional[int] = None  # closed-loop only; open = arrivals
     default_workers: int = 1
+    #: Fraction of arrivals that coincide with an origin revision
+    #: (content churn).  Zero for the classic read-only scenarios.
+    mutate_fraction: float = 0.0
 
     def knobs(self) -> dict:
         """The scenario's configuration, JSON-stable, for fingerprints."""
@@ -98,7 +117,7 @@ class Scenario:
                 if isinstance(value, (int, float, str))
             }
         )
-        return {
+        knobs = {
             "name": self.name,
             "site": self.site,
             "arrivals": arrival,
@@ -110,6 +129,11 @@ class Scenario:
             "bot_fraction": self.bot_fraction,
             "seed": self.seed,
         }
+        if self.mutate_fraction:
+            # Included only when set so the read-only scenarios keep
+            # their pre-churn fingerprints (stable BENCH row keys).
+            knobs["mutate_fraction"] = self.mutate_fraction
+        return knobs
 
     def fingerprint(self, workers: int) -> str:
         """Stable key suffix for the BENCH upsert (config + fleet)."""
@@ -130,6 +154,7 @@ class Scenario:
         device_rng = root.fork(3)
         session_rng = root.fork(4)
         bot_rng = root.fork(5)
+        mutate_rng = root.fork(6)
 
         times = self.arrivals.times(arrival_rng)
         sampler = (
@@ -142,6 +167,13 @@ class Scenario:
 
         trace: list[PlannedRequest] = []
         for index, at_s in enumerate(times):
+            # One draw per arrival keeps the stream index-stable; the
+            # read-only scenarios never draw so their traces are
+            # bit-identical to the pre-churn compiler.
+            mutated = (
+                self.mutate_fraction > 0
+                and mutate_rng.uniform() < self.mutate_fraction
+            )
             if bots.is_bot(bot_rng):
                 # Crawlers walk the tail uniformly, cookie-less.
                 path = self.surface[
@@ -156,6 +188,7 @@ class Scenario:
                         user_agent=bots.user_agent,
                         session="",
                         bot=True,
+                        mutate=mutated,
                     )
                 )
                 continue
@@ -172,6 +205,7 @@ class Scenario:
                     device=device,
                     user_agent=user_agent,
                     session=pool.next_session(session_rng),
+                    mutate=mutated,
                 )
             )
         return trace
@@ -297,6 +331,30 @@ def _bot_storm(smoke: bool) -> Scenario:
         max_sessions=32,
         bot_fraction=0.6,
         seed=0xB07_04,
+    )
+
+
+@_scenario("content-churn")
+def _content_churn(smoke: bool) -> Scenario:
+    requests = 60 if smoke else 240
+    return Scenario(
+        name="content-churn",
+        site="news",
+        description=(
+            "steady readers on the storable news front while the "
+            "newsroom keeps publishing edits; warm misses dominate and "
+            "the delta fast path re-adapts only what changed"
+        ),
+        arrivals=ClosedLoop(requests=requests),
+        surface=NEWS_FASTPATH_SURFACE,
+        zipf_exponent=1.2,  # readers pile onto the revised front page
+        devices=DeviceMix((("phone", 0.7), ("tablet", 0.3))),
+        churn=0.2,
+        max_sessions=24,
+        bot_fraction=0.0,
+        seed=0xDE17A_06,
+        requests=requests,
+        mutate_fraction=0.1,
     )
 
 

@@ -1,0 +1,106 @@
+"""Differential conformance: delta on vs delta off, byte for byte.
+
+Two deployments of every conformance spec share one set of origins and
+replay the same request sequence while the newsroom publishes edits
+between rounds.  The delta-enabled side may serve warm misses by
+patching cached bundles; the delta-disabled side replays the full
+pipeline every time.  Any divergence in status or body is a delta
+invariant violation.
+
+The news fast-path spec rides along as a fifth case because it is the
+one whose bundles are storable *and* whose origin churns — the delta
+engine must genuinely apply patches there, not just stay out of the
+way (the final assertion checks it did).
+"""
+
+import pytest
+
+from repro.core.codegen import generate_proxy_source, load_generated_proxy
+from repro.core.pipeline import ProxyServices
+from repro.net.client import HttpClient
+from repro.net.cookies import CookieJar
+from repro.sim.clock import Clock
+from repro.sites.classifieds.app import ClassifiedsApplication
+from repro.sites.forum.app import ForumApplication
+from repro.sites.news.app import NewsApplication
+from repro.sites.news.data import Newsroom
+from repro.sites.news.spec import news_fastpath_spec
+
+from tests.cluster.specs import SPEC_CASES, subpage_ids
+from tests.conftest import CLASSIFIEDS_HOST, FORUM_HOST, NEWS_HOST
+
+PROXY_HOST = "m.example.test"
+
+PHONE_UA = (
+    "Mozilla/5.0 (iPhone; U; CPU iPhone OS 4_0 like Mac OS X; en-us) "
+    "AppleWebKit/532.9 (KHTML, like Gecko) Version/4.0.5 Mobile/8A293 "
+    "Safari/6531.22.7"
+)
+
+ROUNDS = 4
+
+CASES = SPEC_CASES + [
+    ("news_fastpath", lambda origins, clock: news_fastpath_spec()),
+]
+
+
+def _fresh_origins() -> dict:
+    """Per-test origins: revisions must not leak into shared fixtures."""
+    return {
+        FORUM_HOST: ForumApplication(),
+        CLASSIFIEDS_HOST: ClassifiedsApplication(),
+        NEWS_HOST: NewsApplication(Newsroom(seed=0xD1F_0FF)),
+    }
+
+
+def _paths(spec) -> list[str]:
+    return ["proxy.php"] + [
+        f"proxy.php?page={subpage_id}" for subpage_id in subpage_ids(spec)
+    ]
+
+
+def _deploy(module, origins, delta_enabled: bool):
+    clock = Clock()
+    services = ProxyServices(
+        origins=origins, clock=clock, delta_enabled=delta_enabled
+    )
+    proxy = module.create_proxy(services)
+
+    def fresh_session() -> HttpClient:
+        # A proxy pins each session's adapted page, so re-adaptation —
+        # the thing under test — happens on *new* sessions.
+        return HttpClient({PROXY_HOST: proxy}, jar=CookieJar(), clock=clock)
+
+    return fresh_session, services
+
+
+@pytest.mark.parametrize(
+    "name,factory", CASES, ids=[name for name, _ in CASES]
+)
+def test_delta_deployment_is_byte_identical_to_full_replay(name, factory):
+    origins = _fresh_origins()
+    spec = factory(origins, Clock())
+    module = load_generated_proxy(generate_proxy_source(spec))
+    delta_sessions, delta_services = _deploy(module, origins, True)
+    full_sessions, full_services = _deploy(module, origins, False)
+    assert delta_services.delta is not None
+    assert full_services.delta is None
+    newsroom = origins[NEWS_HOST].newsroom
+    for round_number in range(ROUNDS):
+        if round_number:
+            newsroom.revise()
+        delta_client = delta_sessions()
+        full_client = full_sessions()
+        for path in _paths(spec):
+            url = f"http://{PROXY_HOST}/{path}"
+            ours = delta_client.get(url, headers={"User-Agent": PHONE_UA})
+            theirs = full_client.get(url, headers={"User-Agent": PHONE_UA})
+            assert ours.status == theirs.status, (name, path, round_number)
+            assert ours.body == theirs.body, (
+                f"{name}: delta output diverged on {path} "
+                f"(round {round_number})"
+            )
+    if name == "news_fastpath":
+        registry = delta_services.observability.registry
+        applied = registry.counter("msite_delta_applied_total").value
+        assert applied > 0, "the churn rounds never exercised the engine"

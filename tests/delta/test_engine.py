@@ -1,0 +1,566 @@
+"""The delta engine end to end: seed, rungs, fallbacks, memo lifecycle.
+
+Every applied delta in this suite is cross-checked against a fresh
+deployment that adapts the mutated page from scratch — the byte-identity
+invariant, asserted at the unit scale (the differential suite repeats it
+over the conformance specs).
+"""
+
+import pytest
+
+from repro.core.delta import UPHEAVAL_FRACTION
+from repro.core.pipeline import AdaptationPipeline, ProxyServices
+from repro.core.sessions import SessionManager
+from repro.core.spec import AdaptationSpec, ObjectSelector
+from repro.dom import diff
+from repro.net.messages import Request, Response
+from repro.net.server import Application
+from repro.sim.clock import Clock
+
+HOST = "delta.example"
+
+PAGE = (
+    "<!DOCTYPE html><html><head><title>Delta</title></head><body>"
+    '<div id="masthead"><h1>Site</h1></div>'
+    '<div id="feed">'
+    '<div class="teaser"><a href="/a/1">One</a></div>'
+    '<div class="teaser"><a href="/a/2">Two</a></div>'
+    "</div>"
+    '<div id="sidebar"><p>about the desk</p></div>'
+    '<div id="ad" class="promo"><p>buy things</p></div>'
+    '<div id="note" class="alert"><p>service notice</p></div>'
+    '<p id="plain">hello</p>'
+    "<script>var page = 1;</script>"
+    "</body></html>"
+)
+
+
+class ScriptedOrigin(Application):
+    def __init__(self, page: str = PAGE):
+        self.page = page
+
+    def handle(self, request: Request) -> Response:
+        return Response.html(self.page)
+
+
+def make_spec() -> AdaptationSpec:
+    spec = AdaptationSpec(site="Delta", origin_host=HOST)
+    spec.add("cacheable", ttl_s=600)
+    spec.add("strip_scripts")
+    spec.add(
+        "subpage", ObjectSelector.css("#sidebar"),
+        subpage_id="side", title="Desk",
+    )
+    spec.add("remove_object", ObjectSelector.css(".promo"))
+    spec.add("hide_object", ObjectSelector.css(".alert"))
+    return spec
+
+
+def make_global_spec() -> AdaptationSpec:
+    # title_rewrite is not piecewise-safe, so the memo keeps the whole
+    # filtered source as its baseline (global-filter mode).
+    spec = make_spec()
+    spec.add("title_rewrite", title="Mobile Delta")
+    return spec
+
+
+def deploy(page: str = PAGE, **flags):
+    origin = ScriptedOrigin(page)
+    clock = Clock()
+    services = ProxyServices(
+        origins={HOST: origin}, clock=clock, **flags
+    )
+    manager = SessionManager(services.storage, clock=clock)
+    return origin, clock, services, manager
+
+
+def adapt(services, manager, spec=None, **kwargs):
+    pipeline = AdaptationPipeline(
+        spec or make_spec(), services, manager.create()
+    )
+    return pipeline.run(**kwargs)
+
+
+def counts(services, *names) -> tuple:
+    registry = services.observability.registry
+    return tuple(
+        registry.counter(f"msite_delta_{name}_total").value
+        for name in names
+    )
+
+
+def from_scratch(page: str, spec=None) -> str:
+    """What a cold deployment produces for this page — the oracle."""
+    __, __, services, manager = deploy(page, delta_enabled=False)
+    return adapt(services, manager, spec=spec).entry_html
+
+
+def the_memo(services):
+    (memo,) = services.delta._memos.values()
+    return memo
+
+
+# -- seeding ---------------------------------------------------------------
+
+
+def test_full_run_seeds_a_piecewise_memo():
+    __, __, services, manager = deploy()
+    adapt(services, manager)
+    assert counts(services, "seeds", "seed_skips") == (1, 0)
+    memo = the_memo(services)
+    assert memo.raw_scan is not None  # strip_scripts is piecewise-safe
+    assert memo.filtered_source is None
+    assert memo.entry_parts is not None
+
+
+def test_non_piecewise_filters_fall_back_to_global_mode():
+    __, __, services, manager = deploy()
+    adapt(services, manager, spec=make_global_spec())
+    assert counts(services, "seeds") == (1,)
+    memo = the_memo(services)
+    assert memo.raw_scan is None
+    assert memo.filtered_source is not None
+
+
+def test_disabling_delta_or_fastpath_removes_the_engine():
+    assert deploy(delta_enabled=False)[2].delta is None
+    assert deploy(fastpath_enabled=False)[2].delta is None
+    assert deploy()[2].delta is not None
+
+
+@pytest.mark.parametrize(
+    "mutate_spec",
+    [
+        lambda spec: spec.add("hide_object", ObjectSelector.css("body")),
+        lambda spec: spec.add("hide_object", ObjectSelector.css("title")),
+        lambda spec: spec.add(
+            "hide_object", ObjectSelector.xpath("//div[@id='note']")
+        ),
+        lambda spec: spec.add(
+            "relocate_object", ObjectSelector.css("#note"),
+            destination="#feed", position="before",
+        ),
+    ],
+    ids=["scaffold", "head-descendant", "no-css-group", "toplevel-rewriter"],
+)
+def test_global_plans_are_not_memoized(mutate_spec):
+    __, __, services, manager = deploy()
+    spec = make_spec()
+    mutate_spec(spec)
+    adapt(services, manager, spec=spec)
+    assert counts(services, "seeds", "seed_skips") == (0, 1)
+
+
+def test_soup_pages_are_not_memoized():
+    soup = (
+        "<html><body><p>one<p>two</p>"
+        '<div class="alert">notice</div></body></html>'
+    )
+    spec = AdaptationSpec(site="Delta", origin_host=HOST)
+    spec.add("cacheable", ttl_s=600)
+    spec.add("strip_scripts")
+    spec.add("hide_object", ObjectSelector.css(".alert"))
+    origin, __, services, manager = deploy(soup)
+    adapt(services, manager, spec=spec)
+    assert counts(services, "seeds", "seed_skips") == (0, 1)
+    # The warm miss then has nothing to delta against (no_memo counts
+    # the cold miss above too).
+    origin.page = soup.replace("two", "three")
+    result = adapt(services, manager, spec=spec)
+    assert counts(services, "no_memo") == (2,)
+    assert result.entry_html == from_scratch(origin.page, spec)
+
+
+def test_streamed_pages_are_not_memoized():
+    spec = AdaptationSpec(site="Delta", origin_host=HOST)
+    spec.add("cacheable", ttl_s=600)
+    spec.add("strip_scripts")
+    __, __, services, manager = deploy()
+    adapt(services, manager, spec=spec)  # filter-only -> streamed
+    assert counts(services, "seeds", "seed_skips") == (0, 1)
+
+
+# -- the rungs -------------------------------------------------------------
+
+
+def test_patch_rung_leaves_bytes_identical_to_a_full_adaptation():
+    origin, __, services, manager = deploy()
+    first = adapt(services, manager)
+    origin.page = PAGE.replace("hello", "goodbye")
+    second = adapt(services, manager)
+    assert counts(services, "applied", "patched_segments") == (1, 1)
+    assert second.fastpath_hit  # served via bundle replay
+    assert second.etag != first.etag
+    assert second.entry_html == from_scratch(origin.page)
+    assert "goodbye" in second.entry_html
+
+
+def test_identical_rung_when_the_filter_erases_the_change():
+    origin, __, services, manager = deploy()
+    first = adapt(services, manager)
+    origin.page = PAGE.replace("var page = 1;", "var page = 2;")
+    second = adapt(services, manager)
+    assert counts(services, "identical", "applied") == (1, 0)
+    assert second.entry_html == first.entry_html
+    assert second.etag != first.etag  # new content-fp, same bytes
+    # The re-stored bundle makes the next request a plain hit.
+    third = adapt(services, manager)
+    assert third.fastpath_hit and third.entry_html == first.entry_html
+
+
+def test_identical_rung_in_global_filter_mode():
+    origin, __, services, manager = deploy()
+    spec = make_global_spec()
+    first = adapt(services, manager, spec=spec)
+    # title_rewrite replaces the whole <title>, so a title edit is
+    # erased by the filter phase.
+    origin.page = PAGE.replace("<title>Delta</title>", "<title>X</title>")
+    second = adapt(services, manager, spec=spec)
+    assert counts(services, "identical") == (1,)
+    assert second.entry_html == first.entry_html
+
+
+def test_patch_rung_in_global_filter_mode():
+    origin, __, services, manager = deploy()
+    spec = make_global_spec()
+    adapt(services, manager, spec=spec)
+    origin.page = PAGE.replace("hello", "changed")
+    second = adapt(services, manager, spec=spec)
+    assert counts(services, "applied") == (1,)
+    assert second.entry_html == from_scratch(origin.page, make_global_spec())
+
+
+def test_localize_rung_reruns_the_confined_step():
+    origin, __, services, manager = deploy()
+    adapt(services, manager)
+    # .alert is matched by hide_object (localizable); the delta re-runs
+    # it on the new fragment, so the edit arrives already hidden.
+    origin.page = PAGE.replace("service notice", "updated notice")
+    second = adapt(services, manager)
+    assert counts(services, "applied") == (1,)
+    assert second.entry_html == from_scratch(origin.page)
+    assert "updated notice" in second.entry_html
+    assert 'display: none' in second.entry_html
+
+
+def test_localized_step_may_empty_the_segment():
+    origin, __, services, manager = deploy()
+    adapt(services, manager)
+    # .promo is matched by remove_object: the re-run removes the new
+    # fragment outright and the segment stays absent from the entry.
+    origin.page = PAGE.replace("buy things", "buy more things")
+    second = adapt(services, manager)
+    assert counts(services, "applied") == (1,)
+    assert second.entry_html == from_scratch(origin.page)
+    assert "buy more things" not in second.entry_html
+
+
+def test_inserted_and_removed_segments_patch_in_place():
+    origin, __, services, manager = deploy()
+    adapt(services, manager)
+    origin.page = PAGE.replace(
+        '<p id="plain">hello</p>',
+        '<p id="extra">fresh paragraph</p>',
+    )
+    second = adapt(services, manager)
+    assert counts(services, "applied") == (1,)
+    assert counts(services, "patched_segments") == (2,)  # remove + insert
+    assert second.entry_html == from_scratch(origin.page)
+    assert "fresh paragraph" in second.entry_html
+    assert "hello" not in second.entry_html
+
+
+def test_inserted_segment_lands_before_its_anchor():
+    origin, __, services, manager = deploy()
+    adapt(services, manager)
+    origin.page = PAGE.replace(
+        '<p id="plain">', '<p id="early">first words</p><p id="plain">'
+    )
+    second = adapt(services, manager)
+    assert counts(services, "applied") == (1,)
+    assert second.entry_html == from_scratch(origin.page)
+    assert second.entry_html.index("first words") < (
+        second.entry_html.index("hello")
+    )
+
+
+def test_successive_deltas_keep_tracking_the_origin():
+    origin, __, services, manager = deploy()
+    adapt(services, manager)
+    page = PAGE
+    for round_number in range(1, 5):
+        page = page.replace(
+            "<h1>Site</h1>", f"<h1>Site r{round_number}</h1>"
+        ).replace("hello", f"hello r{round_number}")
+        origin.page = page
+        result = adapt(services, manager)
+        assert counts(services, "applied") == (round_number,)
+        assert result.entry_html == from_scratch(page)
+
+
+# -- fallbacks and the memo lifecycle --------------------------------------
+
+
+def test_upheaval_falls_back_to_a_full_replay_and_reseeds():
+    origin, __, services, manager = deploy()
+    adapt(services, manager)
+    rebuilt = (
+        "<!DOCTYPE html><html><head><title>Delta</title></head><body>"
+        + "".join(f'<div id="new{n}"><p>block</p></div>' for n in range(9))
+        + '<div id="sidebar"><p>about the desk</p></div>'
+        + "</body></html>"
+    )
+    origin.page = rebuilt
+    result = adapt(services, manager)
+    registry = services.observability.registry
+    assert counts(services, "fallbacks", "applied") == (1, 0)
+    assert registry.counter(
+        "msite_delta_fallback_upheaval_total"
+    ).value == 1
+    assert result.entry_html == from_scratch(rebuilt)
+    assert counts(services, "seeds") == (2,)  # the full replay re-seeded
+
+
+def test_non_localizable_step_on_a_changed_segment_falls_back():
+    origin, __, services, manager = deploy()
+    adapt(services, manager)
+    # #sidebar is claimed by the subpage step, which delta cannot
+    # re-run in isolation.
+    origin.page = PAGE.replace("about the desk", "about the newsroom")
+    result = adapt(services, manager)
+    registry = services.observability.registry
+    assert counts(services, "fallbacks") == (1,)
+    assert registry.counter("msite_delta_fallback_steps_total").value == 1
+    assert result.entry_html == from_scratch(origin.page)
+    # The edit surfaced through the re-run subpage step, not the entry.
+    (side,) = result.subpages
+    assert b"newsroom" in services.storage.read(side.path).data
+    # UPHEAVAL_FRACTION guards the classifier we just exercised.
+    assert 0.0 < UPHEAVAL_FRACTION < 1.0
+
+
+def test_expired_memo_is_dropped_and_the_run_reseeds():
+    origin, clock, services, manager = deploy()
+    adapt(services, manager)
+    clock.advance(601)  # past the cacheable ttl
+    origin.page = PAGE.replace("hello", "later")
+    result = adapt(services, manager)
+    assert counts(services, "expired", "applied") == (1, 0)
+    assert result.entry_html == from_scratch(origin.page)
+    assert counts(services, "seeds") == (2,)
+
+
+def test_apply_failure_drops_the_memo(monkeypatch):
+    origin, __, services, manager = deploy()
+    adapt(services, manager)
+
+    def boom(old, changes):
+        raise RuntimeError("injected apply failure")
+
+    monkeypatch.setattr(diff, "apply", boom)
+    origin.page = PAGE.replace("hello", "goodbye")
+    result = adapt(services, manager)
+    assert counts(services, "fallbacks", "applied") == (1, 0)
+    assert result.entry_html == from_scratch(origin.page)
+    # The half-patched memo is gone; the full replay seeded a new one,
+    # and with the fault healed the next delta applies cleanly.
+    monkeypatch.undo()
+    origin.page = origin.page.replace("goodbye", "again")
+    healed = adapt(services, manager)
+    assert counts(services, "applied") == (1,)
+    assert healed.entry_html == from_scratch(origin.page)
+
+
+def test_forget_drops_memos_for_the_site():
+    origin, __, services, manager = deploy()
+    adapt(services, manager)
+    services.delta.forget("SomeOtherSite")
+    assert services.delta._memos  # untouched
+    services.delta.forget("Delta")
+    assert not services.delta._memos
+    origin.page = PAGE.replace("hello", "goodbye")
+    adapt(services, manager)
+    assert counts(services, "no_memo") == (2,)  # cold miss + this one
+
+
+def test_forget_everything():
+    __, __, services, manager = deploy()
+    adapt(services, manager)
+    services.delta.forget()
+    assert not services.delta._memos
+
+
+# -- refilter fallbacks ----------------------------------------------------
+
+
+def test_revision_to_soup_falls_back_in_piecewise_mode():
+    origin, __, services, manager = deploy()
+    adapt(services, manager)
+    # The revision needs soup recovery, so the raw rescan bails and
+    # the full pipeline (which can parse it) takes over.
+    origin.page = PAGE.replace("<p id=\"plain\">hello</p>", "<p>one<p>two")
+    second = adapt(services, manager)
+    assert counts(services, "fallbacks", "fallback_scan") == (1, 1)
+    assert counts(services, "applied") == (0,)
+    assert second.entry_html == from_scratch(origin.page)
+
+
+def test_head_edit_falls_back_in_piecewise_mode():
+    origin, __, services, manager = deploy()
+    adapt(services, manager)
+    origin.page = PAGE.replace(
+        "<title>Delta</title>", "<title>Renamed</title>"
+    )
+    second = adapt(services, manager)
+    assert counts(services, "fallback_structure") == (1,)
+    assert second.entry_html == from_scratch(origin.page)
+    assert "Renamed" in second.entry_html
+
+
+def test_revision_to_soup_falls_back_in_global_mode():
+    origin, __, services, manager = deploy()
+    spec = make_global_spec()
+    adapt(services, manager, spec=spec)
+    origin.page = PAGE.replace("<p id=\"plain\">hello</p>", "<p>one<p>two")
+    second = adapt(services, manager, spec=spec)
+    assert counts(services, "fallback_scan") == (1,)
+    assert second.entry_html == from_scratch(
+        origin.page, make_global_spec()
+    )
+
+
+def test_head_edit_falls_back_in_global_mode():
+    origin, __, services, manager = deploy()
+    spec = make_global_spec()
+    adapt(services, manager, spec=spec)
+    # title_rewrite would erase a title edit, so grow the head instead.
+    origin.page = PAGE.replace("<head>", '<head><meta name="x">')
+    second = adapt(services, manager, spec=spec)
+    assert counts(services, "fallback_structure") == (1,)
+    assert second.entry_html == from_scratch(
+        origin.page, make_global_spec()
+    )
+
+
+def test_crashing_filter_falls_back_then_reseeds_globally(monkeypatch):
+    from repro.core.delta import DeltaEngine
+
+    origin, __, services, manager = deploy()
+    adapt(services, manager)
+    assert the_memo(services).raw_scan is not None
+
+    def boom(self, pipeline, piece):
+        raise RuntimeError("filter exploded")
+
+    monkeypatch.setattr(DeltaEngine, "_filter_piece", boom)
+    origin.page = PAGE.replace("hello", "goodbye")
+    second = adapt(services, manager)
+    assert counts(services, "fallback_scan") == (1,)
+    assert second.entry_html == from_scratch(origin.page)
+    # The re-seed could not prove piecewise filtering either, so the
+    # replacement memo holds the whole filtered source.
+    assert counts(services, "seeds") == (2,)
+    assert the_memo(services).filtered_source is not None
+
+
+def test_text_runs_merging_across_a_stripped_script_fall_back():
+    page = (
+        "<html><head><title>T</title></head><body>"
+        '<div id="m">masthead</div>'
+        '<p id="x">xx</p>'
+        "<script>var s;</script>"
+        '<p id="y">yy</p>'
+        '<div id="note" class="alert"><p>n</p></div>'
+        "</body></html>"
+    )
+    spec = AdaptationSpec(site="Delta", origin_host=HOST)
+    spec.add("cacheable", ttl_s=600)
+    spec.add("strip_scripts")
+    spec.add("hide_object", ObjectSelector.css(".alert"))
+    origin, __, services, manager = deploy(page)
+    adapt(services, manager, spec=spec)
+    assert the_memo(services).raw_scan is not None
+    # Both paragraphs become bare text runs; once the script between
+    # them is stripped they would merge in a direct scan, which the
+    # splice model cannot represent.
+    origin.page = page.replace('<p id="x">xx</p>', "intro").replace(
+        '<p id="y">yy</p>', "outro"
+    )
+    second = adapt(services, manager, spec=spec)
+    assert counts(services, "fallback_scan") == (1,)
+    assert second.entry_html == from_scratch(origin.page, spec)
+
+
+# -- classification fallbacks ----------------------------------------------
+
+
+def test_removing_a_step_implicated_segment_falls_back():
+    origin, __, services, manager = deploy()
+    adapt(services, manager)
+    # The .alert div is hide_object's footprint; its disappearance
+    # would leave the step's effect unaccounted for.
+    origin.page = PAGE.replace(
+        '<div id="note" class="alert"><p>service notice</p></div>', ""
+    )
+    second = adapt(services, manager)
+    assert counts(services, "fallback_steps") == (1,)
+    assert second.entry_html == from_scratch(origin.page)
+
+
+def test_non_localizable_selector_falls_back():
+    spec = AdaptationSpec(site="Delta", origin_host=HOST)
+    spec.add("cacheable", ttl_s=600)
+    spec.add("strip_scripts")
+    # Localizable step name, but the sibling combinator needs context
+    # beyond the segment.
+    spec.add("hide_object", ObjectSelector.css(".alert + p"))
+    origin, __, services, manager = deploy()
+    adapt(services, manager, spec=spec)
+    assert counts(services, "seeds") == (1,)
+    origin.page = PAGE.replace("service notice", "renewed notice")
+    second = adapt(services, manager, spec=spec)
+    assert counts(services, "fallback_steps") == (1,)
+    assert second.entry_html == from_scratch(origin.page, spec)
+
+
+def test_step_spanning_two_segments_falls_back():
+    page = PAGE.replace(
+        '<p id="plain">hello</p>',
+        '<p id="plain">hello</p>'
+        '<div id="note2" class="alert"><p>another notice</p></div>',
+    )
+    spec = AdaptationSpec(site="Delta", origin_host=HOST)
+    spec.add("cacheable", ttl_s=600)
+    spec.add("strip_scripts")
+    spec.add("hide_object", ObjectSelector.css(".alert"))
+    origin, __, services, manager = deploy(page)
+    adapt(services, manager, spec=spec)
+    # hide_object touches both .alert segments, so neither edit is
+    # confined to its own segment.
+    origin.page = page.replace("service notice", "renewed notice")
+    second = adapt(services, manager, spec=spec)
+    assert counts(services, "fallback_steps") == (1,)
+    assert second.entry_html == from_scratch(origin.page, spec)
+
+
+def test_plan_that_empties_the_body_still_deltas():
+    page = (
+        "<html><head><title>E</title></head><body>"
+        '<div id="a"><p>alpha</p></div>'
+        '<div id="b"><p>beta</p></div>'
+        "</body></html>"
+    )
+    spec = AdaptationSpec(site="Delta", origin_host=HOST)
+    spec.add("cacheable", ttl_s=600)
+    spec.add("remove_object", ObjectSelector.css("#a"))
+    spec.add("remove_object", ObjectSelector.css("#b"))
+    origin, __, services, manager = deploy(page)
+    adapt(services, manager, spec=spec)
+    assert counts(services, "seeds") == (1,)
+    # An empty residual has no per-part serialization to cache.
+    assert the_memo(services).entry_parts is None
+    origin.page = page.replace("alpha", "ALPHA")
+    second = adapt(services, manager, spec=spec)
+    assert counts(services, "applied") == (1,)
+    assert second.entry_html == from_scratch(origin.page, spec)
+    assert "ALPHA" not in second.entry_html

@@ -1,0 +1,283 @@
+"""The segment scanner: strict splitting, identities, incremental rescan.
+
+The scanner's contract (``repro.core.delta.scan_segments``) is that a
+page it accepts splits into top-level body children whose identity keys
+agree exactly with what the real parser + ``diff.child_keys`` would
+produce — and that any markup needing soup recovery is *rejected*, not
+guessed at.  ``rescan_segments`` must be observationally identical to a
+full scan while only paying for the changed middle.
+"""
+
+import pytest
+
+from repro.core.delta import (
+    ScanResult,
+    Segment,
+    _assign_identities,
+    _scan_region,
+    _ScanBail,
+    rescan_segments,
+    scan_segments,
+)
+from repro.dom import diff
+from repro.html.parser import parse_html
+
+PAGE = (
+    "<!DOCTYPE html><html><head><title>t</title></head><body>"
+    '<div id="masthead"><h1>Site</h1></div>'
+    "<!-- deck -->"
+    "loose text"
+    '<div class="teaser"><a href="/a/1">One</a></div>'
+    '<div class="teaser"><a href="/a/2">Two</a></div>'
+    '<div data-msite-key="promo"><p>promo</p></div>'
+    "<hr>"
+    "<script>var x = '</scripty lookalike';</script>"
+    "</body></html>"
+)
+
+
+def _identities(source: str) -> list:
+    scan = scan_segments(source)
+    assert scan is not None
+    return [segment.identity for segment in scan.segments]
+
+
+# -- the full scan ---------------------------------------------------------
+
+
+def test_scan_splits_prelude_segments_tail():
+    scan = scan_segments(PAGE)
+    assert scan is not None
+    assert scan.prelude.endswith("<body>")
+    assert scan.tail == "</body></html>"
+    assert scan.prelude + "".join(
+        segment.raw for segment in scan.segments
+    ) + scan.tail == PAGE
+    kinds = [segment.kind for segment in scan.segments]
+    assert kinds == [
+        "element", "comment", "text", "element", "element",
+        "element", "element", "element",
+    ]
+
+
+def test_scan_identities_agree_with_the_parser():
+    scan = scan_segments(PAGE)
+    body = parse_html(PAGE).body
+    assert [segment.identity for segment in scan.segments] == (
+        diff.child_keys(list(body.children))
+    )
+
+
+def test_identity_tiers_id_then_assigned_then_shape():
+    identities = _identities(PAGE)
+    assert ("e", "div", "#", "masthead") in identities
+    assert ("e", "div", "@", "promo") in identities
+    # Same-shape elements get ordinals, like diff.child_keys.
+    assert ("e", "div", "teaser", 0) in identities
+    assert ("e", "div", "teaser", 1) in identities
+
+
+def test_segment_facts_round_trip_through_assign_identities():
+    scan = scan_segments(PAGE)
+    rebuilt = _assign_identities([seg.facts for seg in scan.segments])
+    assert [seg.identity for seg in rebuilt] == (
+        [seg.identity for seg in scan.segments]
+    )
+    assert all(
+        isinstance(seg, Segment) and seg.raw == old.raw
+        for seg, old in zip(rebuilt, scan.segments)
+    )
+
+
+def test_void_and_raw_text_elements_are_single_segments():
+    scan = scan_segments(PAGE)
+    raws = [seg.raw for seg in scan.segments]
+    assert "<hr>" in raws
+    assert any(
+        raw.startswith("<script>") and raw.endswith("</script>")
+        for raw in raws
+    )
+
+
+def test_attributes_on_body_are_part_of_the_prelude():
+    scan = scan_segments('<html><body class="m"><p>x</p></body></html>')
+    assert scan is not None
+    assert scan.prelude == '<html><body class="m">'
+
+
+@pytest.mark.parametrize(
+    "source",
+    [
+        "<html><p>x</p></html>",  # no body at all
+        "<html><bodyguard><p>x</p></bodyguard></html>",  # not <body>
+        "<html><body><p>x</p></html>",  # body never closes
+        "</body><body><p>x</p>",  # close precedes the open
+    ],
+    ids=["no-body", "prefix-lookalike", "unclosed", "inverted"],
+)
+def test_pages_without_a_proper_body_are_rejected(source):
+    assert scan_segments(source) is None
+
+
+@pytest.mark.parametrize(
+    "body",
+    [
+        "<div><p>x</p>",  # open element at the region's end
+        "<!doctype html><p>x</p>",  # markup declaration in the body
+        "<!-- never closed <p>x</p>",  # unterminated comment
+        "<p>x</span>",  # end tag does not close the top
+        "</div>",  # stray end tag with nothing open
+        "<p>one<p>two</p>",  # implied closer (soup recovery)
+        "<div/>x",  # self-closing non-void
+        "< 3 is less",  # literal '<'
+        "<head><title>t</title></head>",  # scaffolding inside body
+        "<script>never closed",  # unterminated raw text
+    ],
+    ids=[
+        "open-at-end", "declaration", "comment", "mismatched-end",
+        "stray-end", "implied-closer", "self-closing", "literal-lt",
+        "scaffold", "raw-text",
+    ],
+)
+def test_soup_markup_is_rejected_not_guessed(body):
+    source = f"<html><body>{body}</body></html>"
+    assert scan_segments(source) is None
+    # The parser itself recovers; only the strict scanner refuses.
+    assert parse_html(source) is not None
+
+
+def test_scan_region_rejects_tags_crossing_the_boundary():
+    with pytest.raises(_ScanBail):
+        _scan_region("<img src=a>", 0, 5)
+    with pytest.raises(_ScanBail):
+        _scan_region("<p>text runs past", 0, len("<p>text runs past"))
+
+
+def test_raw_text_lookalike_closers_are_skipped():
+    # "</scripty" inside the script must not end it; the real close may
+    # carry whitespace before '>'.
+    scan = scan_segments(
+        "<html><body><script>a='</scripty'</script \n></body></html>"
+    )
+    assert scan is not None
+    assert len(scan.segments) == 1
+
+
+# -- the incremental rescan ------------------------------------------------
+
+
+def _assert_rescan_matches_full(new: str, baseline_source: str = PAGE):
+    baseline = scan_segments(baseline_source)
+    incremental = rescan_segments(new, baseline)
+    full = scan_segments(new)
+    if full is None:
+        assert incremental is None
+        return None
+    assert incremental is not None
+    assert incremental.prelude == full.prelude
+    assert incremental.tail == full.tail
+    assert [seg.facts for seg in incremental.segments] == (
+        [seg.facts for seg in full.segments]
+    )
+    assert [seg.identity for seg in incremental.segments] == (
+        [seg.identity for seg in full.segments]
+    )
+    return incremental
+
+
+def test_rescan_of_the_identical_page_reuses_every_segment():
+    _assert_rescan_matches_full(PAGE)
+
+
+def test_rescan_with_a_middle_edit_matches_a_full_scan():
+    _assert_rescan_matches_full(PAGE.replace("One", "Uno"))
+
+
+def test_rescan_with_inserted_and_removed_segments():
+    _assert_rescan_matches_full(
+        PAGE.replace(
+            '<div class="teaser"><a href="/a/2">Two</a></div>',
+            '<p id="fresh">new</p>',
+        )
+    )
+
+
+def test_rescan_falls_back_when_the_prelude_changes():
+    # A different shell breaks the prefix precondition; the verdict
+    # must still be exactly the full scan's.
+    _assert_rescan_matches_full(
+        PAGE.replace("<title>t</title>", "<title>u</title>")
+    )
+
+
+def test_rescan_falls_back_on_overlapping_shell():
+    baseline = scan_segments("<html><body>ab</body></html>")
+    # startswith(prelude) and endswith(tail) both hold, but the source
+    # is shorter than prelude + tail combined (end < start).
+    short = "<html><body></body></html>"
+    overlapped = rescan_segments(short[: len(short) // 2] + short[len(short) // 2 :], baseline)
+    assert overlapped is not None
+    assert [s.facts for s in overlapped.segments] == (
+        [s.facts for s in scan_segments(short).segments]
+    )
+
+
+def test_rescan_rejects_what_a_full_scan_rejects():
+    _assert_rescan_matches_full(PAGE.replace("loose text", "<div>open"))
+
+
+def test_rescan_merges_text_split_across_the_splice():
+    # Removing the element between two text runs leaves adjacent text
+    # that a full scan would have merged into one segment; the rescan
+    # must notice and defer to the full scan.
+    base = "<html><body>alpha<hr>omega</body></html>"
+    merged = "<html><body>alphaomega</body></html>"
+    baseline = scan_segments(base)
+    assert len(baseline.segments) == 3
+    incremental = rescan_segments(merged, baseline)
+    assert incremental is not None
+    assert len(incremental.segments) == 1
+    assert incremental.segments[0].kind == "text"
+
+
+def test_rescan_bail_in_the_middle_defers_to_the_full_scan():
+    # The middle alone is malformed relative to the splice boundaries
+    # (an element spanning them), but the page as a whole is fine.
+    base = "<html><body><div id=a>x</div><div id=b>y</div></body></html>"
+    new = "<html><body><div id=a>x</div> <div id=b>y</div></body></html>"
+    _assert_rescan_matches_full(new, baseline_source=base)
+
+
+def test_rescan_with_an_overlapping_baseline_shell_rescans_fully():
+    # A baseline whose prelude and tail overlap in the new source
+    # (end < start) cannot anchor a splice; rescan falls back to a
+    # full scan instead of slicing a negative region.
+    source = "<html><head></head><body>xy</body></html>"
+    baseline = ScanResult(
+        prelude="<html><head></head><body>xy",
+        segments=[],
+        tail="xy</body></html>",
+    )
+    rescan = rescan_segments(source, baseline)
+    full = scan_segments(source)
+    assert rescan is not None and full is not None
+    assert rescan.prelude == full.prelude
+    assert [s.facts for s in rescan.segments] == [
+        s.facts for s in full.segments
+    ]
+
+
+def test_end_tag_running_into_the_body_close_is_rejected():
+    # "</div " never finds its ">" before the body ends.
+    source = "<html><head></head><body><div>a</div </body></html>"
+    assert scan_segments(source) is None
+    assert parse_html(source) is not None
+
+
+def test_raw_text_close_running_into_the_body_close_is_rejected():
+    source = (
+        "<html><head></head><body>"
+        "<script>var x = 1;</script </body></html>"
+    )
+    assert scan_segments(source) is None
+    assert parse_html(source) is not None

@@ -1,0 +1,149 @@
+"""Session deltas on the proxy response path: manifests, 304s, fallbacks.
+
+A returning session advertises the entry body it holds with
+``X-MSite-Delta-Since: <etag>``; when the proxy can prove what that
+body was, it answers with a stable-identity patch manifest
+(``application/x-msite-delta+json``) instead of the page.  The decisive
+check here is closed-loop: applying the shipped manifest to the
+client's old tree must reproduce the current page exactly.
+"""
+
+from repro.core.codegen import generate_proxy_source, load_generated_proxy
+from repro.core.pipeline import ProxyServices
+from repro.core.proxy import SESSION_DELTA_CONTENT_TYPE
+from repro.dom import diff
+from repro.html.parser import parse_html
+from repro.html.serializer import serialize
+from repro.net.client import HttpClient
+from repro.net.cookies import CookieJar
+from repro.sites.news.app import NewsApplication
+from repro.sites.news.data import Newsroom
+from repro.sites.news.spec import NEWS_HOST, news_fastpath_spec
+
+PROXY_HOST = "m.metroherald.com"
+ENTRY_URL = f"http://{PROXY_HOST}/proxy.php"
+
+
+def deploy(**flags):
+    app = NewsApplication(Newsroom(seed=0x5E55_10))
+    services = ProxyServices(origins={NEWS_HOST: app}, **flags)
+    proxy = load_generated_proxy(
+        generate_proxy_source(news_fastpath_spec())
+    ).create_proxy(services)
+    client = HttpClient({PROXY_HOST: proxy}, jar=CookieJar())
+    return proxy, services, app, client
+
+
+def counter(services, name: str) -> float:
+    return services.observability.registry.counter(
+        f"msite_delta_{name}_total"
+    ).value
+
+
+def publish(proxy, app) -> None:
+    """One revision plus the fleet invalidation that unpins sessions."""
+    app.newsroom.revise()
+    proxy.forget_adapted()
+
+
+def test_returning_session_gets_an_exact_patch_manifest():
+    proxy, services, app, client = deploy()
+    first = client.get(ENTRY_URL)
+    assert first.status == 200
+    etag = first.headers.get("ETag")
+    old_body = first.body.decode("utf-8")
+    publish(proxy, app)
+    response = client.get(ENTRY_URL, X_MSite_Delta_Since=etag)
+    assert response.status == 200
+    assert response.headers.get("Content-Type") == SESSION_DELTA_CONTENT_TYPE
+    assert response.headers.get("ETag") != etag
+    manifest = diff.ChangeSet.from_json(response.body.decode("utf-8"))
+    assert manifest is not None and not manifest.is_empty
+    assert not manifest.upheaval()
+    # Closed loop: the patched old tree is the current page, exactly.
+    probe = HttpClient({PROXY_HOST: proxy}, jar=CookieJar())
+    current = probe.get(ENTRY_URL).body.decode("utf-8")
+    patched = diff.apply(parse_html(old_body), manifest)
+    assert serialize(patched) == serialize(parse_html(current))
+    # And it was worth shipping.
+    assert len(response.body) < len(current.encode("utf-8"))
+    assert counter(services, "session_served") == 1
+    assert counter(services, "session_fallback") == 0
+
+
+def test_manifests_chain_across_consecutive_revisions():
+    proxy, services, app, client = deploy()
+    response = client.get(ENTRY_URL)
+    held = parse_html(response.body.decode("utf-8"))
+    etag = response.headers.get("ETag")
+    for _ in range(3):
+        publish(proxy, app)
+        response = client.get(ENTRY_URL, X_MSite_Delta_Since=etag)
+        assert response.headers.get("Content-Type") == (
+            SESSION_DELTA_CONTENT_TYPE
+        )
+        manifest = diff.ChangeSet.from_json(response.body.decode("utf-8"))
+        diff.apply(held, manifest)
+        etag = response.headers.get("ETag")
+    probe = HttpClient({PROXY_HOST: proxy}, jar=CookieJar())
+    current = probe.get(ENTRY_URL).body.decode("utf-8")
+    assert serialize(held) == serialize(parse_html(current))
+    assert counter(services, "session_served") == 3
+
+
+def test_current_baseline_is_a_304():
+    proxy, services, app, client = deploy()
+    first = client.get(ENTRY_URL)
+    etag = first.headers.get("ETag")
+    response = client.get(ENTRY_URL, X_MSite_Delta_Since=etag)
+    assert response.status == 304
+    assert response.headers.get("ETag") == etag
+    assert response.body == b""
+    assert counter(services, "session_served") == 0
+
+
+def test_unknown_baseline_falls_back_to_the_full_body():
+    proxy, services, app, client = deploy()
+    client.get(ENTRY_URL)
+    publish(proxy, app)
+    response = client.get(
+        ENTRY_URL, X_MSite_Delta_Since='"not-an-etag-we-served"'
+    )
+    assert response.status == 200
+    assert response.headers.get("Content-Type").startswith("text/html")
+    assert counter(services, "session_fallback") == 1
+
+
+def test_oversize_manifests_are_not_worth_shipping():
+    proxy, services, app, client = deploy()
+    client.get(ENTRY_URL)
+    etag = client.get(ENTRY_URL).headers.get("ETag")
+    services.session_delta_max_fraction = 0.0
+    publish(proxy, app)
+    response = client.get(ENTRY_URL, X_MSite_Delta_Since=etag)
+    assert response.status == 200
+    assert response.headers.get("Content-Type").startswith("text/html")
+    assert counter(services, "session_fallback") == 1
+    assert counter(services, "session_served") == 0
+
+
+def test_no_delta_header_means_a_plain_full_response():
+    proxy, services, app, client = deploy()
+    client.get(ENTRY_URL)
+    publish(proxy, app)
+    response = client.get(ENTRY_URL)
+    assert response.status == 200
+    assert response.headers.get("Content-Type").startswith("text/html")
+    assert counter(services, "session_served") == 0
+    assert counter(services, "session_fallback") == 0
+
+
+def test_disabled_delta_never_ships_manifests():
+    proxy, services, app, client = deploy(delta_enabled=False)
+    first = client.get(ENTRY_URL)
+    etag = first.headers.get("ETag")
+    publish(proxy, app)
+    response = client.get(ENTRY_URL, X_MSite_Delta_Since=etag)
+    assert response.status == 200
+    assert response.headers.get("Content-Type").startswith("text/html")
+    assert counter(services, "session_served") == 0

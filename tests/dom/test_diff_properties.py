@@ -1,0 +1,135 @@
+"""Property suite: diff/apply round-trips byte-identically.
+
+The invariant the delta fast path and session deltas both lean on:
+
+    apply(old, changeset(old, new));  serialize(old) == serialize(new)
+
+across randomized trees and randomized mutations (text edits,
+attribute flips, subtree inserts/removes, sibling reorders), and the
+same after the change-set round-trips through its JSON manifest form.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dom import diff
+from repro.dom.document import Document
+from repro.dom.element import Element
+from repro.dom.node import Comment, Doctype, Text
+from repro.html.serializer import serialize
+
+_TAGS = ["div", "p", "span", "ul", "li", "a", "section"]
+_TEXT = st.text(alphabet="ab <&\"'\n", max_size=8)
+_WORD = st.text(
+    alphabet=st.characters(whitelist_categories=(), whitelist_characters="abcxyz-"),
+    max_size=6,
+)
+_ATTR_NAMES = ["id", "class", "href", "title", "data-n", diff.IDENTITY_ATTRIBUTE]
+
+
+def _leaf():
+    return st.one_of(
+        _TEXT.map(Text),
+        _WORD.map(Comment),
+    )
+
+
+def _element(children):
+    return st.builds(
+        Element,
+        st.sampled_from(_TAGS),
+        st.dictionaries(st.sampled_from(_ATTR_NAMES), _WORD, max_size=3),
+        st.lists(children, max_size=4),
+    )
+
+
+_NODE = st.recursive(_leaf(), _element, max_leaves=12)
+
+
+@st.composite
+def documents(draw):
+    doc = Document()
+    doc.append(Doctype("html"))
+    html = Element("html")
+    body = Element("body")
+    for child in draw(st.lists(_NODE, max_size=5)):
+        body.append(child)
+    html.append(body)
+    doc.append(html)
+    return doc
+
+
+def _elements_of(doc: Document) -> list[Element]:
+    return doc.all_elements()
+
+
+@st.composite
+def mutated_pair(draw):
+    """(old, new) where new = clone of old + a handful of mutations."""
+    old = draw(documents())
+    new = old.clone()
+    for _ in range(draw(st.integers(min_value=0, max_value=4))):
+        targets = _elements_of(new)
+        element = draw(st.sampled_from(targets))
+        action = draw(st.sampled_from(
+            ["text", "attr", "del_attr", "insert", "remove", "reorder"]
+        ))
+        if action == "text":
+            element.append(Text(draw(_TEXT)))
+        elif action == "attr":
+            element.attributes[draw(st.sampled_from(_ATTR_NAMES))] = draw(_WORD)
+        elif action == "del_attr" and element.attributes:
+            element.attributes.pop(
+                draw(st.sampled_from(sorted(element.attributes)))
+            )
+        elif action == "insert":
+            element.insert_child(
+                draw(st.integers(min_value=0, max_value=len(element.children))),
+                draw(_NODE),
+            )
+        elif action == "remove" and element.children:
+            element.children[
+                draw(st.integers(0, len(element.children) - 1))
+            ].detach()
+        elif action == "reorder" and len(element.children) >= 2:
+            index = draw(st.integers(0, len(element.children) - 2))
+            moved = element.children[index].detach()
+            element.append(moved)
+    return old, new
+
+
+@given(mutated_pair())
+@settings(max_examples=120, deadline=None)
+def test_apply_round_trips_mutations(pair):
+    old, new = pair
+    expected = serialize(new)
+    cs = diff.changeset(old, new)
+    diff.apply(old, cs)
+    assert serialize(old) == expected
+
+
+@given(documents(), documents())
+@settings(max_examples=60, deadline=None)
+def test_apply_round_trips_unrelated_trees(old, new):
+    expected = serialize(new)
+    diff.apply(old, diff.changeset(old, new))
+    assert serialize(old) == expected
+
+
+@given(mutated_pair())
+@settings(max_examples=60, deadline=None)
+def test_json_manifest_round_trip(pair):
+    old, new = pair
+    expected = serialize(new)
+    cs = diff.ChangeSet.from_json(diff.changeset(old, new).to_json())
+    assert cs is not None
+    diff.apply(old, cs)
+    assert serialize(old) == expected
+
+
+@given(documents())
+@settings(max_examples=40, deadline=None)
+def test_self_diff_is_empty(doc):
+    cs = diff.changeset(doc, doc.clone())
+    assert cs.is_empty
+    assert cs.stats.touched_nodes == 0

@@ -23,6 +23,32 @@ def test_content_fingerprint_tracks_source_bytes():
     assert a != fastpath.content_fingerprint("<html>b</html>")
 
 
+def test_normalize_origin_collapses_inter_tag_newline_runs():
+    assert fastpath.normalize_origin(
+        "<div>\n      <p>x</p>  \n\t\n</div>"
+    ) == "<div>\n<p>x</p>\n</div>"
+    # Runs without a newline can be significant between inline tags.
+    assert fastpath.normalize_origin("<b>a</b> <i>b</i>") == (
+        "<b>a</b> <i>b</i>"
+    )
+    # Whitespace adjacent to *text* is content, not indentation.
+    assert fastpath.normalize_origin("<p>\n  text\n  </p>") == (
+        "<p>\n  text\n  </p>"
+    )
+
+
+def test_reindented_origins_share_one_content_fingerprint():
+    """Cosmetic template churn must keep hitting the same bundle."""
+    original = "<html>\n  <body>\n    <p>story</p>\n  </body>\n</html>"
+    reindented = "<html>\n\t<body>\n\t\t\t<p>story</p>\n</body>\n\n</html>"
+    edited = original.replace("story", "new story")
+    fingerprint = lambda source: fastpath.content_fingerprint(
+        fastpath.normalize_origin(source)
+    )
+    assert fingerprint(original) == fingerprint(reindented)
+    assert fingerprint(original) != fingerprint(edited)
+
+
 def test_etag_matching():
     etag = fastpath.make_etag("spec1", "phone", "c1")
     assert etag == '"spec1.phone.c1"'

@@ -85,6 +85,21 @@ def test_replay_restores_session_artifacts():
     assert b"alpha" in stored.data
 
 
+def test_reindented_origin_is_still_a_hit():
+    origin, services, manager = setup()
+    origin.page = PAGE.replace("</head>", "</head>\n").replace(
+        "</div>", "</div>\n"
+    )
+    first = run_once(services, manager)
+    # The template got reindented; the rendered content did not change.
+    origin.page = origin.page.replace("\n", "\n\t\t")
+    second = run_once(services, manager)
+    assert second.fastpath_hit
+    assert second.etag == first.etag
+    assert second.entry_html == first.entry_html
+    assert counter(services, "hits") == 1
+
+
 def test_changed_origin_content_misses():
     origin, services, manager = setup()
     first = run_once(services, manager)

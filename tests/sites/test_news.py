@@ -90,6 +90,43 @@ class TestNewsroom:
         assert story.title and story.summary and story.author
         assert 3 <= len(story.paragraphs) <= 6
 
+    def test_revision_stream_is_a_pure_function_of_the_seed(self):
+        ours = Newsroom(seed=55)
+        theirs = Newsroom(seed=55)
+        for _ in range(12):
+            assert ours.revise() == theirs.revise()
+        assert ours.revision_count == theirs.revision_count == 12
+        assert ours.section_articles("tech") == (
+            theirs.section_articles("tech")
+        )
+        # A diverging seed diverges the edit stream too.
+        assert Newsroom(seed=56).revise() != Newsroom(seed=55).revise()
+
+    def test_revisions_mix_teaser_summaries_with_deep_headlines(self):
+        room = Newsroom(seed=9)
+        for revision in range(1, 21):
+            before = {
+                a.article_id: a for a in room.section_articles("tech")
+            }
+            updated = room.revise()
+            previous = before[updated.article_id]
+            slot = [
+                a.article_id for a in room.section_articles("tech")
+            ].index(updated.article_id)
+            if revision % 10 == 9:
+                # Every tenth edit rewrites a headline deep in the
+                # section — past the teaser feed, into the paginated
+                # list (the delta fast path's full-replay case).
+                assert slot >= FEED_BATCH
+                assert updated.title != previous.title
+                assert updated.summary == previous.summary
+            else:
+                # The common case: a summary rewrite inside the feed.
+                assert slot < FEED_BATCH
+                assert updated.summary != previous.summary
+                assert updated.title == previous.title
+            assert room.article(updated.article_id) is updated
+
 
 # -- origin routes ---------------------------------------------------------
 

@@ -9,6 +9,7 @@ from repro.workload.arrivals import ClosedLoop, Poisson
 from repro.workload.engine import (
     _percentile,
     _SimClockPacer,
+    build_scenario_mutator,
     build_scenario_origins,
     build_scenario_spec,
     format_report,
@@ -16,6 +17,7 @@ from repro.workload.engine import (
 )
 from repro.workload.population import DeviceMix
 from repro.workload.scenarios import (
+    NEWS_FASTPATH_SURFACE,
     NEWS_SURFACE,
     Scenario,
     _BUILDERS,
@@ -55,6 +57,24 @@ def _tiny_forum() -> Scenario:
     )
 
 
+def _tiny_churn() -> Scenario:
+    return Scenario(
+        name="tiny-churn",
+        site="news",
+        description="engine test: revisions under a short closed loop",
+        arrivals=ClosedLoop(requests=12),
+        surface=NEWS_FASTPATH_SURFACE,
+        zipf_exponent=1.1,
+        devices=DeviceMix((("phone", 1.0),)),
+        churn=0.5,
+        max_sessions=4,
+        bot_fraction=0.0,
+        seed=0x7E57_03,
+        requests=12,
+        mutate_fraction=0.34,
+    )
+
+
 def test_news_scenario_runs_clean_at_warm_cache():
     scenario = _tiny_news()
     report = run_scenario(scenario, workers=1, client_threads=4)
@@ -81,6 +101,55 @@ def test_forum_scenario_with_seed_override_and_two_workers():
     assert report.non_degraded_5xx == 0
     assert set(report.statuses) == {200}
     assert report.sim_duration_s == 0.0  # closed loop: no schedule
+
+
+def test_churn_scenario_revises_the_origin_and_stays_clean():
+    scenario = _tiny_churn()
+    trace = scenario.build_trace()
+    planned_mutations = sum(1 for planned in trace if planned.mutate)
+    assert planned_mutations > 0
+    report = run_scenario(scenario, workers=1, client_threads=2)
+    assert report.completed == len(trace)
+    assert report.non_degraded_5xx == 0
+    assert set(report.statuses) == {200}
+
+
+def test_churn_scenarios_get_the_storable_news_spec():
+    # Live AJAX actions exclude a bundle from the cache, so a churn
+    # scenario (whose whole point is re-adapting cached bundles) must
+    # compile the fastpath variant of the news spec.
+    churn_attributes = [
+        binding.attribute
+        for binding in build_scenario_spec(_tiny_churn()).bindings
+    ]
+    read_only_attributes = [
+        binding.attribute
+        for binding in build_scenario_spec(_tiny_news()).bindings
+    ]
+    assert "ajax_rewrite" not in churn_attributes
+    assert "ajax_rewrite" in read_only_attributes
+
+
+def test_scenario_mutator_wiring():
+    from dataclasses import replace
+
+    from repro.sites.news.spec import NEWS_HOST
+
+    scenario = _tiny_churn()
+    origins = build_scenario_origins(scenario)
+    mutator = build_scenario_mutator(scenario, origins)
+    newsroom = origins[NEWS_HOST].newsroom
+    assert newsroom.revision_count == 0
+    mutator()
+    assert newsroom.revision_count == 1
+    # Read-only scenarios have no mutator at all.
+    assert build_scenario_mutator(_tiny_forum(), {}) is None
+    # A churn fraction on a site without an origin mutator is a
+    # configuration error, not a silent no-op.
+    with pytest.raises(ValueError, match="no origin mutator"):
+        build_scenario_mutator(
+            replace(_tiny_forum(), mutate_fraction=0.5), {}
+        )
 
 
 def test_named_scenario_lookup_path(monkeypatch):

@@ -13,6 +13,7 @@ from repro.workload.scenarios import (
 
 ALL_NAMES = [
     "bot-storm",
+    "content-churn",
     "flash-crowd",
     "mixed-devices",
     "uniform-forum",
@@ -20,7 +21,7 @@ ALL_NAMES = [
 ]
 
 
-def test_registry_lists_the_five_scenarios_sorted():
+def test_registry_lists_the_six_scenarios_sorted():
     assert scenario_names() == ALL_NAMES
 
 
@@ -92,6 +93,31 @@ def test_mixed_devices_uses_all_three_classes():
 
 def test_flash_crowd_defaults_to_a_two_worker_fleet():
     assert get_scenario("flash-crowd").default_workers == 2
+
+
+def test_content_churn_flags_roughly_a_tenth_of_arrivals():
+    scenario = get_scenario("content-churn", smoke=False)
+    trace = scenario.build_trace()
+    mutated = sum(1 for planned in trace if planned.mutate)
+    assert 0 < mutated < len(trace)
+    # Deterministic draw at mutate_fraction=0.1 over 240 arrivals.
+    assert abs(mutated / len(trace) - scenario.mutate_fraction) < 0.07
+    from repro.workload.scenarios import NEWS_FASTPATH_SURFACE
+
+    assert set(scenario.surface) == set(NEWS_FASTPATH_SURFACE)
+
+
+@pytest.mark.parametrize("name", ALL_NAMES)
+def test_only_churn_scenarios_plan_mutations(name):
+    scenario = get_scenario(name, smoke=True)
+    trace = scenario.build_trace()
+    if scenario.mutate_fraction:
+        assert any(planned.mutate for planned in trace)
+        assert "mutate_fraction" in scenario.knobs()
+    else:
+        assert not any(planned.mutate for planned in trace)
+        # Read-only scenarios keep their pre-churn fingerprints.
+        assert "mutate_fraction" not in scenario.knobs()
 
 
 @pytest.mark.parametrize("name", ALL_NAMES)

@@ -152,6 +152,29 @@ PACKAGES = [
         ],
     },
     {
+        # The delta fast path: segment scanning, footprint analysis,
+        # and the patch/localize/fallback rungs.  Every shortcut here
+        # is a soundness bet on rarely-taken guard branches, so the
+        # floor matches the cluster package.  The suites are the dom
+        # diff units + properties and the delta scanner/engine/
+        # differential/session suites.
+        "label": "repro delta path",
+        "files": [
+            os.path.join(SRC_DIR, "repro", "dom", "diff.py"),
+            os.path.join(SRC_DIR, "repro", "core", "delta.py"),
+        ],
+        "floor": 0.95,
+        "suites": [
+            "tests/dom/test_diff.py",
+            "tests/dom/test_diff_properties.py",
+            "tests/delta/test_scanner.py",
+            "tests/delta/test_footprints.py",
+            "tests/delta/test_engine.py",
+            "tests/delta/test_differential.py",
+            "tests/delta/test_session_delta.py",
+        ],
+    },
+    {
         # The news origin: the feed windowing / pagination surface the
         # adaptation attributes cut against.
         "label": "repro.sites.news",

@@ -21,6 +21,9 @@ third-party coverage package required), runs the chaos smoke
 seeded fault schedule leaks a single 500, runs the hot-path bench
 smoke (``msite bench-adapt --require-hits``), which exits non-zero if
 the warm forum workload never hits the adapted-response fast path,
+runs the delta bench smoke (``msite bench-delta --smoke``), which
+exits non-zero if incremental re-adaptation under origin churn fails
+to beat the full pipeline or ever diverges from its bytes,
 and runs the cluster smoke (``msite scalability --workers 2 --smoke``),
 which exits non-zero if a 2-worker fleet fails to beat one worker or
 ever renders the same (path, device) pair twice, and the render-farm
@@ -181,6 +184,20 @@ def main(argv: list[str] | None = None) -> int:
     sys.stdout.write(bench.stdout)
     if bench.returncode != 0:
         failures.append(f"hot-path bench smoke exited {bench.returncode}")
+
+    # -- delta bench smoke: incremental re-adaptation must beat the
+    #    full pipeline and stay byte-identical to it -------------------
+    delta_command = [
+        sys.executable, "-m", "repro.cli", "bench-delta", "--smoke",
+    ]
+    print(f"\n$ {' '.join(delta_command)}")
+    delta = subprocess.run(
+        delta_command, cwd=REPO_ROOT, env=env,
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+    )
+    sys.stdout.write(delta.stdout)
+    if delta.returncode != 0:
+        failures.append(f"delta bench smoke exited {delta.returncode}")
 
     # -- cluster smoke: a 2-worker fleet must beat one worker and never
     #    render the same (path, device) twice --------------------------
