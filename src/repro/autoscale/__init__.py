@@ -1,0 +1,25 @@
+"""Autoscaling: a sim-clock control loop over the fleet's own metrics."""
+
+from repro.autoscale.controller import (
+    CONSUMERS,
+    DOWN,
+    HOLD,
+    UP,
+    WORKERS,
+    Autoscaler,
+    AutoscalerConfig,
+    ControllerInputs,
+    ScaleDecision,
+)
+
+__all__ = [
+    "CONSUMERS",
+    "DOWN",
+    "HOLD",
+    "UP",
+    "WORKERS",
+    "Autoscaler",
+    "AutoscalerConfig",
+    "ControllerInputs",
+    "ScaleDecision",
+]

@@ -1,0 +1,372 @@
+"""The autoscale flash-crowd bench: elastic fleet vs static fleet.
+
+The last scaling question the repro answers with a number: does the
+control loop actually buy anything?  This bench replays one seeded
+:class:`~repro.workload.arrivals.FlashCrowd` schedule against two
+:class:`ClusterDeployment <repro.cluster.deployment.ClusterDeployment>`
+fleets built identically — **one worker, one render consumer** — except
+that one of them runs an :class:`~repro.autoscale.Autoscaler`:
+
+* **static** — the starting size is all it ever has.  Under the burst
+  its admission queue fills and arrivals bounce off as 503s.
+* **autoscaled** — the controller watches the same fleet's own metrics
+  (queue depth, farm backlog, p99) and grows workers and render
+  consumers inside its ``[min, max]`` bounds as pressure builds, then
+  drains back down after the crowd passes.
+
+Acceptance (the ``autoscale_flashcrowd`` BENCH row): the autoscaled
+fleet holds p99 within the scenario budget with **zero non-degraded
+5xx** while the static fleet of the starting size rejects.  The smoke
+run (tier-1) gates only the autoscaled side plus the fact that it
+actually scaled; the full run additionally requires the static side to
+saturate, and merge-writes the row into BENCH_pipeline.json.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import asdict, dataclass
+from typing import Optional
+
+from repro.autoscale import Autoscaler, AutoscalerConfig
+from repro.core.pipeline import ProxyServices
+from repro.errors import RenderFarmError
+from repro.net.messages import Request, Response
+from repro.net.server import Application
+from repro.ops import SCALE_DECISION
+from repro.renderfarm import INTERACTIVE, RenderKey
+from repro.sim.rng import DeterministicRandom
+from repro.workload.arrivals import FlashCrowd
+
+DEGRADED_HEADER = "X-MSite-Degraded"
+
+
+@dataclass
+class AutoscaleBenchConfig:
+    """One flash crowd against the static and the autoscaled fleet."""
+
+    browser_fraction: float = 0.3
+    base_rps: float = 30.0
+    peak_rps: float = 300.0
+    ramp_s: float = 1.0
+    hold_s: float = 1.5
+    duration_s: float = 4.0
+    distinct_pages: int = 64
+    # Fleet shape: both sides start here; only the autoscaled side may
+    # grow, up to the controller bounds below.
+    start_workers: int = 1
+    worker_threads: int = 2
+    queue_limit: int = 64
+    max_workers: int = 4
+    start_consumers: int = 1
+    max_consumers: int = 4
+    farm_queue_limit: int = 64
+    browser_service_s: float = 0.02
+    lightweight_service_s: float = 0.002
+    render_wait_s: float = 0.05
+    #: The scenario budget the autoscaled side must hold p99 inside.
+    p99_budget_ms: float = 1500.0
+    seed: int = 0xA5CA1E
+
+    def arrivals(self) -> list[float]:
+        crowd = FlashCrowd(
+            base_rps=self.base_rps,
+            peak_rps=self.peak_rps,
+            ramp_s=self.ramp_s,
+            hold_s=self.hold_s,
+            duration_s=self.duration_s,
+        )
+        return crowd.times(DeterministicRandom(self.seed))
+
+    def controller(self) -> AutoscalerConfig:
+        return AutoscalerConfig(
+            min_workers=self.start_workers,
+            max_workers=self.max_workers,
+            min_consumers=self.start_consumers,
+            max_consumers=self.max_consumers,
+            interval_s=0.05,
+            queue_high=2.0,
+            queue_low=0.25,
+            backlog_high=2.0,
+            backlog_low=0.25,
+            cooldown_up_s=0.1,
+            cooldown_down_s=1.0,
+        )
+
+
+class _ElasticApplication(Application):
+    """The synthetic worker app both fleets run.
+
+    Browser-marked requests submit a fixed-cost render to the fleet's
+    shared farm with a bounded wait; farm backpressure degrades to the
+    stale rung (a 200 with the degradation marker) exactly like the
+    real pipeline, so the only 5xx either fleet can produce is honest
+    admission overflow — the signal the bench is about.
+    """
+
+    def __init__(
+        self,
+        services: ProxyServices,
+        browser_service_s: float,
+        lightweight_service_s: float,
+        render_wait_s: float,
+    ) -> None:
+        self.services = services
+        self.browser_service_s = browser_service_s
+        self.lightweight_service_s = lightweight_service_s
+        self.render_wait_s = render_wait_s
+
+    def handle(self, request: Request) -> Response:
+        page = request.params.get("page", "p0")
+        if request.params.get("browser") == "1":
+
+            def _render() -> str:
+                if self.browser_service_s > 0:
+                    time.sleep(self.browser_service_s)
+                return page
+
+            try:
+                self.services.renderfarm.render(
+                    RenderKey("autoscale", f"/{page}"),
+                    _render,
+                    lane=INTERACTIVE,
+                    wait_s=self.render_wait_s,
+                )
+            except RenderFarmError:
+                response = Response.text("ok (degraded: stale snapshot)")
+                response.headers.set(DEGRADED_HEADER, "stale")
+                return response
+        elif self.lightweight_service_s > 0:
+            time.sleep(self.lightweight_service_s)
+        return Response.text("ok")
+
+
+@dataclass
+class AutoscaleResult:
+    """What one open-loop replay against one fleet measured."""
+
+    mode: str  # "static" | "autoscaled"
+    offered: int
+    completed_200: int
+    degraded_200: int
+    non_degraded_5xx: int
+    p50_ms: float
+    p99_ms: float
+    max_ms: float
+    wall_clock_s: float
+    peak_workers: int
+    final_workers: int
+    peak_consumers: int
+    scale_ups: int
+    scale_downs: int
+    ops_events: int
+
+
+def _percentile(sorted_values: list[float], fraction: float) -> float:
+    if not sorted_values:
+        return 0.0
+    index = min(
+        len(sorted_values) - 1, int(fraction * (len(sorted_values) - 1))
+    )
+    return sorted_values[index]
+
+
+def _replay(
+    config: AutoscaleBenchConfig, mode: str
+) -> AutoscaleResult:
+    from repro.cluster.deployment import ClusterDeployment
+
+    def make_app(services: ProxyServices) -> Application:
+        return _ElasticApplication(
+            services,
+            browser_service_s=config.browser_service_s,
+            lightweight_service_s=config.lightweight_service_s,
+            render_wait_s=config.render_wait_s,
+        )
+
+    cluster = ClusterDeployment(
+        origins={},
+        workers=config.start_workers,
+        worker_threads=config.worker_threads,
+        queue_limit=config.queue_limit,
+        site="autoscale-bench",
+        make_app=make_app,
+        key_fn=lambda request: (
+            f"autoscale:{request.params.get('page', 'p0')}"
+        ),
+        farm_consumers=config.start_consumers,
+        farm_queue_limit=config.farm_queue_limit,
+    )
+    scaler: Optional[Autoscaler] = None
+    if mode == "autoscaled":
+        scaler = Autoscaler(cluster, config=config.controller())
+
+    rng = DeterministicRandom(config.seed ^ 0x5EED)
+    arrivals = config.arrivals()
+    marked = [rng.uniform() <= config.browser_fraction for _ in arrivals]
+    requests = [
+        Request.get(
+            "http://autoscale.local/"
+            f"?page=p{index % config.distinct_pages}"
+            f"&browser={'1' if needs_browser else '0'}"
+        )
+        for index, needs_browser in enumerate(marked)
+    ]
+
+    statuses: dict[int, int] = {}
+    degraded = [0]
+    latencies: list[float] = []
+    peak_workers = [cluster.fleet_size]
+    record_lock = threading.Lock()
+
+    def _serve(request: Request) -> None:
+        submitted_at = time.perf_counter()
+        response = cluster.handle(request)
+        elapsed = time.perf_counter() - submitted_at
+        with record_lock:
+            statuses[response.status] = statuses.get(response.status, 0) + 1
+            if response.headers.get(DEGRADED_HEADER):
+                degraded[0] += 1
+            latencies.append(elapsed)
+
+    started = time.perf_counter()
+    # Enough client threads that the open loop stays open: in-flight
+    # concurrency must be able to exceed the fleet's total admission
+    # capacity, or saturation would throttle the schedule instead of
+    # surfacing as rejections.
+    client_threads = 4 * config.queue_limit
+    with ThreadPoolExecutor(max_workers=client_threads) as clients:
+        futures = []
+        for offset, request in zip(arrivals, requests):
+            # Open loop: pace to the schedule regardless of completions.
+            delay = started + offset - time.perf_counter()
+            if delay > 0:
+                time.sleep(delay)
+            if scaler is not None:
+                scaler.maybe_tick()
+                peak_workers[0] = max(
+                    peak_workers[0], cluster.fleet_size
+                )
+            futures.append(clients.submit(_serve, request))
+        for future in futures:
+            future.result()
+    # Let the controller see the calm after the crowd (and scale back
+    # down) before the fleet closes.
+    if scaler is not None:
+        deadline = time.monotonic() + 3 * scaler.config.cooldown_down_s
+        while (
+            cluster.fleet_size > scaler.config.min_workers
+            and time.monotonic() < deadline
+        ):
+            scaler.maybe_tick()
+            time.sleep(scaler.config.interval_s)
+    elapsed = time.perf_counter() - started
+
+    decisions = scaler.decisions if scaler is not None else []
+    scale_events = cluster.ops.events_of(SCALE_DECISION)
+    peak_consumers = config.start_consumers
+    for event in scale_events:
+        if event.payload.get("target") == "consumers":
+            if event.payload.get("action") == "up":
+                peak_consumers = max(
+                    peak_consumers, event.payload.get("consumers", 0) + 1
+                )
+    result_events = cluster.ops.head_seq
+    final_workers = cluster.fleet_size
+    cluster.close()
+
+    with record_lock:
+        sorted_ms = sorted(value * 1e3 for value in latencies)
+        completed_200 = statuses.get(200, 0)
+        fives = sum(
+            count for status, count in statuses.items() if status >= 500
+        )
+    return AutoscaleResult(
+        mode=mode,
+        offered=len(arrivals),
+        completed_200=completed_200,
+        degraded_200=degraded[0],
+        # Degraded serves are 200s here, so every 5xx is non-degraded.
+        non_degraded_5xx=fives,
+        p50_ms=_percentile(sorted_ms, 0.50),
+        p99_ms=_percentile(sorted_ms, 0.99),
+        max_ms=sorted_ms[-1] if sorted_ms else 0.0,
+        wall_clock_s=elapsed,
+        peak_workers=peak_workers[0],
+        final_workers=final_workers,
+        peak_consumers=peak_consumers,
+        scale_ups=sum(1 for d in decisions if d.action == "up"),
+        scale_downs=sum(1 for d in decisions if d.action == "down"),
+        ops_events=result_events,
+    )
+
+
+@dataclass
+class AutoscaleComparison:
+    """Static vs autoscaled under the identical arrival schedule."""
+
+    config: AutoscaleBenchConfig
+    static: AutoscaleResult
+    autoscaled: AutoscaleResult
+
+    def bench_record(self) -> dict:
+        return {
+            "autoscale_flashcrowd": {
+                "config": asdict(self.config),
+                "static": asdict(self.static),
+                "autoscaled": asdict(self.autoscaled),
+            }
+        }
+
+
+def smoke_config() -> AutoscaleBenchConfig:
+    """A seconds-scale config for the tier-1 gate."""
+    return AutoscaleBenchConfig(
+        base_rps=20.0,
+        peak_rps=200.0,
+        ramp_s=0.6,
+        hold_s=1.0,
+        duration_s=2.5,
+        distinct_pages=32,
+    )
+
+
+def run_autoscale_comparison(
+    config: Optional[AutoscaleBenchConfig] = None,
+) -> AutoscaleComparison:
+    """Replay the same flash crowd against both fleets."""
+    config = config or AutoscaleBenchConfig()
+    static = _replay(config, "static")
+    autoscaled = _replay(config, "autoscaled")
+    return AutoscaleComparison(
+        config=config, static=static, autoscaled=autoscaled
+    )
+
+
+def format_comparison(comparison: AutoscaleComparison) -> str:
+    config = comparison.config
+    lines = [
+        "Autoscale flash crowd (open loop): "
+        f"{comparison.static.offered} arrivals, "
+        f"{config.base_rps:.0f}->{config.peak_rps:.0f} rps, "
+        f"start {config.start_workers}w/{config.start_consumers}c, "
+        f"bounds [{config.start_workers}, {config.max_workers}]w",
+        f"{'mode':>11}  {'200s':>6}  {'degraded':>8}  {'5xx':>5}  "
+        f"{'p50 ms':>8}  {'p99 ms':>8}  {'peak w':>6}  {'final w':>7}",
+    ]
+    for result in (comparison.static, comparison.autoscaled):
+        lines.append(
+            f"{result.mode:>11}  {result.completed_200:>6}  "
+            f"{result.degraded_200:>8}  {result.non_degraded_5xx:>5}  "
+            f"{result.p50_ms:>8.1f}  {result.p99_ms:>8.1f}  "
+            f"{result.peak_workers:>6}  {result.final_workers:>7}"
+        )
+    auto = comparison.autoscaled
+    lines.append(
+        f"controller: {auto.scale_ups} up / {auto.scale_downs} down, "
+        f"peak consumers {auto.peak_consumers}, "
+        f"{auto.ops_events} ops events"
+    )
+    return "\n".join(lines)

@@ -328,6 +328,124 @@ def _cmd_bench_delta(args: argparse.Namespace) -> int:
     return 1 if failed else 0
 
 
+def _cmd_bench_autoscale(args: argparse.Namespace) -> int:
+    from repro.bench.autoscale import (
+        AutoscaleBenchConfig,
+        format_comparison,
+        run_autoscale_comparison,
+        smoke_config,
+    )
+
+    config = smoke_config() if args.smoke else AutoscaleBenchConfig()
+    try:
+        comparison = run_autoscale_comparison(config)
+    except (RuntimeError, ValueError, MSiteError) as exc:
+        print(f"bench-autoscale run failed: {exc}", file=sys.stderr)
+        return 1
+    print(format_comparison(comparison))
+    auto = comparison.autoscaled
+    failed = False
+    if auto.non_degraded_5xx:
+        print(
+            f"FAIL: autoscaled fleet returned {auto.non_degraded_5xx} "
+            f"non-degraded 5xx under the crowd",
+            file=sys.stderr,
+        )
+        failed = True
+    if auto.p99_ms > config.p99_budget_ms:
+        print(
+            f"FAIL: autoscaled p99 {auto.p99_ms:.1f} ms over the "
+            f"{config.p99_budget_ms:.0f} ms budget",
+            file=sys.stderr,
+        )
+        failed = True
+    if auto.peak_workers <= config.start_workers:
+        print(
+            "FAIL: the controller never scaled the fleet above its "
+            f"starting size ({config.start_workers})",
+            file=sys.stderr,
+        )
+        failed = True
+    if not args.smoke and comparison.static.non_degraded_5xx <= 0:
+        print(
+            "FAIL: the static fleet absorbed the crowd without "
+            "rejecting — the flash crowd is not saturating",
+            file=sys.stderr,
+        )
+        failed = True
+    if args.output and not args.smoke:
+        _merge_json_report(args.output, comparison.bench_record())
+        print(f"wrote {args.output} (autoscale_flashcrowd)")
+    return 1 if failed else 0
+
+
+def _cmd_autoscale_demo(args: argparse.Namespace) -> int:
+    """A deterministic, sim-clock tour of the control loop.
+
+    No threads, no fleet: a scripted flash-crowd metric trace drives
+    the controller in decide-only mode while the demo book-keeps the
+    simulated fleet size, then dumps the resulting ops event log as
+    NDJSON — the same lines ``/ops/events.ndjson`` serves.
+    """
+    from repro.autoscale import Autoscaler, AutoscalerConfig, ControllerInputs
+    from repro.ops import OpsEventLog
+    from repro.ops.stream import render_ndjson
+    from repro.sim.clock import Clock
+
+    # Queue depth / farm backlog per tick: calm, crowd, calm.
+    queue_trace = [0, 1, 9, 24, 40, 36, 22, 9, 2, 1, 0, 0, 0, 0, 0, 0]
+    backlog_trace = [0, 0, 3, 8, 12, 10, 6, 3, 1, 0, 0, 0, 0, 0, 0, 0]
+
+    clock = Clock()
+    ops = OpsEventLog(clock=clock)
+    config = AutoscalerConfig(
+        min_workers=1,
+        max_workers=4,
+        min_consumers=1,
+        max_consumers=4,
+        interval_s=0.25,
+        cooldown_up_s=0.25,
+        cooldown_down_s=1.0,
+    )
+    fleet = {"workers": 1, "consumers": 1}
+    step = [0]
+
+    def sample() -> ControllerInputs:
+        index = min(step[0], len(queue_trace) - 1)
+        return ControllerInputs(
+            workers=fleet["workers"],
+            queue_depth=queue_trace[index],
+            consumers=fleet["consumers"],
+            farm_backlog=backlog_trace[index],
+        )
+
+    scaler = Autoscaler(
+        config=config, clock=clock, ops=ops, sampler=sample
+    )
+    print(
+        f"{'t':>5}  {'queue':>5}  {'backlog':>7}  {'fleet':>7}  decision"
+    )
+    for tick in range(args.ticks):
+        step[0] = tick
+        inputs = sample()
+        decision = scaler.tick()
+        if decision.action != "hold":
+            delta = 1 if decision.action == "up" else -1
+            fleet[decision.target] += delta
+        print(
+            f"{clock.now:>5.2f}  {inputs.queue_depth:>5}  "
+            f"{inputs.farm_backlog:>7}  "
+            f"{fleet['workers']}w/{fleet['consumers']}c".rjust(7)
+            + f"  {decision.action:<4} {decision.target:<9} "
+            f"{decision.reason}"
+        )
+        clock.advance(config.interval_s)
+    events, _ = ops.events_after(0)
+    print(f"\nops event log ({len(events)} events, NDJSON):")
+    print(render_ndjson(events), end="")
+    return 0
+
+
 def _merge_json_report(path: str, updates: dict) -> None:
     """Update ``path`` with ``updates``, preserving other top-level keys.
 
@@ -361,6 +479,8 @@ def _cmd_workload(args: argparse.Namespace) -> int:
             seed=args.seed,
             smoke=args.smoke,
             client_threads=args.clients,
+            autoscale=args.autoscale,
+            min_workers=args.min_workers,
         )
     except (KeyError, ValueError, MSiteError) as exc:
         print(f"workload run failed: {exc}", file=sys.stderr)
@@ -831,6 +951,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="client threads replaying the trace (default 8)",
     )
     workload.add_argument(
+        "--autoscale", action="store_true",
+        help="start the fleet at --min-workers and let the controller "
+        "grow it up to --workers as the trace applies pressure",
+    )
+    workload.add_argument(
+        "--min-workers", type=int, default=1,
+        help="autoscale floor / starting fleet size (default 1)",
+    )
+    workload.add_argument(
         "--smoke", action="store_true",
         help="small fast run for the tier-1 gate (fails on any "
         "non-degraded 5xx or a busted p99 budget, like the full run)",
@@ -847,6 +976,36 @@ def build_parser() -> argparse.ArgumentParser:
         "BENCH_pipeline.json; empty string skips the write)",
     )
     workload.set_defaults(fn=_cmd_workload)
+
+    bench_autoscale = commands.add_parser(
+        "bench-autoscale",
+        help="flash-crowd bench: autoscaled fleet vs same-size static "
+        "fleet under one seeded arrival schedule",
+    )
+    bench_autoscale.add_argument(
+        "--smoke", action="store_true",
+        help="seconds-scale run for the tier-1 gate (gates only the "
+        "autoscaled side; the full run also requires the static fleet "
+        "to saturate, and writes the BENCH row)",
+    )
+    bench_autoscale.add_argument(
+        "-o", "--output", default="BENCH_pipeline.json",
+        help="merge the autoscale_flashcrowd record into this JSON "
+        "file on a full run (default BENCH_pipeline.json; empty "
+        "string skips the write)",
+    )
+    bench_autoscale.set_defaults(fn=_cmd_bench_autoscale)
+
+    autoscale_demo = commands.add_parser(
+        "autoscale-demo",
+        help="deterministic sim-clock controller walkthrough with the "
+        "resulting ops event log as NDJSON",
+    )
+    autoscale_demo.add_argument(
+        "--ticks", type=int, default=16,
+        help="controller ticks to simulate (default 16)",
+    )
+    autoscale_demo.set_defaults(fn=_cmd_autoscale_demo)
 
     return parser
 

@@ -23,6 +23,7 @@ with a ``shard`` span naming the worker that served it.
 from __future__ import annotations
 
 import json
+import threading
 import time
 from typing import Any, Callable, Optional
 
@@ -50,6 +51,14 @@ from repro.observability.exposition import (
 )
 from repro.observability.metrics import MetricsRegistry
 from repro.observability.tracing import activate, span
+from repro.ops import (
+    INVALIDATION,
+    WORKER_ATTACHED,
+    WORKER_DETACHED,
+    WORKER_DRAINING,
+    OpsEventLog,
+    ops_events_response,
+)
 from repro.resilience.policy import DEFAULT_RETRY_AFTER_S
 
 
@@ -77,6 +86,7 @@ class ClusterDeployment(Application):
         storage: Optional[VirtualFileSystem] = None,
         sessions: Optional[SessionManager] = None,
         worker_prefix: str = "",
+        ops: Optional[OpsEventLog] = None,
     ) -> None:
         if workers < 1:
             raise ValueError("a cluster needs at least one worker")
@@ -94,6 +104,15 @@ class ClusterDeployment(Application):
         self.shared_cache = shared_cache or InProcessSharedCache(
             clock=clock, metrics=self.registry
         )
+        # The fleet-wide ops event log: every scale decision, worker
+        # attach/drain/detach, breaker transition, degradation, and
+        # invalidation appends one sequenced event here.  A multi-region
+        # deployment passes one shared log in so the whole fleet's
+        # history interleaves in a single sequence space.
+        self.ops = ops if ops is not None else OpsEventLog(
+            clock=clock, metrics=self.registry
+        )
+        self.shared_cache.bus.subscribe(self._emit_invalidation)
         # One session universe and one file store: a user keeps their
         # cookie jar and adapted artifacts no matter which worker a
         # given request spills to.  A multi-region deployment passes
@@ -120,61 +139,153 @@ class ClusterDeployment(Application):
                 metrics=self.registry,
                 clock=clock,
                 name=self.site,
+                ops=self.ops,
             )
         self.router = ShardRouter()
         self._key_fn = key_fn or (
             lambda request: request_shard_key(self.site, request)
         )
+        # Everything _make_worker needs, kept so the fleet can grow
+        # after construction (the autoscaler's add_worker).
+        self._spec = spec
+        self._origins = dict(origins or {})
+        self._make_app = make_app
+        self._proxy_base = proxy_base
+        self._obs_clock = obs_clock
+        self._worker_threads = worker_threads
+        self._queue_limit = queue_limit
+        self._request_timeout_s = request_timeout_s
+        self._spill_depth = spill_depth
+        self._worker_prefix = worker_prefix
+        self._worker_seq = 0
+        # Guards fleet membership (_workers + router) against the
+        # autoscaler attaching/draining concurrently with dispatch.
+        self._membership = threading.Lock()
         self._workers: dict[str, ClusterWorker] = {}
         # A multi-region deployment prefixes worker ids with the region
         # name so worker-labeled metrics stay distinct in a fleet rollup.
-        for index in range(workers):
-            worker_id = f"{worker_prefix}w{index}"
-            registry = MetricsRegistry()
-            services = ProxyServices(
-                origins=dict(origins or {}),
-                storage=self.storage,
-                cache=self.shared_cache.attach(worker_id),
-                clock=clock,
-                observability=Observability(
-                    registry=registry, clock=obs_clock
-                ),
-                renderfarm=self.renderfarm,
+        for _ in range(workers):
+            self.add_worker()
+
+    # -- elastic membership ------------------------------------------------
+
+    def _make_worker(self, worker_id: str) -> ClusterWorker:
+        registry = MetricsRegistry()
+        services = ProxyServices(
+            origins=dict(self._origins),
+            storage=self.storage,
+            cache=self.shared_cache.attach(worker_id),
+            clock=self.clock,
+            observability=Observability(
+                registry=registry, clock=self._obs_clock
+            ),
+            renderfarm=self.renderfarm,
+        )
+        # Breaker transitions and degradation rungs from this worker
+        # land in the fleet ops log, labeled with the worker id.
+        services.resilience.bind_ops(self.ops, worker=worker_id)
+        if self._make_app is not None:
+            app = self._make_app(services)
+        else:
+            app = MSiteProxy(
+                self._spec, services, proxy_base=self._proxy_base
             )
-            if make_app is not None:
-                app = make_app(services)
-            else:
-                app = MSiteProxy(spec, services, proxy_base=proxy_base)
-            # Share the session universe (same move ProxyDeployment
-            # makes for its member proxies).
-            if hasattr(app, "sessions"):
-                app.sessions = self.sessions
-            worker = ClusterWorker(
-                worker_id,
-                app,
-                services,
-                registry,
-                threads=worker_threads,
-                queue_limit=queue_limit,
-                request_timeout_s=request_timeout_s,
-                spill_depth=spill_depth,
-            )
+        # Share the session universe (same move ProxyDeployment
+        # makes for its member proxies).
+        if hasattr(app, "sessions"):
+            app.sessions = self.sessions
+        return ClusterWorker(
+            worker_id,
+            app,
+            services,
+            registry,
+            threads=self._worker_threads,
+            queue_limit=self._queue_limit,
+            request_timeout_s=self._request_timeout_s,
+            spill_depth=self._spill_depth,
+        )
+
+    def add_worker(self) -> str:
+        """Attach one new worker to the routed fleet; returns its id.
+
+        Rendezvous hashing means the newcomer steals only the keys it
+        now wins — every other worker's assignment is untouched.
+        """
+        with self._membership:
+            worker_id = f"{self._worker_prefix}w{self._worker_seq}"
+            self._worker_seq += 1
+        worker = self._make_worker(worker_id)
+        with self._membership:
             self._workers[worker_id] = worker
             self.router.add_worker(worker_id)
-            self.shared_cache.bus.subscribe(worker.on_invalidation)
+        self.shared_cache.bus.subscribe(worker.on_invalidation)
+        self.ops.emit(
+            WORKER_ATTACHED,
+            worker=worker_id,
+            fleet_size=len(self.router),
+        )
+        return worker_id
+
+    def drain_worker(self, worker_id: str, wait: bool = True) -> None:
+        """Gracefully remove one worker: stop admission, finish
+        in-flight work, spill its shards via the router remap, detach.
+
+        The ``worker_draining`` event is emitted *after* admission is
+        off, so no request is accepted after the drain event — the
+        invariant the autoscale property suite pins.
+        """
+        with self._membership:
+            worker = self._workers.get(worker_id)
+            if worker is None:
+                raise KeyError(f"no worker {worker_id!r} to drain")
+            if len(self._workers) <= 1:
+                raise ValueError("cannot drain the last worker")
+        worker.drain()  # admission off before the event, by contract
+        with self._membership:
+            self.router.remove_worker(worker_id)
+        self.ops.emit(
+            WORKER_DRAINING,
+            worker=worker_id,
+            fleet_size=len(self.router),
+            queued=worker.executor.queue_depth,
+        )
+        worker.close(wait=wait)  # queued + in-flight requests finish
+        self.shared_cache.bus.unsubscribe(worker.on_invalidation)
+        with self._membership:
+            self._workers.pop(worker_id, None)
+        self.ops.emit(
+            WORKER_DETACHED,
+            worker=worker_id,
+            fleet_size=len(self.router),
+        )
+
+    def _emit_invalidation(self, event: InvalidationEvent) -> None:
+        self.ops.emit(
+            INVALIDATION,
+            kind=event.kind,
+            key=event.key,
+            replayed=event.replayed,
+        )
 
     # -- fleet introspection ----------------------------------------------
 
     @property
     def workers(self) -> list[ClusterWorker]:
-        return [self._workers[wid] for wid in sorted(self._workers)]
+        with self._membership:
+            return [self._workers[wid] for wid in sorted(self._workers)]
 
     def worker(self, worker_id: str) -> ClusterWorker:
         return self._workers[worker_id]
 
     @property
     def worker_ids(self) -> list[str]:
-        return sorted(self._workers)
+        with self._membership:
+            return sorted(self._workers)
+
+    @property
+    def fleet_size(self) -> int:
+        """Workers currently in the routed fleet (drained ones excluded)."""
+        return len(self.router)
 
     def shard_key_for(self, request: Request) -> str:
         return self._key_fn(request)
@@ -213,6 +324,8 @@ class ClusterDeployment(Application):
                 self.observability.traces.dump_json().encode("utf-8"),
                 "application/json; charset=utf-8",
             )
+        if path in ("ops/events", "ops/events.ndjson"):
+            return ops_events_response(self.ops, request)
         if path == "cluster":
             return self._status_response()
         return self._route(request)
@@ -249,7 +362,9 @@ class ClusterDeployment(Application):
     ) -> Response:
         any_healthy = False
         for position, worker_id in enumerate(preference):
-            worker = self._workers[worker_id]
+            worker = self._workers.get(worker_id)
+            if worker is None:
+                continue  # detached between preference() and dispatch
             if not worker.healthy:
                 self._counter(
                     "msite_cluster_reroutes_total",
@@ -288,7 +403,9 @@ class ClusterDeployment(Application):
             # and let the owner-most healthy worker's admission control
             # answer honestly (503 queue full, or serve if it drained).
             for worker_id in preference:
-                worker = self._workers[worker_id]
+                worker = self._workers.get(worker_id)
+                if worker is None:
+                    continue
                 if worker.healthy:
                     self._counter(
                         "msite_cluster_forced_total",

@@ -86,6 +86,16 @@ class InvalidationBus:
         with self._lock:
             self._subscribers.append(callback)
 
+    def unsubscribe(
+        self, callback: Callable[[InvalidationEvent], None]
+    ) -> None:
+        """Remove a subscriber (a drained worker); absent is a no-op."""
+        with self._lock:
+            try:
+                self._subscribers.remove(callback)
+            except ValueError:
+                pass
+
     @property
     def subscriber_count(self) -> int:
         with self._lock:

@@ -58,7 +58,11 @@ class ClusterWorker:
     @property
     def healthy(self) -> bool:
         with self._lock:
-            return self._healthy and not self.executor.closed
+            return (
+                self._healthy
+                and not self.executor.closed
+                and not self.executor.draining
+            )
 
     def mark_down(self) -> None:
         """Take the worker out of rotation (crash / drain simulation)."""
@@ -128,6 +132,14 @@ class ClusterWorker:
             forget()
 
     # -- lifecycle --------------------------------------------------------
+
+    @property
+    def draining(self) -> bool:
+        return self.executor.draining
+
+    def drain(self) -> None:
+        """Stop admission; queued and in-flight requests still finish."""
+        self.executor.drain()
 
     def close(self, wait: bool = True) -> None:
         self.executor.close(wait=wait)

@@ -50,6 +50,15 @@ class RegionChaosReport:
     acked: dict[str, int] = field(default_factory=dict)
     store_entries: dict[str, int] = field(default_factory=dict)
     metrics_exposition_lines: int = 0
+    # Ops event log: the kill/failover/revive/heal story in emission
+    # order.  ``heal_*`` comes from the ``region_healed`` event payload,
+    # which records the replay-to-live offsets *at the moment the heal
+    # finished* — not a later poll that could mask a lagging replay.
+    ops_events: list = field(default_factory=list, repr=False)
+    ops_event_count: int = 0
+    heal_published: int = 0
+    heal_acked_seq: int = -1
+    heal_log_head: int = -1
 
     @property
     def total(self) -> int:
@@ -67,6 +76,14 @@ class RegionChaosReport:
     def replay_caught_up(self) -> bool:
         """Did every region ack the live head after the heal?"""
         return all(seq == self.log_head for seq in self.acked.values())
+
+    @property
+    def heal_caught_up(self) -> bool:
+        """Did the heal event itself record acked == live head?"""
+        return (
+            self.heal_acked_seq >= 0
+            and self.heal_acked_seq == self.heal_log_head
+        )
 
     @property
     def failed(self) -> bool:
@@ -177,6 +194,17 @@ def run_region_chaos(
         report.reroutes = _sum("msite_region_reroutes_total")
         report.replications = _sum("msite_region_replications_total")
         report.events_applied = _sum("msite_region_applied_total")
+        events, _ = deployment.ops.events_after(0)
+        report.ops_events = events
+        report.ops_event_count = deployment.ops.head_seq
+        for event in events:
+            if (
+                event.type == "region_healed"
+                and event.payload.get("region") == victim
+            ):
+                report.heal_published = event.payload.get("published", 0)
+                report.heal_acked_seq = event.payload.get("acked_seq", -1)
+                report.heal_log_head = event.payload.get("log_head", -1)
         metrics_page = mobile.get("http://m.sawmillcreek.org/metrics")
         report.metrics_exposition_lines = len(
             metrics_page.text_body.splitlines()
@@ -229,6 +257,12 @@ def format_region_report(report: RegionChaosReport) -> str:
     )
     lines.append(f"    events applied cross-region: {report.events_applied}")
     lines.append(f"    snapshot replications: {report.replications}")
+    lines.append(
+        f"    heal event: published {report.heal_published}, acked "
+        f"{report.heal_acked_seq} of log head {report.heal_log_head} "
+        f"({'live' if report.heal_caught_up else 'LAGGING'})"
+    )
+    lines.append(f"    ops event log: {report.ops_event_count} events")
     lines.append("")
     lines.append(
         f"  /metrics exposition: {report.metrics_exposition_lines} lines"

@@ -56,6 +56,16 @@ from repro.observability.exposition import (
 )
 from repro.observability.metrics import MetricsRegistry
 from repro.observability.tracing import activate, span
+from repro.ops import (
+    REGION_FAILOVER,
+    REGION_HEALED,
+    REGION_KILLED,
+    REGION_PARTITIONED,
+    REGION_RESYNC,
+    REGION_REVIVED,
+    OpsEventLog,
+    ops_events_response,
+)
 from repro.regions.cdclog import ChangeEvent, InvalidationLog
 from repro.resilience.policy import DEFAULT_RETRY_AFTER_S, REMOTE_REGION
 
@@ -137,6 +147,11 @@ class RegionalDeployment(Application):
         self.log = InvalidationLog(
             retention=log_retention, clock=clock, metrics=self.registry
         )
+        # One ops event log across every region's fleet: worker and
+        # breaker events from all regions interleave in one sequence
+        # space (worker ids are region-prefixed, so they stay
+        # attributable), and region lifecycle events land beside them.
+        self.ops = OpsEventLog(clock=clock, metrics=self.registry)
         if snapshot_root is None:
             snapshot_root = tempfile.mkdtemp(prefix="msite-regions-")
         self.snapshot_root = snapshot_root
@@ -178,6 +193,7 @@ class RegionalDeployment(Application):
                 storage=self.storage,
                 sessions=self.sessions,
                 worker_prefix=f"{name}-",
+                ops=self.ops,
             )
             region = Region(name, cluster, backend)
             self._regions[name] = region
@@ -335,6 +351,11 @@ class RegionalDeployment(Application):
             "Full resyncs forced by invalidation-log truncation.",
             region=region.name,
         ).inc()
+        self.ops.emit(
+            REGION_RESYNC,
+            region=region.name,
+            log_head=self.log.head_seq,
+        )
 
     # -- region lifecycle (fault injection surface) ----------------------
 
@@ -350,6 +371,7 @@ class RegionalDeployment(Application):
             "Regions killed by fault injection.",
             region=name,
         ).inc()
+        self.ops.emit(REGION_KILLED, region=name)
 
     def revive(self, name: str, heal: bool = True) -> None:
         """Bring a killed region back; by default heal immediately so it
@@ -358,6 +380,7 @@ class RegionalDeployment(Application):
         region.alive = True
         for worker in region.cluster.workers:
             worker.mark_up()
+        self.ops.emit(REGION_REVIVED, region=name)
         if heal:
             self.heal(name)
 
@@ -370,6 +393,7 @@ class RegionalDeployment(Application):
             "Region network partitions injected.",
             region=name,
         ).inc()
+        self.ops.emit(REGION_PARTITIONED, region=name)
 
     def heal(self, name: str) -> None:
         """Reconnect: publish changes buffered while away, then replay
@@ -386,6 +410,16 @@ class RegionalDeployment(Application):
             region=name,
         ).inc()
         self._drain()
+        # Emitted after the drain: acked_seq here is the post-replay
+        # offset, so the event itself proves replay-to-live — the
+        # chaos suites assert acked_seq == log_head off this payload.
+        self.ops.emit(
+            REGION_HEALED,
+            region=name,
+            published=len(pending),
+            acked_seq=region.acked_seq,
+            log_head=self.log.head_seq,
+        )
 
     # -- dispatch --------------------------------------------------------
 
@@ -411,6 +445,8 @@ class RegionalDeployment(Application):
                 self.observability.traces.dump_json().encode("utf-8"),
                 "application/json; charset=utf-8",
             )
+        if path in ("ops/events", "ops/events.ndjson"):
+            return ops_events_response(self.ops, request)
         return self._route(request)
 
     def _route(self, request: Request) -> Response:
@@ -471,6 +507,9 @@ class RegionalDeployment(Application):
                 response.headers.set("X-MSite-Failover-From", owner)
                 if not response.headers.get("X-MSite-Degraded"):
                     response.headers.set("X-MSite-Degraded", REMOTE_REGION)
+                self.ops.emit(
+                    REGION_FAILOVER, region=name, owner=owner
+                )
             return response
         self._counter(
             "msite_region_unrouteable_total",

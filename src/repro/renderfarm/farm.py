@@ -53,6 +53,7 @@ class RenderFarm:
         metrics: Optional[MetricsRegistry] = None,
         clock: Optional[Any] = None,
         name: str = "farm",
+        ops: Optional[Any] = None,
     ) -> None:
         if consumers < 1:
             raise ValueError("a render farm needs at least one consumer")
@@ -73,18 +74,32 @@ class RenderFarm:
         self._submit_lock = threading.Lock()
         self._failures: dict[RenderKey, int] = {}
         self._crash_requests = 0
+        self._retire_requests = 0
+        self._consumer_seq = 0
         self._closed = False
+        self._ops = ops
         self._bind(metrics or MetricsRegistry())
         self._threads: list[threading.Thread] = []
-        for index in range(consumers):
-            thread = threading.Thread(
-                target=self._consume,
-                name=f"msite-render-{name}-{index}",
-                daemon=True,
-            )
-            self._threads.append(thread)
-            thread.start()
+        for _ in range(consumers):
+            self._spawn_consumer()
         self._consumers_gauge.set(consumers)
+
+    def _spawn_consumer(self) -> str:
+        """Start one consumer thread; returns its name."""
+        with self._lock:
+            index = self._consumer_seq
+            self._consumer_seq += 1
+        consumer = f"msite-render-{self.name}-{index}"
+        thread = threading.Thread(
+            target=self._consume, name=consumer, daemon=True
+        )
+        self._threads.append(thread)
+        thread.start()
+        return consumer
+
+    def _ops_emit(self, type: str, **payload) -> None:
+        if self._ops is not None:
+            self._ops.emit(type, farm=self.name, **payload)
 
     # -- metrics ---------------------------------------------------------
 
@@ -219,10 +234,46 @@ class RenderFarm:
                 f"(farm backlog {self.queue.depth})"
             ) from None
 
+    # -- elastic capacity ------------------------------------------------
+
+    def add_consumer(self) -> str:
+        """Scale up: start one more consumer (the autoscaler's lever)."""
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("cannot add a consumer to a closed farm")
+        consumer = self._spawn_consumer()
+        self._consumers_gauge.inc()
+        self._ops_emit("consumer_started", consumer=consumer)
+        return consumer
+
+    def retire_consumer(self) -> None:
+        """Scale down: the next idle consumer exits cleanly.
+
+        Unlike :meth:`crash_consumer` this never fails a job — the
+        retiring consumer checks the request *between* jobs, so
+        capacity shrinks without any waiter seeing an error.
+        """
+        with self._lock:
+            self._retire_requests += 1
+
+    def _take_retire_request(self) -> bool:
+        with self._lock:
+            if self._retire_requests > 0:
+                self._retire_requests -= 1
+                return True
+            return False
+
     # -- consumer side ---------------------------------------------------
 
     def _consume(self) -> None:
         while True:
+            if self._take_retire_request():
+                self._consumers_gauge.dec()
+                self._ops_emit(
+                    "consumer_retired",
+                    consumer=threading.current_thread().name,
+                )
+                return
             job = self.queue.pop(timeout_s=0.1)
             if job is None:
                 if self.queue.closed:
@@ -241,6 +292,11 @@ class RenderFarm:
                 self.queue.done(job)
                 self._crashes.inc()
                 self._consumers_gauge.dec()
+                self._ops_emit(
+                    "consumer_crashed",
+                    consumer=threading.current_thread().name,
+                    key=str(job.key),
+                )
                 self._sync_depth_gauges()
                 return
             self._wait_seconds.observe(
@@ -259,6 +315,11 @@ class RenderFarm:
                 self.queue.done(job)
                 self._crashes.inc()
                 self._consumers_gauge.dec()
+                self._ops_emit(
+                    "consumer_crashed",
+                    consumer=threading.current_thread().name,
+                    key=str(job.key),
+                )
                 self._sync_depth_gauges()
                 return
             except BaseException as exc:
@@ -288,6 +349,9 @@ class RenderFarm:
                 failures=failures,
             )
             self._dead_lettered.inc()
+            self._ops_emit(
+                "dead_letter", key=str(job.key), failures=failures
+            )
             with self._lock:
                 self._failures.pop(job.key, None)
 

@@ -65,6 +65,11 @@ class CircuitBreaker:
         self.min_samples = min_samples
         self.open_cooldown_s = open_cooldown_s
         self.half_open_probes = half_open_probes
+        #: Optional ``(from_state, to_state) -> None`` hook, fired on
+        #: every transition.  Called with the breaker lock held, so the
+        #: hook must not call back into this breaker; appending to an
+        #: ops event log (a leaf lock) is the intended use.
+        self.on_transition: Optional[Callable[[str, str], None]] = None
         self._clock = clock or time.monotonic
         self._lock = threading.Lock()
         self._window: deque[bool] = deque(maxlen=window)  # True == failure
@@ -91,12 +96,24 @@ class CircuitBreaker:
             "Breaker state (0 closed, 1 half-open, 2 open).",
             labels=labels,
         )
+        self._hook_errors = registry.counter(
+            "msite_breaker_hook_errors_total",
+            "on_transition hooks that raised (swallowed).",
+            labels=labels,
+        )
 
     # -- state machine (callers hold self._lock) -------------------------
 
     def _transition(self, state: str) -> None:
+        previous = self._state
         self._state = state
         self._transitions[state].inc()
+        if self.on_transition is not None:
+            try:
+                self.on_transition(previous, state)
+            except Exception:
+                # A broken observer must not corrupt the state machine.
+                self._hook_errors.inc()
         self._state_gauge.set(_STATE_VALUE[state])
         if state == OPEN:
             self._opened_at = self._clock()

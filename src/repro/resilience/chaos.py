@@ -45,6 +45,15 @@ class ChaosReport:
     degraded_serves: dict[str, int] = field(default_factory=dict)
     stale_hits: int = 0
     metrics_exposition_lines: int = 0
+    # Ops event log: every breaker transition, degradation, and farm
+    # lifecycle change, in emission order with gap-free sequences.  The
+    # chaos suites assert on these instead of inferring from counters.
+    ops_events: list = field(default_factory=list, repr=False)
+    ops_event_count: int = 0
+    #: Per-breaker ``[(from_state, to_state), ...]`` in event order.
+    breaker_event_sequences: dict[str, list] = field(default_factory=dict)
+    #: Degradation rung events, counted by mode.
+    degradation_events: dict[str, int] = field(default_factory=dict)
     # Farm-fault fields (populated when farm_faults=True).
     farm_faults: bool = False
     farm_consumers_started: int = 0
@@ -135,6 +144,14 @@ def run_chaos(
     services = proxy.services
     base = "http://m.sawmillcreek.org/proxy.php"
 
+    # Every breaker transition, degradation, and farm lifecycle change
+    # lands on one ops event log — the chaos assertions read the story
+    # from here, in order, instead of inferring it from counter deltas.
+    from repro.ops import OpsEventLog
+
+    ops = OpsEventLog(metrics=services.observability.registry)
+    services.resilience.bind_ops(ops)
+
     farm = None
     if farm_faults:
         from repro.renderfarm import RenderFarm
@@ -143,6 +160,7 @@ def run_chaos(
             consumers=farm_consumers,
             metrics=services.observability.registry,
             name="chaos",
+            ops=ops,
         )
         services.renderfarm = farm
 
@@ -205,6 +223,23 @@ def run_chaos(
         registry, "msite_degraded_serves_total", "mode"
     )
     report.stale_hits = _family_sum(registry, "msite_cache_stale_hits_total")
+    events, _ = ops.events_after(0)
+    report.ops_events = events
+    report.ops_event_count = ops.head_seq
+    for event in events:
+        if event.type == "breaker_transition":
+            name = event.payload.get("breaker", "?")
+            report.breaker_event_sequences.setdefault(name, []).append(
+                (
+                    event.payload.get("from_state"),
+                    event.payload.get("to_state"),
+                )
+            )
+        elif event.type == "degradation":
+            mode = event.payload.get("mode", "?")
+            report.degradation_events[mode] = (
+                report.degradation_events.get(mode, 0) + 1
+            )
     if farm is not None:
         report.farm_consumers_alive = farm.consumers_alive
         report.farm_consumer_crashes = _family_sum(
@@ -289,5 +324,11 @@ def format_report(report: ChaosReport) -> str:
     lines.append("")
     lines.append(
         f"  /metrics exposition: {report.metrics_exposition_lines} lines"
+    )
+    lines.append(
+        f"  ops event log: {report.ops_event_count} events "
+        f"({sum(len(seq) for seq in report.breaker_event_sequences.values())}"
+        f" breaker transitions, "
+        f"{sum(report.degradation_events.values())} degradations)"
     )
     return "\n".join(lines)

@@ -63,6 +63,8 @@ class ResiliencePolicy:
             metrics=self._registry,
         )
         self._breakers: dict[str, CircuitBreaker] = {}
+        self._ops = None
+        self._ops_worker = ""
 
     # -- wiring ----------------------------------------------------------
 
@@ -89,8 +91,34 @@ class ResiliencePolicy:
         for breaker in self._breakers.values():
             breaker._clock = self._clock
 
+    def bind_ops(self, ops, worker: str = "") -> None:
+        """Mirror breaker transitions and degradations into an ops log.
+
+        ``ops`` is an :class:`OpsEventLog <repro.ops.OpsEventLog>`;
+        ``worker`` labels the events with the emitting fleet member so
+        a fleet-wide log stays attributable.  Existing breakers get the
+        hook retroactively; breakers created later inherit it.
+        """
+        self._ops = ops
+        self._ops_worker = worker
+        for name, breaker in self._breakers.items():
+            breaker.on_transition = self._transition_emitter(name)
+
+    def _transition_emitter(self, name: str):
+        def emit(previous: str, state: str) -> None:
+            if self._ops is not None:
+                self._ops.emit(
+                    "breaker_transition",
+                    breaker=name,
+                    from_state=previous,
+                    to_state=state,
+                    worker=self._ops_worker,
+                )
+
+        return emit
+
     def _make_breaker(self, name: str) -> CircuitBreaker:
-        return CircuitBreaker(
+        breaker = CircuitBreaker(
             name,
             window=self.breaker_window,
             failure_threshold=self.failure_threshold,
@@ -100,6 +128,9 @@ class ResiliencePolicy:
             clock=lambda: self._clock(),
             metrics=self._registry,
         )
+        if self._ops is not None:
+            breaker.on_transition = self._transition_emitter(name)
+        return breaker
 
     def breaker(self, name: str) -> CircuitBreaker:
         """Get or create the breaker with this name."""
@@ -125,6 +156,10 @@ class ResiliencePolicy:
             "Requests answered through a degradation ladder rung.",
             labels={"mode": mode},
         ).inc()
+        if self._ops is not None:
+            self._ops.emit(
+                "degradation", mode=mode, worker=self._ops_worker
+            )
 
     def degraded_serves(self, mode: str) -> int:
         counter = self._registry.get(

@@ -169,6 +169,7 @@ class ConcurrentProxy(Application):
         self.stats = RuntimeStats(registry=metrics)
         self._queue: queue.Queue = queue.Queue(maxsize=queue_limit)
         self._closed = False
+        self._draining = False
         self._close_lock = threading.Lock()
         self._threads = [
             threading.Thread(
@@ -191,6 +192,8 @@ class ConcurrentProxy(Application):
         """
         if self._closed:
             raise AdmissionError("executor is closed")
+        if self._draining:
+            raise AdmissionError("executor is draining")
         future: "Future[Response]" = Future()
         item = (future, request, time.perf_counter())
         try:
@@ -222,6 +225,18 @@ class ConcurrentProxy(Application):
     @property
     def closed(self) -> bool:
         return self._closed
+
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    def drain(self) -> None:
+        """Stop admitting new requests; in-flight/queued work continues.
+
+        The first step of a graceful scale-down: once admission is off,
+        :meth:`close` finishes the queued work and joins the threads.
+        """
+        self._draining = True
 
     def handle(self, request: Request) -> Response:
         """Synchronous facade: submit, wait, map failures to statuses."""

@@ -63,10 +63,15 @@ class ScenarioReport:
     degraded: int
     statuses: dict[int, int] = field(default_factory=dict)
     fingerprint: str = ""
+    autoscaled: bool = False
+    peak_workers: int = 0
+    final_workers: int = 0
+    scale_ups: int = 0
+    scale_downs: int = 0
 
     def bench_row(self) -> dict:
         """The row merge-written into ``BENCH_pipeline.json``."""
-        return {
+        row = {
             "scenario": self.scenario,
             "site": self.site,
             "seed": self.seed,
@@ -87,6 +92,13 @@ class ScenarioReport:
                 for status, count in sorted(self.statuses.items())
             },
         }
+        if self.autoscaled:
+            row["autoscaled"] = True
+            row["peak_workers"] = self.peak_workers
+            row["final_workers"] = self.final_workers
+            row["scale_ups"] = self.scale_ups
+            row["scale_downs"] = self.scale_downs
+        return row
 
 
 def build_scenario_spec(scenario: Scenario) -> AdaptationSpec:
@@ -175,6 +187,8 @@ def run_scenario(
     client_threads: int = 8,
     origins: Optional[dict] = None,
     spec: Optional[AdaptationSpec] = None,
+    autoscale: bool = False,
+    min_workers: int = 1,
 ) -> ScenarioReport:
     """Compile the scenario's trace and replay it against a fleet.
 
@@ -182,6 +196,11 @@ def run_scenario(
     once per device class before the measured replay, so the report
     reflects steady-state behaviour (the tier-1 gate's "zero
     non-degraded 5xx at warm cache" criterion).
+
+    With ``autoscale=True`` the fleet starts at ``min_workers`` and the
+    controller may grow it up to ``workers`` (the configured size acts
+    as the ceiling); scale decisions are paced on the scenario's
+    simulated clock so the decision trace is a function of the seed.
     """
     scenario = (
         name_or_scenario
@@ -202,13 +221,39 @@ def run_scenario(
     non_degraded_5xx = 0
     counters_lock = threading.Lock()
 
+    start_workers = min(min_workers, fleet) if autoscale else fleet
     with ClusterDeployment(
         spec=spec,
         origins=origins,
-        workers=fleet,
+        workers=start_workers,
         clock=clock,
         site=scenario.name,
     ) as cluster:
+        scaler = None
+        scaler_lock = threading.Lock()
+        peak_workers = [cluster.fleet_size]
+        if autoscale:
+            from repro.autoscale import Autoscaler, AutoscalerConfig
+
+            scaler = Autoscaler(
+                cluster,
+                config=AutoscalerConfig(
+                    min_workers=start_workers,
+                    max_workers=max(fleet, start_workers),
+                    max_consumers=4,
+                ),
+                clock=clock,
+            )
+
+        def _maybe_scale() -> None:
+            # Client threads race to the controller; the lock keeps the
+            # sample/decide/apply sequence atomic per tick.
+            if scaler is None:
+                return
+            with scaler_lock:
+                scaler.maybe_tick()
+                peak_workers[0] = max(peak_workers[0], cluster.fleet_size)
+
         sessions: dict[str, tuple[HttpClient, threading.Lock]] = {}
         sessions_lock = threading.Lock()
 
@@ -240,6 +285,8 @@ def run_scenario(
                 mutator()
             client, lock = _session_client(planned.session)
             pacer.advance_to(planned.at_s)
+            if record:
+                _maybe_scale()
             url = f"http://{PROXY_HOST}/{planned.path}"
             with lock:
                 started = time.perf_counter()
@@ -297,6 +344,13 @@ def run_scenario(
         for thread in threads:
             thread.join()
         wall_clock = time.perf_counter() - started
+        final_workers = cluster.fleet_size
+        scale_ups = scale_downs = 0
+        if scaler is not None:
+            scale_ups = sum(1 for d in scaler.decisions if d.action == "up")
+            scale_downs = sum(
+                1 for d in scaler.decisions if d.action == "down"
+            )
 
     errors_5xx = sum(
         count for status, count in statuses.items() if status >= 500
@@ -320,6 +374,11 @@ def run_scenario(
         degraded=degraded,
         statuses=statuses,
         fingerprint=scenario.fingerprint(fleet),
+        autoscaled=autoscale,
+        peak_workers=peak_workers[0] if autoscale else fleet,
+        final_workers=final_workers if autoscale else fleet,
+        scale_ups=scale_ups,
+        scale_downs=scale_downs,
     )
 
 
@@ -342,4 +401,15 @@ def format_report(report: ScenarioReport) -> str:
         ["degraded", str(report.degraded)],
         ["non-degraded 5xx", str(report.non_degraded_5xx)],
     ]
+    if report.autoscaled:
+        rows.extend(
+            [
+                ["peak workers", str(report.peak_workers)],
+                ["final workers", str(report.final_workers)],
+                [
+                    "scale actions",
+                    f"{report.scale_ups} up / {report.scale_downs} down",
+                ],
+            ]
+        )
     return format_table(["metric", "value"], rows)

@@ -1,0 +1,35 @@
+"""Hypothesis profiles and shared rigs for the autoscale suite.
+
+Mirrors ``tests/cluster/conftest.py``: the coverage gate runs this
+suite under the stdlib ``trace`` module, so the ``coverage`` profile
+keeps the property tests short enough to fit the tier-1 time budget.
+"""
+
+import os
+
+import pytest
+from hypothesis import settings
+
+from repro.sim.clock import Clock
+from repro.sites.forum.app import ForumApplication
+
+settings.register_profile("default", max_examples=100, deadline=None)
+settings.register_profile("coverage", max_examples=10, deadline=None)
+settings.load_profile(
+    os.environ.get("MSITE_HYPOTHESIS_PROFILE", "default")
+)
+
+
+@pytest.fixture(scope="session")
+def forum_app():
+    return ForumApplication()
+
+
+@pytest.fixture()
+def origins(forum_app):
+    return {"www.sawmillcreek.org": forum_app}
+
+
+@pytest.fixture()
+def clock():
+    return Clock()

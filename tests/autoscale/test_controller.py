@@ -1,0 +1,202 @@
+"""Controller properties: determinism, hysteresis, bounds, cooldowns.
+
+The controller is a pure function of (config, controller state,
+inputs), so these properties run with **no fleet at all**: a synthetic
+metric trace drives :meth:`Autoscaler.tick` through the injected
+sampler on simulated time, and the decision sequence is the artifact
+under test.
+"""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+import pytest
+
+from repro.autoscale import (
+    DOWN,
+    HOLD,
+    UP,
+    WORKERS,
+    Autoscaler,
+    AutoscalerConfig,
+    ControllerInputs,
+)
+
+CONFIG = AutoscalerConfig(
+    min_workers=1,
+    max_workers=4,
+    min_consumers=1,
+    max_consumers=4,
+    interval_s=0.25,
+    queue_high=4.0,
+    queue_low=0.5,
+    cooldown_up_s=0.5,
+    cooldown_down_s=2.0,
+)
+
+#: One synthetic metric sample per tick (queue depth, farm backlog).
+trace_strategy = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=80),
+        st.integers(min_value=0, max_value=40),
+    ),
+    min_size=1,
+    max_size=40,
+)
+
+
+def _run(trace, config=CONFIG):
+    """Drive one controller through the trace on a closed loop: the
+    simulated fleet size feeds back into the next sample, exactly as a
+    real fleet's would.  Returns (decisions, fleet-size history)."""
+    fleet = {"workers": config.min_workers, "consumers": config.min_consumers}
+    cursor = [0]
+
+    def sample() -> ControllerInputs:
+        queue_depth, backlog = trace[cursor[0]]
+        return ControllerInputs(
+            workers=fleet["workers"],
+            queue_depth=queue_depth,
+            consumers=fleet["consumers"],
+            farm_backlog=backlog,
+        )
+
+    scaler = Autoscaler(config=config, sampler=sample)
+    decisions = []
+    sizes = []
+    for index in range(len(trace)):
+        cursor[0] = index
+        decision = scaler.tick(now=index * config.interval_s)
+        decisions.append(decision)
+        if decision.action != HOLD:
+            delta = 1 if decision.action == UP else -1
+            fleet[decision.target] += delta
+        sizes.append(dict(fleet))
+    return decisions, sizes
+
+
+@given(trace=trace_strategy)
+def test_same_trace_same_decisions(trace):
+    """Determinism: the identical metric trace replays the identical
+    decision sequence — action, target, reason, timestamp, inputs."""
+    first, _ = _run(trace)
+    second, _ = _run(trace)
+    assert first == second
+
+
+@given(trace=trace_strategy)
+def test_fleet_always_within_bounds(trace):
+    _, sizes = _run(trace)
+    for state in sizes:
+        assert CONFIG.min_workers <= state["workers"] <= CONFIG.max_workers
+        assert (
+            CONFIG.min_consumers
+            <= state["consumers"]
+            <= CONFIG.max_consumers
+        )
+
+
+@given(trace=trace_strategy)
+def test_no_up_and_down_within_one_cooldown_window(trace):
+    """Hysteresis discipline: consecutive actions respect the second
+    action's cooldown, so an up and a down can never land within one
+    cooldown window of each other."""
+    decisions, _ = _run(trace)
+    actions = [d for d in decisions if d.action != HOLD]
+    for earlier, later in zip(actions, actions[1:]):
+        gap = later.at - earlier.at
+        cooldown = (
+            CONFIG.cooldown_up_s
+            if later.action == UP
+            else CONFIG.cooldown_down_s
+        )
+        assert gap >= cooldown, (
+            f"{later.action} {gap:.2f}s after {earlier.action} "
+            f"(cooldown {cooldown:.2f}s)"
+        )
+        if {earlier.action, later.action} == {UP, DOWN}:
+            assert gap >= min(
+                CONFIG.cooldown_up_s, CONFIG.cooldown_down_s
+            )
+
+
+def test_pressure_scales_up_one_step_at_a_time():
+    trace = [(80, 0)] * 8
+    decisions, sizes = _run(trace)
+    ups = [d for d in decisions if d.action == UP]
+    # Bounded by max_workers and paced by cooldown_up (0.5s = 2 ticks).
+    assert all(d.target == WORKERS for d in ups)
+    assert sizes[-1]["workers"] == CONFIG.max_workers
+    for earlier, later in zip(ups, ups[1:]):
+        assert later.at - earlier.at >= CONFIG.cooldown_up_s
+
+
+def test_calm_scales_down_to_the_floor_and_stops():
+    # Pressure up to the ceiling first, then a long calm.
+    trace = [(80, 0)] * 8 + [(0, 0)] * 40
+    decisions, sizes = _run(trace)
+    assert sizes[-1]["workers"] == CONFIG.min_workers
+    downs = [d for d in decisions if d.action == DOWN]
+    assert downs, "calm never scaled down"
+    for earlier, later in zip(downs, downs[1:]):
+        assert later.at - earlier.at >= CONFIG.cooldown_down_s
+    # At the floor, further calm holds instead of violating min.
+    assert decisions[-1].action == HOLD
+
+
+def test_decide_never_acts_outside_bounds():
+    scaler = Autoscaler(
+        config=CONFIG, sampler=lambda: ControllerInputs(1, 0)
+    )
+    at_max = ControllerInputs(
+        workers=CONFIG.max_workers, queue_depth=1000, consumers=1
+    )
+    assert scaler.decide(at_max, now=100.0).action != UP or (
+        scaler.decide(at_max, now=100.0).target != WORKERS
+    )
+    at_min = ControllerInputs(
+        workers=CONFIG.min_workers, queue_depth=0, consumers=1
+    )
+    assert scaler.decide(at_min, now=200.0).action != DOWN
+
+
+def test_config_validation_rejects_inverted_bands():
+    with pytest.raises(ValueError):
+        AutoscalerConfig(min_workers=0)
+    with pytest.raises(ValueError):
+        AutoscalerConfig(min_workers=3, max_workers=2)
+    with pytest.raises(ValueError):
+        AutoscalerConfig(queue_low=5.0, queue_high=1.0)
+    with pytest.raises(ValueError):
+        AutoscalerConfig(cooldown_up_s=-1.0)
+
+
+def test_scaler_needs_a_cluster_or_a_sampler():
+    with pytest.raises(ValueError):
+        Autoscaler()
+
+
+def test_decisions_land_on_the_ops_log():
+    trace = [(80, 0)] * 4
+    fleet = {"workers": 1}
+    cursor = [0]
+
+    def sample():
+        return ControllerInputs(
+            workers=fleet["workers"], queue_depth=trace[cursor[0]][0]
+        )
+
+    scaler = Autoscaler(config=CONFIG, sampler=sample)
+    for index in range(len(trace)):
+        cursor[0] = index
+        decision = scaler.tick(now=index * CONFIG.interval_s)
+        if decision.action == UP:
+            fleet["workers"] += 1
+    events = scaler.ops.events_of("scale_decision")
+    assert len(events) == len(scaler.decisions)
+    assert all(
+        event.payload["action"] in (UP, DOWN) for event in events
+    )
+    assert [event.sequence for event in events] == list(
+        range(1, len(events) + 1)
+    )

@@ -1,0 +1,154 @@
+"""Graceful drain: membership changes never drop or misroute a request.
+
+The load-bearing ordering, asserted here against the real fleet: a
+worker stops admission *before* its ``worker_draining`` event is
+emitted, so once that event exists no request can ever be accepted by
+the drained worker again — the property the autoscaler's scale-downs
+(and the chaos suites reading the event log) rely on.
+"""
+
+import threading
+
+import pytest
+
+from repro.cluster import ClusterDeployment
+from repro.errors import AdmissionError
+from repro.net.messages import Request, Response
+from repro.ops import (
+    WORKER_ATTACHED,
+    WORKER_DETACHED,
+    WORKER_DRAINING,
+)
+
+
+class EchoApp:
+    def __init__(self, services):
+        self.services = services
+
+    def forget_adapted(self):
+        pass
+
+    def handle(self, request):
+        return Response.text("ok")
+
+
+def _worker_for(cluster, url):
+    return cluster.handle(Request.get(url)).headers.get("X-MSite-Worker")
+
+
+def test_drained_worker_never_serves_after_its_drain_event():
+    with ClusterDeployment(
+        origins={}, workers=3, site="echo", make_app=EchoApp
+    ) as cluster:
+        victim = _worker_for(cluster, "http://echo.local/?page=a")
+        assert victim is not None
+        cluster.drain_worker(victim)
+
+        # The event log tells the drain story, in order, for the victim.
+        lifecycle = [
+            event for event in cluster.ops.events_of(
+                WORKER_DRAINING, WORKER_DETACHED
+            )
+            if event.payload.get("worker") == victim
+        ]
+        assert [event.type for event in lifecycle] == [
+            WORKER_DRAINING, WORKER_DETACHED,
+        ]
+
+        # After the drain event: every key — including the victim's own
+        # former shard — is served by a survivor.
+        assert cluster.fleet_size == 2
+        for i in range(40):
+            response = cluster.handle(
+                Request.get(f"http://echo.local/?page=k{i}")
+            )
+            assert response.status == 200
+            assert response.headers.get("X-MSite-Worker") != victim
+        again = _worker_for(cluster, "http://echo.local/?page=a")
+        assert again is not None and again != victim
+
+
+def test_drain_stops_admission_before_the_event_is_emitted():
+    """The ordering itself: a draining executor refuses new work, so
+    the drain event can never precede an accepted request."""
+    with ClusterDeployment(
+        origins={}, workers=2, site="echo", make_app=EchoApp
+    ) as cluster:
+        worker = next(iter(cluster.workers))
+        worker.drain()
+        assert worker.draining
+        assert not worker.healthy
+        with pytest.raises(AdmissionError):
+            worker.executor.submit(Request.get("http://echo.local/"))
+
+
+def test_drain_finishes_in_flight_work_before_detaching():
+    release = threading.Event()
+    entered = threading.Event()
+
+    class SlowApp(EchoApp):
+        def handle(self, request):
+            if request.params.get("slow"):
+                entered.set()
+                release.wait(timeout=5.0)
+            return Response.text("ok")
+
+    with ClusterDeployment(
+        origins={}, workers=2, site="echo", make_app=SlowApp
+    ) as cluster:
+        victim = _worker_for(cluster, "http://echo.local/?page=a")
+        results = []
+
+        def _slow_request():
+            results.append(
+                cluster.handle(
+                    Request.get("http://echo.local/?page=a&slow=1")
+                )
+            )
+
+        requester = threading.Thread(target=_slow_request)
+        requester.start()
+        assert entered.wait(timeout=5.0)
+
+        drainer = threading.Thread(
+            target=lambda: cluster.drain_worker(victim, wait=True)
+        )
+        drainer.start()
+        # The drain is waiting on the in-flight request, not dropping it.
+        release.set()
+        drainer.join(timeout=5.0)
+        requester.join(timeout=5.0)
+        assert not drainer.is_alive()
+        assert results and results[0].status == 200
+        assert cluster.fleet_size == 1
+
+
+def test_cannot_drain_the_last_worker():
+    with ClusterDeployment(
+        origins={}, workers=1, site="echo", make_app=EchoApp
+    ) as cluster:
+        only = cluster.worker_ids[0]
+        with pytest.raises(ValueError):
+            cluster.drain_worker(only)
+
+
+def test_attach_then_drain_round_trip_keeps_the_log_consistent():
+    with ClusterDeployment(
+        origins={}, workers=1, site="echo", make_app=EchoApp
+    ) as cluster:
+        new_id = cluster.add_worker()
+        assert cluster.fleet_size == 2
+        cluster.drain_worker(new_id)
+        assert cluster.fleet_size == 1
+        story = [
+            (event.type, event.payload.get("worker"))
+            for event in cluster.ops.events_of(
+                WORKER_ATTACHED, WORKER_DRAINING, WORKER_DETACHED
+            )
+        ]
+        assert story == [
+            (WORKER_ATTACHED, cluster.worker_ids[0]),
+            (WORKER_ATTACHED, new_id),
+            (WORKER_DRAINING, new_id),
+            (WORKER_DETACHED, new_id),
+        ]

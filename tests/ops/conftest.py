@@ -1,0 +1,16 @@
+"""Hypothesis profiles for the ops event log suite.
+
+Mirrors ``tests/resilience/conftest.py``: the coverage gate runs this
+suite under the stdlib ``trace`` module, so the ``coverage`` profile
+keeps the property tests short enough to fit the tier-1 time budget.
+"""
+
+import os
+
+from hypothesis import settings
+
+settings.register_profile("default", max_examples=100, deadline=None)
+settings.register_profile("coverage", max_examples=10, deadline=None)
+settings.load_profile(
+    os.environ.get("MSITE_HYPOTHESIS_PROFILE", "default")
+)

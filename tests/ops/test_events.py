@@ -1,0 +1,134 @@
+"""The ops event log itself: sequencing, retention, and the hammer.
+
+The contract every consumer (SSE resume, chaos assertions, the
+autoscaler's decision history) leans on: sequence numbers are strictly
+monotonic and gap-free — under sixteen racing threads as much as under
+one — and a reader that fell behind retention is *told* so instead of
+silently handed a holey stream.
+"""
+
+import threading
+
+import pytest
+
+from repro.observability.metrics import MetricsRegistry
+from repro.ops import EVENT_TYPES, OpsEventLog
+from repro.sim.clock import Clock
+
+
+def test_sequences_start_at_one_and_never_gap():
+    log = OpsEventLog()
+    emitted = [log.emit("degradation", mode=f"m{i}") for i in range(10)]
+    assert [event.sequence for event in emitted] == list(range(1, 11))
+    events, truncated = log.events_after(0)
+    assert [event.sequence for event in events] == list(range(1, 11))
+    assert not truncated
+    assert log.head_seq == 10
+    assert log.earliest_seq == 1
+
+
+def test_events_after_returns_exactly_the_suffix():
+    log = OpsEventLog()
+    for i in range(8):
+        log.emit("invalidation", key=f"k{i}")
+    suffix, truncated = log.events_after(5)
+    assert [event.sequence for event in suffix] == [6, 7, 8]
+    assert not truncated
+    empty, truncated = log.events_after(8)
+    assert empty == [] and not truncated
+
+
+def test_retention_evicts_oldest_and_flags_truncated_reads():
+    log = OpsEventLog(retention=4)
+    for i in range(10):
+        log.emit("invalidation", key=f"k{i}")
+    assert len(log) == 4
+    assert log.earliest_seq == 7
+    # A reader holding offset 2 cannot reconstruct 3..6: truncated.
+    events, truncated = log.events_after(2)
+    assert truncated
+    assert [event.sequence for event in events] == [7, 8, 9, 10]
+    # A reader at the retention boundary is fine.
+    events, truncated = log.events_after(6)
+    assert not truncated
+    assert [event.sequence for event in events] == [7, 8, 9, 10]
+
+
+def test_clock_stamps_created_at():
+    clock = Clock()
+    log = OpsEventLog(clock=clock)
+    first = log.emit("region_killed", region="east")
+    clock.advance(2.5)
+    second = log.emit("region_revived", region="east")
+    assert first.created_at == 0.0
+    assert second.created_at == 2.5
+
+
+def test_events_of_filters_by_type_in_order():
+    log = OpsEventLog()
+    log.emit("worker_attached", worker="w0")
+    log.emit("degradation", mode="stale")
+    log.emit("worker_attached", worker="w1")
+    attached = log.events_of("worker_attached")
+    assert [event.payload["worker"] for event in attached] == ["w0", "w1"]
+
+
+def test_metrics_track_head_and_retention():
+    registry = MetricsRegistry()
+    log = OpsEventLog(retention=2, metrics=registry)
+    for _ in range(5):
+        log.emit("degradation", mode="stale")
+    families = {family.name for family in registry.collect()}
+    assert "msite_ops_head_seq" in families
+    assert "msite_ops_events_total" in families
+    assert registry.get("msite_ops_head_seq").value == 5
+    assert registry.get("msite_ops_retained_events").value == 2
+    assert registry.get("msite_ops_dropped_total").value == 3
+
+
+def test_retention_must_be_positive():
+    with pytest.raises(ValueError):
+        OpsEventLog(retention=0)
+
+
+def test_taxonomy_is_closed_over_what_the_fleet_emits():
+    # Every constant the packages emit is in the published taxonomy.
+    assert "scale_decision" in EVENT_TYPES
+    assert "breaker_transition" in EVENT_TYPES
+    assert "worker_draining" in EVENT_TYPES
+    assert "region_healed" in EVENT_TYPES
+
+
+def test_sixteen_thread_hammer_is_gap_free():
+    """16 threads × 50 emits race one log: the union of returned
+    sequences is exactly 1..800 with no duplicates and no holes, and
+    every thread's own emissions are strictly increasing."""
+    log = OpsEventLog(retention=10_000)
+    per_thread: dict[int, list[int]] = {i: [] for i in range(16)}
+    barrier = threading.Barrier(16)
+
+    def _hammer(slot: int) -> None:
+        barrier.wait(timeout=5.0)
+        for i in range(50):
+            event = log.emit("degradation", slot=slot, i=i)
+            per_thread[slot].append(event.sequence)
+
+    threads = [
+        threading.Thread(target=_hammer, args=(slot,)) for slot in range(16)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=10.0)
+
+    everything = sorted(
+        seq for sequences in per_thread.values() for seq in sequences
+    )
+    assert everything == list(range(1, 16 * 50 + 1))
+    for sequences in per_thread.values():
+        assert sequences == sorted(sequences)
+        assert len(set(sequences)) == len(sequences)
+    # And the log agrees with what the emitters saw.
+    events, truncated = log.events_after(0)
+    assert not truncated
+    assert [event.sequence for event in events] == everything

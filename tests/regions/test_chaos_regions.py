@@ -61,9 +61,55 @@ def test_healed_region_replays_to_live_offset(report):
     assert report.replay_caught_up
     assert not report.failed
     assert report.events_applied > 0
+    # The heal event itself recorded replay-to-live: the acked offset
+    # in its payload equals the CDC log head *at heal time*, so the
+    # replay finished inside the heal, not in some later catch-up.
+    assert report.heal_caught_up
+    assert report.heal_acked_seq == report.heal_log_head
     # Both regions hold replicated snapshots on disk.
     assert all(count > 0 for count in report.store_entries.values())
     assert report.metrics_exposition_lines > 0
+
+
+def test_event_log_tells_the_kill_failover_heal_story(report):
+    """The ops event log carries the whole lifecycle, in order:
+    the victim is killed, failovers route around it, then it is
+    revived and healed — with gap-free sequence numbers."""
+    from repro.ops import (
+        REGION_FAILOVER,
+        REGION_HEALED,
+        REGION_KILLED,
+        REGION_REVIVED,
+    )
+
+    victim = report.killed_region
+    by_type = {}
+    for event in report.ops_events:
+        if event.payload.get("region") == victim:
+            by_type.setdefault(event.type, []).append(event)
+
+    assert len(by_type.get(REGION_KILLED, [])) == 1
+    assert len(by_type.get(REGION_REVIVED, [])) == 1
+    assert len(by_type.get(REGION_HEALED, [])) == 1
+    killed = by_type[REGION_KILLED][0]
+    revived = by_type[REGION_REVIVED][0]
+    healed = by_type[REGION_HEALED][0]
+    assert killed.sequence < revived.sequence < healed.sequence
+    # Failovers only happen while the victim is down.  A failover
+    # event names the *serving* region; the victim is its ``owner``.
+    failovers = [
+        event for event in report.ops_events
+        if event.type == REGION_FAILOVER
+        and event.payload.get("owner") == victim
+    ]
+    assert failovers, "no failover events for the killed region"
+    assert all(
+        killed.sequence < event.sequence < revived.sequence
+        for event in failovers
+    )
+    # Gap-free sequencing across region and cluster event sources.
+    sequences = [event.sequence for event in report.ops_events]
+    assert sequences == list(range(1, report.ops_event_count + 1))
 
 
 def test_report_properties_on_empty_run():

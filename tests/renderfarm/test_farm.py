@@ -15,44 +15,56 @@ from repro.renderfarm import (
 
 def test_cold_start_hammer_coalesces_to_one_render():
     """16 threads race one cold key: exactly one render happens and every
-    waiter observes the identical bundle object."""
+    waiter observes the identical bundle object.
+
+    Deterministic by construction: the queue has **no live consumers**
+    while the threads race, so no submission can complete before the
+    others land — the coalescing window the old sleep-loop version
+    only made probable is structural here.  A :class:`SimConsumer`
+    then drains the queue with no threads at all.
+    """
+    from repro.renderfarm.queue import LaneQueue
+    from repro.renderfarm.testing import SimConsumer
+    from repro.sim.clock import Clock
+
     renders = []
-    gate = threading.Event()
     key = RenderKey("hammer", "/front", spec_fp="fp-1")
 
     def _render():
-        gate.wait(timeout=5.0)
         bundle = {"html": "<p>front</p>", "render": len(renders)}
         renders.append(bundle)
         return bundle
 
-    results = [None] * 16
-    with RenderFarm(consumers=2) as farm:
-        def _request(slot):
-            results[slot] = farm.render(key, _render, wait_s=5.0)
+    queue = LaneQueue(limit=32)
+    jobs = [None] * 16
 
-        threads = [
-            threading.Thread(target=_request, args=(slot,))
-            for slot in range(16)
-        ]
-        for thread in threads:
-            thread.start()
-        # Let every submission land (queued or joined) before the render
-        # is allowed to finish, so the race is real.
-        deadline = [farm.queue.coalesced]
-        for _ in range(500):
-            if farm.queue.coalesced >= 15:
-                break
-            threading.Event().wait(0.005)
-            deadline[0] = farm.queue.coalesced
-        gate.set()
-        for thread in threads:
-            thread.join(timeout=5.0)
+    def _submit(slot):
+        jobs[slot] = queue.submit(key, _render, INTERACTIVE)
 
+    threads = [
+        threading.Thread(target=_submit, args=(slot,))
+        for slot in range(16)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=5.0)
+
+    # All 16 submissions coalesced onto one queued job.
+    assert queue.coalesced == 15
+    assert queue.depth == 1
+    assert all(job is jobs[0] for job in jobs)
+    assert jobs[0].waiters == 16
+
+    trace = SimConsumer(queue, Clock()).drain()
+    assert len(trace) == 1
+    assert trace.events[0].key == key
+    assert trace.events[0].waiters == 16
     assert len(renders) == 1
-    first = results[0]
-    assert first is not None
-    assert all(result is first for result in results)
+    # Every waiter sees the identical bundle object off the shared
+    # future — coalescing shares the render, not a copy of it.
+    results = [job.future.result(timeout=0) for job in jobs]
+    assert all(result is renders[0] for result in results)
 
 
 def test_backpressure_surfaces_as_saturation_not_hang():
@@ -276,3 +288,91 @@ def test_double_close_is_idempotent():
     farm.close()
     farm.close()
     assert farm.consumers_alive == 0
+
+
+def test_late_submission_joins_an_in_flight_render():
+    """Coalescing does not stop at dispatch: a submission arriving
+    after a consumer popped the job still shares its future."""
+    from repro.renderfarm.queue import LaneQueue
+
+    queue = LaneQueue(limit=8)
+    key = RenderKey("late", "/front")
+    first = queue.submit(key, lambda: "bundle", INTERACTIVE)
+    popped = queue.pop(timeout_s=0)
+    assert popped is first
+    late = queue.submit(key, lambda: "other", INTERACTIVE)
+    assert late is first
+    assert late.waiters == 2
+    assert queue.coalesced == 1
+    # And the queue is empty: the join did not re-queue the job.
+    assert queue.depth == 0
+    assert queue.pop(timeout_s=0.01) is None
+
+
+def test_farm_counts_coalesces_and_promotions():
+    """The farm-level metric branches: a join increments the coalesce
+    counter (not a second submission), and a hotter re-submission of a
+    queued key registers as a promotion."""
+    release = threading.Event()
+    with RenderFarm(consumers=1) as farm:
+        # Wedge the only consumer so everything else stays queued.
+        wedge = farm.submit(
+            RenderKey("m", "/wedge"),
+            lambda: release.wait(timeout=5.0),
+            INTERACTIVE,
+        )
+        cold = farm.submit(RenderKey("m", "/a"), lambda: "a", SPECULATIVE)
+        joined = farm.submit(RenderKey("m", "/a"), lambda: "a", SPECULATIVE)
+        assert joined is cold
+        promoted = farm.submit(
+            RenderKey("m", "/a"), lambda: "a", INTERACTIVE
+        )
+        assert promoted is cold and cold.promoted
+        release.set()
+        assert wedge.future.result(timeout=5.0) is True
+        assert cold.future.result(timeout=5.0) == "a"
+        counters = {
+            "coalesced": farm._coalesced.value,
+            "promotions": farm._promotions.value,
+        }
+        assert counters == {"coalesced": 2, "promotions": 1}
+
+
+def test_elastic_consumers_emit_lifecycle_events():
+    """The autoscaler's levers: add_consumer starts a thread and lands
+    a consumer_started event; retire_consumer shrinks capacity between
+    jobs without failing anyone, landing consumer_retired."""
+    from repro.ops import OpsEventLog
+
+    ops = OpsEventLog()
+    with RenderFarm(consumers=1, ops=ops, name="elastic") as farm:
+        started = farm.add_consumer()
+        assert farm.consumers_alive == 2
+        farm.retire_consumer()
+        for _ in range(500):
+            if farm.consumers_alive == 1:
+                break
+            threading.Event().wait(0.01)
+        assert farm.consumers_alive == 1
+        # Capacity still works after the retire.
+        key = RenderKey("elastic", "/front")
+        assert farm.render(key, lambda: "ok", wait_s=5.0) == "ok"
+    events = [
+        (event.type, event.payload.get("farm"))
+        for event in ops.events_of("consumer_started", "consumer_retired")
+    ]
+    assert ("consumer_started", "elastic") in events
+    assert ("consumer_retired", "elastic") in events
+    assert any(started in (e.payload.get("consumer") or "")
+               for e in ops.events_of("consumer_started"))
+
+
+def test_farm_constructor_validates_its_knobs():
+    from repro.renderfarm.queue import LaneQueue
+
+    with pytest.raises(ValueError):
+        RenderFarm(consumers=0)
+    with pytest.raises(ValueError):
+        RenderFarm(consumers=1, poison_threshold=0).close()
+    with pytest.raises(ValueError):
+        LaneQueue(limit=0)

@@ -34,6 +34,23 @@ def test_same_seed_same_report(warm_report, warm_report_again):
         == warm_report_again.degraded_responses
     )
     assert warm_report.retry_attempts == warm_report_again.retry_attempts
+    # The ops event log replays identically too: same types in the
+    # same order with the same payloads, sequence for sequence.
+    assert [
+        (event.sequence, event.type, event.payload)
+        for event in warm_report.ops_events
+    ] == [
+        (event.sequence, event.type, event.payload)
+        for event in warm_report_again.ops_events
+    ]
+
+
+def test_event_log_is_gap_free_and_typed(warm_report):
+    from repro.ops import EVENT_TYPES
+
+    sequences = [event.sequence for event in warm_report.ops_events]
+    assert sequences == list(range(1, warm_report.ops_event_count + 1))
+    assert all(event.type in EVENT_TYPES for event in warm_report.ops_events)
 
 
 def test_warm_run_serves_everything(warm_report):

@@ -32,9 +32,21 @@ def test_thirty_percent_render_ten_percent_origin_faults():
     assert report.metrics_exposition_lines > 100
 
 
+#: The only legal breaker edges.  Any other (from, to) pair in the
+#: event log is a state-machine bug, not a tuning problem.
+LEGAL_BREAKER_EDGES = {
+    ("closed", "open"),
+    ("open", "half_open"),
+    ("half_open", "open"),
+    ("half_open", "closed"),
+}
+
+
 def test_sustained_render_outage_opens_and_recovers_the_breaker():
-    """Breaker lifecycle under chaos: a 100% render outage trips the
-    render breaker open; the report carries the transitions."""
+    """Breaker lifecycle under chaos, read from the ops event log: a
+    100% render outage must trip the render breaker ``closed -> open``
+    first, and every later transition must follow the
+    ``open -> half_open -> {closed, open}`` machine exactly."""
     report = run_chaos(
         seed=7,
         requests=60,
@@ -44,7 +56,40 @@ def test_sustained_render_outage_opens_and_recovers_the_breaker():
         warm=True,
     )
     assert report.internal_errors == 0
-    assert report.breaker_transitions.get("render/open", 0) >= 1
     assert report.breaker_short_circuits > 0
     # Every response still lands on a ladder rung.
     assert set(report.statuses) <= {200, 503, 504}
+
+    # The event log carries the exact transition sequence.
+    sequence = report.breaker_event_sequences.get("render", [])
+    assert sequence, "no render breaker transitions in the event log"
+    assert sequence[0] == ("closed", "open")
+    assert set(sequence) <= LEGAL_BREAKER_EDGES
+    # Contiguity: each transition starts where the previous one ended.
+    for earlier, later in zip(sequence, sequence[1:]):
+        assert later[0] == earlier[1], (
+            f"breaker sequence tore: {earlier} then {later}"
+        )
+    # The legacy counters agree with the event log.
+    opens = sum(1 for edge in sequence if edge[1] == "open")
+    assert report.breaker_transitions.get("render/open", 0) == opens
+
+
+def test_degradation_rungs_land_on_the_event_log():
+    """Every degraded serve the counters report is also a typed
+    ``degradation`` event, mode for mode, count for count."""
+    report = run_chaos(
+        seed=7,
+        requests=60,
+        render_failure_rate=0.5,
+        origin_failure_rate=0.1,
+        garbage_rate=0.05,
+        warm=True,
+    )
+    assert report.internal_errors == 0
+    assert sum(report.degradation_events.values()) > 0
+    assert report.degradation_events == report.degraded_serves
+
+    # The log itself is gap-free and ordered: sequences 1..head.
+    sequences = [event.sequence for event in report.ops_events]
+    assert sequences == list(range(1, report.ops_event_count + 1))

@@ -224,3 +224,42 @@ def test_format_report_is_readable():
     assert "tiny-forum" in text
     assert "p99" in text
     assert "non-degraded 5xx" in text
+
+
+def test_autoscaled_scenario_reports_its_scaling_story():
+    """``autoscale=True`` starts the fleet at the floor, scales inside
+    [min_workers, workers], and the report carries the story: peak and
+    final sizes, decision counts, and the bench-row / format extras."""
+    scenario = _tiny_news()
+    report = run_scenario(
+        scenario, workers=3, client_threads=4,
+        autoscale=True, min_workers=1,
+    )
+    assert report.autoscaled
+    assert report.workers == 3  # the configured ceiling, as reported
+    assert 1 <= report.final_workers <= 3
+    assert 1 <= report.peak_workers <= 3
+    assert report.peak_workers >= report.final_workers or (
+        report.scale_downs == 0
+    )
+    assert report.scale_ups >= 0 and report.scale_downs >= 0
+    assert report.non_degraded_5xx == 0
+    assert set(report.statuses) == {200}
+
+    row = report.bench_row()
+    assert row["autoscaled"] is True
+    for key in ("peak_workers", "final_workers", "scale_ups", "scale_downs"):
+        assert key in row
+    json.dumps(row)
+
+    rendered = format_report(report)
+    assert "peak workers" in rendered
+    assert "scale actions" in rendered
+
+
+def test_static_scenario_report_omits_the_autoscale_keys():
+    report = run_scenario(_tiny_forum(), workers=1)
+    assert not report.autoscaled
+    row = report.bench_row()
+    assert "peak_workers" not in row
+    assert "autoscaled" not in row

@@ -175,6 +175,36 @@ PACKAGES = [
         ],
     },
     {
+        # The ops event log and its wire framings: gap-free sequencing,
+        # retention/truncation, NDJSON/SSE round-trips, and resume.
+        # Every consumer (chaos assertions, dashboards, the SSE resume
+        # contract) leans on exactness here, so the floor matches the
+        # cluster package.
+        "label": "repro.ops",
+        "dir": os.path.join(SRC_DIR, "repro", "ops"),
+        "floor": 0.95,
+        "suites": [
+            "tests/ops/test_events.py",
+            "tests/ops/test_stream.py",
+            "tests/ops/test_endpoint.py",
+        ],
+    },
+    {
+        # The autoscaling controller: hysteresis, cooldowns, bounds,
+        # and graceful drain — the branches that only run when load is
+        # moving, which is the only time the controller matters.  The
+        # elastic conformance suite is excluded per the standard
+        # tracer-budget policy (real renders under a line tracer).
+        "label": "repro.autoscale",
+        "dir": os.path.join(SRC_DIR, "repro", "autoscale"),
+        "floor": 0.95,
+        "suites": [
+            "tests/autoscale/test_controller.py",
+            "tests/autoscale/test_fleet.py",
+            "tests/autoscale/test_drain.py",
+        ],
+    },
+    {
         # The news origin: the feed windowing / pagination surface the
         # adaptation attributes cut against.
         "label": "repro.sites.news",

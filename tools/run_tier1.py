@@ -41,10 +41,13 @@ scenarios in smoke mode (``msite workload --scenario flash-crowd
 --smoke`` and ``--scenario zipf-news --smoke``): each must finish with
 zero non-degraded 5xx at warm cache and within the p99 budget, and
 each appends its bench row to ``BENCH_pipeline.json``.  Finally the
-two timing-sensitive farm tests (the cold-start hammer and the
-farm-fault chaos acceptance) are re-run three times in a flake-guard
-loop — a scheduling regression that only fires occasionally must still
-turn the gate red.
+autoscale bench smoke (``msite bench-autoscale --smoke``) replays a
+seeded flash crowd against a one-worker fleet under the controller and
+exits non-zero if the fleet never scales, leaks a non-degraded 5xx, or
+busts the p99 budget.  (The old flake-guard rerun loop for the two
+timing-sensitive farm tests is gone: both were rewritten onto the
+deterministic LaneQueue/SimConsumer harness and the ops event log, so
+a single run is authoritative.)
 
 Exits non-zero when tests fail or a ceiling is breached, so CI and the
 pre-merge checklist can gate on one command.
@@ -281,32 +284,21 @@ def main(argv: list[str] | None = None) -> int:
                 f"workload smoke ({scenario}) exited {workload.returncode}"
             )
 
-    # -- flake guard: the timing-sensitive farm tests must pass three
-    #    runs in a row (no pytest-repeat in the container, so a plain
-    #    loop; each run is a fresh process and fresh farm threads) -----
-    flaky_targets = [
-        "tests/renderfarm/test_farm.py::"
-        "test_cold_start_hammer_coalesces_to_one_render",
-        "tests/renderfarm/test_chaos_farm.py::"
-        "test_warm_cache_survives_farm_degraded_to_one_consumer",
+    # -- autoscale bench smoke: the controller must absorb a flash
+    #    crowd starting from one worker with zero non-degraded 5xx ------
+    autoscale_command = [
+        sys.executable, "-m", "repro.cli", "bench-autoscale", "--smoke",
     ]
-    for attempt in range(1, 4):
-        repeat_command = [
-            sys.executable, "-m", "pytest", *flaky_targets,
-            "-q", "-p", "no:cacheprovider",
-        ]
-        print(f"\n$ {' '.join(repeat_command)}  (flake guard {attempt}/3)")
-        repeat = subprocess.run(
-            repeat_command, cwd=REPO_ROOT, env=env,
-            stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+    print(f"\n$ {' '.join(autoscale_command)}")
+    autoscale = subprocess.run(
+        autoscale_command, cwd=REPO_ROOT, env=env,
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+    )
+    sys.stdout.write(autoscale.stdout)
+    if autoscale.returncode != 0:
+        failures.append(
+            f"autoscale bench smoke exited {autoscale.returncode}"
         )
-        sys.stdout.write(repeat.stdout)
-        if repeat.returncode != 0:
-            failures.append(
-                f"farm flake guard run {attempt}/3 exited "
-                f"{repeat.returncode}"
-            )
-            break
 
     print(f"\ntier-1 gate: suite finished in {elapsed:.1f}s")
     if failures:
